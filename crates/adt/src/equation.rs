@@ -1,0 +1,317 @@
+//! Generalized conditional equations and specifications.
+//!
+//! The paper extends classical conditional equations with *disequations*
+//! in the conditions (Section 2.2): `MEM(x, y) ≠ T → MEM(x, y) = F` is the
+//! completion axiom that makes membership total. A [`Condition`] is an
+//! equation or a disequation between terms; a [`ConditionalEquation`] is
+//! `cond₁ ∧ … ∧ condₙ → lhs = rhs`; a [`Specification`] is Definition 2.1's
+//! triple `(S, OP, E)` (with `E` generalized).
+
+use crate::signature::{Signature, SignatureError, Sort};
+use crate::term::Term;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A condition: an equation or disequation between terms of equal sort.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Condition {
+    /// `lhs = rhs`.
+    Eq(Term, Term),
+    /// `lhs ≠ rhs` — the paper's negation.
+    Neq(Term, Term),
+}
+
+impl Condition {
+    /// The two terms.
+    pub fn terms(&self) -> (&Term, &Term) {
+        match self {
+            Condition::Eq(l, r) | Condition::Neq(l, r) => (l, r),
+        }
+    }
+
+    /// Is this a disequation?
+    pub fn is_negative(&self) -> bool {
+        matches!(self, Condition::Neq(..))
+    }
+
+    /// Apply a substitution to both sides.
+    pub fn substitute(&self, subst: &BTreeMap<String, Term>) -> Condition {
+        match self {
+            Condition::Eq(l, r) => Condition::Eq(l.substitute(subst), r.substitute(subst)),
+            Condition::Neq(l, r) => Condition::Neq(l.substitute(subst), r.substitute(subst)),
+        }
+    }
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Condition::Eq(l, r) => write!(f, "{l} = {r}"),
+            Condition::Neq(l, r) => write!(f, "{l} != {r}"),
+        }
+    }
+}
+
+/// A (generalized) conditional equation `conditions → lhs = rhs`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ConditionalEquation {
+    /// Conditions (conjunction; empty for plain equations).
+    pub conditions: Vec<Condition>,
+    /// Left-hand side of the conclusion.
+    pub lhs: Term,
+    /// Right-hand side of the conclusion.
+    pub rhs: Term,
+}
+
+impl ConditionalEquation {
+    /// A plain (unconditional) equation.
+    pub fn plain(lhs: Term, rhs: Term) -> Self {
+        ConditionalEquation {
+            conditions: Vec::new(),
+            lhs,
+            rhs,
+        }
+    }
+
+    /// A conditional equation.
+    pub fn when(conditions: impl IntoIterator<Item = Condition>, lhs: Term, rhs: Term) -> Self {
+        ConditionalEquation {
+            conditions: conditions.into_iter().collect(),
+            lhs,
+            rhs,
+        }
+    }
+
+    /// Does the equation use negation (contain a disequation)? Classical
+    /// initial-model semantics only exists without negation (Section 2.2).
+    pub fn uses_negation(&self) -> bool {
+        self.conditions.iter().any(Condition::is_negative)
+    }
+
+    /// All variables with their sorts.
+    pub fn vars(&self) -> BTreeMap<String, Sort> {
+        let mut out = self.lhs.vars();
+        out.extend(self.rhs.vars());
+        for c in &self.conditions {
+            let (l, r) = c.terms();
+            out.extend(l.vars());
+            out.extend(r.vars());
+        }
+        out
+    }
+
+    /// Check well-sortedness of every term and agreement of the sides.
+    pub fn check(&self, sig: &Signature) -> Result<(), SignatureError> {
+        let ls = self.lhs.sort(sig)?;
+        let rs = self.rhs.sort(sig)?;
+        if ls != rs {
+            return Err(SignatureError::IllSorted(format!(
+                "conclusion sides have sorts `{ls}` and `{rs}`"
+            )));
+        }
+        for c in &self.conditions {
+            let (l, r) = c.terms();
+            let cl = l.sort(sig)?;
+            let cr = r.sort(sig)?;
+            if cl != cr {
+                return Err(SignatureError::IllSorted(format!(
+                    "condition `{c}` compares sorts `{cl}` and `{cr}`"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Ground instance under a substitution.
+    pub fn substitute(&self, subst: &BTreeMap<String, Term>) -> ConditionalEquation {
+        ConditionalEquation {
+            conditions: self.conditions.iter().map(|c| c.substitute(subst)).collect(),
+            lhs: self.lhs.substitute(subst),
+            rhs: self.rhs.substitute(subst),
+        }
+    }
+}
+
+impl fmt::Display for ConditionalEquation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.conditions.is_empty() {
+            for (i, c) in self.conditions.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " & ")?;
+                }
+                write!(f, "{c}")?;
+            }
+            write!(f, " -> ")?;
+        }
+        write!(f, "{} = {}", self.lhs, self.rhs)
+    }
+}
+
+/// A specification: Definition 2.1's `(S, OP, E)` with generalized
+/// conditional equations.
+#[derive(Clone, PartialEq, Eq, Default, Debug)]
+pub struct Specification {
+    /// The signature `(S, OP)`.
+    pub signature: Signature,
+    /// The equations `E`.
+    pub equations: Vec<ConditionalEquation>,
+}
+
+impl Specification {
+    /// Build from parts, checking every equation.
+    pub fn new(
+        signature: Signature,
+        equations: impl IntoIterator<Item = ConditionalEquation>,
+    ) -> Result<Self, SignatureError> {
+        let equations: Vec<_> = equations.into_iter().collect();
+        for eq in &equations {
+            eq.check(&signature)?;
+        }
+        Ok(Specification {
+            signature,
+            equations,
+        })
+    }
+
+    /// Does any equation use negation? Without negation the classical
+    /// initial semantics applies and the valid interpretation is exact.
+    pub fn uses_negation(&self) -> bool {
+        self.equations.iter().any(ConditionalEquation::uses_negation)
+    }
+
+    /// Import another specification (signature merge + equation union) —
+    /// the paper's `SPEC1 + SPEC2`.
+    pub fn import(&mut self, other: &Specification) -> Result<&mut Self, SignatureError> {
+        self.signature.import(&other.signature)?;
+        for eq in &other.equations {
+            if !self.equations.contains(eq) {
+                self.equations.push(eq.clone());
+            }
+        }
+        Ok(self)
+    }
+}
+
+impl fmt::Display for Specification {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.signature)?;
+        writeln!(f, "eqns:")?;
+        for eq in &self.equations {
+            writeln!(f, "  {eq}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signature::OpDecl;
+
+    fn bool_nat_sig() -> Signature {
+        let mut sig = Signature::new();
+        sig.add_sort("bool").add_sort("nat");
+        sig.add_op(OpDecl::constant("tt", "bool")).unwrap();
+        sig.add_op(OpDecl::constant("ff", "bool")).unwrap();
+        sig.add_op(OpDecl::constant("zero", "nat")).unwrap();
+        sig.add_op(OpDecl::new("succ", ["nat"], "nat")).unwrap();
+        sig.add_op(OpDecl::new("iszero", ["nat"], "bool")).unwrap();
+        sig
+    }
+
+    #[test]
+    fn plain_equation_checks() {
+        let sig = bool_nat_sig();
+        let eq = ConditionalEquation::plain(
+            Term::op("iszero", [Term::cons("zero")]),
+            Term::cons("tt"),
+        );
+        assert!(eq.check(&sig).is_ok());
+        assert!(!eq.uses_negation());
+        assert_eq!(eq.to_string(), "iszero(zero) = tt");
+    }
+
+    #[test]
+    fn sort_mismatch_rejected() {
+        let sig = bool_nat_sig();
+        let eq = ConditionalEquation::plain(Term::cons("zero"), Term::cons("tt"));
+        assert!(eq.check(&sig).is_err());
+        let eq2 = ConditionalEquation::when(
+            [Condition::Eq(Term::cons("zero"), Term::cons("tt"))],
+            Term::cons("tt"),
+            Term::cons("tt"),
+        );
+        assert!(eq2.check(&sig).is_err());
+    }
+
+    #[test]
+    fn negation_detection() {
+        let sig = bool_nat_sig();
+        // the MEM-style completion: iszero(x) != tt -> iszero(x) = ff
+        let x = Term::var("x", "nat");
+        let eq = ConditionalEquation::when(
+            [Condition::Neq(
+                Term::op("iszero", [x.clone()]),
+                Term::cons("tt"),
+            )],
+            Term::op("iszero", [x.clone()]),
+            Term::cons("ff"),
+        );
+        assert!(eq.check(&sig).is_ok());
+        assert!(eq.uses_negation());
+        assert_eq!(eq.vars().len(), 1);
+        let spec = Specification::new(sig, [eq]).unwrap();
+        assert!(spec.uses_negation());
+    }
+
+    #[test]
+    fn substitution_grounds() {
+        let x = Term::var("x", "nat");
+        let eq = ConditionalEquation::when(
+            [Condition::Neq(x.clone(), Term::cons("zero"))],
+            Term::op("iszero", [x.clone()]),
+            Term::cons("ff"),
+        );
+        let mut subst = BTreeMap::new();
+        subst.insert("x".to_string(), Term::op("succ", [Term::cons("zero")]));
+        let g = eq.substitute(&subst);
+        assert!(g.lhs.is_ground());
+        assert!(g.conditions[0].terms().0.is_ground());
+        assert!(g.to_string().contains("succ(zero)"));
+    }
+
+    #[test]
+    fn import_unions() {
+        let sig = bool_nat_sig();
+        let spec1 = Specification::new(sig.clone(), []).unwrap();
+        let mut spec2 = Specification::new(
+            sig,
+            [ConditionalEquation::plain(
+                Term::op("iszero", [Term::cons("zero")]),
+                Term::cons("tt"),
+            )],
+        )
+        .unwrap();
+        spec2.import(&spec1).unwrap();
+        assert_eq!(spec2.equations.len(), 1);
+        let mut spec3 = spec1.clone();
+        spec3.import(&spec2).unwrap();
+        assert_eq!(spec3.equations.len(), 1);
+    }
+
+    #[test]
+    fn display_specification() {
+        let sig = bool_nat_sig();
+        let spec = Specification::new(
+            sig,
+            [ConditionalEquation::plain(
+                Term::op("iszero", [Term::cons("zero")]),
+                Term::cons("tt"),
+            )],
+        )
+        .unwrap();
+        let s = spec.to_string();
+        assert!(s.contains("eqns:"));
+        assert!(s.contains("iszero(zero) = tt"));
+    }
+}

@@ -1,0 +1,62 @@
+//! Algebraic specifications with negation — Section 2 of *"On the Power of
+//! Algebras with Recursion"* (Beeri & Milo, SIGMOD 1993).
+//!
+//! The paper grounds its algebraic query languages in the algebraic
+//! specification framework: many-sorted signatures, (generalized)
+//! conditional equations, and initial-model semantics. Negation enters as
+//! *disequations* in conditions — needed to define membership totally
+//! (`MEM(x, y) ≠ T → MEM(x, y) = F`) — and the classical initial semantics
+//! is replaced by the **valid interpretation**: the three-valued valid
+//! model of the specification's "deductive version" (equality as the one
+//! predicate plus the equality axioms).
+//!
+//! This crate implements that pipeline end to end:
+//!
+//! * [`signature`] / [`term`] — signatures, sorted terms, and the
+//!   depth-bounded Herbrand windows substituting for infinite universes;
+//! * [`equation`] — generalized conditional equations and specifications
+//!   (Definition 2.1, extended per Section 2.2);
+//! * [`valid_interp`] — the valid interpretation, computed by handing the
+//!   deductive version to the alternating-fixpoint engine of
+//!   [`algrec_datalog`];
+//! * [`initial`] — initial valid models (Definition 2.2) and the
+//!   constants-only decision procedure of Proposition 2.3(2), reproducing
+//!   Example 2's specification with no initial valid model;
+//! * [`specs`] — the paper's worked specifications: BOOL, NAT, SET(nat)
+//!   with the membership completion, and the Example 1 even-number set.
+//!
+//! ```
+//! use algrec_adt::specs::{example2_spec, set_spec, numeral};
+//! use algrec_adt::valid_interp::ValidInterpretation;
+//! use algrec_adt::term::Term;
+//! use algrec_value::{Budget, Truth};
+//!
+//! // MEM is total on SET(nat) thanks to the completion disequation:
+//! let vi = ValidInterpretation::compute(&set_spec(), 3, Budget::SMALL).unwrap();
+//! let single = Term::op("ins", [numeral(0), Term::cons("empty")]);
+//! assert_eq!(
+//!     vi.eq_truth(&Term::op("mem", [numeral(1), single]), &Term::cons("ff")),
+//!     Truth::True,
+//! );
+//!
+//! // ... while Example 2's symmetric disequations leave equality undefined:
+//! let vi2 = ValidInterpretation::compute(&example2_spec(), 1, Budget::SMALL).unwrap();
+//! assert!(!vi2.is_total());
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod equation;
+pub mod initial;
+pub mod parser;
+pub mod signature;
+pub mod specs;
+pub mod term;
+pub mod valid_interp;
+
+pub use equation::{Condition, ConditionalEquation, Specification};
+pub use initial::{initial_valid_model, InitialAnalysis, Partition};
+pub use signature::{OpDecl, Signature, SignatureError, Sort};
+pub use term::{ground_terms, Term};
+pub use valid_interp::{AdtError, ValidInterpretation};

@@ -1,0 +1,277 @@
+//! Many-sorted signatures.
+//!
+//! "An abstract data type specification is a triple SPEC = (S, OP, E)
+//! where S is a set of sort names, OP is a set of function symbols with
+//! arities in S* → S, and E is a set of (conditional) equations over S and
+//! OP" — paper, Definition 2.1. This module provides the `(S, OP)` part.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A sort name.
+pub type Sort = String;
+
+/// A function symbol declaration: `name : args → result`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct OpDecl {
+    /// Operation name.
+    pub name: String,
+    /// Argument sorts (empty for constants).
+    pub args: Vec<Sort>,
+    /// Result sort.
+    pub result: Sort,
+}
+
+impl OpDecl {
+    /// Construct a declaration.
+    pub fn new(
+        name: impl Into<String>,
+        args: impl IntoIterator<Item = impl Into<String>>,
+        result: impl Into<String>,
+    ) -> Self {
+        OpDecl {
+            name: name.into(),
+            args: args.into_iter().map(Into::into).collect(),
+            result: result.into(),
+        }
+    }
+
+    /// A constant declaration (`name : → sort`).
+    pub fn constant(name: impl Into<String>, sort: impl Into<String>) -> Self {
+        OpDecl {
+            name: name.into(),
+            args: Vec::new(),
+            result: sort.into(),
+        }
+    }
+
+    /// Is this a constant (0-ary operation)?
+    pub fn is_constant(&self) -> bool {
+        self.args.is_empty()
+    }
+}
+
+impl fmt::Display for OpDecl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} -> {}", self.name, self.args.join(", "), self.result)
+    }
+}
+
+/// Errors raised when building or using a signature.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SignatureError {
+    /// An operation references a sort that was not declared.
+    UnknownSort {
+        /// The operation.
+        op: String,
+        /// The missing sort.
+        sort: Sort,
+    },
+    /// Two operations share a name.
+    DuplicateOp(String),
+    /// A term used an operation not in the signature.
+    UnknownOp(String),
+    /// A term applied an operation to the wrong number or sorts of
+    /// arguments.
+    IllSorted(String),
+}
+
+impl fmt::Display for SignatureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SignatureError::UnknownSort { op, sort } => {
+                write!(f, "operation `{op}` uses undeclared sort `{sort}`")
+            }
+            SignatureError::DuplicateOp(op) => write!(f, "duplicate operation `{op}`"),
+            SignatureError::UnknownOp(op) => write!(f, "unknown operation `{op}`"),
+            SignatureError::IllSorted(m) => write!(f, "ill-sorted term: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SignatureError {}
+
+/// A many-sorted signature: sort names plus operation declarations.
+#[derive(Clone, PartialEq, Eq, Default, Debug)]
+pub struct Signature {
+    sorts: Vec<Sort>,
+    ops: BTreeMap<String, OpDecl>,
+}
+
+impl Signature {
+    /// An empty signature.
+    pub fn new() -> Self {
+        Signature::default()
+    }
+
+    /// Declare a sort (idempotent).
+    pub fn add_sort(&mut self, sort: impl Into<String>) -> &mut Self {
+        let s = sort.into();
+        if !self.sorts.contains(&s) {
+            self.sorts.push(s);
+        }
+        self
+    }
+
+    /// Declare an operation. Fails on duplicate names or undeclared sorts.
+    pub fn add_op(&mut self, op: OpDecl) -> Result<&mut Self, SignatureError> {
+        for s in op.args.iter().chain(std::iter::once(&op.result)) {
+            if !self.sorts.contains(s) {
+                return Err(SignatureError::UnknownSort {
+                    op: op.name.clone(),
+                    sort: s.clone(),
+                });
+            }
+        }
+        if self.ops.contains_key(&op.name) {
+            return Err(SignatureError::DuplicateOp(op.name));
+        }
+        self.ops.insert(op.name.clone(), op);
+        Ok(self)
+    }
+
+    /// Merge another signature into this one (specification *import*, the
+    /// paper's `nat + bool + …` notation). Duplicate identical operations
+    /// are accepted; conflicting ones fail.
+    pub fn import(&mut self, other: &Signature) -> Result<&mut Self, SignatureError> {
+        for s in &other.sorts {
+            self.add_sort(s.clone());
+        }
+        for op in other.ops.values() {
+            match self.ops.get(&op.name) {
+                Some(existing) if existing == op => {}
+                Some(_) => return Err(SignatureError::DuplicateOp(op.name.clone())),
+                None => {
+                    self.ops.insert(op.name.clone(), op.clone());
+                }
+            }
+        }
+        Ok(self)
+    }
+
+    /// Declared sorts, in declaration order.
+    pub fn sorts(&self) -> &[Sort] {
+        &self.sorts
+    }
+
+    /// Look up an operation.
+    pub fn op(&self, name: &str) -> Option<&OpDecl> {
+        self.ops.get(name)
+    }
+
+    /// All operations, in name order.
+    pub fn ops(&self) -> impl Iterator<Item = &OpDecl> {
+        self.ops.values()
+    }
+
+    /// Operations producing `sort`.
+    pub fn ops_of_sort<'a>(&'a self, sort: &'a str) -> impl Iterator<Item = &'a OpDecl> + 'a {
+        self.ops.values().filter(move |o| o.result == sort)
+    }
+
+    /// Constants of `sort`.
+    pub fn constants_of<'a>(&'a self, sort: &'a str) -> impl Iterator<Item = &'a OpDecl> + 'a {
+        self.ops_of_sort(sort).filter(|o| o.is_constant())
+    }
+
+    /// Does the signature contain only constants (0-ary operations)? This
+    /// is the fragment where the existence of an initial valid model is
+    /// decidable (Proposition 2.3(2)).
+    pub fn constants_only(&self) -> bool {
+        self.ops.values().all(OpDecl::is_constant)
+    }
+}
+
+impl fmt::Display for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "sorts: {}", self.sorts.join(", "))?;
+        writeln!(f, "opns:")?;
+        for op in self.ops.values() {
+            writeln!(f, "  {op}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nat_sig() -> Signature {
+        let mut sig = Signature::new();
+        sig.add_sort("nat");
+        sig.add_op(OpDecl::constant("zero", "nat")).unwrap();
+        sig.add_op(OpDecl::new("succ", ["nat"], "nat")).unwrap();
+        sig
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let sig = nat_sig();
+        assert_eq!(sig.sorts(), &["nat".to_string()]);
+        assert!(sig.op("succ").is_some());
+        assert!(sig.op("pred").is_none());
+        assert_eq!(sig.ops_of_sort("nat").count(), 2);
+        assert_eq!(sig.constants_of("nat").count(), 1);
+        assert!(!sig.constants_only());
+    }
+
+    #[test]
+    fn rejects_unknown_sort() {
+        let mut sig = Signature::new();
+        sig.add_sort("nat");
+        let err = sig.add_op(OpDecl::new("mem", ["nat"], "bool")).unwrap_err();
+        assert!(matches!(err, SignatureError::UnknownSort { .. }));
+    }
+
+    #[test]
+    fn rejects_duplicate_op() {
+        let mut sig = nat_sig();
+        let err = sig.add_op(OpDecl::constant("zero", "nat")).unwrap_err();
+        assert!(matches!(err, SignatureError::DuplicateOp(_)));
+    }
+
+    #[test]
+    fn import_merges() {
+        let mut sig = Signature::new();
+        sig.add_sort("bool");
+        sig.add_op(OpDecl::constant("tt", "bool")).unwrap();
+        sig.import(&nat_sig()).unwrap();
+        assert!(sig.op("succ").is_some());
+        assert!(sig.op("tt").is_some());
+        // importing again is idempotent
+        sig.import(&nat_sig()).unwrap();
+        assert_eq!(sig.ops().count(), 3);
+    }
+
+    #[test]
+    fn import_conflict_fails() {
+        let mut a = Signature::new();
+        a.add_sort("s");
+        a.add_op(OpDecl::constant("c", "s")).unwrap();
+        let mut b = Signature::new();
+        b.add_sort("t");
+        b.add_op(OpDecl::constant("c", "t")).unwrap();
+        assert!(matches!(
+            a.import(&b),
+            Err(SignatureError::DuplicateOp(_))
+        ));
+    }
+
+    #[test]
+    fn constants_only_fragment() {
+        let mut sig = Signature::new();
+        sig.add_sort("s");
+        sig.add_op(OpDecl::constant("a", "s")).unwrap();
+        sig.add_op(OpDecl::constant("b", "s")).unwrap();
+        assert!(sig.constants_only());
+    }
+
+    #[test]
+    fn display() {
+        let sig = nat_sig();
+        let s = sig.to_string();
+        assert!(s.contains("sorts: nat"));
+        assert!(s.contains("succ: nat -> nat"));
+    }
+}

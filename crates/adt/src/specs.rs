@@ -1,0 +1,374 @@
+//! The worked specifications of the paper.
+//!
+//! * [`bool_spec`] / [`nat_spec`] — the imported base types of Section 2.1.
+//! * [`set_spec`] — the SET(t) specification of Section 2.1 verbatim: the
+//!   INS commutativity/absorption equations and the MEM equations, plus
+//!   the Section 2.2 completion disequation
+//!   `MEM(x, y) ≠ T → MEM(x, y) = F` that makes membership total.
+//! * [`even_set_spec`] — the Example 1 even-number set in the declarative
+//!   style (`Sᵉ = Sᵉ ∪ {2i}`), instantiated over a bounded window.
+
+use crate::equation::{Condition, ConditionalEquation, Specification};
+use crate::signature::{OpDecl, Signature};
+use crate::term::Term;
+
+/// Name of the booleans sort.
+pub const BOOL: &str = "bool";
+/// Name of the naturals sort.
+pub const NAT: &str = "nat";
+
+/// The BOOL specification: constants `tt`, `ff` (free — no equations, so
+/// the initial algebra has exactly two elements).
+pub fn bool_spec() -> Specification {
+    let mut sig = Signature::new();
+    sig.add_sort(BOOL);
+    sig.add_op(OpDecl::constant("tt", BOOL)).unwrap();
+    sig.add_op(OpDecl::constant("ff", BOOL)).unwrap();
+    Specification::new(sig, []).unwrap()
+}
+
+/// The NAT specification: `zero` and `succ`, plus `eqnat : nat nat → bool`
+/// defined by structural recursion with the completion disequation
+/// (equality must be definable on an element type for MEM to exist —
+/// footnote 1 of the paper).
+pub fn nat_spec() -> Specification {
+    let mut spec = bool_spec();
+    let sig = &mut spec.signature;
+    sig.add_sort(NAT);
+    sig.add_op(OpDecl::constant("zero", NAT)).unwrap();
+    sig.add_op(OpDecl::new("succ", [NAT], NAT)).unwrap();
+    sig.add_op(OpDecl::new("eqnat", [NAT, NAT], BOOL)).unwrap();
+
+    let x = Term::var("x", NAT);
+    let y = Term::var("y", NAT);
+    spec.equations = vec![
+        // eqnat(x, x) = tt
+        ConditionalEquation::plain(
+            Term::op("eqnat", [x.clone(), x.clone()]),
+            Term::cons("tt"),
+        ),
+        // eqnat(succ(x), succ(y)) = eqnat(x, y)
+        ConditionalEquation::plain(
+            Term::op(
+                "eqnat",
+                [Term::op("succ", [x.clone()]), Term::op("succ", [y.clone()])],
+            ),
+            Term::op("eqnat", [x.clone(), y.clone()]),
+        ),
+        // completion: eqnat(x, y) ≠ tt → eqnat(x, y) = ff
+        ConditionalEquation::when(
+            [Condition::Neq(
+                Term::op("eqnat", [x.clone(), y.clone()]),
+                Term::cons("tt"),
+            )],
+            Term::op("eqnat", [x.clone(), y.clone()]),
+            Term::cons("ff"),
+        ),
+    ];
+    spec
+}
+
+/// The SET(nat) specification of Section 2.1, with the Section 2.2
+/// membership completion:
+///
+/// ```text
+/// opns: EMPTY : → set    INS : nat set → set    MEM : nat set → bool
+/// eqns: INS(d, INS(d, s))  = INS(d, s)
+///       INS(d, INS(d', s)) = INS(d', INS(d, s))
+///       MEM(d, EMPTY) = ff
+///       MEM(d, INS(d, s))  = tt
+///       eqnat(d, d') ≠ tt → MEM(d, INS(d', s)) = MEM(d, s)
+///       MEM(d, s) ≠ tt → MEM(d, s) = ff        (completion)
+/// ```
+///
+/// (The paper writes the last two MEM equations as a single
+/// `IF EQ(d,d') THEN … ELSE …`; conditional equations express the same.)
+pub fn set_spec() -> Specification {
+    let mut spec = nat_spec();
+    let sig = &mut spec.signature;
+    sig.add_sort("set");
+    sig.add_op(OpDecl::constant("empty", "set")).unwrap();
+    sig.add_op(OpDecl::new("ins", [NAT, "set"], "set")).unwrap();
+    sig.add_op(OpDecl::new("mem", [NAT, "set"], BOOL)).unwrap();
+
+    let d = Term::var("d", NAT);
+    let d2 = Term::var("d2", NAT);
+    let s = Term::var("s", "set");
+    let mut eqs = vec![
+        // INS(d, INS(d, s)) = INS(d, s)
+        ConditionalEquation::plain(
+            Term::op("ins", [d.clone(), Term::op("ins", [d.clone(), s.clone()])]),
+            Term::op("ins", [d.clone(), s.clone()]),
+        ),
+        // INS(d, INS(d', s)) = INS(d', INS(d, s))
+        ConditionalEquation::plain(
+            Term::op("ins", [d.clone(), Term::op("ins", [d2.clone(), s.clone()])]),
+            Term::op("ins", [d2.clone(), Term::op("ins", [d.clone(), s.clone()])]),
+        ),
+        // MEM(d, EMPTY) = ff
+        ConditionalEquation::plain(
+            Term::op("mem", [d.clone(), Term::cons("empty")]),
+            Term::cons("ff"),
+        ),
+        // MEM(d, INS(d, s)) = tt
+        ConditionalEquation::plain(
+            Term::op("mem", [d.clone(), Term::op("ins", [d.clone(), s.clone()])]),
+            Term::cons("tt"),
+        ),
+        // eqnat(d, d') ≠ tt → MEM(d, INS(d', s)) = MEM(d, s)
+        ConditionalEquation::when(
+            [Condition::Neq(
+                Term::op("eqnat", [d.clone(), d2.clone()]),
+                Term::cons("tt"),
+            )],
+            Term::op("mem", [d.clone(), Term::op("ins", [d2.clone(), s.clone()])]),
+            Term::op("mem", [d.clone(), s.clone()]),
+        ),
+        // completion: MEM(d, s) ≠ tt → MEM(d, s) = ff
+        ConditionalEquation::when(
+            [Condition::Neq(
+                Term::op("mem", [d.clone(), s.clone()]),
+                Term::cons("tt"),
+            )],
+            Term::op("mem", [d.clone(), s.clone()]),
+            Term::cons("ff"),
+        ),
+    ];
+    spec.equations.append(&mut eqs);
+    spec
+}
+
+/// A numeral term `succ^k(zero)`.
+pub fn numeral(k: usize) -> Term {
+    let mut t = Term::cons("zero");
+    for _ in 0..k {
+        t = Term::op("succ", [t]);
+    }
+    t
+}
+
+/// Example 1's even-number set in the declarative style, over a bounded
+/// window: a constant `se : → set` with the equation family
+/// `Sᵉ = INS(2i, Sᵉ)` for `2i ≤ bound` (the paper's `Sᵉ_c = Sᵉ_c ∪ {2i}`,
+/// instantiated — our term language has no arithmetic, so the instances
+/// are generated here; the algebra= form of the same set lives in
+/// `algrec-core` as `S = {0} ∪ MAP₊₂(S)`, Example 3).
+pub fn even_set_spec(bound: usize) -> Specification {
+    let mut spec = set_spec();
+    spec.signature
+        .add_op(OpDecl::constant("se", "set"))
+        .unwrap();
+    for k in (0..=bound).step_by(2) {
+        spec.equations.push(ConditionalEquation::plain(
+            Term::cons("se"),
+            Term::op("ins", [numeral(k), Term::cons("se")]),
+        ));
+    }
+    spec
+}
+
+/// A curated term window for [`even_set_spec`]: numerals `0..=bound+1`,
+/// the sets reachable from `se` by one INS unfolding, and every `mem` /
+/// `eqnat` observation over them. Condition-closed (see
+/// [`crate::valid_interp::deductive_version_over`]) and far smaller than
+/// a depth-bounded window of the same reach.
+pub fn even_set_universe(bound: usize) -> std::collections::BTreeMap<String, Vec<Term>> {
+    let mut universe: std::collections::BTreeMap<String, Vec<Term>> = Default::default();
+    let nats: Vec<Term> = (0..=bound + 1).map(numeral).collect();
+    let mut sets = vec![Term::cons("empty"), Term::cons("se")];
+    for k in (0..=bound).step_by(2) {
+        sets.push(Term::op("ins", [numeral(k), Term::cons("se")]));
+    }
+    let mut bools = vec![Term::cons("tt"), Term::cons("ff")];
+    for a in &nats {
+        for b in &nats {
+            bools.push(Term::op("eqnat", [a.clone(), b.clone()]));
+        }
+        for s in &sets {
+            bools.push(Term::op("mem", [a.clone(), s.clone()]));
+        }
+    }
+    universe.insert(NAT.to_string(), nats);
+    universe.insert("set".to_string(), sets);
+    universe.insert(BOOL.to_string(), bools);
+    universe
+}
+
+/// The Example 2 specification (no initial valid model):
+/// `a ≠ b → a = c` and `a ≠ c → a = b` over three constants.
+pub fn example2_spec() -> Specification {
+    let mut sig = Signature::new();
+    sig.add_sort("s");
+    for c in ["a", "b", "c"] {
+        sig.add_op(OpDecl::constant(c, "s")).unwrap();
+    }
+    Specification::new(
+        sig,
+        [
+            ConditionalEquation::when(
+                [Condition::Neq(Term::cons("a"), Term::cons("b"))],
+                Term::cons("a"),
+                Term::cons("c"),
+            ),
+            ConditionalEquation::when(
+                [Condition::Neq(Term::cons("a"), Term::cons("c"))],
+                Term::cons("a"),
+                Term::cons("b"),
+            ),
+        ],
+    )
+    .unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::valid_interp::ValidInterpretation;
+    use algrec_value::{Budget, Truth};
+
+    #[test]
+    fn bool_spec_is_free() {
+        let vi = ValidInterpretation::compute(&bool_spec(), 1, Budget::SMALL).unwrap();
+        assert!(vi.is_total());
+        assert_eq!(vi.eq_truth(&Term::cons("tt"), &Term::cons("ff")), Truth::False);
+    }
+
+    #[test]
+    fn eqnat_totally_defined() {
+        let vi = ValidInterpretation::compute(&nat_spec(), 3, Budget::SMALL).unwrap();
+        // eqnat(0,0) = tt
+        assert_eq!(
+            vi.eq_truth(
+                &Term::op("eqnat", [numeral(0), numeral(0)]),
+                &Term::cons("tt")
+            ),
+            Truth::True
+        );
+        // eqnat(0, 1) = ff via the completion disequation
+        assert_eq!(
+            vi.eq_truth(
+                &Term::op("eqnat", [numeral(0), numeral(1)]),
+                &Term::cons("ff")
+            ),
+            Truth::True
+        );
+        // eqnat(1, 1) = eqnat(0,0) = tt via the recursion
+        assert_eq!(
+            vi.eq_truth(
+                &Term::op("eqnat", [numeral(1), numeral(1)]),
+                &Term::cons("tt")
+            ),
+            Truth::True
+        );
+    }
+
+    #[test]
+    fn set_ins_equations_identify_permutations() {
+        // ins(0, ins(1, empty)) = ins(1, ins(0, empty)) — the INS
+        // commutativity equation. `succ(zero)` makes the nested term depth
+        // 4, so use a curated window instead of a full depth-4 one.
+        let s01 = Term::op(
+            "ins",
+            [
+                numeral(0),
+                Term::op("ins", [numeral(1), Term::cons("empty")]),
+            ],
+        );
+        let s10 = Term::op(
+            "ins",
+            [
+                numeral(1),
+                Term::op("ins", [numeral(0), Term::cons("empty")]),
+            ],
+        );
+        let mut universe: std::collections::BTreeMap<String, Vec<Term>> = Default::default();
+        let nats = vec![numeral(0), numeral(1)];
+        let sets = vec![
+            Term::cons("empty"),
+            Term::op("ins", [numeral(0), Term::cons("empty")]),
+            Term::op("ins", [numeral(1), Term::cons("empty")]),
+            s01.clone(),
+            s10.clone(),
+        ];
+        let mut bools = vec![Term::cons("tt"), Term::cons("ff")];
+        for a in &nats {
+            for b in &nats {
+                bools.push(Term::op("eqnat", [a.clone(), b.clone()]));
+            }
+            for s in &sets {
+                bools.push(Term::op("mem", [a.clone(), s.clone()]));
+            }
+        }
+        universe.insert(NAT.to_string(), nats);
+        universe.insert("set".to_string(), sets);
+        universe.insert(BOOL.to_string(), bools);
+        let vi = ValidInterpretation::compute_over(&set_spec(), universe, Budget::SMALL).unwrap();
+        assert_eq!(vi.eq_truth(&s01, &s10), Truth::True);
+        // and membership agrees on the identified sets
+        assert_eq!(
+            vi.eq_truth(&Term::op("mem", [numeral(1), s01]), &Term::cons("tt")),
+            Truth::True
+        );
+    }
+
+    #[test]
+    fn membership_is_total_on_window() {
+        let vi = ValidInterpretation::compute(&set_spec(), 3, Budget::SMALL).unwrap();
+        let single = Term::op("ins", [numeral(0), Term::cons("empty")]);
+        assert_eq!(
+            vi.eq_truth(&Term::op("mem", [numeral(0), single.clone()]), &Term::cons("tt")),
+            Truth::True
+        );
+        assert_eq!(
+            vi.eq_truth(&Term::op("mem", [numeral(1), single]), &Term::cons("ff")),
+            Truth::True
+        );
+        assert_eq!(
+            vi.eq_truth(
+                &Term::op("mem", [numeral(1), Term::cons("empty")]),
+                &Term::cons("ff")
+            ),
+            Truth::True
+        );
+    }
+
+    #[test]
+    fn even_set_memberships() {
+        // Curated window, evens up to 2: mem(0, se) = tt; mem(2, se) = tt;
+        // mem(1, se) = ff by the completion (no derivation of tt) —
+        // exactly the Section 2.2 narrative for Sᵉ.
+        let spec = even_set_spec(2);
+        let vi =
+            ValidInterpretation::compute_over(&spec, even_set_universe(2), Budget::LARGE).unwrap();
+        assert_eq!(
+            vi.eq_truth(&Term::op("mem", [numeral(0), Term::cons("se")]), &Term::cons("tt")),
+            Truth::True
+        );
+        assert_eq!(
+            vi.eq_truth(&Term::op("mem", [numeral(1), Term::cons("se")]), &Term::cons("ff")),
+            Truth::True
+        );
+        assert_eq!(
+            vi.eq_truth(&Term::op("mem", [numeral(2), Term::cons("se")]), &Term::cons("tt")),
+            Truth::True
+        );
+        // odd beyond the declared evens: still certainly out
+        assert_eq!(
+            vi.eq_truth(&Term::op("mem", [numeral(3), Term::cons("se")]), &Term::cons("ff")),
+            Truth::True
+        );
+    }
+
+    #[test]
+    fn example2_matches_paper() {
+        let vi = ValidInterpretation::compute(&example2_spec(), 1, Budget::SMALL).unwrap();
+        assert!(!vi.is_total());
+    }
+
+    #[test]
+    fn numerals() {
+        assert_eq!(numeral(0), Term::cons("zero"));
+        assert_eq!(numeral(2).depth(), 3);
+        assert_eq!(numeral(2).to_string(), "succ(succ(zero))");
+    }
+}

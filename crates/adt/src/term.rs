@@ -1,0 +1,248 @@
+//! Terms over a many-sorted signature.
+//!
+//! The Herbrand universe — "the collection of ground terms over OP"
+//! (Section 2.1) — is the carrier from which initial algebras are built as
+//! quotients. Since the paper's universes may be infinite (NAT), ground
+//! term enumeration is *depth-bounded*: [`ground_terms`] materializes the
+//! finite window that budget-bounded valid interpretation works over.
+
+use crate::signature::{Signature, SignatureError, Sort};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A term: a variable (with its sort) or an operation applied to terms.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Term {
+    /// A sorted variable.
+    Var(String, Sort),
+    /// An operation application (constants have no arguments).
+    Op(String, Vec<Term>),
+}
+
+impl Term {
+    /// A variable term.
+    pub fn var(name: impl Into<String>, sort: impl Into<String>) -> Self {
+        Term::Var(name.into(), sort.into())
+    }
+
+    /// A constant term.
+    pub fn cons(name: impl Into<String>) -> Self {
+        Term::Op(name.into(), Vec::new())
+    }
+
+    /// An application term.
+    pub fn op(name: impl Into<String>, args: impl IntoIterator<Item = Term>) -> Self {
+        Term::Op(name.into(), args.into_iter().collect())
+    }
+
+    /// Is the term ground?
+    pub fn is_ground(&self) -> bool {
+        match self {
+            Term::Var(..) => false,
+            Term::Op(_, args) => args.iter().all(Term::is_ground),
+        }
+    }
+
+    /// Structural depth (constants have depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            Term::Var(..) => 1,
+            Term::Op(_, args) => 1 + args.iter().map(Term::depth).max().unwrap_or(0),
+        }
+    }
+
+    /// The sort of the term under a signature.
+    pub fn sort(&self, sig: &Signature) -> Result<Sort, SignatureError> {
+        match self {
+            Term::Var(_, s) => Ok(s.clone()),
+            Term::Op(name, args) => {
+                let decl = sig
+                    .op(name)
+                    .ok_or_else(|| SignatureError::UnknownOp(name.clone()))?;
+                if decl.args.len() != args.len() {
+                    return Err(SignatureError::IllSorted(format!(
+                        "`{name}` expects {} arguments, got {}",
+                        decl.args.len(),
+                        args.len()
+                    )));
+                }
+                for (expected, arg) in decl.args.iter().zip(args) {
+                    let got = arg.sort(sig)?;
+                    if &got != expected {
+                        return Err(SignatureError::IllSorted(format!(
+                            "`{name}` expects `{expected}`, got `{got}` in `{arg}`"
+                        )));
+                    }
+                }
+                Ok(decl.result.clone())
+            }
+        }
+    }
+
+    /// The variables of the term, with their sorts.
+    pub fn vars(&self) -> BTreeMap<String, Sort> {
+        let mut out = BTreeMap::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut BTreeMap<String, Sort>) {
+        match self {
+            Term::Var(name, sort) => {
+                out.insert(name.clone(), sort.clone());
+            }
+            Term::Op(_, args) => args.iter().for_each(|a| a.collect_vars(out)),
+        }
+    }
+
+    /// Apply a substitution (variables not in the map are left alone).
+    pub fn substitute(&self, subst: &BTreeMap<String, Term>) -> Term {
+        match self {
+            Term::Var(name, _) => subst.get(name).cloned().unwrap_or_else(|| self.clone()),
+            Term::Op(op, args) => Term::Op(
+                op.clone(),
+                args.iter().map(|a| a.substitute(subst)).collect(),
+            ),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(name, _) => write!(f, "{name}"),
+            Term::Op(op, args) if args.is_empty() => write!(f, "{op}"),
+            Term::Op(op, args) => {
+                write!(f, "{op}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// Enumerate all ground terms of every sort up to `max_depth`, sorted.
+/// This is the finite Herbrand window over which valid interpretations are
+/// computed (the paper's universes may be infinite; see the crate docs for
+/// the substitution argument).
+pub fn ground_terms(sig: &Signature, max_depth: usize) -> BTreeMap<Sort, Vec<Term>> {
+    let mut by_sort: BTreeMap<Sort, Vec<Term>> = sig
+        .sorts()
+        .iter()
+        .map(|s| (s.clone(), Vec::new()))
+        .collect();
+    for _ in 0..max_depth {
+        let snapshot = by_sort.clone();
+        for op in sig.ops() {
+            // All combinations of existing argument terms.
+            let mut combos: Vec<Vec<Term>> = vec![Vec::new()];
+            for arg_sort in &op.args {
+                let pool = snapshot.get(arg_sort).map_or(&[][..], Vec::as_slice);
+                let mut next = Vec::new();
+                for combo in &combos {
+                    for t in pool {
+                        let mut c = combo.clone();
+                        c.push(t.clone());
+                        next.push(c);
+                    }
+                }
+                combos = next;
+            }
+            let entry = by_sort.entry(op.result.clone()).or_default();
+            for combo in combos {
+                let t = Term::Op(op.name.clone(), combo);
+                if !entry.contains(&t) {
+                    entry.push(t);
+                }
+            }
+        }
+    }
+    for terms in by_sort.values_mut() {
+        terms.sort();
+    }
+    by_sort
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signature::OpDecl;
+
+    fn nat_sig() -> Signature {
+        let mut sig = Signature::new();
+        sig.add_sort("nat");
+        sig.add_op(OpDecl::constant("zero", "nat")).unwrap();
+        sig.add_op(OpDecl::new("succ", ["nat"], "nat")).unwrap();
+        sig
+    }
+
+    #[test]
+    fn sorting_terms() {
+        let sig = nat_sig();
+        let t = Term::op("succ", [Term::cons("zero")]);
+        assert_eq!(t.sort(&sig).unwrap(), "nat");
+        assert!(t.is_ground());
+        assert_eq!(t.depth(), 2);
+    }
+
+    #[test]
+    fn ill_sorted_detected() {
+        let mut sig = nat_sig();
+        sig.add_sort("bool");
+        sig.add_op(OpDecl::constant("tt", "bool")).unwrap();
+        let t = Term::op("succ", [Term::cons("tt")]);
+        assert!(matches!(t.sort(&sig), Err(SignatureError::IllSorted(_))));
+        let t2 = Term::op("succ", []);
+        assert!(matches!(t2.sort(&sig), Err(SignatureError::IllSorted(_))));
+        let t3 = Term::cons("nope");
+        assert!(matches!(t3.sort(&sig), Err(SignatureError::UnknownOp(_))));
+    }
+
+    #[test]
+    fn variables_and_substitution() {
+        let x = Term::var("x", "nat");
+        let t = Term::op("succ", [x.clone()]);
+        assert!(!t.is_ground());
+        assert_eq!(t.vars().get("x"), Some(&"nat".to_string()));
+        let mut subst = BTreeMap::new();
+        subst.insert("x".to_string(), Term::cons("zero"));
+        let g = t.substitute(&subst);
+        assert_eq!(g, Term::op("succ", [Term::cons("zero")]));
+        assert!(g.is_ground());
+    }
+
+    #[test]
+    fn ground_enumeration_depth_bounded() {
+        let sig = nat_sig();
+        let terms = ground_terms(&sig, 3);
+        let nats = &terms["nat"];
+        // zero, succ(zero), succ(succ(zero))
+        assert_eq!(nats.len(), 3);
+        assert!(nats.contains(&Term::cons("zero")));
+        assert!(nats.contains(&Term::op("succ", [Term::op("succ", [Term::cons("zero")])])));
+    }
+
+    #[test]
+    fn ground_enumeration_multi_sort() {
+        let mut sig = nat_sig();
+        sig.add_sort("pairs");
+        sig.add_op(OpDecl::new("pair", ["nat", "nat"], "pairs"))
+            .unwrap();
+        let terms = ground_terms(&sig, 2);
+        // nats at depth ≤ 2: zero, succ(zero); pairs: 2×2 over depth-1 nats
+        assert_eq!(terms["nat"].len(), 2);
+        assert_eq!(terms["pairs"].len(), 1); // pair(zero, zero) only: args from depth-1 snapshot
+    }
+
+    #[test]
+    fn display_terms() {
+        let t = Term::op("succ", [Term::var("x", "nat")]);
+        assert_eq!(t.to_string(), "succ(x)");
+        assert_eq!(Term::cons("zero").to_string(), "zero");
+    }
+}

@@ -1,0 +1,450 @@
+//! The valid interpretation of a specification.
+//!
+//! "A specification SPEC can be viewed as a deductive program with '=' as
+//! the only predicate. The rules in the 'deductive version' of SPEC are
+//! the conditional equations of SPEC, and the standard equality axioms
+//! (transitivity, symmetry, reflexivity, and substitution). Taking a valid
+//! model approach, the deductive version of SPEC has a 3-valued valid
+//! model." — paper, Section 2.2.
+//!
+//! This module builds that deductive version *literally*: equations become
+//! rules over an `eq/2` predicate (disequation conditions become negated
+//! atoms), the equality axioms are added, and the valid (alternating
+//! fixpoint) engine of [`algrec_datalog`] computes the three-valued
+//! equality relation. Facts in `T` are certainly-equal terms, facts in
+//! `F` certainly-unequal, the rest undefined — exactly the paper's valid
+//! interpretation.
+//!
+//! The Herbrand universe may be infinite (NAT); the computation runs over
+//! the depth-bounded window of [`crate::term::ground_terms`], and every
+//! derived equation is guarded to stay inside the window. Results are
+//! therefore exact for queries whose derivations fit in the window, and
+//! the window size is the caller's explicit choice.
+
+use crate::equation::{Condition, Specification};
+use crate::signature::Sort;
+use crate::term::{ground_terms, Term};
+use algrec_datalog::ast::{Atom, Expr, Literal, Program, Rule};
+use algrec_datalog::engine::Compiled;
+use algrec_datalog::interp::{Interp, ThreeValued};
+use algrec_datalog::wellfounded::alternating_fixpoint;
+use algrec_datalog::EvalError;
+use algrec_value::{Budget, Truth, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors from specification-level analyses.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AdtError {
+    /// A signature/sorting failure.
+    Signature(crate::signature::SignatureError),
+    /// An evaluation failure of the deductive version.
+    Eval(EvalError),
+}
+
+impl fmt::Display for AdtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdtError::Signature(e) => write!(f, "{e}"),
+            AdtError::Eval(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for AdtError {}
+
+impl From<crate::signature::SignatureError> for AdtError {
+    fn from(e: crate::signature::SignatureError) -> Self {
+        AdtError::Signature(e)
+    }
+}
+
+impl From<EvalError> for AdtError {
+    fn from(e: EvalError) -> Self {
+        AdtError::Eval(e)
+    }
+}
+
+/// Encode a ground term as a value: `f(t₁, …, tₙ)` ↦ `[f, ⟦t₁⟧, …, ⟦tₙ⟧]`.
+pub fn encode_term(t: &Term) -> Value {
+    match t {
+        Term::Var(..) => panic!("encode_term requires a ground term"),
+        Term::Op(op, args) => {
+            let mut items = vec![Value::str(op.clone())];
+            items.extend(args.iter().map(encode_term));
+            Value::Tuple(items)
+        }
+    }
+}
+
+/// Encode a possibly-open term as a rule expression: variables become rule
+/// variables (named `v$<name>`).
+fn encode_open(t: &Term) -> Expr {
+    match t {
+        Term::Var(name, _) => Expr::var(format!("v${name}")),
+        Term::Op(op, args) => {
+            let mut items = vec![Expr::lit(Value::str(op.clone()))];
+            items.extend(args.iter().map(encode_open));
+            Expr::Tuple(items)
+        }
+    }
+}
+
+fn univ_pred(sort: &str) -> String {
+    format!("univ${sort}")
+}
+
+/// The deductive version of a specification over a depth-bounded window:
+/// universe facts, equality axioms, and one rule per equation.
+pub fn deductive_version(spec: &Specification, depth: usize) -> (Program, Interp) {
+    deductive_version_over(spec, &ground_terms(&spec.signature, depth))
+}
+
+/// [`deductive_version`] over an explicit, caller-curated window of ground
+/// terms. The window should be *condition-closed*: if an instantiated
+/// equation's conclusion terms are in the window, its condition terms
+/// should be too — otherwise a disequation condition can spuriously
+/// succeed because its subject was simply never materialized. (The
+/// depth-bounded default windows of [`ground_terms`] have this property
+/// for the built-in specifications.)
+pub fn deductive_version_over(
+    spec: &Specification,
+    universe: &BTreeMap<Sort, Vec<Term>>,
+) -> (Program, Interp) {
+    let mut base = Interp::new();
+    for (sort, terms) in universe {
+        for t in terms {
+            base.insert(&univ_pred(sort), vec![encode_term(t)]);
+        }
+    }
+
+    let mut program = Program::new();
+
+    // Reflexivity per sort: eq(X, X) :- univ$s(X).
+    for sort in spec.signature.sorts() {
+        program.push(Rule::new(
+            Atom::new("eq", [Expr::var("X"), Expr::var("X")]),
+            [Literal::Pos(Atom::new(univ_pred(sort), [Expr::var("X")]))],
+        ));
+    }
+    // Symmetry and transitivity.
+    program.push(Rule::new(
+        Atom::new("eq", [Expr::var("Y"), Expr::var("X")]),
+        [Literal::Pos(Atom::new("eq", [Expr::var("X"), Expr::var("Y")]))],
+    ));
+    program.push(Rule::new(
+        Atom::new("eq", [Expr::var("X"), Expr::var("Z")]),
+        [
+            Literal::Pos(Atom::new("eq", [Expr::var("X"), Expr::var("Y")])),
+            Literal::Pos(Atom::new("eq", [Expr::var("Y"), Expr::var("Z")])),
+        ],
+    ));
+    // Congruence (the substitution axiom): for f : s₁ … sₙ → s,
+    //   eq([f,X₁…Xₙ], [f,Y₁…Yₙ]) :- univ$s([f,X̄]), univ$s([f,Ȳ]),
+    //                                eq(X₁,Y₁), …, eq(Xₙ,Yₙ).
+    for op in spec.signature.ops() {
+        if op.args.is_empty() {
+            continue;
+        }
+        let xs: Vec<Expr> = (0..op.args.len())
+            .map(|i| Expr::var(format!("X{i}")))
+            .collect();
+        let ys: Vec<Expr> = (0..op.args.len())
+            .map(|i| Expr::var(format!("Y{i}")))
+            .collect();
+        let mk = |vars: &[Expr]| {
+            let mut items = vec![Expr::lit(Value::str(op.name.clone()))];
+            items.extend(vars.iter().cloned());
+            Expr::Tuple(items)
+        };
+        let mut body = vec![
+            Literal::Pos(Atom::new(univ_pred(&op.result), [mk(&xs)])),
+            Literal::Pos(Atom::new(univ_pred(&op.result), [mk(&ys)])),
+        ];
+        for (x, y) in xs.iter().zip(&ys) {
+            body.push(Literal::Pos(Atom::new("eq", [x.clone(), y.clone()])));
+        }
+        program.push(Rule::new(Atom::new("eq", [mk(&xs), mk(&ys)]), body));
+    }
+
+    // One rule per equation: variables guarded by their sort's universe,
+    // conclusion sides guarded to stay inside the window, conditions as
+    // positive/negative eq literals.
+    for eq in &spec.equations {
+        let mut body: Vec<Literal> = Vec::new();
+        for (var, sort) in eq.vars() {
+            body.push(Literal::Pos(Atom::new(
+                univ_pred(&sort),
+                [Expr::var(format!("v${var}"))],
+            )));
+        }
+        let lhs = encode_open(&eq.lhs);
+        let rhs = encode_open(&eq.rhs);
+        let sort = eq
+            .lhs
+            .sort(&spec.signature)
+            .expect("specification was checked at construction");
+        body.push(Literal::Pos(Atom::new(univ_pred(&sort), [lhs.clone()])));
+        body.push(Literal::Pos(Atom::new(univ_pred(&sort), [rhs.clone()])));
+        for cond in &eq.conditions {
+            match cond {
+                Condition::Eq(l, r) => body.push(Literal::Pos(Atom::new(
+                    "eq",
+                    [encode_open(l), encode_open(r)],
+                ))),
+                Condition::Neq(l, r) => body.push(Literal::Neg(Atom::new(
+                    "eq",
+                    [encode_open(l), encode_open(r)],
+                ))),
+            }
+        }
+        program.push(Rule::new(Atom::new("eq", [lhs, rhs]), body));
+    }
+
+    (program, base)
+}
+
+/// The three-valued valid interpretation of a specification over a
+/// depth-bounded Herbrand window.
+#[derive(Clone, Debug)]
+pub struct ValidInterpretation {
+    universe: BTreeMap<Sort, Vec<Term>>,
+    tv: ThreeValued,
+}
+
+impl ValidInterpretation {
+    /// Compute the valid interpretation of `spec` over ground terms of
+    /// depth ≤ `depth`.
+    pub fn compute(spec: &Specification, depth: usize, budget: Budget) -> Result<Self, AdtError> {
+        Self::compute_over(spec, ground_terms(&spec.signature, depth), budget)
+    }
+
+    /// Compute the valid interpretation over an explicit window of ground
+    /// terms (see [`deductive_version_over`] for the closure property the
+    /// window should satisfy).
+    pub fn compute_over(
+        spec: &Specification,
+        mut universe: BTreeMap<Sort, Vec<Term>>,
+        budget: Budget,
+    ) -> Result<Self, AdtError> {
+        for terms in universe.values_mut() {
+            terms.sort();
+            terms.dedup();
+        }
+        let (program, base) = deductive_version_over(spec, &universe);
+        let compiled = Compiled::compile(&program)?;
+        let mut meter = budget.meter();
+        let (tv, _) = alternating_fixpoint(&compiled, &base, &mut meter)?;
+        Ok(ValidInterpretation { universe, tv })
+    }
+
+    /// Three-valued truth of `t₁ = t₂`. Terms outside the window compare
+    /// `Unknown` unless syntactically identical.
+    pub fn eq_truth(&self, t1: &Term, t2: &Term) -> Truth {
+        if t1 == t2 {
+            return Truth::True;
+        }
+        let (v1, v2) = (encode_term(t1), encode_term(t2));
+        let in_window = |t: &Term| {
+            self.universe
+                .values()
+                .any(|terms| terms.binary_search(t).is_ok())
+        };
+        if !in_window(t1) || !in_window(t2) {
+            return Truth::Unknown;
+        }
+        self.tv.truth("eq", &[v1, v2])
+    }
+
+    /// Is the interpretation total (two-valued) on the window? The paper
+    /// calls a specification with an initial valid model *well-defined*;
+    /// totality of the valid interpretation over the observables is the
+    /// computable witness of it.
+    pub fn is_total(&self) -> bool {
+        self.tv.is_exact()
+    }
+
+    /// Number of undefined equality facts.
+    pub fn unknown_count(&self) -> usize {
+        self.tv.unknown_count()
+    }
+
+    /// The window of ground terms per sort.
+    pub fn universe(&self) -> &BTreeMap<Sort, Vec<Term>> {
+        &self.universe
+    }
+
+    /// The certain equality classes of a sort (the quotient that the
+    /// initial algebra takes, Section 2.1).
+    pub fn classes(&self, sort: &str) -> Vec<Vec<Term>> {
+        let Some(terms) = self.universe.get(sort) else {
+            return Vec::new();
+        };
+        let mut classes: Vec<Vec<Term>> = Vec::new();
+        'outer: for t in terms {
+            for class in &mut classes {
+                if self.eq_truth(&class[0], t) == Truth::True {
+                    class.push(t.clone());
+                    continue 'outer;
+                }
+            }
+            classes.push(vec![t.clone()]);
+        }
+        classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equation::ConditionalEquation;
+    use crate::signature::{OpDecl, Signature};
+
+    fn bool_sig() -> Signature {
+        let mut sig = Signature::new();
+        sig.add_sort("bool");
+        sig.add_op(OpDecl::constant("tt", "bool")).unwrap();
+        sig.add_op(OpDecl::constant("ff", "bool")).unwrap();
+        sig.add_op(OpDecl::new("neg", ["bool"], "bool")).unwrap();
+        sig
+    }
+
+    #[test]
+    fn encode_round_shape() {
+        let t = Term::op("succ", [Term::cons("zero")]);
+        let v = encode_term(&t);
+        assert_eq!(
+            v,
+            Value::tuple([
+                Value::str("succ"),
+                Value::tuple([Value::str("zero")]),
+            ])
+        );
+    }
+
+    #[test]
+    fn plain_equations_quotient() {
+        // neg(tt) = ff, neg(ff) = tt.
+        let spec = Specification::new(
+            bool_sig(),
+            [
+                ConditionalEquation::plain(Term::op("neg", [Term::cons("tt")]), Term::cons("ff")),
+                ConditionalEquation::plain(Term::op("neg", [Term::cons("ff")]), Term::cons("tt")),
+            ],
+        )
+        .unwrap();
+        let vi = ValidInterpretation::compute(&spec, 3, Budget::SMALL).unwrap();
+        assert!(vi.is_total());
+        assert_eq!(
+            vi.eq_truth(&Term::op("neg", [Term::cons("tt")]), &Term::cons("ff")),
+            Truth::True
+        );
+        // congruence: neg(neg(tt)) = neg(ff) = tt
+        assert_eq!(
+            vi.eq_truth(
+                &Term::op("neg", [Term::op("neg", [Term::cons("tt")])]),
+                &Term::cons("tt")
+            ),
+            Truth::True
+        );
+        assert_eq!(vi.eq_truth(&Term::cons("tt"), &Term::cons("ff")), Truth::False);
+        // exactly 2 classes at any depth
+        assert_eq!(vi.classes("bool").len(), 2);
+    }
+
+    #[test]
+    fn example2_no_two_valued_interpretation() {
+        // Example 2 of the paper: a ≠ b → a = c; a ≠ c → a = b.
+        let mut sig = Signature::new();
+        sig.add_sort("s");
+        for c in ["a", "b", "c"] {
+            sig.add_op(OpDecl::constant(c, "s")).unwrap();
+        }
+        let spec = Specification::new(
+            sig,
+            [
+                ConditionalEquation::when(
+                    [Condition::Neq(Term::cons("a"), Term::cons("b"))],
+                    Term::cons("a"),
+                    Term::cons("c"),
+                ),
+                ConditionalEquation::when(
+                    [Condition::Neq(Term::cons("a"), Term::cons("c"))],
+                    Term::cons("a"),
+                    Term::cons("b"),
+                ),
+            ],
+        )
+        .unwrap();
+        let vi = ValidInterpretation::compute(&spec, 1, Budget::SMALL).unwrap();
+        // "no equalities can be derived in a valid manner": a=b, a=c stay
+        // undefined.
+        assert_eq!(vi.eq_truth(&Term::cons("a"), &Term::cons("b")), Truth::Unknown);
+        assert_eq!(vi.eq_truth(&Term::cons("a"), &Term::cons("c")), Truth::Unknown);
+        assert!(!vi.is_total());
+    }
+
+    #[test]
+    fn completion_disequation_makes_mem_total() {
+        // A miniature of the Section 2.2 membership completion:
+        //   val(k) = tt   for the "in" constants,
+        //   val(x) ≠ tt → val(x) = ff.
+        let mut sig = Signature::new();
+        sig.add_sort("bool").add_sort("d");
+        sig.add_op(OpDecl::constant("tt", "bool")).unwrap();
+        sig.add_op(OpDecl::constant("ff", "bool")).unwrap();
+        sig.add_op(OpDecl::constant("k1", "d")).unwrap();
+        sig.add_op(OpDecl::constant("k2", "d")).unwrap();
+        sig.add_op(OpDecl::new("val", ["d"], "bool")).unwrap();
+        let x = Term::var("x", "d");
+        let spec = Specification::new(
+            sig,
+            [
+                ConditionalEquation::plain(Term::op("val", [Term::cons("k1")]), Term::cons("tt")),
+                ConditionalEquation::when(
+                    [Condition::Neq(Term::op("val", [x.clone()]), Term::cons("tt"))],
+                    Term::op("val", [x.clone()]),
+                    Term::cons("ff"),
+                ),
+            ],
+        )
+        .unwrap();
+        let vi = ValidInterpretation::compute(&spec, 2, Budget::SMALL).unwrap();
+        assert_eq!(
+            vi.eq_truth(&Term::op("val", [Term::cons("k1")]), &Term::cons("tt")),
+            Truth::True
+        );
+        // k2 has no positive fact: the completion axiom fires.
+        assert_eq!(
+            vi.eq_truth(&Term::op("val", [Term::cons("k2")]), &Term::cons("ff")),
+            Truth::True
+        );
+        assert_eq!(
+            vi.eq_truth(&Term::op("val", [Term::cons("k2")]), &Term::cons("tt")),
+            Truth::False
+        );
+        assert!(vi.is_total());
+    }
+
+    #[test]
+    fn out_of_window_is_unknown() {
+        let spec = Specification::new(bool_sig(), []).unwrap();
+        let vi = ValidInterpretation::compute(&spec, 1, Budget::SMALL).unwrap();
+        let deep = Term::op("neg", [Term::op("neg", [Term::cons("tt")])]);
+        assert_eq!(vi.eq_truth(&deep, &Term::cons("tt")), Truth::Unknown);
+        // identical terms are equal regardless of the window
+        assert_eq!(vi.eq_truth(&deep, &deep), Truth::True);
+    }
+
+    #[test]
+    fn without_equations_terms_are_distinct_but_self_equal() {
+        let spec = Specification::new(bool_sig(), []).unwrap();
+        let vi = ValidInterpretation::compute(&spec, 2, Budget::SMALL).unwrap();
+        assert_eq!(vi.eq_truth(&Term::cons("tt"), &Term::cons("tt")), Truth::True);
+        assert_eq!(vi.eq_truth(&Term::cons("tt"), &Term::cons("ff")), Truth::False);
+        assert!(vi.is_total());
+        // depth 2: tt, ff, neg(tt), neg(ff) → 4 singleton classes
+        assert_eq!(vi.classes("bool").len(), 4);
+        assert_eq!(vi.universe()["bool"].len(), 4);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests for the specification layer: the decision
+//! procedure's structural invariants over random constants-only
+//! specifications, and parser round-trips.
+
+use algrec_adt::equation::{Condition, ConditionalEquation, Specification};
+use algrec_adt::initial::{initial_valid_model, is_model};
+use algrec_adt::parser::parse_spec;
+use algrec_adt::signature::{OpDecl, Signature};
+use algrec_adt::term::Term;
+use algrec_adt::valid_interp::ValidInterpretation;
+use algrec_value::{Budget, Truth};
+use proptest::prelude::*;
+
+const CONSTS: [&str; 4] = ["a", "b", "c", "d"];
+
+fn abc_sig() -> Signature {
+    let mut sig = Signature::new();
+    sig.add_sort("s");
+    for c in CONSTS {
+        sig.add_op(OpDecl::constant(c, "s")).unwrap();
+    }
+    sig
+}
+
+fn arb_const() -> impl Strategy<Value = Term> {
+    prop::sample::select(&CONSTS[..]).prop_map(Term::cons)
+}
+
+fn arb_equation() -> impl Strategy<Value = ConditionalEquation> {
+    let cond = prop_oneof![
+        (arb_const(), arb_const()).prop_map(|(l, r)| Condition::Eq(l, r)),
+        (arb_const(), arb_const()).prop_map(|(l, r)| Condition::Neq(l, r)),
+    ];
+    (
+        prop::collection::vec(cond, 0..2),
+        arb_const(),
+        arb_const(),
+    )
+        .prop_map(|(conds, l, r)| ConditionalEquation::when(conds, l, r))
+}
+
+fn arb_spec() -> impl Strategy<Value = Specification> {
+    prop::collection::vec(arb_equation(), 0..4)
+        .prop_map(|eqs| Specification::new(abc_sig(), eqs).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Structural invariants of the Prop 2.3(2) decision procedure:
+    /// every reported valid model is a model; the initial one (when it
+    /// exists) refines all valid models and is itself among them.
+    #[test]
+    fn decision_procedure_invariants(spec in arb_spec()) {
+        let analysis = initial_valid_model(&spec, Budget::LARGE).unwrap();
+        for p in &analysis.valid_models {
+            prop_assert!(is_model(&spec, p), "{spec}\nnot a model: {p}");
+        }
+        if let Some(initial) = &analysis.initial {
+            prop_assert!(analysis.valid_models.contains(initial));
+            for p in &analysis.valid_models {
+                prop_assert!(initial.refines(p), "{spec}\n{initial} !⊑ {p}");
+            }
+        }
+    }
+
+    /// The valid interpretation is sound for validity: certainly-true
+    /// equalities hold in every valid model, and certainly-false ones
+    /// hold in none... the latter in the *initial* model when it exists.
+    #[test]
+    fn valid_interpretation_sound(spec in arb_spec()) {
+        let vi = ValidInterpretation::compute(&spec, 1, Budget::LARGE).unwrap();
+        let analysis = initial_valid_model(&spec, Budget::LARGE).unwrap();
+        for (x, a) in CONSTS.iter().enumerate() {
+            for b in CONSTS.iter().skip(x + 1) {
+                let t = vi.eq_truth(&Term::cons(*a), &Term::cons(*b));
+                if t == Truth::True {
+                    for p in &analysis.valid_models {
+                        prop_assert!(p.same(a, b), "{spec}\n{a}={b} certain but absent in {p}");
+                    }
+                }
+                if t == Truth::False {
+                    if let Some(initial) = &analysis.initial {
+                        prop_assert!(
+                            !initial.same(a, b),
+                            "{spec}\n{a}≠{b} certain but identified in the initial model"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Specifications without negation always have an initial valid model
+    /// (the classical initial-algebra theorem, Section 2.1) — and the
+    /// valid interpretation is total.
+    #[test]
+    fn negation_free_specs_are_well_defined(
+        eqs in prop::collection::vec(
+            (arb_const(), arb_const())
+                .prop_map(|(l, r)| ConditionalEquation::plain(l, r)),
+            0..4,
+        )
+    ) {
+        let spec = Specification::new(abc_sig(), eqs).unwrap();
+        let vi = ValidInterpretation::compute(&spec, 1, Budget::LARGE).unwrap();
+        prop_assert!(vi.is_total());
+        let analysis = initial_valid_model(&spec, Budget::LARGE).unwrap();
+        prop_assert!(analysis.initial.is_some(), "{spec}");
+    }
+
+    /// Display → parse round-trips random constants-only specifications.
+    #[test]
+    fn spec_parser_round_trips(spec in arb_spec()) {
+        // Render in the parser's concrete syntax.
+        let mut src = String::from("sorts s;\n");
+        for c in CONSTS {
+            src.push_str(&format!("op {c} : -> s;\n"));
+        }
+        for eq in &spec.equations {
+            if eq.conditions.is_empty() {
+                src.push_str(&format!("eq {} = {};\n", eq.lhs, eq.rhs));
+            } else {
+                let conds: Vec<String> = eq
+                    .conditions
+                    .iter()
+                    .map(|c| c.to_string())
+                    .collect();
+                src.push_str(&format!(
+                    "ceq {} = {} if {};\n",
+                    eq.lhs,
+                    eq.rhs,
+                    conds.join(" /\\ ")
+                ));
+            }
+        }
+        let reparsed = parse_spec(&src).unwrap_or_else(|e| panic!("{src}\n{e}"));
+        prop_assert_eq!(spec, reparsed);
+    }
+}

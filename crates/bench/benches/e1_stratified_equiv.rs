@@ -1,0 +1,35 @@
+//! E1 — Theorem 4.3: stratified deduction vs positive IFP-algebra on the
+//! TC + complement workload. Both sides compute identical answers (the
+//! `tables` binary asserts it); this bench times them.
+
+use algrec_bench::workloads as w;
+use algrec_core::eval_exact;
+use algrec_datalog::{evaluate, Semantics};
+use algrec_value::Budget;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_stratified_equiv");
+    g.sample_size(10);
+    for n in [16i64, 32, 64] {
+        let db = w::with_nodes(
+            w::random_graph("edge", n, (2 * n) as usize, false, 11 + n as u64),
+            n,
+        );
+        let ded = w::unreach_datalog();
+        let alg = w::unreach_algebra();
+        g.bench_with_input(BenchmarkId::new("stratified_deduction", n), &n, |b, _| {
+            b.iter(|| {
+                evaluate(black_box(&ded), &db, Semantics::Stratified, Budget::LARGE).unwrap()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("positive_ifp_algebra", n), &n, |b, _| {
+            b.iter(|| eval_exact(black_box(&alg), &db, Budget::LARGE).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E2 — Proposition 5.1: IFP-algebra evaluation vs its naive deductive
+//! translation under the inflationary semantics.
+
+use algrec_bench::workloads as w;
+use algrec_core::eval_exact;
+use algrec_datalog::{evaluate, Semantics};
+use algrec_translate::{algebra_to_datalog, edb_arities, TranslationMode};
+use algrec_value::Budget;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_inflationary");
+    g.sample_size(10);
+    // The translated program re-materializes its product predicate per
+    // inflationary stage (see EXPERIMENTS.md, E2), so the sweep stays
+    // small — at n = 48 a single translated evaluation already takes
+    // ≈ 14 s.
+    for n in [8i64, 16, 24] {
+        let db = w::random_graph("edge", n, (2 * n) as usize, false, 23 + n as u64);
+        let alg = w::tc_algebra();
+        let tr = algebra_to_datalog(&alg, &edb_arities(&db), TranslationMode::Naive).unwrap();
+        g.bench_with_input(BenchmarkId::new("direct_ifp_algebra", n), &n, |b, _| {
+            b.iter(|| eval_exact(black_box(&alg), &db, Budget::LARGE).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("translated_inflationary", n), &n, |b, _| {
+            b.iter(|| {
+                evaluate(
+                    black_box(&tr.program),
+                    &db,
+                    Semantics::Inflationary,
+                    Budget::LARGE,
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

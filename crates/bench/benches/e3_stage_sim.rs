@@ -1,0 +1,35 @@
+//! E3 — Proposition 5.2: direct inflationary evaluation vs the
+//! stage-indexed simulation under the valid semantics. The simulation's
+//! super-constant overhead (every fact re-derived at every later stage)
+//! is the series of interest.
+
+use algrec_bench::workloads as w;
+use algrec_datalog::{evaluate, Semantics};
+use algrec_translate::inflationary_to_valid;
+use algrec_value::Budget;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_stage_sim");
+    g.sample_size(10);
+    for n in [8i64, 16, 24] {
+        let db = w::winmove_graph(n, 0.0, 5 + n as u64);
+        let p = w::win_datalog();
+        let staged = inflationary_to_valid(&p, n + 2);
+        g.bench_with_input(BenchmarkId::new("direct_inflationary", n), &n, |b, _| {
+            b.iter(|| {
+                evaluate(black_box(&p), &db, Semantics::Inflationary, Budget::LARGE).unwrap()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("stage_simulated_valid", n), &n, |b, _| {
+            b.iter(|| {
+                evaluate(black_box(&staged), &db, Semantics::Valid, Budget::LARGE).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

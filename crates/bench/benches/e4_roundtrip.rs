@@ -1,0 +1,33 @@
+//! E4 — Theorem 6.2: safe deduction under the valid semantics vs its
+//! Prop 6.1 algebra= translation under the algebra valid semantics.
+
+use algrec_bench::workloads as w;
+use algrec_core::eval_valid;
+use algrec_datalog::{evaluate, Semantics};
+use algrec_translate::{datalog_to_algebra, edb_arities};
+use algrec_value::Budget;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_roundtrip");
+    g.sample_size(10);
+    for n in [8i64, 16, 24] {
+        let db = w::winmove_graph(n, 0.3, 7);
+        let p = w::win_datalog();
+        let alg = datalog_to_algebra(&p, "win", &edb_arities(&db)).unwrap();
+        g.bench_with_input(BenchmarkId::new("deduction_valid", n), &n, |b, _| {
+            b.iter(|| evaluate(black_box(&p), &db, Semantics::Valid, Budget::LARGE).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("algebra_eq_valid", n), &n, |b, _| {
+            b.iter(|| eval_valid(black_box(&alg), &db, Budget::LARGE).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("translation_itself", n), &n, |b, _| {
+            b.iter(|| datalog_to_algebra(black_box(&p), "win", &edb_arities(&db)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! E5 — Proposition 3.4: recursion-as-valid-fixpoint vs the IFP operator
+//! on monotone bodies (they agree; the bench compares their cost).
+
+use algrec_bench::workloads as w;
+use algrec_core::{eval_exact, eval_valid};
+use algrec_value::Budget;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_monotone");
+    g.sample_size(10);
+    for n in [16i64, 32, 64] {
+        let db = w::random_graph("edge", n, (2 * n) as usize, false, 3 + n as u64);
+        let ifp = w::tc_algebra();
+        let rec = algrec_core::parser::parse_program(
+            "def tc = edge union map(select(tc * edge, x.1 = x.2), [x.0, x.3]); query tc;",
+        )
+        .unwrap();
+        g.bench_with_input(BenchmarkId::new("ifp_inflationary", n), &n, |b, _| {
+            b.iter(|| eval_exact(black_box(&ifp), &db, Budget::LARGE).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("recursive_valid", n), &n, |b, _| {
+            b.iter(|| eval_valid(black_box(&rec), &db, Budget::LARGE).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! E6 — the WIN/MOVE game across semantics and cycle fractions: the
+//! three-valued semantics' cost as undefinedness appears.
+
+use algrec_bench::workloads as w;
+use algrec_datalog::{evaluate, Semantics};
+use algrec_value::Budget;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_win_move");
+    g.sample_size(10);
+    let n = 24i64;
+    for frac in [0.0f64, 0.3, 1.0] {
+        let db = w::winmove_graph(n, frac, 17);
+        let p = w::win_datalog();
+        let tag = format!("{frac:.1}");
+        g.bench_with_input(BenchmarkId::new("valid", &tag), &frac, |b, _| {
+            b.iter(|| evaluate(black_box(&p), &db, Semantics::Valid, Budget::LARGE).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("well_founded", &tag), &frac, |b, _| {
+            b.iter(|| {
+                evaluate(black_box(&p), &db, Semantics::WellFounded, Budget::LARGE).unwrap()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("inflationary", &tag), &frac, |b, _| {
+            b.iter(|| {
+                evaluate(black_box(&p), &db, Semantics::Inflationary, Budget::LARGE).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

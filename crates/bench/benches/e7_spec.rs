@@ -1,0 +1,41 @@
+//! E7 — Section 2 machinery: valid interpretation of SET(nat) windows and
+//! the constants-only initial-valid-model decision procedure.
+
+use algrec_adt::specs;
+use algrec_adt::valid_interp::ValidInterpretation;
+use algrec_value::Budget;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_spec");
+    g.sample_size(10);
+    for depth in [1usize, 2, 3] {
+        let spec = specs::set_spec();
+        g.bench_with_input(
+            BenchmarkId::new("set_nat_valid_interp", depth),
+            &depth,
+            |b, &d| {
+                b.iter(|| {
+                    ValidInterpretation::compute(black_box(&spec), d, Budget::LARGE).unwrap()
+                })
+            },
+        );
+    }
+    let ex2 = specs::example2_spec();
+    g.bench_function("example2_initial_valid_model", |b| {
+        b.iter(|| algrec_adt::initial_valid_model(black_box(&ex2), Budget::LARGE).unwrap())
+    });
+    let even = specs::even_set_spec(2);
+    let universe = specs::even_set_universe(2);
+    g.bench_function("even_set_valid_interp", |b| {
+        b.iter(|| {
+            ValidInterpretation::compute_over(black_box(&even), universe.clone(), Budget::LARGE)
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! E8 — engine ablation: naive vs semi-naive least fixpoint on transitive
+//! closure over random graphs (the gap must grow with n).
+
+use algrec_bench::workloads as w;
+use algrec_datalog::engine::Compiled;
+use algrec_datalog::fixpoint::{naive, semi_naive};
+use algrec_datalog::interp::Interp;
+use algrec_value::Budget;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_ablation");
+    g.sample_size(10);
+    for n in [16i64, 32, 64] {
+        let db = w::random_graph("edge", n, (2 * n) as usize, false, 31 + n as u64);
+        let compiled = Compiled::compile(&w::tc_datalog()).unwrap();
+        let base = Interp::from_database(&db);
+        g.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| {
+                let mut meter = Budget::LARGE.meter();
+                naive(black_box(&compiled), &base, &|_, _| false, &mut meter).unwrap()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("semi_naive", n), &n, |b, _| {
+            b.iter(|| {
+                let mut meter = Budget::LARGE.meter();
+                semi_naive(black_box(&compiled), &base, &|_, _| false, &mut meter).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Experiment harness for the `algrec` reproduction of Beeri & Milo
+//! (SIGMOD 1993).
+//!
+//! The paper is a theory paper with no evaluation section; the experiment
+//! suite ([`experiments`], E1–E8) instruments and *verifies* its theorems
+//! on synthetic workloads ([`workloads`]). `cargo run -p algrec-bench
+//! --bin tables --release` prints every experiment table; the criterion
+//! benches under `benches/` time the hot paths.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod table;
+pub mod workloads;

@@ -1,0 +1,234 @@
+//! Program analyses: language classification, monotonicity, and the
+//! Proposition 3.4 equivalence check.
+
+use crate::eval::eval_exact;
+use crate::expr::AlgExpr;
+use crate::program::{AlgProgram, OpDef};
+use crate::valid_eval::eval_valid;
+use crate::CoreError;
+use algrec_value::{Budget, Database};
+
+/// The languages of Section 3, ordered by expressive power (Theorems 3.5,
+/// 4.3 and 6.2 relate them to deduction).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum LanguageClass {
+    /// No IFP, no recursion: the (non-recursive) algebra.
+    Algebra,
+    /// IFP with only positive fixpoint-variable occurrences; equivalent
+    /// to stratified deduction (Theorem 4.3).
+    PositiveIfpAlgebra,
+    /// Unrestricted IFP; translates to inflationary deduction (Prop 5.1).
+    IfpAlgebra,
+    /// Recursive definitions, no IFP: equivalent to general deduction
+    /// under the valid semantics (Theorem 6.2).
+    AlgebraEq,
+    /// Recursive definitions and IFP — no more expressive than
+    /// `algebra=` (Corollary 3.6).
+    IfpAlgebraEq,
+}
+
+impl LanguageClass {
+    /// Short display name matching the paper's notation.
+    pub fn name(self) -> &'static str {
+        match self {
+            LanguageClass::Algebra => "algebra",
+            LanguageClass::PositiveIfpAlgebra => "positive IFP-algebra",
+            LanguageClass::IfpAlgebra => "IFP-algebra",
+            LanguageClass::AlgebraEq => "algebra=",
+            LanguageClass::IfpAlgebraEq => "IFP-algebra=",
+        }
+    }
+}
+
+/// Classify a program into the smallest language of the family that
+/// contains it.
+pub fn classify(program: &AlgProgram) -> LanguageClass {
+    let recursive = !program.is_nonrecursive();
+    let ifp = program.uses_ifp();
+    match (recursive, ifp) {
+        (true, true) => LanguageClass::IfpAlgebraEq,
+        (true, false) => LanguageClass::AlgebraEq,
+        (false, true) => {
+            let positive = program.defs.iter().all(|d| d.body.is_positive_ifp())
+                && program.query.is_positive_ifp();
+            if positive {
+                LanguageClass::PositiveIfpAlgebra
+            } else {
+                LanguageClass::IfpAlgebra
+            }
+        }
+        (false, false) => LanguageClass::Algebra,
+    }
+}
+
+/// Conservative monotonicity (Definition 3.3): an expression is certainly
+/// monotone in `name` if `name` never occurs negatively (the Section 4
+/// argument for positive expressions). The property itself is semantic
+/// and undecidable; this syntactic check is sound but incomplete.
+pub fn is_syntactically_monotone(expr: &AlgExpr, name: &str) -> bool {
+    !expr.occurs_negatively(name)
+}
+
+/// Outcome of the Proposition 3.4 comparison between the recursive
+/// equation `S = exp(S)` (valid semantics) and `IFP_exp` (inflationary).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Prop34Outcome {
+    /// Was the body syntactically monotone in the fixpoint variable?
+    pub monotone: bool,
+    /// Did the two semantics produce the same two-valued set?
+    pub agree: bool,
+    /// Was the recursive version well-defined (two-valued)?
+    pub recursive_well_defined: bool,
+}
+
+/// Check Proposition 3.4 on a concrete body and database: "if exp is
+/// monotone, then MEM(a, S) = T iff MEM(a, IFP_exp) = T (and same for
+/// F)". For non-monotone bodies the proposition's conclusion may fail —
+/// `{a} − x` is the paper's witness — and this function reports how.
+pub fn prop34_check(
+    var: &str,
+    body: &AlgExpr,
+    db: &Database,
+    budget: Budget,
+) -> Result<Prop34Outcome, CoreError> {
+    let monotone = is_syntactically_monotone(body, var);
+
+    // IFP_exp, inflationary.
+    let ifp = AlgProgram::query(AlgExpr::Ifp {
+        var: var.to_string(),
+        body: Box::new(body.clone()),
+    });
+    let ifp_result = eval_exact(&ifp, db, budget)?;
+
+    // S = exp(S), valid semantics.
+    let mut renamer = std::collections::BTreeMap::new();
+    renamer.insert(var.to_string(), AlgExpr::name("s$"));
+    let rec = AlgProgram::new(
+        [OpDef::constant("s$", body.substitute(&renamer))],
+        AlgExpr::name("s$"),
+    )?;
+    let rec_result = eval_valid(&rec, db, budget)?;
+
+    let recursive_well_defined = rec_result.is_well_defined();
+    let agree = recursive_well_defined
+        && rec_result.query.to_exact().as_ref() == Some(&ifp_result);
+    Ok(Prop34Outcome {
+        monotone,
+        agree,
+        recursive_well_defined,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{CmpOp, FuncExpr, FuncOp};
+    use algrec_value::{Relation, Value};
+
+    fn i(n: i64) -> Value {
+        Value::int(n)
+    }
+
+    fn tc_body() -> AlgExpr {
+        AlgExpr::union(
+            AlgExpr::name("edge"),
+            AlgExpr::map(
+                AlgExpr::select(
+                    AlgExpr::product(AlgExpr::name("x"), AlgExpr::name("edge")),
+                    FuncExpr::Cmp(
+                        CmpOp::Eq,
+                        Box::new(FuncExpr::proj(1)),
+                        Box::new(FuncExpr::proj(2)),
+                    ),
+                ),
+                FuncExpr::Tuple(vec![FuncExpr::proj(0), FuncExpr::proj(3)]),
+            ),
+        )
+    }
+
+    #[test]
+    fn classification() {
+        let plain = AlgProgram::query(AlgExpr::name("r"));
+        assert_eq!(classify(&plain), LanguageClass::Algebra);
+
+        let pos_ifp = AlgProgram::query(AlgExpr::ifp("x", tc_body()));
+        assert_eq!(classify(&pos_ifp), LanguageClass::PositiveIfpAlgebra);
+
+        let neg_ifp = AlgProgram::query(AlgExpr::ifp(
+            "x",
+            AlgExpr::diff(AlgExpr::lit([i(1)]), AlgExpr::name("x")),
+        ));
+        assert_eq!(classify(&neg_ifp), LanguageClass::IfpAlgebra);
+
+        let rec = AlgProgram::new(
+            [OpDef::constant("s", AlgExpr::name("s"))],
+            AlgExpr::name("s"),
+        )
+        .unwrap();
+        assert_eq!(classify(&rec), LanguageClass::AlgebraEq);
+
+        let rec_ifp = AlgProgram::new(
+            [OpDef::constant("s", AlgExpr::name("s"))],
+            AlgExpr::ifp("x", AlgExpr::name("x")),
+        )
+        .unwrap();
+        assert_eq!(classify(&rec_ifp), LanguageClass::IfpAlgebraEq);
+        assert_eq!(classify(&rec_ifp).name(), "IFP-algebra=");
+        assert!(LanguageClass::Algebra < LanguageClass::AlgebraEq);
+    }
+
+    #[test]
+    fn monotonicity_syntactic() {
+        assert!(is_syntactically_monotone(&tc_body(), "x"));
+        let neg = AlgExpr::diff(AlgExpr::lit([i(1)]), AlgExpr::name("x"));
+        assert!(!is_syntactically_monotone(&neg, "x"));
+        // x - edge is monotone in x (x occurs positively only)
+        let pos_diff = AlgExpr::diff(AlgExpr::name("x"), AlgExpr::name("edge"));
+        assert!(is_syntactically_monotone(&pos_diff, "x"));
+    }
+
+    #[test]
+    fn prop34_monotone_body_agrees() {
+        let db = Database::new().with(
+            "edge",
+            Relation::from_pairs([(i(1), i(2)), (i(2), i(3)), (i(3), i(1))]),
+        );
+        let out = prop34_check("x", &tc_body(), &db, Budget::SMALL).unwrap();
+        assert!(out.monotone);
+        assert!(out.recursive_well_defined);
+        assert!(out.agree);
+    }
+
+    #[test]
+    fn prop34_nonmonotone_body_diverges() {
+        // exp = {a} − x: "IFP_{a}−x = {a} while for S = {a} − S the
+        // membership status of a is undefined" (Section 3.2).
+        let body = AlgExpr::diff(AlgExpr::lit([Value::str("a")]), AlgExpr::name("x"));
+        let out = prop34_check("x", &body, &Database::new(), Budget::SMALL).unwrap();
+        assert!(!out.monotone);
+        assert!(!out.recursive_well_defined);
+        assert!(!out.agree);
+    }
+
+    #[test]
+    fn prop34_even_set() {
+        // Example 3's Sᵉ body is monotone: S = {0} ∪ MAP₊₂(σ_{<8}(S)).
+        let body = AlgExpr::union(
+            AlgExpr::lit([i(0)]),
+            AlgExpr::map(
+                AlgExpr::select(
+                    AlgExpr::name("x"),
+                    FuncExpr::Cmp(
+                        CmpOp::Lt,
+                        Box::new(FuncExpr::Elem),
+                        Box::new(FuncExpr::Lit(i(8))),
+                    ),
+                ),
+                FuncExpr::App(FuncOp::Add, vec![FuncExpr::Elem, FuncExpr::Lit(i(2))]),
+            ),
+        );
+        let out = prop34_check("x", &body, &Database::new(), Budget::SMALL).unwrap();
+        assert!(out.monotone);
+        assert!(out.agree);
+    }
+}

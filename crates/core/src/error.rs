@@ -1,0 +1,68 @@
+//! Errors of the algebra engines.
+
+use algrec_value::BudgetError;
+use std::fmt;
+
+/// Any failure of algebra-program validation or evaluation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CoreError {
+    /// A resource budget was exhausted (fixed points may generate infinite
+    /// sets — Section 3.1; the budget is the finite window).
+    Budget(BudgetError),
+    /// A dynamic type error in a selection test or restructuring function.
+    Type(String),
+    /// The program violates the Section 3.2 restrictions (duplicate
+    /// equations, arity mismatches, …).
+    Invalid(String),
+    /// The program is outside the supported fragment, with a hint on how
+    /// to express it (e.g. recursive operations with parameters must be
+    /// instantiated — the paper's genericity-as-macro reading).
+    Unsupported(String),
+    /// A name is neither a database relation nor a defined operation.
+    UnknownName(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Budget(b) => write!(f, "budget: {b}"),
+            CoreError::Type(m) => write!(f, "type error: {m}"),
+            CoreError::Invalid(m) => write!(f, "invalid program: {m}"),
+            CoreError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            CoreError::UnknownName(n) => write!(f, "unknown relation or operation `{n}`"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<BudgetError> for CoreError {
+    fn from(b: BudgetError) -> Self {
+        CoreError::Budget(b)
+    }
+}
+
+impl From<crate::expr::TypeError> for CoreError {
+    fn from(t: crate::expr::TypeError) -> Self {
+        CoreError::Type(t.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(CoreError::Type("t".into()).to_string().contains("type"));
+        assert!(CoreError::Invalid("i".into()).to_string().contains("invalid"));
+        assert!(CoreError::Unsupported("u".into())
+            .to_string()
+            .contains("unsupported"));
+        assert!(CoreError::UnknownName("r".into()).to_string().contains("`r`"));
+        let b: CoreError = BudgetError::Facts(2).into();
+        assert!(b.to_string().contains("budget"));
+        let t: CoreError = crate::expr::TypeError("oops".into()).into();
+        assert_eq!(t, CoreError::Type("oops".into()));
+    }
+}

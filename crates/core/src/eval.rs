@@ -1,0 +1,611 @@
+//! The polarity-aware evaluator.
+//!
+//! One evaluator serves every language in the family. It computes the
+//! exact (two-valued) value of an expression given *two* environments for
+//! the recursively-defined constants: `pos`, read at positive occurrences,
+//! and `neg`, read at negative occurrences (inside an odd number of
+//! difference right-sides). The uses:
+//!
+//! * **plain algebra / IFP-algebra** (no recursion): `pos = neg` (empty) —
+//!   polarity is irrelevant and the evaluator is simply the textbook one,
+//!   with `IFP` evaluated inflationarily;
+//! * **algebra= / IFP-algebra= under the valid semantics**: the
+//!   alternating fixpoint of [`crate::valid_eval`] calls the evaluator
+//!   with `(pos, neg)` set to the current (certain, possible) bounds —
+//!   "only facts not in T are allowed to be used negatively"
+//!   (Section 2.2) becomes *negative occurrences read the other bound*.
+
+use crate::expr::{AlgExpr, FuncExpr};
+use crate::program::AlgProgram;
+use crate::CoreError;
+use algrec_value::budget::Meter;
+use algrec_value::{Budget, Database, Value};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// An assignment of sets to names.
+pub type SetEnv = BTreeMap<String, BTreeSet<Value>>;
+
+/// Concatenate two values as tuples (the relational product convention:
+/// non-tuples act as 1-tuples).
+pub fn tuple_concat(a: &Value, b: &Value) -> Value {
+    let mut items: Vec<Value> = match a {
+        Value::Tuple(t) => t.clone(),
+        other => vec![other.clone()],
+    };
+    match b {
+        Value::Tuple(t) => items.extend(t.iter().cloned()),
+        other => items.push(other.clone()),
+    }
+    Value::Tuple(items)
+}
+
+/// Evaluate `expr` with positive occurrences of constants read from `pos`
+/// and negative occurrences from `neg`. IFP variables (bound locally) and
+/// database relations are polarity-independent. `positive` is the current
+/// polarity (`true` at the root).
+#[allow(clippy::too_many_arguments)]
+pub fn eval_polar(
+    expr: &AlgExpr,
+    pos: &SetEnv,
+    neg: &SetEnv,
+    locals: &mut Vec<(String, BTreeSet<Value>)>,
+    db: &Database,
+    meter: &mut Meter,
+    positive: bool,
+) -> Result<BTreeSet<Value>, CoreError> {
+    match expr {
+        AlgExpr::Name(n) => {
+            // Resolution order: IFP-bound locals, then the constant
+            // environments, then database relations.
+            if let Some((_, set)) = locals.iter().rev().find(|(name, _)| name == n) {
+                return Ok(set.clone());
+            }
+            let env = if positive { pos } else { neg };
+            if let Some(set) = env.get(n) {
+                return Ok(set.clone());
+            }
+            if let Some(rel) = db.get(n) {
+                return Ok(rel.as_set().clone());
+            }
+            Err(CoreError::UnknownName(n.clone()))
+        }
+        AlgExpr::Lit(items) => Ok(items.clone()),
+        AlgExpr::Union(a, b) => {
+            let mut l = eval_polar(a, pos, neg, locals, db, meter, positive)?;
+            let r = eval_polar(b, pos, neg, locals, db, meter, positive)?;
+            l.extend(r);
+            Ok(l)
+        }
+        AlgExpr::Diff(a, b) => {
+            let l = eval_polar(a, pos, neg, locals, db, meter, positive)?;
+            // Polarity flips on the subtrahend.
+            let r = eval_polar(b, pos, neg, locals, db, meter, !positive)?;
+            Ok(l.difference(&r).cloned().collect())
+        }
+        AlgExpr::Product(a, b) => {
+            let l = eval_polar(a, pos, neg, locals, db, meter, positive)?;
+            let r = eval_polar(b, pos, neg, locals, db, meter, positive)?;
+            let mut out = BTreeSet::new();
+            for x in &l {
+                for y in &r {
+                    let v = tuple_concat(x, y);
+                    meter.check_value_size(v.size())?;
+                    if out.insert(v) {
+                        meter.add_facts(1)?;
+                    }
+                }
+            }
+            Ok(out)
+        }
+        AlgExpr::Select(a, test) => {
+            // Join recognition: σ_{x.i = x.j}(A × B) is evaluated as an
+            // indexed equi-join instead of materializing the product.
+            // This is pure evaluation strategy — the semantics is
+            // unchanged — but it is the difference between the algebra
+            // being a usable query language and a formal device (the
+            // paper's operators are exactly ∪ − × σ MAP, so every join is
+            // spelled this way).
+            if let (AlgExpr::Product(pa, pb), FuncExpr::Cmp(crate::expr::CmpOp::Eq, cl, cr)) =
+                (&**a, test)
+            {
+                if let (FuncExpr::Proj(el, i), FuncExpr::Proj(er, j)) = (&**cl, &**cr) {
+                    if **el == FuncExpr::Elem && **er == FuncExpr::Elem {
+                        let l = eval_polar(pa, pos, neg, locals, db, meter, positive)?;
+                        let r = eval_polar(pb, pos, neg, locals, db, meter, positive)?;
+                        return equi_join(&l, &r, *i.min(j), *i.max(j), meter);
+                    }
+                }
+            }
+            let l = eval_polar(a, pos, neg, locals, db, meter, positive)?;
+            let mut out = BTreeSet::new();
+            for x in l {
+                if test.test(&x)? {
+                    out.insert(x);
+                }
+            }
+            Ok(out)
+        }
+        AlgExpr::Map(a, f) => {
+            let l = eval_polar(a, pos, neg, locals, db, meter, positive)?;
+            let mut out = BTreeSet::new();
+            for x in &l {
+                let v = f.eval(x)?;
+                meter.check_value_size(v.size())?;
+                if out.insert(v) {
+                    meter.add_facts(1)?;
+                }
+            }
+            Ok(out)
+        }
+        AlgExpr::Ifp { var, body } => {
+            // Inflationary fixed point: "starting with the empty set, at
+            // each step exp is applied on the result obtained in the
+            // previous step, and the result is accumulated" (Section 3.1).
+            // The fixpoint variable reads the accumulation in *both*
+            // polarities — that is precisely the inflationary reading of
+            // subtraction ("was not derived so far", Section 5).
+            let mut acc: BTreeSet<Value> = BTreeSet::new();
+            loop {
+                meter.tick_iteration()?;
+                locals.push((var.clone(), acc.clone()));
+                let step = eval_polar(body, pos, neg, locals, db, meter, positive);
+                locals.pop();
+                let step = step?;
+                let before = acc.len();
+                acc.extend(step);
+                meter.add_facts(acc.len() - before)?;
+                if acc.len() == before {
+                    return Ok(acc);
+                }
+            }
+        }
+        AlgExpr::Apply(name, _) => Err(CoreError::Invalid(format!(
+            "application of `{name}` survived inlining; evaluate via AlgProgram APIs"
+        ))),
+    }
+}
+
+/// Width of a value under the product convention (tuples spread,
+/// non-tuples are 1-wide).
+fn concat_width(v: &Value) -> usize {
+    match v {
+        Value::Tuple(t) => t.len(),
+        _ => 1,
+    }
+}
+
+/// Column `i` of a value under the product convention.
+fn concat_col(v: &Value, i: usize) -> Option<&Value> {
+    match v {
+        Value::Tuple(t) => t.get(i),
+        other if i == 0 => Some(other),
+        _ => None,
+    }
+}
+
+/// `σ_{x.i = x.j}(L × R)` with `i < j`, as an indexed equi-join. The
+/// columns of a concatenated tuple split between the left element (its
+/// width `w`) and the right element; widths may vary per element, so the
+/// right side is indexed lazily per offset.
+fn equi_join(
+    l: &BTreeSet<Value>,
+    r: &BTreeSet<Value>,
+    i: usize,
+    j: usize,
+    meter: &mut Meter,
+) -> Result<BTreeSet<Value>, CoreError> {
+    use std::collections::BTreeMap;
+    let mut out = BTreeSet::new();
+    // Lazily built indexes of R by column `off`.
+    let mut indexes: BTreeMap<usize, BTreeMap<&Value, Vec<&Value>>> = BTreeMap::new();
+    for x in l {
+        let w = concat_width(x);
+        if j < w {
+            // Both columns inside the left element: a plain filter.
+            if concat_col(x, i) == concat_col(x, j) {
+                for y in r {
+                    let v = tuple_concat(x, y);
+                    meter.check_value_size(v.size())?;
+                    if out.insert(v) {
+                        meter.add_facts(1)?;
+                    }
+                }
+            }
+            continue;
+        }
+        if i >= w {
+            // Both columns inside the right element: filter R per x.
+            for y in r {
+                let (a, b) = (concat_col(y, i - w), concat_col(y, j - w));
+                if a.is_none() || b.is_none() {
+                    // The σ test would project out of range — the same
+                    // dynamic type error the unoptimized path raises.
+                    return Err(CoreError::Type(format!(
+                        "projection .{i}/.{j} out of bounds in join over {y}"
+                    )));
+                }
+                if a == b {
+                    let v = tuple_concat(x, y);
+                    meter.check_value_size(v.size())?;
+                    if out.insert(v) {
+                        meter.add_facts(1)?;
+                    }
+                }
+            }
+            continue;
+        }
+        // The straddling case — the actual join.
+        let key = concat_col(x, i).expect("i < w");
+        let off = j - w;
+        // `entry().or_insert_with` cannot propagate the ragged-width error
+        // from inside the closure, hence the two-step check.
+        #[allow(clippy::map_entry)]
+        if !indexes.contains_key(&off) {
+            let mut idx: BTreeMap<&Value, Vec<&Value>> = BTreeMap::new();
+            for y in r {
+                match concat_col(y, off) {
+                    Some(k) => idx.entry(k).or_default().push(y),
+                    None => {
+                        return Err(CoreError::Type(format!(
+                            "projection .{j} out of bounds in join over {y}"
+                        )))
+                    }
+                }
+            }
+            indexes.insert(off, idx);
+        }
+        let index = indexes.get(&off).expect("just inserted");
+        if let Some(matches) = index.get(key) {
+            for y in matches {
+                let v = tuple_concat(x, y);
+                meter.check_value_size(v.size())?;
+                if out.insert(v) {
+                    meter.add_facts(1)?;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Evaluate a non-recursive program (plain `algebra` or `IFP-algebra`)
+/// exactly. Recursion is rejected — use [`crate::valid_eval::eval_valid`],
+/// which computes the valid semantics that recursion requires
+/// (Section 3.2: recursive equations may have no initial valid model, so
+/// their evaluation must be three-valued).
+pub fn eval_exact(
+    program: &AlgProgram,
+    db: &Database,
+    budget: Budget,
+) -> Result<BTreeSet<Value>, CoreError> {
+    let inlined = program.inline()?;
+    if !inlined.defs.is_empty() {
+        return Err(CoreError::Unsupported(format!(
+            "program defines recursive constants ({}); exact evaluation is only for the \
+             non-recursive algebra / IFP-algebra — use eval_valid for algebra=",
+            inlined
+                .defs
+                .iter()
+                .map(|d| d.name.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )));
+    }
+    let empty = SetEnv::new();
+    let mut meter = budget.meter();
+    eval_polar(
+        &inlined.query,
+        &empty,
+        &empty,
+        &mut Vec::new(),
+        db,
+        &mut meter,
+        true,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{CmpOp, FuncExpr, FuncOp};
+    use crate::program::OpDef;
+    use algrec_value::Relation;
+
+    fn i(n: i64) -> Value {
+        Value::int(n)
+    }
+
+    fn db_edges(pairs: &[(i64, i64)]) -> Database {
+        Database::new().with(
+            "edge",
+            Relation::from_pairs(pairs.iter().map(|(a, b)| (i(*a), i(*b)))),
+        )
+    }
+
+    fn eval(e: AlgExpr, db: &Database) -> BTreeSet<Value> {
+        eval_exact(&AlgProgram::query(e), db, Budget::SMALL).unwrap()
+    }
+
+    #[test]
+    fn set_operations() {
+        let db = Database::new()
+            .with("r", Relation::from_values([i(1), i(2)]))
+            .with("s", Relation::from_values([i(2), i(3)]));
+        let union = eval(AlgExpr::union(AlgExpr::name("r"), AlgExpr::name("s")), &db);
+        assert_eq!(union.len(), 3);
+        let diff = eval(AlgExpr::diff(AlgExpr::name("r"), AlgExpr::name("s")), &db);
+        assert_eq!(diff, [i(1)].into_iter().collect());
+        let prod = eval(AlgExpr::product(AlgExpr::name("r"), AlgExpr::name("s")), &db);
+        assert_eq!(prod.len(), 4);
+        assert!(prod.contains(&Value::pair(i(1), i(2))));
+    }
+
+    #[test]
+    fn select_and_map() {
+        let db = Database::new().with("n", Relation::from_values((0..6).map(i)));
+        let evens = eval(
+            AlgExpr::select(
+                AlgExpr::name("n"),
+                FuncExpr::Cmp(
+                    CmpOp::Eq,
+                    Box::new(FuncExpr::App(
+                        FuncOp::Mul,
+                        vec![FuncExpr::Lit(i(0)), FuncExpr::Elem],
+                    )),
+                    Box::new(FuncExpr::Lit(i(0))),
+                ),
+            ),
+            &db,
+        );
+        assert_eq!(evens.len(), 6); // 0*x = 0 always — selects everything
+        let doubled = eval(
+            AlgExpr::map(
+                AlgExpr::name("n"),
+                FuncExpr::App(FuncOp::Mul, vec![FuncExpr::Elem, FuncExpr::Lit(i(2))]),
+            ),
+            &db,
+        );
+        assert_eq!(doubled, (0..6).map(|k| i(2 * k)).collect());
+    }
+
+    #[test]
+    fn ifp_transitive_closure() {
+        // TC = IFP_{x. edge ∪ π₀₃(σ₁₌₂(x × edge))}
+        let join = AlgExpr::map(
+            AlgExpr::select(
+                AlgExpr::product(AlgExpr::name("x"), AlgExpr::name("edge")),
+                FuncExpr::Cmp(
+                    CmpOp::Eq,
+                    Box::new(FuncExpr::proj(1)),
+                    Box::new(FuncExpr::proj(2)),
+                ),
+            ),
+            FuncExpr::Tuple(vec![FuncExpr::proj(0), FuncExpr::proj(3)]),
+        );
+        let tc = AlgExpr::ifp("x", AlgExpr::union(AlgExpr::name("edge"), join));
+        let out = eval(tc, &db_edges(&[(1, 2), (2, 3), (3, 4)]));
+        assert_eq!(out.len(), 6);
+        assert!(out.contains(&Value::pair(i(1), i(4))));
+    }
+
+    #[test]
+    fn ifp_non_positive_is_inflationary() {
+        // IFP_{x. {a} − x}: the Section 4 Example 4 expression. Result {a}.
+        let e = AlgExpr::ifp(
+            "x",
+            AlgExpr::diff(AlgExpr::lit([Value::str("a")]), AlgExpr::name("x")),
+        );
+        let out = eval(e, &Database::new());
+        assert_eq!(out, [Value::str("a")].into_iter().collect());
+    }
+
+    #[test]
+    fn nonrecursive_defs_inline_and_evaluate() {
+        let inter = OpDef::new(
+            "inter",
+            ["x", "y"],
+            AlgExpr::diff(
+                AlgExpr::name("x"),
+                AlgExpr::diff(AlgExpr::name("x"), AlgExpr::name("y")),
+            ),
+        );
+        let p = AlgProgram::new(
+            [inter],
+            AlgExpr::Apply(
+                "inter".into(),
+                vec![AlgExpr::name("r"), AlgExpr::name("s")],
+            ),
+        )
+        .unwrap();
+        let db = Database::new()
+            .with("r", Relation::from_values([i(1), i(2), i(3)]))
+            .with("s", Relation::from_values([i(2), i(3), i(4)]));
+        let out = eval_exact(&p, &db, Budget::SMALL).unwrap();
+        assert_eq!(out, [i(2), i(3)].into_iter().collect());
+    }
+
+    #[test]
+    fn recursion_rejected_by_exact_eval() {
+        let p = AlgProgram::new(
+            [OpDef::constant(
+                "s",
+                AlgExpr::diff(AlgExpr::lit([Value::str("a")]), AlgExpr::name("s")),
+            )],
+            AlgExpr::name("s"),
+        )
+        .unwrap();
+        assert!(matches!(
+            eval_exact(&p, &Database::new(), Budget::SMALL),
+            Err(CoreError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_name_reported() {
+        let err = eval_exact(
+            &AlgProgram::query(AlgExpr::name("nope")),
+            &Database::new(),
+            Budget::SMALL,
+        )
+        .unwrap_err();
+        assert_eq!(err, CoreError::UnknownName("nope".into()));
+    }
+
+    #[test]
+    fn runaway_ifp_hits_budget() {
+        // IFP_{x. {0} ∪ MAP₊₂(x)} generates the even numbers — infinite;
+        // the budget must stop it (Section 3.1).
+        let e = AlgExpr::ifp(
+            "x",
+            AlgExpr::union(
+                AlgExpr::lit([i(0)]),
+                AlgExpr::map(
+                    AlgExpr::name("x"),
+                    FuncExpr::App(FuncOp::Add, vec![FuncExpr::Elem, FuncExpr::Lit(i(2))]),
+                ),
+            ),
+        );
+        let err = eval_exact(
+            &AlgProgram::query(e),
+            &Database::new(),
+            Budget::new(50, 1_000_000, 64),
+        );
+        assert!(matches!(err, Err(CoreError::Budget(_))));
+    }
+
+    #[test]
+    fn bounded_even_window_succeeds() {
+        // The same even-number generator, windowed by a selection.
+        let e = AlgExpr::ifp(
+            "x",
+            AlgExpr::union(
+                AlgExpr::lit([i(0)]),
+                AlgExpr::map(
+                    AlgExpr::select(
+                        AlgExpr::name("x"),
+                        FuncExpr::Cmp(
+                            CmpOp::Lt,
+                            Box::new(FuncExpr::Elem),
+                            Box::new(FuncExpr::Lit(i(10))),
+                        ),
+                    ),
+                    FuncExpr::App(FuncOp::Add, vec![FuncExpr::Elem, FuncExpr::Lit(i(2))]),
+                ),
+            ),
+        );
+        let out = eval(e, &Database::new());
+        assert_eq!(out, (0..=5).map(|k| i(2 * k)).collect());
+    }
+
+    #[test]
+    fn join_recognition_matches_fallback() {
+        // σ_{x.1 = x.2}(r × s) via the join path equals element-wise
+        // filtering of the materialized product.
+        let db = Database::new()
+            .with(
+                "r",
+                Relation::from_pairs([(i(1), i(2)), (i(3), i(4)), (i(5), i(2))]),
+            )
+            .with(
+                "s",
+                Relation::from_pairs([(i(2), i(9)), (i(4), i(8)), (i(7), i(7))]),
+            );
+        let joined = eval(
+            AlgExpr::select(
+                AlgExpr::product(AlgExpr::name("r"), AlgExpr::name("s")),
+                FuncExpr::Cmp(
+                    CmpOp::Eq,
+                    Box::new(FuncExpr::proj(1)),
+                    Box::new(FuncExpr::proj(2)),
+                ),
+            ),
+            &db,
+        );
+        // manual expectation
+        let mut expect = BTreeSet::new();
+        for rv in db.get("r").unwrap().iter() {
+            for sv in db.get("s").unwrap().iter() {
+                let c = tuple_concat(rv, sv);
+                let t = c.as_tuple().unwrap();
+                if t[1] == t[2] {
+                    expect.insert(c);
+                }
+            }
+        }
+        assert_eq!(joined, expect);
+        assert_eq!(joined.len(), 3);
+    }
+
+    #[test]
+    fn join_recognition_left_only_and_right_only_columns() {
+        let db = Database::new()
+            .with("r", Relation::from_pairs([(i(1), i(1)), (i(1), i(2))]))
+            .with("s", Relation::from_pairs([(i(5), i(5)), (i(5), i(6))]));
+        // both columns on the left: σ_{x.0 = x.1}
+        let left = eval(
+            AlgExpr::select(
+                AlgExpr::product(AlgExpr::name("r"), AlgExpr::name("s")),
+                FuncExpr::Cmp(
+                    CmpOp::Eq,
+                    Box::new(FuncExpr::proj(0)),
+                    Box::new(FuncExpr::proj(1)),
+                ),
+            ),
+            &db,
+        );
+        assert_eq!(left.len(), 2); // (1,1) × both s rows
+        // both columns on the right: σ_{x.2 = x.3}
+        let right = eval(
+            AlgExpr::select(
+                AlgExpr::product(AlgExpr::name("r"), AlgExpr::name("s")),
+                FuncExpr::Cmp(
+                    CmpOp::Eq,
+                    Box::new(FuncExpr::proj(2)),
+                    Box::new(FuncExpr::proj(3)),
+                ),
+            ),
+            &db,
+        );
+        assert_eq!(right.len(), 2); // both r rows × (5,5)
+    }
+
+    #[test]
+    fn join_out_of_range_is_a_type_error_like_fallback() {
+        let db = Database::new()
+            .with("r", Relation::from_values([i(1)]))
+            .with("s", Relation::from_values([i(2)]));
+        let q = AlgProgram::query(AlgExpr::select(
+            AlgExpr::product(AlgExpr::name("r"), AlgExpr::name("s")),
+            FuncExpr::Cmp(
+                CmpOp::Eq,
+                Box::new(FuncExpr::proj(1)),
+                Box::new(FuncExpr::proj(5)),
+            ),
+        ));
+        assert!(matches!(
+            eval_exact(&q, &db, Budget::SMALL),
+            Err(CoreError::Type(_))
+        ));
+    }
+
+    #[test]
+    fn tuple_concat_flattens() {
+        assert_eq!(
+            tuple_concat(&Value::pair(i(1), i(2)), &i(3)),
+            Value::tuple([i(1), i(2), i(3)])
+        );
+        assert_eq!(
+            tuple_concat(&i(1), &Value::pair(i(2), i(3))),
+            Value::tuple([i(1), i(2), i(3)])
+        );
+    }
+
+    #[test]
+    fn shadowing_ifp_vars() {
+        // ifp(x, {1} ∪ ifp(x, x ∪ {2})) — inner binder shadows outer.
+        let inner = AlgExpr::ifp("x", AlgExpr::union(AlgExpr::name("x"), AlgExpr::lit([i(2)])));
+        let outer = AlgExpr::ifp("x", AlgExpr::union(AlgExpr::lit([i(1)]), inner));
+        let out = eval(outer, &Database::new());
+        assert_eq!(out, [i(1), i(2)].into_iter().collect());
+    }
+}

@@ -1,0 +1,342 @@
+//! Algebraic simplification.
+//!
+//! The machine-generated expressions of the Proposition 6.1 translation
+//! (and of definition inlining) are deeply nested: seeds like `{[]}`,
+//! chained selections, and stacked MAPs. This module applies the classical
+//! sound rewrites:
+//!
+//! | rewrite | soundness note |
+//! |---|---|
+//! | `e ∪ ∅ → e`, `∅ ∪ e → e`, `e ∪ e → e` | union is idempotent pointwise, also three-valued |
+//! | `e − ∅ → e`, `∅ − e → ∅` | |
+//! | `∅ × e → ∅`, `e × ∅ → ∅` | |
+//! | `σ_true(e) → e`, `σ_false(e) → ∅` | |
+//! | `σ_t2(σ_t1(e)) → σ_{t1 ∧ t2}(e)` | one pass over the set |
+//! | `MAP_x(e) → e` | identity restructuring |
+//! | `MAP_g(MAP_f(e)) → MAP_{g∘f}(e)` | [`FuncExpr::compose`] |
+//! | `MAP_f({v…})`, `σ_t({v…})` → constant fold | only when every application succeeds |
+//!
+//! Deliberately **absent**: `e − e → ∅`. Under the three-valued valid
+//! semantics a set with unknown members satisfies `(e − e)` = "unknown on
+//! the unknowns" (lower = `lower − upper`, upper = `upper − lower`), so
+//! the rewrite is unsound for expressions mentioning recursive constants.
+//!
+//! The rewrites preserve the three-valued semantics of
+//! [`crate::valid_eval`] (checked by property tests in `tests/`).
+
+use crate::expr::{AlgExpr, FuncExpr};
+use std::collections::BTreeSet;
+
+impl FuncExpr {
+    /// `self ∘ f`: replace the element `x` inside `self` by `f`.
+    pub fn compose(&self, f: &FuncExpr) -> FuncExpr {
+        match self {
+            FuncExpr::Elem => f.clone(),
+            FuncExpr::Lit(v) => FuncExpr::Lit(v.clone()),
+            FuncExpr::Tuple(items) => {
+                FuncExpr::Tuple(items.iter().map(|e| e.compose(f)).collect())
+            }
+            FuncExpr::Proj(e, i) => FuncExpr::Proj(Box::new(e.compose(f)), *i),
+            FuncExpr::App(op, items) => {
+                FuncExpr::App(*op, items.iter().map(|e| e.compose(f)).collect())
+            }
+            FuncExpr::Cmp(op, l, r) => {
+                FuncExpr::Cmp(*op, Box::new(l.compose(f)), Box::new(r.compose(f)))
+            }
+            FuncExpr::And(l, r) => {
+                FuncExpr::And(Box::new(l.compose(f)), Box::new(r.compose(f)))
+            }
+            FuncExpr::Or(l, r) => {
+                FuncExpr::Or(Box::new(l.compose(f)), Box::new(r.compose(f)))
+            }
+            FuncExpr::Not(e) => FuncExpr::Not(Box::new(e.compose(f))),
+        }
+    }
+}
+
+fn is_empty_lit(e: &AlgExpr) -> bool {
+    matches!(e, AlgExpr::Lit(items) if items.is_empty())
+}
+
+fn empty() -> AlgExpr {
+    AlgExpr::Lit(BTreeSet::new())
+}
+
+/// One bottom-up simplification pass.
+fn pass(e: &AlgExpr) -> AlgExpr {
+    match e {
+        AlgExpr::Name(_) | AlgExpr::Lit(_) => e.clone(),
+        AlgExpr::Union(a, b) => {
+            let (a, b) = (pass(a), pass(b));
+            if is_empty_lit(&a) {
+                b
+            } else if is_empty_lit(&b) || a == b {
+                a
+            } else if let (AlgExpr::Lit(x), AlgExpr::Lit(y)) = (&a, &b) {
+                AlgExpr::Lit(x.union(y).cloned().collect())
+            } else {
+                AlgExpr::union(a, b)
+            }
+        }
+        AlgExpr::Diff(a, b) => {
+            let (a, b) = (pass(a), pass(b));
+            if is_empty_lit(&b) {
+                a
+            } else if is_empty_lit(&a) {
+                empty()
+            } else if let (AlgExpr::Lit(x), AlgExpr::Lit(y)) = (&a, &b) {
+                AlgExpr::Lit(x.difference(y).cloned().collect())
+            } else {
+                AlgExpr::diff(a, b)
+            }
+        }
+        AlgExpr::Product(a, b) => {
+            let (a, b) = (pass(a), pass(b));
+            if is_empty_lit(&a) || is_empty_lit(&b) {
+                empty()
+            } else {
+                AlgExpr::product(a, b)
+            }
+        }
+        AlgExpr::Select(a, t) => {
+            let a = pass(a);
+            match t {
+                FuncExpr::Lit(algrec_value::Value::Bool(true)) => a,
+                FuncExpr::Lit(algrec_value::Value::Bool(false)) => empty(),
+                _ => match a {
+                    // constant fold when every test evaluates
+                    AlgExpr::Lit(items) => {
+                        let folded: Result<BTreeSet<_>, _> = items
+                            .iter()
+                            .filter_map(|v| match t.test(v) {
+                                Ok(true) => Some(Ok(v.clone())),
+                                Ok(false) => None,
+                                Err(e) => Some(Err(e)),
+                            })
+                            .collect();
+                        match folded {
+                            Ok(set) => AlgExpr::Lit(set),
+                            Err(_) => AlgExpr::select(AlgExpr::Lit(items), t.clone()),
+                        }
+                    }
+                    // σ_t2(σ_t1(e)) → σ_{t1 ∧ t2}(e)
+                    AlgExpr::Select(inner, t1) => AlgExpr::select(
+                        *inner,
+                        FuncExpr::And(Box::new(t1), Box::new(t.clone())),
+                    ),
+                    other => AlgExpr::select(other, t.clone()),
+                },
+            }
+        }
+        AlgExpr::Map(a, f) => {
+            let a = pass(a);
+            if *f == FuncExpr::Elem {
+                return a;
+            }
+            match a {
+                AlgExpr::Lit(items) => {
+                    let folded: Result<BTreeSet<_>, _> =
+                        items.iter().map(|v| f.eval(v)).collect();
+                    match folded {
+                        Ok(set) => AlgExpr::Lit(set),
+                        Err(_) => AlgExpr::map(AlgExpr::Lit(items), f.clone()),
+                    }
+                }
+                // MAP_g(MAP_f(e)) → MAP_{g∘f}(e)
+                AlgExpr::Map(inner, f1) => AlgExpr::map(*inner, f.compose(&f1)),
+                other => AlgExpr::map(other, f.clone()),
+            }
+        }
+        AlgExpr::Ifp { var, body } => AlgExpr::Ifp {
+            var: var.clone(),
+            body: Box::new(pass(body)),
+        },
+        AlgExpr::Apply(name, args) => {
+            AlgExpr::Apply(name.clone(), args.iter().map(pass).collect())
+        }
+    }
+}
+
+/// Simplify an expression to a fixpoint of the rewrite rules.
+pub fn simplify(e: &AlgExpr) -> AlgExpr {
+    let mut cur = e.clone();
+    for _ in 0..32 {
+        let next = pass(&cur);
+        if next == cur {
+            return cur;
+        }
+        cur = next;
+    }
+    cur
+}
+
+/// Simplify every definition body and the query of a program.
+pub fn simplify_program(p: &crate::program::AlgProgram) -> crate::program::AlgProgram {
+    crate::program::AlgProgram {
+        defs: p
+            .defs
+            .iter()
+            .map(|d| crate::program::OpDef {
+                name: d.name.clone(),
+                params: d.params.clone(),
+                body: simplify(&d.body),
+            })
+            .collect(),
+        query: simplify(&p.query),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{CmpOp, FuncOp};
+    use algrec_value::Value;
+
+    fn i(n: i64) -> Value {
+        Value::int(n)
+    }
+
+    #[test]
+    fn union_identities() {
+        let e = AlgExpr::union(AlgExpr::name("r"), empty());
+        assert_eq!(simplify(&e), AlgExpr::name("r"));
+        let e2 = AlgExpr::union(empty(), AlgExpr::name("r"));
+        assert_eq!(simplify(&e2), AlgExpr::name("r"));
+        let e3 = AlgExpr::union(AlgExpr::name("r"), AlgExpr::name("r"));
+        assert_eq!(simplify(&e3), AlgExpr::name("r"));
+        let e4 = AlgExpr::union(AlgExpr::lit([i(1)]), AlgExpr::lit([i(2)]));
+        assert_eq!(simplify(&e4), AlgExpr::lit([i(1), i(2)]));
+    }
+
+    #[test]
+    fn diff_and_product_identities() {
+        assert_eq!(
+            simplify(&AlgExpr::diff(AlgExpr::name("r"), empty())),
+            AlgExpr::name("r")
+        );
+        assert_eq!(simplify(&AlgExpr::diff(empty(), AlgExpr::name("r"))), empty());
+        assert_eq!(
+            simplify(&AlgExpr::product(empty(), AlgExpr::name("r"))),
+            empty()
+        );
+        assert_eq!(
+            simplify(&AlgExpr::diff(AlgExpr::lit([i(1), i(2)]), AlgExpr::lit([i(2)]))),
+            AlgExpr::lit([i(1)])
+        );
+        // e − e is NOT rewritten (three-valued soundness)
+        let d = AlgExpr::diff(AlgExpr::name("s"), AlgExpr::name("s"));
+        assert_eq!(simplify(&d), d);
+    }
+
+    #[test]
+    fn select_identities_and_fusion() {
+        let tt = FuncExpr::Lit(Value::Bool(true));
+        let ff = FuncExpr::Lit(Value::Bool(false));
+        assert_eq!(
+            simplify(&AlgExpr::select(AlgExpr::name("r"), tt)),
+            AlgExpr::name("r")
+        );
+        assert_eq!(simplify(&AlgExpr::select(AlgExpr::name("r"), ff)), empty());
+        let t1 = FuncExpr::Cmp(CmpOp::Lt, Box::new(FuncExpr::Elem), Box::new(FuncExpr::Lit(i(5))));
+        let t2 = FuncExpr::Cmp(CmpOp::Gt, Box::new(FuncExpr::Elem), Box::new(FuncExpr::Lit(i(1))));
+        let fused = simplify(&AlgExpr::select(
+            AlgExpr::select(AlgExpr::name("r"), t1.clone()),
+            t2.clone(),
+        ));
+        assert_eq!(
+            fused,
+            AlgExpr::select(AlgExpr::name("r"), FuncExpr::And(Box::new(t1), Box::new(t2)))
+        );
+    }
+
+    #[test]
+    fn select_constant_folding() {
+        let t = FuncExpr::Cmp(CmpOp::Lt, Box::new(FuncExpr::Elem), Box::new(FuncExpr::Lit(i(2))));
+        let e = AlgExpr::select(AlgExpr::lit([i(1), i(2), i(3)]), t);
+        assert_eq!(simplify(&e), AlgExpr::lit([i(1)]));
+        // folding is skipped when the test would error
+        let bad = FuncExpr::Cmp(
+            CmpOp::Eq,
+            Box::new(FuncExpr::proj(0)),
+            Box::new(FuncExpr::Lit(i(1))),
+        );
+        let e2 = AlgExpr::select(AlgExpr::lit([i(1)]), bad.clone());
+        assert_eq!(simplify(&e2), AlgExpr::select(AlgExpr::lit([i(1)]), bad));
+    }
+
+    #[test]
+    fn map_identities_and_composition() {
+        assert_eq!(
+            simplify(&AlgExpr::map(AlgExpr::name("r"), FuncExpr::Elem)),
+            AlgExpr::name("r")
+        );
+        let plus1 = FuncExpr::App(FuncOp::Succ, vec![FuncExpr::Elem]);
+        let folded = simplify(&AlgExpr::map(AlgExpr::lit([i(1), i(2)]), plus1.clone()));
+        assert_eq!(folded, AlgExpr::lit([i(2), i(3)]));
+        let stacked = simplify(&AlgExpr::map(
+            AlgExpr::map(AlgExpr::name("r"), plus1.clone()),
+            plus1.clone(),
+        ));
+        // MAP_{succ∘succ}
+        let composed = FuncExpr::App(FuncOp::Succ, vec![plus1]);
+        assert_eq!(stacked, AlgExpr::map(AlgExpr::name("r"), composed));
+    }
+
+    #[test]
+    fn compose_substitutes_elem() {
+        let f = FuncExpr::App(FuncOp::Succ, vec![FuncExpr::Elem]);
+        let g = FuncExpr::Tuple(vec![FuncExpr::Elem, FuncExpr::Lit(i(0))]);
+        let gf = g.compose(&f);
+        assert_eq!(gf.eval(&i(4)).unwrap(), Value::pair(i(5), i(0)));
+        // compose through booleans
+        let test = FuncExpr::Not(Box::new(FuncExpr::Cmp(
+            CmpOp::Eq,
+            Box::new(FuncExpr::Elem),
+            Box::new(FuncExpr::Lit(i(5))),
+        )));
+        assert!(!test.compose(&f).test(&i(4)).unwrap());
+    }
+
+    #[test]
+    fn simplify_preserves_semantics_on_samples() {
+        use crate::eval::eval_exact;
+        use algrec_value::{Budget, Database, Relation};
+        let db = Database::new().with(
+            "edge",
+            Relation::from_pairs([(i(1), i(2)), (i(2), i(3))]),
+        );
+        for src in [
+            "query map(map(edge, [x.1, x.0]), x.0);",
+            "query select(select(edge, x.0 < 3), x.1 > 1) union {};",
+            "query (edge - {}) union ({} * edge);",
+            "query ifp(t, edge union map(select(t * edge, x.1 = x.2), [x.0, x.3]));",
+        ] {
+            let p = crate::parser::parse_program(src).unwrap();
+            let before = eval_exact(&p, &db, Budget::SMALL).unwrap();
+            let simplified = simplify_program(&p);
+            let after = eval_exact(&simplified, &db, Budget::SMALL).unwrap();
+            assert_eq!(before, after, "{src}");
+        }
+    }
+
+    #[test]
+    fn simplify_program_touches_defs() {
+        let p = crate::parser::parse_program("def s = s union {}; query s;").unwrap();
+        let s = simplify_program(&p);
+        assert_eq!(s.defs[0].body, AlgExpr::name("s"));
+    }
+
+    #[test]
+    fn simplify_inside_ifp_and_apply() {
+        let p = crate::parser::parse_expr("ifp(t, t union {})").unwrap();
+        assert_eq!(simplify(&p), AlgExpr::ifp("t", AlgExpr::name("t")));
+        let a = AlgExpr::Apply(
+            "f".into(),
+            vec![AlgExpr::union(AlgExpr::name("r"), empty())],
+        );
+        assert_eq!(
+            simplify(&a),
+            AlgExpr::Apply("f".into(), vec![AlgExpr::name("r")])
+        );
+    }
+}

@@ -1,0 +1,515 @@
+//! Algebra programs: operation definitions plus a query expression.
+//!
+//! Section 3.2: "we restrict the language by allowing only operations with
+//! input and output parameters of set type to be defined, where for each
+//! new operation name fᵢ we have only one equation
+//! `fᵢ(x₁, …, xₙ) = exp(x₁, …, xₙ)`, and where exp is an algebraic
+//! expression that contains no variables other than x₁, …, xₙ. We do allow
+//! recursion." [`AlgProgram`] enforces exactly these restrictions.
+//!
+//! Non-recursive definitions are "just syntactic sugar" (Section 3.2) and
+//! are eliminated by [`AlgProgram::inline`]; recursive definitions are the
+//! genuine extension (`algebra=` / `IFP-algebra=`). After inlining, the
+//! recursive residue is required to be a system of *set constants*
+//! (`S = exp(S, …)`) — the form every construction in the paper produces
+//! (WIN, Sᵉ, the `Pᵢᵃ` of Proposition 6.1). A recursive operation with
+//! parameters is rejected with a clear error; the paper's own reading of
+//! genericity is macro expansion (Section 3.1), so callers instantiate.
+
+use crate::expr::AlgExpr;
+use crate::CoreError;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// One operation definition `name(params…) = body`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct OpDef {
+    /// Operation name.
+    pub name: String,
+    /// Parameter names (set-typed by construction — every variable in
+    /// this language denotes a set).
+    pub params: Vec<String>,
+    /// The defining expression.
+    pub body: AlgExpr,
+}
+
+impl OpDef {
+    /// Construct a definition.
+    pub fn new(
+        name: impl Into<String>,
+        params: impl IntoIterator<Item = impl Into<String>>,
+        body: AlgExpr,
+    ) -> Self {
+        OpDef {
+            name: name.into(),
+            params: params.into_iter().map(Into::into).collect(),
+            body,
+        }
+    }
+
+    /// A set-constant definition `name = body`.
+    pub fn constant(name: impl Into<String>, body: AlgExpr) -> Self {
+        OpDef {
+            name: name.into(),
+            params: Vec::new(),
+            body,
+        }
+    }
+}
+
+impl fmt::Display for OpDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.params.is_empty() {
+            write!(f, "def {} = {};", self.name, self.body)
+        } else {
+            write!(f, "def {}({}) = {};", self.name, self.params.join(", "), self.body)
+        }
+    }
+}
+
+/// An algebra program: definitions plus a query expression.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AlgProgram {
+    /// Operation definitions, one equation per name.
+    pub defs: Vec<OpDef>,
+    /// The query expression.
+    pub query: AlgExpr,
+}
+
+impl AlgProgram {
+    /// A bare query with no definitions.
+    pub fn query(query: AlgExpr) -> Self {
+        AlgProgram {
+            defs: Vec::new(),
+            query,
+        }
+    }
+
+    /// Build and validate (Section 3.2's restrictions): one equation per
+    /// name, and each body's free names must be parameters, defined
+    /// operations, or external (database) relations.
+    pub fn new(
+        defs: impl IntoIterator<Item = OpDef>,
+        query: AlgExpr,
+    ) -> Result<Self, CoreError> {
+        let defs: Vec<OpDef> = defs.into_iter().collect();
+        let mut seen = BTreeSet::new();
+        for d in &defs {
+            if !seen.insert(d.name.clone()) {
+                return Err(CoreError::Invalid(format!(
+                    "operation `{}` has more than one defining equation",
+                    d.name
+                )));
+            }
+            let mut dup = BTreeSet::new();
+            for p in &d.params {
+                if !dup.insert(p) {
+                    return Err(CoreError::Invalid(format!(
+                        "operation `{}` repeats parameter `{p}`",
+                        d.name
+                    )));
+                }
+            }
+        }
+        Ok(AlgProgram { defs, query })
+    }
+
+    /// Look up a definition.
+    pub fn def(&self, name: &str) -> Option<&OpDef> {
+        self.defs.iter().find(|d| d.name == name)
+    }
+
+    /// The names of the defined operations.
+    pub fn def_names(&self) -> BTreeSet<&str> {
+        self.defs.iter().map(|d| d.name.as_str()).collect()
+    }
+
+    /// The external (database) relation names: referenced but not defined
+    /// and not bound as parameters.
+    pub fn external_names(&self) -> BTreeSet<String> {
+        let defined = self.def_names();
+        let mut out = BTreeSet::new();
+        let mut scan = |expr: &AlgExpr, params: &[String]| {
+            for n in expr.names() {
+                if !defined.contains(n) && !params.iter().any(|p| p == n) {
+                    out.insert(n.to_string());
+                }
+            }
+        };
+        for d in &self.defs {
+            scan(&d.body, &d.params);
+        }
+        scan(&self.query, &[]);
+        out
+    }
+
+    /// The set of definitions that are (mutually) recursive: on a cycle in
+    /// the call graph.
+    pub fn recursive_defs(&self) -> BTreeSet<&str> {
+        let names = self.def_names();
+        // reachable(d) = defs reachable from d's body
+        let direct: BTreeMap<&str, BTreeSet<&str>> = self
+            .defs
+            .iter()
+            .map(|d| {
+                let calls: BTreeSet<&str> = d
+                    .body
+                    .names()
+                    .into_iter()
+                    .filter(|n| names.contains(n) && !d.params.iter().any(|p| p == n))
+                    .collect();
+                (d.name.as_str(), calls)
+            })
+            .collect();
+        let mut recursive = BTreeSet::new();
+        for d in &self.defs {
+            // BFS from d's callees; recursive iff d reachable.
+            let mut seen: BTreeSet<&str> = BTreeSet::new();
+            let mut frontier: Vec<&str> = direct[d.name.as_str()].iter().copied().collect();
+            while let Some(n) = frontier.pop() {
+                if n == d.name {
+                    recursive.insert(d.name.as_str());
+                    break;
+                }
+                if seen.insert(n) {
+                    if let Some(next) = direct.get(n) {
+                        frontier.extend(next.iter().copied());
+                    }
+                }
+            }
+        }
+        recursive
+    }
+
+    /// Is this a plain-`algebra`/`IFP-algebra` program (no recursion)?
+    pub fn is_nonrecursive(&self) -> bool {
+        self.recursive_defs().is_empty()
+    }
+
+    /// Does the program (after inlining) use the IFP operator? Programs
+    /// without IFP and without recursion are in the plain `algebra`;
+    /// adding IFP gives `IFP-algebra`; adding recursion gives `algebra=` /
+    /// `IFP-algebra=` (Section 3).
+    pub fn uses_ifp(&self) -> bool {
+        self.defs.iter().any(|d| d.body.uses_ifp()) || self.query.uses_ifp()
+    }
+
+    /// Inline every *non-recursive* definition (pure macro expansion —
+    /// "the extension is then just a convenience for modular programming",
+    /// Section 3.2). The result contains only recursive definitions, all
+    /// of which must be set constants; a recursive definition with
+    /// parameters is reported as unsupported.
+    pub fn inline(&self) -> Result<AlgProgram, CoreError> {
+        let recursive = self.recursive_defs();
+        for d in &self.defs {
+            if recursive.contains(d.name.as_str()) && !d.params.is_empty() {
+                return Err(CoreError::Unsupported(format!(
+                    "recursive operation `{}` has parameters; instantiate it per call site \
+                     (the paper's genericity-as-macro-expansion, Section 3.1) or rewrite it \
+                     as a system of set constants",
+                    d.name
+                )));
+            }
+        }
+        // Repeatedly expand applications of non-recursive defs until none
+        // remain. Termination: the call graph restricted to non-recursive
+        // defs is acyclic.
+        let nonrec: BTreeMap<&str, &OpDef> = self
+            .defs
+            .iter()
+            .filter(|d| !recursive.contains(d.name.as_str()))
+            .map(|d| (d.name.as_str(), d))
+            .collect();
+
+        fn expand(
+            expr: &AlgExpr,
+            nonrec: &BTreeMap<&str, &OpDef>,
+            depth: usize,
+        ) -> Result<AlgExpr, CoreError> {
+            if depth > 64 {
+                return Err(CoreError::Invalid(
+                    "definition expansion exceeded depth 64 (cyclic non-recursive defs?)".into(),
+                ));
+            }
+            Ok(match expr {
+                AlgExpr::Name(n) => match nonrec.get(n.as_str()) {
+                    Some(d) if d.params.is_empty() => expand(&d.body, nonrec, depth + 1)?,
+                    Some(d) => {
+                        return Err(CoreError::Invalid(format!(
+                            "operation `{}` expects {} arguments, used as a constant",
+                            d.name,
+                            d.params.len()
+                        )))
+                    }
+                    None => expr.clone(),
+                },
+                AlgExpr::Lit(_) => expr.clone(),
+                AlgExpr::Union(a, b) => AlgExpr::union(
+                    expand(a, nonrec, depth)?,
+                    expand(b, nonrec, depth)?,
+                ),
+                AlgExpr::Diff(a, b) => AlgExpr::diff(
+                    expand(a, nonrec, depth)?,
+                    expand(b, nonrec, depth)?,
+                ),
+                AlgExpr::Product(a, b) => AlgExpr::product(
+                    expand(a, nonrec, depth)?,
+                    expand(b, nonrec, depth)?,
+                ),
+                AlgExpr::Select(a, t) => {
+                    AlgExpr::select(expand(a, nonrec, depth)?, t.clone())
+                }
+                AlgExpr::Map(a, f) => AlgExpr::map(expand(a, nonrec, depth)?, f.clone()),
+                AlgExpr::Ifp { var, body } => AlgExpr::Ifp {
+                    var: var.clone(),
+                    body: Box::new(expand(body, nonrec, depth)?),
+                },
+                AlgExpr::Apply(name, args) => {
+                    let args: Vec<AlgExpr> = args
+                        .iter()
+                        .map(|a| expand(a, nonrec, depth))
+                        .collect::<Result<_, _>>()?;
+                    match nonrec.get(name.as_str()) {
+                        Some(d) => {
+                            if d.params.len() != args.len() {
+                                return Err(CoreError::Invalid(format!(
+                                    "operation `{}` expects {} arguments, got {}",
+                                    d.name,
+                                    d.params.len(),
+                                    args.len()
+                                )));
+                            }
+                            let map: BTreeMap<String, AlgExpr> = d
+                                .params
+                                .iter()
+                                .cloned()
+                                .zip(args)
+                                .collect();
+                            expand(&d.body.substitute(&map), nonrec, depth + 1)?
+                        }
+                        None if args.is_empty() => AlgExpr::Name(name.clone()),
+                        None => {
+                            return Err(CoreError::Invalid(format!(
+                                "application of `{name}`, which is recursive-with-parameters \
+                                 or undefined"
+                            )))
+                        }
+                    }
+                }
+            })
+        }
+
+        let defs = self
+            .defs
+            .iter()
+            .filter(|d| recursive.contains(d.name.as_str()))
+            .map(|d| {
+                Ok(OpDef::constant(
+                    d.name.clone(),
+                    expand(&d.body, &nonrec, 0)?,
+                ))
+            })
+            .collect::<Result<Vec<_>, CoreError>>()?;
+        let query = expand(&self.query, &nonrec, 0)?;
+        Ok(AlgProgram { defs, query })
+    }
+}
+
+impl fmt::Display for AlgProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.defs {
+            writeln!(f, "{d}")?;
+        }
+        write!(f, "query {};", self.query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::FuncExpr;
+    use algrec_value::Value;
+
+    fn i(n: i64) -> Value {
+        Value::int(n)
+    }
+
+    /// Example 3's intersection: x ∩ y = x − (x − y).
+    fn inter_def() -> OpDef {
+        OpDef::new(
+            "inter",
+            ["x", "y"],
+            AlgExpr::diff(
+                AlgExpr::name("x"),
+                AlgExpr::diff(AlgExpr::name("x"), AlgExpr::name("y")),
+            ),
+        )
+    }
+
+    /// The WIN equation of Example 3.
+    fn win_def() -> OpDef {
+        OpDef::constant(
+            "win",
+            AlgExpr::map(
+                AlgExpr::diff(
+                    AlgExpr::name("move"),
+                    AlgExpr::product(
+                        AlgExpr::map(AlgExpr::name("move"), FuncExpr::proj(0)),
+                        AlgExpr::name("win"),
+                    ),
+                ),
+                FuncExpr::proj(0),
+            ),
+        )
+    }
+
+    #[test]
+    fn validation_rejects_double_definition() {
+        let err = AlgProgram::new(
+            [win_def(), win_def()],
+            AlgExpr::name("win"),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::Invalid(_)));
+    }
+
+    #[test]
+    fn validation_rejects_duplicate_params() {
+        let bad = OpDef::new("f", ["x", "x"], AlgExpr::name("x"));
+        assert!(AlgProgram::new([bad], AlgExpr::name("f")).is_err());
+    }
+
+    #[test]
+    fn recursion_detection() {
+        let p = AlgProgram::new(
+            [inter_def(), win_def()],
+            AlgExpr::Apply(
+                "inter".into(),
+                vec![AlgExpr::name("win"), AlgExpr::name("nodes")],
+            ),
+        )
+        .unwrap();
+        let rec = p.recursive_defs();
+        assert!(rec.contains("win"));
+        assert!(!rec.contains("inter"));
+        assert!(!p.is_nonrecursive());
+    }
+
+    #[test]
+    fn mutual_recursion_detected() {
+        let p = AlgProgram::new(
+            [
+                OpDef::constant("a", AlgExpr::name("b")),
+                OpDef::constant("b", AlgExpr::name("a")),
+            ],
+            AlgExpr::name("a"),
+        )
+        .unwrap();
+        let rec = p.recursive_defs();
+        assert_eq!(rec.len(), 2);
+    }
+
+    #[test]
+    fn inline_expands_nonrecursive() {
+        let p = AlgProgram::new(
+            [inter_def()],
+            AlgExpr::Apply(
+                "inter".into(),
+                vec![AlgExpr::name("r"), AlgExpr::name("s")],
+            ),
+        )
+        .unwrap();
+        let inlined = p.inline().unwrap();
+        assert!(inlined.defs.is_empty());
+        assert_eq!(
+            inlined.query,
+            AlgExpr::diff(
+                AlgExpr::name("r"),
+                AlgExpr::diff(AlgExpr::name("r"), AlgExpr::name("s")),
+            )
+        );
+    }
+
+    #[test]
+    fn inline_keeps_recursive_constants() {
+        let p = AlgProgram::new([win_def()], AlgExpr::name("win")).unwrap();
+        let inlined = p.inline().unwrap();
+        assert_eq!(inlined.defs.len(), 1);
+        assert_eq!(inlined.defs[0].name, "win");
+    }
+
+    #[test]
+    fn recursive_with_params_rejected() {
+        // f(x) = x - f(x): recursive with a parameter.
+        let f = OpDef::new(
+            "f",
+            ["x"],
+            AlgExpr::diff(
+                AlgExpr::name("x"),
+                AlgExpr::Apply("f".into(), vec![AlgExpr::name("x")]),
+            ),
+        );
+        let p = AlgProgram::new([f], AlgExpr::Apply("f".into(), vec![AlgExpr::name("r")]))
+            .unwrap();
+        assert!(matches!(p.inline(), Err(CoreError::Unsupported(_))));
+    }
+
+    #[test]
+    fn nested_nonrecursive_defs_expand() {
+        // xor(x, y) = (x - y) union (y - x); quad = xor(a, xor(b, c)).
+        let xor = OpDef::new(
+            "xor",
+            ["x", "y"],
+            AlgExpr::union(
+                AlgExpr::diff(AlgExpr::name("x"), AlgExpr::name("y")),
+                AlgExpr::diff(AlgExpr::name("y"), AlgExpr::name("x")),
+            ),
+        );
+        let p = AlgProgram::new(
+            [xor],
+            AlgExpr::Apply(
+                "xor".into(),
+                vec![
+                    AlgExpr::name("a"),
+                    AlgExpr::Apply("xor".into(), vec![AlgExpr::name("b"), AlgExpr::name("c")]),
+                ],
+            ),
+        )
+        .unwrap();
+        let inlined = p.inline().unwrap();
+        assert!(inlined.defs.is_empty());
+        assert!(inlined.query.names().len() == 3);
+    }
+
+    #[test]
+    fn external_names() {
+        let p = AlgProgram::new([win_def()], AlgExpr::name("win")).unwrap();
+        assert_eq!(
+            p.external_names().into_iter().collect::<Vec<_>>(),
+            vec!["move".to_string()]
+        );
+    }
+
+    #[test]
+    fn arity_errors() {
+        let p = AlgProgram::new(
+            [inter_def()],
+            AlgExpr::Apply("inter".into(), vec![AlgExpr::name("r")]),
+        )
+        .unwrap();
+        assert!(matches!(p.inline(), Err(CoreError::Invalid(_))));
+        // zero-arity misuse
+        let p2 = AlgProgram::new([inter_def()], AlgExpr::name("inter")).unwrap();
+        assert!(matches!(p2.inline(), Err(CoreError::Invalid(_))));
+    }
+
+    #[test]
+    fn display_program() {
+        let p = AlgProgram::new([win_def()], AlgExpr::name("win")).unwrap();
+        let s = p.to_string();
+        assert!(s.starts_with("def win = "));
+        assert!(s.ends_with("query win;"));
+        let lit = AlgExpr::lit([i(1)]);
+        assert_eq!(AlgProgram::query(lit).to_string(), "query {1};");
+    }
+}

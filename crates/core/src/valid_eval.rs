@@ -1,0 +1,457 @@
+//! Valid-semantics evaluation of `algebra=` / `IFP-algebra=` programs.
+//!
+//! A recursive program is a system of set-constant equations
+//! `Sᵢ = expᵢ(S₁, …, Sₙ)` (Section 3.2). Its semantics is the valid model
+//! of the corresponding specification; operationally (Section 2.2) this is
+//! an alternating fixpoint:
+//!
+//! * **possible pass** — the least fixpoint of the system where sets being
+//!   *subtracted* are read from the current certain bound (`only facts not
+//!   in T are allowed to be used negatively`): an overestimate;
+//! * **certain pass** — the least fixpoint where subtracted sets are read
+//!   from the possible bound (`we use negatively only facts from F`): an
+//!   underestimate;
+//!
+//! alternating until the certain bound stabilizes. Membership that ends
+//! between the bounds is `Unknown` — the program is then *not
+//! well-defined* (it has no initial valid model), which Proposition 3.2
+//! shows is undecidable to rule out syntactically, and which this
+//! evaluator therefore detects at runtime: `S = {a} − S` reports
+//! `MEM(a, S) = Unknown`, never a made-up answer.
+
+use crate::eval::{eval_polar, SetEnv};
+use crate::expr::AlgExpr;
+use crate::program::AlgProgram;
+use crate::CoreError;
+use algrec_value::budget::Meter;
+use algrec_value::{Budget, Database, Truth, TvSet, Value};
+use std::collections::BTreeMap;
+
+/// The result of valid evaluation: three-valued sets for every recursive
+/// constant and for the query.
+#[derive(Clone, Debug)]
+pub struct ValidAlgebraResult {
+    /// Three-valued value of each recursive constant.
+    pub constants: BTreeMap<String, TvSet>,
+    /// Three-valued value of the query expression.
+    pub query: TvSet,
+    /// Outer alternation rounds.
+    pub outer_rounds: usize,
+}
+
+impl ValidAlgebraResult {
+    /// Membership of `v` in the query result — the paper's `MEM`, three
+    /// valued.
+    pub fn member(&self, v: &Value) -> Truth {
+        self.query.member(v)
+    }
+
+    /// Is the whole program well-defined (two-valued everywhere — an
+    /// initial valid model exists for the observables)?
+    pub fn is_well_defined(&self) -> bool {
+        self.query.is_exact() && self.constants.values().all(TvSet::is_exact)
+    }
+}
+
+/// Reject IFP operators whose body refers to a recursive constant: the
+/// inflationary operator is not monotone in its free names, which would
+/// break the alternating fixpoint. Corollary 3.6 (IFP-algebra= =
+/// algebra=) says such programs lose no expressiveness by rewriting — and
+/// `algrec-translate` automates exactly that rewriting.
+fn check_no_ifp_over_recursion(expr: &AlgExpr, rec: &[String]) -> Result<(), CoreError> {
+    match expr {
+        AlgExpr::Name(_) | AlgExpr::Lit(_) => Ok(()),
+        AlgExpr::Union(a, b) | AlgExpr::Diff(a, b) | AlgExpr::Product(a, b) => {
+            check_no_ifp_over_recursion(a, rec)?;
+            check_no_ifp_over_recursion(b, rec)
+        }
+        AlgExpr::Select(a, _) | AlgExpr::Map(a, _) => check_no_ifp_over_recursion(a, rec),
+        AlgExpr::Ifp { body, .. } => {
+            let names = body.names();
+            if let Some(bad) = rec.iter().find(|r| names.contains(r.as_str())) {
+                return Err(CoreError::Unsupported(format!(
+                    "IFP body references the recursive constant `{bad}`; rewrite the IFP as \
+                     a recursive constant itself (Corollary 3.6: IFP is redundant in algebra=, \
+                     and algrec-translate::ifp_to_recursion does this mechanically)"
+                )));
+            }
+            check_no_ifp_over_recursion(body, rec)
+        }
+        AlgExpr::Apply(_, args) => args
+            .iter()
+            .try_for_each(|a| check_no_ifp_over_recursion(a, rec)),
+    }
+}
+
+/// Evaluate a (possibly recursive) algebra program under the valid
+/// semantics.
+pub fn eval_valid(
+    program: &AlgProgram,
+    db: &Database,
+    budget: Budget,
+) -> Result<ValidAlgebraResult, CoreError> {
+    let inlined = program.inline()?;
+    let rec_names: Vec<String> = inlined.defs.iter().map(|d| d.name.clone()).collect();
+    for d in &inlined.defs {
+        check_no_ifp_over_recursion(&d.body, &rec_names)?;
+    }
+    check_no_ifp_over_recursion(&inlined.query, &rec_names)?;
+
+    let mut meter = budget.meter();
+
+    // Non-recursive program: exact evaluation, trivially two-valued.
+    if inlined.defs.is_empty() {
+        let empty = SetEnv::new();
+        let q = eval_polar(
+            &inlined.query,
+            &empty,
+            &empty,
+            &mut Vec::new(),
+            db,
+            &mut meter,
+            true,
+        )?;
+        return Ok(ValidAlgebraResult {
+            constants: BTreeMap::new(),
+            query: TvSet::exact(q),
+            outer_rounds: 0,
+        });
+    }
+
+    // Inner least fixpoint of the system with the "subtracted side" fixed.
+    let lfp = |fixed_neg: &SetEnv, meter: &mut Meter| -> Result<SetEnv, CoreError> {
+        let mut env: SetEnv = rec_names
+            .iter()
+            .map(|n| (n.clone(), Default::default()))
+            .collect();
+        loop {
+            meter.tick_iteration()?;
+            let mut next = SetEnv::new();
+            for d in &inlined.defs {
+                let v = eval_polar(
+                    &d.body,
+                    &env,
+                    fixed_neg,
+                    &mut Vec::new(),
+                    db,
+                    meter,
+                    true,
+                )?;
+                next.insert(d.name.clone(), v);
+            }
+            if next == env {
+                return Ok(env);
+            }
+            env = next;
+        }
+    };
+
+    // Alternating fixpoint.
+    let mut certain: SetEnv = rec_names
+        .iter()
+        .map(|n| (n.clone(), Default::default()))
+        .collect();
+    let mut outer_rounds = 0usize;
+    let possible = loop {
+        outer_rounds += 1;
+        meter.tick_iteration()?;
+        // Possible pass: subtracted sets read the certain bound.
+        let possible = lfp(&certain, &mut meter)?;
+        // Certain pass: subtracted sets read the possible bound.
+        let next_certain = lfp(&possible, &mut meter)?;
+        if next_certain == certain {
+            break possible;
+        }
+        certain = next_certain;
+    };
+
+    let mut constants = BTreeMap::new();
+    for name in &rec_names {
+        let lower = certain[name].clone();
+        let mut upper = possible[name].clone();
+        // The bounds are nested at convergence; keep the invariant robust
+        // against budget-truncated runs.
+        upper.extend(lower.iter().cloned());
+        constants.insert(
+            name.clone(),
+            TvSet::from_bounds(lower, upper).expect("lower ⊆ upper by construction"),
+        );
+    }
+
+    // Query: lower bound reads (certain positively, possible negatively),
+    // upper bound the reverse.
+    let q_lower = eval_polar(
+        &inlined.query,
+        &certain,
+        &possible,
+        &mut Vec::new(),
+        db,
+        &mut meter,
+        true,
+    )?;
+    let mut q_upper = eval_polar(
+        &inlined.query,
+        &possible,
+        &certain,
+        &mut Vec::new(),
+        db,
+        &mut meter,
+        true,
+    )?;
+    q_upper.extend(q_lower.iter().cloned());
+    Ok(ValidAlgebraResult {
+        constants,
+        query: TvSet::from_bounds(q_lower, q_upper).expect("lower ⊆ upper by construction"),
+        outer_rounds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{CmpOp, FuncExpr, FuncOp};
+    use crate::program::OpDef;
+    use algrec_value::Relation;
+
+    fn i(n: i64) -> Value {
+        Value::int(n)
+    }
+
+    fn move_db(pairs: &[(i64, i64)]) -> Database {
+        Database::new().with(
+            "move",
+            Relation::from_pairs(pairs.iter().map(|(a, b)| (i(*a), i(*b)))),
+        )
+    }
+
+    /// WIN = π₁(MOVE − (π₁(MOVE) × WIN))   (Example 3).
+    fn win_program() -> AlgProgram {
+        AlgProgram::new(
+            [OpDef::constant(
+                "win",
+                AlgExpr::map(
+                    AlgExpr::diff(
+                        AlgExpr::name("move"),
+                        AlgExpr::product(
+                            AlgExpr::map(AlgExpr::name("move"), FuncExpr::proj(0)),
+                            AlgExpr::name("win"),
+                        ),
+                    ),
+                    FuncExpr::proj(0),
+                ),
+            )],
+            AlgExpr::name("win"),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn self_subtraction_is_undefined() {
+        // S = {a} − S: "the membership status of a in S is undefined, and
+        // there is no initial valid model" (Section 3.2).
+        let p = AlgProgram::new(
+            [OpDef::constant(
+                "s",
+                AlgExpr::diff(AlgExpr::lit([Value::str("a")]), AlgExpr::name("s")),
+            )],
+            AlgExpr::name("s"),
+        )
+        .unwrap();
+        let out = eval_valid(&p, &Database::new(), Budget::SMALL).unwrap();
+        assert_eq!(out.member(&Value::str("a")), Truth::Unknown);
+        assert!(!out.is_well_defined());
+    }
+
+    #[test]
+    fn win_acyclic_well_defined() {
+        // 1 → 2 → 3: win(2) only.
+        let out = eval_valid(&win_program(), &move_db(&[(1, 2), (2, 3)]), Budget::SMALL).unwrap();
+        assert!(out.is_well_defined());
+        assert_eq!(out.member(&i(2)), Truth::True);
+        assert_eq!(out.member(&i(1)), Truth::False);
+        assert_eq!(out.member(&i(3)), Truth::False);
+    }
+
+    #[test]
+    fn win_self_loop_undefined() {
+        // "If the MOVE relation contains the tuple [a, a], then the
+        // membership status of a in WIN will be undefined" (Section 3.2).
+        let out = eval_valid(&win_program(), &move_db(&[(7, 7)]), Budget::SMALL).unwrap();
+        assert_eq!(out.member(&i(7)), Truth::Unknown);
+        assert!(!out.is_well_defined());
+    }
+
+    #[test]
+    fn win_cycle_with_escape_defined() {
+        let out = eval_valid(
+            &win_program(),
+            &move_db(&[(1, 2), (2, 1), (2, 3)]),
+            Budget::SMALL,
+        )
+        .unwrap();
+        assert!(out.is_well_defined());
+        assert_eq!(out.member(&i(2)), Truth::True);
+        assert_eq!(out.member(&i(1)), Truth::False);
+    }
+
+    #[test]
+    fn even_set_example3() {
+        // Sᵉ = {0} ∪ MAP₊₂(σ_{<10}(Sᵉ)) — Example 3's recursive even set,
+        // windowed by a selection so the fixpoint is finite.
+        let p = AlgProgram::new(
+            [OpDef::constant(
+                "se",
+                AlgExpr::union(
+                    AlgExpr::lit([i(0)]),
+                    AlgExpr::map(
+                        AlgExpr::select(
+                            AlgExpr::name("se"),
+                            FuncExpr::Cmp(
+                                CmpOp::Lt,
+                                Box::new(FuncExpr::Elem),
+                                Box::new(FuncExpr::Lit(i(10))),
+                            ),
+                        ),
+                        FuncExpr::App(FuncOp::Add, vec![FuncExpr::Elem, FuncExpr::Lit(i(2))]),
+                    ),
+                ),
+            )],
+            AlgExpr::name("se"),
+        )
+        .unwrap();
+        let out = eval_valid(&p, &Database::new(), Budget::SMALL).unwrap();
+        assert!(out.is_well_defined());
+        assert_eq!(out.member(&i(0)), Truth::True);
+        assert_eq!(out.member(&i(4)), Truth::True);
+        assert_eq!(out.member(&i(3)), Truth::False);
+        assert_eq!(out.member(&i(10)), Truth::True);
+        assert_eq!(out.member(&i(12)), Truth::False); // windowed out
+    }
+
+    #[test]
+    fn positive_self_reference_is_false_not_unknown() {
+        // S = S: under the valid semantics S is empty (no derivation at
+        // all), NOT unknown — this is where the alternating fixpoint is
+        // strictly stronger than a naive interval (Fitting) iteration.
+        let p = AlgProgram::new(
+            [OpDef::constant("s", AlgExpr::name("s"))],
+            AlgExpr::name("s"),
+        )
+        .unwrap();
+        let out = eval_valid(&p, &Database::new(), Budget::SMALL).unwrap();
+        assert!(out.is_well_defined());
+        assert_eq!(out.query.upper_len(), 0);
+    }
+
+    #[test]
+    fn positive_recursion_reaches_closure() {
+        // TC as a recursive constant: tc = edge ∪ π₀₃(σ₁₌₂(tc × edge)).
+        let join = AlgExpr::map(
+            AlgExpr::select(
+                AlgExpr::product(AlgExpr::name("tc"), AlgExpr::name("edge")),
+                FuncExpr::Cmp(
+                    CmpOp::Eq,
+                    Box::new(FuncExpr::proj(1)),
+                    Box::new(FuncExpr::proj(2)),
+                ),
+            ),
+            FuncExpr::Tuple(vec![FuncExpr::proj(0), FuncExpr::proj(3)]),
+        );
+        let p = AlgProgram::new(
+            [OpDef::constant(
+                "tc",
+                AlgExpr::union(AlgExpr::name("edge"), join),
+            )],
+            AlgExpr::name("tc"),
+        )
+        .unwrap();
+        let db = Database::new().with(
+            "edge",
+            Relation::from_pairs([(i(1), i(2)), (i(2), i(3))]),
+        );
+        let out = eval_valid(&p, &db, Budget::SMALL).unwrap();
+        assert!(out.is_well_defined());
+        assert_eq!(out.member(&Value::pair(i(1), i(3))), Truth::True);
+        assert_eq!(out.query.lower_len(), 3);
+    }
+
+    #[test]
+    fn mutual_recursion_choice_is_undefined() {
+        // p = d − q; q = d − p: the two-scenario choice; both unknown.
+        let p = AlgProgram::new(
+            [
+                OpDef::constant("p", AlgExpr::diff(AlgExpr::name("d"), AlgExpr::name("q"))),
+                OpDef::constant("q", AlgExpr::diff(AlgExpr::name("d"), AlgExpr::name("p"))),
+            ],
+            AlgExpr::name("p"),
+        )
+        .unwrap();
+        let db = Database::new().with("d", Relation::from_values([Value::str("a")]));
+        let out = eval_valid(&p, &db, Budget::SMALL).unwrap();
+        assert_eq!(out.member(&Value::str("a")), Truth::Unknown);
+        assert_eq!(out.constants["q"].member(&Value::str("a")), Truth::Unknown);
+    }
+
+    #[test]
+    fn query_over_undefined_constants() {
+        // query (d − s) where s = {a} − s: subtracting an unknown
+        // membership yields unknown; subtracting a certain non-member
+        // yields certain.
+        let p = AlgProgram::new(
+            [OpDef::constant(
+                "s",
+                AlgExpr::diff(AlgExpr::lit([Value::str("a")]), AlgExpr::name("s")),
+            )],
+            AlgExpr::diff(AlgExpr::name("d"), AlgExpr::name("s")),
+        )
+        .unwrap();
+        let db = Database::new()
+            .with("d", Relation::from_values([Value::str("a"), Value::str("b")]));
+        let out = eval_valid(&p, &db, Budget::SMALL).unwrap();
+        assert_eq!(out.member(&Value::str("a")), Truth::Unknown);
+        assert_eq!(out.member(&Value::str("b")), Truth::True);
+    }
+
+    #[test]
+    fn ifp_over_recursive_constant_rejected() {
+        let p = AlgProgram::new(
+            [OpDef::constant(
+                "s",
+                AlgExpr::ifp("x", AlgExpr::union(AlgExpr::name("x"), AlgExpr::name("s"))),
+            )],
+            AlgExpr::name("s"),
+        )
+        .unwrap();
+        assert!(matches!(
+            eval_valid(&p, &Database::new(), Budget::SMALL),
+            Err(CoreError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn ifp_over_database_is_fine_inside_recursion() {
+        // s = (IFP over edge only) − s: IFP evaluates to a fixed set.
+        let tc = AlgExpr::ifp(
+            "x",
+            AlgExpr::union(AlgExpr::name("edge"), AlgExpr::name("x")),
+        );
+        let p = AlgProgram::new(
+            [OpDef::constant("s", AlgExpr::diff(tc, AlgExpr::name("s")))],
+            AlgExpr::name("s"),
+        )
+        .unwrap();
+        let db = Database::new().with("edge", Relation::from_values([i(1)]));
+        let out = eval_valid(&p, &db, Budget::SMALL).unwrap();
+        // s = {1} − s: membership of 1 undefined.
+        assert_eq!(out.member(&i(1)), Truth::Unknown);
+    }
+
+    #[test]
+    fn nonrecursive_program_is_exact() {
+        let p = AlgProgram::query(AlgExpr::lit([i(1), i(2)]));
+        let out = eval_valid(&p, &Database::new(), Budget::SMALL).unwrap();
+        assert!(out.is_well_defined());
+        assert_eq!(out.query.lower_len(), 2);
+        assert_eq!(out.outer_rounds, 0);
+    }
+}

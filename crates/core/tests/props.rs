@@ -1,0 +1,183 @@
+//! Property-based tests for the algebra engines: simplifier soundness,
+//! join-recognition equivalence, parser round-trips, and the three-valued
+//! interval invariant of the valid evaluation.
+
+use algrec_core::expr::{AlgExpr, CmpOp, FuncExpr};
+use algrec_core::program::{AlgProgram, OpDef};
+use algrec_core::{eval_exact, eval_valid, simplify, simplify_program};
+use algrec_value::{Budget, Database, Relation, Value};
+use proptest::prelude::*;
+
+fn i(n: i64) -> Value {
+    Value::int(n)
+}
+
+/// A database with unary `u` and binary `b` relations over small ints.
+fn arb_db() -> impl Strategy<Value = Database> {
+    (
+        prop::collection::btree_set(-4i64..4, 0..6),
+        prop::collection::btree_set((-4i64..4, -4i64..4), 0..8),
+    )
+        .prop_map(|(us, bs)| {
+            Database::new()
+                .with("u", Relation::from_values(us.into_iter().map(i)))
+                .with(
+                    "b",
+                    Relation::from_pairs(bs.into_iter().map(|(x, y)| (i(x), i(y)))),
+                )
+        })
+}
+
+/// Random element-level tests over pair-shaped inputs.
+fn arb_test() -> impl Strategy<Value = FuncExpr> {
+    let atom = (
+        prop::sample::select(
+            &[CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge][..],
+        ),
+        prop_oneof![Just(FuncExpr::proj(0)), Just(FuncExpr::proj(1))],
+        prop_oneof![
+            (-4i64..4).prop_map(|k| FuncExpr::Lit(i(k))),
+            Just(FuncExpr::proj(0)),
+            Just(FuncExpr::proj(1)),
+        ],
+    )
+        .prop_map(|(op, l, r)| FuncExpr::Cmp(op, Box::new(l), Box::new(r)));
+    atom.prop_recursive(2, 6, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| FuncExpr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| FuncExpr::Or(Box::new(a), Box::new(b))),
+            inner.prop_map(|a| FuncExpr::Not(Box::new(a))),
+        ]
+    })
+}
+
+/// Random algebra expressions over `u` (unary) and `b` (binary), kept
+/// type-coherent: expressions are either "scalar-set" or "pair-set"
+/// shaped, tracked by the boolean.
+fn arb_expr() -> impl Strategy<Value = AlgExpr> {
+    // pair-shaped leaves only, to keep projections well-typed
+    let leaf = prop_oneof![
+        Just(AlgExpr::name("b")),
+        prop::collection::btree_set((-4i64..4, -4i64..4), 0..4).prop_map(|s| AlgExpr::Lit(
+            s.into_iter().map(|(x, y)| Value::pair(i(x), i(y))).collect()
+        )),
+    ];
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| AlgExpr::union(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| AlgExpr::diff(a, b)),
+            (inner.clone(), arb_test()).prop_map(|(a, t)| AlgExpr::select(a, t)),
+            inner.clone().prop_map(|a| AlgExpr::map(
+                a,
+                FuncExpr::Tuple(vec![FuncExpr::proj(1), FuncExpr::proj(0)])
+            )),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The simplifier preserves exact evaluation.
+    #[test]
+    fn simplify_preserves_exact_semantics(e in arb_expr(), db in arb_db()) {
+        let p = AlgProgram::query(e.clone());
+        let s = AlgProgram::query(simplify(&e));
+        let before = eval_exact(&p, &db, Budget::LARGE);
+        let after = eval_exact(&s, &db, Budget::LARGE);
+        match (before, after) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            // constant folding may *remove* a latent type error; it must
+            // never introduce one.
+            (Err(_), _) => {}
+            (Ok(a), Err(e)) => panic!("simplify introduced an error {e} (expected {a:?})"),
+        }
+    }
+
+    /// The simplifier preserves the three-valued valid semantics of
+    /// recursive programs built from random bodies.
+    #[test]
+    fn simplify_preserves_valid_semantics(e in arb_expr(), db in arb_db()) {
+        // close the expression over a recursive constant: s = e ∪ (b − s)
+        let body = AlgExpr::union(e, AlgExpr::diff(AlgExpr::name("b"), AlgExpr::name("s")));
+        let p = AlgProgram::new([OpDef::constant("s", body)], AlgExpr::name("s")).unwrap();
+        let s = simplify_program(&p);
+        let before = eval_valid(&p, &db, Budget::LARGE);
+        let after = eval_valid(&s, &db, Budget::LARGE);
+        match (before, after) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.query.lower(), b.query.lower());
+                prop_assert_eq!(a.query.upper(), b.query.upper());
+            }
+            (Err(_), _) => {}
+            (Ok(_), Err(e)) => panic!("simplify introduced an error {e}"),
+        }
+    }
+
+    /// Join recognition computes the same set as the unrecognized
+    /// (obfuscated) form of the same selection.
+    #[test]
+    fn join_equals_filtered_product(
+        db in arb_db(),
+        ij in prop::sample::select(&[(0usize, 2usize), (1, 2), (0, 3), (1, 3), (0, 1), (2, 3)][..]),
+    ) {
+        let (ci, cj) = ij;
+        let cmp = FuncExpr::Cmp(
+            CmpOp::Eq,
+            Box::new(FuncExpr::proj(ci)),
+            Box::new(FuncExpr::proj(cj)),
+        );
+        let joined = AlgProgram::query(AlgExpr::select(
+            AlgExpr::product(AlgExpr::name("b"), AlgExpr::name("b")),
+            cmp.clone(),
+        ));
+        // `And(cmp, true)` defeats the pattern matcher → fallback path
+        let fallback = AlgProgram::query(AlgExpr::select(
+            AlgExpr::product(AlgExpr::name("b"), AlgExpr::name("b")),
+            FuncExpr::And(Box::new(cmp), Box::new(FuncExpr::Lit(Value::Bool(true)))),
+        ));
+        let a = eval_exact(&joined, &db, Budget::LARGE).unwrap();
+        let b = eval_exact(&fallback, &db, Budget::LARGE).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// eval_valid maintains lower ⊆ upper and, on recursion-free queries,
+    /// matches eval_exact.
+    #[test]
+    fn valid_eval_interval_invariant(e in arb_expr(), db in arb_db()) {
+        let p = AlgProgram::query(e);
+        match (eval_valid(&p, &db, Budget::LARGE), eval_exact(&p, &db, Budget::LARGE)) {
+            (Ok(v), Ok(x)) => {
+                prop_assert!(v.is_well_defined());
+                prop_assert_eq!(v.query.to_exact().unwrap(), x);
+            }
+            (Err(_), Err(_)) => {}
+            (v, x) => panic!("valid/exact disagree on failure: {v:?} vs {x:?}"),
+        }
+    }
+
+    /// Display → parse round-trips random expressions.
+    #[test]
+    fn parser_round_trips(e in arb_expr()) {
+        let text = format!("query {e};");
+        let p = algrec_core::parser::parse_program(&text)
+            .unwrap_or_else(|err| panic!("{text}\n{err}"));
+        prop_assert_eq!(p.query, e);
+    }
+
+    /// Polarity analysis: an expression where `s` only ever appears on
+    /// difference left-sides is syntactically monotone in `s`.
+    #[test]
+    fn polarity_analysis_consistency(e in arb_expr()) {
+        // `e` never mentions `s`, so both polarities must be absent…
+        prop_assert!(!e.occurs_positively("s"));
+        prop_assert!(!e.occurs_negatively("s"));
+        // …and wrapping in `s − e` / `e − s` sets exactly one polarity.
+        let left = AlgExpr::diff(AlgExpr::name("s"), e.clone());
+        prop_assert!(left.occurs_positively("s") && !left.occurs_negatively("s"));
+        let right = AlgExpr::diff(e, AlgExpr::name("s"));
+        prop_assert!(right.occurs_negatively("s") && !right.occurs_positively("s"));
+    }
+}

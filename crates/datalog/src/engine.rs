@@ -1,0 +1,684 @@
+//! Single-rule evaluation: expression evaluation, pattern matching, body
+//! planning and match enumeration.
+//!
+//! Every semantics in this crate is built from one primitive: *apply a
+//! rule once* against a source of positive facts and an oracle deciding
+//! negative literals. The semantics differ only in how they choose the
+//! source and the oracle (Sections 2.2, 4 and 5 of the paper):
+//!
+//! * minimal model: no negation;
+//! * stratified: oracle = complement of completed lower strata;
+//! * inflationary: oracle = "not derived *so far*" (Prop 5.1's reading);
+//! * well-founded / valid alternating fixpoint: oracle alternates between
+//!   an underestimate and an overestimate ("cannot be derived *at all*").
+
+use crate::ast::{CmpOp, Expr, Literal, Rule};
+use crate::error::EvalError;
+use crate::interp::Interp;
+use algrec_value::budget::Meter;
+use algrec_value::Value;
+use std::collections::BTreeMap;
+
+/// Variable bindings accumulated while matching a rule body.
+pub type Bindings = BTreeMap<String, Value>;
+
+/// Evaluate an expression under bindings. Fails on unbound variables and
+/// dynamic type errors — the safety analysis guarantees neither happens
+/// for planned rule bodies with type-correct data.
+pub fn eval_expr(e: &Expr, b: &Bindings) -> Result<Value, EvalError> {
+    match e {
+        Expr::Var(v) => b
+            .get(v)
+            .cloned()
+            .ok_or_else(|| EvalError::Unsafe(format!("unbound variable {v}"))),
+        Expr::Lit(v) => Ok(v.clone()),
+        Expr::Tuple(items) => Ok(Value::Tuple(
+            items
+                .iter()
+                .map(|e| eval_expr(e, b))
+                .collect::<Result<_, _>>()?,
+        )),
+        Expr::App(f, items) => {
+            let args: Vec<Value> = items
+                .iter()
+                .map(|e| eval_expr(e, b))
+                .collect::<Result<_, _>>()?;
+            f.apply(&args)
+                .ok_or_else(|| EvalError::Type(format!("{}({args:?})", f.name())))
+        }
+    }
+}
+
+/// Match an expression *as a pattern* against a value, extending the
+/// bindings. Variables bind (or test, if already bound), literals and
+/// evaluable sub-expressions test, tuple patterns destructure. Returns
+/// whether the match succeeded; bindings may be partially extended on
+/// failure (callers clone).
+pub fn match_expr(e: &Expr, v: &Value, b: &mut Bindings) -> Result<bool, EvalError> {
+    let mut trail = Vec::new();
+    match_expr_trail(e, v, b, &mut trail)
+}
+
+/// [`match_expr`], recording every newly bound variable on `trail` so the
+/// caller can undo the bindings cheaply (the engine's alternative to
+/// cloning the binding map per candidate fact).
+fn match_expr_trail(
+    e: &Expr,
+    v: &Value,
+    b: &mut Bindings,
+    trail: &mut Vec<String>,
+) -> Result<bool, EvalError> {
+    match e {
+        Expr::Var(name) => match b.get(name) {
+            Some(bound) => Ok(bound == v),
+            None => {
+                b.insert(name.clone(), v.clone());
+                trail.push(name.clone());
+                Ok(true)
+            }
+        },
+        Expr::Lit(lit) => Ok(lit == v),
+        Expr::Tuple(items) => match v {
+            Value::Tuple(vals) if vals.len() == items.len() => {
+                for (e, val) in items.iter().zip(vals) {
+                    if !match_expr_trail(e, val, b, trail)? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            _ => Ok(false),
+        },
+        Expr::App(..) => {
+            // Applications cannot run backwards; the planner only
+            // schedules them once their variables are bound.
+            Ok(eval_expr(e, b)? == *v)
+        }
+    }
+}
+
+fn undo(b: &mut Bindings, trail: &mut Vec<String>, mark: usize) {
+    while trail.len() > mark {
+        let name = trail.pop().expect("trail length checked");
+        b.remove(&name);
+    }
+}
+
+/// Can `e` be *matched* once the variables in `bound` are available?
+/// (Every function application inside must be fully bound; everything else
+/// is a pattern.)
+fn matchable(e: &Expr, bound: &dyn Fn(&str) -> bool) -> bool {
+    match e {
+        Expr::Var(_) | Expr::Lit(_) => true,
+        Expr::Tuple(items) => items.iter().all(|e| matchable(e, bound)),
+        Expr::App(..) => e.vars().iter().all(|v| bound(v)),
+    }
+}
+
+/// Is `e` fully evaluable once the variables in `bound` are available?
+fn evaluable(e: &Expr, bound: &dyn Fn(&str) -> bool) -> bool {
+    e.vars().iter().all(|v| bound(v))
+}
+
+/// A body evaluation plan: the literal indices in execution order. The
+/// plan exists iff the body can be evaluated left-to-right with every
+/// negative literal, comparison and function application ground when
+/// reached — the operational counterpart of Definition 4.1's range
+/// restriction (see `safety` for the declarative check).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BodyPlan {
+    /// Indices into `rule.body` in execution order.
+    pub order: Vec<usize>,
+}
+
+/// Plan a rule body. Greedy: repeatedly pick the first not-yet-scheduled
+/// literal that is executable given the variables bound so far.
+pub fn plan_body(rule: &Rule) -> Result<BodyPlan, EvalError> {
+    let n = rule.body.len();
+    let mut scheduled = vec![false; n];
+    let mut bound: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    let mut order = Vec::with_capacity(n);
+
+    let is_bound = |bound: &std::collections::BTreeSet<String>, v: &str| bound.contains(v);
+
+    while order.len() < n {
+        let mut progressed = false;
+        #[allow(clippy::needless_range_loop)] // `i` indexes two arrays in lockstep
+        for i in 0..n {
+            if scheduled[i] {
+                continue;
+            }
+            let lit = &rule.body[i];
+            let ok = {
+                let bd = |v: &str| is_bound(&bound, v);
+                match lit {
+                    Literal::Pos(atom) => atom.args.iter().all(|e| matchable(e, &bd)),
+                    Literal::Neg(atom) => atom.args.iter().all(|e| evaluable(e, &bd)),
+                    Literal::Cmp(CmpOp::Eq, l, r) => {
+                        // binder or test: one side evaluable, other matchable
+                        (evaluable(l, &bd) && matchable(r, &bd))
+                            || (evaluable(r, &bd) && matchable(l, &bd))
+                    }
+                    Literal::Cmp(_, l, r) => evaluable(l, &bd) && evaluable(r, &bd),
+                }
+            };
+            if ok {
+                scheduled[i] = true;
+                order.push(i);
+                for v in lit.vars() {
+                    bound.insert(v.to_string());
+                }
+                progressed = true;
+            }
+        }
+        if !progressed {
+            let stuck: Vec<String> = (0..n)
+                .filter(|i| !scheduled[*i])
+                .map(|i| rule.body[i].to_string())
+                .collect();
+            return Err(EvalError::Unsafe(format!(
+                "rule `{rule}` has no evaluable order; stuck literals: {}",
+                stuck.join(", ")
+            )));
+        }
+    }
+
+    // The head must be fully evaluable from the body bindings.
+    for e in &rule.head.args {
+        if !evaluable(e, &|v| bound.contains(v)) {
+            return Err(EvalError::Unsafe(format!(
+                "rule `{rule}`: head variable not restricted by the body"
+            )));
+        }
+    }
+    Ok(BodyPlan { order })
+}
+
+/// Where positive literals read their facts during one rule application.
+pub struct FactSource<'a> {
+    /// Facts for every positive literal by default.
+    pub full: &'a Interp,
+    /// Semi-naive: the body-literal index that must instead read from this
+    /// delta interpretation.
+    pub delta: Option<(usize, &'a Interp)>,
+}
+
+impl<'a> FactSource<'a> {
+    /// A plain source reading everything from `full`.
+    pub fn full(full: &'a Interp) -> Self {
+        FactSource { full, delta: None }
+    }
+
+    fn interp_for(&self, body_index: usize) -> &'a Interp {
+        match self.delta {
+            Some((i, d)) if i == body_index => d,
+            _ => self.full,
+        }
+    }
+}
+
+/// Apply one rule: enumerate all satisfying bindings and emit head facts
+/// into `out`. `neg` decides negative literals: `neg(pred, args)` returns
+/// `true` iff `¬pred(args)` is *satisfied*. Returns the number of facts
+/// that were new.
+pub fn apply_rule(
+    rule: &Rule,
+    plan: &BodyPlan,
+    source: &FactSource<'_>,
+    neg: &dyn Fn(&str, &[Value]) -> bool,
+    meter: &mut Meter,
+    out: &mut Interp,
+) -> Result<usize, EvalError> {
+    let mut added = 0usize;
+    let mut bindings = Bindings::new();
+    apply_rec(
+        rule,
+        plan,
+        0,
+        source,
+        neg,
+        meter,
+        &mut bindings,
+        &mut |b, meter| {
+            let args: Vec<Value> = rule
+                .head
+                .args
+                .iter()
+                .map(|e| eval_expr(e, b))
+                .collect::<Result<_, _>>()?;
+            for v in &args {
+                meter.check_value_size(v.size())?;
+            }
+            if out.insert(&rule.head.pred, args) {
+                added += 1;
+                meter.add_facts(1)?;
+            }
+            Ok(())
+        },
+    )?;
+    Ok(added)
+}
+
+/// Enumerate all satisfying bindings of a rule body, invoking `emit` for
+/// each (used by grounding for stable models, which needs the bindings
+/// themselves rather than just head facts).
+pub fn enumerate_bindings(
+    rule: &Rule,
+    plan: &BodyPlan,
+    source: &FactSource<'_>,
+    neg: &dyn Fn(&str, &[Value]) -> bool,
+    meter: &mut Meter,
+    emit: &mut dyn FnMut(&Bindings, &mut Meter) -> Result<(), EvalError>,
+) -> Result<(), EvalError> {
+    let mut bindings = Bindings::new();
+    apply_rec(rule, plan, 0, source, neg, meter, &mut bindings, emit)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn apply_rec(
+    rule: &Rule,
+    plan: &BodyPlan,
+    step: usize,
+    source: &FactSource<'_>,
+    neg: &dyn Fn(&str, &[Value]) -> bool,
+    meter: &mut Meter,
+    bindings: &mut Bindings,
+    emit: &mut dyn FnMut(&Bindings, &mut Meter) -> Result<(), EvalError>,
+) -> Result<(), EvalError> {
+    if step == plan.order.len() {
+        return emit(bindings, meter);
+    }
+    let idx = plan.order[step];
+    match &rule.body[idx] {
+        Literal::Pos(atom) => {
+            let facts = source.interp_for(idx);
+            // First-argument index: if the leading argument is already
+            // computable, restrict the scan to the matching prefix range.
+            // A failing evaluation (dynamic type error) falls back to the
+            // full scan, which raises the same error lazily per candidate
+            // — and raises nothing at all when there are no candidates,
+            // matching the unindexed semantics.
+            let first_bound = match atom.args.first() {
+                Some(e) if e.vars().iter().all(|v| bindings.contains_key(*v)) => {
+                    eval_expr(e, bindings).ok()
+                }
+                _ => None,
+            };
+            let iter: Box<dyn Iterator<Item = &Vec<Value>>> = match &first_bound {
+                Some(v) => Box::new(facts.facts_with_first(&atom.pred, v)),
+                None => Box::new(facts.facts(&atom.pred)),
+            };
+            let mut trail: Vec<String> = Vec::new();
+            for fact in iter {
+                if fact.len() != atom.args.len() {
+                    continue;
+                }
+                let mut ok = true;
+                for (e, v) in atom.args.iter().zip(fact) {
+                    if !match_expr_trail(e, v, bindings, &mut trail)? {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    apply_rec(rule, plan, step + 1, source, neg, meter, bindings, emit)?;
+                }
+                undo(bindings, &mut trail, 0);
+            }
+            Ok(())
+        }
+        Literal::Neg(atom) => {
+            let args: Vec<Value> = atom
+                .args
+                .iter()
+                .map(|e| eval_expr(e, bindings))
+                .collect::<Result<_, _>>()?;
+            if neg(&atom.pred, &args) {
+                apply_rec(rule, plan, step + 1, source, neg, meter, bindings, emit)?;
+            }
+            Ok(())
+        }
+        Literal::Cmp(CmpOp::Eq, l, r) => {
+            // One side is evaluable (guaranteed by the plan); match the
+            // other side against its value.
+            let bound = |b: &Bindings, e: &Expr| e.vars().iter().all(|v| b.contains_key(*v));
+            let (val_side, pat_side) = if bound(bindings, l) {
+                (l, r)
+            } else {
+                (r, l)
+            };
+            let v = eval_expr(val_side, bindings)?;
+            meter.check_value_size(v.size())?;
+            let mut trail: Vec<String> = Vec::new();
+            if match_expr_trail(pat_side, &v, bindings, &mut trail)? {
+                apply_rec(rule, plan, step + 1, source, neg, meter, bindings, emit)?;
+            }
+            undo(bindings, &mut trail, 0);
+            Ok(())
+        }
+        Literal::Cmp(op, l, r) => {
+            let a = eval_expr(l, bindings)?;
+            let b = eval_expr(r, bindings)?;
+            if op.eval(&a, &b) {
+                apply_rec(rule, plan, step + 1, source, neg, meter, bindings, emit)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// A program with precomputed body plans — the compiled form every
+/// fixpoint engine consumes.
+#[derive(Clone, Debug)]
+pub struct Compiled {
+    /// The source rules.
+    pub rules: Vec<Rule>,
+    /// One plan per rule.
+    pub plans: Vec<BodyPlan>,
+}
+
+impl Compiled {
+    /// Plan every rule of a program.
+    pub fn compile(program: &crate::ast::Program) -> Result<Self, EvalError> {
+        let plans = program
+            .rules
+            .iter()
+            .map(plan_body)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Compiled {
+            rules: program.rules.clone(),
+            plans,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Atom, Func, Program};
+    use algrec_value::Budget;
+
+    fn i(n: i64) -> Value {
+        Value::int(n)
+    }
+
+    fn v(name: &str) -> Expr {
+        Expr::var(name)
+    }
+
+    #[test]
+    fn eval_expr_basics() {
+        let mut b = Bindings::new();
+        b.insert("X".into(), i(3));
+        assert_eq!(eval_expr(&v("X"), &b).unwrap(), i(3));
+        assert_eq!(
+            eval_expr(&Expr::App(Func::Succ, vec![v("X")]), &b).unwrap(),
+            i(4)
+        );
+        assert_eq!(
+            eval_expr(&Expr::Tuple(vec![v("X"), Expr::int(1)]), &b).unwrap(),
+            Value::pair(i(3), i(1))
+        );
+        assert!(eval_expr(&v("Y"), &b).is_err());
+        assert!(matches!(
+            eval_expr(&Expr::App(Func::Succ, vec![Expr::lit("a")]), &b),
+            Err(EvalError::Type(_))
+        ));
+    }
+
+    #[test]
+    fn match_binds_and_tests() {
+        let mut b = Bindings::new();
+        assert!(match_expr(&v("X"), &i(1), &mut b).unwrap());
+        assert_eq!(b.get("X"), Some(&i(1)));
+        assert!(!match_expr(&v("X"), &i(2), &mut b).unwrap());
+        assert!(match_expr(&Expr::int(5), &i(5), &mut b).unwrap());
+        assert!(!match_expr(&Expr::int(5), &i(6), &mut b).unwrap());
+    }
+
+    #[test]
+    fn match_destructures_tuples() {
+        let mut b = Bindings::new();
+        let pat = Expr::Tuple(vec![v("A"), v("B")]);
+        assert!(match_expr(&pat, &Value::pair(i(1), i(2)), &mut b).unwrap());
+        assert_eq!(b.get("A"), Some(&i(1)));
+        assert_eq!(b.get("B"), Some(&i(2)));
+        assert!(!match_expr(&pat, &i(9), &mut Bindings::new()).unwrap());
+    }
+
+    #[test]
+    fn plan_orders_binders_first() {
+        // q(Y) :- Y = succ(X), e(X).   must schedule e(X) first.
+        let rule = Rule::new(
+            Atom::new("q", [v("Y")]),
+            [
+                Literal::Cmp(CmpOp::Eq, v("Y"), Expr::App(Func::Succ, vec![v("X")])),
+                Literal::Pos(Atom::new("e", [v("X")])),
+            ],
+        );
+        let plan = plan_body(&rule).unwrap();
+        assert_eq!(plan.order, vec![1, 0]);
+    }
+
+    #[test]
+    fn plan_rejects_unsafe() {
+        // q(X) :- not e(X).   X never restricted.
+        let rule = Rule::new(
+            Atom::new("q", [v("X")]),
+            [Literal::Neg(Atom::new("e", [v("X")]))],
+        );
+        assert!(matches!(plan_body(&rule), Err(EvalError::Unsafe(_))));
+        // q(X) :- e(Y).   head variable unrestricted.
+        let rule2 = Rule::new(
+            Atom::new("q", [v("X")]),
+            [Literal::Pos(Atom::new("e", [v("Y")]))],
+        );
+        assert!(matches!(plan_body(&rule2), Err(EvalError::Unsafe(_))));
+    }
+
+    #[test]
+    fn apply_rule_joins() {
+        // path(X,Z) :- e(X,Y), e(Y,Z).
+        let rule = Rule::new(
+            Atom::new("path", [v("X"), v("Z")]),
+            [
+                Literal::Pos(Atom::new("e", [v("X"), v("Y")])),
+                Literal::Pos(Atom::new("e", [v("Y"), v("Z")])),
+            ],
+        );
+        let plan = plan_body(&rule).unwrap();
+        let mut facts = Interp::new();
+        facts.insert("e", vec![i(1), i(2)]);
+        facts.insert("e", vec![i(2), i(3)]);
+        let mut out = Interp::new();
+        let mut meter = Budget::SMALL.meter();
+        let added = apply_rule(
+            &rule,
+            &plan,
+            &FactSource::full(&facts),
+            &|_, _| false,
+            &mut meter,
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(added, 1);
+        assert!(out.holds("path", &[i(1), i(3)]));
+    }
+
+    #[test]
+    fn apply_rule_negation_oracle() {
+        // q(X) :- e(X), not p(X).
+        let rule = Rule::new(
+            Atom::new("q", [v("X")]),
+            [
+                Literal::Pos(Atom::new("e", [v("X")])),
+                Literal::Neg(Atom::new("p", [v("X")])),
+            ],
+        );
+        let plan = plan_body(&rule).unwrap();
+        let mut facts = Interp::new();
+        facts.insert("e", vec![i(1)]);
+        facts.insert("e", vec![i(2)]);
+        let mut out = Interp::new();
+        let mut meter = Budget::SMALL.meter();
+        apply_rule(
+            &rule,
+            &plan,
+            &FactSource::full(&facts),
+            &|_, args| args[0] != i(1), // ¬p(x) holds except for 1
+            &mut meter,
+            &mut out,
+        )
+        .unwrap();
+        assert!(!out.holds("q", &[i(1)]));
+        assert!(out.holds("q", &[i(2)]));
+    }
+
+    #[test]
+    fn apply_rule_with_functions_and_comparisons() {
+        // double(Y) :- n(X), X < 3, Y = mul(X, 2).
+        let rule = Rule::new(
+            Atom::new("double", [v("Y")]),
+            [
+                Literal::Pos(Atom::new("n", [v("X")])),
+                Literal::Cmp(CmpOp::Lt, v("X"), Expr::int(3)),
+                Literal::Cmp(
+                    CmpOp::Eq,
+                    v("Y"),
+                    Expr::App(Func::Mul, vec![v("X"), Expr::int(2)]),
+                ),
+            ],
+        );
+        let plan = plan_body(&rule).unwrap();
+        let mut facts = Interp::new();
+        for n in 1..=4 {
+            facts.insert("n", vec![i(n)]);
+        }
+        let mut out = Interp::new();
+        let mut meter = Budget::SMALL.meter();
+        apply_rule(
+            &rule,
+            &plan,
+            &FactSource::full(&facts),
+            &|_, _| false,
+            &mut meter,
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(out.count("double"), 2);
+        assert!(out.holds("double", &[i(2)]));
+        assert!(out.holds("double", &[i(4)]));
+    }
+
+    #[test]
+    fn delta_source_restricts_one_occurrence() {
+        // path(X,Z) :- path(X,Y), e(Y,Z).  with delta on body literal 0.
+        let rule = Rule::new(
+            Atom::new("path", [v("X"), v("Z")]),
+            [
+                Literal::Pos(Atom::new("path", [v("X"), v("Y")])),
+                Literal::Pos(Atom::new("e", [v("Y"), v("Z")])),
+            ],
+        );
+        let plan = plan_body(&rule).unwrap();
+        let mut full = Interp::new();
+        full.insert("path", vec![i(1), i(2)]);
+        full.insert("path", vec![i(5), i(6)]);
+        full.insert("e", vec![i(2), i(3)]);
+        full.insert("e", vec![i(6), i(7)]);
+        let mut delta = Interp::new();
+        delta.insert("path", vec![i(1), i(2)]); // only this one is "new"
+        let mut out = Interp::new();
+        let mut meter = Budget::SMALL.meter();
+        apply_rule(
+            &rule,
+            &plan,
+            &FactSource {
+                full: &full,
+                delta: Some((0, &delta)),
+            },
+            &|_, _| false,
+            &mut meter,
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.holds("path", &[i(1), i(3)]));
+        assert!(!out.holds("path", &[i(5), i(7)])); // not rederived from old
+    }
+
+    #[test]
+    fn compile_whole_program() {
+        let p = Program::from_rules([Rule::new(
+            Atom::new("q", [v("X")]),
+            [Literal::Pos(Atom::new("e", [v("X")]))],
+        )]);
+        let c = Compiled::compile(&p).unwrap();
+        assert_eq!(c.rules.len(), 1);
+        assert_eq!(c.plans.len(), 1);
+    }
+
+    #[test]
+    fn indexed_lookup_stays_lazy_on_type_errors() {
+        // q(X) :- e(X), p(succ(X)).  With X bound to a string, evaluating
+        // succ(X) for the first-argument index would error — but p is
+        // empty, so the unindexed semantics has no candidates and raises
+        // nothing. The index must not change that.
+        let rule = Rule::new(
+            Atom::new("q", [v("X")]),
+            [
+                Literal::Pos(Atom::new("e", [v("X")])),
+                Literal::Pos(Atom::new("p", [Expr::App(Func::Succ, vec![v("X")])])),
+            ],
+        );
+        let plan = plan_body(&rule).unwrap();
+        let mut facts = Interp::new();
+        facts.insert("e", vec![Value::str("a")]);
+        let mut out = Interp::new();
+        let mut meter = Budget::SMALL.meter();
+        let added = apply_rule(
+            &rule,
+            &plan,
+            &FactSource::full(&facts),
+            &|_, _| false,
+            &mut meter,
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(added, 0);
+        // With p non-empty the error must surface (the full scan hits it).
+        facts.insert("p", vec![i(1)]);
+        let err = apply_rule(
+            &rule,
+            &plan,
+            &FactSource::full(&facts),
+            &|_, _| false,
+            &mut meter,
+            &mut out,
+        );
+        assert!(matches!(err, Err(EvalError::Type(_))));
+    }
+
+    #[test]
+    fn fact_budget_enforced() {
+        let rule = Rule::new(
+            Atom::new("q", [v("X")]),
+            [Literal::Pos(Atom::new("e", [v("X")]))],
+        );
+        let plan = plan_body(&rule).unwrap();
+        let mut facts = Interp::new();
+        for n in 0..10 {
+            facts.insert("e", vec![i(n)]);
+        }
+        let mut out = Interp::new();
+        let mut meter = Budget::new(10, 3, 64).meter();
+        let err = apply_rule(
+            &rule,
+            &plan,
+            &FactSource::full(&facts),
+            &|_, _| false,
+            &mut meter,
+            &mut out,
+        );
+        assert!(matches!(err, Err(EvalError::Budget(_))));
+    }
+}

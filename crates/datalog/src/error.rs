@@ -1,0 +1,76 @@
+//! Errors produced by the deduction engine.
+
+use algrec_value::BudgetError;
+use std::fmt;
+
+/// Any failure of program analysis or evaluation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum EvalError {
+    /// A resource budget was exhausted (the finite window into a possibly
+    /// infinite model was too small — see `algrec_value::Budget`).
+    Budget(BudgetError),
+    /// A dynamic type error in an interpreted function or comparison.
+    Type(String),
+    /// A rule body could not be put into an evaluable order — it violates
+    /// the safety restrictions (Definition 4.1). The string names the rule
+    /// and the stuck literal.
+    Unsafe(String),
+    /// The program is not stratified, but a stratified evaluation was
+    /// requested (Theorem 4.3's hypothesis fails; use the valid,
+    /// well-founded or inflationary semantics instead).
+    NotStratified(String),
+    /// Stable-model enumeration over the residual program would need to
+    /// branch on more undefined atoms than the configured cap.
+    TooManyUnknowns {
+        /// Undefined atoms found.
+        found: usize,
+        /// Configured cap.
+        cap: usize,
+    },
+    /// The program has no stable model (e.g. `p :- not p.`).
+    NoStableModel,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Budget(b) => write!(f, "budget: {b}"),
+            EvalError::Type(m) => write!(f, "type error: {m}"),
+            EvalError::Unsafe(m) => write!(f, "unsafe rule: {m}"),
+            EvalError::NotStratified(m) => write!(f, "program is not stratified: {m}"),
+            EvalError::TooManyUnknowns { found, cap } => write!(
+                f,
+                "stable-model search over {found} undefined atoms exceeds cap {cap}"
+            ),
+            EvalError::NoStableModel => write!(f, "program has no stable model"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<BudgetError> for EvalError {
+    fn from(b: BudgetError) -> Self {
+        EvalError::Budget(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(EvalError::Type("bad".into()).to_string().contains("bad"));
+        assert!(EvalError::Unsafe("r".into()).to_string().contains("unsafe"));
+        assert!(EvalError::NotStratified("win".into())
+            .to_string()
+            .contains("stratified"));
+        assert!(EvalError::TooManyUnknowns { found: 30, cap: 16 }
+            .to_string()
+            .contains("30"));
+        assert!(EvalError::NoStableModel.to_string().contains("stable"));
+        let b: EvalError = BudgetError::Iterations(3).into();
+        assert!(b.to_string().contains("budget"));
+    }
+}

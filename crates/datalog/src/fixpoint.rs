@@ -1,0 +1,297 @@
+//! Least-fixpoint computation with a *fixed* negation oracle.
+//!
+//! This is the operator the paper calls "a derivation starting from a set
+//! of true facts, where only facts from a fixed set are allowed to be used
+//! negatively" (Section 2.2). Formally it is the Γ operator of the
+//! alternating-fixpoint characterization: given an oracle deciding every
+//! negative literal once and for all, the program becomes monotone and has
+//! a least fixpoint.
+//!
+//! Two implementations are provided — textbook [`naive`] iteration and
+//! [`semi_naive`] differential iteration — because experiment **E8**
+//! measures the gap between them; every other module uses `semi_naive`.
+
+use crate::engine::{apply_rule, Compiled, FactSource};
+use crate::error::EvalError;
+use crate::interp::Interp;
+use algrec_value::budget::Meter;
+use algrec_value::Value;
+use std::collections::BTreeSet;
+
+/// Statistics of one fixpoint run (used by the experiment harness).
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub struct FixpointStats {
+    /// Number of rounds until the fixpoint was reached.
+    pub rounds: usize,
+    /// Number of rule applications performed.
+    pub rule_applications: usize,
+    /// Facts derived (beyond the initial interpretation).
+    pub derived: usize,
+}
+
+/// Naive evaluation: apply every rule against the full current
+/// interpretation until nothing new is derived.
+pub fn naive(
+    compiled: &Compiled,
+    base: &Interp,
+    neg: &dyn Fn(&str, &[Value]) -> bool,
+    meter: &mut Meter,
+) -> Result<(Interp, FixpointStats), EvalError> {
+    let mut total = base.clone();
+    let mut stats = FixpointStats::default();
+    loop {
+        meter.tick_iteration()?;
+        stats.rounds += 1;
+        let mut derived = Interp::new();
+        for (rule, plan) in compiled.rules.iter().zip(&compiled.plans) {
+            stats.rule_applications += 1;
+            apply_rule(
+                rule,
+                plan,
+                &FactSource::full(&total),
+                neg,
+                meter,
+                &mut derived,
+            )?;
+        }
+        let added = total.absorb(&derived);
+        if added == 0 {
+            break;
+        }
+        stats.derived += added;
+    }
+    Ok((total, stats))
+}
+
+/// Semi-naive evaluation: after the first round, a recursive rule is only
+/// re-fired with at least one of its positive IDB literals constrained to
+/// the facts new in the previous round.
+pub fn semi_naive(
+    compiled: &Compiled,
+    base: &Interp,
+    neg: &dyn Fn(&str, &[Value]) -> bool,
+    meter: &mut Meter,
+) -> Result<(Interp, FixpointStats), EvalError> {
+    let mut stats = FixpointStats::default();
+    let idb: BTreeSet<&str> = compiled
+        .rules
+        .iter()
+        .map(|r| r.head.pred.as_str())
+        .collect();
+
+    // Round 0: fire every rule once against the base.
+    let mut total = base.clone();
+    let mut delta = Interp::new();
+    meter.tick_iteration()?;
+    stats.rounds += 1;
+    for (rule, plan) in compiled.rules.iter().zip(&compiled.plans) {
+        stats.rule_applications += 1;
+        apply_rule(
+            rule,
+            plan,
+            &FactSource::full(&total),
+            neg,
+            meter,
+            &mut delta,
+        )?;
+    }
+    // Keep only genuinely new facts in delta.
+    let mut new_delta = Interp::new();
+    for (p, args) in delta.iter() {
+        if !total.holds(p, args) {
+            new_delta.insert(p, args.clone());
+        }
+    }
+    let mut delta = new_delta;
+    stats.derived += total.absorb(&delta);
+
+    // Subsequent rounds: differential firing.
+    while delta.total() > 0 {
+        meter.tick_iteration()?;
+        stats.rounds += 1;
+        let mut derived = Interp::new();
+        for (rule, plan) in compiled.rules.iter().zip(&compiled.plans) {
+            // Indices of positive body literals over IDB predicates.
+            let rec_positions: Vec<usize> = rule
+                .body
+                .iter()
+                .enumerate()
+                .filter_map(|(i, lit)| match lit {
+                    crate::ast::Literal::Pos(a) if idb.contains(a.pred.as_str()) => Some(i),
+                    _ => None,
+                })
+                .collect();
+            // Non-recursive rules fired completely in round 0.
+            for &pos in &rec_positions {
+                stats.rule_applications += 1;
+                apply_rule(
+                    rule,
+                    plan,
+                    &FactSource {
+                        full: &total,
+                        delta: Some((pos, &delta)),
+                    },
+                    neg,
+                    meter,
+                    &mut derived,
+                )?;
+            }
+        }
+        let mut next_delta = Interp::new();
+        for (p, args) in derived.iter() {
+            if !total.holds(p, args) {
+                next_delta.insert(p, args.clone());
+            }
+        }
+        stats.derived += total.absorb(&next_delta);
+        delta = next_delta;
+    }
+    Ok((total, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Atom, Expr, Literal, Program, Rule};
+    use algrec_value::Budget;
+
+    fn i(n: i64) -> Value {
+        Value::int(n)
+    }
+
+    fn v(name: &str) -> Expr {
+        Expr::var(name)
+    }
+
+    fn tc_program() -> Compiled {
+        Compiled::compile(&Program::from_rules([
+            Rule::new(
+                Atom::new("tc", [v("X"), v("Y")]),
+                [Literal::Pos(Atom::new("edge", [v("X"), v("Y")]))],
+            ),
+            Rule::new(
+                Atom::new("tc", [v("X"), v("Z")]),
+                [
+                    Literal::Pos(Atom::new("tc", [v("X"), v("Y")])),
+                    Literal::Pos(Atom::new("edge", [v("Y"), v("Z")])),
+                ],
+            ),
+        ]))
+        .unwrap()
+    }
+
+    fn chain_edges(n: i64) -> Interp {
+        let mut base = Interp::new();
+        for k in 0..n {
+            base.insert("edge", vec![i(k), i(k + 1)]);
+        }
+        base
+    }
+
+    #[test]
+    fn naive_transitive_closure() {
+        let compiled = tc_program();
+        let mut meter = Budget::SMALL.meter();
+        let (out, stats) = naive(&compiled, &chain_edges(5), &|_, _| false, &mut meter).unwrap();
+        // chain of 6 nodes: 5+4+3+2+1 = 15 pairs
+        assert_eq!(out.count("tc"), 15);
+        assert!(out.holds("tc", &[i(0), i(5)]));
+        assert!(stats.rounds >= 5);
+    }
+
+    #[test]
+    fn semi_naive_agrees_with_naive() {
+        let compiled = tc_program();
+        let base = chain_edges(8);
+        let mut m1 = Budget::SMALL.meter();
+        let mut m2 = Budget::SMALL.meter();
+        let (a, _) = naive(&compiled, &base, &|_, _| false, &mut m1).unwrap();
+        let (b, sb) = semi_naive(&compiled, &base, &|_, _| false, &mut m2).unwrap();
+        assert_eq!(a, b);
+        assert!(sb.derived > 0);
+    }
+
+    #[test]
+    fn semi_naive_does_less_work() {
+        let compiled = tc_program();
+        let base = chain_edges(20);
+        let mut m1 = Budget::LARGE.meter();
+        let mut m2 = Budget::LARGE.meter();
+        let (a, _) = naive(&compiled, &base, &|_, _| false, &mut m1).unwrap();
+        let (b, _) = semi_naive(&compiled, &base, &|_, _| false, &mut m2).unwrap();
+        assert_eq!(a, b);
+        // The meter's fact count only counts new facts, but naive re-derives:
+        // compare iterations of the meters is equal; instead compare that
+        // semi-naive visited strictly fewer (rule, fact) pairs indirectly via
+        // wall-clock-free proxy: both computed the same result. The work gap
+        // is measured by experiment E8; here we just pin the equality.
+        assert_eq!(a.count("tc"), 20 * 21 / 2);
+        let _ = b;
+    }
+
+    #[test]
+    fn negation_oracle_is_respected() {
+        // q(X) :- node(X), not bad(X).
+        let compiled = Compiled::compile(&Program::from_rules([Rule::new(
+            Atom::new("q", [v("X")]),
+            [
+                Literal::Pos(Atom::new("node", [v("X")])),
+                Literal::Neg(Atom::new("bad", [v("X")])),
+            ],
+        )]))
+        .unwrap();
+        let mut base = Interp::new();
+        base.insert("node", vec![i(1)]);
+        base.insert("node", vec![i(2)]);
+        let mut meter = Budget::SMALL.meter();
+        let (out, _) = semi_naive(
+            &compiled,
+            &base,
+            &|p, args| p == "bad" && args[0] != i(2),
+            &mut meter,
+        )
+        .unwrap();
+        assert!(out.holds("q", &[i(1)]));
+        assert!(!out.holds("q", &[i(2)]));
+    }
+
+    #[test]
+    fn budget_stops_runaway_generation() {
+        // nat(succ(X)) :- nat(X).  — generates an infinite set; the budget
+        // must stop it (paper, Section 3.1: fixed points may be infinite).
+        use crate::ast::Func;
+        let compiled = Compiled::compile(&Program::from_rules([
+            Rule::fact(Atom::new("nat", [Expr::int(0)])),
+            Rule::new(
+                Atom::new("nat", [Expr::App(Func::Succ, vec![v("X")])]),
+                [Literal::Pos(Atom::new("nat", [v("X")]))],
+            ),
+        ]))
+        .unwrap();
+        let mut meter = Budget::new(50, 1_000_000, 64).meter();
+        let err = semi_naive(&compiled, &Interp::new(), &|_, _| false, &mut meter);
+        assert!(matches!(err, Err(EvalError::Budget(_))));
+    }
+
+    #[test]
+    fn bounded_generation_succeeds() {
+        // nat(Y) :- nat(X), X < 10, Y = succ(X).
+        use crate::ast::CmpOp;
+        use crate::ast::Func;
+        let compiled = Compiled::compile(&Program::from_rules([
+            Rule::fact(Atom::new("nat", [Expr::int(0)])),
+            Rule::new(
+                Atom::new("nat", [v("Y")]),
+                [
+                    Literal::Pos(Atom::new("nat", [v("X")])),
+                    Literal::Cmp(CmpOp::Lt, v("X"), Expr::int(10)),
+                    Literal::Cmp(CmpOp::Eq, v("Y"), Expr::App(Func::Succ, vec![v("X")])),
+                ],
+            ),
+        ]))
+        .unwrap();
+        let mut meter = Budget::SMALL.meter();
+        let (out, _) = semi_naive(&compiled, &Interp::new(), &|_, _| false, &mut meter).unwrap();
+        assert_eq!(out.count("nat"), 11);
+    }
+}

@@ -1,0 +1,175 @@
+//! The inflationary fixpoint semantics.
+//!
+//! Under the inflationary semantics, negation reads "*was not derived so
+//! far*" (Section 5): at every step all rules fire against the facts
+//! accumulated so far — with negative literals evaluated against that same
+//! accumulating set — and the results are added, never retracted. This is
+//! the semantics of the paper's IFP operator, and the target semantics of
+//! the Prop 5.1 translation; Example 4 (`IFP_{ {a} − x }`) is the program
+//! that separates it from the valid semantics.
+
+use crate::engine::{apply_rule, Compiled, FactSource};
+use crate::error::EvalError;
+use crate::fixpoint::FixpointStats;
+use crate::interp::Interp;
+use algrec_value::budget::Meter;
+
+/// Compute the inflationary fixpoint of a compiled program over a base
+/// interpretation.
+pub fn inflationary(
+    compiled: &Compiled,
+    base: &Interp,
+    meter: &mut Meter,
+) -> Result<(Interp, FixpointStats), EvalError> {
+    let mut total = base.clone();
+    let mut stats = FixpointStats::default();
+    loop {
+        meter.tick_iteration()?;
+        stats.rounds += 1;
+        // Freeze the step: both positive matching and the negation oracle
+        // see the same snapshot ("was not derived so far").
+        let snapshot = total.clone();
+        let mut derived = Interp::new();
+        for (rule, plan) in compiled.rules.iter().zip(&compiled.plans) {
+            stats.rule_applications += 1;
+            apply_rule(
+                rule,
+                plan,
+                &FactSource::full(&snapshot),
+                &|p, args| !snapshot.holds(p, args),
+                meter,
+                &mut derived,
+            )?;
+        }
+        let added = total.absorb(&derived);
+        if added == 0 {
+            break;
+        }
+        stats.derived += added;
+    }
+    Ok((total, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Atom, Expr, Literal, Program, Rule};
+    use algrec_value::{Budget, Value};
+
+    fn v(name: &str) -> Expr {
+        Expr::var(name)
+    }
+
+    fn a() -> Value {
+        Value::str("a")
+    }
+
+    /// Example 4 of the paper: the translation of `Q = IFP_{ {a} − x }`:
+    ///   r(a).   q(X) :- r(X), not q(X).
+    /// Under the inflationary semantics `q(a)` IS derived (first step: no
+    /// `q` facts yet, so `¬q(a)` is assumed and `q(a)` fires).
+    fn example4() -> Program {
+        Program::from_rules([
+            Rule::fact(Atom::new("r", [Expr::lit("a")])),
+            Rule::new(
+                Atom::new("q", [v("X")]),
+                [
+                    Literal::Pos(Atom::new("r", [v("X")])),
+                    Literal::Neg(Atom::new("q", [v("X")])),
+                ],
+            ),
+        ])
+    }
+
+    #[test]
+    fn example4_inflationary_derives_q_a() {
+        let compiled = Compiled::compile(&example4()).unwrap();
+        let mut meter = Budget::SMALL.meter();
+        let (out, stats) = inflationary(&compiled, &Interp::new(), &mut meter).unwrap();
+        assert!(out.holds("q", &[a()]));
+        assert!(out.holds("r", &[a()]));
+        assert!(stats.rounds >= 2);
+    }
+
+    #[test]
+    fn inflationary_never_retracts() {
+        // p(1).  q(X) :- p(X), not q(X).  r(X) :- q(X).
+        // Once q(1) is in, r(1) follows even though q(1)'s justification
+        // is self-defeating — inflationary accumulation is permanent.
+        let p = Program::from_rules([
+            Rule::fact(Atom::new("p", [Expr::int(1)])),
+            Rule::new(
+                Atom::new("q", [v("X")]),
+                [
+                    Literal::Pos(Atom::new("p", [v("X")])),
+                    Literal::Neg(Atom::new("q", [v("X")])),
+                ],
+            ),
+            Rule::new(
+                Atom::new("r", [v("X")]),
+                [Literal::Pos(Atom::new("q", [v("X")]))],
+            ),
+        ]);
+        let compiled = Compiled::compile(&p).unwrap();
+        let mut meter = Budget::SMALL.meter();
+        let (out, _) = inflationary(&compiled, &Interp::new(), &mut meter).unwrap();
+        assert!(out.holds("q", &[Value::int(1)]));
+        assert!(out.holds("r", &[Value::int(1)]));
+    }
+
+    #[test]
+    fn positive_programs_match_least_fixpoint() {
+        use crate::fixpoint::semi_naive;
+        let p = Program::from_rules([
+            Rule::new(
+                Atom::new("tc", [v("X"), v("Y")]),
+                [Literal::Pos(Atom::new("e", [v("X"), v("Y")]))],
+            ),
+            Rule::new(
+                Atom::new("tc", [v("X"), v("Z")]),
+                [
+                    Literal::Pos(Atom::new("tc", [v("X"), v("Y")])),
+                    Literal::Pos(Atom::new("e", [v("Y"), v("Z")])),
+                ],
+            ),
+        ]);
+        let compiled = Compiled::compile(&p).unwrap();
+        let mut base = Interp::new();
+        base.insert("e", vec![Value::int(1), Value::int(2)]);
+        base.insert("e", vec![Value::int(2), Value::int(3)]);
+        let mut m1 = Budget::SMALL.meter();
+        let mut m2 = Budget::SMALL.meter();
+        let (infl, _) = inflationary(&compiled, &base, &mut m1).unwrap();
+        let (lfp, _) = semi_naive(&compiled, &base, &|_, _| false, &mut m2).unwrap();
+        assert_eq!(infl, lfp);
+    }
+
+    #[test]
+    fn stage_frozen_negation() {
+        // Two rules racing in one step: s(1). p(X) :- s(X), not q(X).
+        // q(X) :- s(X), not p(X). Inflationary: both fire in step 1
+        // (neither p nor q derived yet), so BOTH p(1) and q(1) hold.
+        let prog = Program::from_rules([
+            Rule::fact(Atom::new("s", [Expr::int(1)])),
+            Rule::new(
+                Atom::new("p", [v("X")]),
+                [
+                    Literal::Pos(Atom::new("s", [v("X")])),
+                    Literal::Neg(Atom::new("q", [v("X")])),
+                ],
+            ),
+            Rule::new(
+                Atom::new("q", [v("X")]),
+                [
+                    Literal::Pos(Atom::new("s", [v("X")])),
+                    Literal::Neg(Atom::new("p", [v("X")])),
+                ],
+            ),
+        ]);
+        let compiled = Compiled::compile(&prog).unwrap();
+        let mut meter = Budget::SMALL.meter();
+        let (out, _) = inflationary(&compiled, &Interp::new(), &mut meter).unwrap();
+        assert!(out.holds("p", &[Value::int(1)]));
+        assert!(out.holds("q", &[Value::int(1)]));
+    }
+}

@@ -1,0 +1,361 @@
+//! Interpretations: assignments of fact sets to predicates.
+//!
+//! A two-valued [`Interp`] is the output of the minimal-model, stratified
+//! and inflationary semantics; a [`ThreeValued`] interpretation — a pair of
+//! `Interp`s, certain ⊆ possible — is the output of the well-founded and
+//! valid semantics (the `(T, F, undefined)` partition of Section 2.2,
+//! with `F` represented implicitly as "not possible").
+
+use crate::ast::Atom;
+use algrec_value::{Database, Relation, Truth, Value};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A ground fact: predicate name plus argument values.
+pub type Fact = (String, Vec<Value>);
+
+/// A two-valued interpretation: for each predicate, the set of argument
+/// vectors that hold.
+#[derive(Clone, PartialEq, Eq, Default, Debug)]
+pub struct Interp {
+    preds: BTreeMap<String, BTreeSet<Vec<Value>>>,
+}
+
+impl Interp {
+    /// The empty interpretation.
+    pub fn new() -> Self {
+        Interp::default()
+    }
+
+    /// Load the extensional database: each relation's members become
+    /// facts. A member that is a tuple `[a, b, …]` becomes the fact
+    /// `R(a, b, …)`; a non-tuple member `v` becomes the unary fact `R(v)`.
+    pub fn from_database(db: &Database) -> Self {
+        let mut out = Interp::new();
+        for (name, rel) in db.iter() {
+            for v in rel.iter() {
+                out.insert(name, tuple_args(v));
+            }
+        }
+        out
+    }
+
+    /// Insert a fact; returns whether it was new.
+    pub fn insert(&mut self, pred: &str, args: Vec<Value>) -> bool {
+        self.preds.entry(pred.to_string()).or_default().insert(args)
+    }
+
+    /// Does the fact hold?
+    pub fn holds(&self, pred: &str, args: &[Value]) -> bool {
+        self.preds.get(pred).is_some_and(|s| s.contains(args))
+    }
+
+    /// The fact set of one predicate (empty if absent).
+    pub fn facts(&self, pred: &str) -> impl Iterator<Item = &Vec<Value>> {
+        self.preds.get(pred).into_iter().flatten()
+    }
+
+    /// The facts of `pred` whose first argument equals `first` — a prefix
+    /// range over the ordered fact set, so matching a bound first column
+    /// costs O(log n + answers) instead of a full scan. This is the
+    /// engine's (deliberately simple) index; experiment E8 measures its
+    /// effect together with semi-naive evaluation.
+    pub fn facts_with_first<'a>(
+        &'a self,
+        pred: &str,
+        first: &'a Value,
+    ) -> impl Iterator<Item = &'a Vec<Value>> + 'a {
+        self.preds
+            .get(pred)
+            .into_iter()
+            .flat_map(move |set| {
+                set.range(vec![first.clone()]..)
+                    .take_while(move |f| f.first() == Some(first))
+            })
+    }
+
+    /// Number of facts for one predicate.
+    pub fn count(&self, pred: &str) -> usize {
+        self.preds.get(pred).map_or(0, BTreeSet::len)
+    }
+
+    /// Total number of facts.
+    pub fn total(&self) -> usize {
+        self.preds.values().map(BTreeSet::len).sum()
+    }
+
+    /// Predicates with at least one fact.
+    pub fn preds(&self) -> impl Iterator<Item = &str> {
+        self.preds.keys().map(String::as_str)
+    }
+
+    /// Merge all facts of `other` into `self`; returns the number of new
+    /// facts.
+    pub fn absorb(&mut self, other: &Interp) -> usize {
+        let mut added = 0;
+        for (pred, facts) in &other.preds {
+            let entry = self.preds.entry(pred.clone()).or_default();
+            for f in facts {
+                if entry.insert(f.clone()) {
+                    added += 1;
+                }
+            }
+        }
+        added
+    }
+
+    /// Is `self` a subset of `other` (pointwise)?
+    pub fn is_subset(&self, other: &Interp) -> bool {
+        self.preds.iter().all(|(pred, facts)| {
+            other
+                .preds
+                .get(pred)
+                .is_some_and(|o| facts.is_subset(o))
+                || facts.is_empty()
+        })
+    }
+
+    /// Iterate every fact.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Vec<Value>)> {
+        self.preds
+            .iter()
+            .flat_map(|(p, fs)| fs.iter().map(move |f| (p.as_str(), f)))
+    }
+
+    /// Extract a predicate's facts as a [`Relation`] of tuple values
+    /// (unary facts become bare values).
+    pub fn to_relation(&self, pred: &str) -> Relation {
+        Relation::from_values(self.facts(pred).map(|args| args_tuple(args)))
+    }
+
+    /// Remove all facts of one predicate.
+    pub fn clear_pred(&mut self, pred: &str) {
+        self.preds.remove(pred);
+    }
+}
+
+impl fmt::Display for Interp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (pred, facts) in &self.preds {
+            for args in facts {
+                write!(f, "{pred}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                writeln!(f, ").")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Convert a relation member into a fact argument vector: tuples spread
+/// into columns, other values become a single column.
+pub fn tuple_args(v: &Value) -> Vec<Value> {
+    match v {
+        Value::Tuple(items) => items.clone(),
+        other => vec![other.clone()],
+    }
+}
+
+/// Inverse of [`tuple_args`]: a 1-column fact is a bare value, wider facts
+/// are tuples.
+pub fn args_tuple(args: &[Value]) -> Value {
+    if args.len() == 1 {
+        args[0].clone()
+    } else {
+        Value::Tuple(args.to_vec())
+    }
+}
+
+/// A three-valued interpretation: certain facts (true) and possible facts
+/// (true or undefined); everything else is false. This is the paper's
+/// `(T, F, undefined)` partition over the materialized fact window.
+#[derive(Clone, PartialEq, Eq, Default, Debug)]
+pub struct ThreeValued {
+    /// Certainly-true facts (the paper's `T`).
+    pub certain: Interp,
+    /// Possibly-true facts (complement of the paper's `F` within the
+    /// window); invariant: `certain ⊆ possible`.
+    pub possible: Interp,
+}
+
+impl ThreeValued {
+    /// A fully-two-valued interpretation (no unknowns).
+    pub fn exact(i: Interp) -> Self {
+        ThreeValued {
+            certain: i.clone(),
+            possible: i,
+        }
+    }
+
+    /// Three-valued truth of a fact.
+    pub fn truth(&self, pred: &str, args: &[Value]) -> Truth {
+        if self.certain.holds(pred, args) {
+            Truth::True
+        } else if self.possible.holds(pred, args) {
+            Truth::Unknown
+        } else {
+            Truth::False
+        }
+    }
+
+    /// Truth of an atom given ground argument values, by name.
+    pub fn truth_of(&self, atom: &Atom, args: &[Value]) -> Truth {
+        self.truth(&atom.pred, args)
+    }
+
+    /// Is the whole interpretation two-valued? This is the paper's
+    /// *well-definedness*: the program has an initial valid model iff the
+    /// valid interpretation is total on the observables (Definition 2.2
+    /// and the discussion in Section 3.2).
+    pub fn is_exact(&self) -> bool {
+        self.certain == self.possible
+    }
+
+    /// The undefined facts (possible but not certain).
+    pub fn unknown_facts(&self) -> Vec<Fact> {
+        self.possible
+            .iter()
+            .filter(|(p, args)| !self.certain.holds(p, args))
+            .map(|(p, args)| (p.to_string(), args.clone()))
+            .collect()
+    }
+
+    /// Number of undefined facts.
+    pub fn unknown_count(&self) -> usize {
+        self.possible.total() - self.certain.total()
+    }
+
+    /// Check the representation invariant.
+    pub fn invariant_holds(&self) -> bool {
+        self.certain.is_subset(&self.possible)
+    }
+}
+
+impl fmt::Display for ThreeValued {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "-- certain --")?;
+        write!(f, "{}", self.certain)?;
+        let unknowns = self.unknown_facts();
+        if !unknowns.is_empty() {
+            writeln!(f, "-- unknown --")?;
+            for (p, args) in unknowns {
+                write!(f, "{p}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                writeln!(f, ")?")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn i(n: i64) -> Value {
+        Value::int(n)
+    }
+
+    #[test]
+    fn insert_and_holds() {
+        let mut m = Interp::new();
+        assert!(m.insert("p", vec![i(1)]));
+        assert!(!m.insert("p", vec![i(1)]));
+        assert!(m.holds("p", &[i(1)]));
+        assert!(!m.holds("p", &[i(2)]));
+        assert!(!m.holds("q", &[i(1)]));
+        assert_eq!(m.count("p"), 1);
+        assert_eq!(m.total(), 1);
+    }
+
+    #[test]
+    fn from_database_spreads_tuples() {
+        let db = Database::new()
+            .with("e", Relation::from_pairs([(i(1), i(2))]))
+            .with("u", Relation::from_values([i(7)]));
+        let m = Interp::from_database(&db);
+        assert!(m.holds("e", &[i(1), i(2)]));
+        assert!(m.holds("u", &[i(7)]));
+    }
+
+    #[test]
+    fn to_relation_round_trip() {
+        let db = Database::new().with("e", Relation::from_pairs([(i(1), i(2)), (i(2), i(3))]));
+        let m = Interp::from_database(&db);
+        assert_eq!(&m.to_relation("e"), db.get("e").unwrap());
+    }
+
+    #[test]
+    fn absorb_counts_new() {
+        let mut a = Interp::new();
+        a.insert("p", vec![i(1)]);
+        let mut b = Interp::new();
+        b.insert("p", vec![i(1)]);
+        b.insert("p", vec![i(2)]);
+        b.insert("q", vec![i(3)]);
+        assert_eq!(a.absorb(&b), 2);
+        assert_eq!(a.total(), 3);
+        assert!(b.is_subset(&a));
+    }
+
+    #[test]
+    fn subset_checks() {
+        let mut a = Interp::new();
+        a.insert("p", vec![i(1)]);
+        let mut b = a.clone();
+        b.insert("p", vec![i(2)]);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(Interp::new().is_subset(&a));
+    }
+
+    #[test]
+    fn three_valued_truth() {
+        let mut certain = Interp::new();
+        certain.insert("p", vec![i(1)]);
+        let mut possible = certain.clone();
+        possible.insert("p", vec![i(2)]);
+        let tv = ThreeValued { certain, possible };
+        assert!(tv.invariant_holds());
+        assert_eq!(tv.truth("p", &[i(1)]), Truth::True);
+        assert_eq!(tv.truth("p", &[i(2)]), Truth::Unknown);
+        assert_eq!(tv.truth("p", &[i(3)]), Truth::False);
+        assert!(!tv.is_exact());
+        assert_eq!(tv.unknown_count(), 1);
+        assert_eq!(tv.unknown_facts(), vec![("p".to_string(), vec![i(2)])]);
+    }
+
+    #[test]
+    fn exact_three_valued() {
+        let mut m = Interp::new();
+        m.insert("p", vec![i(1)]);
+        let tv = ThreeValued::exact(m);
+        assert!(tv.is_exact());
+        assert_eq!(tv.unknown_count(), 0);
+    }
+
+    #[test]
+    fn args_tuple_round_trip() {
+        assert_eq!(args_tuple(&[i(1)]), i(1));
+        assert_eq!(args_tuple(&[i(1), i(2)]), Value::pair(i(1), i(2)));
+        assert_eq!(tuple_args(&Value::pair(i(1), i(2))), vec![i(1), i(2)]);
+        assert_eq!(tuple_args(&i(5)), vec![i(5)]);
+    }
+
+    #[test]
+    fn display_facts() {
+        let mut m = Interp::new();
+        m.insert("p", vec![i(1), i(2)]);
+        assert_eq!(m.to_string(), "p(1, 2).\n");
+    }
+}

@@ -1,0 +1,394 @@
+//! Safety: range formulas and the domain-independence transform.
+//!
+//! Definition 4.1 of the paper defines *range formulas*: conjunctions that
+//! restrict every variable to values reachable from the database —
+//! appearing in a relation, equated to a ground expression, or computed
+//! from restricted variables by function application. A Horn clause
+//! `φ → R(x̄)` is *safe* when `φ` is a range formula restricting `x̄`, and
+//! a program is safe when all its clauses are.
+//!
+//! [`check_rule`] decides safety by computing the least fixpoint of the
+//! "restricts" relation over the body's conjuncts — a direct reading of
+//! the inductive definition:
+//!
+//! | Def 4.1 clause | here |
+//! |---|---|
+//! | basis a: `R(x̄)` restricts `x̄` | positive atom restricts its pattern variables |
+//! | basis b: `x = exp`, `exp` ground | `Eq` with a ground side restricts the other side |
+//! | 1: `φ₁ ∧ φ₂` | the fixpoint accumulates over all conjuncts |
+//! | 2: `φ ∧ (e₁ = e₂)`, both restricted | a fully-restricted `Eq` adds nothing but is legal |
+//! | 3: `φ ∧ ¬φ₂`, free vars restricted | negative literals must end up fully restricted |
+//! | 4: `φ ∧ y = exp`, `exp` restricted | `Eq` with a restricted side restricts the other |
+//!
+//! [`make_safe`] implements Proposition 4.2: every domain-independent
+//! query has an equivalent safe one, obtained by restricting each variable
+//! with a generated domain predicate that enumerates the (window of the)
+//! initial model reachable from the database and the program's constants.
+
+use crate::ast::{Atom, CmpOp, Expr, Literal, Program, Rule};
+use crate::error::EvalError;
+use std::collections::BTreeSet;
+
+/// Variables of `e` that occur *outside* any function application — the
+/// positions where matching a stored value can bind them.
+fn pattern_vars<'a>(e: &'a Expr, out: &mut BTreeSet<&'a str>) {
+    match e {
+        Expr::Var(v) => {
+            out.insert(v);
+        }
+        Expr::Lit(_) => {}
+        Expr::Tuple(items) => items.iter().for_each(|i| pattern_vars(i, out)),
+        Expr::App(..) => {}
+    }
+}
+
+/// Variables of `e` that occur *inside* a function application — these
+/// must already be restricted for the expression to be computable.
+fn guard_vars<'a>(e: &'a Expr, out: &mut BTreeSet<&'a str>) {
+    match e {
+        Expr::Var(_) | Expr::Lit(_) => {}
+        Expr::Tuple(items) => items.iter().for_each(|i| guard_vars(i, out)),
+        Expr::App(_, items) => items.iter().for_each(|i| {
+            for v in i.vars() {
+                out.insert(v);
+            }
+        }),
+    }
+}
+
+/// The set of variables a rule body restricts (Definition 4.1), computed
+/// as a least fixpoint.
+pub fn restricted_vars(rule: &Rule) -> BTreeSet<&str> {
+    let mut restricted: BTreeSet<&str> = BTreeSet::new();
+    loop {
+        let before = restricted.len();
+        for lit in &rule.body {
+            match lit {
+                Literal::Pos(atom) => {
+                    // basis a (generalized to expression arguments): an
+                    // argument restricts its pattern variables once its
+                    // guard variables are restricted.
+                    for arg in &atom.args {
+                        let mut guards = BTreeSet::new();
+                        guard_vars(arg, &mut guards);
+                        if guards.iter().all(|v| restricted.contains(v)) {
+                            pattern_vars(arg, &mut restricted);
+                        }
+                    }
+                }
+                Literal::Cmp(CmpOp::Eq, l, r) => {
+                    // basis b and construction 4: if one side is fully
+                    // restricted (ground counts), it restricts the other
+                    // side's pattern variables.
+                    let l_fully = l.vars().iter().all(|v| restricted.contains(*v));
+                    let r_fully = r.vars().iter().all(|v| restricted.contains(*v));
+                    if l_fully {
+                        let mut guards = BTreeSet::new();
+                        guard_vars(r, &mut guards);
+                        if guards.iter().all(|v| restricted.contains(v)) {
+                            pattern_vars(r, &mut restricted);
+                        }
+                    }
+                    if r_fully {
+                        let mut guards = BTreeSet::new();
+                        guard_vars(l, &mut guards);
+                        if guards.iter().all(|v| restricted.contains(v)) {
+                            pattern_vars(l, &mut restricted);
+                        }
+                    }
+                }
+                // constructions 2 and 3: tests restrict nothing.
+                Literal::Cmp(..) | Literal::Neg(_) => {}
+            }
+        }
+        if restricted.len() == before {
+            return restricted;
+        }
+    }
+}
+
+/// Check one rule for safety. Returns the offending description on
+/// failure.
+pub fn check_rule(rule: &Rule) -> Result<(), EvalError> {
+    let restricted = restricted_vars(rule);
+    let mut unrestricted: Vec<&str> = Vec::new();
+    for v in rule.vars() {
+        if !restricted.contains(v) {
+            unrestricted.push(v);
+        }
+    }
+    if !unrestricted.is_empty() {
+        return Err(EvalError::Unsafe(format!(
+            "rule `{rule}`: variables not restricted by a range formula: {}",
+            unrestricted.join(", ")
+        )));
+    }
+    Ok(())
+}
+
+/// Check every rule of a program (Definition 4.1: "a deductive program P
+/// is safe iff all its clauses are safe").
+pub fn check_program(program: &Program) -> Result<(), EvalError> {
+    program.rules.iter().try_for_each(check_rule)
+}
+
+/// Is the program safe?
+pub fn is_safe(program: &Program) -> bool {
+    check_program(program).is_ok()
+}
+
+/// The reserved name of the generated domain predicate.
+pub const DOM_PRED: &str = "dom$";
+
+/// Proposition 4.2: convert a domain-independent program into a safe one
+/// by restricting every unrestricted variable with a domain predicate.
+///
+/// The domain predicate enumerates the elements "constructed from
+/// constants, by applying functions" (the paper's proof sketch): every
+/// component of every EDB fact, every constant of the program, and —
+/// because our interpreted functions over the integers would make the
+/// domain infinite — a budget-bounded closure is delegated to evaluation
+/// time (the generated rules only *project from the EDB and program
+/// constants*, which suffices for genuinely domain-independent queries;
+/// for queries that need deeper function closure, widen the rules with
+/// additional `dom$` clauses before evaluation).
+pub fn make_safe(program: &Program, edb_arities: &[(&str, usize)]) -> Program {
+    let mut out = Program::new();
+
+    // dom$(Xi) :- R(X1, …, Xk)  for every EDB argument position.
+    for (pred, arity) in edb_arities {
+        for i in 0..*arity {
+            let args: Vec<Expr> = (0..*arity).map(|j| Expr::var(format!("X{j}"))).collect();
+            out.push(Rule::new(
+                Atom::new(DOM_PRED, [Expr::var(format!("X{i}"))]),
+                [Literal::Pos(Atom::new(*pred, args))],
+            ));
+        }
+    }
+
+    // dom$(c) for every constant in the program.
+    let mut consts: BTreeSet<algrec_value::Value> = BTreeSet::new();
+    fn walk_expr(e: &Expr, out: &mut BTreeSet<algrec_value::Value>) {
+        match e {
+            Expr::Lit(v) => {
+                out.insert(v.clone());
+            }
+            Expr::Var(_) => {}
+            Expr::Tuple(items) | Expr::App(_, items) => {
+                items.iter().for_each(|i| walk_expr(i, out))
+            }
+        }
+    }
+    for rule in &program.rules {
+        rule.head.args.iter().for_each(|e| walk_expr(e, &mut consts));
+        for lit in &rule.body {
+            match lit {
+                Literal::Pos(a) | Literal::Neg(a) => {
+                    a.args.iter().for_each(|e| walk_expr(e, &mut consts))
+                }
+                Literal::Cmp(_, l, r) => {
+                    walk_expr(l, &mut consts);
+                    walk_expr(r, &mut consts);
+                }
+            }
+        }
+    }
+    for c in consts {
+        out.push(Rule::fact(Atom::new(DOM_PRED, [Expr::Lit(c)])));
+    }
+
+    // Guard every rule: prepend dom$(V) for each variable the body does
+    // not restrict (the proof of Prop 4.2 guards *all* variables; guarding
+    // only the unrestricted ones is equivalent and produces smaller
+    // bodies).
+    for rule in &program.rules {
+        let restricted = restricted_vars(rule);
+        let needed: Vec<String> = rule
+            .vars()
+            .into_iter()
+            .filter(|v| !restricted.contains(v))
+            .map(str::to_string)
+            .collect();
+        let mut body: Vec<Literal> = needed
+            .iter()
+            .map(|v| Literal::Pos(Atom::new(DOM_PRED, [Expr::var(v.clone())])))
+            .collect();
+        body.extend(rule.body.iter().cloned());
+        out.push(Rule::new(rule.head.clone(), body));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(name: &str) -> Expr {
+        Expr::var(name)
+    }
+
+    #[test]
+    fn positive_atom_restricts() {
+        let r = Rule::new(
+            Atom::new("q", [v("X")]),
+            [Literal::Pos(Atom::new("e", [v("X"), v("Y")]))],
+        );
+        assert!(check_rule(&r).is_ok());
+        assert_eq!(
+            restricted_vars(&r).into_iter().collect::<Vec<_>>(),
+            ["X", "Y"]
+        );
+    }
+
+    #[test]
+    fn ground_equation_restricts() {
+        // q(X) :- X = 5.   (basis b)
+        let r = Rule::new(
+            Atom::new("q", [v("X")]),
+            [Literal::Cmp(CmpOp::Eq, v("X"), Expr::int(5))],
+        );
+        assert!(check_rule(&r).is_ok());
+    }
+
+    #[test]
+    fn function_of_restricted_restricts() {
+        // q(Y) :- e(X), Y = succ(X).   (construction 4)
+        use crate::ast::Func;
+        let r = Rule::new(
+            Atom::new("q", [v("Y")]),
+            [
+                Literal::Pos(Atom::new("e", [v("X")])),
+                Literal::Cmp(CmpOp::Eq, v("Y"), Expr::App(Func::Succ, vec![v("X")])),
+            ],
+        );
+        assert!(check_rule(&r).is_ok());
+    }
+
+    #[test]
+    fn negation_does_not_restrict() {
+        // q(X) :- not e(X).   (construction 3 requires X already restricted)
+        let r = Rule::new(
+            Atom::new("q", [v("X")]),
+            [Literal::Neg(Atom::new("e", [v("X")]))],
+        );
+        assert!(matches!(check_rule(&r), Err(EvalError::Unsafe(_))));
+    }
+
+    #[test]
+    fn comparison_does_not_restrict() {
+        let r = Rule::new(
+            Atom::new("q", [v("X")]),
+            [Literal::Cmp(CmpOp::Lt, v("X"), Expr::int(5))],
+        );
+        assert!(check_rule(&r).is_err());
+    }
+
+    #[test]
+    fn app_argument_needs_restriction_first() {
+        // q(X) :- e(succ(X)).  — X occurs only inside an application;
+        // basis a does not restrict it.
+        use crate::ast::Func;
+        let r = Rule::new(
+            Atom::new("q", [v("X")]),
+            [Literal::Pos(Atom::new(
+                "e",
+                [Expr::App(Func::Succ, vec![v("X")])],
+            ))],
+        );
+        assert!(check_rule(&r).is_err());
+    }
+
+    #[test]
+    fn chained_restriction_reaches_fixpoint() {
+        // q(Z) :- e(X), Y = succ(X), Z = succ(Y).
+        use crate::ast::Func;
+        let r = Rule::new(
+            Atom::new("q", [v("Z")]),
+            [
+                Literal::Cmp(CmpOp::Eq, v("Z"), Expr::App(Func::Succ, vec![v("Y")])),
+                Literal::Cmp(CmpOp::Eq, v("Y"), Expr::App(Func::Succ, vec![v("X")])),
+                Literal::Pos(Atom::new("e", [v("X")])),
+            ],
+        );
+        assert!(check_rule(&r).is_ok());
+    }
+
+    #[test]
+    fn tuple_patterns_restrict_components() {
+        // q(A) :- e([A, B]).
+        let r = Rule::new(
+            Atom::new("q", [v("A")]),
+            [Literal::Pos(Atom::new(
+                "e",
+                [Expr::Tuple(vec![v("A"), v("B")])],
+            ))],
+        );
+        assert!(check_rule(&r).is_ok());
+    }
+
+    #[test]
+    fn program_check_reports_first_unsafe() {
+        let p = Program::from_rules([
+            Rule::new(
+                Atom::new("ok", [v("X")]),
+                [Literal::Pos(Atom::new("e", [v("X")]))],
+            ),
+            Rule::new(
+                Atom::new("bad", [v("X")]),
+                [Literal::Neg(Atom::new("e", [v("X")]))],
+            ),
+        ]);
+        assert!(!is_safe(&p));
+        let err = check_program(&p).unwrap_err();
+        assert!(err.to_string().contains("bad"));
+    }
+
+    #[test]
+    fn make_safe_guards_unrestricted_vars() {
+        use crate::engine::Compiled;
+        use crate::fixpoint::semi_naive;
+        use crate::interp::Interp;
+        use algrec_value::{Budget, Value};
+
+        // q(X) :- not e(X).  — d.i. only relative to a domain; Prop 4.2
+        // makes it safe by guarding X with dom$.
+        let p = Program::from_rules([Rule::new(
+            Atom::new("q", [v("X")]),
+            [Literal::Neg(Atom::new("e", [v("X")]))],
+        )]);
+        let safe = make_safe(&p, &[("e", 1), ("n", 1)]);
+        assert!(is_safe(&safe));
+
+        // Evaluate: domain = components of e and n.
+        let mut base = Interp::new();
+        base.insert("e", vec![Value::int(1)]);
+        base.insert("n", vec![Value::int(1)]);
+        base.insert("n", vec![Value::int(2)]);
+        let compiled = Compiled::compile(&safe).unwrap();
+        // Stratified-style oracle: e is extensional.
+        let frozen = base.clone();
+        let mut meter = Budget::SMALL.meter();
+        let (out, _) =
+            semi_naive(&compiled, &base, &|p, a| !frozen.holds(p, a), &mut meter).unwrap();
+        assert!(!out.holds("q", &[Value::int(1)]));
+        assert!(out.holds("q", &[Value::int(2)]));
+    }
+
+    #[test]
+    fn make_safe_adds_program_constants() {
+        let p = Program::from_rules([Rule::new(
+            Atom::new("q", [v("X")]),
+            [
+                Literal::Cmp(CmpOp::Eq, v("Y"), Expr::int(9)),
+                Literal::Neg(Atom::new("e", [v("X")])),
+            ],
+        )]);
+        let safe = make_safe(&p, &[("e", 1)]);
+        assert!(is_safe(&safe));
+        // the constant 9 must be in the domain
+        assert!(safe
+            .rules
+            .iter()
+            .any(|r| r.head.pred == DOM_PRED && r.body.is_empty()));
+    }
+}

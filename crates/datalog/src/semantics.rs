@@ -1,0 +1,270 @@
+//! A single entry point over every semantics the paper discusses.
+//!
+//! | variant | paper anchor |
+//! |---|---|
+//! | [`Semantics::Naive`] / [`Semantics::SemiNaive`] | minimal model of Horn programs (Section 2.1) |
+//! | [`Semantics::Stratified`] | the Theorem 4.3 baseline class |
+//! | [`Semantics::Inflationary`] | "was not derived so far" (Section 5, Prop 5.1) |
+//! | [`Semantics::WellFounded`] | \[24\]; coincides with the Section 2.2 procedure |
+//! | [`Semantics::Valid`] | the operational valid computation of Section 2.2 |
+//! | [`Semantics::ValidExtended`] | the valid semantics of \[6\], reconstructed by refining the residue with stable completions |
+//!
+//! Stable models \[11\] are exposed separately ([`stable_models_of`]) since
+//! they produce a *set* of two-valued models rather than one three-valued
+//! model.
+
+use crate::ast::Program;
+use crate::engine::Compiled;
+use crate::error::EvalError;
+use crate::fixpoint::{naive, semi_naive};
+use crate::inflationary::inflationary;
+use crate::interp::{Interp, ThreeValued};
+use crate::stable::{ground, stable_models, valid_extended};
+use crate::stratify::stratified;
+use crate::wellfounded::alternating_fixpoint;
+use algrec_value::{Budget, Database};
+
+/// Which semantics to evaluate under.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Semantics {
+    /// Naive least fixpoint. Positive programs only.
+    Naive,
+    /// Semi-naive least fixpoint. Positive programs only.
+    SemiNaive,
+    /// Stratum-by-stratum minimal models. Stratified programs only.
+    Stratified,
+    /// Inflationary fixpoint (negation = "not derived so far").
+    Inflationary,
+    /// Well-founded model via the alternating fixpoint.
+    WellFounded,
+    /// The valid computation exactly as described operationally in
+    /// Section 2.2 of the paper. On normal programs this procedure
+    /// computes the well-founded model; it is listed separately because it
+    /// is *the paper's* semantics and the experiments refer to it by name.
+    Valid,
+    /// The valid semantics of \[6\] reconstructed: Section 2.2 procedure,
+    /// then promote residual facts true in every stable completion. The
+    /// payload caps how many undefined atoms the completion search may
+    /// branch over (above the cap the refinement is skipped).
+    ValidExtended(usize),
+}
+
+/// The result of an evaluation: a three-valued interpretation (exact for
+/// the two-valued semantics) plus run metadata.
+#[derive(Clone, Debug)]
+pub struct EvalOutcome {
+    /// The computed model.
+    pub model: ThreeValued,
+    /// Number of stable models of the residual program, when the
+    /// semantics computed it.
+    pub stable_count: Option<usize>,
+    /// Outer fixpoint rounds (alternation rounds for the three-valued
+    /// semantics, iteration rounds otherwise).
+    pub rounds: usize,
+}
+
+/// Evaluate `program` over `db` under `semantics` within `budget`.
+pub fn evaluate(
+    program: &Program,
+    db: &Database,
+    semantics: Semantics,
+    budget: Budget,
+) -> Result<EvalOutcome, EvalError> {
+    let compiled = Compiled::compile(program)?;
+    let base = Interp::from_database(db);
+    let mut meter = budget.meter();
+    match semantics {
+        Semantics::Naive | Semantics::SemiNaive => {
+            if program.has_negation() {
+                return Err(EvalError::Unsafe(
+                    "naive/semi-naive evaluation requires a negation-free program; \
+                     use Stratified, Inflationary, WellFounded or Valid"
+                        .into(),
+                ));
+            }
+            let (out, stats) = if semantics == Semantics::Naive {
+                naive(&compiled, &base, &|_, _| false, &mut meter)?
+            } else {
+                semi_naive(&compiled, &base, &|_, _| false, &mut meter)?
+            };
+            Ok(EvalOutcome {
+                model: ThreeValued::exact(out),
+                stable_count: None,
+                rounds: stats.rounds,
+            })
+        }
+        Semantics::Stratified => {
+            let (out, stats) = stratified(program, &base, &mut meter)?;
+            Ok(EvalOutcome {
+                model: ThreeValued::exact(out),
+                stable_count: None,
+                rounds: stats.rounds,
+            })
+        }
+        Semantics::Inflationary => {
+            let (out, stats) = inflationary(&compiled, &base, &mut meter)?;
+            Ok(EvalOutcome {
+                model: ThreeValued::exact(out),
+                stable_count: None,
+                rounds: stats.rounds,
+            })
+        }
+        Semantics::WellFounded | Semantics::Valid => {
+            let (tv, stats) = alternating_fixpoint(&compiled, &base, &mut meter)?;
+            Ok(EvalOutcome {
+                model: tv,
+                stable_count: None,
+                rounds: stats.outer_rounds,
+            })
+        }
+        Semantics::ValidExtended(cap) => {
+            let out = valid_extended(&compiled, &base, cap, &mut meter)?;
+            Ok(EvalOutcome {
+                model: out.refined,
+                stable_count: out.stable_count,
+                rounds: 0,
+            })
+        }
+    }
+}
+
+/// Enumerate the stable models of `program` over `db`. Each model is
+/// returned as a two-valued interpretation (IDB facts; the EDB is shared
+/// and implicit). Fails with [`EvalError::TooManyUnknowns`] when the
+/// well-founded residue exceeds `cap` atoms.
+pub fn stable_models_of(
+    program: &Program,
+    db: &Database,
+    cap: usize,
+    budget: Budget,
+) -> Result<Vec<Interp>, EvalError> {
+    let compiled = Compiled::compile(program)?;
+    let base = Interp::from_database(db);
+    let mut meter = budget.meter();
+    let (tv, _) = alternating_fixpoint(&compiled, &base, &mut meter)?;
+    let gp = ground(&compiled, &base, &tv, &mut meter)?;
+    let models = stable_models(&gp, cap)?;
+    Ok(models
+        .into_iter()
+        .map(|m| {
+            let mut interp = Interp::new();
+            for (p, args) in m {
+                interp.insert(&p, args);
+            }
+            interp
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use algrec_value::{Relation, Truth, Value};
+
+    fn i(n: i64) -> Value {
+        Value::int(n)
+    }
+
+    fn win_db(edges: &[(i64, i64)]) -> Database {
+        Database::new().with(
+            "move",
+            Relation::from_pairs(edges.iter().map(|(a, b)| (i(*a), i(*b)))),
+        )
+    }
+
+    #[test]
+    fn all_semantics_agree_on_positive_programs() {
+        let p = parse_program(
+            "tc(X, Y) :- edge(X, Y).\n\
+             tc(X, Z) :- tc(X, Y), edge(Y, Z).",
+        )
+        .unwrap();
+        let db = Database::new().with(
+            "edge",
+            Relation::from_pairs([(i(1), i(2)), (i(2), i(3)), (i(3), i(4))]),
+        );
+        let mut results = Vec::new();
+        for sem in [
+            Semantics::Naive,
+            Semantics::SemiNaive,
+            Semantics::Stratified,
+            Semantics::Inflationary,
+            Semantics::WellFounded,
+            Semantics::Valid,
+            Semantics::ValidExtended(16),
+        ] {
+            let out = evaluate(&p, &db, sem, Budget::SMALL).unwrap();
+            assert!(out.model.is_exact(), "{sem:?} should be exact");
+            results.push(out.model.certain);
+        }
+        for r in &results[1..] {
+            assert_eq!(r, &results[0]);
+        }
+        assert_eq!(results[0].count("tc"), 6);
+    }
+
+    #[test]
+    fn naive_rejects_negation() {
+        let p = parse_program("q(X) :- d(X), not p(X).").unwrap();
+        let db = Database::new().with("d", Relation::from_values([i(1)]));
+        assert!(matches!(
+            evaluate(&p, &db, Semantics::Naive, Budget::SMALL),
+            Err(EvalError::Unsafe(_))
+        ));
+    }
+
+    #[test]
+    fn valid_vs_inflationary_on_example4() {
+        // The paper's Example 4: r(a). q(X) :- r(X), not q(X).
+        let p = parse_program("r(a).\nq(X) :- r(X), not q(X).").unwrap();
+        let db = Database::new();
+        let a = Value::str("a");
+
+        let infl = evaluate(&p, &db, Semantics::Inflationary, Budget::SMALL).unwrap();
+        assert_eq!(infl.model.truth("q", std::slice::from_ref(&a)), Truth::True);
+
+        let valid = evaluate(&p, &db, Semantics::Valid, Budget::SMALL).unwrap();
+        assert_eq!(valid.model.truth("q", std::slice::from_ref(&a)), Truth::Unknown);
+    }
+
+    #[test]
+    fn win_move_cyclic_vs_acyclic() {
+        let p = parse_program("win(X) :- move(X, Y), not win(Y).").unwrap();
+
+        let acyclic = evaluate(&p, &win_db(&[(1, 2), (2, 3)]), Semantics::Valid, Budget::SMALL)
+            .unwrap();
+        assert!(acyclic.model.is_exact());
+        assert_eq!(acyclic.model.truth("win", &[i(2)]), Truth::True);
+
+        let cyclic = evaluate(&p, &win_db(&[(7, 7)]), Semantics::Valid, Budget::SMALL).unwrap();
+        assert_eq!(cyclic.model.truth("win", &[i(7)]), Truth::Unknown);
+    }
+
+    #[test]
+    fn stable_models_exposed() {
+        let p = parse_program("win(X) :- move(X, Y), not win(Y).").unwrap();
+        let models =
+            stable_models_of(&p, &win_db(&[(1, 2), (2, 1)]), 16, Budget::SMALL).unwrap();
+        assert_eq!(models.len(), 2);
+        assert!(models.iter().any(|m| m.holds("win", &[i(1)])));
+        assert!(models.iter().any(|m| m.holds("win", &[i(2)])));
+    }
+
+    #[test]
+    fn stratified_equals_valid_on_stratified_programs() {
+        let p = parse_program(
+            "tc(X, Y) :- e(X, Y).\n\
+             tc(X, Z) :- tc(X, Y), e(Y, Z).\n\
+             un(X, Y) :- n(X), n(Y), not tc(X, Y).",
+        )
+        .unwrap();
+        let db = Database::new()
+            .with("e", Relation::from_pairs([(i(1), i(2))]))
+            .with("n", Relation::from_values([i(1), i(2)]));
+        let strat = evaluate(&p, &db, Semantics::Stratified, Budget::SMALL).unwrap();
+        let valid = evaluate(&p, &db, Semantics::Valid, Budget::SMALL).unwrap();
+        assert!(valid.model.is_exact());
+        assert_eq!(strat.model.certain, valid.model.certain);
+    }
+}

@@ -1,0 +1,308 @@
+//! Stratification analysis and the stratified semantics.
+//!
+//! Stratified programs are the baseline class the paper starts from:
+//! Theorem 4.3 (from the authors' PODS'92 work) identifies stratified
+//! deduction with the positive IFP-algebra. "If the program is stratified,
+//! then the answer can be obtained by successively computing the minimal
+//! model of each stratum" (Section 4) — which is exactly what
+//! [`stratified`] does.
+
+use crate::ast::Program;
+use crate::engine::Compiled;
+use crate::error::EvalError;
+use crate::fixpoint::{semi_naive, FixpointStats};
+use crate::interp::Interp;
+use algrec_value::budget::Meter;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The predicate dependency graph: edges from head predicates to body
+/// predicates, marked positive/negative.
+#[derive(Clone, Default, Debug)]
+pub struct DepGraph {
+    /// `pos[p]` = predicates that `p` depends on positively.
+    pub pos: BTreeMap<String, BTreeSet<String>>,
+    /// `neg[p]` = predicates that `p` depends on negatively.
+    pub neg: BTreeMap<String, BTreeSet<String>>,
+    /// All predicates mentioned.
+    pub preds: BTreeSet<String>,
+}
+
+impl DepGraph {
+    /// Build the dependency graph of a program.
+    pub fn of(program: &Program) -> Self {
+        let mut g = DepGraph::default();
+        for rule in &program.rules {
+            let head = rule.head.pred.clone();
+            g.preds.insert(head.clone());
+            for p in rule.positive_preds() {
+                g.preds.insert(p.to_string());
+                g.pos.entry(head.clone()).or_default().insert(p.to_string());
+            }
+            for p in rule.negative_preds() {
+                g.preds.insert(p.to_string());
+                g.neg.entry(head.clone()).or_default().insert(p.to_string());
+            }
+        }
+        g
+    }
+
+    /// Predicates `p` depends on (positively or negatively).
+    pub fn successors(&self, p: &str) -> impl Iterator<Item = &String> {
+        self.pos
+            .get(p)
+            .into_iter()
+            .flatten()
+            .chain(self.neg.get(p).into_iter().flatten())
+    }
+}
+
+/// A stratification: each IDB predicate assigned a stratum number such
+/// that positive dependencies do not ascend and negative dependencies
+/// strictly descend.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Stratification {
+    /// Stratum of each predicate (EDB predicates sit at stratum 0).
+    pub stratum: BTreeMap<String, usize>,
+    /// Number of strata.
+    pub count: usize,
+}
+
+/// Compute a stratification, or report the negative cycle that prevents
+/// one. Uses the classical iterative algorithm: lift strata over negative
+/// edges until fixpoint; a predicate pushed past `|preds|` strata sits on
+/// a cycle through negation.
+pub fn stratify(program: &Program) -> Result<Stratification, EvalError> {
+    let g = DepGraph::of(program);
+    let n = g.preds.len().max(1);
+    let mut stratum: BTreeMap<String, usize> =
+        g.preds.iter().map(|p| (p.clone(), 0usize)).collect();
+    loop {
+        let mut changed = false;
+        for rule in &program.rules {
+            let head = &rule.head.pred;
+            for p in rule.positive_preds() {
+                let sp = stratum[p];
+                if stratum[head] < sp {
+                    stratum.insert(head.clone(), sp);
+                    changed = true;
+                }
+            }
+            for p in rule.negative_preds() {
+                let sp = stratum[p] + 1;
+                if stratum[head] < sp {
+                    stratum.insert(head.clone(), sp);
+                    changed = true;
+                }
+            }
+            if stratum[head] > n {
+                return Err(EvalError::NotStratified(format!(
+                    "predicate `{head}` lies on a cycle through negation"
+                )));
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let count = stratum.values().copied().max().unwrap_or(0) + 1;
+    Ok(Stratification { stratum, count })
+}
+
+/// Is the program stratified?
+pub fn is_stratified(program: &Program) -> bool {
+    stratify(program).is_ok()
+}
+
+/// Evaluate a stratified program: strata bottom-up, each stratum by its
+/// minimal model with negation referring to the completed lower strata.
+pub fn stratified(
+    program: &Program,
+    base: &Interp,
+    meter: &mut Meter,
+) -> Result<(Interp, FixpointStats), EvalError> {
+    let strat = stratify(program)?;
+    let mut total = base.clone();
+    let mut stats = FixpointStats::default();
+    for level in 0..strat.count {
+        let level_rules: Vec<_> = program
+            .rules
+            .iter()
+            .filter(|r| strat.stratum[&r.head.pred] == level)
+            .cloned()
+            .collect();
+        if level_rules.is_empty() {
+            continue;
+        }
+        let compiled = Compiled::compile(&Program::from_rules(level_rules))?;
+        // Negation inside this stratum refers only to strictly lower
+        // strata, which are complete in `total` by induction.
+        let frozen = total.clone();
+        let (next, s) = semi_naive(&compiled, &total, &|p, args| !frozen.holds(p, args), meter)?;
+        stats.rounds += s.rounds;
+        stats.rule_applications += s.rule_applications;
+        stats.derived += s.derived;
+        total = next;
+    }
+    Ok((total, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Atom, Expr, Literal, Rule};
+    use algrec_value::Budget;
+    use algrec_value::Value;
+
+    fn i(n: i64) -> Value {
+        Value::int(n)
+    }
+
+    fn v(name: &str) -> Expr {
+        Expr::var(name)
+    }
+
+    fn unreachable_program() -> Program {
+        // tc(X,Y) :- e(X,Y).  tc(X,Z) :- tc(X,Y), e(Y,Z).
+        // unreach(X,Y) :- node(X), node(Y), not tc(X,Y).
+        Program::from_rules([
+            Rule::new(
+                Atom::new("tc", [v("X"), v("Y")]),
+                [Literal::Pos(Atom::new("e", [v("X"), v("Y")]))],
+            ),
+            Rule::new(
+                Atom::new("tc", [v("X"), v("Z")]),
+                [
+                    Literal::Pos(Atom::new("tc", [v("X"), v("Y")])),
+                    Literal::Pos(Atom::new("e", [v("Y"), v("Z")])),
+                ],
+            ),
+            Rule::new(
+                Atom::new("unreach", [v("X"), v("Y")]),
+                [
+                    Literal::Pos(Atom::new("node", [v("X")])),
+                    Literal::Pos(Atom::new("node", [v("Y")])),
+                    Literal::Neg(Atom::new("tc", [v("X"), v("Y")])),
+                ],
+            ),
+        ])
+    }
+
+    #[test]
+    fn stratifies_layered_negation() {
+        let p = unreachable_program();
+        let s = stratify(&p).unwrap();
+        assert_eq!(s.stratum["tc"], 0);
+        assert_eq!(s.stratum["unreach"], 1);
+        assert_eq!(s.count, 2);
+        assert!(is_stratified(&p));
+    }
+
+    #[test]
+    fn rejects_negative_cycle() {
+        // win(X) :- move(X,Y), not win(Y).
+        let p = Program::from_rules([Rule::new(
+            Atom::new("win", [v("X")]),
+            [
+                Literal::Pos(Atom::new("move", [v("X"), v("Y")])),
+                Literal::Neg(Atom::new("win", [v("Y")])),
+            ],
+        )]);
+        assert!(matches!(stratify(&p), Err(EvalError::NotStratified(_))));
+        assert!(!is_stratified(&p));
+    }
+
+    #[test]
+    fn even_odd_is_stratified_without_mutual_negation() {
+        // odd(Y) :- even(X), Y = succ(X) ... without negation: stratified.
+        use crate::ast::{CmpOp, Func};
+        let p = Program::from_rules([
+            Rule::fact(Atom::new("even", [Expr::int(0)])),
+            Rule::new(
+                Atom::new("odd", [v("Y")]),
+                [
+                    Literal::Pos(Atom::new("even", [v("X")])),
+                    Literal::Cmp(CmpOp::Lt, v("X"), Expr::int(10)),
+                    Literal::Cmp(CmpOp::Eq, v("Y"), Expr::App(Func::Succ, vec![v("X")])),
+                ],
+            ),
+            Rule::new(
+                Atom::new("even", [v("Y")]),
+                [
+                    Literal::Pos(Atom::new("odd", [v("X")])),
+                    Literal::Cmp(CmpOp::Lt, v("X"), Expr::int(10)),
+                    Literal::Cmp(CmpOp::Eq, v("Y"), Expr::App(Func::Succ, vec![v("X")])),
+                ],
+            ),
+        ]);
+        let s = stratify(&p).unwrap();
+        assert_eq!(s.count, 1);
+        let mut meter = Budget::SMALL.meter();
+        let (out, _) = stratified(&p, &Interp::new(), &mut meter).unwrap();
+        assert!(out.holds("even", &[i(10)]));
+        assert!(out.holds("odd", &[i(9)]));
+        assert!(!out.holds("even", &[i(9)]));
+    }
+
+    #[test]
+    fn evaluates_unreachable_pairs() {
+        let p = unreachable_program();
+        let mut base = Interp::new();
+        base.insert("e", vec![i(1), i(2)]);
+        base.insert("e", vec![i(2), i(3)]);
+        for n in 1..=3 {
+            base.insert("node", vec![i(n)]);
+        }
+        let mut meter = Budget::SMALL.meter();
+        let (out, _) = stratified(&p, &base, &mut meter).unwrap();
+        assert!(out.holds("tc", &[i(1), i(3)]));
+        assert!(out.holds("unreach", &[i(3), i(1)]));
+        assert!(out.holds("unreach", &[i(1), i(1)])); // no self-loop
+        assert!(!out.holds("unreach", &[i(1), i(3)]));
+        // 9 pairs, tc = {12,13,23} → 6 unreachable
+        assert_eq!(out.count("unreach"), 6);
+    }
+
+    #[test]
+    fn dep_graph_structure() {
+        let g = DepGraph::of(&unreachable_program());
+        assert!(g.pos["tc"].contains("e"));
+        assert!(g.neg["unreach"].contains("tc"));
+        assert!(g.preds.contains("node"));
+        // unreach depends on {node} positively and {tc} negatively.
+        assert_eq!(g.successors("unreach").count(), 2);
+    }
+
+    #[test]
+    fn three_strata() {
+        // a :- e.  b :- not a.  c :- not b.
+        let p = Program::from_rules([
+            Rule::new(
+                Atom::new("a", [v("X")]),
+                [Literal::Pos(Atom::new("e", [v("X")]))],
+            ),
+            Rule::new(
+                Atom::new("b", [v("X")]),
+                [
+                    Literal::Pos(Atom::new("e", [v("X")])),
+                    Literal::Neg(Atom::new("a", [v("X")])),
+                ],
+            ),
+            Rule::new(
+                Atom::new("c", [v("X")]),
+                [
+                    Literal::Pos(Atom::new("e", [v("X")])),
+                    Literal::Neg(Atom::new("b", [v("X")])),
+                ],
+            ),
+        ]);
+        let s = stratify(&p).unwrap();
+        assert_eq!((s.stratum["a"], s.stratum["b"], s.stratum["c"]), (0, 1, 2));
+        let mut base = Interp::new();
+        base.insert("e", vec![i(1)]);
+        let mut meter = Budget::SMALL.meter();
+        let (out, _) = stratified(&p, &base, &mut meter).unwrap();
+        assert!(out.holds("a", &[i(1)]));
+        assert!(!out.holds("b", &[i(1)]));
+        assert!(out.holds("c", &[i(1)]));
+    }
+}

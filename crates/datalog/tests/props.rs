@@ -1,0 +1,175 @@
+//! Property-based tests for the deduction engine: parser round-trips on
+//! random rule ASTs, engine agreement on random positive programs, and
+//! structural invariants of the three-valued semantics.
+
+use algrec_datalog::ast::{Atom, CmpOp, Expr, Func, Literal, Program, Rule};
+use algrec_datalog::engine::Compiled;
+use algrec_datalog::fixpoint::{naive, semi_naive};
+use algrec_datalog::interp::Interp;
+use algrec_datalog::parser::parse_program;
+use algrec_datalog::safety;
+use algrec_datalog::wellfounded::alternating_fixpoint;
+use algrec_value::{Budget, Value};
+use proptest::prelude::*;
+
+const VARS: [&str; 3] = ["X", "Y", "Z"];
+const PREDS: [&str; 3] = ["p", "q", "r"];
+
+/// A random *value-level* expression over already-bound variables.
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        prop::sample::select(&VARS[..]).prop_map(Expr::var),
+        (-9i64..9).prop_map(Expr::int),
+        "[a-c]".prop_map(|s| Expr::lit(Value::str(s))),
+    ];
+    leaf.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..3).prop_map(Expr::Tuple),
+            inner.clone().prop_map(|e| Expr::App(Func::Succ, vec![e])),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::App(Func::Add, vec![a, b])),
+        ]
+    })
+}
+
+fn arb_atom() -> impl Strategy<Value = Atom> {
+    (
+        prop::sample::select(&PREDS[..]),
+        prop::collection::vec(prop::sample::select(&VARS[..]).prop_map(Expr::var), 1..3),
+    )
+        .prop_map(|(p, args)| Atom::new(p, args))
+}
+
+/// A random safe-by-construction rule: a positive guard atom binding all
+/// three variables first, then arbitrary extra literals.
+fn arb_safe_rule() -> impl Strategy<Value = Rule> {
+    let guard = Literal::Pos(Atom::new(
+        "e",
+        [Expr::var("X"), Expr::var("Y"), Expr::var("Z")],
+    ));
+    let extra = prop_oneof![
+        arb_atom().prop_map(Literal::Pos),
+        arb_atom().prop_map(Literal::Neg),
+        (
+            prop::sample::select(
+                &[CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge][..]
+            ),
+            arb_expr(),
+            arb_expr()
+        )
+            .prop_map(|(op, l, r)| Literal::Cmp(op, l, r)),
+    ];
+    (arb_atom(), prop::collection::vec(extra, 0..3)).prop_map(move |(head, extras)| {
+        let mut body = vec![guard.clone()];
+        body.extend(extras);
+        Rule::new(head, body)
+    })
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    prop::collection::vec(arb_safe_rule(), 1..5).prop_map(Program::from_rules)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Display → parse is the identity on random rule ASTs.
+    #[test]
+    fn parser_round_trips(p in arb_program()) {
+        let text = p.to_string();
+        let reparsed = parse_program(&text).unwrap_or_else(|e| panic!("{text}\n{e}"));
+        prop_assert_eq!(p, reparsed);
+    }
+
+    /// Safe-by-construction rules pass the Definition 4.1 checker.
+    #[test]
+    fn guarded_rules_are_safe(p in arb_program()) {
+        prop_assert!(safety::is_safe(&p), "{}", p);
+    }
+
+    /// Naive and semi-naive least fixpoints agree on random positive
+    /// programs over random facts.
+    #[test]
+    fn naive_equals_semi_naive(
+        rules in prop::collection::vec(arb_safe_rule(), 1..4),
+        facts in prop::collection::btree_set((0i64..4, 0i64..4, 0i64..4), 0..12),
+    ) {
+        // strip negative literals to make the program positive
+        let positive = Program::from_rules(rules.into_iter().map(|r| {
+            Rule::new(
+                r.head,
+                r.body.into_iter().filter(|l| !l.is_negative()).collect::<Vec<_>>(),
+            )
+        }));
+        let mut base = Interp::new();
+        for (a, b, c) in facts {
+            base.insert("e", vec![Value::int(a), Value::int(b), Value::int(c)]);
+        }
+        let compiled = Compiled::compile(&positive).unwrap();
+        let mut m1 = Budget::LARGE.meter();
+        let mut m2 = Budget::LARGE.meter();
+        let r1 = naive(&compiled, &base, &|_, _| false, &mut m1);
+        let r2 = semi_naive(&compiled, &base, &|_, _| false, &mut m2);
+        match (r1, r2) {
+            (Ok((a, _)), Ok((b, _))) => prop_assert_eq!(a, b),
+            // overflow-style type errors must at least agree in kind
+            (Err(_), Err(_)) => {}
+            (a, b) => panic!("engines disagree on failure: {a:?} vs {b:?}"),
+        }
+    }
+
+    /// The alternating fixpoint maintains certain ⊆ possible, and on
+    /// negation-free programs it is exact and equals the least fixpoint.
+    #[test]
+    fn alternating_fixpoint_invariants(
+        rules in prop::collection::vec(arb_safe_rule(), 1..4),
+        facts in prop::collection::btree_set((0i64..4, 0i64..4, 0i64..4), 0..10),
+    ) {
+        let program = Program::from_rules(rules);
+        let mut base = Interp::new();
+        for (a, b, c) in &facts {
+            base.insert("e", vec![Value::int(*a), Value::int(*b), Value::int(*c)]);
+        }
+        let compiled = Compiled::compile(&program).unwrap();
+        let mut meter = Budget::LARGE.meter();
+        let Ok((tv, _)) = alternating_fixpoint(&compiled, &base, &mut meter) else {
+            return Ok(()); // budget/type failure is acceptable on random input
+        };
+        prop_assert!(tv.certain.is_subset(&tv.possible));
+        if !program.has_negation() {
+            prop_assert!(tv.is_exact());
+            let mut m2 = Budget::LARGE.meter();
+            let (lfp, _) = semi_naive(&compiled, &base, &|_, _| false, &mut m2).unwrap();
+            prop_assert_eq!(tv.certain, lfp);
+        }
+    }
+
+    /// Stratified evaluation agrees with the valid semantics whenever the
+    /// program happens to be stratified.
+    #[test]
+    fn stratified_matches_valid_when_stratified(
+        rules in prop::collection::vec(arb_safe_rule(), 1..4),
+        facts in prop::collection::btree_set((0i64..3, 0i64..3, 0i64..3), 0..8),
+    ) {
+        let program = Program::from_rules(rules);
+        if !algrec_datalog::stratify::is_stratified(&program) {
+            return Ok(());
+        }
+        let mut base = Interp::new();
+        for (a, b, c) in &facts {
+            base.insert("e", vec![Value::int(*a), Value::int(*b), Value::int(*c)]);
+        }
+        let mut m1 = Budget::LARGE.meter();
+        let strat = algrec_datalog::stratify::stratified(&program, &base, &mut m1);
+        let compiled = Compiled::compile(&program).unwrap();
+        let mut m2 = Budget::LARGE.meter();
+        let valid = alternating_fixpoint(&compiled, &base, &mut m2);
+        match (strat, valid) {
+            (Ok((s, _)), Ok((v, _))) => {
+                prop_assert!(v.is_exact(), "stratified programs are two-valued");
+                prop_assert_eq!(s, v.certain);
+            }
+            (Err(_), Err(_)) => {}
+            (s, v) => panic!("engines disagree on failure: {s:?} vs {v:?}"),
+        }
+    }
+}

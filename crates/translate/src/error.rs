@@ -1,0 +1,55 @@
+//! Errors of the translation layer.
+
+use std::fmt;
+
+/// A translation failure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TranslateError {
+    /// The construct falls outside the implemented fragment of the
+    /// paper's construction; the message says which and why.
+    Unsupported(String),
+    /// The input program was invalid (propagated from the algebra side).
+    Core(algrec_core::CoreError),
+    /// The input program was invalid (propagated from the deduction side).
+    Datalog(algrec_datalog::EvalError),
+}
+
+impl fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranslateError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            TranslateError::Core(e) => write!(f, "{e}"),
+            TranslateError::Datalog(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+impl From<algrec_core::CoreError> for TranslateError {
+    fn from(e: algrec_core::CoreError) -> Self {
+        TranslateError::Core(e)
+    }
+}
+
+impl From<algrec_datalog::EvalError> for TranslateError {
+    fn from(e: algrec_datalog::EvalError) -> Self {
+        TranslateError::Datalog(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(TranslateError::Unsupported("x".into())
+            .to_string()
+            .contains("unsupported"));
+        let c: TranslateError = algrec_core::CoreError::UnknownName("r".into()).into();
+        assert!(c.to_string().contains("`r`"));
+        let d: TranslateError = algrec_datalog::EvalError::NoStableModel.into();
+        assert!(d.to_string().contains("stable"));
+    }
+}

@@ -1,0 +1,43 @@
+//! The constructive translations of *"On the Power of Algebras with
+//! Recursion"* (Beeri & Milo, SIGMOD 1993) — the paper's proofs as
+//! executable code.
+//!
+//! | Construction | Paper | Module |
+//! |---|---|---|
+//! | algebra / IFP-algebra / algebra= → deduction | Props 5.1, 5.4 | [`to_deduction`] |
+//! | inflationary → valid stage simulation | Prop 5.2 | [`stage_sim`] |
+//! | safe deduction → algebra= | Prop 6.1 | [`to_algebra`] |
+//! | IFP-algebra ⊆ algebra= (composite) | Thm 3.5 | [`pipeline::ifp_algebra_to_algebra_eq`] |
+//! | the Thm 6.2 equivalence harness | Thm 6.2 | [`pipeline::check_roundtrip`] |
+//!
+//! ```
+//! use algrec_translate::pipeline::check_roundtrip;
+//! use algrec_datalog::parser::parse_program;
+//! use algrec_value::{Budget, Database, Relation, Value};
+//!
+//! // Theorem 6.2, live: WIN agrees across the paradigms, drawn positions
+//! // included.
+//! let program = parse_program("win(X) :- move(X, Y), not win(Y).").unwrap();
+//! let db = Database::new().with("move", Relation::from_pairs([
+//!     (Value::int(1), Value::int(2)),
+//!     (Value::int(2), Value::int(1)),   // a cycle: 1 and 2 are drawn
+//! ]));
+//! let rt = check_roundtrip(&program, "win", &db, Budget::SMALL).unwrap();
+//! assert!(rt.agree());
+//! assert_eq!(rt.datalog_unknown.len(), 2);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod error;
+pub mod pipeline;
+pub mod stage_sim;
+pub mod to_algebra;
+pub mod to_deduction;
+
+pub use error::TranslateError;
+pub use pipeline::{check_roundtrip, datalog_truth, ifp_algebra_to_algebra_eq, RoundTrip};
+pub use stage_sim::{inflationary_to_valid, sufficient_stage_bound};
+pub use to_algebra::datalog_to_algebra;
+pub use to_deduction::{algebra_to_datalog, edb_arities, AlgebraTranslation, TranslationMode};

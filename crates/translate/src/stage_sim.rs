@@ -1,0 +1,247 @@
+//! Proposition 5.2: simulating the inflationary semantics under the valid
+//! semantics.
+//!
+//! "The program P′ is constructed by modifying P as follows: (i) for every
+//! predicate name R we add a new predicate name R′; (ii) every ground fact
+//! R(a) is replaced by R′(0, a); (iii) every rule …(¬)Q(x)… → R(y) is
+//! replaced by …(¬)Q′(i, x)… → R′(i+1, y); (iv) finally, for every R′ we
+//! add two new rules: R′(i, x) → R′(i+1, x) and R′(i, x) → R(x). The
+//! program P′ simulates the inflationary computation of P: at each step of
+//! the derivation, new facts can only be derived using facts with smaller
+//! indexes" — paper, proof of Proposition 5.2.
+//!
+//! The paper's construction runs over the infinite naturals of the initial
+//! model; the reproduction bounds the stage counter by `max_stage` (the
+//! inflationary fixpoint over a finite database converges in at most
+//! "number of derivable facts" steps, so callers size the bound from the
+//! workload and the bound's sufficiency is itself checked in experiment
+//! E3).
+
+use algrec_datalog::ast::{Atom, CmpOp, Expr, Func, Literal, Program, Rule};
+
+/// The stage-domain predicate added by the transform.
+pub const STAGE_PRED: &str = "stage$";
+
+/// Staged name of an IDB predicate.
+pub fn staged_name(pred: &str) -> String {
+    format!("{pred}'")
+}
+
+/// Apply the Proposition 5.2 transform. IDB predicates get staged
+/// doubles; EDB atoms are left untouched (their facts do not change
+/// during the inflationary computation).
+pub fn inflationary_to_valid(program: &Program, max_stage: i64) -> Program {
+    let idb = program.idb_preds();
+    let idb: std::collections::BTreeSet<String> =
+        idb.into_iter().map(str::to_string).collect();
+    let mut rules: Vec<Rule> = Vec::new();
+
+    // Stage domain: stage$(0); stage$(succ(i)) for i < max_stage.
+    rules.push(Rule::fact(Atom::new(STAGE_PRED, [Expr::int(0)])));
+    rules.push(Rule::new(
+        Atom::new(STAGE_PRED, [Expr::var("J'")]),
+        [
+            Literal::Pos(Atom::new(STAGE_PRED, [Expr::var("I'")])),
+            Literal::Cmp(CmpOp::Lt, Expr::var("I'"), Expr::int(max_stage)),
+            Literal::Cmp(
+                CmpOp::Eq,
+                Expr::var("J'"),
+                Expr::App(Func::Succ, vec![Expr::var("I'")]),
+            ),
+        ],
+    ));
+
+    for rule in &program.rules {
+        let staged_head = |args: Vec<Expr>, stage: Expr| {
+            let mut a = vec![stage];
+            a.extend(args);
+            Atom::new(staged_name(&rule.head.pred), a)
+        };
+        if rule.body.is_empty() {
+            // (ii) ground facts start at stage 0.
+            rules.push(Rule::fact(staged_head(rule.head.args.clone(), Expr::int(0))));
+            continue;
+        }
+        // (iii) body atoms over IDB predicates read stage I; the head is
+        // derived at stage I+1.
+        let mut body = vec![
+            Literal::Pos(Atom::new(STAGE_PRED, [Expr::var("I'")])),
+            Literal::Cmp(CmpOp::Lt, Expr::var("I'"), Expr::int(max_stage)),
+            Literal::Cmp(
+                CmpOp::Eq,
+                Expr::var("J'"),
+                Expr::App(Func::Succ, vec![Expr::var("I'")]),
+            ),
+        ];
+        for lit in &rule.body {
+            body.push(match lit {
+                Literal::Pos(a) if idb.contains(&a.pred) => {
+                    let mut args = vec![Expr::var("I'")];
+                    args.extend(a.args.iter().cloned());
+                    Literal::Pos(Atom::new(staged_name(&a.pred), args))
+                }
+                Literal::Neg(a) if idb.contains(&a.pred) => {
+                    let mut args = vec![Expr::var("I'")];
+                    args.extend(a.args.iter().cloned());
+                    Literal::Neg(Atom::new(staged_name(&a.pred), args))
+                }
+                other => other.clone(),
+            });
+        }
+        rules.push(Rule::new(
+            staged_head(rule.head.args.clone(), Expr::var("J'")),
+            body,
+        ));
+    }
+
+    // (iv) persistence and projection, per IDB predicate.
+    for pred in &idb {
+        let arity = program
+            .rules_for(pred)
+            .next()
+            .map_or(0, |r| r.head.args.len());
+        let vars: Vec<Expr> = (0..arity).map(|k| Expr::var(format!("X{k}'"))).collect();
+        // R'(i, x) → R'(i+1, x)
+        let mut from = vec![Expr::var("I'")];
+        from.extend(vars.iter().cloned());
+        let mut to = vec![Expr::var("J'")];
+        to.extend(vars.iter().cloned());
+        rules.push(Rule::new(
+            Atom::new(staged_name(pred), to),
+            [
+                Literal::Pos(Atom::new(STAGE_PRED, [Expr::var("I'")])),
+                Literal::Cmp(CmpOp::Lt, Expr::var("I'"), Expr::int(max_stage)),
+                Literal::Cmp(
+                    CmpOp::Eq,
+                    Expr::var("J'"),
+                    Expr::App(Func::Succ, vec![Expr::var("I'")]),
+                ),
+                Literal::Pos(Atom::new(staged_name(pred), from.clone())),
+            ],
+        ));
+        // R'(i, x) → R(x)
+        rules.push(Rule::new(
+            Atom::new(pred.clone(), vars.clone()),
+            [Literal::Pos(Atom::new(staged_name(pred), from))],
+        ));
+    }
+
+    Program::from_rules(rules)
+}
+
+/// A bound on the number of inflationary stages sufficient for a program
+/// over a database: one per derivable fact plus slack. Conservative and
+/// cheap: `(active domain size + number of program constants)^max-arity ×
+/// number of IDB predicates + 2`, capped at `cap`.
+pub fn sufficient_stage_bound(
+    program: &Program,
+    db: &algrec_value::Database,
+    cap: i64,
+) -> i64 {
+    let dom = db.active_domain().len() + 8;
+    let max_arity = program
+        .rules
+        .iter()
+        .map(|r| r.head.args.len())
+        .max()
+        .unwrap_or(1);
+    let idb = program.idb_preds().len().max(1);
+    let bound = (dom as i64)
+        .saturating_pow(max_arity as u32)
+        .saturating_mul(idb as i64)
+        .saturating_add(2);
+    bound.min(cap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use algrec_datalog::parser::parse_program as parse_dl;
+    use algrec_datalog::{evaluate, Semantics};
+    use algrec_value::{Budget, Database, Relation, Value};
+
+    fn i(n: i64) -> Value {
+        Value::int(n)
+    }
+
+    /// Check Prop 5.2 on a program: R(a) holds inflationarily in P iff
+    /// R(a) holds validly in P'.
+    fn check(src: &str, db: &Database, pred: &str, max_stage: i64) {
+        let p = parse_dl(src).unwrap();
+        let p2 = inflationary_to_valid(&p, max_stage);
+        let infl = evaluate(&p, db, Semantics::Inflationary, Budget::SMALL).unwrap();
+        let valid = evaluate(&p2, db, Semantics::Valid, Budget::LARGE).unwrap();
+        assert!(valid.model.is_exact(), "P' must be two-valued");
+        let a: std::collections::BTreeSet<_> =
+            infl.model.certain.facts(pred).cloned().collect();
+        let b: std::collections::BTreeSet<_> =
+            valid.model.certain.facts(pred).cloned().collect();
+        assert_eq!(a, b, "{pred} differs");
+    }
+
+    #[test]
+    fn example4_simulated() {
+        // r(a). q(X) :- r(X), not q(X).  — inflationary derives q(a);
+        // the staged program derives it under the valid semantics too.
+        let src = "r(a).\nq(X) :- r(X), not q(X).";
+        check(src, &Database::new(), "q", 5);
+        check(src, &Database::new(), "r", 5);
+    }
+
+    #[test]
+    fn positive_recursion_simulated() {
+        let db = Database::new().with(
+            "edge",
+            Relation::from_pairs([(i(1), i(2)), (i(2), i(3)), (i(3), i(4))]),
+        );
+        check(
+            "tc(X, Y) :- edge(X, Y).\ntc(X, Z) :- tc(X, Y), edge(Y, Z).",
+            &db,
+            "tc",
+            8,
+        );
+    }
+
+    #[test]
+    fn racing_negations_simulated() {
+        // p and q race in the same inflationary step; both are derived.
+        let src = "s(1).\np(X) :- s(X), not q(X).\nq(X) :- s(X), not p(X).";
+        check(src, &Database::new(), "p", 5);
+        check(src, &Database::new(), "q", 5);
+    }
+
+    #[test]
+    fn insufficient_bound_truncates() {
+        // With max_stage = 1 the closure of a 4-chain is cut short.
+        let db = Database::new().with(
+            "edge",
+            Relation::from_pairs([(i(1), i(2)), (i(2), i(3)), (i(3), i(4))]),
+        );
+        let p = parse_dl("tc(X, Y) :- edge(X, Y).\ntc(X, Z) :- tc(X, Y), edge(Y, Z).").unwrap();
+        let p2 = inflationary_to_valid(&p, 1);
+        let valid = evaluate(&p2, &db, Semantics::Valid, Budget::LARGE).unwrap();
+        assert!(valid.model.certain.count("tc") < 6);
+    }
+
+    #[test]
+    fn stage_bound_estimate() {
+        let db = Database::new().with("edge", Relation::from_pairs([(i(1), i(2))]));
+        let p = parse_dl("tc(X, Y) :- edge(X, Y).").unwrap();
+        let b = sufficient_stage_bound(&p, &db, 1000);
+        assert!(b > 2);
+        assert!(b <= 1000);
+        assert_eq!(sufficient_stage_bound(&p, &db, 5), 5);
+    }
+
+    #[test]
+    fn staged_program_shape() {
+        let p = parse_dl("q(X) :- r(X), not q(X).\nr(a).").unwrap();
+        let p2 = inflationary_to_valid(&p, 3);
+        let s = p2.to_string();
+        assert!(s.contains("stage$(0)."));
+        assert!(s.contains("q'("));
+        assert!(s.contains("r'(0, a)."));
+        // projection rules exist
+        assert!(s.contains("q(X0') :- q'(I', X0')."));
+    }
+}

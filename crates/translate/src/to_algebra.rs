@@ -1,0 +1,507 @@
+//! From deduction to algebra: Proposition 6.1.
+//!
+//! "Each predicate Rᵢ in the deductive program is represented by a
+//! corresponding set constant Rᵢᵃ. The translation process is based on
+//! defining for each such predicate a *simulation function* simulating the
+//! derivation of the predicate, and then defining the corresponding
+//! constant to be the fixed point of the function" — paper, Section 6.
+//!
+//! A rule body is a range formula (Definition 4.1); its calculus query is
+//! compiled to an algebra expression by the standard construction the
+//! paper imports from \[5\]: positive atoms become products with selections
+//! (joins), `y = exp` binders become MAP-extensions, comparisons become
+//! selections, and negated atoms become anti-joins via set difference.
+//! The union of a predicate's per-rule expressions is its simulation
+//! function `expᵢ`, and the output program is the equation system
+//! `Pᵢᵃ = expᵢ(P₁ᵃ, …, Pₙᵃ, R₁ᵃ, …, Rₘᵃ)` — an `algebra=` program whose
+//! valid evaluation (`algrec_core::valid_eval`) mirrors the valid model of
+//! the source program (Theorem 6.2).
+//!
+//! Representation convention: the constant for a `k`-ary predicate holds
+//! bare values when `k = 1` and `k`-tuples otherwise — the same convention
+//! `algrec_datalog::interp` uses between relations and fact argument
+//! vectors, so results are directly comparable.
+
+use crate::error::TranslateError;
+use algrec_core::expr::{AlgExpr, CmpOp as ACmp, FuncExpr, FuncOp};
+use algrec_core::program::{AlgProgram, OpDef};
+use algrec_datalog::ast::{CmpOp as DCmp, Expr as DExpr, Func as DFunc, Literal, Program};
+use algrec_datalog::engine::plan_body;
+use std::collections::BTreeMap;
+
+/// Prefix for the generated constants (`Pᵢᵃ` in the paper).
+pub const CONST_PREFIX: &str = "p$";
+
+fn dcmp_to_acmp(op: DCmp) -> ACmp {
+    match op {
+        DCmp::Eq => ACmp::Eq,
+        DCmp::Ne => ACmp::Ne,
+        DCmp::Lt => ACmp::Lt,
+        DCmp::Le => ACmp::Le,
+        DCmp::Gt => ACmp::Gt,
+        DCmp::Ge => ACmp::Ge,
+    }
+}
+
+/// Translate a deduction-side value expression into an element function
+/// over the current binding tuple.
+fn dexpr_to_fexpr(
+    e: &DExpr,
+    var_pos: &BTreeMap<String, usize>,
+) -> Result<FuncExpr, TranslateError> {
+    match e {
+        DExpr::Var(v) => {
+            let pos = var_pos.get(v).ok_or_else(|| {
+                TranslateError::Unsupported(format!(
+                    "variable `{v}` used before being restricted (unsafe rule)"
+                ))
+            })?;
+            Ok(FuncExpr::Proj(Box::new(FuncExpr::Elem), *pos))
+        }
+        DExpr::Lit(v) => Ok(FuncExpr::Lit(v.clone())),
+        DExpr::Tuple(items) => Ok(FuncExpr::Tuple(
+            items
+                .iter()
+                .map(|e| dexpr_to_fexpr(e, var_pos))
+                .collect::<Result<_, _>>()?,
+        )),
+        DExpr::App(DFunc::Proj(i), items) => Ok(FuncExpr::Proj(
+            Box::new(dexpr_to_fexpr(&items[0], var_pos)?),
+            *i,
+        )),
+        DExpr::App(func, items) => {
+            let op = match func {
+                DFunc::Succ => FuncOp::Succ,
+                DFunc::Add => FuncOp::Add,
+                DFunc::Sub => FuncOp::Sub,
+                DFunc::Mul => FuncOp::Mul,
+                DFunc::Concat => FuncOp::Concat,
+                DFunc::Proj(_) => unreachable!("handled above"),
+            };
+            Ok(FuncExpr::App(
+                op,
+                items
+                    .iter()
+                    .map(|e| dexpr_to_fexpr(e, var_pos))
+                    .collect::<Result<Vec<_>, _>>()?,
+            ))
+        }
+    }
+}
+
+/// How a body predicate resolves during translation.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum PredKind {
+    /// Defined by rules: references the generated constant.
+    Idb,
+    /// An extensional relation with known facts.
+    Edb,
+    /// Referenced but neither defined nor present in the database —
+    /// extensionally empty (the minimal-model default).
+    Absent,
+}
+
+/// A predicate reference as an algebra expression holding its member
+/// values, wrapped so that a product appends exactly `arity` columns.
+fn pred_expr(pred: &str, arity: usize, kind: PredKind) -> AlgExpr {
+    let base = match kind {
+        PredKind::Idb => AlgExpr::name(format!("{CONST_PREFIX}{pred}")),
+        PredKind::Edb => AlgExpr::name(pred),
+        PredKind::Absent => return AlgExpr::Lit(Default::default()),
+    };
+    if arity == 1 {
+        // Wrap members as 1-tuples so tuple-valued members do not spread.
+        AlgExpr::map(base, FuncExpr::Tuple(vec![FuncExpr::Elem]))
+    } else {
+        base
+    }
+}
+
+/// Compile one safe rule into the algebra expression of its derivable head
+/// values (the per-rule disjunct of the simulation function).
+fn compile_rule(
+    rule: &algrec_datalog::ast::Rule,
+    idb_arities: &BTreeMap<String, usize>,
+    edb_arities: &BTreeMap<String, usize>,
+) -> Result<AlgExpr, TranslateError> {
+    let plan = plan_body(rule).map_err(TranslateError::Datalog)?;
+
+    // The running expression E holds width-`width` binding tuples.
+    let mut expr = AlgExpr::lit([algrec_value::Value::Tuple(vec![])]);
+    let mut width = 0usize;
+    let mut var_pos: BTreeMap<String, usize> = BTreeMap::new();
+
+    let projs = |width: usize| -> Vec<FuncExpr> {
+        (0..width)
+            .map(|i| FuncExpr::Proj(Box::new(FuncExpr::Elem), i))
+            .collect()
+    };
+
+    for &idx in &plan.order {
+        match &rule.body[idx] {
+            Literal::Pos(atom) => {
+                let k = atom.args.len();
+                let (kind, arity) = match idb_arities.get(&atom.pred) {
+                    Some(a) => (PredKind::Idb, *a),
+                    None => match edb_arities.get(&atom.pred) {
+                        Some(a) => (PredKind::Edb, *a),
+                        None => (PredKind::Absent, k),
+                    },
+                };
+                if arity != k {
+                    return Err(TranslateError::Unsupported(format!(
+                        "predicate `{}` used with arity {k}, declared {arity}",
+                        atom.pred
+                    )));
+                }
+                expr = AlgExpr::product(expr, pred_expr(&atom.pred, k, kind));
+                let mut selects: Vec<FuncExpr> = Vec::new();
+                for (i, arg) in atom.args.iter().enumerate() {
+                    let col = width + i;
+                    match arg {
+                        DExpr::Var(v) => match var_pos.get(v) {
+                            None => {
+                                var_pos.insert(v.clone(), col);
+                            }
+                            Some(&prev) => selects.push(FuncExpr::Cmp(
+                                ACmp::Eq,
+                                Box::new(FuncExpr::proj(col)),
+                                Box::new(FuncExpr::proj(prev)),
+                            )),
+                        },
+                        other => {
+                            // ground or computed-from-bound argument
+                            let f = dexpr_to_fexpr(other, &var_pos)?;
+                            selects.push(FuncExpr::Cmp(
+                                ACmp::Eq,
+                                Box::new(FuncExpr::proj(col)),
+                                Box::new(f),
+                            ));
+                        }
+                    }
+                }
+                width += k;
+                for s in selects {
+                    expr = AlgExpr::select(expr, s);
+                }
+            }
+            Literal::Neg(atom) => {
+                // Anti-join: E − π_E(σ_match(E × R)).
+                let k = atom.args.len();
+                let (kind, arity) = match idb_arities.get(&atom.pred) {
+                    Some(a) => (PredKind::Idb, *a),
+                    None => match edb_arities.get(&atom.pred) {
+                        Some(a) => (PredKind::Edb, *a),
+                        None => (PredKind::Absent, k),
+                    },
+                };
+                if arity != k {
+                    return Err(TranslateError::Unsupported(format!(
+                        "predicate `{}` used with arity {k}, declared {arity}",
+                        atom.pred
+                    )));
+                }
+                let mut matches =
+                    AlgExpr::product(expr.clone(), pred_expr(&atom.pred, k, kind));
+                for (i, arg) in atom.args.iter().enumerate() {
+                    let col = width + i;
+                    let f = dexpr_to_fexpr(arg, &var_pos)?;
+                    matches = AlgExpr::select(
+                        matches,
+                        FuncExpr::Cmp(ACmp::Eq, Box::new(FuncExpr::proj(col)), Box::new(f)),
+                    );
+                }
+                let restored = AlgExpr::map(matches, FuncExpr::Tuple(projs(width)));
+                expr = AlgExpr::diff(expr, restored);
+            }
+            Literal::Cmp(DCmp::Eq, l, r) => {
+                // Binder (fresh variable on one side) or test.
+                let fresh_var = |e: &DExpr| match e {
+                    DExpr::Var(v) if !var_pos.contains_key(v) => Some(v.clone()),
+                    _ => None,
+                };
+                if let Some(v) = fresh_var(l) {
+                    let f = dexpr_to_fexpr(r, &var_pos)?;
+                    let mut cols = projs(width);
+                    cols.push(f);
+                    expr = AlgExpr::map(expr, FuncExpr::Tuple(cols));
+                    var_pos.insert(v, width);
+                    width += 1;
+                } else if let Some(v) = fresh_var(r) {
+                    let f = dexpr_to_fexpr(l, &var_pos)?;
+                    let mut cols = projs(width);
+                    cols.push(f);
+                    expr = AlgExpr::map(expr, FuncExpr::Tuple(cols));
+                    var_pos.insert(v, width);
+                    width += 1;
+                } else {
+                    let fl = dexpr_to_fexpr(l, &var_pos)?;
+                    let fr = dexpr_to_fexpr(r, &var_pos)?;
+                    expr = AlgExpr::select(
+                        expr,
+                        FuncExpr::Cmp(ACmp::Eq, Box::new(fl), Box::new(fr)),
+                    );
+                }
+            }
+            Literal::Cmp(op, l, r) => {
+                let fl = dexpr_to_fexpr(l, &var_pos)?;
+                let fr = dexpr_to_fexpr(r, &var_pos)?;
+                expr = AlgExpr::select(
+                    expr,
+                    FuncExpr::Cmp(dcmp_to_acmp(*op), Box::new(fl), Box::new(fr)),
+                );
+            }
+        }
+    }
+
+    // Head: project the head argument values (bare for unary heads,
+    // tuples otherwise — the shared representation convention).
+    let head_fs: Vec<FuncExpr> = rule
+        .head
+        .args
+        .iter()
+        .map(|e| dexpr_to_fexpr(e, &var_pos))
+        .collect::<Result<_, _>>()?;
+    let out_f = if head_fs.len() == 1 {
+        head_fs.into_iter().next().expect("one element")
+    } else {
+        FuncExpr::Tuple(head_fs)
+    };
+    Ok(AlgExpr::map(expr, out_f))
+}
+
+/// Translate a safe deductive program into an `algebra=` program whose
+/// query is the constant of `query_pred` (Proposition 6.1).
+pub fn datalog_to_algebra(
+    program: &Program,
+    query_pred: &str,
+    edb_arities: &BTreeMap<String, usize>,
+) -> Result<AlgProgram, TranslateError> {
+    algrec_datalog::safety::check_program(program).map_err(TranslateError::Datalog)?;
+
+    // IDB arities from head usage.
+    let mut idb_arities: BTreeMap<String, usize> = BTreeMap::new();
+    for rule in &program.rules {
+        let k = rule.head.args.len();
+        match idb_arities.get(&rule.head.pred) {
+            Some(&a) if a != k => {
+                return Err(TranslateError::Unsupported(format!(
+                    "predicate `{}` defined with arities {a} and {k}",
+                    rule.head.pred
+                )))
+            }
+            _ => {
+                idb_arities.insert(rule.head.pred.clone(), k);
+            }
+        }
+    }
+    if !idb_arities.contains_key(query_pred) {
+        return Err(TranslateError::Unsupported(format!(
+            "query predicate `{query_pred}` is not defined by the program"
+        )));
+    }
+
+    // One constant per predicate: Pᵢᵃ = ⋃ rules.
+    let mut defs = Vec::new();
+    for pred in idb_arities.keys() {
+        let mut disjuncts: Vec<AlgExpr> = Vec::new();
+        for rule in program.rules_for(pred) {
+            disjuncts.push(compile_rule(rule, &idb_arities, edb_arities)?);
+        }
+        let body = disjuncts
+            .into_iter()
+            .reduce(AlgExpr::union)
+            .expect("every IDB predicate has at least one rule");
+        // The construction seeds every rule with `{[]}` and stacks
+        // selections/maps; the algebraic simplifier removes the scaffolding
+        // (sound under the three-valued semantics — see `algrec_core::opt`).
+        defs.push(OpDef::constant(
+            format!("{CONST_PREFIX}{pred}"),
+            algrec_core::simplify(&body),
+        ));
+    }
+
+    AlgProgram::new(defs, AlgExpr::name(format!("{CONST_PREFIX}{query_pred}")))
+        .map_err(TranslateError::Core)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::to_deduction::edb_arities;
+    use algrec_core::valid_eval::eval_valid;
+    use algrec_datalog::parser::parse_program as parse_dl;
+    use algrec_datalog::{evaluate, Semantics};
+    use algrec_value::{Budget, Database, Relation, Truth, Value};
+
+    fn i(n: i64) -> Value {
+        Value::int(n)
+    }
+
+    /// Compare: datalog valid semantics vs translated algebra= valid
+    /// semantics, on every fact of `pred` in the datalog result plus the
+    /// probes given.
+    fn check_equivalence(src: &str, pred: &str, db: &Database, probes: &[Value]) {
+        let program = parse_dl(src).unwrap();
+        let arities = edb_arities(db);
+        let alg = datalog_to_algebra(&program, pred, &arities).unwrap();
+
+        let dl_out = evaluate(&program, db, Semantics::Valid, Budget::SMALL).unwrap();
+        let alg_out = eval_valid(&alg, db, Budget::SMALL).unwrap();
+
+        // every certain datalog fact must be certain on the algebra side
+        for args in dl_out.model.certain.facts(pred) {
+            let v = algrec_datalog::interp::args_tuple(args);
+            assert_eq!(
+                alg_out.member(&v),
+                Truth::True,
+                "{pred}({v}) should be certain"
+            );
+        }
+        // probes must agree exactly
+        for v in probes {
+            let args = algrec_datalog::interp::tuple_args(v);
+            assert_eq!(
+                alg_out.member(v),
+                dl_out.model.truth(pred, &args),
+                "{pred}({v}) must agree"
+            );
+        }
+    }
+
+    #[test]
+    fn transitive_closure_round() {
+        let db = Database::new().with(
+            "edge",
+            Relation::from_pairs([(i(1), i(2)), (i(2), i(3)), (i(3), i(1))]),
+        );
+        check_equivalence(
+            "tc(X, Y) :- edge(X, Y).\n\
+             tc(X, Z) :- tc(X, Y), edge(Y, Z).",
+            "tc",
+            &db,
+            &[
+                Value::pair(i(1), i(3)),
+                Value::pair(i(3), i(2)),
+                Value::pair(i(1), i(9)),
+            ],
+        );
+    }
+
+    #[test]
+    fn win_move_round_acyclic_and_cyclic() {
+        let p = "win(X) :- move(X, Y), not win(Y).";
+        let acyclic = Database::new().with(
+            "move",
+            Relation::from_pairs([(i(1), i(2)), (i(2), i(3))]),
+        );
+        check_equivalence(p, "win", &acyclic, &[i(1), i(2), i(3), i(4)]);
+
+        let cyclic = Database::new().with(
+            "move",
+            Relation::from_pairs([(i(1), i(2)), (i(2), i(1)), (i(2), i(3))]),
+        );
+        check_equivalence(p, "win", &cyclic, &[i(1), i(2), i(3)]);
+
+        // pure cycle: undefinedness must carry over
+        let drawn = Database::new().with("move", Relation::from_pairs([(i(7), i(7))]));
+        check_equivalence(p, "win", &drawn, &[i(7)]);
+    }
+
+    #[test]
+    fn stratified_negation_round() {
+        let db = Database::new()
+            .with("e", Relation::from_pairs([(i(1), i(2))]))
+            .with("n", Relation::from_values([i(1), i(2), i(3)]));
+        check_equivalence(
+            "r(X, Y) :- e(X, Y).\n\
+             r(X, Z) :- r(X, Y), e(Y, Z).\n\
+             un(X, Y) :- n(X), n(Y), not r(X, Y).",
+            "un",
+            &db,
+            &[
+                Value::pair(i(1), i(2)),
+                Value::pair(i(2), i(1)),
+                Value::pair(i(3), i(3)),
+            ],
+        );
+    }
+
+    #[test]
+    fn functions_and_comparisons_round() {
+        let db = Database::new().with("seed", Relation::from_values([i(0)]));
+        check_equivalence(
+            "n(X) :- seed(X).\n\
+             n(Y) :- n(X), X < 6, Y = add(X, 2).",
+            "n",
+            &db,
+            &[i(0), i(2), i(4), i(6), i(8), i(1)],
+        );
+    }
+
+    #[test]
+    fn ground_facts_round() {
+        let db = Database::new();
+        check_equivalence(
+            "color(red).\ncolor(green).\nnice(X) :- color(X), X != red.",
+            "nice",
+            &db,
+            &[Value::str("red"), Value::str("green"), Value::str("blue")],
+        );
+    }
+
+    #[test]
+    fn binary_heads_and_repeated_vars() {
+        let db = Database::new().with(
+            "e",
+            Relation::from_pairs([(i(1), i(1)), (i(1), i(2)), (i(2), i(2))]),
+        );
+        check_equivalence(
+            "loop(X, X) :- e(X, X).",
+            "loop",
+            &db,
+            &[Value::pair(i(1), i(1)), Value::pair(i(1), i(2))],
+        );
+    }
+
+    #[test]
+    fn unsafe_program_rejected() {
+        let p = parse_dl("q(X) :- not e(X).").unwrap();
+        assert!(matches!(
+            datalog_to_algebra(&p, "q", &BTreeMap::new()),
+            Err(TranslateError::Datalog(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_query_pred_rejected() {
+        let p = parse_dl("q(X) :- e(X).").unwrap();
+        assert!(matches!(
+            datalog_to_algebra(&p, "zzz", &BTreeMap::new()),
+            Err(TranslateError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn mixed_arity_pred_rejected() {
+        let p = parse_dl("q(X) :- e(X).\nq(X, Y) :- e(X), e(Y).").unwrap();
+        assert!(matches!(
+            datalog_to_algebra(&p, "q", &BTreeMap::new()),
+            Err(TranslateError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn tuple_valued_unary_predicates() {
+        // A unary IDB predicate holding pair values: the 1-tuple wrapping
+        // must keep columns straight.
+        let db = Database::new().with("e", Relation::from_pairs([(i(1), i(2))]));
+        check_equivalence(
+            "pair(V) :- e(X, Y), V = [X, Y].\n\
+             fst(X) :- pair(V), X = first(V).",
+            "fst",
+            &db,
+            &[i(1), i(2)],
+        );
+    }
+}

@@ -1,0 +1,194 @@
+//! Evaluation budgets.
+//!
+//! The paper's framework deliberately admits *infinite* initial models:
+//! "we allow functions on the domains, such as addition on numbers, hence
+//! the fixed point operator may generate infinite sets" (Section 3.1), and
+//! the valid computation may iterate "possibly transfinitely" (Section
+//! 2.2). A reproduction on real hardware must bound these. The
+//! justification for bounding is the paper's own domain-independence
+//! argument (Section 4): a d.i. query only inspects a finite window of the
+//! initial model, so evaluating inside a sufficiently large window gives
+//! the exact answer. [`Budget`] materializes such a window; exhausting it
+//! yields a [`BudgetError`] — a loud failure, never a silently truncated
+//! answer.
+
+use std::fmt;
+
+/// Resource limits for fixpoint evaluation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Budget {
+    /// Maximum number of fixpoint iterations (outer and inner combined
+    /// per evaluation phase).
+    pub max_iterations: usize,
+    /// Maximum number of distinct facts / set members materialized by one
+    /// evaluation.
+    pub max_facts: usize,
+    /// Maximum structural size ([`crate::Value::size`]) of any single
+    /// constructed value — bounds term growth from interpreted functions
+    /// (successor, tuple construction).
+    pub max_value_size: usize,
+}
+
+impl Budget {
+    /// A budget comfortable for unit tests and the paper's examples.
+    pub const SMALL: Budget = Budget {
+        max_iterations: 10_000,
+        max_facts: 100_000,
+        max_value_size: 256,
+    };
+
+    /// A budget for benchmark-scale workloads.
+    pub const LARGE: Budget = Budget {
+        max_iterations: 1_000_000,
+        max_facts: 50_000_000,
+        max_value_size: 4096,
+    };
+
+    /// Construct an explicit budget.
+    pub fn new(max_iterations: usize, max_facts: usize, max_value_size: usize) -> Self {
+        Budget {
+            max_iterations,
+            max_facts,
+            max_value_size,
+        }
+    }
+
+    /// Start metering against this budget.
+    pub fn meter(&self) -> Meter {
+        Meter {
+            budget: *self,
+            iterations: 0,
+            facts: 0,
+        }
+    }
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget::SMALL
+    }
+}
+
+/// A running consumption counter against a [`Budget`].
+#[derive(Clone, Debug)]
+pub struct Meter {
+    budget: Budget,
+    iterations: usize,
+    facts: usize,
+}
+
+impl Meter {
+    /// Record one fixpoint iteration.
+    pub fn tick_iteration(&mut self) -> Result<(), BudgetError> {
+        self.iterations += 1;
+        if self.iterations > self.budget.max_iterations {
+            Err(BudgetError::Iterations(self.budget.max_iterations))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Record `n` newly materialized facts.
+    pub fn add_facts(&mut self, n: usize) -> Result<(), BudgetError> {
+        self.facts = self.facts.saturating_add(n);
+        if self.facts > self.budget.max_facts {
+            Err(BudgetError::Facts(self.budget.max_facts))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Check a constructed value's size against the budget.
+    pub fn check_value_size(&self, size: usize) -> Result<(), BudgetError> {
+        if size > self.budget.max_value_size {
+            Err(BudgetError::ValueSize(self.budget.max_value_size))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Iterations consumed so far.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Facts recorded so far.
+    pub fn facts(&self) -> usize {
+        self.facts
+    }
+
+    /// The configured budget.
+    pub fn budget(&self) -> &Budget {
+        &self.budget
+    }
+}
+
+/// Budget exhaustion: the evaluation would need a larger finite window of
+/// the (possibly infinite) initial model.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BudgetError {
+    /// Iteration budget exceeded.
+    Iterations(usize),
+    /// Fact budget exceeded.
+    Facts(usize),
+    /// A constructed value exceeded the size budget.
+    ValueSize(usize),
+}
+
+impl fmt::Display for BudgetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetError::Iterations(n) => {
+                write!(f, "iteration budget exhausted ({n} iterations)")
+            }
+            BudgetError::Facts(n) => write!(f, "fact budget exhausted ({n} facts)"),
+            BudgetError::ValueSize(n) => {
+                write!(f, "constructed value exceeds size budget ({n})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BudgetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iteration_budget_trips() {
+        let mut m = Budget::new(2, 10, 10).meter();
+        assert!(m.tick_iteration().is_ok());
+        assert!(m.tick_iteration().is_ok());
+        assert_eq!(m.tick_iteration(), Err(BudgetError::Iterations(2)));
+        assert_eq!(m.iterations(), 3);
+    }
+
+    #[test]
+    fn fact_budget_trips() {
+        let mut m = Budget::new(10, 3, 10).meter();
+        assert!(m.add_facts(3).is_ok());
+        assert_eq!(m.add_facts(1), Err(BudgetError::Facts(3)));
+        assert_eq!(m.facts(), 4);
+    }
+
+    #[test]
+    fn value_size_budget() {
+        let m = Budget::new(10, 10, 5).meter();
+        assert!(m.check_value_size(5).is_ok());
+        assert_eq!(m.check_value_size(6), Err(BudgetError::ValueSize(5)));
+    }
+
+    #[test]
+    fn default_is_small() {
+        assert_eq!(Budget::default(), Budget::SMALL);
+        assert_eq!(Budget::SMALL.meter().budget(), &Budget::SMALL);
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(BudgetError::Iterations(5).to_string().contains("5"));
+        assert!(BudgetError::Facts(7).to_string().contains("7"));
+        assert!(BudgetError::ValueSize(9).to_string().contains("9"));
+    }
+}

@@ -1,0 +1,42 @@
+//! Complex-object values and three-valued machinery for the `algrec`
+//! reproduction of *"On the Power of Algebras with Recursion"* (Beeri &
+//! Milo, SIGMOD 1993).
+//!
+//! This crate is the common substrate shared by the specification framework
+//! (`algrec-adt`), the deduction engine (`algrec-datalog`) and the
+//! algebra family (`algrec-core`). It provides:
+//!
+//! * [`Value`] — complex-object values: booleans, integers, strings,
+//!   tuples and finite sets. Sets are canonical by construction
+//!   ([`std::collections::BTreeSet`]), which realizes the INS
+//!   commutativity/absorption equations of the paper's SET specification
+//!   (Section 2.1) at the value level.
+//! * [`Relation`] and [`Database`] — named finite sets of values; a
+//!   database in the paper is "a collection of named sets" (Section 3).
+//! * [`Truth`] — Kleene's strong three-valued logic. The paper's valid
+//!   interpretation is a three-valued model with true, false and undefined
+//!   facts (Section 2.2).
+//! * [`TvSet`] — a three-valued set, represented by a certain lower bound
+//!   and a possible upper bound. This is the value domain over which the
+//!   alternating-fixpoint evaluation of `algebra=` programs runs.
+//! * [`Budget`] — explicit resource budgets. The paper works over possibly
+//!   infinite initial models (e.g. the natural numbers with successor);
+//!   domain-independent queries only inspect a finite window of such a
+//!   model (Section 4), and the budget materializes exactly such a window.
+//!   Budget exhaustion is a reported error, never a silent wrong answer.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod budget;
+pub mod relation;
+pub mod truth;
+pub mod tvset;
+#[allow(clippy::module_inception)]
+pub mod value;
+
+pub use budget::{Budget, BudgetError};
+pub use relation::{Database, Relation};
+pub use truth::Truth;
+pub use tvset::TvSet;
+pub use value::{Value, ValueKind};

@@ -1,0 +1,192 @@
+//! Kleene's strong three-valued logic.
+//!
+//! The valid interpretation of a specification (paper, Section 2.2) and the
+//! valid / well-founded models of deductive programs are *three-valued*:
+//! every ground fact is true, false or undefined. [`Truth`] is that truth
+//! domain, with the strong-Kleene connectives and the two orders that the
+//! fixpoint theory needs: the *truth* order `False < Unknown < True` and
+//! the *knowledge* (information) order in which `Unknown` is the bottom.
+
+use std::fmt;
+
+/// A three-valued truth value.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Truth {
+    /// Certainly false — the fact is in the set `F` of the valid model.
+    False,
+    /// Undefined — neither derivable nor refutable (the residue of the
+    /// alternating fixpoint; e.g. `MEM(a, S)` for `S = {a} − S`).
+    Unknown,
+    /// Certainly true — the fact is in the set `T` of the valid model.
+    True,
+}
+
+impl Truth {
+    /// Lift a two-valued boolean.
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            Truth::True
+        } else {
+            Truth::False
+        }
+    }
+
+    /// Strong-Kleene conjunction.
+    pub fn and(self, other: Truth) -> Truth {
+        self.min(other)
+    }
+
+    /// Strong-Kleene disjunction.
+    pub fn or(self, other: Truth) -> Truth {
+        self.max(other)
+    }
+
+    /// Negation (swaps `True` and `False`, fixes `Unknown`).
+    /// Also available via the `!` operator ([`std::ops::Not`]).
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Truth {
+        match self {
+            Truth::True => Truth::False,
+            Truth::Unknown => Truth::Unknown,
+            Truth::False => Truth::True,
+        }
+    }
+
+    /// Is this `True`?
+    pub fn is_true(self) -> bool {
+        self == Truth::True
+    }
+
+    /// Is this `False`?
+    pub fn is_false(self) -> bool {
+        self == Truth::False
+    }
+
+    /// Is this `Unknown`?
+    pub fn is_unknown(self) -> bool {
+        self == Truth::Unknown
+    }
+
+    /// Is this two-valued (i.e. not `Unknown`)? A program is *well-defined*
+    /// (has an initial valid model, Definition 2.2) exactly when every
+    /// observable fact is two-valued.
+    pub fn is_defined(self) -> bool {
+        self != Truth::Unknown
+    }
+
+    /// Collapse to a boolean if defined.
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Truth::True => Some(true),
+            Truth::False => Some(false),
+            Truth::Unknown => None,
+        }
+    }
+
+    /// Knowledge-order join: combines two *compatible* verdicts, preferring
+    /// the defined one. Returns `None` when the verdicts contradict
+    /// (`True` vs `False`) — contradiction never arises from a correct
+    /// alternating fixpoint and is surfaced to the caller as a bug check.
+    pub fn join_knowledge(self, other: Truth) -> Option<Truth> {
+        match (self, other) {
+            (Truth::Unknown, x) | (x, Truth::Unknown) => Some(x),
+            (a, b) if a == b => Some(a),
+            _ => None,
+        }
+    }
+
+    /// All three truth values, in truth order.
+    pub const ALL: [Truth; 3] = [Truth::False, Truth::Unknown, Truth::True];
+}
+
+impl std::ops::Not for Truth {
+    type Output = Truth;
+    fn not(self) -> Truth {
+        Truth::not(self)
+    }
+}
+
+impl From<bool> for Truth {
+    fn from(b: bool) -> Self {
+        Truth::from_bool(b)
+    }
+}
+
+impl fmt::Display for Truth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Truth::True => "true",
+            Truth::False => "false",
+            Truth::Unknown => "unknown",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Truth::*;
+
+    #[test]
+    fn truth_order() {
+        assert!(False < Unknown && Unknown < True);
+    }
+
+    #[test]
+    fn kleene_and() {
+        assert_eq!(True.and(True), True);
+        assert_eq!(True.and(Unknown), Unknown);
+        assert_eq!(False.and(Unknown), False);
+        assert_eq!(Unknown.and(Unknown), Unknown);
+    }
+
+    #[test]
+    fn kleene_or() {
+        assert_eq!(False.or(False), False);
+        assert_eq!(False.or(Unknown), Unknown);
+        assert_eq!(True.or(Unknown), True);
+        assert_eq!(Unknown.or(Unknown), Unknown);
+    }
+
+    #[test]
+    fn negation_involutive_on_defined() {
+        for t in Truth::ALL {
+            assert_eq!(t.not().not(), t);
+        }
+        assert_eq!(Unknown.not(), Unknown);
+    }
+
+    #[test]
+    fn de_morgan() {
+        for a in Truth::ALL {
+            for b in Truth::ALL {
+                assert_eq!(a.and(b).not(), a.not().or(b.not()));
+                assert_eq!(a.or(b).not(), a.not().and(b.not()));
+            }
+        }
+    }
+
+    #[test]
+    fn bool_round_trip() {
+        assert_eq!(Truth::from_bool(true).to_bool(), Some(true));
+        assert_eq!(Truth::from_bool(false).to_bool(), Some(false));
+        assert_eq!(Unknown.to_bool(), None);
+        assert_eq!(Truth::from(true), True);
+    }
+
+    #[test]
+    fn knowledge_join() {
+        assert_eq!(Unknown.join_knowledge(True), Some(True));
+        assert_eq!(False.join_knowledge(Unknown), Some(False));
+        assert_eq!(True.join_knowledge(True), Some(True));
+        assert_eq!(True.join_knowledge(False), None);
+    }
+
+    #[test]
+    fn definedness() {
+        assert!(True.is_defined() && False.is_defined());
+        assert!(!Unknown.is_defined());
+        assert!(True.is_true() && False.is_false() && Unknown.is_unknown());
+    }
+}

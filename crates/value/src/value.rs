@@ -1,0 +1,307 @@
+//! Complex-object values.
+//!
+//! The paper's data model (Section 2) is built from atomic types (booleans,
+//! naturals, strings, ...) and structured types (tuples and finite sets).
+//! [`Value`] is the dynamically-typed union of all of these. The total
+//! order on `Value` is what makes sets canonical: a set value stores its
+//! members in a [`BTreeSet`], so two set terms that the SET specification's
+//! equations identify (`INS(d, INS(d, s)) = INS(d, s)` and insertion
+//! commutativity) are *equal Rust values*.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// A complex-object value: the carrier of every relation, algebra
+/// expression and deductive fact in this workspace.
+///
+/// The derived [`Ord`] gives a total order across *all* values (ordering
+/// first by [`ValueKind`], then structurally), which is required for
+/// canonical set representation and for deterministic engine output.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// A boolean. In the paper booleans are ordinary values of the BOOL
+    /// specification, *not* built-in truth values — this is precisely why
+    /// membership needs negative facts (Section 2.1).
+    Bool(bool),
+    /// An integer, standing in for the paper's `nat` (and giving us the
+    /// interpreted functions — successor, addition — that the paper
+    /// explicitly allows: "we allow functions on the domains", Section 3.1).
+    Int(i64),
+    /// An atomic string constant (reference-counted; values are cloned
+    /// pervasively inside fixpoint engines).
+    Str(Arc<str>),
+    /// A tuple (ordered, fixed-width record).
+    Tuple(Vec<Value>),
+    /// A finite set, canonical by construction.
+    Set(BTreeSet<Value>),
+}
+
+/// The coarse type of a [`Value`], used for ordering across variants and
+/// for dynamic type errors in the function sublanguage.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum ValueKind {
+    /// Boolean.
+    Bool,
+    /// Integer.
+    Int,
+    /// String.
+    Str,
+    /// Tuple.
+    Tuple,
+    /// Set.
+    Set,
+}
+
+impl Value {
+    /// String constant constructor.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Integer constructor (convenience mirror of `Value::Int`).
+    pub fn int(i: i64) -> Self {
+        Value::Int(i)
+    }
+
+    /// Tuple constructor.
+    pub fn tuple(items: impl IntoIterator<Item = Value>) -> Self {
+        Value::Tuple(items.into_iter().collect())
+    }
+
+    /// Pair constructor — the overwhelmingly common tuple shape in the
+    /// paper's examples (MOVE, edges, ...).
+    pub fn pair(a: Value, b: Value) -> Self {
+        Value::Tuple(vec![a, b])
+    }
+
+    /// Set constructor; duplicates collapse, order is irrelevant — exactly
+    /// the INS equations of the SET specification.
+    pub fn set(items: impl IntoIterator<Item = Value>) -> Self {
+        Value::Set(items.into_iter().collect())
+    }
+
+    /// The empty set (the SET specification's `EMPTY` constant).
+    pub fn empty_set() -> Self {
+        Value::Set(BTreeSet::new())
+    }
+
+    /// The coarse type of this value.
+    pub fn kind(&self) -> ValueKind {
+        match self {
+            Value::Bool(_) => ValueKind::Bool,
+            Value::Int(_) => ValueKind::Int,
+            Value::Str(_) => ValueKind::Str,
+            Value::Tuple(_) => ValueKind::Tuple,
+            Value::Set(_) => ValueKind::Set,
+        }
+    }
+
+    /// View as a boolean, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// View as an integer, if it is one.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// View as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// View as a tuple slice, if it is one.
+    pub fn as_tuple(&self) -> Option<&[Value]> {
+        match self {
+            Value::Tuple(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// View as a set, if it is one.
+    pub fn as_set(&self) -> Option<&BTreeSet<Value>> {
+        match self {
+            Value::Set(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Structural size: the number of constructor applications needed to
+    /// build the value. Budgets bound this (the paper's terms are finite;
+    /// our window into an infinite model is depth-bounded).
+    pub fn size(&self) -> usize {
+        match self {
+            Value::Bool(_) | Value::Int(_) | Value::Str(_) => 1,
+            Value::Tuple(t) => 1 + t.iter().map(Value::size).sum::<usize>(),
+            Value::Set(s) => 1 + s.iter().map(Value::size).sum::<usize>(),
+        }
+    }
+
+    /// Nesting depth (atoms have depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            Value::Bool(_) | Value::Int(_) | Value::Str(_) => 1,
+            Value::Tuple(t) => 1 + t.iter().map(Value::depth).max().unwrap_or(0),
+            Value::Set(s) => 1 + s.iter().map(Value::depth).max().unwrap_or(0),
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::str(s)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{}", if *b { "true" } else { "false" }),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Tuple(t) => {
+                write!(f, "[")?;
+                for (i, v) in t.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Set(s) => {
+                write!(f, "{{")?;
+                for (i, v) in s.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_values_are_canonical() {
+        // INS(d, INS(d', s)) = INS(d', INS(d, s)) and absorption: at the
+        // value level, order and duplicates do not matter.
+        let a = Value::set([Value::int(1), Value::int(2), Value::int(1)]);
+        let b = Value::set([Value::int(2), Value::int(1)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_set_is_set_of_nothing() {
+        assert_eq!(Value::empty_set(), Value::set([]));
+    }
+
+    #[test]
+    fn ordering_is_total_across_kinds() {
+        let vals = [
+            Value::Bool(false),
+            Value::Bool(true),
+            Value::int(-3),
+            Value::int(7),
+            Value::str("a"),
+            Value::str("b"),
+            Value::tuple([Value::int(1)]),
+            Value::set([Value::int(1)]),
+        ];
+        for (i, a) in vals.iter().enumerate() {
+            for (j, b) in vals.iter().enumerate() {
+                match i.cmp(&j) {
+                    std::cmp::Ordering::Less => assert!(a < b, "{a} < {b}"),
+                    std::cmp::Ordering::Equal => assert_eq!(a, b),
+                    std::cmp::Ordering::Greater => assert!(a > b, "{a} > {b}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn size_and_depth() {
+        let v = Value::set([Value::pair(Value::int(1), Value::int(2)), Value::int(3)]);
+        // set + (tuple + 2 atoms) + atom = 5
+        assert_eq!(v.size(), 5);
+        assert_eq!(v.depth(), 3);
+        assert_eq!(Value::int(0).size(), 1);
+        assert_eq!(Value::int(0).depth(), 1);
+        assert_eq!(Value::empty_set().depth(), 1);
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::int(4).as_int(), Some(4));
+        assert_eq!(Value::str("x").as_str(), Some("x"));
+        assert_eq!(Value::int(4).as_bool(), None);
+        assert!(Value::tuple([Value::int(1)]).as_tuple().is_some());
+        assert!(Value::empty_set().as_set().is_some());
+        assert_eq!(Value::empty_set().as_tuple(), None);
+    }
+
+    #[test]
+    fn kinds() {
+        assert_eq!(Value::Bool(true).kind(), ValueKind::Bool);
+        assert_eq!(Value::int(1).kind(), ValueKind::Int);
+        assert_eq!(Value::str("s").kind(), ValueKind::Str);
+        assert_eq!(Value::tuple([]).kind(), ValueKind::Tuple);
+        assert_eq!(Value::empty_set().kind(), ValueKind::Set);
+    }
+
+    #[test]
+    fn display_forms() {
+        let v = Value::set([Value::pair(Value::str("a"), Value::int(1))]);
+        assert_eq!(v.to_string(), "{[a, 1]}");
+        assert_eq!(Value::Bool(false).to_string(), "false");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(3i64), Value::int(3));
+        assert_eq!(Value::from("hi"), Value::str("hi"));
+        assert_eq!(Value::from(String::from("hi")), Value::str("hi"));
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests for the value substrate: ordering laws, TvSet
+//! interval/lattice laws, and the three-valued operation semantics.
+
+use algrec_value::{Truth, TvSet, Value};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Strategy for smallish values, including nested tuples and sets.
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        any::<bool>().prop_map(Value::Bool),
+        (-50i64..50).prop_map(Value::Int),
+        "[a-d]{1,3}".prop_map(Value::str),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Value::Tuple),
+            prop::collection::btree_set(inner, 0..4).prop_map(Value::Set),
+        ]
+    })
+}
+
+fn arb_value_set() -> impl Strategy<Value = BTreeSet<Value>> {
+    prop::collection::btree_set(arb_value(), 0..8)
+}
+
+/// Strategy for a well-formed TvSet (lower ⊆ upper).
+fn arb_tvset() -> impl Strategy<Value = TvSet> {
+    (arb_value_set(), arb_value_set()).prop_map(|(a, b)| {
+        let upper: BTreeSet<Value> = a.union(&b).cloned().collect();
+        TvSet::from_bounds(a, upper).expect("lower is subset of union")
+    })
+}
+
+proptest! {
+    #[test]
+    fn value_order_total_and_antisymmetric(a in arb_value(), b in arb_value()) {
+        use std::cmp::Ordering::*;
+        match a.cmp(&b) {
+            Less => prop_assert_eq!(b.cmp(&a), Greater),
+            Greater => prop_assert_eq!(b.cmp(&a), Less),
+            Equal => prop_assert_eq!(a.clone(), b.clone()),
+        }
+    }
+
+    #[test]
+    fn value_order_transitive(a in arb_value(), b in arb_value(), c in arb_value()) {
+        let mut v = [a, b, c];
+        v.sort();
+        prop_assert!(v[0] <= v[1] && v[1] <= v[2] && v[0] <= v[2]);
+    }
+
+    #[test]
+    fn value_size_bounds_depth(v in arb_value()) {
+        prop_assert!(v.depth() <= v.size());
+        prop_assert!(v.size() >= 1);
+    }
+
+    #[test]
+    fn tvset_invariant_lower_subset_upper(s in arb_tvset()) {
+        prop_assert!(s.lower().is_subset(s.upper()));
+    }
+
+    #[test]
+    fn tvset_ops_preserve_invariant(a in arb_tvset(), b in arb_tvset()) {
+        for s in [a.union(&b), a.difference(&b), a.intersection(&b), a.product(&b)] {
+            prop_assert!(s.lower().is_subset(s.upper()));
+        }
+    }
+
+    #[test]
+    fn tvset_union_commutative(a in arb_tvset(), b in arb_tvset()) {
+        prop_assert_eq!(a.union(&b), b.union(&a));
+    }
+
+    #[test]
+    fn tvset_union_associative(a in arb_tvset(), b in arb_tvset(), c in arb_tvset()) {
+        prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+    }
+
+    #[test]
+    fn tvset_intersection_commutative(a in arb_tvset(), b in arb_tvset()) {
+        prop_assert_eq!(a.intersection(&b), b.intersection(&a));
+    }
+
+    /// Pointwise semantics: membership in a union is the Kleene-or of
+    /// memberships, difference is and-not, intersection is and.
+    #[test]
+    fn tvset_pointwise_semantics(a in arb_tvset(), b in arb_tvset(), v in arb_value()) {
+        let ma = a.member(&v);
+        let mb = b.member(&v);
+        prop_assert_eq!(a.union(&b).member(&v), ma.or(mb));
+        prop_assert_eq!(a.difference(&b).member(&v), ma.and(mb.not()));
+        prop_assert_eq!(a.intersection(&b).member(&v), ma.and(mb));
+    }
+
+    /// Exact sets behave classically under every operation.
+    #[test]
+    fn exact_sets_stay_exact(xs in arb_value_set(), ys in arb_value_set()) {
+        let a = TvSet::exact(xs.clone());
+        let b = TvSet::exact(ys.clone());
+        let diff = a.difference(&b);
+        prop_assert!(diff.is_exact());
+        let expect: BTreeSet<Value> = xs.difference(&ys).cloned().collect();
+        prop_assert_eq!(diff.to_exact().unwrap(), expect);
+        prop_assert!(a.union(&b).is_exact());
+        prop_assert!(a.product(&b).is_exact());
+    }
+
+    /// The precision order is a partial order with `unknown(U)` at bottom
+    /// for every s within the universe U.
+    #[test]
+    fn precision_bottom(s in arb_tvset()) {
+        let bot = TvSet::unknown(s.upper().iter().cloned());
+        prop_assert!(bot.precision_le(&s));
+        prop_assert!(s.precision_le(&s));
+    }
+
+    /// Union and intersection are monotone in the precision order.
+    #[test]
+    fn ops_precision_monotone(a in arb_tvset(), b in arb_tvset()) {
+        // Refine a: promote every possible member to certain.
+        let a_ref = TvSet::exact(a.upper().iter().cloned());
+        prop_assert!(a.precision_le(&a_ref));
+        prop_assert!(a.union(&b).precision_le(&a_ref.union(&b)));
+        prop_assert!(a.intersection(&b).precision_le(&a_ref.intersection(&b)));
+        prop_assert!(a.difference(&b).precision_le(&a_ref.difference(&b)));
+        prop_assert!(b.difference(&a).precision_le(&b.difference(&a_ref)));
+    }
+
+    #[test]
+    fn truth_lattice_laws(a in prop::sample::select(&Truth::ALL[..]), b in prop::sample::select(&Truth::ALL[..])) {
+        prop_assert_eq!(a.and(b), b.and(a));
+        prop_assert_eq!(a.or(b), b.or(a));
+        prop_assert_eq!(a.and(a), a);
+        prop_assert_eq!(a.or(a), a);
+        prop_assert_eq!(a.and(b).not(), a.not().or(b.not()));
+    }
+}

@@ -1,0 +1,76 @@
+//! The infinite set of even numbers, three ways (paper, Examples 1 & 3).
+//!
+//! The paper uses Sᵉ = {0, 2, 4, …} to motivate negation in
+//! specifications: membership of an *odd* number must come out `false`,
+//! which needs the completion disequation `MEM(x, y) ≠ T → MEM(x, y) = F`.
+//! We build the set
+//!
+//! 1. as an algebraic specification evaluated by the valid interpretation
+//!    (Example 1's declarative style),
+//! 2. as the `algebra=` recursive constant `S = {0} ∪ MAP₊₂(S)`
+//!    (Example 3), windowed to stay finite,
+//! 3. as a deductive program with an interpreted `add`.
+//!
+//! Run with `cargo run --example even_numbers`.
+
+use algrec::prelude::*;
+use algrec_adt::specs::{even_set_spec, even_set_universe, numeral};
+use algrec_adt::term::Term;
+use algrec_adt::valid_interp::ValidInterpretation;
+
+fn main() {
+    let bound = 6i64;
+
+    // --- 1. the specification route (Section 2.2) -----------------------
+    // The equality-closure of the valid interpretation is quadratic in the
+    // term window, so this route uses a smaller bound than the two query
+    // engines below.
+    let spec_bound = 2usize;
+    let spec = even_set_spec(spec_bound);
+    let vi = ValidInterpretation::compute_over(
+        &spec,
+        even_set_universe(spec_bound),
+        Budget::LARGE,
+    )
+    .expect("valid interpretation");
+    println!("specification route (valid interpretation of SET(nat) + se):");
+    for k in 0..=spec_bound + 1 {
+        let t = vi.eq_truth(
+            &Term::op("mem", [numeral(k), Term::cons("se")]),
+            &Term::cons("tt"),
+        );
+        println!("  MEM({k}, se) = tt : {t}");
+    }
+
+    // --- 2. the algebra= route (Example 3) ------------------------------
+    let program = algrec::core::parser::parse_program(&format!(
+        "def se = {{0}} union map(select(se, x < {bound}), add(x, 2)); query se;"
+    ))
+    .expect("parses");
+    let out = eval_valid(&program, &Database::new(), Budget::SMALL).expect("evaluates");
+    println!("\nalgebra= route (S = {{0}} ∪ MAP₊₂(S), windowed at {bound}):");
+    for k in 0..=bound + 1 {
+        println!("  MEM({k}, se) = {}", out.member(&Value::int(k)));
+    }
+    assert!(out.is_well_defined());
+
+    // --- 3. the deduction route ------------------------------------------
+    let ded = algrec::datalog::parser::parse_program(&format!(
+        "se(0).\nse(Y) :- se(X), X < {bound}, Y = add(X, 2)."
+    ))
+    .expect("parses");
+    let d = evaluate(&ded, &Database::new(), Semantics::Valid, Budget::SMALL).expect("evaluates");
+    println!("\ndeduction route:");
+    for k in 0..=bound + 1 {
+        println!("  se({k}) = {}", d.model.truth("se", &[Value::int(k)]));
+    }
+
+    // The three routes agree on the window.
+    for k in 0..=bound {
+        let alg = out.member(&Value::int(k));
+        let ded = d.model.truth("se", &[Value::int(k)]);
+        assert_eq!(alg, ded, "routes agree at {k}");
+        assert_eq!(alg, Truth::from_bool(k % 2 == 0));
+    }
+    println!("\nall three routes agree: evens in, odds certainly out.");
+}

@@ -1,0 +1,81 @@
+//! Algebraic specifications with negation, end to end (paper, Section 2):
+//! write a specification in concrete syntax, compute its valid
+//! interpretation, and decide whether an initial valid model exists.
+//!
+//! Run with `cargo run --example specifications`.
+
+use algrec_adt::parser::parse_spec;
+use algrec_adt::term::Term;
+use algrec_adt::valid_interp::ValidInterpretation;
+use algrec_value::{Budget, Truth};
+
+fn main() {
+    // --- a completion-style specification: well-defined ------------------
+    // `flag` defaults to `off` unless set: the asymmetric use of negation
+    // that Section 2.2 calls "an important use of the first style".
+    let lamp = parse_spec(
+        "sorts state;
+         op on : -> state;
+         op off : -> state;
+         op lamp : -> state;
+         ceq lamp = off if lamp != on;",
+    )
+    .expect("parses");
+    let vi = ValidInterpretation::compute(&lamp, 1, Budget::SMALL).expect("interprets");
+    println!("lamp spec: lamp = off is {}", vi.eq_truth(&Term::cons("lamp"), &Term::cons("off")));
+    println!("lamp spec: total = {}", vi.is_total());
+    let analysis = algrec_adt::initial_valid_model(&lamp, Budget::SMALL).expect("decides");
+    println!(
+        "lamp spec: {} valid models, initial = {}",
+        analysis.valid_models.len(),
+        analysis
+            .initial
+            .map_or("none".to_string(), |p| p.to_string()),
+    );
+
+    // --- Example 2: symmetric negation, NOT well-defined ------------------
+    let ex2 = parse_spec(
+        "sorts s;
+         op a : -> s;  op b : -> s;  op c : -> s;
+         ceq a = c if a != b;
+         ceq a = b if a != c;",
+    )
+    .expect("parses");
+    let vi2 = ValidInterpretation::compute(&ex2, 1, Budget::SMALL).expect("interprets");
+    println!(
+        "\nExample 2: a = b is {}, a = c is {}",
+        vi2.eq_truth(&Term::cons("a"), &Term::cons("b")),
+        vi2.eq_truth(&Term::cons("a"), &Term::cons("c")),
+    );
+    let analysis2 = algrec_adt::initial_valid_model(&ex2, Budget::SMALL).expect("decides");
+    println!("Example 2: valid models:");
+    for p in &analysis2.valid_models {
+        println!("  {p}");
+    }
+    println!(
+        "Example 2: initial valid model exists = {}  (the paper: \"none of these are initial\")",
+        analysis2.initial.is_some(),
+    );
+    assert!(analysis2.initial.is_none());
+
+    // --- a tiny datatype with a defined function --------------------------
+    let bits = parse_spec(
+        "sorts bit;
+         op b0 : -> bit;
+         op b1 : -> bit;
+         op flip : bit -> bit;
+         eq flip(b0) = b1;
+         eq flip(b1) = b0;",
+    )
+    .expect("parses");
+    let vi3 = ValidInterpretation::compute(&bits, 4, Budget::SMALL).expect("interprets");
+    // flip(flip(flip(b0))) = b1 via congruence and the equations
+    let t = Term::op("flip", [Term::op("flip", [Term::op("flip", [Term::cons("b0")])])]);
+    println!(
+        "\nbits: flip^3(b0) = b1 is {}; classes of `bit` in the window: {}",
+        vi3.eq_truth(&t, &Term::cons("b1")),
+        vi3.classes("bit").len(),
+    );
+    assert_eq!(vi3.eq_truth(&t, &Term::cons("b1")), Truth::True);
+    assert_eq!(vi3.classes("bit").len(), 2);
+}

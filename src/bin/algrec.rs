@@ -1,0 +1,256 @@
+//! `algrec` — command-line front end for the reproduction.
+//!
+//! ```text
+//! algrec eval   <program.dl>  [facts.dl] [--semantics S] [--pred P]
+//! algrec alg    <program.alg> [facts.dl]
+//! algrec spec   <spec.obj>    [--depth N]
+//! algrec translate <program.dl> --pred P [facts.dl]
+//! algrec stable <program.dl>  [facts.dl] [--cap N]
+//! ```
+//!
+//! * deduction programs use the Datalog syntax of `algrec_datalog::parser`;
+//! * facts files are Datalog fact lists (`edge(1, 2).`), loaded as the
+//!   extensional database;
+//! * algebra programs use the syntax of `algrec_core::parser`;
+//! * specifications use the OBJ-style syntax of `algrec_adt::parser`;
+//! * semantics: `naive`, `semi-naive`, `stratified`, `inflationary`,
+//!   `well-founded`, `valid` (default), `valid-extended`.
+
+use algrec::prelude::*;
+use algrec_datalog::interp::args_tuple;
+use std::process::ExitCode;
+
+fn fail(msg: impl std::fmt::Display) -> ExitCode {
+    eprintln!("algrec: {msg}");
+    ExitCode::FAILURE
+}
+
+/// Parse a facts file (Datalog facts only) into a database.
+fn load_db(path: Option<&str>) -> Result<Database, String> {
+    let Some(path) = path else {
+        return Ok(Database::new());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let program =
+        algrec::datalog::parser::parse_program(&text).map_err(|e| format!("{path}: {e}"))?;
+    let mut db = Database::new();
+    for rule in &program.rules {
+        if !rule.body.is_empty() {
+            return Err(format!(
+                "{path}: facts files may only contain ground facts, found rule `{rule}`"
+            ));
+        }
+        let args: Vec<Value> = rule
+            .head
+            .args
+            .iter()
+            .map(|e| match e {
+                algrec::datalog::Expr::Lit(v) => Ok(v.clone()),
+                other => Err(format!("{path}: non-ground fact argument `{other}`")),
+            })
+            .collect::<Result<_, _>>()?;
+        let mut rel = db.get(&rule.head.pred).cloned().unwrap_or_default();
+        rel.insert(args_tuple(&args));
+        db.set(rule.head.pred.clone(), rel);
+    }
+    Ok(db)
+}
+
+fn parse_semantics(s: &str) -> Result<Semantics, String> {
+    Ok(match s {
+        "naive" => Semantics::Naive,
+        "semi-naive" => Semantics::SemiNaive,
+        "stratified" => Semantics::Stratified,
+        "inflationary" => Semantics::Inflationary,
+        "well-founded" => Semantics::WellFounded,
+        "valid" => Semantics::Valid,
+        "valid-extended" => Semantics::ValidExtended(16),
+        other => return Err(format!("unknown semantics `{other}`")),
+    })
+}
+
+struct Args {
+    positional: Vec<String>,
+    semantics: Semantics,
+    pred: Option<String>,
+    depth: usize,
+    cap: usize,
+}
+
+fn parse_args(raw: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        positional: Vec::new(),
+        semantics: Semantics::Valid,
+        pred: None,
+        depth: 2,
+        cap: 16,
+    };
+    let mut it = raw.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--semantics" => {
+                let v = it.next().ok_or("--semantics needs a value")?;
+                args.semantics = parse_semantics(v)?;
+            }
+            "--pred" => args.pred = Some(it.next().ok_or("--pred needs a value")?.clone()),
+            "--depth" => {
+                args.depth = it
+                    .next()
+                    .ok_or("--depth needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--depth: {e}"))?;
+            }
+            "--cap" => {
+                args.cap = it
+                    .next()
+                    .ok_or("--cap needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--cap: {e}"))?;
+            }
+            other if other.starts_with("--") => return Err(format!("unknown flag `{other}`")),
+            other => args.positional.push(other.to_string()),
+        }
+    }
+    Ok(args)
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_eval(a: &Args) -> Result<(), String> {
+    let [program_path, rest @ ..] = a.positional.as_slice() else {
+        return Err("usage: algrec eval <program.dl> [facts.dl]".into());
+    };
+    let program = algrec::datalog::parser::parse_program(&read(program_path)?)
+        .map_err(|e| e.to_string())?;
+    let db = load_db(rest.first().map(String::as_str))?;
+    let out =
+        evaluate(&program, &db, a.semantics, Budget::LARGE).map_err(|e| e.to_string())?;
+    match &a.pred {
+        Some(p) => {
+            for facts in out.model.certain.facts(p) {
+                println!("{p}({}).", facts.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", "));
+            }
+            for (q, facts) in out.model.unknown_facts() {
+                if &q == p {
+                    println!("% unknown: {p}({})", facts.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", "));
+                }
+            }
+        }
+        None => print!("{}", out.model),
+    }
+    if !out.model.is_exact() {
+        eprintln!(
+            "% {} fact(s) undefined — the program has no initial valid model on this database",
+            out.model.unknown_count()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_alg(a: &Args) -> Result<(), String> {
+    let [program_path, rest @ ..] = a.positional.as_slice() else {
+        return Err("usage: algrec alg <program.alg> [facts.dl]".into());
+    };
+    let program =
+        algrec::core::parser::parse_program(&read(program_path)?).map_err(|e| e.to_string())?;
+    let db = load_db(rest.first().map(String::as_str))?;
+    let out = eval_valid(&program, &db, Budget::LARGE).map_err(|e| e.to_string())?;
+    println!("{}", out.query);
+    if !out.is_well_defined() {
+        eprintln!("% result is three-valued (members marked `?` are undefined)");
+    }
+    Ok(())
+}
+
+fn cmd_spec(a: &Args) -> Result<(), String> {
+    let [spec_path] = a.positional.as_slice() else {
+        return Err("usage: algrec spec <spec.obj> [--depth N]".into());
+    };
+    let spec = algrec_adt::parser::parse_spec(&read(spec_path)?).map_err(|e| e.to_string())?;
+    let vi = algrec_adt::ValidInterpretation::compute(&spec, a.depth, Budget::LARGE)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "valid interpretation over depth-{} window: total = {}, undefined equalities = {}",
+        a.depth,
+        vi.is_total(),
+        vi.unknown_count()
+    );
+    for sort in spec.signature.sorts() {
+        let classes = vi.classes(sort);
+        println!("sort {sort}: {} class(es)", classes.len());
+        for class in classes {
+            println!(
+                "  {{ {} }}",
+                class.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(", ")
+            );
+        }
+    }
+    if spec.signature.constants_only() {
+        let analysis =
+            algrec_adt::initial_valid_model(&spec, Budget::LARGE).map_err(|e| e.to_string())?;
+        println!("valid models: {}", analysis.valid_models.len());
+        match analysis.initial {
+            Some(p) => println!("initial valid model: {p}"),
+            None => println!("no initial valid model (the specification is not well-defined)"),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_translate(a: &Args) -> Result<(), String> {
+    let [program_path, rest @ ..] = a.positional.as_slice() else {
+        return Err("usage: algrec translate <program.dl> --pred P [facts.dl]".into());
+    };
+    let pred = a.pred.as_ref().ok_or("translate requires --pred")?;
+    let program = algrec::datalog::parser::parse_program(&read(program_path)?)
+        .map_err(|e| e.to_string())?;
+    let db = load_db(rest.first().map(String::as_str))?;
+    let alg = datalog_to_algebra(&program, pred, &algrec_translate::edb_arities(&db))
+        .map_err(|e| e.to_string())?;
+    println!("{alg}");
+    Ok(())
+}
+
+fn cmd_stable(a: &Args) -> Result<(), String> {
+    let [program_path, rest @ ..] = a.positional.as_slice() else {
+        return Err("usage: algrec stable <program.dl> [facts.dl] [--cap N]".into());
+    };
+    let program = algrec::datalog::parser::parse_program(&read(program_path)?)
+        .map_err(|e| e.to_string())?;
+    let db = load_db(rest.first().map(String::as_str))?;
+    let models = algrec::datalog::stable_models_of(&program, &db, a.cap, Budget::LARGE)
+        .map_err(|e| e.to_string())?;
+    println!("% {} stable model(s)", models.len());
+    for (k, m) in models.iter().enumerate() {
+        println!("%% model {k}");
+        print!("{m}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = raw.split_first() else {
+        return fail(
+            "usage: algrec <eval|alg|spec|translate|stable> … (see --help in the README)",
+        );
+    };
+    let args = match parse_args(rest) {
+        Ok(a) => a,
+        Err(e) => return fail(e),
+    };
+    let result = match cmd.as_str() {
+        "eval" => cmd_eval(&args),
+        "alg" => cmd_alg(&args),
+        "spec" => cmd_spec(&args),
+        "translate" => cmd_translate(&args),
+        "stable" => cmd_stable(&args),
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(e),
+    }
+}

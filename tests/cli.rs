@@ -1,0 +1,115 @@
+//! End-to-end tests of the `algrec` CLI binary.
+
+use std::process::Command;
+
+fn algrec(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_algrec"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn write_tmp(name: &str, contents: &str) -> String {
+    let dir = std::env::temp_dir().join("algrec-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, contents).unwrap();
+    path.to_string_lossy().into_owned()
+}
+
+#[test]
+fn eval_win_move() {
+    let program = write_tmp("win.dl", "win(X) :- move(X, Y), not win(Y).");
+    let facts = write_tmp("moves.dl", "move(1, 2).\nmove(2, 3).\nmove(4, 4).");
+    let out = algrec(&["eval", &program, &facts, "--pred", "win"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("win(2)."));
+    assert!(!stdout.contains("win(1)."));
+    assert!(stdout.contains("% unknown: win(4)"));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("no initial valid model"));
+}
+
+#[test]
+fn eval_semantics_flag() {
+    let program = write_tmp("q.dl", "r(a).\nq(X) :- r(X), not q(X).");
+    let out = algrec(&["eval", &program, "--semantics", "inflationary", "--pred", "q"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("q(a)."));
+    let out2 = algrec(&["eval", &program, "--semantics", "valid", "--pred", "q"]);
+    assert!(String::from_utf8_lossy(&out2.stdout).contains("% unknown: q(a)"));
+}
+
+#[test]
+fn alg_command() {
+    let program = write_tmp(
+        "even.alg",
+        "def se = {0} union map(select(se, x < 6), add(x, 2)); query se;",
+    );
+    let out = algrec(&["alg", &program]);
+    assert!(out.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout).trim(),
+        "{0, 2, 4, 6}"
+    );
+}
+
+#[test]
+fn alg_three_valued_marks_unknowns() {
+    let program = write_tmp("undef.alg", "def s = {'a'} - s; query s;");
+    let out = algrec(&["alg", &program]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("a?"));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("three-valued"));
+}
+
+#[test]
+fn spec_command() {
+    let spec = write_tmp(
+        "ex2.obj",
+        "sorts s;\nop a : -> s; op b : -> s; op c : -> s;\n\
+         ceq a = c if a != b;\nceq a = b if a != c;",
+    );
+    let out = algrec(&["spec", &spec, "--depth", "1"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("valid models: 3"));
+    assert!(stdout.contains("no initial valid model"));
+}
+
+#[test]
+fn translate_command() {
+    let program = write_tmp("win2.dl", "win(X) :- move(X, Y), not win(Y).");
+    let facts = write_tmp("moves2.dl", "move(1, 2).");
+    let out = algrec(&["translate", &program, "--pred", "win", &facts]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("def p$win ="));
+    assert!(stdout.contains("query p$win;"));
+}
+
+#[test]
+fn stable_command() {
+    let program = write_tmp("choice.dl", "p(X) :- d(X), not q(X).\nq(X) :- d(X), not p(X).");
+    let facts = write_tmp("d.dl", "d(1).");
+    let out = algrec(&["stable", &program, &facts]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("% 2 stable model(s)"));
+}
+
+#[test]
+fn error_paths() {
+    assert!(!algrec(&[]).status.success());
+    assert!(!algrec(&["frobnicate"]).status.success());
+    assert!(!algrec(&["eval"]).status.success());
+    assert!(!algrec(&["eval", "/nonexistent/x.dl"]).status.success());
+    assert!(!algrec(&["translate", "x.dl"]).status.success()); // missing --pred
+    let program = write_tmp("bad.dl", "win(X) :-");
+    assert!(!algrec(&["eval", &program]).status.success());
+    let withrule = write_tmp("rule-as-facts.dl", "p(X) :- q(X).");
+    let prog = write_tmp("ok.dl", "a(1).");
+    assert!(!algrec(&["eval", &prog, &withrule]).status.success());
+    assert!(!algrec(&["eval", &prog, "--semantics", "zen"]).status.success());
+}

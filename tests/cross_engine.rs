@@ -1,0 +1,171 @@
+//! Property-based cross-engine tests: on randomly generated databases,
+//! the engines and translations must agree wherever the paper says they
+//! do, and the three-valued structure must be coherent wherever it says
+//! they may not.
+
+use algrec::prelude::*;
+use algrec_datalog::parser::parse_program as parse_dl;
+use algrec_datalog::stable_models_of;
+use algrec_translate::inflationary_to_valid;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn edge_db(name: &str, edges: &BTreeSet<(i64, i64)>) -> Database {
+    Database::new().with(
+        name,
+        Relation::from_pairs(edges.iter().map(|(a, b)| (Value::int(*a), Value::int(*b)))),
+    )
+}
+
+fn arb_edges(nodes: i64, max_edges: usize) -> impl Strategy<Value = BTreeSet<(i64, i64)>> {
+    prop::collection::btree_set((0..nodes, 0..nodes), 0..max_edges)
+}
+
+fn tc_program() -> algrec_datalog::Program {
+    parse_dl("tc(X, Y) :- edge(X, Y).\ntc(X, Z) :- tc(X, Y), edge(Y, Z).").unwrap()
+}
+
+fn win_program() -> algrec_datalog::Program {
+    parse_dl("win(X) :- move(X, Y), not win(Y).").unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Positive programs: every semantics computes the same model, and it
+    /// matches the IFP-algebra evaluation of the same query.
+    #[test]
+    fn all_semantics_agree_on_tc(edges in arb_edges(8, 20)) {
+        let db = edge_db("edge", &edges);
+        let p = tc_program();
+        let reference = evaluate(&p, &db, Semantics::SemiNaive, Budget::SMALL).unwrap();
+        for sem in [
+            Semantics::Naive,
+            Semantics::Stratified,
+            Semantics::Inflationary,
+            Semantics::WellFounded,
+            Semantics::Valid,
+        ] {
+            let out = evaluate(&p, &db, sem, Budget::SMALL).unwrap();
+            prop_assert!(out.model.is_exact());
+            prop_assert_eq!(&out.model.certain, &reference.model.certain);
+        }
+        // the algebra side
+        let alg = algrec::core::parser::parse_program(
+            "query ifp(t, edge union map(select(t * edge, x.1 = x.2), [x.0, x.3]));",
+        ).unwrap();
+        let alg_out = eval_exact(&alg, &db, Budget::SMALL).unwrap();
+        let expected: BTreeSet<Value> = reference.model.certain.facts("tc")
+            .map(|args| Value::pair(args[0].clone(), args[1].clone()))
+            .collect();
+        prop_assert_eq!(alg_out, expected);
+    }
+
+    /// Theorem 6.2 on random WIN/MOVE games: the deduction and algebra=
+    /// valid models agree exactly, unknowns included.
+    #[test]
+    fn theorem_6_2_on_random_games(edges in arb_edges(7, 14)) {
+        let db = edge_db("move", &edges);
+        let rt = check_roundtrip(&win_program(), "win", &db, Budget::SMALL).unwrap();
+        prop_assert!(rt.agree(), "{:?}", rt);
+    }
+
+    /// The valid model sandwiches every stable model: certain ⊆ M ⊆
+    /// possible; and when the valid model is exact there is exactly one
+    /// stable model.
+    #[test]
+    fn valid_model_approximates_stable_models(edges in arb_edges(6, 10)) {
+        let db = edge_db("move", &edges);
+        let p = win_program();
+        let valid = evaluate(&p, &db, Semantics::Valid, Budget::SMALL).unwrap();
+        let models = match stable_models_of(&p, &db, 18, Budget::SMALL) {
+            Ok(m) => m,
+            Err(algrec_datalog::EvalError::TooManyUnknowns { .. }) => return Ok(()),
+            Err(e) => panic!("{e}"),
+        };
+        for m in &models {
+            for (pred, args) in valid.model.certain.iter() {
+                if pred == "win" {
+                    prop_assert!(m.holds(pred, args), "certain fact outside a stable model");
+                }
+            }
+            for (_, args) in m.iter() {
+                prop_assert!(
+                    valid.model.possible.holds("win", args),
+                    "stable fact outside the possible set"
+                );
+            }
+        }
+        if valid.model.is_exact() {
+            prop_assert_eq!(models.len(), 1);
+        }
+    }
+
+    /// Prop 5.2 on random games: the stage simulation of the inflationary
+    /// semantics is exact (for a sufficient stage bound).
+    #[test]
+    fn prop_5_2_on_random_games(edges in arb_edges(6, 10)) {
+        let db = edge_db("move", &edges);
+        let p = win_program();
+        let stages = (edges.len() as i64 + 3).max(4);
+        let staged = inflationary_to_valid(&p, stages);
+        let infl = evaluate(&p, &db, Semantics::Inflationary, Budget::SMALL).unwrap();
+        let valid = evaluate(&staged, &db, Semantics::Valid, Budget::LARGE).unwrap();
+        prop_assert!(valid.model.is_exact());
+        let a: BTreeSet<_> = infl.model.certain.facts("win").cloned().collect();
+        let b: BTreeSet<_> = valid.model.certain.facts("win").cloned().collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Stratified workloads: valid ≡ stratified, and the three-valued
+    /// model is exact, on random graphs (Theorem 4.3's semantic core).
+    #[test]
+    fn stratified_equals_valid_randomized(edges in arb_edges(7, 16)) {
+        let mut db = edge_db("e", &edges);
+        let nodes: BTreeSet<i64> = edges.iter().flat_map(|(a, b)| [*a, *b]).collect();
+        db.set("n", Relation::from_values(nodes.iter().map(|k| Value::int(*k))));
+        let p = parse_dl(
+            "r(X, Y) :- e(X, Y).\n\
+             r(X, Z) :- r(X, Y), e(Y, Z).\n\
+             un(X, Y) :- n(X), n(Y), not r(X, Y).\n\
+             src(X) :- n(X), not dst(X).\n\
+             dst(Y) :- e(X, Y).",
+        ).unwrap();
+        let strat = evaluate(&p, &db, Semantics::Stratified, Budget::SMALL).unwrap();
+        let valid = evaluate(&p, &db, Semantics::Valid, Budget::SMALL).unwrap();
+        prop_assert!(valid.model.is_exact());
+        prop_assert_eq!(strat.model.certain, valid.model.certain);
+    }
+
+    /// The well-founded unknown set is empty exactly on games whose
+    /// MOVE graph has no cycle reachable ... weaker invariant tested:
+    /// acyclic graphs are always fully decided.
+    #[test]
+    fn acyclic_games_are_decided(perm in prop::collection::vec(0..100i64, 2..9)) {
+        // build a DAG: edges only from lower to higher index
+        let mut edges = BTreeSet::new();
+        for (i, a) in perm.iter().enumerate() {
+            for (j, b) in perm.iter().enumerate() {
+                if i < j && (a + b) % 3 == 0 {
+                    edges.insert((i as i64, j as i64));
+                }
+            }
+        }
+        let db = edge_db("move", &edges);
+        let out = evaluate(&win_program(), &db, Semantics::Valid, Budget::SMALL).unwrap();
+        prop_assert!(out.model.is_exact());
+    }
+
+    /// Budget safety: whatever the input, evaluation either completes or
+    /// reports a budget error — never hangs past its iteration allowance.
+    #[test]
+    fn tight_budgets_fail_cleanly(edges in arb_edges(6, 12)) {
+        let db = edge_db("edge", &edges);
+        let tiny = Budget::new(3, 10, 8);
+        match evaluate(&tc_program(), &db, Semantics::Valid, tiny) {
+            Ok(out) => prop_assert!(out.model.certain.total() <= 10 + db.get("edge").unwrap().len()),
+            Err(algrec_datalog::EvalError::Budget(_)) => {}
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+}
