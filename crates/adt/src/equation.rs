@@ -125,7 +125,11 @@ impl ConditionalEquation {
     /// Ground instance under a substitution.
     pub fn substitute(&self, subst: &BTreeMap<String, Term>) -> ConditionalEquation {
         ConditionalEquation {
-            conditions: self.conditions.iter().map(|c| c.substitute(subst)).collect(),
+            conditions: self
+                .conditions
+                .iter()
+                .map(|c| c.substitute(subst))
+                .collect(),
             lhs: self.lhs.substitute(subst),
             rhs: self.rhs.substitute(subst),
         }
@@ -176,7 +180,9 @@ impl Specification {
     /// Does any equation use negation? Without negation the classical
     /// initial semantics applies and the valid interpretation is exact.
     pub fn uses_negation(&self) -> bool {
-        self.equations.iter().any(ConditionalEquation::uses_negation)
+        self.equations
+            .iter()
+            .any(ConditionalEquation::uses_negation)
     }
 
     /// Import another specification (signature merge + equation union) —
@@ -222,10 +228,8 @@ mod tests {
     #[test]
     fn plain_equation_checks() {
         let sig = bool_nat_sig();
-        let eq = ConditionalEquation::plain(
-            Term::op("iszero", [Term::cons("zero")]),
-            Term::cons("tt"),
-        );
+        let eq =
+            ConditionalEquation::plain(Term::op("iszero", [Term::cons("zero")]), Term::cons("tt"));
         assert!(eq.check(&sig).is_ok());
         assert!(!eq.uses_negation());
         assert_eq!(eq.to_string(), "iszero(zero) = tt");

@@ -45,7 +45,11 @@ pub struct SpecParseError {
 
 impl fmt::Display for SpecParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "spec parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "spec parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -386,10 +390,7 @@ mod tests {
              eq x = k;",
         )
         .unwrap();
-        assert_eq!(
-            spec.equations[0].lhs,
-            Term::var("x", "s"),
-        );
+        assert_eq!(spec.equations[0].lhs, Term::var("x", "s"),);
         // undeclared names become constants — and then fail sorting
         let bad = parse_spec(
             "sorts s;
@@ -414,10 +415,8 @@ mod tests {
 
     #[test]
     fn comments_ignored() {
-        let spec = parse_spec(
-            "% a comment\nsorts s; % trailing\nop a : -> s;\neq a = a; % done",
-        )
-        .unwrap();
+        let spec =
+            parse_spec("% a comment\nsorts s; % trailing\nop a : -> s;\neq a = a; % done").unwrap();
         assert_eq!(spec.equations.len(), 1);
     }
 }

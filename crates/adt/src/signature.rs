@@ -53,7 +53,13 @@ impl OpDecl {
 
 impl fmt::Display for OpDecl {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}: {} -> {}", self.name, self.args.join(", "), self.result)
+        write!(
+            f,
+            "{}: {} -> {}",
+            self.name,
+            self.args.join(", "),
+            self.result
+        )
     }
 }
 
@@ -252,10 +258,7 @@ mod tests {
         let mut b = Signature::new();
         b.add_sort("t");
         b.add_op(OpDecl::constant("c", "t")).unwrap();
-        assert!(matches!(
-            a.import(&b),
-            Err(SignatureError::DuplicateOp(_))
-        ));
+        assert!(matches!(a.import(&b), Err(SignatureError::DuplicateOp(_))));
     }
 
     #[test]

@@ -43,10 +43,7 @@ pub fn nat_spec() -> Specification {
     let y = Term::var("y", NAT);
     spec.equations = vec![
         // eqnat(x, x) = tt
-        ConditionalEquation::plain(
-            Term::op("eqnat", [x.clone(), x.clone()]),
-            Term::cons("tt"),
-        ),
+        ConditionalEquation::plain(Term::op("eqnat", [x.clone(), x.clone()]), Term::cons("tt")),
         // eqnat(succ(x), succ(y)) = eqnat(x, y)
         ConditionalEquation::plain(
             Term::op(
@@ -230,7 +227,10 @@ mod tests {
     fn bool_spec_is_free() {
         let vi = ValidInterpretation::compute(&bool_spec(), 1, Budget::SMALL).unwrap();
         assert!(vi.is_total());
-        assert_eq!(vi.eq_truth(&Term::cons("tt"), &Term::cons("ff")), Truth::False);
+        assert_eq!(
+            vi.eq_truth(&Term::cons("tt"), &Term::cons("ff")),
+            Truth::False
+        );
     }
 
     #[test]
@@ -316,7 +316,10 @@ mod tests {
         let vi = ValidInterpretation::compute(&set_spec(), 3, Budget::SMALL).unwrap();
         let single = Term::op("ins", [numeral(0), Term::cons("empty")]);
         assert_eq!(
-            vi.eq_truth(&Term::op("mem", [numeral(0), single.clone()]), &Term::cons("tt")),
+            vi.eq_truth(
+                &Term::op("mem", [numeral(0), single.clone()]),
+                &Term::cons("tt")
+            ),
             Truth::True
         );
         assert_eq!(
@@ -341,20 +344,32 @@ mod tests {
         let vi =
             ValidInterpretation::compute_over(&spec, even_set_universe(2), Budget::LARGE).unwrap();
         assert_eq!(
-            vi.eq_truth(&Term::op("mem", [numeral(0), Term::cons("se")]), &Term::cons("tt")),
+            vi.eq_truth(
+                &Term::op("mem", [numeral(0), Term::cons("se")]),
+                &Term::cons("tt")
+            ),
             Truth::True
         );
         assert_eq!(
-            vi.eq_truth(&Term::op("mem", [numeral(1), Term::cons("se")]), &Term::cons("ff")),
+            vi.eq_truth(
+                &Term::op("mem", [numeral(1), Term::cons("se")]),
+                &Term::cons("ff")
+            ),
             Truth::True
         );
         assert_eq!(
-            vi.eq_truth(&Term::op("mem", [numeral(2), Term::cons("se")]), &Term::cons("tt")),
+            vi.eq_truth(
+                &Term::op("mem", [numeral(2), Term::cons("se")]),
+                &Term::cons("tt")
+            ),
             Truth::True
         );
         // odd beyond the declared evens: still certainly out
         assert_eq!(
-            vi.eq_truth(&Term::op("mem", [numeral(3), Term::cons("se")]), &Term::cons("ff")),
+            vi.eq_truth(
+                &Term::op("mem", [numeral(3), Term::cons("se")]),
+                &Term::cons("ff")
+            ),
             Truth::True
         );
     }

@@ -130,7 +130,10 @@ pub fn deductive_version_over(
     // Symmetry and transitivity.
     program.push(Rule::new(
         Atom::new("eq", [Expr::var("Y"), Expr::var("X")]),
-        [Literal::Pos(Atom::new("eq", [Expr::var("X"), Expr::var("Y")]))],
+        [Literal::Pos(Atom::new(
+            "eq",
+            [Expr::var("X"), Expr::var("Y")],
+        ))],
     ));
     program.push(Rule::new(
         Atom::new("eq", [Expr::var("X"), Expr::var("Z")]),
@@ -315,10 +318,7 @@ mod tests {
         let v = encode_term(&t);
         assert_eq!(
             v,
-            Value::tuple([
-                Value::str("succ"),
-                Value::tuple([Value::str("zero")]),
-            ])
+            Value::tuple([Value::str("succ"), Value::tuple([Value::str("zero")]),])
         );
     }
 
@@ -347,7 +347,10 @@ mod tests {
             ),
             Truth::True
         );
-        assert_eq!(vi.eq_truth(&Term::cons("tt"), &Term::cons("ff")), Truth::False);
+        assert_eq!(
+            vi.eq_truth(&Term::cons("tt"), &Term::cons("ff")),
+            Truth::False
+        );
         // exactly 2 classes at any depth
         assert_eq!(vi.classes("bool").len(), 2);
     }
@@ -379,8 +382,14 @@ mod tests {
         let vi = ValidInterpretation::compute(&spec, 1, Budget::SMALL).unwrap();
         // "no equalities can be derived in a valid manner": a=b, a=c stay
         // undefined.
-        assert_eq!(vi.eq_truth(&Term::cons("a"), &Term::cons("b")), Truth::Unknown);
-        assert_eq!(vi.eq_truth(&Term::cons("a"), &Term::cons("c")), Truth::Unknown);
+        assert_eq!(
+            vi.eq_truth(&Term::cons("a"), &Term::cons("b")),
+            Truth::Unknown
+        );
+        assert_eq!(
+            vi.eq_truth(&Term::cons("a"), &Term::cons("c")),
+            Truth::Unknown
+        );
         assert!(!vi.is_total());
     }
 
@@ -402,7 +411,10 @@ mod tests {
             [
                 ConditionalEquation::plain(Term::op("val", [Term::cons("k1")]), Term::cons("tt")),
                 ConditionalEquation::when(
-                    [Condition::Neq(Term::op("val", [x.clone()]), Term::cons("tt"))],
+                    [Condition::Neq(
+                        Term::op("val", [x.clone()]),
+                        Term::cons("tt"),
+                    )],
                     Term::op("val", [x.clone()]),
                     Term::cons("ff"),
                 ),
@@ -440,8 +452,14 @@ mod tests {
     fn without_equations_terms_are_distinct_but_self_equal() {
         let spec = Specification::new(bool_sig(), []).unwrap();
         let vi = ValidInterpretation::compute(&spec, 2, Budget::SMALL).unwrap();
-        assert_eq!(vi.eq_truth(&Term::cons("tt"), &Term::cons("tt")), Truth::True);
-        assert_eq!(vi.eq_truth(&Term::cons("tt"), &Term::cons("ff")), Truth::False);
+        assert_eq!(
+            vi.eq_truth(&Term::cons("tt"), &Term::cons("tt")),
+            Truth::True
+        );
+        assert_eq!(
+            vi.eq_truth(&Term::cons("tt"), &Term::cons("ff")),
+            Truth::False
+        );
         assert!(vi.is_total());
         // depth 2: tt, ff, neg(tt), neg(ff) → 4 singleton classes
         assert_eq!(vi.classes("bool").len(), 4);

@@ -31,11 +31,7 @@ fn arb_equation() -> impl Strategy<Value = ConditionalEquation> {
         (arb_const(), arb_const()).prop_map(|(l, r)| Condition::Eq(l, r)),
         (arb_const(), arb_const()).prop_map(|(l, r)| Condition::Neq(l, r)),
     ];
-    (
-        prop::collection::vec(cond, 0..2),
-        arb_const(),
-        arb_const(),
-    )
+    (prop::collection::vec(cond, 0..2), arb_const(), arb_const())
         .prop_map(|(conds, l, r)| ConditionalEquation::when(conds, l, r))
 }
 

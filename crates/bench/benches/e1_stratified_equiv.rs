@@ -20,9 +20,7 @@ fn bench(c: &mut Criterion) {
         let ded = w::unreach_datalog();
         let alg = w::unreach_algebra();
         g.bench_with_input(BenchmarkId::new("stratified_deduction", n), &n, |b, _| {
-            b.iter(|| {
-                evaluate(black_box(&ded), &db, Semantics::Stratified, Budget::LARGE).unwrap()
-            })
+            b.iter(|| evaluate(black_box(&ded), &db, Semantics::Stratified, Budget::LARGE).unwrap())
         });
         g.bench_with_input(BenchmarkId::new("positive_ifp_algebra", n), &n, |b, _| {
             b.iter(|| eval_exact(black_box(&alg), &db, Budget::LARGE).unwrap())

@@ -23,17 +23,21 @@ fn bench(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("direct_ifp_algebra", n), &n, |b, _| {
             b.iter(|| eval_exact(black_box(&alg), &db, Budget::LARGE).unwrap())
         });
-        g.bench_with_input(BenchmarkId::new("translated_inflationary", n), &n, |b, _| {
-            b.iter(|| {
-                evaluate(
-                    black_box(&tr.program),
-                    &db,
-                    Semantics::Inflationary,
-                    Budget::LARGE,
-                )
-                .unwrap()
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("translated_inflationary", n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    evaluate(
+                        black_box(&tr.program),
+                        &db,
+                        Semantics::Inflationary,
+                        Budget::LARGE,
+                    )
+                    .unwrap()
+                })
+            },
+        );
     }
     g.finish();
 }

@@ -18,14 +18,10 @@ fn bench(c: &mut Criterion) {
         let p = w::win_datalog();
         let staged = inflationary_to_valid(&p, n + 2);
         g.bench_with_input(BenchmarkId::new("direct_inflationary", n), &n, |b, _| {
-            b.iter(|| {
-                evaluate(black_box(&p), &db, Semantics::Inflationary, Budget::LARGE).unwrap()
-            })
+            b.iter(|| evaluate(black_box(&p), &db, Semantics::Inflationary, Budget::LARGE).unwrap())
         });
         g.bench_with_input(BenchmarkId::new("stage_simulated_valid", n), &n, |b, _| {
-            b.iter(|| {
-                evaluate(black_box(&staged), &db, Semantics::Valid, Budget::LARGE).unwrap()
-            })
+            b.iter(|| evaluate(black_box(&staged), &db, Semantics::Valid, Budget::LARGE).unwrap())
         });
     }
     g.finish();

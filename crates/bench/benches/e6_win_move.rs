@@ -19,14 +19,10 @@ fn bench(c: &mut Criterion) {
             b.iter(|| evaluate(black_box(&p), &db, Semantics::Valid, Budget::LARGE).unwrap())
         });
         g.bench_with_input(BenchmarkId::new("well_founded", &tag), &frac, |b, _| {
-            b.iter(|| {
-                evaluate(black_box(&p), &db, Semantics::WellFounded, Budget::LARGE).unwrap()
-            })
+            b.iter(|| evaluate(black_box(&p), &db, Semantics::WellFounded, Budget::LARGE).unwrap())
         });
         g.bench_with_input(BenchmarkId::new("inflationary", &tag), &frac, |b, _| {
-            b.iter(|| {
-                evaluate(black_box(&p), &db, Semantics::Inflationary, Budget::LARGE).unwrap()
-            })
+            b.iter(|| evaluate(black_box(&p), &db, Semantics::Inflationary, Budget::LARGE).unwrap())
         });
     }
     g.finish();

@@ -16,9 +16,7 @@ fn bench(c: &mut Criterion) {
             BenchmarkId::new("set_nat_valid_interp", depth),
             &depth,
             |b, &d| {
-                b.iter(|| {
-                    ValidInterpretation::compute(black_box(&spec), d, Budget::LARGE).unwrap()
-                })
+                b.iter(|| ValidInterpretation::compute(black_box(&spec), d, Budget::LARGE).unwrap())
             },
         );
     }

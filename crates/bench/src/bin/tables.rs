@@ -1,14 +1,29 @@
-//! Print every experiment table (E1–E8). Each experiment asserts its
-//! claimed equivalences, so a clean run is itself a reproduction check.
+//! Print every experiment table (E1–E9) and write the machine-readable
+//! report. Each experiment asserts its claimed equivalences, so a clean
+//! run is itself a reproduction check.
 //!
 //! Usage:
 //!   cargo run -p algrec-bench --bin tables --release            # full sweep
 //!   cargo run -p algrec-bench --bin tables --release -- --quick # small sweep
+//!   cargo run -p algrec-bench --bin tables --release -- --json out.json
+//!
+//! The report (default `BENCH_1.json`) captures per-experiment headers,
+//! rows, and raw numeric timings so the perf trajectory is tracked across
+//! PRs.
 
 use algrec_bench::experiments as e;
+use algrec_bench::table::{report_json, Table};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_1.json".to_string());
+
     let (small, medium): (Vec<i64>, Vec<i64>) = if quick {
         (vec![8, 16], vec![8, 12])
     } else {
@@ -19,18 +34,38 @@ fn main() {
     println!("Beeri & Milo, \"On the Power of Algebras with Recursion\", SIGMOD 1993");
     println!();
 
-    println!("{}", e::e1(&small));
+    let mut tables: Vec<Table> = Vec::new();
+    let mut run = |t: Table| {
+        println!("{t}");
+        tables.push(t);
+    };
+
+    run(e::e1(&small));
     // E2's naive translation re-materializes the product sub-predicate at
     // every inflationary stage (a measured cost of the verbatim Prop 5.1
     // construction), so its sweep stays smaller.
     let e2_sizes: Vec<i64> = if quick { vec![8, 16] } else { vec![16, 32, 48] };
-    println!("{}", e::e2(&e2_sizes));
-    println!("{}", e::e3(&medium));
-    println!("{}", e::e4(&medium));
-    println!("{}", e::e5());
-    println!("{}", e::e6(if quick { 12 } else { 24 }, &[0.0, 0.1, 0.3, 0.5, 1.0]));
-    println!("{}", e::e7());
-    println!("{}", e::e8(&small));
+    run(e::e2(&e2_sizes));
+    run(e::e3(&medium));
+    run(e::e4(&medium));
+    run(e::e5());
+    run(e::e6(
+        if quick { 12 } else { 24 },
+        &[0.0, 0.1, 0.3, 0.5, 1.0],
+    ));
+    run(e::e7());
+    run(e::e8(&small));
+    run(e::e9(
+        *small.last().expect("non-empty sweep"),
+        *medium.last().expect("non-empty sweep"),
+    ));
+
+    let refs: Vec<&Table> = tables.iter().collect();
+    let report = report_json(&refs);
+    match std::fs::write(&json_path, report) {
+        Ok(()) => println!("wrote {json_path}"),
+        Err(err) => eprintln!("failed to write {json_path}: {err}"),
+    }
 
     println!("all experiment assertions held.");
 }

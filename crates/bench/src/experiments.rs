@@ -27,10 +27,21 @@ pub fn e1(sizes: &[i64]) -> Table {
     let mut t = Table::new(
         "E1",
         "Thm 4.3: stratified deduction ≡ positive IFP-algebra (TC + complement)",
-        &["n", "edges", "tc", "un", "t_deduction", "t_algebra", "agree"],
+        &[
+            "n",
+            "edges",
+            "tc",
+            "un",
+            "t_deduction",
+            "t_algebra",
+            "agree",
+        ],
     );
     for &n in sizes {
-        let db = w::with_nodes(w::random_graph("edge", n, (2 * n) as usize, false, 11 + n as u64), n);
+        let db = w::with_nodes(
+            w::random_graph("edge", n, (2 * n) as usize, false, 11 + n as u64),
+            n,
+        );
         let ded = w::unreach_datalog();
         let t0 = Instant::now();
         let d_out = evaluate(&ded, &db, Semantics::Stratified, budget()).unwrap();
@@ -49,6 +60,8 @@ pub fn e1(sizes: &[i64]) -> Table {
             .collect();
         let agree = a_out == expected;
         assert!(agree, "E1 equivalence failed at n={n}");
+        t.metric(format!("t_deduction_n{n}_s"), t_d.as_secs_f64());
+        t.metric(format!("t_algebra_n{n}_s"), t_a.as_secs_f64());
         t.row(vec![
             n.to_string(),
             db.get("edge").unwrap().len().to_string(),
@@ -125,10 +138,7 @@ pub fn e2(sizes: &[i64]) -> Table {
     // construction is exact — recorded as a finding.
     {
         let alg = w::nested_diff_algebra();
-        let db = Database::new().with(
-            "a",
-            algrec_value::Relation::from_values([Value::int(1)]),
-        );
+        let db = Database::new().with("a", algrec_value::Relation::from_values([Value::int(1)]));
         let expect = eval_exact(&alg, &db, budget()).unwrap();
         let tr = algebra_to_datalog(&alg, &edb_arities(&db), TranslationMode::Naive).unwrap();
         let out = evaluate(&tr.program, &db, Semantics::Inflationary, budget()).unwrap();
@@ -172,7 +182,14 @@ pub fn e3(sizes: &[i64]) -> Table {
     let mut t = Table::new(
         "E3",
         "Prop 5.2: inflationary → valid stage simulation (overhead of the encoding)",
-        &["n", "stages", "t_inflationary", "t_staged_valid", "overhead", "agree"],
+        &[
+            "n",
+            "stages",
+            "t_inflationary",
+            "t_staged_valid",
+            "overhead",
+            "agree",
+        ],
     );
     for &n in sizes {
         let db = w::winmove_graph(n, 0.0, 5 + n as u64);
@@ -187,10 +204,8 @@ pub fn e3(sizes: &[i64]) -> Table {
         let valid = evaluate(&staged, &db, Semantics::Valid, budget()).unwrap();
         let t_s = t1.elapsed();
 
-        let a: std::collections::BTreeSet<_> =
-            infl.model.certain.facts("win").cloned().collect();
-        let b: std::collections::BTreeSet<_> =
-            valid.model.certain.facts("win").cloned().collect();
+        let a: std::collections::BTreeSet<_> = infl.model.certain.facts("win").cloned().collect();
+        let b: std::collections::BTreeSet<_> = valid.model.certain.facts("win").cloned().collect();
         assert_eq!(a, b, "E3 failed at n={n}");
         let overhead = t_s.as_secs_f64() / t_i.as_secs_f64().max(1e-9);
         t.row(vec![
@@ -211,7 +226,15 @@ pub fn e4(sizes: &[i64]) -> Table {
     let mut t = Table::new(
         "E4",
         "Thm 6.2: deduction ≡ algebra= under the valid semantics (3-valued round trips)",
-        &["workload", "n", "certain", "unknown", "t_deduction", "t_algebra=", "agree"],
+        &[
+            "workload",
+            "n",
+            "certain",
+            "unknown",
+            "t_deduction",
+            "t_algebra=",
+            "agree",
+        ],
     );
     for &n in sizes {
         for (name, db, program, pred) in [
@@ -229,10 +252,7 @@ pub fn e4(sizes: &[i64]) -> Table {
             ),
             (
                 "tc+complement",
-                w::with_nodes(
-                    w::random_graph("edge", n, (2 * n) as usize, false, 9),
-                    n,
-                ),
+                w::with_nodes(w::random_graph("edge", n, (2 * n) as usize, false, 9), n),
                 w::unreach_datalog(),
                 "un",
             ),
@@ -245,6 +265,8 @@ pub fn e4(sizes: &[i64]) -> Table {
             let t_a = t1.elapsed();
             assert!(rt.agree(), "E4 {name} failed at n={n}");
             let _ = dl;
+            t.metric(format!("t_deduction_{name}_n{n}_s"), t_d.as_secs_f64());
+            t.metric(format!("t_algebra_{name}_n{n}_s"), t_a.as_secs_f64());
             t.row(vec![
                 name.into(),
                 n.to_string(),
@@ -267,10 +289,9 @@ pub fn e5() -> Table {
         "Prop 3.4: S = exp(S) vs IFP_exp (agreement iff monotone)",
         &["body", "monotone", "well-defined", "agree"],
     );
-    let tc_body = algrec_core::parser::parse_expr(
-        "edge union map(select(x * edge, x.1 = x.2), [x.0, x.3])",
-    )
-    .unwrap();
+    let tc_body =
+        algrec_core::parser::parse_expr("edge union map(select(x * edge, x.1 = x.2), [x.0, x.3])")
+            .unwrap();
     let even_body =
         algrec_core::parser::parse_expr("{0} union map(select(x, x < 20), add(x, 2))").unwrap();
     let witness = algrec_core::parser::parse_expr("{'a'} - x").unwrap();
@@ -302,7 +323,15 @@ pub fn e6(n: i64, fractions: &[f64]) -> Table {
     let mut t = Table::new(
         "E6",
         "WIN/MOVE: cycles ⇒ undefined positions (valid = well-founded; stable scenarios)",
-        &["cycle_frac", "positions", "win", "lose", "unknown", "exact", "stable_models"],
+        &[
+            "cycle_frac",
+            "positions",
+            "win",
+            "lose",
+            "unknown",
+            "exact",
+            "stable_models",
+        ],
     );
     for &frac in fractions {
         let db = w::winmove_graph(n, frac, 17);
@@ -313,7 +342,11 @@ pub fn e6(n: i64, fractions: &[f64]) -> Table {
             valid.model, wf.model,
             "E6: operational valid must equal well-founded"
         );
-        let positions = db.active_domain().iter().filter(|v| v.as_int().is_some()).count();
+        let positions = db
+            .active_domain()
+            .iter()
+            .filter(|v| v.as_int().is_some())
+            .count();
         let win = valid.model.certain.count("win");
         let unknown = valid.model.unknown_count();
         let lose = positions - win - unknown;
@@ -437,7 +470,15 @@ pub fn e8(sizes: &[i64]) -> Table {
     let mut t = Table::new(
         "E8",
         "Ablation: naive vs semi-naive evaluation (TC on random graphs)",
-        &["n", "edges", "tc", "rounds", "t_naive", "t_semi_naive", "speedup"],
+        &[
+            "n",
+            "edges",
+            "tc",
+            "rounds",
+            "t_naive",
+            "t_semi_naive",
+            "speedup",
+        ],
     );
     for &n in sizes {
         let db = w::random_graph("edge", n, (2 * n) as usize, false, 31 + n as u64);
@@ -466,6 +507,124 @@ pub fn e8(sizes: &[i64]) -> Table {
             format!("{speedup:.1}x"),
         ]);
     }
+    t
+}
+
+/// E9 — data-layer ablation: the interning / index / delta toggles of the
+/// algebra evaluator, on the E1-shaped exact workload (TC + complement,
+/// positive IFP-algebra) and the E4-shaped valid workload (the same query
+/// as translated `algebra=`, alternating fixpoint). `baseline` is the
+/// seed evaluator's strategy (all toggles off); every configuration must
+/// agree with it exactly.
+pub fn e9(n_exact: i64, n_valid: i64) -> Table {
+    use algrec_core::valid_eval::eval_valid_with;
+    use algrec_core::{eval_exact_with, EvalOptions};
+    use algrec_translate::datalog_to_algebra;
+
+    let combos: [(&str, EvalOptions); 5] = [
+        ("all-on", EvalOptions::OPTIMIZED),
+        (
+            "no-interning",
+            EvalOptions {
+                interning: false,
+                ..EvalOptions::OPTIMIZED
+            },
+        ),
+        (
+            "no-index",
+            EvalOptions {
+                index: false,
+                ..EvalOptions::OPTIMIZED
+            },
+        ),
+        (
+            "no-delta",
+            EvalOptions {
+                delta: false,
+                ..EvalOptions::OPTIMIZED
+            },
+        ),
+        ("baseline", EvalOptions::BASELINE),
+    ];
+
+    let mut t = Table::new(
+        "E9",
+        "Ablation: interning / index / delta toggles on the algebra evaluators",
+        &["workload", "n", "options", "time", "vs baseline", "agree"],
+    );
+
+    // E1-shaped: exact evaluation of the positive IFP-algebra query.
+    {
+        let n = n_exact;
+        let db = w::with_nodes(
+            w::random_graph("edge", n, (2 * n) as usize, false, 11 + n as u64),
+            n,
+        );
+        let alg = w::unreach_algebra();
+        let reference = eval_exact_with(&alg, &db, budget(), EvalOptions::BASELINE).unwrap();
+        let mut baseline_s = f64::NAN;
+        let mut timed = Vec::new();
+        for (name, opts) in combos {
+            let t0 = Instant::now();
+            let out = eval_exact_with(&alg, &db, budget(), opts).unwrap();
+            let el = t0.elapsed();
+            assert_eq!(out, reference, "E9 exact {name} disagrees at n={n}");
+            if name == "baseline" {
+                baseline_s = el.as_secs_f64();
+            }
+            timed.push((name, el));
+        }
+        for (name, el) in timed {
+            let speedup = baseline_s / el.as_secs_f64().max(1e-9);
+            t.metric(format!("t_exact_{name}_n{n}_s"), el.as_secs_f64());
+            t.row(vec![
+                "tc+complement (exact)".into(),
+                n.to_string(),
+                name.into(),
+                fmt_dur(el),
+                format!("{speedup:.1}x"),
+                "yes".into(),
+            ]);
+        }
+    }
+
+    // E4-shaped: the translated algebra= program under the valid
+    // (alternating fixpoint) semantics.
+    {
+        let n = n_valid;
+        let db = w::with_nodes(w::random_graph("edge", n, (2 * n) as usize, false, 9), n);
+        let program = w::unreach_datalog();
+        let alg = datalog_to_algebra(&program, "un", &edb_arities(&db)).unwrap();
+        let reference = eval_valid_with(&alg, &db, budget(), EvalOptions::BASELINE).unwrap();
+        let mut baseline_s = f64::NAN;
+        let mut timed = Vec::new();
+        for (name, opts) in combos {
+            let t0 = Instant::now();
+            let out = eval_valid_with(&alg, &db, budget(), opts).unwrap();
+            let el = t0.elapsed();
+            assert_eq!(
+                out.query, reference.query,
+                "E9 valid {name} disagrees at n={n}"
+            );
+            if name == "baseline" {
+                baseline_s = el.as_secs_f64();
+            }
+            timed.push((name, el));
+        }
+        for (name, el) in timed {
+            let speedup = baseline_s / el.as_secs_f64().max(1e-9);
+            t.metric(format!("t_valid_{name}_n{n}_s"), el.as_secs_f64());
+            t.row(vec![
+                "tc+complement (algebra=, valid)".into(),
+                n.to_string(),
+                name.into(),
+                fmt_dur(el),
+                format!("{speedup:.1}x"),
+                "yes".into(),
+            ]);
+        }
+    }
+
     t
 }
 
@@ -522,5 +681,13 @@ mod tests {
     fn e8_runs() {
         let t = e8(&[10]);
         assert_eq!(t.rows.len(), 1);
+    }
+
+    #[test]
+    fn e9_runs() {
+        let t = e9(8, 6);
+        assert_eq!(t.rows.len(), 10); // 5 configurations × 2 workloads
+        assert!(t.rows.iter().all(|r| r[5] == "yes"));
+        assert_eq!(t.metrics.len(), 10);
     }
 }

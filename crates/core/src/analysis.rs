@@ -110,8 +110,7 @@ pub fn prop34_check(
     let rec_result = eval_valid(&rec, db, budget)?;
 
     let recursive_well_defined = rec_result.is_well_defined();
-    let agree = recursive_well_defined
-        && rec_result.query.to_exact().as_ref() == Some(&ifp_result);
+    let agree = recursive_well_defined && rec_result.query.to_exact().as_ref() == Some(&ifp_result);
     Ok(Prop34Outcome {
         monotone,
         agree,

@@ -55,11 +55,15 @@ mod tests {
     #[test]
     fn displays() {
         assert!(CoreError::Type("t".into()).to_string().contains("type"));
-        assert!(CoreError::Invalid("i".into()).to_string().contains("invalid"));
+        assert!(CoreError::Invalid("i".into())
+            .to_string()
+            .contains("invalid"));
         assert!(CoreError::Unsupported("u".into())
             .to_string()
             .contains("unsupported"));
-        assert!(CoreError::UnknownName("r".into()).to_string().contains("`r`"));
+        assert!(CoreError::UnknownName("r".into())
+            .to_string()
+            .contains("`r`"));
         let b: CoreError = BudgetError::Facts(2).into();
         assert!(b.to_string().contains("budget"));
         let t: CoreError = crate::expr::TypeError("oops".into()).into();

@@ -14,16 +14,82 @@
 //!   with `(pos, neg)` set to the current (certain, possible) bounds —
 //!   "only facts not in T are allowed to be used negatively"
 //!   (Section 2.2) becomes *negative occurrences read the other bound*.
+//!
+//! # Evaluation strategy
+//!
+//! The paper's semantics fixes *what* is computed; this module also fixes
+//! *how*, behind [`EvalOptions`] toggles so the strategies can be ablated:
+//!
+//! * **interning** — join indexes key on [`Vid`]s (hash-consed values)
+//!   instead of full values, and database relations expose a shared
+//!   interned first-column index;
+//! * **index** — equi-join indexes are cached across fixpoint iterations
+//!   for loop-invariant join sides (off: rebuilt per join call);
+//! * **delta** — `IFP` bodies that are syntactically monotone in the
+//!   fixpoint variable are advanced semi-naively: each iteration
+//!   evaluates a *delta* of the body against the facts added last round,
+//!   instead of the full body against the whole accumulation. Bodies
+//!   where the variable occurs inside any difference right-side fall back
+//!   to the naive loop. Loop-invariant subexpressions are also cached per
+//!   fixpoint run under this toggle.
+//!
+//! Every strategy is observation-equivalent to the naive evaluator: same
+//! sets, same canonical (`BTreeSet`) ordering, same dynamic errors.
 
-use crate::expr::{AlgExpr, FuncExpr};
+use crate::expr::{AlgExpr, CmpOp, FuncExpr};
 use crate::program::AlgProgram;
 use crate::CoreError;
 use algrec_value::budget::Meter;
-use algrec_value::{Budget, Database, Value};
-use std::collections::{BTreeMap, BTreeSet};
+use algrec_value::{Budget, ColumnIndex, Database, Symbol, Value};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
 
-/// An assignment of sets to names.
-pub type SetEnv = BTreeMap<String, BTreeSet<Value>>;
+/// A shared, immutable set of values. Environments and evaluation results
+/// are reference-counted so that resolving a name is O(1) instead of a
+/// deep clone of the whole set.
+pub type SetRef = Arc<BTreeSet<Value>>;
+
+/// An assignment of sets to names. Keys are interned [`Symbol`]s, values
+/// are shared [`SetRef`]s.
+pub type SetEnv = BTreeMap<Symbol, SetRef>;
+
+/// Evaluation-strategy toggles (see the module docs). The semantics is
+/// identical under every combination; only the work done differs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct EvalOptions {
+    /// Key join indexes by interned value ids ([`Vid`]) and reuse the
+    /// shared first-column index of database relations.
+    pub interning: bool,
+    /// Cache join indexes across fixpoint iterations for loop-invariant
+    /// join sides.
+    pub index: bool,
+    /// Advance monotone fixpoints semi-naively (delta-driven) and cache
+    /// loop-invariant subexpression values per fixpoint run.
+    pub delta: bool,
+}
+
+impl EvalOptions {
+    /// Every optimization on (the default).
+    pub const OPTIMIZED: EvalOptions = EvalOptions {
+        interning: true,
+        index: true,
+        delta: true,
+    };
+
+    /// Every optimization off — the seed evaluator's behavior, kept as
+    /// the ablation baseline and the oracle for agreement tests.
+    pub const BASELINE: EvalOptions = EvalOptions {
+        interning: false,
+        index: false,
+        delta: false,
+    };
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions::OPTIMIZED
+    }
+}
 
 /// Concatenate two values as tuples (the relational product convention:
 /// non-tuples act as 1-tuples).
@@ -37,132 +103,6 @@ pub fn tuple_concat(a: &Value, b: &Value) -> Value {
         other => items.push(other.clone()),
     }
     Value::Tuple(items)
-}
-
-/// Evaluate `expr` with positive occurrences of constants read from `pos`
-/// and negative occurrences from `neg`. IFP variables (bound locally) and
-/// database relations are polarity-independent. `positive` is the current
-/// polarity (`true` at the root).
-#[allow(clippy::too_many_arguments)]
-pub fn eval_polar(
-    expr: &AlgExpr,
-    pos: &SetEnv,
-    neg: &SetEnv,
-    locals: &mut Vec<(String, BTreeSet<Value>)>,
-    db: &Database,
-    meter: &mut Meter,
-    positive: bool,
-) -> Result<BTreeSet<Value>, CoreError> {
-    match expr {
-        AlgExpr::Name(n) => {
-            // Resolution order: IFP-bound locals, then the constant
-            // environments, then database relations.
-            if let Some((_, set)) = locals.iter().rev().find(|(name, _)| name == n) {
-                return Ok(set.clone());
-            }
-            let env = if positive { pos } else { neg };
-            if let Some(set) = env.get(n) {
-                return Ok(set.clone());
-            }
-            if let Some(rel) = db.get(n) {
-                return Ok(rel.as_set().clone());
-            }
-            Err(CoreError::UnknownName(n.clone()))
-        }
-        AlgExpr::Lit(items) => Ok(items.clone()),
-        AlgExpr::Union(a, b) => {
-            let mut l = eval_polar(a, pos, neg, locals, db, meter, positive)?;
-            let r = eval_polar(b, pos, neg, locals, db, meter, positive)?;
-            l.extend(r);
-            Ok(l)
-        }
-        AlgExpr::Diff(a, b) => {
-            let l = eval_polar(a, pos, neg, locals, db, meter, positive)?;
-            // Polarity flips on the subtrahend.
-            let r = eval_polar(b, pos, neg, locals, db, meter, !positive)?;
-            Ok(l.difference(&r).cloned().collect())
-        }
-        AlgExpr::Product(a, b) => {
-            let l = eval_polar(a, pos, neg, locals, db, meter, positive)?;
-            let r = eval_polar(b, pos, neg, locals, db, meter, positive)?;
-            let mut out = BTreeSet::new();
-            for x in &l {
-                for y in &r {
-                    let v = tuple_concat(x, y);
-                    meter.check_value_size(v.size())?;
-                    if out.insert(v) {
-                        meter.add_facts(1)?;
-                    }
-                }
-            }
-            Ok(out)
-        }
-        AlgExpr::Select(a, test) => {
-            // Join recognition: σ_{x.i = x.j}(A × B) is evaluated as an
-            // indexed equi-join instead of materializing the product.
-            // This is pure evaluation strategy — the semantics is
-            // unchanged — but it is the difference between the algebra
-            // being a usable query language and a formal device (the
-            // paper's operators are exactly ∪ − × σ MAP, so every join is
-            // spelled this way).
-            if let (AlgExpr::Product(pa, pb), FuncExpr::Cmp(crate::expr::CmpOp::Eq, cl, cr)) =
-                (&**a, test)
-            {
-                if let (FuncExpr::Proj(el, i), FuncExpr::Proj(er, j)) = (&**cl, &**cr) {
-                    if **el == FuncExpr::Elem && **er == FuncExpr::Elem {
-                        let l = eval_polar(pa, pos, neg, locals, db, meter, positive)?;
-                        let r = eval_polar(pb, pos, neg, locals, db, meter, positive)?;
-                        return equi_join(&l, &r, *i.min(j), *i.max(j), meter);
-                    }
-                }
-            }
-            let l = eval_polar(a, pos, neg, locals, db, meter, positive)?;
-            let mut out = BTreeSet::new();
-            for x in l {
-                if test.test(&x)? {
-                    out.insert(x);
-                }
-            }
-            Ok(out)
-        }
-        AlgExpr::Map(a, f) => {
-            let l = eval_polar(a, pos, neg, locals, db, meter, positive)?;
-            let mut out = BTreeSet::new();
-            for x in &l {
-                let v = f.eval(x)?;
-                meter.check_value_size(v.size())?;
-                if out.insert(v) {
-                    meter.add_facts(1)?;
-                }
-            }
-            Ok(out)
-        }
-        AlgExpr::Ifp { var, body } => {
-            // Inflationary fixed point: "starting with the empty set, at
-            // each step exp is applied on the result obtained in the
-            // previous step, and the result is accumulated" (Section 3.1).
-            // The fixpoint variable reads the accumulation in *both*
-            // polarities — that is precisely the inflationary reading of
-            // subtraction ("was not derived so far", Section 5).
-            let mut acc: BTreeSet<Value> = BTreeSet::new();
-            loop {
-                meter.tick_iteration()?;
-                locals.push((var.clone(), acc.clone()));
-                let step = eval_polar(body, pos, neg, locals, db, meter, positive);
-                locals.pop();
-                let step = step?;
-                let before = acc.len();
-                acc.extend(step);
-                meter.add_facts(acc.len() - before)?;
-                if acc.len() == before {
-                    return Ok(acc);
-                }
-            }
-        }
-        AlgExpr::Apply(name, _) => Err(CoreError::Invalid(format!(
-            "application of `{name}` survived inlining; evaluate via AlgProgram APIs"
-        ))),
-    }
 }
 
 /// Width of a value under the product convention (tuples spread,
@@ -183,100 +123,810 @@ fn concat_col(v: &Value, i: usize) -> Option<&Value> {
     }
 }
 
-/// `σ_{x.i = x.j}(L × R)` with `i < j`, as an indexed equi-join. The
-/// columns of a concatenated tuple split between the left element (its
-/// width `w`) and the right element; widths may vary per element, so the
-/// right side is indexed lazily per offset.
-fn equi_join(
-    l: &BTreeSet<Value>,
-    r: &BTreeSet<Value>,
-    i: usize,
-    j: usize,
-    meter: &mut Meter,
-) -> Result<BTreeSet<Value>, CoreError> {
-    use std::collections::BTreeMap;
-    let mut out = BTreeSet::new();
-    // Lazily built indexes of R by column `off`.
-    let mut indexes: BTreeMap<usize, BTreeMap<&Value, Vec<&Value>>> = BTreeMap::new();
-    for x in l {
-        let w = concat_width(x);
-        if j < w {
-            // Both columns inside the left element: a plain filter.
-            if concat_col(x, i) == concat_col(x, j) {
-                for y in r {
-                    let v = tuple_concat(x, y);
-                    meter.check_value_size(v.size())?;
-                    if out.insert(v) {
-                        meter.add_facts(1)?;
+/// A recognized equi-join: a chain of selections directly over a product,
+/// all of whose tests decompose into *analyzable* conjuncts — boolean
+/// combinations of comparisons over literals and projections of the
+/// element. Analyzable conjuncts are total except for projection range,
+/// so a single width check against the joined sets decides up front
+/// whether the unoptimized evaluation would raise a type error.
+struct ChainJoin<'e> {
+    left: &'e AlgExpr,
+    right: &'e AlgExpr,
+    /// Equality conjuncts `x.i = x.j` with `i < j` — the join keys.
+    eqs: Vec<(usize, usize)>,
+    /// Remaining analyzable conjuncts, checked on each joined tuple.
+    residual: Vec<&'e FuncExpr>,
+    /// Concatenated width needed for every projection to be in range.
+    required_width: usize,
+    /// The original tests, innermost selection first — the staged
+    /// fallback when projections may go out of range (a later stage's
+    /// test must then only see earlier stages' survivors).
+    staged_tests: Vec<&'e FuncExpr>,
+}
+
+impl ChainJoin<'_> {
+    /// Is this a single selection (conjunction semantics — every conjunct
+    /// is evaluated on every pair, so an out-of-range projection anywhere
+    /// is an error) rather than a chain of selections?
+    fn single(&self) -> bool {
+        self.staged_tests.len() == 1
+    }
+}
+
+/// Width a pair must have for `t` to evaluate without error, or `None`
+/// if `t` is not analyzable (contains arithmetic, nested projections, or
+/// non-boolean shapes whose errors cannot be decided by widths alone).
+fn conjunct_required_width(t: &FuncExpr) -> Option<usize> {
+    fn arg_width(a: &FuncExpr) -> Option<usize> {
+        match a {
+            FuncExpr::Elem | FuncExpr::Lit(_) => Some(0),
+            FuncExpr::Proj(e, k) if **e == FuncExpr::Elem => Some(k + 1),
+            FuncExpr::Tuple(items) => items
+                .iter()
+                .map(arg_width)
+                .try_fold(0usize, |m, w| Some(m.max(w?))),
+            _ => None,
+        }
+    }
+    match t {
+        FuncExpr::Cmp(_, a, b) => Some(arg_width(a)?.max(arg_width(b)?)),
+        FuncExpr::And(a, b) | FuncExpr::Or(a, b) => {
+            Some(conjunct_required_width(a)?.max(conjunct_required_width(b)?))
+        }
+        FuncExpr::Not(a) => conjunct_required_width(a),
+        _ => None,
+    }
+}
+
+fn flatten_conjuncts<'e>(t: &'e FuncExpr, out: &mut Vec<&'e FuncExpr>) {
+    if let FuncExpr::And(a, b) = t {
+        flatten_conjuncts(a, out);
+        flatten_conjuncts(b, out);
+    } else {
+        out.push(t);
+    }
+}
+
+/// Recognize `expr` (a `Select` node) as an indexable join. Shapes
+/// covered, superseding the seed's single `σ_{x.i=x.j}(A × B)`:
+/// conjunctive tests (`And`-chains with residual comparisons), chains of
+/// selections over one product, and products whose operands are
+/// themselves products (the equality then straddles the outer boundary).
+fn chain_join(expr: &AlgExpr) -> Option<ChainJoin<'_>> {
+    let mut staged_rev: Vec<&FuncExpr> = Vec::new();
+    let mut node = expr;
+    while let AlgExpr::Select(a, t) = node {
+        staged_rev.push(t);
+        node = a;
+    }
+    let AlgExpr::Product(l, r) = node else {
+        return None;
+    };
+    let staged_tests: Vec<&FuncExpr> = staged_rev.into_iter().rev().collect();
+    let mut eqs = Vec::new();
+    let mut residual = Vec::new();
+    let mut required_width = 0usize;
+    for t in &staged_tests {
+        let mut conjuncts = Vec::new();
+        flatten_conjuncts(t, &mut conjuncts);
+        for c in conjuncts {
+            required_width = required_width.max(conjunct_required_width(c)?);
+            if let FuncExpr::Cmp(CmpOp::Eq, a, b) = c {
+                if let (FuncExpr::Proj(ea, i), FuncExpr::Proj(eb, j)) = (&**a, &**b) {
+                    if **ea == FuncExpr::Elem && **eb == FuncExpr::Elem && i != j {
+                        eqs.push((*i.min(j), *i.max(j)));
+                        continue;
                     }
                 }
             }
-            continue;
+            residual.push(c);
         }
-        if i >= w {
-            // Both columns inside the right element: filter R per x.
-            for y in r {
-                let (a, b) = (concat_col(y, i - w), concat_col(y, j - w));
-                if a.is_none() || b.is_none() {
-                    // The σ test would project out of range — the same
-                    // dynamic type error the unoptimized path raises.
-                    return Err(CoreError::Type(format!(
-                        "projection .{i}/.{j} out of bounds in join over {y}"
-                    )));
-                }
-                if a == b {
-                    let v = tuple_concat(x, y);
-                    meter.check_value_size(v.size())?;
-                    if out.insert(v) {
-                        meter.add_facts(1)?;
-                    }
+    }
+    if eqs.is_empty() {
+        return None;
+    }
+    Some(ChainJoin {
+        left: l,
+        right: r,
+        eqs,
+        residual,
+        required_width,
+        staged_tests,
+    })
+}
+
+/// One fixpoint loop's context: which names vary, plus caches for
+/// loop-invariant subexpression values and join indexes, valid for the
+/// context's lifetime. Keys are expression node addresses (stable for
+/// the duration of an evaluation) plus polarity.
+struct FixCtx {
+    vars: Vec<Symbol>,
+    /// `true` for the valid-semantics inner fixpoint, where the varying
+    /// names are read from the varying environment only at *positive*
+    /// polarity (negative occurrences read the fixed bound); `false` for
+    /// IFP variables, which vary at both polarities.
+    positive_only: bool,
+    invariant_memo: HashMap<(usize, bool), bool>,
+    values: HashMap<(usize, bool), SetRef>,
+    indexes: HashMap<(usize, bool, usize), Arc<ColumnIndex<Value>>>,
+}
+
+impl FixCtx {
+    fn new(vars: Vec<Symbol>, positive_only: bool) -> Self {
+        FixCtx {
+            vars,
+            positive_only,
+            invariant_memo: HashMap::new(),
+            values: HashMap::new(),
+            indexes: HashMap::new(),
+        }
+    }
+}
+
+fn key_of(e: &AlgExpr, positive: bool) -> (usize, bool) {
+    (e as *const AlgExpr as usize, positive)
+}
+
+/// The evaluator: database bindings, strategy options, the IFP local
+/// stack and the stack of active fixpoint contexts.
+pub(crate) struct Evaluator<'a> {
+    db: &'a Database,
+    db_env: HashMap<Symbol, SetRef>,
+    pub(crate) opts: EvalOptions,
+    locals: Vec<(Symbol, SetRef)>,
+    ctxs: Vec<FixCtx>,
+}
+
+impl<'a> Evaluator<'a> {
+    pub(crate) fn new(db: &'a Database, opts: EvalOptions) -> Self {
+        let db_env = db
+            .iter()
+            .map(|(name, rel)| (Symbol::of(name), Arc::new(rel.as_set().clone())))
+            .collect();
+        Evaluator {
+            db,
+            db_env,
+            opts,
+            locals: Vec::new(),
+            ctxs: Vec::new(),
+        }
+    }
+
+    pub(crate) fn push_ctx(&mut self, vars: Vec<Symbol>, positive_only: bool) {
+        self.ctxs.push(FixCtx::new(vars, positive_only));
+    }
+
+    pub(crate) fn pop_ctx(&mut self) {
+        self.ctxs.pop();
+    }
+
+    /// Is `e` invariant with respect to context `ci` at polarity
+    /// `positive` — i.e. none of the context's varying names is read from
+    /// varying state anywhere inside `e`?
+    fn ctx_invariant(&mut self, ci: usize, e: &AlgExpr, positive: bool) -> bool {
+        let key = key_of(e, positive);
+        if let Some(&v) = self.ctxs[ci].invariant_memo.get(&key) {
+            return v;
+        }
+        let (vars, positive_only) = {
+            let c = &self.ctxs[ci];
+            (c.vars.clone(), c.positive_only)
+        };
+        let inv = vars.iter().all(|v| {
+            let name = v.as_str();
+            let (at_pos, at_neg) = e.polarity_scan(name, !positive);
+            if positive_only {
+                // Only reads at overall-positive polarity see varying
+                // state; negative reads see the fixed bound.
+                !at_pos
+            } else {
+                !at_pos && !at_neg
+            }
+        });
+        self.ctxs[ci].invariant_memo.insert(key, inv);
+        inv
+    }
+
+    /// The outermost context index `k` such that `e` is invariant with
+    /// respect to *every* context from `k` inward — the context whose
+    /// cache may hold `e`'s value. `None` if `e` varies in the innermost
+    /// context (or caching is off / no context is active).
+    fn cache_suffix(&mut self, e: &AlgExpr, positive: bool) -> Option<usize> {
+        if !self.opts.delta || self.ctxs.is_empty() {
+            return None;
+        }
+        let mut k = None;
+        for ci in (0..self.ctxs.len()).rev() {
+            if self.ctx_invariant(ci, e, positive) {
+                k = Some(ci);
+            } else {
+                break;
+            }
+        }
+        k
+    }
+
+    /// Does `e` vary in the innermost context at polarity `positive`?
+    fn varies_innermost(&mut self, e: &AlgExpr, positive: bool) -> bool {
+        let ci = self.ctxs.len() - 1;
+        !self.ctx_invariant(ci, e, positive)
+    }
+
+    /// Evaluate `e` with positive occurrences of constants read from
+    /// `pos` and negative occurrences from `neg`. IFP variables (bound
+    /// locally) and database relations are polarity-independent.
+    pub(crate) fn eval(
+        &mut self,
+        e: &AlgExpr,
+        pos: &SetEnv,
+        neg: &SetEnv,
+        positive: bool,
+        meter: &mut Meter,
+    ) -> Result<SetRef, CoreError> {
+        let suffix = self.cache_suffix(e, positive);
+        if suffix.is_some() {
+            let key = key_of(e, positive);
+            for c in self.ctxs.iter().rev() {
+                if let Some(v) = c.values.get(&key) {
+                    return Ok(v.clone());
                 }
             }
-            continue;
         }
-        // The straddling case — the actual join.
-        let key = concat_col(x, i).expect("i < w");
-        let off = j - w;
-        // `entry().or_insert_with` cannot propagate the ragged-width error
-        // from inside the closure, hence the two-step check.
-        #[allow(clippy::map_entry)]
-        if !indexes.contains_key(&off) {
-            let mut idx: BTreeMap<&Value, Vec<&Value>> = BTreeMap::new();
-            for y in r {
-                match concat_col(y, off) {
-                    Some(k) => idx.entry(k).or_default().push(y),
-                    None => {
+        let out = self.eval_uncached(e, pos, neg, positive, meter)?;
+        if let Some(k) = suffix {
+            self.ctxs[k].values.insert(key_of(e, positive), out.clone());
+        }
+        Ok(out)
+    }
+
+    fn eval_uncached(
+        &mut self,
+        e: &AlgExpr,
+        pos: &SetEnv,
+        neg: &SetEnv,
+        positive: bool,
+        meter: &mut Meter,
+    ) -> Result<SetRef, CoreError> {
+        match e {
+            AlgExpr::Name(n) => {
+                // Resolution order: IFP-bound locals, then the constant
+                // environments, then database relations.
+                let sym = Symbol::of(n);
+                if let Some((_, set)) = self.locals.iter().rev().find(|(s, _)| *s == sym) {
+                    return Ok(set.clone());
+                }
+                let env = if positive { pos } else { neg };
+                if let Some(set) = env.get(&sym) {
+                    return Ok(set.clone());
+                }
+                if let Some(set) = self.db_env.get(&sym) {
+                    return Ok(set.clone());
+                }
+                Err(CoreError::UnknownName(n.clone()))
+            }
+            AlgExpr::Lit(items) => Ok(Arc::new(items.clone())),
+            AlgExpr::Union(a, b) => {
+                let mut l = self.eval(a, pos, neg, positive, meter)?;
+                let r = self.eval(b, pos, neg, positive, meter)?;
+                if l.is_empty() {
+                    return Ok(r);
+                }
+                if !r.is_empty() {
+                    Arc::make_mut(&mut l).extend(r.iter().cloned());
+                }
+                Ok(l)
+            }
+            AlgExpr::Diff(a, b) => {
+                let l = self.eval(a, pos, neg, positive, meter)?;
+                // Polarity flips on the subtrahend.
+                let r = self.eval(b, pos, neg, !positive, meter)?;
+                if r.is_empty() {
+                    return Ok(l);
+                }
+                Ok(Arc::new(l.difference(&r).cloned().collect()))
+            }
+            AlgExpr::Product(a, b) => {
+                let l = self.eval(a, pos, neg, positive, meter)?;
+                let r = self.eval(b, pos, neg, positive, meter)?;
+                let mut out = BTreeSet::new();
+                for x in l.iter() {
+                    for y in r.iter() {
+                        let v = tuple_concat(x, y);
+                        meter.check_value_size(v.size())?;
+                        if out.insert(v) {
+                            meter.add_facts(1)?;
+                        }
+                    }
+                }
+                Ok(Arc::new(out))
+            }
+            AlgExpr::Select(a, test) => {
+                // Join recognition — pure evaluation strategy; the
+                // semantics (including dynamic type errors) is unchanged.
+                if let Some(cj) = chain_join(e) {
+                    let l = self.eval(cj.left, pos, neg, positive, meter)?;
+                    let r = self.eval(cj.right, pos, neg, positive, meter)?;
+                    if l.is_empty() || r.is_empty() {
+                        // No pairs: the unoptimized path evaluates no
+                        // test, raises no error, returns ∅.
+                        return Ok(Arc::new(BTreeSet::new()));
+                    }
+                    if join_widths_ok(&cj, &l, &r) {
+                        let out = self.join(&l, &r, &cj, positive, true, meter)?;
+                        return Ok(Arc::new(out));
+                    }
+                    if cj.single() {
+                        // A conjunction evaluates every conjunct on every
+                        // pair; some projection is out of range for some
+                        // pair, so the unoptimized path errors. Match it.
                         return Err(CoreError::Type(format!(
-                            "projection .{j} out of bounds in join over {y}"
-                        )))
+                            "projection out of bounds in selection over product (needs \
+                             width {})",
+                            cj.required_width
+                        )));
+                    }
+                    // A σ-chain filters in stages; a projection that is
+                    // out of range on a pair an earlier stage drops is NOT
+                    // an error. Replay the stages exactly.
+                    return self.staged_select(&l, &r, &cj.staged_tests, meter);
+                }
+                let l = self.eval(a, pos, neg, positive, meter)?;
+                let mut out = BTreeSet::new();
+                for x in l.iter() {
+                    if test.test(x)? {
+                        out.insert(x.clone());
                     }
                 }
+                Ok(Arc::new(out))
             }
-            indexes.insert(off, idx);
+            AlgExpr::Map(a, f) => {
+                let l = self.eval(a, pos, neg, positive, meter)?;
+                let mut out = BTreeSet::new();
+                for x in l.iter() {
+                    let v = f.eval(x)?;
+                    meter.check_value_size(v.size())?;
+                    if out.insert(v) {
+                        meter.add_facts(1)?;
+                    }
+                }
+                Ok(Arc::new(out))
+            }
+            AlgExpr::Ifp { var, body } => self.eval_ifp(var, body, pos, neg, positive, meter),
+            AlgExpr::Apply(name, _) => Err(CoreError::Invalid(format!(
+                "application of `{name}` survived inlining; evaluate via AlgProgram APIs"
+            ))),
         }
-        let index = indexes.get(&off).expect("just inserted");
-        if let Some(matches) = index.get(key) {
-            for y in matches {
+    }
+
+    /// Inflationary fixed point: "starting with the empty set, at each
+    /// step exp is applied on the result obtained in the previous step,
+    /// and the result is accumulated" (Section 3.1). The fixpoint
+    /// variable reads the accumulation in *both* polarities — that is
+    /// precisely the inflationary reading of subtraction ("was not
+    /// derived so far", Section 5).
+    ///
+    /// When the body is syntactically monotone in the variable (no
+    /// occurrence inside any difference right-side) the loop is advanced
+    /// semi-naively: iteration k evaluates a delta of the body against
+    /// the facts iteration k−1 added. Every fact a full evaluation would
+    /// add is still added (one-side-new pairs cover products), and every
+    /// element-level error still surfaces in the iteration where the
+    /// offending element first appears.
+    fn eval_ifp(
+        &mut self,
+        var: &str,
+        body: &AlgExpr,
+        pos: &SetEnv,
+        neg: &SetEnv,
+        positive: bool,
+        meter: &mut Meter,
+    ) -> Result<SetRef, CoreError> {
+        let vsym = Symbol::of(var);
+        self.push_ctx(vec![vsym], false);
+        let result = self.ifp_loop(vsym, body, pos, neg, positive, meter);
+        self.pop_ctx();
+        result
+    }
+
+    fn ifp_loop(
+        &mut self,
+        vsym: Symbol,
+        body: &AlgExpr,
+        pos: &SetEnv,
+        neg: &SetEnv,
+        positive: bool,
+        meter: &mut Meter,
+    ) -> Result<SetRef, CoreError> {
+        let use_delta = self.opts.delta && self.delta_ok(body, positive);
+        let mut acc: SetRef = Arc::new(BTreeSet::new());
+        let mut delta: BTreeSet<Value> = BTreeSet::new();
+        let mut first = true;
+        loop {
+            meter.tick_iteration()?;
+            self.locals.push((vsym, acc.clone()));
+            let step = if first || !use_delta {
+                self.eval(body, pos, neg, positive, meter).map(|s| {
+                    if use_delta {
+                        s.difference(&acc).cloned().collect()
+                    } else {
+                        (*s).clone()
+                    }
+                })
+            } else {
+                let mut deltas = BTreeMap::new();
+                deltas.insert(vsym, std::mem::take(&mut delta));
+                self.eval_delta(body, pos, neg, &deltas, positive, meter)
+            };
+            self.locals.pop();
+            let step = step?;
+            let before = acc.len();
+            let accm = Arc::make_mut(&mut acc);
+            if use_delta {
+                delta = step
+                    .into_iter()
+                    .filter(|v| accm.insert(v.clone()))
+                    .collect();
+            } else {
+                accm.extend(step);
+            }
+            meter.add_facts(acc.len() - before)?;
+            if acc.len() == before {
+                return Ok(acc);
+            }
+            first = false;
+        }
+    }
+
+    /// Is `body` advanceable by deltas in the innermost context? True
+    /// when, within the varying region, every difference right-side is
+    /// invariant and no nested IFP varies — then every varying operator
+    /// is monotone in the varying names and the delta rules are sound
+    /// and complete for the (increasing) fixpoint iterates.
+    pub(crate) fn delta_ok(&mut self, body: &AlgExpr, positive: bool) -> bool {
+        if !self.varies_innermost(body, positive) {
+            return true;
+        }
+        match body {
+            AlgExpr::Name(_) | AlgExpr::Lit(_) => true,
+            AlgExpr::Union(a, b) | AlgExpr::Product(a, b) => {
+                self.delta_ok(a, positive) && self.delta_ok(b, positive)
+            }
+            AlgExpr::Select(a, _) | AlgExpr::Map(a, _) => self.delta_ok(a, positive),
+            AlgExpr::Diff(a, b) => {
+                !self.varies_innermost(b, !positive) && self.delta_ok(a, positive)
+            }
+            AlgExpr::Ifp { .. } => false, // varying nested fixpoint
+            AlgExpr::Apply(..) => false,
+        }
+    }
+
+    /// The delta of `e` given `deltas` — the facts each varying name
+    /// gained last iteration. Sound (every returned fact is in the full
+    /// value of `e` under the current environments) and complete (every
+    /// fact the full value gained since last iteration is returned);
+    /// both by induction using that the fixpoint iterates increase.
+    pub(crate) fn eval_delta(
+        &mut self,
+        e: &AlgExpr,
+        pos: &SetEnv,
+        neg: &SetEnv,
+        deltas: &BTreeMap<Symbol, BTreeSet<Value>>,
+        positive: bool,
+        meter: &mut Meter,
+    ) -> Result<BTreeSet<Value>, CoreError> {
+        if !self.varies_innermost(e, positive) {
+            return Ok(BTreeSet::new());
+        }
+        match e {
+            AlgExpr::Name(n) => Ok(deltas.get(&Symbol::of(n)).cloned().unwrap_or_default()),
+            AlgExpr::Lit(_) => Ok(BTreeSet::new()),
+            AlgExpr::Union(a, b) => {
+                let mut l = self.eval_delta(a, pos, neg, deltas, positive, meter)?;
+                let r = self.eval_delta(b, pos, neg, deltas, positive, meter)?;
+                l.extend(r);
+                Ok(l)
+            }
+            AlgExpr::Diff(a, b) => {
+                // `b` is invariant in this fixpoint (checked by
+                // `delta_ok`), so new facts come only from `a`.
+                let l = self.eval_delta(a, pos, neg, deltas, positive, meter)?;
+                let r = self.eval(b, pos, neg, !positive, meter)?;
+                Ok(l.difference(&r).cloned().collect())
+            }
+            AlgExpr::Product(a, b) => {
+                let da = self.eval_delta(a, pos, neg, deltas, positive, meter)?;
+                let db_ = self.eval_delta(b, pos, neg, deltas, positive, meter)?;
+                let cur_a = self.eval(a, pos, neg, positive, meter)?;
+                let cur_b = self.eval(b, pos, neg, positive, meter)?;
+                let mut out = BTreeSet::new();
+                // Every new pair has a new coordinate: δa × cur(b) ∪
+                // cur(a) × δb (cur values already include the deltas).
+                for (xs, ys) in [(&da, &*cur_b), (&*cur_a, &db_)] {
+                    for x in xs.iter() {
+                        for y in ys.iter() {
+                            let v = tuple_concat(x, y);
+                            meter.check_value_size(v.size())?;
+                            if out.insert(v) {
+                                meter.add_facts(1)?;
+                            }
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            AlgExpr::Select(a, test) => {
+                if let Some(cj) = chain_join(e) {
+                    let cur_l = self.eval(cj.left, pos, neg, positive, meter)?;
+                    let cur_r = self.eval(cj.right, pos, neg, positive, meter)?;
+                    if cur_l.is_empty() || cur_r.is_empty() {
+                        return Ok(BTreeSet::new());
+                    }
+                    if join_widths_ok(&cj, &cur_l, &cur_r) {
+                        let dl = self.eval_delta(cj.left, pos, neg, deltas, positive, meter)?;
+                        let dr = self.eval_delta(cj.right, pos, neg, deltas, positive, meter)?;
+                        // δl joins the *full* right side (its cached index
+                        // is valid); full left joins δr, whose ad-hoc
+                        // index must never enter the caches.
+                        let mut out = self.join(&dl, &cur_r, &cj, positive, true, meter)?;
+                        if !dr.is_empty() {
+                            let dr = Arc::new(dr);
+                            out.extend(self.join(&cur_l, &dr, &cj, positive, false, meter)?);
+                        }
+                        return Ok(out);
+                    }
+                    if cj.single() {
+                        // The full evaluation would error on this
+                        // iteration's pairs; report the same error.
+                        return Err(CoreError::Type(format!(
+                            "projection out of bounds in selection over product (needs \
+                             width {})",
+                            cj.required_width
+                        )));
+                    }
+                    // σ-chain with possible range errors: fall through to
+                    // the stage-exact filter of the argument's delta.
+                }
+                let l = self.eval_delta(a, pos, neg, deltas, positive, meter)?;
+                let mut out = BTreeSet::new();
+                for x in l {
+                    if test.test(&x)? {
+                        out.insert(x);
+                    }
+                }
+                Ok(out)
+            }
+            AlgExpr::Map(a, f) => {
+                let l = self.eval_delta(a, pos, neg, deltas, positive, meter)?;
+                let mut out = BTreeSet::new();
+                for x in l.iter() {
+                    let v = f.eval(x)?;
+                    meter.check_value_size(v.size())?;
+                    if out.insert(v) {
+                        meter.add_facts(1)?;
+                    }
+                }
+                Ok(out)
+            }
+            // `delta_ok` bans varying nested fixpoints and applications.
+            AlgExpr::Ifp { .. } | AlgExpr::Apply(..) => Err(CoreError::Invalid(
+                "delta evaluation reached a non-delta-able operator".into(),
+            )),
+        }
+    }
+
+    /// Replay a chain of selections stage by stage over the materialized
+    /// product — exact fallback semantics, including which elements each
+    /// stage's test is evaluated on.
+    fn staged_select(
+        &mut self,
+        l: &SetRef,
+        r: &SetRef,
+        staged_tests: &[&FuncExpr],
+        meter: &mut Meter,
+    ) -> Result<SetRef, CoreError> {
+        let mut cur = BTreeSet::new();
+        for x in l.iter() {
+            for y in r.iter() {
                 let v = tuple_concat(x, y);
                 meter.check_value_size(v.size())?;
-                if out.insert(v) {
+                if cur.insert(v) {
                     meter.add_facts(1)?;
                 }
             }
         }
+        for t in staged_tests {
+            let mut next = BTreeSet::new();
+            for x in cur {
+                if t.test(&x)? {
+                    next.insert(x);
+                }
+            }
+            cur = next;
+        }
+        Ok(Arc::new(cur))
     }
-    Ok(out)
+
+    /// Execute a recognized join of `l` and `r`. Callers must have
+    /// checked `join_widths_ok`, after which no projection can go out of
+    /// range and no residual test can error.
+    fn join(
+        &mut self,
+        l: &BTreeSet<Value>,
+        r: &SetRef,
+        cj: &ChainJoin<'_>,
+        positive: bool,
+        right_is_full: bool,
+        meter: &mut Meter,
+    ) -> Result<BTreeSet<Value>, CoreError> {
+        let mut out = BTreeSet::new();
+        if l.is_empty() || r.is_empty() {
+            return Ok(out);
+        }
+        let mut local_indexes: HashMap<usize, Arc<ColumnIndex<Value>>> = HashMap::new();
+        for x in l.iter() {
+            let w = concat_width(x);
+            // Classify the equalities for this left element's width.
+            let mut ok = true;
+            let mut straddle: Vec<(usize, usize)> = Vec::new(); // (left col, right col)
+            let mut right_conds: Vec<(usize, usize)> = Vec::new();
+            for &(i, j) in &cj.eqs {
+                if j < w {
+                    if concat_col(x, i) != concat_col(x, j) {
+                        ok = false;
+                        break;
+                    }
+                } else if i >= w {
+                    right_conds.push((i - w, j - w));
+                } else {
+                    straddle.push((i, j - w));
+                }
+            }
+            if !ok {
+                continue;
+            }
+            let emit = |this: &mut Self,
+                        y: &Value,
+                        out: &mut BTreeSet<Value>,
+                        meter: &mut Meter|
+             -> Result<(), CoreError> {
+                let _ = this;
+                let v = tuple_concat(x, y);
+                for t in &cj.residual {
+                    if !t.test(&v)? {
+                        return Ok(());
+                    }
+                }
+                meter.check_value_size(v.size())?;
+                if out.insert(v) {
+                    meter.add_facts(1)?;
+                }
+                Ok(())
+            };
+            let matches_rest = |y: &Value| -> bool {
+                straddle
+                    .iter()
+                    .skip(1)
+                    .all(|&(i, o)| concat_col(x, i) == concat_col(y, o))
+                    && right_conds
+                        .iter()
+                        .all(|&(oi, oj)| concat_col(y, oi) == concat_col(y, oj))
+            };
+            if let Some(&(ki, off)) = straddle.first() {
+                let key = concat_col(x, ki).expect("ki < w");
+                let idx = match local_indexes.get(&off) {
+                    Some(idx) => idx.clone(),
+                    None => {
+                        let idx = self.right_index(r, cj.right, positive, off, right_is_full)?;
+                        local_indexes.insert(off, idx.clone());
+                        idx
+                    }
+                };
+                let candidates: Vec<Value> = idx.probe(key).cloned().collect();
+                for y in &candidates {
+                    if matches_rest(y) {
+                        emit(self, y, &mut out, meter)?;
+                    }
+                }
+            } else {
+                for y in r.iter() {
+                    if matches_rest(y) {
+                        emit(self, y, &mut out, meter)?;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The index of `r` on column `off`, with three sources in order of
+    /// preference: the shared first-column index of a database relation,
+    /// a context cache entry for a loop-invariant join side, or a fresh
+    /// build for this call.
+    fn right_index(
+        &mut self,
+        r: &SetRef,
+        right_expr: &AlgExpr,
+        positive: bool,
+        off: usize,
+        right_is_full: bool,
+    ) -> Result<Arc<ColumnIndex<Value>>, CoreError> {
+        if right_is_full && off == 0 && self.opts.index && self.opts.interning {
+            if let AlgExpr::Name(n) = right_expr {
+                if let Some(db_set) = self.db_env.get(&Symbol::of(n)) {
+                    if Arc::ptr_eq(r, db_set) {
+                        if let Some(rel) = self.db.get(n) {
+                            return Ok(rel.first_index());
+                        }
+                    }
+                }
+            }
+        }
+        let cache_at = if self.opts.index && right_is_full {
+            self.cache_suffix(right_expr, positive)
+        } else {
+            None
+        };
+        let key = (right_expr as *const AlgExpr as usize, positive, off);
+        if cache_at.is_some() {
+            for c in self.ctxs.iter().rev() {
+                if let Some(idx) = c.indexes.get(&key) {
+                    // A cached index is only valid for the set it was
+                    // built from; invariance guarantees that.
+                    return Ok(idx.clone());
+                }
+            }
+        }
+        let built = ColumnIndex::build(
+            r.iter().cloned(),
+            |v| concat_col(v, off),
+            self.opts.interning,
+        )
+        .map_err(|bad| {
+            CoreError::Type(format!(
+                "projection out of bounds in join over {bad} (column {off})"
+            ))
+        })?;
+        let built = Arc::new(built);
+        if let Some(k) = cache_at {
+            self.ctxs[k].indexes.insert(key, built.clone());
+        }
+        Ok(built)
+    }
+}
+
+/// Can every projection mentioned by the recognized join stay in range on
+/// every pair? (Widths are checked against the *minimum* element widths:
+/// `required ≤ min_w(l) + min_w(r)` ⇔ no pair can be too narrow.)
+fn join_widths_ok(cj: &ChainJoin<'_>, l: &BTreeSet<Value>, r: &BTreeSet<Value>) -> bool {
+    let min_l = l.iter().map(concat_width).min().unwrap_or(0);
+    let min_r = r.iter().map(concat_width).min().unwrap_or(0);
+    let need = cj
+        .required_width
+        .max(cj.eqs.iter().map(|&(_, j)| j + 1).max().unwrap_or(0));
+    need <= min_l + min_r
 }
 
 /// Evaluate a non-recursive program (plain `algebra` or `IFP-algebra`)
-/// exactly. Recursion is rejected — use [`crate::valid_eval::eval_valid`],
-/// which computes the valid semantics that recursion requires
-/// (Section 3.2: recursive equations may have no initial valid model, so
-/// their evaluation must be three-valued).
+/// exactly, with the default (fully optimized) strategy. Recursion is
+/// rejected — use [`crate::valid_eval::eval_valid`], which computes the
+/// valid semantics that recursion requires (Section 3.2: recursive
+/// equations may have no initial valid model, so their evaluation must be
+/// three-valued).
 pub fn eval_exact(
     program: &AlgProgram,
     db: &Database,
     budget: Budget,
+) -> Result<BTreeSet<Value>, CoreError> {
+    eval_exact_with(program, db, budget, EvalOptions::default())
+}
+
+/// [`eval_exact`] with explicit strategy options (ablation and agreement
+/// testing).
+pub fn eval_exact_with(
+    program: &AlgProgram,
+    db: &Database,
+    budget: Budget,
+    opts: EvalOptions,
 ) -> Result<BTreeSet<Value>, CoreError> {
     let inlined = program.inline()?;
     if !inlined.defs.is_empty() {
@@ -293,15 +943,9 @@ pub fn eval_exact(
     }
     let empty = SetEnv::new();
     let mut meter = budget.meter();
-    eval_polar(
-        &inlined.query,
-        &empty,
-        &empty,
-        &mut Vec::new(),
-        db,
-        &mut meter,
-        true,
-    )
+    let mut ev = Evaluator::new(db, opts);
+    let out = ev.eval(&inlined.query, &empty, &empty, true, &mut meter)?;
+    Ok(Arc::try_unwrap(out).unwrap_or_else(|a| (*a).clone()))
 }
 
 #[cfg(test)]
@@ -323,7 +967,22 @@ mod tests {
     }
 
     fn eval(e: AlgExpr, db: &Database) -> BTreeSet<Value> {
-        eval_exact(&AlgProgram::query(e), db, Budget::SMALL).unwrap()
+        let opt = eval_exact_with(
+            &AlgProgram::query(e.clone()),
+            db,
+            Budget::SMALL,
+            EvalOptions::OPTIMIZED,
+        )
+        .unwrap();
+        let base = eval_exact_with(
+            &AlgProgram::query(e),
+            db,
+            Budget::SMALL,
+            EvalOptions::BASELINE,
+        )
+        .unwrap();
+        assert_eq!(opt, base, "optimized and baseline evaluation disagree");
+        opt
     }
 
     #[test]
@@ -335,7 +994,10 @@ mod tests {
         assert_eq!(union.len(), 3);
         let diff = eval(AlgExpr::diff(AlgExpr::name("r"), AlgExpr::name("s")), &db);
         assert_eq!(diff, [i(1)].into_iter().collect());
-        let prod = eval(AlgExpr::product(AlgExpr::name("r"), AlgExpr::name("s")), &db);
+        let prod = eval(
+            AlgExpr::product(AlgExpr::name("r"), AlgExpr::name("s")),
+            &db,
+        );
         assert_eq!(prod.len(), 4);
         assert!(prod.contains(&Value::pair(i(1), i(2))));
     }
@@ -411,10 +1073,7 @@ mod tests {
         );
         let p = AlgProgram::new(
             [inter],
-            AlgExpr::Apply(
-                "inter".into(),
-                vec![AlgExpr::name("r"), AlgExpr::name("s")],
-            ),
+            AlgExpr::Apply("inter".into(), vec![AlgExpr::name("r"), AlgExpr::name("s")]),
         )
         .unwrap();
         let db = Database::new()
@@ -465,12 +1124,15 @@ mod tests {
                 ),
             ),
         );
-        let err = eval_exact(
-            &AlgProgram::query(e),
-            &Database::new(),
-            Budget::new(50, 1_000_000, 64),
-        );
-        assert!(matches!(err, Err(CoreError::Budget(_))));
+        for opts in [EvalOptions::OPTIMIZED, EvalOptions::BASELINE] {
+            let err = eval_exact_with(
+                &AlgProgram::query(e.clone()),
+                &Database::new(),
+                Budget::new(50, 1_000_000, 64),
+                opts,
+            );
+            assert!(matches!(err, Err(CoreError::Budget(_))));
+        }
     }
 
     #[test]
@@ -554,7 +1216,7 @@ mod tests {
             &db,
         );
         assert_eq!(left.len(), 2); // (1,1) × both s rows
-        // both columns on the right: σ_{x.2 = x.3}
+                                   // both columns on the right: σ_{x.2 = x.3}
         let right = eval(
             AlgExpr::select(
                 AlgExpr::product(AlgExpr::name("r"), AlgExpr::name("s")),
@@ -582,10 +1244,12 @@ mod tests {
                 Box::new(FuncExpr::proj(5)),
             ),
         ));
-        assert!(matches!(
-            eval_exact(&q, &db, Budget::SMALL),
-            Err(CoreError::Type(_))
-        ));
+        for opts in [EvalOptions::OPTIMIZED, EvalOptions::BASELINE] {
+            assert!(matches!(
+                eval_exact_with(&q, &db, Budget::SMALL, opts),
+                Err(CoreError::Type(_))
+            ));
+        }
     }
 
     #[test]
@@ -603,9 +1267,210 @@ mod tests {
     #[test]
     fn shadowing_ifp_vars() {
         // ifp(x, {1} ∪ ifp(x, x ∪ {2})) — inner binder shadows outer.
-        let inner = AlgExpr::ifp("x", AlgExpr::union(AlgExpr::name("x"), AlgExpr::lit([i(2)])));
+        let inner = AlgExpr::ifp(
+            "x",
+            AlgExpr::union(AlgExpr::name("x"), AlgExpr::lit([i(2)])),
+        );
         let outer = AlgExpr::ifp("x", AlgExpr::union(AlgExpr::lit([i(1)]), inner));
         let out = eval(outer, &Database::new());
         assert_eq!(out, [i(1), i(2)].into_iter().collect());
+    }
+
+    // ---- widened join recognition, one test per recognized shape ----
+
+    fn pairs_db() -> Database {
+        Database::new()
+            .with(
+                "r",
+                Relation::from_pairs([(i(1), i(2)), (i(2), i(2)), (i(3), i(4))]),
+            )
+            .with(
+                "s",
+                Relation::from_pairs([(i(2), i(7)), (i(4), i(7)), (i(4), i(8))]),
+            )
+    }
+
+    /// Oracle: materialize the product and filter with the given tests in
+    /// stages (the unoptimized evaluation order).
+    fn staged_oracle(db: &Database, l: &str, r: &str, tests: &[FuncExpr]) -> BTreeSet<Value> {
+        let mut cur = BTreeSet::new();
+        for x in db.get(l).unwrap().iter() {
+            for y in db.get(r).unwrap().iter() {
+                cur.insert(tuple_concat(x, y));
+            }
+        }
+        for t in tests {
+            cur.retain(|v| t.test(v).unwrap());
+        }
+        cur
+    }
+
+    fn eq(ci: usize, cj: usize) -> FuncExpr {
+        FuncExpr::Cmp(
+            CmpOp::Eq,
+            Box::new(FuncExpr::proj(ci)),
+            Box::new(FuncExpr::proj(cj)),
+        )
+    }
+
+    #[test]
+    fn widened_join_conjunctive_test() {
+        // σ_{x.1=x.2 ∧ x.1=x.0}(r × s): two equalities in one And.
+        let db = pairs_db();
+        let test = FuncExpr::And(Box::new(eq(1, 2)), Box::new(eq(1, 0)));
+        let got = eval(
+            AlgExpr::select(
+                AlgExpr::product(AlgExpr::name("r"), AlgExpr::name("s")),
+                test.clone(),
+            ),
+            &db,
+        );
+        assert_eq!(got, staged_oracle(&db, "r", "s", &[test]));
+        assert!(got.contains(&Value::tuple([i(2), i(2), i(2), i(7)])));
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn widened_join_equality_plus_residual() {
+        // σ_{x.1=x.2 ∧ x.3 < x.1·…}: equality drives the index, the
+        // comparison residual filters joined tuples.
+        let db = pairs_db();
+        let residual = FuncExpr::Cmp(
+            CmpOp::Lt,
+            Box::new(FuncExpr::proj(0)),
+            Box::new(FuncExpr::proj(3)),
+        );
+        let test = FuncExpr::And(Box::new(eq(1, 2)), Box::new(residual));
+        let got = eval(
+            AlgExpr::select(
+                AlgExpr::product(AlgExpr::name("r"), AlgExpr::name("s")),
+                test.clone(),
+            ),
+            &db,
+        );
+        assert_eq!(got, staged_oracle(&db, "r", "s", &[test]));
+    }
+
+    #[test]
+    fn widened_join_select_chain() {
+        // σ_{x.0 < x.3}(σ_{x.1=x.2}(r × s)): the chain's stages merge
+        // into one indexed join.
+        let db = pairs_db();
+        let outer = FuncExpr::Cmp(
+            CmpOp::Lt,
+            Box::new(FuncExpr::proj(0)),
+            Box::new(FuncExpr::proj(3)),
+        );
+        let got = eval(
+            AlgExpr::select(
+                AlgExpr::select(
+                    AlgExpr::product(AlgExpr::name("r"), AlgExpr::name("s")),
+                    eq(1, 2),
+                ),
+                outer.clone(),
+            ),
+            &db,
+        );
+        assert_eq!(got, staged_oracle(&db, "r", "s", &[eq(1, 2), outer]));
+    }
+
+    #[test]
+    fn widened_join_nested_product() {
+        // σ_{x.3=x.4}((r × r) × s): the left operand is itself a product;
+        // the equality straddles the outer boundary and is indexed.
+        let db = pairs_db();
+        let got = eval(
+            AlgExpr::select(
+                AlgExpr::product(
+                    AlgExpr::product(AlgExpr::name("r"), AlgExpr::name("r")),
+                    AlgExpr::name("s"),
+                ),
+                eq(3, 4),
+            ),
+            &db,
+        );
+        // oracle over the 3-way product
+        let mut expect = BTreeSet::new();
+        for a in db.get("r").unwrap().iter() {
+            for b in db.get("r").unwrap().iter() {
+                for c in db.get("s").unwrap().iter() {
+                    let v = tuple_concat(&tuple_concat(a, b), c);
+                    if eq(3, 4).test(&v).unwrap() {
+                        expect.insert(v);
+                    }
+                }
+            }
+        }
+        assert_eq!(got, expect);
+        assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn select_chain_out_of_range_only_errors_like_staged_fallback() {
+        // σ_{x.5=x.0}(σ_{x.0=x.1}(r × s)): x.5 is out of range for every
+        // pair, but the *staged* fallback only evaluates the outer test
+        // on inner survivors. With no survivors there is no error — the
+        // widened path must not introduce one.
+        let db = Database::new()
+            .with("r", Relation::from_pairs([(i(1), i(2))]))
+            .with("s", Relation::from_pairs([(i(3), i(4))]));
+        let chain = AlgExpr::select(
+            AlgExpr::select(
+                AlgExpr::product(AlgExpr::name("r"), AlgExpr::name("s")),
+                eq(0, 1), // (1,2,…) never satisfies x.0=x.1 → no survivors
+            ),
+            eq(5, 0),
+        );
+        let out = eval(chain, &db);
+        assert!(out.is_empty());
+        // Same projections in a single conjunction DO error (every
+        // conjunct is evaluated on every pair).
+        let single = AlgExpr::select(
+            AlgExpr::product(AlgExpr::name("r"), AlgExpr::name("s")),
+            FuncExpr::And(Box::new(eq(0, 1)), Box::new(eq(5, 0))),
+        );
+        for opts in [EvalOptions::OPTIMIZED, EvalOptions::BASELINE] {
+            assert!(matches!(
+                eval_exact_with(&AlgProgram::query(single.clone()), &db, Budget::SMALL, opts),
+                Err(CoreError::Type(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn delta_ifp_agrees_with_naive_on_non_monotone_body() {
+        // IFP body with the variable inside a double subtraction —
+        // delta-ineligible, must fall back and agree with baseline.
+        let e = AlgExpr::ifp(
+            "x",
+            AlgExpr::union(
+                AlgExpr::lit([i(1)]),
+                AlgExpr::diff(
+                    AlgExpr::lit([i(2), i(3)]),
+                    AlgExpr::diff(AlgExpr::lit([i(3)]), AlgExpr::name("x")),
+                ),
+            ),
+        );
+        let out = eval(e, &Database::new());
+        assert!(out.contains(&i(1)));
+        assert!(out.contains(&i(2)));
+    }
+
+    #[test]
+    fn delta_ifp_tc_agrees_with_baseline_on_longer_chain() {
+        // A 12-node chain: the semi-naive loop must produce exactly the
+        // same closure as the naive loop (checked inside `eval`).
+        let edges: Vec<(i64, i64)> = (1..12).map(|k| (k, k + 1)).collect();
+        let join = AlgExpr::map(
+            AlgExpr::select(
+                AlgExpr::product(AlgExpr::name("x"), AlgExpr::name("edge")),
+                eq(1, 2),
+            ),
+            FuncExpr::Tuple(vec![FuncExpr::proj(0), FuncExpr::proj(3)]),
+        );
+        let tc = AlgExpr::ifp("x", AlgExpr::union(AlgExpr::name("edge"), join));
+        let out = eval(tc, &db_edges(&edges));
+        assert_eq!(out.len(), 11 * 12 / 2);
+        assert!(out.contains(&Value::pair(i(1), i(12))));
     }
 }

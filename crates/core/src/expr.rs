@@ -166,10 +166,7 @@ impl FuncExpr {
             FuncExpr::Elem => Ok(x.clone()),
             FuncExpr::Lit(v) => Ok(v.clone()),
             FuncExpr::Tuple(items) => Ok(Value::Tuple(
-                items
-                    .iter()
-                    .map(|e| e.eval(x))
-                    .collect::<Result<_, _>>()?,
+                items.iter().map(|e| e.eval(x)).collect::<Result<_, _>>()?,
             )),
             FuncExpr::Proj(e, i) => {
                 let v = e.eval(x)?;
@@ -182,16 +179,11 @@ impl FuncExpr {
                 }
             }
             FuncExpr::App(op, items) => {
-                let args: Vec<Value> = items
-                    .iter()
-                    .map(|e| e.eval(x))
-                    .collect::<Result<_, _>>()?;
+                let args: Vec<Value> = items.iter().map(|e| e.eval(x)).collect::<Result<_, _>>()?;
                 op.apply(&args)
                     .ok_or_else(|| TypeError(format!("{}({args:?})", op.name())))
             }
-            FuncExpr::Cmp(op, l, r) => {
-                Ok(Value::Bool(op.eval(&l.eval(x)?, &r.eval(x)?)))
-            }
+            FuncExpr::Cmp(op, l, r) => Ok(Value::Bool(op.eval(&l.eval(x)?, &r.eval(x)?))),
             FuncExpr::And(l, r) => match (l.eval(x)?, r.eval(x)?) {
                 (Value::Bool(a), Value::Bool(b)) => Ok(Value::Bool(a && b)),
                 _ => Err(TypeError("`and` on non-booleans".into())),
@@ -376,8 +368,10 @@ impl AlgExpr {
     }
 
     /// Returns (occurs at even diff-nesting, occurs at odd diff-nesting),
-    /// starting from `negated` polarity.
-    fn polarity_scan(&self, name: &str, negated: bool) -> (bool, bool) {
+    /// starting from `negated` polarity. Crate-visible: the evaluator's
+    /// loop-invariant detection needs polarity-aware occurrence checks
+    /// from both polarity starts.
+    pub(crate) fn polarity_scan(&self, name: &str, negated: bool) -> (bool, bool) {
         match self {
             AlgExpr::Name(n) => {
                 if n == name {
@@ -431,9 +425,7 @@ impl AlgExpr {
                 a.is_positive_ifp() && b.is_positive_ifp()
             }
             AlgExpr::Select(a, _) | AlgExpr::Map(a, _) => a.is_positive_ifp(),
-            AlgExpr::Ifp { var, body } => {
-                !body.occurs_negatively(var) && body.is_positive_ifp()
-            }
+            AlgExpr::Ifp { var, body } => !body.occurs_negatively(var) && body.is_positive_ifp(),
             AlgExpr::Apply(_, args) => args.iter().all(AlgExpr::is_positive_ifp),
         }
     }
@@ -528,17 +520,18 @@ mod tests {
         assert_eq!(FuncExpr::proj(1).eval(&x).unwrap(), i(4));
         assert!(FuncExpr::proj(2).eval(&x).is_err());
         assert!(FuncExpr::proj(0).eval(&i(1)).is_err());
-        let plus2 = FuncExpr::App(
-            FuncOp::Add,
-            vec![FuncExpr::Elem, FuncExpr::Lit(i(2))],
-        );
+        let plus2 = FuncExpr::App(FuncOp::Add, vec![FuncExpr::Elem, FuncExpr::Lit(i(2))]);
         assert_eq!(plus2.eval(&i(5)).unwrap(), i(7));
         assert!(plus2.eval(&Value::str("a")).is_err());
     }
 
     #[test]
     fn funcexpr_tests() {
-        let lt5 = FuncExpr::Cmp(CmpOp::Lt, Box::new(FuncExpr::Elem), Box::new(FuncExpr::Lit(i(5))));
+        let lt5 = FuncExpr::Cmp(
+            CmpOp::Lt,
+            Box::new(FuncExpr::Elem),
+            Box::new(FuncExpr::Lit(i(5))),
+        );
         assert!(lt5.test(&i(3)).unwrap());
         assert!(!lt5.test(&i(7)).unwrap());
         let both = FuncExpr::And(
@@ -639,7 +632,11 @@ mod tests {
         assert_eq!(l.to_string(), "{1, 2}");
         let s = AlgExpr::select(
             AlgExpr::name("r"),
-            FuncExpr::Cmp(CmpOp::Eq, Box::new(FuncExpr::Elem), Box::new(FuncExpr::Lit(i(1)))),
+            FuncExpr::Cmp(
+                CmpOp::Eq,
+                Box::new(FuncExpr::Elem),
+                Box::new(FuncExpr::Lit(i(1))),
+            ),
         );
         assert_eq!(s.to_string(), "select(r, x = 1)");
     }

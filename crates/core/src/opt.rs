@@ -33,9 +33,7 @@ impl FuncExpr {
         match self {
             FuncExpr::Elem => f.clone(),
             FuncExpr::Lit(v) => FuncExpr::Lit(v.clone()),
-            FuncExpr::Tuple(items) => {
-                FuncExpr::Tuple(items.iter().map(|e| e.compose(f)).collect())
-            }
+            FuncExpr::Tuple(items) => FuncExpr::Tuple(items.iter().map(|e| e.compose(f)).collect()),
             FuncExpr::Proj(e, i) => FuncExpr::Proj(Box::new(e.compose(f)), *i),
             FuncExpr::App(op, items) => {
                 FuncExpr::App(*op, items.iter().map(|e| e.compose(f)).collect())
@@ -43,12 +41,8 @@ impl FuncExpr {
             FuncExpr::Cmp(op, l, r) => {
                 FuncExpr::Cmp(*op, Box::new(l.compose(f)), Box::new(r.compose(f)))
             }
-            FuncExpr::And(l, r) => {
-                FuncExpr::And(Box::new(l.compose(f)), Box::new(r.compose(f)))
-            }
-            FuncExpr::Or(l, r) => {
-                FuncExpr::Or(Box::new(l.compose(f)), Box::new(r.compose(f)))
-            }
+            FuncExpr::And(l, r) => FuncExpr::And(Box::new(l.compose(f)), Box::new(r.compose(f))),
+            FuncExpr::Or(l, r) => FuncExpr::Or(Box::new(l.compose(f)), Box::new(r.compose(f))),
             FuncExpr::Not(e) => FuncExpr::Not(Box::new(e.compose(f))),
         }
     }
@@ -120,10 +114,9 @@ fn pass(e: &AlgExpr) -> AlgExpr {
                         }
                     }
                     // σ_t2(σ_t1(e)) → σ_{t1 ∧ t2}(e)
-                    AlgExpr::Select(inner, t1) => AlgExpr::select(
-                        *inner,
-                        FuncExpr::And(Box::new(t1), Box::new(t.clone())),
-                    ),
+                    AlgExpr::Select(inner, t1) => {
+                        AlgExpr::select(*inner, FuncExpr::And(Box::new(t1), Box::new(t.clone())))
+                    }
                     other => AlgExpr::select(other, t.clone()),
                 },
             }
@@ -135,8 +128,7 @@ fn pass(e: &AlgExpr) -> AlgExpr {
             }
             match a {
                 AlgExpr::Lit(items) => {
-                    let folded: Result<BTreeSet<_>, _> =
-                        items.iter().map(|v| f.eval(v)).collect();
+                    let folded: Result<BTreeSet<_>, _> = items.iter().map(|v| f.eval(v)).collect();
                     match folded {
                         Ok(set) => AlgExpr::Lit(set),
                         Err(_) => AlgExpr::map(AlgExpr::Lit(items), f.clone()),
@@ -151,9 +143,7 @@ fn pass(e: &AlgExpr) -> AlgExpr {
             var: var.clone(),
             body: Box::new(pass(body)),
         },
-        AlgExpr::Apply(name, args) => {
-            AlgExpr::Apply(name.clone(), args.iter().map(pass).collect())
-        }
+        AlgExpr::Apply(name, args) => AlgExpr::Apply(name.clone(), args.iter().map(pass).collect()),
     }
 }
 
@@ -214,13 +204,19 @@ mod tests {
             simplify(&AlgExpr::diff(AlgExpr::name("r"), empty())),
             AlgExpr::name("r")
         );
-        assert_eq!(simplify(&AlgExpr::diff(empty(), AlgExpr::name("r"))), empty());
+        assert_eq!(
+            simplify(&AlgExpr::diff(empty(), AlgExpr::name("r"))),
+            empty()
+        );
         assert_eq!(
             simplify(&AlgExpr::product(empty(), AlgExpr::name("r"))),
             empty()
         );
         assert_eq!(
-            simplify(&AlgExpr::diff(AlgExpr::lit([i(1), i(2)]), AlgExpr::lit([i(2)]))),
+            simplify(&AlgExpr::diff(
+                AlgExpr::lit([i(1), i(2)]),
+                AlgExpr::lit([i(2)])
+            )),
             AlgExpr::lit([i(1)])
         );
         // e − e is NOT rewritten (three-valued soundness)
@@ -237,21 +233,36 @@ mod tests {
             AlgExpr::name("r")
         );
         assert_eq!(simplify(&AlgExpr::select(AlgExpr::name("r"), ff)), empty());
-        let t1 = FuncExpr::Cmp(CmpOp::Lt, Box::new(FuncExpr::Elem), Box::new(FuncExpr::Lit(i(5))));
-        let t2 = FuncExpr::Cmp(CmpOp::Gt, Box::new(FuncExpr::Elem), Box::new(FuncExpr::Lit(i(1))));
+        let t1 = FuncExpr::Cmp(
+            CmpOp::Lt,
+            Box::new(FuncExpr::Elem),
+            Box::new(FuncExpr::Lit(i(5))),
+        );
+        let t2 = FuncExpr::Cmp(
+            CmpOp::Gt,
+            Box::new(FuncExpr::Elem),
+            Box::new(FuncExpr::Lit(i(1))),
+        );
         let fused = simplify(&AlgExpr::select(
             AlgExpr::select(AlgExpr::name("r"), t1.clone()),
             t2.clone(),
         ));
         assert_eq!(
             fused,
-            AlgExpr::select(AlgExpr::name("r"), FuncExpr::And(Box::new(t1), Box::new(t2)))
+            AlgExpr::select(
+                AlgExpr::name("r"),
+                FuncExpr::And(Box::new(t1), Box::new(t2))
+            )
         );
     }
 
     #[test]
     fn select_constant_folding() {
-        let t = FuncExpr::Cmp(CmpOp::Lt, Box::new(FuncExpr::Elem), Box::new(FuncExpr::Lit(i(2))));
+        let t = FuncExpr::Cmp(
+            CmpOp::Lt,
+            Box::new(FuncExpr::Elem),
+            Box::new(FuncExpr::Lit(i(2))),
+        );
         let e = AlgExpr::select(AlgExpr::lit([i(1), i(2), i(3)]), t);
         assert_eq!(simplify(&e), AlgExpr::lit([i(1)]));
         // folding is skipped when the test would error
@@ -301,10 +312,7 @@ mod tests {
     fn simplify_preserves_semantics_on_samples() {
         use crate::eval::eval_exact;
         use algrec_value::{Budget, Database, Relation};
-        let db = Database::new().with(
-            "edge",
-            Relation::from_pairs([(i(1), i(2)), (i(2), i(3))]),
-        );
+        let db = Database::new().with("edge", Relation::from_pairs([(i(1), i(2)), (i(2), i(3))]));
         for src in [
             "query map(map(edge, [x.1, x.0]), x.0);",
             "query select(select(edge, x.0 < 3), x.1 > 1) union {};",

@@ -62,7 +62,13 @@ impl fmt::Display for OpDef {
         if self.params.is_empty() {
             write!(f, "def {} = {};", self.name, self.body)
         } else {
-            write!(f, "def {}({}) = {};", self.name, self.params.join(", "), self.body)
+            write!(
+                f,
+                "def {}({}) = {};",
+                self.name,
+                self.params.join(", "),
+                self.body
+            )
         }
     }
 }
@@ -88,10 +94,7 @@ impl AlgProgram {
     /// Build and validate (Section 3.2's restrictions): one equation per
     /// name, and each body's free names must be parameters, defined
     /// operations, or external (database) relations.
-    pub fn new(
-        defs: impl IntoIterator<Item = OpDef>,
-        query: AlgExpr,
-    ) -> Result<Self, CoreError> {
+    pub fn new(defs: impl IntoIterator<Item = OpDef>, query: AlgExpr) -> Result<Self, CoreError> {
         let defs: Vec<OpDef> = defs.into_iter().collect();
         let mut seen = BTreeSet::new();
         for d in &defs {
@@ -244,21 +247,16 @@ impl AlgProgram {
                     None => expr.clone(),
                 },
                 AlgExpr::Lit(_) => expr.clone(),
-                AlgExpr::Union(a, b) => AlgExpr::union(
-                    expand(a, nonrec, depth)?,
-                    expand(b, nonrec, depth)?,
-                ),
-                AlgExpr::Diff(a, b) => AlgExpr::diff(
-                    expand(a, nonrec, depth)?,
-                    expand(b, nonrec, depth)?,
-                ),
-                AlgExpr::Product(a, b) => AlgExpr::product(
-                    expand(a, nonrec, depth)?,
-                    expand(b, nonrec, depth)?,
-                ),
-                AlgExpr::Select(a, t) => {
-                    AlgExpr::select(expand(a, nonrec, depth)?, t.clone())
+                AlgExpr::Union(a, b) => {
+                    AlgExpr::union(expand(a, nonrec, depth)?, expand(b, nonrec, depth)?)
                 }
+                AlgExpr::Diff(a, b) => {
+                    AlgExpr::diff(expand(a, nonrec, depth)?, expand(b, nonrec, depth)?)
+                }
+                AlgExpr::Product(a, b) => {
+                    AlgExpr::product(expand(a, nonrec, depth)?, expand(b, nonrec, depth)?)
+                }
+                AlgExpr::Select(a, t) => AlgExpr::select(expand(a, nonrec, depth)?, t.clone()),
                 AlgExpr::Map(a, f) => AlgExpr::map(expand(a, nonrec, depth)?, f.clone()),
                 AlgExpr::Ifp { var, body } => AlgExpr::Ifp {
                     var: var.clone(),
@@ -279,12 +277,8 @@ impl AlgProgram {
                                     args.len()
                                 )));
                             }
-                            let map: BTreeMap<String, AlgExpr> = d
-                                .params
-                                .iter()
-                                .cloned()
-                                .zip(args)
-                                .collect();
+                            let map: BTreeMap<String, AlgExpr> =
+                                d.params.iter().cloned().zip(args).collect();
                             expand(&d.body.substitute(&map), nonrec, depth + 1)?
                         }
                         None if args.is_empty() => AlgExpr::Name(name.clone()),
@@ -365,11 +359,7 @@ mod tests {
 
     #[test]
     fn validation_rejects_double_definition() {
-        let err = AlgProgram::new(
-            [win_def(), win_def()],
-            AlgExpr::name("win"),
-        )
-        .unwrap_err();
+        let err = AlgProgram::new([win_def(), win_def()], AlgExpr::name("win")).unwrap_err();
         assert!(matches!(err, CoreError::Invalid(_)));
     }
 
@@ -413,10 +403,7 @@ mod tests {
     fn inline_expands_nonrecursive() {
         let p = AlgProgram::new(
             [inter_def()],
-            AlgExpr::Apply(
-                "inter".into(),
-                vec![AlgExpr::name("r"), AlgExpr::name("s")],
-            ),
+            AlgExpr::Apply("inter".into(), vec![AlgExpr::name("r"), AlgExpr::name("s")]),
         )
         .unwrap();
         let inlined = p.inline().unwrap();
@@ -449,8 +436,7 @@ mod tests {
                 AlgExpr::Apply("f".into(), vec![AlgExpr::name("x")]),
             ),
         );
-        let p = AlgProgram::new([f], AlgExpr::Apply("f".into(), vec![AlgExpr::name("r")]))
-            .unwrap();
+        let p = AlgProgram::new([f], AlgExpr::Apply("f".into(), vec![AlgExpr::name("r")])).unwrap();
         assert!(matches!(p.inline(), Err(CoreError::Unsupported(_))));
     }
 

@@ -18,14 +18,32 @@
 //! shows is undecidable to rule out syntactically, and which this
 //! evaluator therefore detects at runtime: `S = {a} − S` reports
 //! `MEM(a, S) = Unknown`, never a made-up answer.
+//!
+//! # Evaluation strategy
+//!
+//! Within one inner least fixpoint the subtracted side is *fixed*: every
+//! equation reads the varying environment only at positive polarity, so
+//! the iteration operator is monotone and its iterates increase from the
+//! empty environment. Under [`EvalOptions::delta`] each equation whose
+//! body admits delta rules (no positive-polarity read of a recursive
+//! constant inside a difference right-side) is therefore advanced
+//! semi-naively — iteration k evaluates the body's *delta* against the
+//! facts iteration k−1 added, Jacobi-style (all equations read the
+//! start-of-iteration environment, additions are applied after the
+//! sweep). Equations outside the fragment fall back to full
+//! re-evaluation. Join indexes and the values of subexpressions that do
+//! not mention any recursive constant are cached across iterations (and,
+//! for fully invariant expressions, across alternation rounds). All of it
+//! is observation-equivalent to the naive evaluation.
 
-use crate::eval::{eval_polar, SetEnv};
+use crate::eval::{EvalOptions, Evaluator, SetEnv, SetRef};
 use crate::expr::AlgExpr;
 use crate::program::AlgProgram;
 use crate::CoreError;
 use algrec_value::budget::Meter;
-use algrec_value::{Budget, Database, Truth, TvSet, Value};
-use std::collections::BTreeMap;
+use algrec_value::{Budget, Database, Symbol, Truth, TvSet, Value};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// The result of valid evaluation: three-valued sets for every recursive
 /// constant and for the query.
@@ -83,12 +101,88 @@ fn check_no_ifp_over_recursion(expr: &AlgExpr, rec: &[String]) -> Result<(), Cor
     }
 }
 
+/// The inner least fixpoint of the equation system with the subtracted
+/// side fixed to `fixed_neg`. Runs inside its own fixpoint context so
+/// caches live exactly as long as their invariants hold.
+fn lfp(
+    ev: &mut Evaluator<'_>,
+    defs: &[(Symbol, &AlgExpr)],
+    fixed_neg: &SetEnv,
+    meter: &mut Meter,
+) -> Result<SetEnv, CoreError> {
+    let rec_syms: Vec<Symbol> = defs.iter().map(|(s, _)| *s).collect();
+    // Positive-only: within this fixpoint, negative occurrences of the
+    // recursive constants read `fixed_neg`, so only positive occurrences
+    // see varying state.
+    ev.push_ctx(rec_syms, true);
+    let result = lfp_loop(ev, defs, fixed_neg, meter);
+    ev.pop_ctx();
+    result
+}
+
+fn lfp_loop(
+    ev: &mut Evaluator<'_>,
+    defs: &[(Symbol, &AlgExpr)],
+    fixed_neg: &SetEnv,
+    meter: &mut Meter,
+) -> Result<SetEnv, CoreError> {
+    let eligible: Vec<bool> = defs
+        .iter()
+        .map(|(_, body)| ev.opts.delta && ev.delta_ok(body, true))
+        .collect();
+    let mut env: SetEnv = defs.iter().map(|(s, _)| (*s, SetRef::default())).collect();
+    let mut deltas: BTreeMap<Symbol, BTreeSet<Value>> = BTreeMap::new();
+    let mut first = true;
+    loop {
+        meter.tick_iteration()?;
+        let mut new_deltas: BTreeMap<Symbol, BTreeSet<Value>> = BTreeMap::new();
+        let mut changed = false;
+        for (k, (sym, body)) in defs.iter().enumerate() {
+            let current = &env[sym];
+            let add: BTreeSet<Value> = if first || !eligible[k] {
+                let full = ev.eval(body, &env, fixed_neg, true, meter)?;
+                full.difference(current).cloned().collect()
+            } else {
+                let d = ev.eval_delta(body, &env, fixed_neg, &deltas, true, meter)?;
+                d.into_iter().filter(|v| !current.contains(v)).collect()
+            };
+            changed |= !add.is_empty();
+            new_deltas.insert(*sym, add);
+        }
+        if !changed {
+            return Ok(env);
+        }
+        // Jacobi update: every equation above read the start-of-iteration
+        // environment; merge the additions only now.
+        for (sym, add) in &new_deltas {
+            if !add.is_empty() {
+                meter.add_facts(add.len())?;
+                Arc::make_mut(env.get_mut(sym).expect("env has all defs"))
+                    .extend(add.iter().cloned());
+            }
+        }
+        deltas = new_deltas;
+        first = false;
+    }
+}
+
 /// Evaluate a (possibly recursive) algebra program under the valid
-/// semantics.
+/// semantics with the default (fully optimized) strategy.
 pub fn eval_valid(
     program: &AlgProgram,
     db: &Database,
     budget: Budget,
+) -> Result<ValidAlgebraResult, CoreError> {
+    eval_valid_with(program, db, budget, EvalOptions::default())
+}
+
+/// [`eval_valid`] with explicit strategy options (ablation and agreement
+/// testing).
+pub fn eval_valid_with(
+    program: &AlgProgram,
+    db: &Database,
+    budget: Budget,
+    opts: EvalOptions,
 ) -> Result<ValidAlgebraResult, CoreError> {
     let inlined = program.inline()?;
     let rec_names: Vec<String> = inlined.defs.iter().map(|d| d.name.clone()).collect();
@@ -98,67 +192,40 @@ pub fn eval_valid(
     check_no_ifp_over_recursion(&inlined.query, &rec_names)?;
 
     let mut meter = budget.meter();
+    let mut ev = Evaluator::new(db, opts);
 
     // Non-recursive program: exact evaluation, trivially two-valued.
     if inlined.defs.is_empty() {
         let empty = SetEnv::new();
-        let q = eval_polar(
-            &inlined.query,
-            &empty,
-            &empty,
-            &mut Vec::new(),
-            db,
-            &mut meter,
-            true,
-        )?;
+        let q = ev.eval(&inlined.query, &empty, &empty, true, &mut meter)?;
         return Ok(ValidAlgebraResult {
             constants: BTreeMap::new(),
-            query: TvSet::exact(q),
+            query: TvSet::exact((*q).clone()),
             outer_rounds: 0,
         });
     }
 
-    // Inner least fixpoint of the system with the "subtracted side" fixed.
-    let lfp = |fixed_neg: &SetEnv, meter: &mut Meter| -> Result<SetEnv, CoreError> {
-        let mut env: SetEnv = rec_names
-            .iter()
-            .map(|n| (n.clone(), Default::default()))
-            .collect();
-        loop {
-            meter.tick_iteration()?;
-            let mut next = SetEnv::new();
-            for d in &inlined.defs {
-                let v = eval_polar(
-                    &d.body,
-                    &env,
-                    fixed_neg,
-                    &mut Vec::new(),
-                    db,
-                    meter,
-                    true,
-                )?;
-                next.insert(d.name.clone(), v);
-            }
-            if next == env {
-                return Ok(env);
-            }
-            env = next;
-        }
-    };
+    let defs: Vec<(Symbol, &AlgExpr)> = inlined
+        .defs
+        .iter()
+        .map(|d| (Symbol::of(&d.name), &d.body))
+        .collect();
+    let rec_syms: Vec<Symbol> = defs.iter().map(|(s, _)| *s).collect();
+    // Whole-run context: expressions not mentioning any recursive
+    // constant at all are cached across inner fixpoints, alternation
+    // rounds and the final query passes.
+    ev.push_ctx(rec_syms.clone(), false);
 
     // Alternating fixpoint.
-    let mut certain: SetEnv = rec_names
-        .iter()
-        .map(|n| (n.clone(), Default::default()))
-        .collect();
+    let mut certain: SetEnv = rec_syms.iter().map(|s| (*s, SetRef::default())).collect();
     let mut outer_rounds = 0usize;
     let possible = loop {
         outer_rounds += 1;
         meter.tick_iteration()?;
         // Possible pass: subtracted sets read the certain bound.
-        let possible = lfp(&certain, &mut meter)?;
+        let possible = lfp(&mut ev, &defs, &certain, &mut meter)?;
         // Certain pass: subtracted sets read the possible bound.
-        let next_certain = lfp(&possible, &mut meter)?;
+        let next_certain = lfp(&mut ev, &defs, &possible, &mut meter)?;
         if next_certain == certain {
             break possible;
         }
@@ -167,8 +234,9 @@ pub fn eval_valid(
 
     let mut constants = BTreeMap::new();
     for name in &rec_names {
-        let lower = certain[name].clone();
-        let mut upper = possible[name].clone();
+        let sym = Symbol::of(name);
+        let lower = (*certain[&sym]).clone();
+        let mut upper = (*possible[&sym]).clone();
         // The bounds are nested at convergence; keep the invariant robust
         // against budget-truncated runs.
         upper.extend(lower.iter().cloned());
@@ -180,24 +248,8 @@ pub fn eval_valid(
 
     // Query: lower bound reads (certain positively, possible negatively),
     // upper bound the reverse.
-    let q_lower = eval_polar(
-        &inlined.query,
-        &certain,
-        &possible,
-        &mut Vec::new(),
-        db,
-        &mut meter,
-        true,
-    )?;
-    let mut q_upper = eval_polar(
-        &inlined.query,
-        &possible,
-        &certain,
-        &mut Vec::new(),
-        db,
-        &mut meter,
-        true,
-    )?;
+    let q_lower = (*ev.eval(&inlined.query, &certain, &possible, true, &mut meter)?).clone();
+    let mut q_upper = (*ev.eval(&inlined.query, &possible, &certain, true, &mut meter)?).clone();
     q_upper.extend(q_lower.iter().cloned());
     Ok(ValidAlgebraResult {
         constants,
@@ -222,6 +274,17 @@ mod tests {
             "move",
             Relation::from_pairs(pairs.iter().map(|(a, b)| (i(*a), i(*b)))),
         )
+    }
+
+    /// Run optimized and baseline, assert full agreement (bounds and
+    /// rounds), and return the optimized result.
+    fn eval_both(p: &AlgProgram, db: &Database) -> ValidAlgebraResult {
+        let opt = eval_valid_with(p, db, Budget::SMALL, EvalOptions::OPTIMIZED).unwrap();
+        let base = eval_valid_with(p, db, Budget::SMALL, EvalOptions::BASELINE).unwrap();
+        assert_eq!(opt.query, base.query, "query bounds disagree");
+        assert_eq!(opt.constants, base.constants, "constant bounds disagree");
+        assert_eq!(opt.outer_rounds, base.outer_rounds, "alternation disagrees");
+        opt
     }
 
     /// WIN = π₁(MOVE − (π₁(MOVE) × WIN))   (Example 3).
@@ -257,7 +320,7 @@ mod tests {
             AlgExpr::name("s"),
         )
         .unwrap();
-        let out = eval_valid(&p, &Database::new(), Budget::SMALL).unwrap();
+        let out = eval_both(&p, &Database::new());
         assert_eq!(out.member(&Value::str("a")), Truth::Unknown);
         assert!(!out.is_well_defined());
     }
@@ -265,7 +328,7 @@ mod tests {
     #[test]
     fn win_acyclic_well_defined() {
         // 1 → 2 → 3: win(2) only.
-        let out = eval_valid(&win_program(), &move_db(&[(1, 2), (2, 3)]), Budget::SMALL).unwrap();
+        let out = eval_both(&win_program(), &move_db(&[(1, 2), (2, 3)]));
         assert!(out.is_well_defined());
         assert_eq!(out.member(&i(2)), Truth::True);
         assert_eq!(out.member(&i(1)), Truth::False);
@@ -276,19 +339,14 @@ mod tests {
     fn win_self_loop_undefined() {
         // "If the MOVE relation contains the tuple [a, a], then the
         // membership status of a in WIN will be undefined" (Section 3.2).
-        let out = eval_valid(&win_program(), &move_db(&[(7, 7)]), Budget::SMALL).unwrap();
+        let out = eval_both(&win_program(), &move_db(&[(7, 7)]));
         assert_eq!(out.member(&i(7)), Truth::Unknown);
         assert!(!out.is_well_defined());
     }
 
     #[test]
     fn win_cycle_with_escape_defined() {
-        let out = eval_valid(
-            &win_program(),
-            &move_db(&[(1, 2), (2, 1), (2, 3)]),
-            Budget::SMALL,
-        )
-        .unwrap();
+        let out = eval_both(&win_program(), &move_db(&[(1, 2), (2, 1), (2, 3)]));
         assert!(out.is_well_defined());
         assert_eq!(out.member(&i(2)), Truth::True);
         assert_eq!(out.member(&i(1)), Truth::False);
@@ -319,7 +377,7 @@ mod tests {
             AlgExpr::name("se"),
         )
         .unwrap();
-        let out = eval_valid(&p, &Database::new(), Budget::SMALL).unwrap();
+        let out = eval_both(&p, &Database::new());
         assert!(out.is_well_defined());
         assert_eq!(out.member(&i(0)), Truth::True);
         assert_eq!(out.member(&i(4)), Truth::True);
@@ -338,7 +396,7 @@ mod tests {
             AlgExpr::name("s"),
         )
         .unwrap();
-        let out = eval_valid(&p, &Database::new(), Budget::SMALL).unwrap();
+        let out = eval_both(&p, &Database::new());
         assert!(out.is_well_defined());
         assert_eq!(out.query.upper_len(), 0);
     }
@@ -365,14 +423,45 @@ mod tests {
             AlgExpr::name("tc"),
         )
         .unwrap();
-        let db = Database::new().with(
-            "edge",
-            Relation::from_pairs([(i(1), i(2)), (i(2), i(3))]),
-        );
-        let out = eval_valid(&p, &db, Budget::SMALL).unwrap();
+        let db = Database::new().with("edge", Relation::from_pairs([(i(1), i(2)), (i(2), i(3))]));
+        let out = eval_both(&p, &db);
         assert!(out.is_well_defined());
         assert_eq!(out.member(&Value::pair(i(1), i(3))), Truth::True);
         assert_eq!(out.query.lower_len(), 3);
+    }
+
+    #[test]
+    fn delta_lfp_tc_long_chain_agrees() {
+        // Larger positive recursion: the semi-naive inner fixpoint must
+        // produce exactly the naive closure.
+        let join = AlgExpr::map(
+            AlgExpr::select(
+                AlgExpr::product(AlgExpr::name("tc"), AlgExpr::name("edge")),
+                FuncExpr::Cmp(
+                    CmpOp::Eq,
+                    Box::new(FuncExpr::proj(1)),
+                    Box::new(FuncExpr::proj(2)),
+                ),
+            ),
+            FuncExpr::Tuple(vec![FuncExpr::proj(0), FuncExpr::proj(3)]),
+        );
+        let p = AlgProgram::new(
+            [OpDef::constant(
+                "tc",
+                AlgExpr::union(AlgExpr::name("edge"), join),
+            )],
+            AlgExpr::name("tc"),
+        )
+        .unwrap();
+        let edges: Vec<(i64, i64)> = (1..16).map(|k| (k, k + 1)).collect();
+        let db = Database::new().with(
+            "edge",
+            Relation::from_pairs(edges.iter().map(|(a, b)| (i(*a), i(*b)))),
+        );
+        let out = eval_both(&p, &db);
+        assert!(out.is_well_defined());
+        assert_eq!(out.query.lower_len(), 15 * 16 / 2);
+        assert_eq!(out.member(&Value::pair(i(1), i(16))), Truth::True);
     }
 
     #[test]
@@ -387,7 +476,7 @@ mod tests {
         )
         .unwrap();
         let db = Database::new().with("d", Relation::from_values([Value::str("a")]));
-        let out = eval_valid(&p, &db, Budget::SMALL).unwrap();
+        let out = eval_both(&p, &db);
         assert_eq!(out.member(&Value::str("a")), Truth::Unknown);
         assert_eq!(out.constants["q"].member(&Value::str("a")), Truth::Unknown);
     }
@@ -405,9 +494,11 @@ mod tests {
             AlgExpr::diff(AlgExpr::name("d"), AlgExpr::name("s")),
         )
         .unwrap();
-        let db = Database::new()
-            .with("d", Relation::from_values([Value::str("a"), Value::str("b")]));
-        let out = eval_valid(&p, &db, Budget::SMALL).unwrap();
+        let db = Database::new().with(
+            "d",
+            Relation::from_values([Value::str("a"), Value::str("b")]),
+        );
+        let out = eval_both(&p, &db);
         assert_eq!(out.member(&Value::str("a")), Truth::Unknown);
         assert_eq!(out.member(&Value::str("b")), Truth::True);
     }
@@ -441,7 +532,7 @@ mod tests {
         )
         .unwrap();
         let db = Database::new().with("edge", Relation::from_values([i(1)]));
-        let out = eval_valid(&p, &db, Budget::SMALL).unwrap();
+        let out = eval_both(&p, &db);
         // s = {1} − s: membership of 1 undefined.
         assert_eq!(out.member(&i(1)), Truth::Unknown);
     }
@@ -449,9 +540,34 @@ mod tests {
     #[test]
     fn nonrecursive_program_is_exact() {
         let p = AlgProgram::query(AlgExpr::lit([i(1), i(2)]));
-        let out = eval_valid(&p, &Database::new(), Budget::SMALL).unwrap();
+        let out = eval_both(&p, &Database::new());
         assert!(out.is_well_defined());
         assert_eq!(out.query.lower_len(), 2);
         assert_eq!(out.outer_rounds, 0);
+    }
+
+    #[test]
+    fn double_negation_def_is_delta_ineligible_but_agrees() {
+        // s = d − (d − s): s occurs positively but inside a difference
+        // right-side, so the equation is outside the delta fragment and
+        // must fall back to full re-evaluation — with identical results.
+        let p = AlgProgram::new(
+            [OpDef::constant(
+                "s",
+                AlgExpr::diff(
+                    AlgExpr::name("d"),
+                    AlgExpr::diff(AlgExpr::name("d"), AlgExpr::name("s")),
+                ),
+            )],
+            AlgExpr::name("s"),
+        )
+        .unwrap();
+        let db = Database::new().with("d", Relation::from_values([Value::str("a")]));
+        let out = eval_both(&p, &db);
+        // s = d ∩ s has least fixpoint ∅ in the certain pass; the
+        // possible pass (reading certain negatively) also derives
+        // nothing: d − (d − ∅) = ∅. Well-defined and empty.
+        assert!(out.is_well_defined());
+        assert_eq!(out.query.upper_len(), 0);
     }
 }

@@ -32,7 +32,14 @@ fn arb_db() -> impl Strategy<Value = Database> {
 fn arb_test() -> impl Strategy<Value = FuncExpr> {
     let atom = (
         prop::sample::select(
-            &[CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge][..],
+            &[
+                CmpOp::Eq,
+                CmpOp::Ne,
+                CmpOp::Lt,
+                CmpOp::Le,
+                CmpOp::Gt,
+                CmpOp::Ge,
+            ][..],
         ),
         prop_oneof![Just(FuncExpr::proj(0)), Just(FuncExpr::proj(1))],
         prop_oneof![
@@ -61,7 +68,9 @@ fn arb_expr() -> impl Strategy<Value = AlgExpr> {
     let leaf = prop_oneof![
         Just(AlgExpr::name("b")),
         prop::collection::btree_set((-4i64..4, -4i64..4), 0..4).prop_map(|s| AlgExpr::Lit(
-            s.into_iter().map(|(x, y)| Value::pair(i(x), i(y))).collect()
+            s.into_iter()
+                .map(|(x, y)| Value::pair(i(x), i(y)))
+                .collect()
         )),
     ];
     leaf.prop_recursive(3, 12, 2, |inner| {

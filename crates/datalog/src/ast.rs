@@ -516,7 +516,10 @@ mod tests {
             Some(Value::Int(6))
         );
         let pair = Value::pair(Value::int(7), Value::int(8));
-        assert_eq!(Func::Proj(1).apply(std::slice::from_ref(&pair)), Some(Value::Int(8)));
+        assert_eq!(
+            Func::Proj(1).apply(std::slice::from_ref(&pair)),
+            Some(Value::Int(8))
+        );
         assert_eq!(Func::Proj(2).apply(std::slice::from_ref(&pair)), None);
         assert_eq!(
             Func::Concat.apply(&[pair.clone(), Value::int(9)]),

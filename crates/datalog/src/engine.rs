@@ -11,8 +11,17 @@
 //! * inflationary: oracle = "not derived *so far*" (Prop 5.1's reading);
 //! * well-founded / valid alternating fixpoint: oracle alternates between
 //!   an underestimate and an overestimate ("cannot be derived *at all*").
+//!
+//! The planner compiles each rule body to slot-resolved form: variables
+//! become indices into a per-rule frame (`Vec<Option<Value>>`), equality
+//! orientation and first-argument probe eligibility are decided once at
+//! plan time, and positive literals with a computable leading argument
+//! probe the interpretation's hashed first-argument index instead of
+//! scanning every fact. The binding-visible API ([`Bindings`],
+//! [`enumerate_bindings`]) is unchanged: grounding reconstructs the named
+//! map from the frame at each emitted match.
 
-use crate::ast::{CmpOp, Expr, Literal, Rule};
+use crate::ast::{CmpOp, Expr, Func, Literal, Rule};
 use crate::error::EvalError;
 use crate::interp::Interp;
 use algrec_value::budget::Meter;
@@ -55,25 +64,11 @@ pub fn eval_expr(e: &Expr, b: &Bindings) -> Result<Value, EvalError> {
 /// whether the match succeeded; bindings may be partially extended on
 /// failure (callers clone).
 pub fn match_expr(e: &Expr, v: &Value, b: &mut Bindings) -> Result<bool, EvalError> {
-    let mut trail = Vec::new();
-    match_expr_trail(e, v, b, &mut trail)
-}
-
-/// [`match_expr`], recording every newly bound variable on `trail` so the
-/// caller can undo the bindings cheaply (the engine's alternative to
-/// cloning the binding map per candidate fact).
-fn match_expr_trail(
-    e: &Expr,
-    v: &Value,
-    b: &mut Bindings,
-    trail: &mut Vec<String>,
-) -> Result<bool, EvalError> {
     match e {
         Expr::Var(name) => match b.get(name) {
             Some(bound) => Ok(bound == v),
             None => {
                 b.insert(name.clone(), v.clone());
-                trail.push(name.clone());
                 Ok(true)
             }
         },
@@ -81,7 +76,7 @@ fn match_expr_trail(
         Expr::Tuple(items) => match v {
             Value::Tuple(vals) if vals.len() == items.len() => {
                 for (e, val) in items.iter().zip(vals) {
-                    if !match_expr_trail(e, val, b, trail)? {
+                    if !match_expr(e, val, b)? {
                         return Ok(false);
                     }
                 }
@@ -94,13 +89,6 @@ fn match_expr_trail(
             // schedules them once their variables are bound.
             Ok(eval_expr(e, b)? == *v)
         }
-    }
-}
-
-fn undo(b: &mut Bindings, trail: &mut Vec<String>, mark: usize) {
-    while trail.len() > mark {
-        let name = trail.pop().expect("trail length checked");
-        b.remove(&name);
     }
 }
 
@@ -120,26 +108,116 @@ fn evaluable(e: &Expr, bound: &dyn Fn(&str) -> bool) -> bool {
     e.vars().iter().all(|v| bound(v))
 }
 
-/// A body evaluation plan: the literal indices in execution order. The
-/// plan exists iff the body can be evaluated left-to-right with every
-/// negative literal, comparison and function application ground when
-/// reached — the operational counterpart of Definition 4.1's range
-/// restriction (see `safety` for the declarative check).
+/// An element expression with every variable resolved to a frame slot —
+/// the compiled counterpart of [`Expr`]. Produced by [`plan_body`];
+/// evaluated and matched against a `Vec<Option<Value>>` frame without any
+/// name lookups or string clones.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SlotExpr {
+    /// A variable occurrence, resolved to its slot in the rule frame.
+    Var(usize),
+    /// A constant.
+    Lit(Value),
+    /// A tuple constructor (forwards) / destructuring pattern (backwards).
+    Tuple(Vec<SlotExpr>),
+    /// A function application; never runs backwards — the planner only
+    /// schedules it once every argument variable is bound.
+    App(Func, Vec<SlotExpr>),
+}
+
+/// A body literal compiled to slot-resolved form with all plan-time
+/// decisions (equality orientation, index-probe eligibility) baked in.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SlotLit {
+    /// A positive atom, matched against the fact source.
+    Pos {
+        /// Predicate name.
+        pred: String,
+        /// Argument patterns.
+        args: Vec<SlotExpr>,
+        /// Whether the leading argument is fully computable from earlier
+        /// literals when this atom is reached — if so, the engine probes
+        /// the interpretation's first-argument hash index instead of
+        /// scanning every fact of the predicate.
+        probe_first: bool,
+    },
+    /// A negative atom: evaluate the arguments, consult the oracle.
+    Neg {
+        /// Predicate name.
+        pred: String,
+        /// Argument expressions (fully evaluable when reached).
+        args: Vec<SlotExpr>,
+    },
+    /// Equality as binder-or-test. Orientation is fixed at plan time:
+    /// `val` is the side evaluable when the literal is reached, `pat` is
+    /// matched against its value (binding any fresh variables).
+    Eq {
+        /// The evaluable side.
+        val: SlotExpr,
+        /// The pattern side.
+        pat: SlotExpr,
+    },
+    /// An ordering comparison; both sides evaluable when reached.
+    Cmp(CmpOp, SlotExpr, SlotExpr),
+}
+
+/// A body evaluation plan: the literal indices in execution order plus the
+/// slot-compiled form of every literal and the head. The plan exists iff
+/// the body can be evaluated left-to-right with every negative literal,
+/// comparison and function application ground when reached — the
+/// operational counterpart of Definition 4.1's range restriction (see
+/// `safety` for the declarative check).
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct BodyPlan {
     /// Indices into `rule.body` in execution order.
     pub order: Vec<usize>,
+    /// The frame's variable names, in slot order (first occurrence during
+    /// scheduling). `vars[i]` is the name bound at frame slot `i`.
+    pub vars: Vec<String>,
+    /// Slot-compiled literals, parallel to `rule.body` (so `order` indexes
+    /// into this vector too).
+    pub body: Vec<SlotLit>,
+    /// Slot-compiled head arguments.
+    pub head: Vec<SlotExpr>,
+}
+
+/// Resolve a variable name to its frame slot, allocating one on first use.
+fn slot_of(vars: &mut Vec<String>, name: &str) -> usize {
+    match vars.iter().position(|v| v == name) {
+        Some(i) => i,
+        None => {
+            vars.push(name.to_string());
+            vars.len() - 1
+        }
+    }
+}
+
+/// Compile an expression to slot form, allocating slots for fresh
+/// variables in first-occurrence order.
+fn compile_expr(e: &Expr, vars: &mut Vec<String>) -> SlotExpr {
+    match e {
+        Expr::Var(name) => SlotExpr::Var(slot_of(vars, name)),
+        Expr::Lit(v) => SlotExpr::Lit(v.clone()),
+        Expr::Tuple(items) => {
+            SlotExpr::Tuple(items.iter().map(|e| compile_expr(e, vars)).collect())
+        }
+        Expr::App(f, items) => {
+            SlotExpr::App(*f, items.iter().map(|e| compile_expr(e, vars)).collect())
+        }
+    }
 }
 
 /// Plan a rule body. Greedy: repeatedly pick the first not-yet-scheduled
-/// literal that is executable given the variables bound so far.
+/// literal that is executable given the variables bound so far, compiling
+/// it to slot form as it is scheduled (so orientation and probe decisions
+/// see exactly the bindings available at that point of execution).
 pub fn plan_body(rule: &Rule) -> Result<BodyPlan, EvalError> {
     let n = rule.body.len();
     let mut scheduled = vec![false; n];
     let mut bound: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
     let mut order = Vec::with_capacity(n);
-
-    let is_bound = |bound: &std::collections::BTreeSet<String>, v: &str| bound.contains(v);
+    let mut vars: Vec<String> = Vec::new();
+    let mut compiled: Vec<Option<SlotLit>> = vec![None; n];
 
     while order.len() < n {
         let mut progressed = false;
@@ -149,22 +227,65 @@ pub fn plan_body(rule: &Rule) -> Result<BodyPlan, EvalError> {
                 continue;
             }
             let lit = &rule.body[i];
-            let ok = {
-                let bd = |v: &str| is_bound(&bound, v);
+            let slot_lit = {
+                let bd = |v: &str| bound.contains(v);
                 match lit {
-                    Literal::Pos(atom) => atom.args.iter().all(|e| matchable(e, &bd)),
-                    Literal::Neg(atom) => atom.args.iter().all(|e| evaluable(e, &bd)),
-                    Literal::Cmp(CmpOp::Eq, l, r) => {
-                        // binder or test: one side evaluable, other matchable
-                        (evaluable(l, &bd) && matchable(r, &bd))
-                            || (evaluable(r, &bd) && matchable(l, &bd))
+                    Literal::Pos(atom) if atom.args.iter().all(|e| matchable(e, &bd)) => {
+                        // The leading argument can drive an index probe iff
+                        // it is computable before this atom binds anything.
+                        let probe_first = matches!(atom.args.first(),
+                            Some(e) if evaluable(e, &bd));
+                        Some(SlotLit::Pos {
+                            pred: atom.pred.clone(),
+                            args: atom
+                                .args
+                                .iter()
+                                .map(|e| compile_expr(e, &mut vars))
+                                .collect(),
+                            probe_first,
+                        })
                     }
-                    Literal::Cmp(_, l, r) => evaluable(l, &bd) && evaluable(r, &bd),
+                    Literal::Neg(atom) if atom.args.iter().all(|e| evaluable(e, &bd)) => {
+                        Some(SlotLit::Neg {
+                            pred: atom.pred.clone(),
+                            args: atom
+                                .args
+                                .iter()
+                                .map(|e| compile_expr(e, &mut vars))
+                                .collect(),
+                        })
+                    }
+                    Literal::Cmp(CmpOp::Eq, l, r)
+                        if (evaluable(l, &bd) && matchable(r, &bd))
+                            || (evaluable(r, &bd) && matchable(l, &bd)) =>
+                    {
+                        // Binder or test: the evaluable side supplies the
+                        // value, the other side is matched against it.
+                        // (If `l` is evaluable then `r` is matchable: an
+                        // evaluable side is always matchable, so the second
+                        // disjunct can only fire when the first cannot.)
+                        let (val, pat) = if evaluable(l, &bd) { (l, r) } else { (r, l) };
+                        Some(SlotLit::Eq {
+                            val: compile_expr(val, &mut vars),
+                            pat: compile_expr(pat, &mut vars),
+                        })
+                    }
+                    Literal::Cmp(op, l, r)
+                        if *op != CmpOp::Eq && evaluable(l, &bd) && evaluable(r, &bd) =>
+                    {
+                        Some(SlotLit::Cmp(
+                            *op,
+                            compile_expr(l, &mut vars),
+                            compile_expr(r, &mut vars),
+                        ))
+                    }
+                    _ => None,
                 }
             };
-            if ok {
+            if let Some(slot_lit) = slot_lit {
                 scheduled[i] = true;
                 order.push(i);
+                compiled[i] = Some(slot_lit);
                 for v in lit.vars() {
                     bound.insert(v.to_string());
                 }
@@ -191,7 +312,85 @@ pub fn plan_body(rule: &Rule) -> Result<BodyPlan, EvalError> {
             )));
         }
     }
-    Ok(BodyPlan { order })
+    let head = rule
+        .head
+        .args
+        .iter()
+        .map(|e| compile_expr(e, &mut vars))
+        .collect();
+    Ok(BodyPlan {
+        order,
+        vars,
+        body: compiled
+            .into_iter()
+            .map(|l| l.expect("every literal scheduled"))
+            .collect(),
+        head,
+    })
+}
+
+/// Evaluate a slot expression against the frame.
+fn eval_slot(e: &SlotExpr, f: &[Option<Value>]) -> Result<Value, EvalError> {
+    match e {
+        SlotExpr::Var(i) => f[*i]
+            .clone()
+            .ok_or_else(|| EvalError::Unsafe(format!("unbound variable (slot {i})"))),
+        SlotExpr::Lit(v) => Ok(v.clone()),
+        SlotExpr::Tuple(items) => Ok(Value::Tuple(
+            items
+                .iter()
+                .map(|e| eval_slot(e, f))
+                .collect::<Result<_, _>>()?,
+        )),
+        SlotExpr::App(func, items) => {
+            let args: Vec<Value> = items
+                .iter()
+                .map(|e| eval_slot(e, f))
+                .collect::<Result<_, _>>()?;
+            func.apply(&args)
+                .ok_or_else(|| EvalError::Type(format!("{}({args:?})", func.name())))
+        }
+    }
+}
+
+/// Match a slot expression as a pattern against a value, recording every
+/// newly filled slot on `trail` so the caller can undo cheaply.
+fn match_slot(
+    e: &SlotExpr,
+    v: &Value,
+    f: &mut [Option<Value>],
+    trail: &mut Vec<usize>,
+) -> Result<bool, EvalError> {
+    match e {
+        SlotExpr::Var(i) => match &f[*i] {
+            Some(bound) => Ok(bound == v),
+            None => {
+                f[*i] = Some(v.clone());
+                trail.push(*i);
+                Ok(true)
+            }
+        },
+        SlotExpr::Lit(lit) => Ok(lit == v),
+        SlotExpr::Tuple(items) => match v {
+            Value::Tuple(vals) if vals.len() == items.len() => {
+                for (e, val) in items.iter().zip(vals) {
+                    if !match_slot(e, val, f, trail)? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            _ => Ok(false),
+        },
+        SlotExpr::App(..) => Ok(eval_slot(e, f)? == *v),
+    }
+}
+
+fn undo(f: &mut [Option<Value>], trail: &mut Vec<usize>, mark: usize) {
+    while trail.len() > mark {
+        let i = trail.pop().expect("trail length checked");
+        f[i] = None;
+    }
 }
 
 /// Where positive literals read their facts during one rule application.
@@ -230,38 +429,30 @@ pub fn apply_rule(
     out: &mut Interp,
 ) -> Result<usize, EvalError> {
     let mut added = 0usize;
-    let mut bindings = Bindings::new();
-    apply_rec(
-        rule,
-        plan,
-        0,
-        source,
-        neg,
-        meter,
-        &mut bindings,
-        &mut |b, meter| {
-            let args: Vec<Value> = rule
-                .head
-                .args
-                .iter()
-                .map(|e| eval_expr(e, b))
-                .collect::<Result<_, _>>()?;
-            for v in &args {
-                meter.check_value_size(v.size())?;
-            }
-            if out.insert(&rule.head.pred, args) {
-                added += 1;
-                meter.add_facts(1)?;
-            }
-            Ok(())
-        },
-    )?;
+    let mut frame: Vec<Option<Value>> = vec![None; plan.vars.len()];
+    apply_rec(plan, 0, source, neg, meter, &mut frame, &mut |f, meter| {
+        let args: Vec<Value> = plan
+            .head
+            .iter()
+            .map(|e| eval_slot(e, f))
+            .collect::<Result<_, _>>()?;
+        for v in &args {
+            meter.check_value_size(v.size())?;
+        }
+        if out.insert(&rule.head.pred, args) {
+            added += 1;
+            meter.add_facts(1)?;
+        }
+        Ok(())
+    })?;
     Ok(added)
 }
 
 /// Enumerate all satisfying bindings of a rule body, invoking `emit` for
 /// each (used by grounding for stable models, which needs the bindings
-/// themselves rather than just head facts).
+/// themselves rather than just head facts). The named binding map is
+/// reconstructed from the frame per match; grounding is not on the
+/// fact-derivation fast path.
 pub fn enumerate_bindings(
     rule: &Rule,
     plan: &BodyPlan,
@@ -270,97 +461,104 @@ pub fn enumerate_bindings(
     meter: &mut Meter,
     emit: &mut dyn FnMut(&Bindings, &mut Meter) -> Result<(), EvalError>,
 ) -> Result<(), EvalError> {
-    let mut bindings = Bindings::new();
-    apply_rec(rule, plan, 0, source, neg, meter, &mut bindings, emit)
+    let _ = rule;
+    let mut frame: Vec<Option<Value>> = vec![None; plan.vars.len()];
+    apply_rec(plan, 0, source, neg, meter, &mut frame, &mut |f, meter| {
+        let bindings: Bindings = plan
+            .vars
+            .iter()
+            .zip(f.iter())
+            .filter_map(|(name, v)| v.as_ref().map(|v| (name.clone(), v.clone())))
+            .collect();
+        emit(&bindings, meter)
+    })
 }
 
-#[allow(clippy::too_many_arguments)]
+/// Callback invoked on every complete frame a rule body derives.
+type EmitFn<'a> = dyn FnMut(&[Option<Value>], &mut Meter) -> Result<(), EvalError> + 'a;
+
 fn apply_rec(
-    rule: &Rule,
     plan: &BodyPlan,
     step: usize,
     source: &FactSource<'_>,
     neg: &dyn Fn(&str, &[Value]) -> bool,
     meter: &mut Meter,
-    bindings: &mut Bindings,
-    emit: &mut dyn FnMut(&Bindings, &mut Meter) -> Result<(), EvalError>,
+    frame: &mut [Option<Value>],
+    emit: &mut EmitFn<'_>,
 ) -> Result<(), EvalError> {
     if step == plan.order.len() {
-        return emit(bindings, meter);
+        return emit(frame, meter);
     }
     let idx = plan.order[step];
-    match &rule.body[idx] {
-        Literal::Pos(atom) => {
+    match &plan.body[idx] {
+        SlotLit::Pos {
+            pred,
+            args,
+            probe_first,
+        } => {
             let facts = source.interp_for(idx);
-            // First-argument index: if the leading argument is already
-            // computable, restrict the scan to the matching prefix range.
-            // A failing evaluation (dynamic type error) falls back to the
-            // full scan, which raises the same error lazily per candidate
-            // — and raises nothing at all when there are no candidates,
-            // matching the unindexed semantics.
-            let first_bound = match atom.args.first() {
-                Some(e) if e.vars().iter().all(|v| bindings.contains_key(*v)) => {
-                    eval_expr(e, bindings).ok()
-                }
-                _ => None,
+            // First-argument index: if the leading argument is computable
+            // here (decided at plan time), probe the hash index on the
+            // matching key instead of scanning. A failing evaluation
+            // (dynamic type error) falls back to the full scan, which
+            // raises the same error lazily per candidate — and raises
+            // nothing at all when there are no candidates, matching the
+            // unindexed semantics. Probe order equals scan order: index
+            // buckets preserve the sorted fact order.
+            let first_key = if *probe_first {
+                eval_slot(&args[0], frame).ok()
+            } else {
+                None
             };
-            let iter: Box<dyn Iterator<Item = &Vec<Value>>> = match &first_bound {
-                Some(v) => Box::new(facts.facts_with_first(&atom.pred, v)),
-                None => Box::new(facts.facts(&atom.pred)),
+            let index = first_key.as_ref().map(|_| facts.first_index(pred));
+            let iter: Box<dyn Iterator<Item = &Vec<Value>>> = match (&first_key, &index) {
+                (Some(key), Some(ix)) => Box::new(ix.probe(key)),
+                _ => Box::new(facts.facts(pred)),
             };
-            let mut trail: Vec<String> = Vec::new();
+            let mut trail: Vec<usize> = Vec::new();
             for fact in iter {
-                if fact.len() != atom.args.len() {
+                if fact.len() != args.len() {
                     continue;
                 }
                 let mut ok = true;
-                for (e, v) in atom.args.iter().zip(fact) {
-                    if !match_expr_trail(e, v, bindings, &mut trail)? {
+                for (e, v) in args.iter().zip(fact) {
+                    if !match_slot(e, v, frame, &mut trail)? {
                         ok = false;
                         break;
                     }
                 }
                 if ok {
-                    apply_rec(rule, plan, step + 1, source, neg, meter, bindings, emit)?;
+                    apply_rec(plan, step + 1, source, neg, meter, frame, emit)?;
                 }
-                undo(bindings, &mut trail, 0);
+                undo(frame, &mut trail, 0);
             }
             Ok(())
         }
-        Literal::Neg(atom) => {
-            let args: Vec<Value> = atom
-                .args
+        SlotLit::Neg { pred, args } => {
+            let args: Vec<Value> = args
                 .iter()
-                .map(|e| eval_expr(e, bindings))
+                .map(|e| eval_slot(e, frame))
                 .collect::<Result<_, _>>()?;
-            if neg(&atom.pred, &args) {
-                apply_rec(rule, plan, step + 1, source, neg, meter, bindings, emit)?;
+            if neg(pred, &args) {
+                apply_rec(plan, step + 1, source, neg, meter, frame, emit)?;
             }
             Ok(())
         }
-        Literal::Cmp(CmpOp::Eq, l, r) => {
-            // One side is evaluable (guaranteed by the plan); match the
-            // other side against its value.
-            let bound = |b: &Bindings, e: &Expr| e.vars().iter().all(|v| b.contains_key(*v));
-            let (val_side, pat_side) = if bound(bindings, l) {
-                (l, r)
-            } else {
-                (r, l)
-            };
-            let v = eval_expr(val_side, bindings)?;
+        SlotLit::Eq { val, pat } => {
+            let v = eval_slot(val, frame)?;
             meter.check_value_size(v.size())?;
-            let mut trail: Vec<String> = Vec::new();
-            if match_expr_trail(pat_side, &v, bindings, &mut trail)? {
-                apply_rec(rule, plan, step + 1, source, neg, meter, bindings, emit)?;
+            let mut trail: Vec<usize> = Vec::new();
+            if match_slot(pat, &v, frame, &mut trail)? {
+                apply_rec(plan, step + 1, source, neg, meter, frame, emit)?;
             }
-            undo(bindings, &mut trail, 0);
+            undo(frame, &mut trail, 0);
             Ok(())
         }
-        Literal::Cmp(op, l, r) => {
-            let a = eval_expr(l, bindings)?;
-            let b = eval_expr(r, bindings)?;
+        SlotLit::Cmp(op, l, r) => {
+            let a = eval_slot(l, frame)?;
+            let b = eval_slot(r, frame)?;
             if op.eval(&a, &b) {
-                apply_rec(rule, plan, step + 1, source, neg, meter, bindings, emit)?;
+                apply_rec(plan, step + 1, source, neg, meter, frame, emit)?;
             }
             Ok(())
         }
@@ -461,6 +659,58 @@ mod tests {
     }
 
     #[test]
+    fn plan_assigns_slots_and_probe_flags() {
+        // path(X,Z) :- e(X,Y), e(Y,Z).  Slots in scheduling order: X, Y, Z.
+        let rule = Rule::new(
+            Atom::new("path", [v("X"), v("Z")]),
+            [
+                Literal::Pos(Atom::new("e", [v("X"), v("Y")])),
+                Literal::Pos(Atom::new("e", [v("Y"), v("Z")])),
+            ],
+        );
+        let plan = plan_body(&rule).unwrap();
+        assert_eq!(plan.vars, vec!["X", "Y", "Z"]);
+        assert_eq!(plan.head, vec![SlotExpr::Var(0), SlotExpr::Var(2)]);
+        // First occurrence scans (X unbound); second probes on bound Y.
+        assert_eq!(
+            plan.body[0],
+            SlotLit::Pos {
+                pred: "e".into(),
+                args: vec![SlotExpr::Var(0), SlotExpr::Var(1)],
+                probe_first: false,
+            }
+        );
+        assert_eq!(
+            plan.body[1],
+            SlotLit::Pos {
+                pred: "e".into(),
+                args: vec![SlotExpr::Var(1), SlotExpr::Var(2)],
+                probe_first: true,
+            }
+        );
+    }
+
+    #[test]
+    fn plan_orients_equality_at_plan_time() {
+        // q(Y) :- e(X), Y = succ(X).   succ(X) is the value, Y the pattern.
+        let rule = Rule::new(
+            Atom::new("q", [v("Y")]),
+            [
+                Literal::Pos(Atom::new("e", [v("X")])),
+                Literal::Cmp(CmpOp::Eq, v("Y"), Expr::App(Func::Succ, vec![v("X")])),
+            ],
+        );
+        let plan = plan_body(&rule).unwrap();
+        assert_eq!(
+            plan.body[1],
+            SlotLit::Eq {
+                val: SlotExpr::App(Func::Succ, vec![SlotExpr::Var(0)]),
+                pat: SlotExpr::Var(1),
+            }
+        );
+    }
+
+    #[test]
     fn plan_rejects_unsafe() {
         // q(X) :- not e(X).   X never restricted.
         let rule = Rule::new(
@@ -503,6 +753,40 @@ mod tests {
         .unwrap();
         assert_eq!(added, 1);
         assert!(out.holds("path", &[i(1), i(3)]));
+    }
+
+    #[test]
+    fn probe_with_constant_first_argument() {
+        // q(Y) :- e(1, Y).   Constant leading argument probes the index
+        // with no prior bindings at all.
+        let rule = Rule::new(
+            Atom::new("q", [v("Y")]),
+            [Literal::Pos(Atom::new("e", [Expr::int(1), v("Y")]))],
+        );
+        let plan = plan_body(&rule).unwrap();
+        match &plan.body[0] {
+            SlotLit::Pos { probe_first, .. } => assert!(probe_first),
+            other => panic!("unexpected {other:?}"),
+        }
+        let mut facts = Interp::new();
+        facts.insert("e", vec![i(1), i(2)]);
+        facts.insert("e", vec![i(1), i(3)]);
+        facts.insert("e", vec![i(2), i(9)]);
+        let mut out = Interp::new();
+        let mut meter = Budget::SMALL.meter();
+        apply_rule(
+            &rule,
+            &plan,
+            &FactSource::full(&facts),
+            &|_, _| false,
+            &mut meter,
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(out.count("q"), 2);
+        assert!(out.holds("q", &[i(2)]));
+        assert!(out.holds("q", &[i(3)]));
+        assert!(!out.holds("q", &[i(9)]));
     }
 
     #[test]
@@ -615,6 +899,38 @@ mod tests {
         let c = Compiled::compile(&p).unwrap();
         assert_eq!(c.rules.len(), 1);
         assert_eq!(c.plans.len(), 1);
+    }
+
+    #[test]
+    fn enumerate_bindings_reconstructs_names() {
+        let rule = Rule::new(
+            Atom::new("q", [v("X")]),
+            [
+                Literal::Pos(Atom::new("e", [v("X"), v("Y")])),
+                Literal::Cmp(CmpOp::Lt, v("X"), v("Y")),
+            ],
+        );
+        let plan = plan_body(&rule).unwrap();
+        let mut facts = Interp::new();
+        facts.insert("e", vec![i(1), i(2)]);
+        facts.insert("e", vec![i(3), i(2)]);
+        let mut meter = Budget::SMALL.meter();
+        let mut seen = Vec::new();
+        enumerate_bindings(
+            &rule,
+            &plan,
+            &FactSource::full(&facts),
+            &|_, _| false,
+            &mut meter,
+            &mut |b, _| {
+                seen.push(b.clone());
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(seen.len(), 1);
+        assert_eq!(seen[0].get("X"), Some(&i(1)));
+        assert_eq!(seen[0].get("Y"), Some(&i(2)));
     }
 
     #[test]

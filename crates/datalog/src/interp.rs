@@ -7,18 +7,52 @@
 //! with `F` represented implicitly as "not possible").
 
 use crate::ast::Atom;
-use algrec_value::{Database, Relation, Truth, Value};
-use std::collections::{BTreeMap, BTreeSet};
+use algrec_value::{ColumnIndex, Database, Relation, Truth, Value};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
+use std::sync::Arc;
 
 /// A ground fact: predicate name plus argument values.
 pub type Fact = (String, Vec<Value>);
 
 /// A two-valued interpretation: for each predicate, the set of argument
 /// vectors that hold.
-#[derive(Clone, PartialEq, Eq, Default, Debug)]
+///
+/// Alongside the canonical fact sets, the interpretation lazily caches a
+/// [`ColumnIndex`] over each predicate's first argument (interned keys),
+/// built on first probe by [`Interp::first_index`] and invalidated by
+/// mutation. Like the cache on [`Relation`], it is derived state: ignored
+/// by `Clone`-equality semantics, `PartialEq`, `Debug` and `Display`.
+#[derive(Default)]
 pub struct Interp {
     preds: BTreeMap<String, BTreeSet<Vec<Value>>>,
+    first_index: RefCell<HashMap<String, Arc<ColumnIndex<Vec<Value>>>>>,
+}
+
+impl Clone for Interp {
+    fn clone(&self) -> Self {
+        Interp {
+            preds: self.preds.clone(),
+            first_index: RefCell::new(self.first_index.borrow().clone()),
+        }
+    }
+}
+
+impl PartialEq for Interp {
+    fn eq(&self, other: &Self) -> bool {
+        self.preds == other.preds
+    }
+}
+
+impl Eq for Interp {}
+
+impl fmt::Debug for Interp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Interp")
+            .field("preds", &self.preds)
+            .finish()
+    }
 }
 
 impl Interp {
@@ -40,9 +74,14 @@ impl Interp {
         out
     }
 
-    /// Insert a fact; returns whether it was new.
+    /// Insert a fact; returns whether it was new. Invalidates the
+    /// predicate's cached first-argument index.
     pub fn insert(&mut self, pred: &str, args: Vec<Value>) -> bool {
-        self.preds.entry(pred.to_string()).or_default().insert(args)
+        let fresh = self.preds.entry(pred.to_string()).or_default().insert(args);
+        if fresh {
+            self.first_index.get_mut().remove(pred);
+        }
+        fresh
     }
 
     /// Does the fact hold?
@@ -65,13 +104,31 @@ impl Interp {
         pred: &str,
         first: &'a Value,
     ) -> impl Iterator<Item = &'a Vec<Value>> + 'a {
-        self.preds
-            .get(pred)
-            .into_iter()
-            .flat_map(move |set| {
-                set.range(vec![first.clone()]..)
-                    .take_while(move |f| f.first() == Some(first))
-            })
+        self.preds.get(pred).into_iter().flat_map(move |set| {
+            set.range(vec![first.clone()]..)
+                .take_while(move |f| f.first() == Some(first))
+        })
+    }
+
+    /// The lazily built hash index over one predicate's first argument,
+    /// keyed by interned value ids. Zero-arity facts have no first
+    /// argument and are skipped (they can never match a bound-first
+    /// probe). Subsequent calls return the same cached index until the
+    /// predicate is mutated; probing is the matcher's fast path when a
+    /// positive literal's leading argument is already ground.
+    pub fn first_index(&self, pred: &str) -> Arc<ColumnIndex<Vec<Value>>> {
+        if let Some(idx) = self.first_index.borrow().get(pred) {
+            return idx.clone();
+        }
+        let idx = Arc::new(ColumnIndex::build_skipping(
+            self.facts(pred).cloned(),
+            |args: &Vec<Value>| args.first(),
+            true,
+        ));
+        self.first_index
+            .borrow_mut()
+            .insert(pred.to_string(), idx.clone());
+        idx
     }
 
     /// Number of facts for one predicate.
@@ -95,10 +152,15 @@ impl Interp {
         let mut added = 0;
         for (pred, facts) in &other.preds {
             let entry = self.preds.entry(pred.clone()).or_default();
+            let mut grew = false;
             for f in facts {
                 if entry.insert(f.clone()) {
                     added += 1;
+                    grew = true;
                 }
+            }
+            if grew {
+                self.first_index.get_mut().remove(pred);
             }
         }
         added
@@ -107,11 +169,7 @@ impl Interp {
     /// Is `self` a subset of `other` (pointwise)?
     pub fn is_subset(&self, other: &Interp) -> bool {
         self.preds.iter().all(|(pred, facts)| {
-            other
-                .preds
-                .get(pred)
-                .is_some_and(|o| facts.is_subset(o))
-                || facts.is_empty()
+            other.preds.get(pred).is_some_and(|o| facts.is_subset(o)) || facts.is_empty()
         })
     }
 
@@ -131,6 +189,7 @@ impl Interp {
     /// Remove all facts of one predicate.
     pub fn clear_pred(&mut self, pred: &str) {
         self.preds.remove(pred);
+        self.first_index.get_mut().remove(pred);
     }
 }
 
@@ -350,6 +409,48 @@ mod tests {
         assert_eq!(args_tuple(&[i(1), i(2)]), Value::pair(i(1), i(2)));
         assert_eq!(tuple_args(&Value::pair(i(1), i(2))), vec![i(1), i(2)]);
         assert_eq!(tuple_args(&i(5)), vec![i(5)]);
+    }
+
+    #[test]
+    fn first_index_probes_and_invalidates() {
+        let mut m = Interp::new();
+        m.insert("e", vec![i(1), i(2)]);
+        m.insert("e", vec![i(1), i(3)]);
+        m.insert("e", vec![i(2), i(3)]);
+        let idx = m.first_index("e");
+        assert_eq!(idx.probe(&i(1)).count(), 2);
+        assert_eq!(idx.probe(&i(9)).count(), 0);
+        assert!(Arc::ptr_eq(&idx, &m.first_index("e")));
+        m.insert("e", vec![i(9), i(9)]);
+        let idx2 = m.first_index("e");
+        assert!(!Arc::ptr_eq(&idx, &idx2));
+        assert_eq!(idx2.probe(&i(9)).count(), 1);
+        // Probing one predicate must not see another's facts.
+        assert_eq!(m.first_index("p").probe(&i(1)).count(), 0);
+    }
+
+    #[test]
+    fn first_index_agrees_with_range_probe() {
+        let mut m = Interp::new();
+        for (a, b) in [(1, 2), (1, 3), (2, 3), (3, 1)] {
+            m.insert("e", vec![i(a), i(b)]);
+        }
+        for key in 0..4 {
+            let via_index: Vec<Vec<Value>> = m.first_index("e").probe(&i(key)).cloned().collect();
+            let via_range: Vec<Vec<Value>> = m.facts_with_first("e", &i(key)).cloned().collect();
+            assert_eq!(via_index, via_range, "key {key}");
+        }
+    }
+
+    #[test]
+    fn index_cache_invisible_to_equality_and_clone() {
+        let mut a = Interp::new();
+        a.insert("p", vec![i(1)]);
+        let b = a.clone();
+        let _ = a.first_index("p");
+        assert_eq!(a, b);
+        let c = a.clone();
+        assert_eq!(c.first_index("p").probe(&i(1)).count(), 1);
     }
 
     #[test]

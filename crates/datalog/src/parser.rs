@@ -487,10 +487,7 @@ mod tests {
         )
         .unwrap();
         assert!(p.has_negation());
-        assert_eq!(
-            p.rules[1].to_string(),
-            "small(X) :- n(X), X < 10, X != 5."
-        );
+        assert_eq!(p.rules[1].to_string(), "small(X) :- n(X), X < 10, X != 5.");
     }
 
     #[test]
@@ -506,15 +503,9 @@ mod tests {
     #[test]
     fn parses_tuples_and_strings() {
         let r = parse_rule("pair([X, Y]) :- e(X, Y), X != 'hello world'.").unwrap();
-        assert_eq!(
-            r.to_string(),
-            "pair([X, Y]) :- e(X, Y), X != hello world."
-        );
+        assert_eq!(r.to_string(), "pair([X, Y]) :- e(X, Y), X != hello world.");
         let r2 = parse_rule("q(a) :- p(b).").unwrap();
-        assert_eq!(
-            r2.head.args[0],
-            Expr::Lit(Value::str("a"))
-        );
+        assert_eq!(r2.head.args[0], Expr::Lit(Value::str("a")));
     }
 
     #[test]
@@ -558,7 +549,10 @@ mod tests {
 
     #[test]
     fn parse_expr_entry_point() {
-        assert_eq!(parse_expr("succ(3)").unwrap(), Expr::App(Func::Succ, vec![Expr::int(3)]));
+        assert_eq!(
+            parse_expr("succ(3)").unwrap(),
+            Expr::App(Func::Succ, vec![Expr::int(3)])
+        );
         assert!(parse_expr("succ(3) extra").is_err());
     }
 }

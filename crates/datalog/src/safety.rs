@@ -180,7 +180,10 @@ pub fn make_safe(program: &Program, edb_arities: &[(&str, usize)]) -> Program {
         }
     }
     for rule in &program.rules {
-        rule.head.args.iter().for_each(|e| walk_expr(e, &mut consts));
+        rule.head
+            .args
+            .iter()
+            .for_each(|e| walk_expr(e, &mut consts));
         for lit in &rule.body {
             match lit {
                 Literal::Pos(a) | Literal::Neg(a) => {

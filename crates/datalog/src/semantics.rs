@@ -225,15 +225,23 @@ mod tests {
         assert_eq!(infl.model.truth("q", std::slice::from_ref(&a)), Truth::True);
 
         let valid = evaluate(&p, &db, Semantics::Valid, Budget::SMALL).unwrap();
-        assert_eq!(valid.model.truth("q", std::slice::from_ref(&a)), Truth::Unknown);
+        assert_eq!(
+            valid.model.truth("q", std::slice::from_ref(&a)),
+            Truth::Unknown
+        );
     }
 
     #[test]
     fn win_move_cyclic_vs_acyclic() {
         let p = parse_program("win(X) :- move(X, Y), not win(Y).").unwrap();
 
-        let acyclic = evaluate(&p, &win_db(&[(1, 2), (2, 3)]), Semantics::Valid, Budget::SMALL)
-            .unwrap();
+        let acyclic = evaluate(
+            &p,
+            &win_db(&[(1, 2), (2, 3)]),
+            Semantics::Valid,
+            Budget::SMALL,
+        )
+        .unwrap();
         assert!(acyclic.model.is_exact());
         assert_eq!(acyclic.model.truth("win", &[i(2)]), Truth::True);
 
@@ -244,8 +252,7 @@ mod tests {
     #[test]
     fn stable_models_exposed() {
         let p = parse_program("win(X) :- move(X, Y), not win(Y).").unwrap();
-        let models =
-            stable_models_of(&p, &win_db(&[(1, 2), (2, 1)]), 16, Budget::SMALL).unwrap();
+        let models = stable_models_of(&p, &win_db(&[(1, 2), (2, 1)]), 16, Budget::SMALL).unwrap();
         assert_eq!(models.len(), 2);
         assert!(models.iter().any(|m| m.holds("win", &[i(1)])));
         assert!(models.iter().any(|m| m.holds("win", &[i(2)])));

@@ -110,7 +110,9 @@ mod tests {
     fn run(p: &Program, base: Interp) -> ThreeValued {
         let compiled = Compiled::compile(p).unwrap();
         let mut meter = Budget::SMALL.meter();
-        alternating_fixpoint(&compiled, &base, &mut meter).unwrap().0
+        alternating_fixpoint(&compiled, &base, &mut meter)
+            .unwrap()
+            .0
     }
 
     #[test]

@@ -51,7 +51,14 @@ fn arb_safe_rule() -> impl Strategy<Value = Rule> {
         arb_atom().prop_map(Literal::Neg),
         (
             prop::sample::select(
-                &[CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge][..]
+                &[
+                    CmpOp::Eq,
+                    CmpOp::Ne,
+                    CmpOp::Lt,
+                    CmpOp::Le,
+                    CmpOp::Gt,
+                    CmpOp::Ge
+                ][..]
             ),
             arb_expr(),
             arb_expr()

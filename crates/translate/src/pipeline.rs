@@ -15,7 +15,8 @@ use crate::error::TranslateError;
 use crate::to_algebra::datalog_to_algebra;
 use crate::to_deduction::{algebra_to_datalog, edb_arities, TranslationMode};
 use algrec_core::program::AlgProgram;
-use algrec_core::valid_eval::eval_valid;
+use algrec_core::valid_eval::eval_valid_with;
+use algrec_core::EvalOptions;
 use algrec_datalog::ast::Program;
 use algrec_datalog::interp::{args_tuple, tuple_args};
 use algrec_datalog::{evaluate, Semantics};
@@ -53,8 +54,7 @@ impl RoundTrip {
     /// Do the two sides agree exactly (same certain set, same undefined
     /// set — hence also the same false facts, over any common window)?
     pub fn agree(&self) -> bool {
-        self.datalog_certain == self.algebra_certain
-            && self.datalog_unknown == self.algebra_unknown
+        self.datalog_certain == self.algebra_certain && self.datalog_unknown == self.algebra_unknown
     }
 }
 
@@ -66,11 +66,24 @@ pub fn check_roundtrip(
     db: &Database,
     budget: Budget,
 ) -> Result<RoundTrip, TranslateError> {
+    check_roundtrip_with(program, pred, db, budget, EvalOptions::default())
+}
+
+/// [`check_roundtrip`] with explicit algebra-side evaluation options
+/// (used by the ablation experiment to time the translated program under
+/// each optimization toggle).
+pub fn check_roundtrip_with(
+    program: &Program,
+    pred: &str,
+    db: &Database,
+    budget: Budget,
+    opts: EvalOptions,
+) -> Result<RoundTrip, TranslateError> {
     let arities = edb_arities(db);
     let alg = datalog_to_algebra(program, pred, &arities)?;
 
     let dl_out = evaluate(program, db, Semantics::Valid, budget)?;
-    let alg_out = eval_valid(&alg, db, budget)?;
+    let alg_out = eval_valid_with(&alg, db, budget, opts)?;
 
     let datalog_certain: BTreeSet<Value> = dl_out
         .model
@@ -112,6 +125,7 @@ pub fn datalog_truth(
 mod tests {
     use super::*;
     use algrec_core::parser::parse_program as parse_alg;
+    use algrec_core::valid_eval::eval_valid;
     use algrec_datalog::parser::parse_program as parse_dl;
     use algrec_value::Relation;
 
@@ -139,14 +153,9 @@ mod tests {
 
     #[test]
     fn theorem_3_5_transitive_closure() {
-        let p = parse_alg(
-            "query ifp(t, edge union map(select(t * edge, x.1 = x.2), [x.0, x.3]));",
-        )
-        .unwrap();
-        let db = Database::new().with(
-            "edge",
-            Relation::from_pairs([(i(1), i(2)), (i(2), i(3))]),
-        );
+        let p = parse_alg("query ifp(t, edge union map(select(t * edge, x.1 = x.2), [x.0, x.3]));")
+            .unwrap();
+        let db = Database::new().with("edge", Relation::from_pairs([(i(1), i(2)), (i(2), i(3))]));
         let expected = algrec_core::eval_exact(&p, &db, Budget::SMALL).unwrap();
         let alg_eq = ifp_algebra_to_algebra_eq(&p, &db, 6).unwrap();
         let out = eval_valid(&alg_eq, &db, Budget::LARGE).unwrap();

@@ -32,8 +32,7 @@ pub fn staged_name(pred: &str) -> String {
 /// during the inflationary computation).
 pub fn inflationary_to_valid(program: &Program, max_stage: i64) -> Program {
     let idb = program.idb_preds();
-    let idb: std::collections::BTreeSet<String> =
-        idb.into_iter().map(str::to_string).collect();
+    let idb: std::collections::BTreeSet<String> = idb.into_iter().map(str::to_string).collect();
     let mut rules: Vec<Rule> = Vec::new();
 
     // Stage domain: stage$(0); stage$(succ(i)) for i < max_stage.
@@ -59,7 +58,10 @@ pub fn inflationary_to_valid(program: &Program, max_stage: i64) -> Program {
         };
         if rule.body.is_empty() {
             // (ii) ground facts start at stage 0.
-            rules.push(Rule::fact(staged_head(rule.head.args.clone(), Expr::int(0))));
+            rules.push(Rule::fact(staged_head(
+                rule.head.args.clone(),
+                Expr::int(0),
+            )));
             continue;
         }
         // (iii) body atoms over IDB predicates read stage I; the head is
@@ -133,11 +135,7 @@ pub fn inflationary_to_valid(program: &Program, max_stage: i64) -> Program {
 /// over a database: one per derivable fact plus slack. Conservative and
 /// cheap: `(active domain size + number of program constants)^max-arity ×
 /// number of IDB predicates + 2`, capped at `cap`.
-pub fn sufficient_stage_bound(
-    program: &Program,
-    db: &algrec_value::Database,
-    cap: i64,
-) -> i64 {
+pub fn sufficient_stage_bound(program: &Program, db: &algrec_value::Database, cap: i64) -> i64 {
     let dom = db.active_domain().len() + 8;
     let max_arity = program
         .rules
@@ -172,10 +170,8 @@ mod tests {
         let infl = evaluate(&p, db, Semantics::Inflationary, Budget::SMALL).unwrap();
         let valid = evaluate(&p2, db, Semantics::Valid, Budget::LARGE).unwrap();
         assert!(valid.model.is_exact(), "P' must be two-valued");
-        let a: std::collections::BTreeSet<_> =
-            infl.model.certain.facts(pred).cloned().collect();
-        let b: std::collections::BTreeSet<_> =
-            valid.model.certain.facts(pred).cloned().collect();
+        let a: std::collections::BTreeSet<_> = infl.model.certain.facts(pred).cloned().collect();
+        let b: std::collections::BTreeSet<_> = valid.model.certain.facts(pred).cloned().collect();
         assert_eq!(a, b, "{pred} differs");
     }
 

@@ -201,8 +201,7 @@ fn compile_rule(
                         atom.pred
                     )));
                 }
-                let mut matches =
-                    AlgExpr::product(expr.clone(), pred_expr(&atom.pred, k, kind));
+                let mut matches = AlgExpr::product(expr.clone(), pred_expr(&atom.pred, k, kind));
                 for (i, arg) in atom.args.iter().enumerate() {
                     let col = width + i;
                     let f = dexpr_to_fexpr(arg, &var_pos)?;
@@ -237,10 +236,8 @@ fn compile_rule(
                 } else {
                     let fl = dexpr_to_fexpr(l, &var_pos)?;
                     let fr = dexpr_to_fexpr(r, &var_pos)?;
-                    expr = AlgExpr::select(
-                        expr,
-                        FuncExpr::Cmp(ACmp::Eq, Box::new(fl), Box::new(fr)),
-                    );
+                    expr =
+                        AlgExpr::select(expr, FuncExpr::Cmp(ACmp::Eq, Box::new(fl), Box::new(fr)));
                 }
             }
             Literal::Cmp(op, l, r) => {
@@ -391,10 +388,8 @@ mod tests {
     #[test]
     fn win_move_round_acyclic_and_cyclic() {
         let p = "win(X) :- move(X, Y), not win(Y).";
-        let acyclic = Database::new().with(
-            "move",
-            Relation::from_pairs([(i(1), i(2)), (i(2), i(3))]),
-        );
+        let acyclic =
+            Database::new().with("move", Relation::from_pairs([(i(1), i(2)), (i(2), i(3))]));
         check_equivalence(p, "win", &acyclic, &[i(1), i(2), i(3), i(4)]);
 
         let cyclic = Database::new().with(

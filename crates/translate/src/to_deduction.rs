@@ -125,10 +125,7 @@ fn fexpr_to_dexpr(f: &FuncExpr, v: &str) -> Result<DExpr, TranslateError> {
                 .map(|e| fexpr_to_dexpr(e, v))
                 .collect::<Result<_, _>>()?,
         )),
-        FuncExpr::Proj(e, i) => Ok(DExpr::App(
-            DFunc::Proj(*i),
-            vec![fexpr_to_dexpr(e, v)?],
-        )),
+        FuncExpr::Proj(e, i) => Ok(DExpr::App(DFunc::Proj(*i), vec![fexpr_to_dexpr(e, v)?])),
         FuncExpr::App(op, items) => {
             let dop = match op {
                 FuncOp::Succ => DFunc::Succ,
@@ -183,11 +180,9 @@ type Conj = Vec<(ACmp, FuncExpr, FuncExpr)>;
 /// comparison atoms (negations pushed onto the comparison operators).
 fn dnf(test: &FuncExpr, positive: bool) -> Result<Vec<Conj>, TranslateError> {
     match test {
-        FuncExpr::Lit(algrec_value::Value::Bool(b)) => Ok(if *b == positive {
-            vec![vec![]]
-        } else {
-            vec![]
-        }),
+        FuncExpr::Lit(algrec_value::Value::Bool(b)) => {
+            Ok(if *b == positive { vec![vec![]] } else { vec![] })
+        }
         FuncExpr::Cmp(op, l, r) => {
             let op = if positive { *op } else { flip(*op) };
             Ok(vec![vec![(op, (**l).clone(), (**r).clone())]])
@@ -239,10 +234,8 @@ fn translate(
         AlgExpr::Lit(items) => {
             let pred = ctx.fresh("lit");
             for v in items {
-                ctx.rules.push(Rule::fact(Atom::new(
-                    pred.clone(),
-                    [DExpr::Lit(v.clone())],
-                )));
+                ctx.rules
+                    .push(Rule::fact(Atom::new(pred.clone(), [DExpr::Lit(v.clone())])));
             }
             Ok(pred)
         }
@@ -301,10 +294,8 @@ fn translate(
                         fexpr_to_dexpr(r, "V")?,
                     ));
                 }
-                ctx.rules.push(Rule::new(
-                    Atom::new(pred.clone(), [DExpr::var("V")]),
-                    body,
-                ));
+                ctx.rules
+                    .push(Rule::new(Atom::new(pred.clone(), [DExpr::var("V")]), body));
             }
             Ok(pred)
         }
@@ -458,7 +449,10 @@ fn translate_staged_expr(
             for p in [pa, pb] {
                 ctx.rules.push(Rule::new(
                     Atom::new(pred.clone(), [DExpr::var("I"), DExpr::var("V")]),
-                    [Literal::Pos(Atom::new(p, [DExpr::var("I"), DExpr::var("V")]))],
+                    [Literal::Pos(Atom::new(
+                        p,
+                        [DExpr::var("I"), DExpr::var("V")],
+                    ))],
                 ));
             }
             Ok(pred)
@@ -641,10 +635,9 @@ mod tests {
 
     #[test]
     fn tc_ifp_all_modes() {
-        let p = parse_program(
-            "query ifp(t, edge union map(select(t * edge, x.1 = x.2), [x.0, x.3]));",
-        )
-        .unwrap();
+        let p =
+            parse_program("query ifp(t, edge union map(select(t * edge, x.1 = x.2), [x.0, x.3]));")
+                .unwrap();
         let db = Database::new().with(
             "edge",
             Relation::from_pairs([(i(1), i(2)), (i(2), i(3)), (i(3), i(4))]),
@@ -690,14 +683,9 @@ mod tests {
     #[test]
     fn recursive_constants_prop54() {
         // WIN under algebra= ↔ deduction, both valid semantics.
-        let p = parse_program(
-            "def win = map(move - (map(move, x.0) * win), x.0); query win;",
-        )
-        .unwrap();
-        let db = Database::new().with(
-            "move",
-            Relation::from_pairs([(i(1), i(2)), (i(2), i(3))]),
-        );
+        let p =
+            parse_program("def win = map(move - (map(move, x.0) * win), x.0); query win;").unwrap();
+        let db = Database::new().with("move", Relation::from_pairs([(i(1), i(2)), (i(2), i(3))]));
         let t = algebra_to_datalog(&p, &edb_arities(&db), TranslationMode::Naive).unwrap();
         let out = evaluate(&t.program, &db, Semantics::Valid, Budget::SMALL).unwrap();
         assert_eq!(out.model.truth(&t.result_pred, &[i(2)]), Truth::True);
@@ -710,8 +698,13 @@ mod tests {
         // S = {a} − S: undefined on both sides.
         let p = parse_program("def s = {'a'} - s; query s;").unwrap();
         let t = algebra_to_datalog(&p, &BTreeMap::new(), TranslationMode::Naive).unwrap();
-        let out = evaluate(&t.program, &Database::new(), Semantics::Valid, Budget::SMALL)
-            .unwrap();
+        let out = evaluate(
+            &t.program,
+            &Database::new(),
+            Semantics::Valid,
+            Budget::SMALL,
+        )
+        .unwrap();
         assert_eq!(
             out.model.truth(&t.result_pred, &[Value::str("a")]),
             Truth::Unknown

@@ -41,7 +41,10 @@ fn arb_rule() -> impl Strategy<Value = Rule> {
             .prop_map(|(op, v, k)| Literal::Cmp(op, Expr::var(v), Expr::int(k))),
     ];
     (arb_idb_atom(), prop::collection::vec(extra, 0..3)).prop_map(|(head, extras)| {
-        let mut body = vec![Literal::Pos(Atom::new("e", [Expr::var("X"), Expr::var("Y")]))];
+        let mut body = vec![Literal::Pos(Atom::new(
+            "e",
+            [Expr::var("X"), Expr::var("Y")],
+        ))];
         body.extend(extras);
         Rule::new(head, body)
     })
@@ -65,7 +68,9 @@ fn arb_alg_expr() -> impl Strategy<Value = AlgExpr> {
     let leaf = prop_oneof![
         Just(AlgExpr::name("e")),
         prop::collection::btree_set((0i64..4, 0i64..4), 0..3).prop_map(|s| AlgExpr::Lit(
-            s.into_iter().map(|(x, y)| Value::pair(i(x), i(y))).collect()
+            s.into_iter()
+                .map(|(x, y)| Value::pair(i(x), i(y)))
+                .collect()
         )),
     ];
     leaf.prop_recursive(3, 10, 2, |inner| {

@@ -1,0 +1,187 @@
+//! Hash indexes over tuple collections.
+//!
+//! A [`ColumnIndex`] groups items by one column of their tuple key so
+//! that an equi-probe is a hash lookup instead of a scan. It is the
+//! shared building block for the first-column indexes on [`crate::
+//! Relation`] and the datalog interpretation, and for the join indexes
+//! the algebra evaluator builds over loop-invariant sides of a fixpoint.
+//!
+//! Keys are either interned ([`Vid`]) or plain [`Value`]s — the caller
+//! chooses at build time. Interned keys make repeated probes of deep
+//! values O(1) after the first sight; plain keys avoid touching the
+//! global interner (the ablation baseline). Probing with a value that
+//! was never interned is a guaranteed miss and does *not* grow the
+//! interner ([`Vid::lookup`]).
+
+use crate::intern::Vid;
+use crate::value::Value;
+use std::collections::HashMap;
+
+enum KeyMap<T> {
+    Interned(HashMap<Vid, Vec<T>>),
+    Plain(HashMap<Value, Vec<T>>),
+}
+
+/// A hash index of items grouped by one key column.
+pub struct ColumnIndex<T> {
+    map: KeyMap<T>,
+    len: usize,
+}
+
+impl<T> ColumnIndex<T> {
+    /// Build an index over `items`, keying each by `key_of`. Items for
+    /// which `key_of` returns `None` (e.g. the key column is out of
+    /// range) are rejected: the item is returned so the caller can
+    /// surface the same dynamic type error a scan would raise.
+    pub fn build<I, F>(items: I, key_of: F, interned: bool) -> Result<Self, T>
+    where
+        I: IntoIterator<Item = T>,
+        F: Fn(&T) -> Option<&Value>,
+    {
+        let mut len = 0usize;
+        let map = if interned {
+            let mut map: HashMap<Vid, Vec<T>> = HashMap::new();
+            for item in items {
+                match key_of(&item) {
+                    Some(k) => map.entry(Vid::of(k)).or_default().push(item),
+                    None => return Err(item),
+                }
+                len += 1;
+            }
+            KeyMap::Interned(map)
+        } else {
+            let mut map: HashMap<Value, Vec<T>> = HashMap::new();
+            for item in items {
+                match key_of(&item) {
+                    Some(k) => map.entry(k.clone()).or_default().push(item),
+                    None => return Err(item),
+                }
+                len += 1;
+            }
+            KeyMap::Plain(map)
+        };
+        Ok(ColumnIndex { map, len })
+    }
+
+    /// Like [`ColumnIndex::build`], but items without a key are silently
+    /// skipped (they can never match an equality probe).
+    pub fn build_skipping<I, F>(items: I, key_of: F, interned: bool) -> Self
+    where
+        I: IntoIterator<Item = T>,
+        F: Fn(&T) -> Option<&Value>,
+    {
+        let mut len = 0usize;
+        let mut by_vid: HashMap<Vid, Vec<T>> = HashMap::new();
+        let mut by_val: HashMap<Value, Vec<T>> = HashMap::new();
+        for item in items {
+            let Some(k) = key_of(&item) else { continue };
+            if interned {
+                by_vid.entry(Vid::of(k)).or_default().push(item);
+            } else {
+                by_val.entry(k.clone()).or_default().push(item);
+            }
+            len += 1;
+        }
+        ColumnIndex {
+            map: if interned {
+                KeyMap::Interned(by_vid)
+            } else {
+                KeyMap::Plain(by_val)
+            },
+            len,
+        }
+    }
+
+    /// The items whose key equals `key` (empty iterator on a miss).
+    pub fn probe<'a>(&'a self, key: &Value) -> impl Iterator<Item = &'a T> {
+        let bucket = match &self.map {
+            KeyMap::Interned(m) => Vid::lookup(key).and_then(|vid| m.get(&vid)),
+            KeyMap::Plain(m) => m.get(key),
+        };
+        bucket.into_iter().flatten()
+    }
+
+    /// Number of indexed items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the index empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of distinct keys.
+    pub fn key_count(&self) -> usize {
+        match &self.map {
+            KeyMap::Interned(m) => m.len(),
+            KeyMap::Plain(m) => m.len(),
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for ColumnIndex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ColumnIndex")
+            .field("len", &self.len)
+            .field("keys", &self.key_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairs() -> Vec<Value> {
+        vec![
+            Value::pair(Value::int(1), Value::int(10)),
+            Value::pair(Value::int(1), Value::int(11)),
+            Value::pair(Value::int(2), Value::int(20)),
+        ]
+    }
+
+    fn first(v: &Value) -> Option<&Value> {
+        match v {
+            Value::Tuple(t) => t.first(),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn probe_groups_by_key_both_modes() {
+        for interned in [false, true] {
+            let idx = ColumnIndex::build(pairs(), first, interned).unwrap();
+            assert_eq!(idx.len(), 3);
+            assert_eq!(idx.key_count(), 2);
+            assert_eq!(idx.probe(&Value::int(1)).count(), 2);
+            assert_eq!(idx.probe(&Value::int(2)).count(), 1);
+            assert_eq!(idx.probe(&Value::int(3)).count(), 0);
+        }
+    }
+
+    #[test]
+    fn strict_build_rejects_keyless_items() {
+        let mut items = pairs();
+        items.push(Value::int(7)); // not a tuple: no first column
+        let err = ColumnIndex::build(items, first, true).unwrap_err();
+        assert_eq!(err, Value::int(7));
+    }
+
+    #[test]
+    fn skipping_build_drops_keyless_items() {
+        let mut items = pairs();
+        items.push(Value::int(7));
+        let idx = ColumnIndex::build_skipping(items, first, false);
+        assert_eq!(idx.len(), 3);
+    }
+
+    #[test]
+    fn interned_probe_of_unseen_value_is_a_miss() {
+        let idx = ColumnIndex::build(pairs(), first, true).unwrap();
+        // A value that has never been interned anywhere: lookup must not
+        // insert it, and the probe must simply miss.
+        let novel = Value::str("column-index-novel-key");
+        assert_eq!(idx.probe(&novel).count(), 0);
+    }
+}

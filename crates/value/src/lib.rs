@@ -19,6 +19,12 @@
 //! * [`TvSet`] — a three-valued set, represented by a certain lower bound
 //!   and a possible upper bound. This is the value domain over which the
 //!   alternating-fixpoint evaluation of `algebra=` programs runs.
+//! * [`Vid`] and [`Symbol`] — global interning (hash-consing) of values
+//!   and identifier strings, giving the evaluators O(1) equality/hash on
+//!   deep values ([`intern`]).
+//! * [`ColumnIndex`] — hash indexes keyed by one tuple column, used for
+//!   equi-join and matcher probes; [`Relation`] caches a lazy
+//!   first-column index ([`index`]).
 //! * [`Budget`] — explicit resource budgets. The paper works over possibly
 //!   infinite initial models (e.g. the natural numbers with successor);
 //!   domain-independent queries only inspect a finite window of such a
@@ -29,6 +35,8 @@
 #![forbid(unsafe_code)]
 
 pub mod budget;
+pub mod index;
+pub mod intern;
 pub mod relation;
 pub mod truth;
 pub mod tvset;
@@ -36,6 +44,8 @@ pub mod tvset;
 pub mod value;
 
 pub use budget::{Budget, BudgetError};
+pub use index::ColumnIndex;
+pub use intern::{Symbol, Vid};
 pub use relation::{Database, Relation};
 pub use truth::Truth;
 pub use tvset::TvSet;

@@ -6,14 +6,32 @@
 //! elements of any type), and a [`Database`] maps relation names to
 //! relations.
 
+use crate::index::ColumnIndex;
 use crate::value::Value;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 /// A finite set of values: the content of one database "relation".
-#[derive(Clone, PartialEq, Eq, Default, Debug)]
+///
+/// Alongside the canonical `BTreeSet` of members, a relation lazily
+/// caches a hash index over the first column (product convention: a
+/// non-tuple member *is* its own first column). The cache is built on
+/// first use by [`Relation::first_index`] and invalidated by
+/// [`Relation::insert`]; it is ignored by `Clone`-equality semantics,
+/// `PartialEq`, `Debug` and `Display`, so observable behavior is
+/// exactly that of the plain set.
+#[derive(Default)]
 pub struct Relation {
     tuples: BTreeSet<Value>,
+    first_index: OnceLock<Arc<ColumnIndex<Value>>>,
+}
+
+fn first_column(v: &Value) -> Option<&Value> {
+    match v {
+        Value::Tuple(items) => items.first(),
+        other => Some(other),
+    }
 }
 
 impl Relation {
@@ -26,6 +44,7 @@ impl Relation {
     pub fn from_values(values: impl IntoIterator<Item = Value>) -> Self {
         Relation {
             tuples: values.into_iter().collect(),
+            first_index: OnceLock::new(),
         }
     }
 
@@ -33,16 +52,37 @@ impl Relation {
     /// every graph-like example in the paper (MOVE, edges).
     pub fn from_pairs(pairs: impl IntoIterator<Item = (Value, Value)>) -> Self {
         Relation {
-            tuples: pairs
-                .into_iter()
-                .map(|(a, b)| Value::pair(a, b))
-                .collect(),
+            tuples: pairs.into_iter().map(|(a, b)| Value::pair(a, b)).collect(),
+            first_index: OnceLock::new(),
         }
     }
 
-    /// Insert a value; returns whether it was new.
+    /// Insert a value; returns whether it was new. Invalidates the
+    /// cached first-column index.
     pub fn insert(&mut self, v: Value) -> bool {
-        self.tuples.insert(v)
+        let fresh = self.tuples.insert(v);
+        if fresh {
+            self.first_index.take();
+        }
+        fresh
+    }
+
+    /// The lazily built hash index over members' first column (product
+    /// convention: a non-tuple member is its own first column; members
+    /// that are *empty* tuples have no first column and are absent from
+    /// the index — they can never satisfy a first-column equality).
+    /// Subsequent calls return the same cached index until the relation
+    /// is mutated.
+    pub fn first_index(&self) -> Arc<ColumnIndex<Value>> {
+        self.first_index
+            .get_or_init(|| {
+                Arc::new(ColumnIndex::build_skipping(
+                    self.tuples.iter().cloned(),
+                    first_column,
+                    true,
+                ))
+            })
+            .clone()
     }
 
     /// Membership test (two-valued — database relations are extensional).
@@ -105,7 +145,42 @@ impl<'a> IntoIterator for &'a Relation {
 
 impl From<BTreeSet<Value>> for Relation {
     fn from(tuples: BTreeSet<Value>) -> Self {
-        Relation { tuples }
+        Relation {
+            tuples,
+            first_index: OnceLock::new(),
+        }
+    }
+}
+
+// The index cache is derived state: two relations are the same relation
+// iff their member sets are equal, and a clone may share the (immutable)
+// cached index because it describes the same member set.
+impl Clone for Relation {
+    fn clone(&self) -> Self {
+        let first_index = OnceLock::new();
+        if let Some(idx) = self.first_index.get() {
+            let _ = first_index.set(idx.clone());
+        }
+        Relation {
+            tuples: self.tuples.clone(),
+            first_index,
+        }
+    }
+}
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        self.tuples == other.tuples
+    }
+}
+
+impl Eq for Relation {}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Relation")
+            .field("tuples", &self.tuples)
+            .finish()
     }
 }
 
@@ -257,6 +332,38 @@ mod tests {
         assert!(dom.contains(&Value::set([i(2)])));
         assert!(dom.contains(&Value::pair(i(1), Value::set([i(2)]))));
         assert_eq!(dom.len(), 4);
+    }
+
+    #[test]
+    fn first_index_probes_and_invalidates() {
+        let mut r = Relation::from_pairs([(i(1), i(2)), (i(1), i(3)), (i(2), i(3))]);
+        let idx = r.first_index();
+        assert_eq!(idx.probe(&i(1)).count(), 2);
+        assert_eq!(idx.probe(&i(9)).count(), 0);
+        // Same cached index until mutation.
+        assert!(Arc::ptr_eq(&idx, &r.first_index()));
+        r.insert(Value::pair(i(9), i(9)));
+        let idx2 = r.first_index();
+        assert!(!Arc::ptr_eq(&idx, &idx2));
+        assert_eq!(idx2.probe(&i(9)).count(), 1);
+    }
+
+    #[test]
+    fn first_index_uses_product_convention_for_scalars() {
+        let r = Relation::from_values([i(5), Value::pair(i(5), i(6))]);
+        // Both the bare 5 and the pair starting with 5 key to 5.
+        assert_eq!(r.first_index().probe(&i(5)).count(), 2);
+    }
+
+    #[test]
+    fn index_cache_does_not_affect_equality_or_clone() {
+        let r1 = Relation::from_values([i(1), i(2)]);
+        let r2 = Relation::from_values([i(1), i(2)]);
+        let _ = r1.first_index();
+        assert_eq!(r1, r2);
+        let r3 = r1.clone();
+        assert_eq!(r3, r1);
+        assert_eq!(r3.first_index().probe(&i(1)).count(), 1);
     }
 
     #[test]

@@ -79,11 +79,7 @@ fn main() {
     println!("\npositive IFP-algebra roots: {roots:?}");
     assert_eq!(
         roots,
-        out.model
-            .certain
-            .to_relation("root")
-            .as_set()
-            .clone()
+        out.model.certain.to_relation("root").as_set().clone()
     );
 
     // ---- and the Theorem 6.2 translation of the whole program ----------

@@ -27,12 +27,8 @@ fn main() {
     // engines below.
     let spec_bound = 2usize;
     let spec = even_set_spec(spec_bound);
-    let vi = ValidInterpretation::compute_over(
-        &spec,
-        even_set_universe(spec_bound),
-        Budget::LARGE,
-    )
-    .expect("valid interpretation");
+    let vi = ValidInterpretation::compute_over(&spec, even_set_universe(spec_bound), Budget::LARGE)
+        .expect("valid interpretation");
     println!("specification route (valid interpretation of SET(nat) + se):");
     for k in 0..=spec_bound + 1 {
         let t = vi.eq_truth(

@@ -17,10 +17,7 @@ fn main() {
                 (Value::int(4), Value::int(2)), // a cycle 2→3→4→2
             ]),
         )
-        .with(
-            "node",
-            Relation::from_values((1..=4).map(Value::int)),
-        );
+        .with("node", Relation::from_values((1..=4).map(Value::int)));
     println!("database:\n{db}");
 
     // --- an IFP-algebra query: transitive closure -----------------------

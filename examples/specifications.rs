@@ -22,7 +22,10 @@ fn main() {
     )
     .expect("parses");
     let vi = ValidInterpretation::compute(&lamp, 1, Budget::SMALL).expect("interprets");
-    println!("lamp spec: lamp = off is {}", vi.eq_truth(&Term::cons("lamp"), &Term::cons("off")));
+    println!(
+        "lamp spec: lamp = off is {}",
+        vi.eq_truth(&Term::cons("lamp"), &Term::cons("off"))
+    );
     println!("lamp spec: total = {}", vi.is_total());
     let analysis = algrec_adt::initial_valid_model(&lamp, Budget::SMALL).expect("decides");
     println!(
@@ -70,7 +73,10 @@ fn main() {
     .expect("parses");
     let vi3 = ValidInterpretation::compute(&bits, 4, Budget::SMALL).expect("interprets");
     // flip(flip(flip(b0))) = b1 via congruence and the equations
-    let t = Term::op("flip", [Term::op("flip", [Term::op("flip", [Term::cons("b0")])])]);
+    let t = Term::op(
+        "flip",
+        [Term::op("flip", [Term::op("flip", [Term::cons("b0")])])],
+    );
     println!(
         "\nbits: flip^3(b0) = b1 is {}; classes of `bit` in the window: {}",
         vi3.eq_truth(&t, &Term::cons("b1")),

@@ -46,7 +46,10 @@ fn main() {
         "after the Prop 5.2 stage simulation, valid semantics: result(a) = {}",
         sim.model.truth(&t.result_pred, std::slice::from_ref(&a))
     );
-    assert!(sim.model.truth(&t.result_pred, std::slice::from_ref(&a)).is_true());
+    assert!(sim
+        .model
+        .truth(&t.result_pred, std::slice::from_ref(&a))
+        .is_true());
 
     // ===== Thm 3.5: the same query, IFP-free in algebra= =================
     let alg_eq = ifp_algebra_to_algebra_eq(&q, &db, 6).expect("translates");
@@ -68,11 +71,7 @@ fn main() {
     ] {
         let db = Database::new().with(
             "move",
-            Relation::from_pairs(
-                edges
-                    .iter()
-                    .map(|(x, y)| (Value::int(*x), Value::int(*y))),
-            ),
+            Relation::from_pairs(edges.iter().map(|(x, y)| (Value::int(*x), Value::int(*y)))),
         );
         let rt = check_roundtrip(&win, "win", &db, Budget::SMALL).expect("round trip");
         println!(

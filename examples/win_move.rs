@@ -15,11 +15,7 @@ use algrec_datalog::stable_models_of;
 fn game(edges: &[(i64, i64)]) -> Database {
     Database::new().with(
         "move",
-        Relation::from_pairs(
-            edges
-                .iter()
-                .map(|(a, b)| (Value::int(*a), Value::int(*b))),
-        ),
+        Relation::from_pairs(edges.iter().map(|(a, b)| (Value::int(*a), Value::int(*b)))),
     )
 }
 
@@ -64,10 +60,7 @@ fn report(name: &str, edges: &[(i64, i64)]) {
         Ok(models) => {
             println!("  stable models: {}", models.len());
             for (k, m) in models.iter().enumerate() {
-                let wins: Vec<String> = m
-                    .facts("win")
-                    .map(|args| args[0].to_string())
-                    .collect();
+                let wins: Vec<String> = m.facts("win").map(|args| args[0].to_string()).collect();
                 println!("    scenario {k}: win = {{{}}}", wins.join(", "));
             }
         }

@@ -122,19 +122,32 @@ fn cmd_eval(a: &Args) -> Result<(), String> {
     let [program_path, rest @ ..] = a.positional.as_slice() else {
         return Err("usage: algrec eval <program.dl> [facts.dl]".into());
     };
-    let program = algrec::datalog::parser::parse_program(&read(program_path)?)
-        .map_err(|e| e.to_string())?;
+    let program =
+        algrec::datalog::parser::parse_program(&read(program_path)?).map_err(|e| e.to_string())?;
     let db = load_db(rest.first().map(String::as_str))?;
-    let out =
-        evaluate(&program, &db, a.semantics, Budget::LARGE).map_err(|e| e.to_string())?;
+    let out = evaluate(&program, &db, a.semantics, Budget::LARGE).map_err(|e| e.to_string())?;
     match &a.pred {
         Some(p) => {
             for facts in out.model.certain.facts(p) {
-                println!("{p}({}).", facts.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", "));
+                println!(
+                    "{p}({}).",
+                    facts
+                        .iter()
+                        .map(|v| v.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
             }
             for (q, facts) in out.model.unknown_facts() {
                 if &q == p {
-                    println!("% unknown: {p}({})", facts.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", "));
+                    println!(
+                        "% unknown: {p}({})",
+                        facts
+                            .iter()
+                            .map(|v| v.to_string())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
                 }
             }
         }
@@ -183,7 +196,11 @@ fn cmd_spec(a: &Args) -> Result<(), String> {
         for class in classes {
             println!(
                 "  {{ {} }}",
-                class.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(", ")
+                class
+                    .iter()
+                    .map(|t| t.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
             );
         }
     }
@@ -204,8 +221,8 @@ fn cmd_translate(a: &Args) -> Result<(), String> {
         return Err("usage: algrec translate <program.dl> --pred P [facts.dl]".into());
     };
     let pred = a.pred.as_ref().ok_or("translate requires --pred")?;
-    let program = algrec::datalog::parser::parse_program(&read(program_path)?)
-        .map_err(|e| e.to_string())?;
+    let program =
+        algrec::datalog::parser::parse_program(&read(program_path)?).map_err(|e| e.to_string())?;
     let db = load_db(rest.first().map(String::as_str))?;
     let alg = datalog_to_algebra(&program, pred, &algrec_translate::edb_arities(&db))
         .map_err(|e| e.to_string())?;
@@ -217,8 +234,8 @@ fn cmd_stable(a: &Args) -> Result<(), String> {
     let [program_path, rest @ ..] = a.positional.as_slice() else {
         return Err("usage: algrec stable <program.dl> [facts.dl] [--cap N]".into());
     };
-    let program = algrec::datalog::parser::parse_program(&read(program_path)?)
-        .map_err(|e| e.to_string())?;
+    let program =
+        algrec::datalog::parser::parse_program(&read(program_path)?).map_err(|e| e.to_string())?;
     let db = load_db(rest.first().map(String::as_str))?;
     let models = algrec::datalog::stable_models_of(&program, &db, a.cap, Budget::LARGE)
         .map_err(|e| e.to_string())?;
@@ -233,9 +250,7 @@ fn cmd_stable(a: &Args) -> Result<(), String> {
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = raw.split_first() else {
-        return fail(
-            "usage: algrec <eval|alg|spec|translate|stable> … (see --help in the README)",
-        );
+        return fail("usage: algrec <eval|alg|spec|translate|stable> … (see --help in the README)");
     };
     let args = match parse_args(rest) {
         Ok(a) => a,

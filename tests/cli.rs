@@ -34,7 +34,14 @@ fn eval_win_move() {
 #[test]
 fn eval_semantics_flag() {
     let program = write_tmp("q.dl", "r(a).\nq(X) :- r(X), not q(X).");
-    let out = algrec(&["eval", &program, "--semantics", "inflationary", "--pred", "q"]);
+    let out = algrec(&[
+        "eval",
+        &program,
+        "--semantics",
+        "inflationary",
+        "--pred",
+        "q",
+    ]);
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("q(a)."));
     let out2 = algrec(&["eval", &program, "--semantics", "valid", "--pred", "q"]);
@@ -49,10 +56,7 @@ fn alg_command() {
     );
     let out = algrec(&["alg", &program]);
     assert!(out.status.success());
-    assert_eq!(
-        String::from_utf8_lossy(&out.stdout).trim(),
-        "{0, 2, 4, 6}"
-    );
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "{0, 2, 4, 6}");
 }
 
 #[test]
@@ -91,7 +95,10 @@ fn translate_command() {
 
 #[test]
 fn stable_command() {
-    let program = write_tmp("choice.dl", "p(X) :- d(X), not q(X).\nq(X) :- d(X), not p(X).");
+    let program = write_tmp(
+        "choice.dl",
+        "p(X) :- d(X), not q(X).\nq(X) :- d(X), not p(X).",
+    );
     let facts = write_tmp("d.dl", "d(1).");
     let out = algrec(&["stable", &program, &facts]);
     assert!(out.status.success());
@@ -111,5 +118,7 @@ fn error_paths() {
     let withrule = write_tmp("rule-as-facts.dl", "p(X) :- q(X).");
     let prog = write_tmp("ok.dl", "a(1).");
     assert!(!algrec(&["eval", &prog, &withrule]).status.success());
-    assert!(!algrec(&["eval", &prog, "--semantics", "zen"]).status.success());
+    assert!(!algrec(&["eval", &prog, "--semantics", "zen"])
+        .status
+        .success());
 }

@@ -3,10 +3,12 @@
 //! do, and the three-valued structure must be coherent wherever it says
 //! they may not.
 
+use algrec::core::valid_eval::eval_valid_with;
+use algrec::core::{eval_exact_with, AlgExpr, AlgProgram, CmpOp, EvalOptions, FuncExpr, OpDef};
 use algrec::prelude::*;
 use algrec_datalog::parser::parse_program as parse_dl;
 use algrec_datalog::stable_models_of;
-use algrec_translate::inflationary_to_valid;
+use algrec_translate::{datalog_to_algebra, edb_arities, inflationary_to_valid};
 use proptest::prelude::*;
 use std::collections::BTreeSet;
 
@@ -166,6 +168,156 @@ proptest! {
             Ok(out) => prop_assert!(out.model.certain.total() <= 10 + db.get("edge").unwrap().len()),
             Err(algrec_datalog::EvalError::Budget(_)) => {}
             Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+}
+
+/// Random algebra expressions over an `edge`/`n` database: unions,
+/// differences, joins in several recognized and unrecognized shapes
+/// (including out-of-range projections, which must error identically),
+/// maps, and monotone as well as non-monotone IFPs.
+fn arb_alg_expr() -> impl Strategy<Value = AlgExpr> {
+    let leaf = prop_oneof![
+        Just(AlgExpr::name("edge")),
+        Just(AlgExpr::name("n")),
+        Just(AlgExpr::lit([Value::int(1)])),
+        Just(AlgExpr::lit(Vec::new())),
+    ];
+    let eq = |i: usize, j: usize| {
+        FuncExpr::Cmp(
+            CmpOp::Eq,
+            Box::new(FuncExpr::proj(i)),
+            Box::new(FuncExpr::proj(j)),
+        )
+    };
+    leaf.prop_recursive(3, 24, 2, move |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| AlgExpr::union(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| AlgExpr::diff(a, b)),
+            // an equi-join in the recognized shape
+            (inner.clone(), inner.clone())
+                .prop_map(move |(a, b)| AlgExpr::select(AlgExpr::product(a, b), eq(1, 2))),
+            // a selection whose projection may run out of range: the
+            // optimized path must reproduce the exact error behavior
+            (inner.clone(), inner.clone())
+                .prop_map(move |(a, b)| AlgExpr::select(AlgExpr::product(a, b), eq(3, 0))),
+            inner
+                .clone()
+                .prop_map(|a| AlgExpr::map(a, FuncExpr::proj(0))),
+            // monotone IFP (delta-eligible)
+            inner
+                .clone()
+                .prop_map(|a| AlgExpr::ifp("s", AlgExpr::union(AlgExpr::name("s"), a),)),
+            // non-monotone IFP (delta-ineligible: must fall back and agree)
+            inner
+                .clone()
+                .prop_map(|a| AlgExpr::ifp("s", AlgExpr::diff(a, AlgExpr::name("s")),)),
+        ]
+    })
+}
+
+/// A small database with `edge` pairs and its node set `n`.
+fn graph_db(edges: &BTreeSet<(i64, i64)>) -> Database {
+    let mut db = edge_db("edge", edges);
+    let nodes: BTreeSet<i64> = edges.iter().flat_map(|(a, b)| [*a, *b]).collect();
+    db.set(
+        "n",
+        Relation::from_values(nodes.iter().map(|k| Value::int(*k))),
+    );
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The optimized data layer (interning + indexes + delta fixpoints)
+    /// computes exactly what the seed slow path computes on random
+    /// algebra expressions — same sets, same errors, same canonical
+    /// iteration order and rendering.
+    #[test]
+    fn optimized_exact_eval_matches_baseline(
+        expr in arb_alg_expr(),
+        edges in arb_edges(6, 12),
+    ) {
+        let db = graph_db(&edges);
+        let program = AlgProgram::query(expr);
+        let optimized = eval_exact_with(&program, &db, Budget::SMALL, EvalOptions::OPTIMIZED);
+        let baseline = eval_exact_with(&program, &db, Budget::SMALL, EvalOptions::BASELINE);
+        prop_assert_eq!(&optimized, &baseline);
+        if let (Ok(o), Ok(b)) = (&optimized, &baseline) {
+            // canonical (sorted) iteration order, element by element
+            let ov: Vec<&Value> = o.iter().collect();
+            let bv: Vec<&Value> = b.iter().collect();
+            prop_assert_eq!(ov, bv);
+            prop_assert!(o.iter().zip(o.iter().skip(1)).all(|(x, y)| x < y));
+            // rendering unchanged
+            prop_assert_eq!(format!("{o:?}"), format!("{b:?}"));
+        }
+    }
+
+    /// The same agreement under the valid (alternating fixpoint)
+    /// semantics on random recursive definition systems with negation:
+    /// certain members, unknown members, per-constant values, and the
+    /// alternation round count all match the seed slow path.
+    #[test]
+    fn optimized_valid_eval_matches_baseline(
+        body_s in arb_alg_expr(),
+        body_t in arb_alg_expr(),
+        edges in arb_edges(5, 8),
+    ) {
+        let db = graph_db(&edges);
+        // def s = body_s − t; def t = body_t − s; query s ∪ t.
+        // The mutual difference makes undefined (unknown) members likely.
+        let program = AlgProgram::new(
+            [
+                OpDef::new(
+                    "s",
+                    Vec::<String>::new(),
+                    AlgExpr::diff(body_s, AlgExpr::name("t")),
+                ),
+                OpDef::new(
+                    "t",
+                    Vec::<String>::new(),
+                    AlgExpr::diff(body_t, AlgExpr::name("s")),
+                ),
+            ],
+            AlgExpr::union(AlgExpr::name("s"), AlgExpr::name("t")),
+        ).unwrap();
+        let optimized = eval_valid_with(&program, &db, Budget::SMALL, EvalOptions::OPTIMIZED);
+        let baseline = eval_valid_with(&program, &db, Budget::SMALL, EvalOptions::BASELINE);
+        match (optimized, baseline) {
+            (Ok(o), Ok(b)) => {
+                prop_assert_eq!(&o.query, &b.query);
+                prop_assert_eq!(&o.constants, &b.constants);
+                prop_assert_eq!(o.outer_rounds, b.outer_rounds);
+                // certain and unknown members, in canonical order
+                let oc: Vec<&Value> = o.query.lower().iter().collect();
+                let bc: Vec<&Value> = b.query.lower().iter().collect();
+                prop_assert_eq!(oc, bc);
+                prop_assert_eq!(o.query.unknown_members(), b.query.unknown_members());
+            }
+            (o, b) => prop_assert_eq!(o.err(), b.err()),
+        }
+    }
+
+    /// Theorem 6.2 round trips with the optimized algebra side: the
+    /// translated algebra= program agrees with the deduction engine on
+    /// certain AND unknown facts under every optimization combination.
+    #[test]
+    fn optimized_roundtrip_agrees_on_random_games(edges in arb_edges(6, 10)) {
+        let db = edge_db("move", &edges);
+        let program = win_program();
+        let alg = datalog_to_algebra(&program, "win", &edb_arities(&db)).unwrap();
+        let reference = eval_valid_with(&alg, &db, Budget::SMALL, EvalOptions::BASELINE).unwrap();
+        for opts in [
+            EvalOptions::OPTIMIZED,
+            EvalOptions { interning: false, ..EvalOptions::OPTIMIZED },
+            EvalOptions { index: false, ..EvalOptions::OPTIMIZED },
+            EvalOptions { delta: false, ..EvalOptions::OPTIMIZED },
+        ] {
+            let out = eval_valid_with(&alg, &db, Budget::SMALL, opts).unwrap();
+            prop_assert_eq!(&out.query, &reference.query);
+            prop_assert_eq!(&out.constants, &reference.constants);
         }
     }
 }

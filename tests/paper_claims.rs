@@ -33,7 +33,10 @@ fn section_2_1_set_specification() {
         Truth::True
     );
     assert_eq!(
-        vi.eq_truth(&Term::op("mem", [specs::numeral(1), single]), &Term::cons("ff")),
+        vi.eq_truth(
+            &Term::op("mem", [specs::numeral(1), single]),
+            &Term::cons("ff")
+        ),
         Truth::True
     );
 }
@@ -61,8 +64,7 @@ fn example_1_even_set_specification() {
 /// Example 2: three valid models, none initial.
 #[test]
 fn example_2_no_initial_valid_model() {
-    let analysis =
-        algrec_adt::initial_valid_model(&specs::example2_spec(), Budget::SMALL).unwrap();
+    let analysis = algrec_adt::initial_valid_model(&specs::example2_spec(), Budget::SMALL).unwrap();
     assert_eq!(analysis.valid_models.len(), 3);
     assert!(analysis.initial.is_none());
 }
@@ -147,10 +149,9 @@ fn prop_3_2_gadget_undefined() {
 #[test]
 fn prop_3_4_monotone_fixpoints() {
     let db = Database::new().with("edge", ints(&[(1, 2), (2, 3), (3, 1)]));
-    let tc_body = algrec_core::parser::parse_expr(
-        "edge union map(select(x * edge, x.1 = x.2), [x.0, x.3])",
-    )
-    .unwrap();
+    let tc_body =
+        algrec_core::parser::parse_expr("edge union map(select(x * edge, x.1 = x.2), [x.0, x.3])")
+            .unwrap();
     let out = prop34_check("x", &tc_body, &db, Budget::SMALL).unwrap();
     assert!(out.monotone && out.agree);
 

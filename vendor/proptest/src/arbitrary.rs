@@ -1,0 +1,64 @@
+//! The `Arbitrary` trait and `any::<T>()`, for the few types the
+//! workspace asks for by type rather than by explicit strategy.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical strategy.
+pub trait Arbitrary: Sized {
+    /// The canonical strategy's concrete type.
+    type Strategy: Strategy<Value = Self>;
+    /// The canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `A`.
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Fair coin strategy for `bool`.
+#[derive(Clone, Copy, Debug)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn gen_value(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty => $any:ident),*) => {$(
+        /// Full-range integer strategy.
+        #[derive(Clone, Copy, Debug)]
+        pub struct $any;
+
+        impl Strategy for $any {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = $any;
+            fn arbitrary() -> $any {
+                $any
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int! {
+    i8 => AnyI8, i16 => AnyI16, i32 => AnyI32, i64 => AnyI64,
+    u8 => AnyU8, u16 => AnyU16, u32 => AnyU32, u64 => AnyU64,
+    usize => AnyUsize, isize => AnyIsize
+}

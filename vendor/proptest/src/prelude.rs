@@ -1,0 +1,13 @@
+//! The glob-import surface: `use proptest::prelude::*;`.
+
+pub use crate::arbitrary::{any, Arbitrary};
+pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+pub use crate::test_runner::{ProptestConfig, TestCaseError};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+/// Namespace mirror so `prop::collection::vec` etc. resolve after a
+/// prelude glob import.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}

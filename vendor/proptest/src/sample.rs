@@ -1,0 +1,25 @@
+//! Sampling strategies over fixed sets of values.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Uniform choice of one element (cloned) from a slice.
+pub fn select<T: Clone>(items: &[T]) -> Select<T> {
+    assert!(!items.is_empty(), "select over an empty slice");
+    Select {
+        items: items.to_vec(),
+    }
+}
+
+/// Strategy returned by [`select`].
+#[derive(Clone)]
+pub struct Select<T: Clone> {
+    items: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        self.items[rng.below(self.items.len())].clone()
+    }
+}

@@ -1,0 +1,244 @@
+//! The `Strategy` trait and core combinators.
+
+use crate::test_runner::TestRng;
+use std::sync::Arc;
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike real proptest there is no shrinking: a strategy is just a
+/// deterministic function from an RNG stream to a value. Strategies are
+/// `Clone` so they can be reused across recursion arms.
+pub trait Strategy: Clone {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<B, F>(self, f: F) -> Map<Self, B>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> B + 'static,
+    {
+        Map {
+            inner: self,
+            f: Arc::new(f),
+        }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Arc::new(self),
+        }
+    }
+
+    /// Build recursive structures: `self` generates leaves, and `recurse`
+    /// wraps an inner strategy into one more layer. The size and branch
+    /// hints are accepted for API compatibility and ignored; `depth`
+    /// alone bounds the nesting.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        let mut layered = self.boxed();
+        for _ in 0..depth {
+            layered = recurse(layered).boxed();
+        }
+        layered
+    }
+}
+
+/// Object-safe mirror of [`Strategy`] used by [`BoxedStrategy`].
+trait DynStrategy<T> {
+    fn dyn_gen(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_gen(&self, rng: &mut TestRng) -> S::Value {
+        self.gen_value(rng)
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T> {
+    inner: Arc<dyn DynStrategy<T>>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        self.inner.dyn_gen(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S: Strategy, B> {
+    inner: S,
+    f: Arc<dyn Fn(S::Value) -> B>,
+}
+
+impl<S: Strategy, B> Clone for Map<S, B> {
+    fn clone(&self) -> Self {
+        Map {
+            inner: self.inner.clone(),
+            f: Arc::clone(&self.f),
+        }
+    }
+}
+
+impl<S: Strategy, B> Strategy for Map<S, B> {
+    type Value = B;
+    fn gen_value(&self, rng: &mut TestRng) -> B {
+        (self.f)(self.inner.gen_value(rng))
+    }
+}
+
+/// Uniform choice among several strategies (built by `prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over the given arms (must be nonempty).
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            arms: self.arms.clone(),
+        }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        let k = rng.below(self.arms.len());
+        self.arms[k].gen_value(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for ::std::ops::Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                let lo = self.start as i128;
+                let hi = self.end as i128;
+                assert!(lo < hi, "empty range strategy {:?}", self);
+                let width = (hi - lo) as u128;
+                (lo + (u128::from(rng.next_u64()) % width) as i128) as $t
+            }
+        }
+        impl Strategy for ::std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                let lo = *self.start() as i128;
+                let hi = *self.end() as i128 + 1;
+                assert!(lo < hi, "empty range strategy {:?}", self);
+                let width = (hi - lo) as u128;
+                (lo + (u128::from(rng.next_u64()) % width) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($s,)+) = self;
+                ($($s.gen_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_and_maps_generate_in_bounds() {
+        let mut rng = TestRng::new(5);
+        let s = (0i64..10).prop_map(|x| x * 2);
+        for _ in 0..100 {
+            let v = s.gen_value(&mut rng);
+            assert!((0..20).contains(&v) && v % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        let leaf = (0i64..3).prop_map(|n| vec![n]);
+        let nested = leaf.prop_recursive(4, 16, 3, |inner| {
+            (inner.clone(), inner).prop_map(|(mut a, b)| {
+                a.extend(b);
+                a
+            })
+        });
+        let mut rng = TestRng::new(9);
+        for _ in 0..20 {
+            assert!(!nested.gen_value(&mut rng).is_empty());
+        }
+    }
+
+    #[test]
+    fn union_picks_every_arm() {
+        let u = Union::new(vec![Just(1i64).boxed(), Just(2i64).boxed()]);
+        let mut rng = TestRng::new(3);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..50 {
+            seen.insert(u.gen_value(&mut rng));
+        }
+        assert_eq!(seen.len(), 2);
+    }
+}

@@ -1,0 +1,128 @@
+//! String strategies from a tiny regex subset.
+//!
+//! A `&'static str` is itself a strategy, interpreting the pattern as a
+//! sequence of atoms: a character class `[a-dxy]` (ranges and single
+//! characters) or a literal character, each optionally followed by a
+//! `{m}` or `{m,n}` repetition. This covers the patterns used in this
+//! workspace (e.g. `"[a-d]{1,3}"`); anything fancier panics loudly.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Clone, Debug)]
+struct Atom {
+    choices: Vec<char>,
+    min: usize,
+    max: usize, // inclusive
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let choices = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed '[' in pattern {pattern:?}"))
+                    + i;
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j], chars[j + 2]);
+                        assert!(lo <= hi, "bad class range in pattern {pattern:?}");
+                        for c in lo..=hi {
+                            set.push(c);
+                        }
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                assert!(!set.is_empty(), "empty class in pattern {pattern:?}");
+                i = close + 1;
+                set
+            }
+            '{' | '}' | ']' | '(' | ')' | '*' | '+' | '?' | '|' | '\\' | '.' => {
+                panic!(
+                    "unsupported regex feature {:?} in pattern {pattern:?}",
+                    chars[i]
+                )
+            }
+            literal => {
+                i += 1;
+                vec![literal]
+            }
+        };
+        let (mut min, mut max) = (1usize, 1usize);
+        if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed '{{' in pattern {pattern:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            let mut parts = body.splitn(2, ',');
+            min = parts
+                .next()
+                .unwrap()
+                .trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("bad repeat in pattern {pattern:?}"));
+            max = match parts.next() {
+                Some(m) => m
+                    .trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad repeat in pattern {pattern:?}")),
+                None => min,
+            };
+            assert!(min <= max, "bad repeat bounds in pattern {pattern:?}");
+            i = close + 1;
+        }
+        atoms.push(Atom { choices, min, max });
+    }
+    atoms
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in parse_pattern(self) {
+            let reps = rng.in_range(atom.min, atom.max + 1);
+            for _ in 0..reps {
+                out.push(atom.choices[rng.below(atom.choices.len())]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_repeat() {
+        let mut rng = TestRng::new(21);
+        for _ in 0..100 {
+            let s = "[a-d]{1,3}".gen_value(&mut rng);
+            assert!((1..=3).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='d').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn bare_class_and_literals() {
+        let mut rng = TestRng::new(22);
+        for _ in 0..50 {
+            let s = "x[0-2]y".gen_value(&mut rng);
+            assert_eq!(s.len(), 3);
+            assert!(s.starts_with('x') && s.ends_with('y'));
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors a minimal, deterministic implementation of the API
+//! surface it actually uses: `rngs::StdRng`, `SeedableRng::seed_from_u64`,
+//! and the `RngExt` helpers `random_range` / `random_bool`. The generator
+//! is SplitMix64 — statistically fine for workload synthesis, not
+//! cryptographic. Determinism in the seed is the only contract the
+//! workspace relies on (generators must be reproducible across runs).
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// RNGs that can be constructed from a `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is a pure function of `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Sources of raw random 64-bit words.
+pub trait RngCore {
+    /// Produce the next 64-bit word of the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    /// The standard deterministic generator (SplitMix64 under the hood).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(state: u64) -> Self {
+        rngs::StdRng { state }
+    }
+}
+
+impl RngCore for rngs::StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Integer types that can be sampled uniformly from a half-open range.
+pub trait UniformInt: Copy {
+    /// Map a raw 64-bit word into `[range.start, range.end)`.
+    fn sample_from(word: u64, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn sample_from(word: u64, range: Range<Self>) -> Self {
+                let lo = range.start as i128;
+                let hi = range.end as i128;
+                assert!(lo < hi, "random_range called with an empty range");
+                let width = (hi - lo) as u128;
+                (lo + (u128::from(word) % width) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// Convenience sampling methods, mirroring `rand`'s extension trait.
+pub trait RngExt: RngCore {
+    /// Uniform sample from a half-open integer range.
+    fn random_range<T: UniformInt>(&mut self, range: Range<T>) -> T {
+        T::sample_from(self.next_u64(), range)
+    }
+
+    /// A Bernoulli trial with success probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<R: RngCore> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0i64..1000), b.random_range(0i64..1000));
+        }
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.random_range(-5i64..5);
+            assert!((-5..5).contains(&x));
+            let u = rng.random_range(0usize..3);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn bool_probability_roughly_respected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.7)).count();
+        assert!((6_500..7_500).contains(&hits), "hits = {hits}");
+    }
+}
