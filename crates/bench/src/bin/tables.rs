@@ -6,10 +6,13 @@
 //!   cargo run -p algrec-bench --bin tables --release            # full sweep
 //!   cargo run -p algrec-bench --bin tables --release -- --quick # small sweep
 //!   cargo run -p algrec-bench --bin tables --release -- --json out.json
+//!   cargo run -p algrec-bench --bin tables --release -- --stats # + telemetry
 //!
-//! The report (default `BENCH_1.json`) captures per-experiment headers,
+//! The report (default `BENCH_2.json`) captures per-experiment headers,
 //! rows, and raw numeric timings so the perf trajectory is tracked across
-//! PRs.
+//! PRs. With `--stats`, E1/E3/E4/E9 repeat each evaluation once traced
+//! (separately from the timed run, which stays untraced) and embed the
+//! collected `EvalStats` under each experiment's `"stats"` key.
 
 use algrec_bench::experiments as e;
 use algrec_bench::table::{report_json, Table};
@@ -17,12 +20,13 @@ use algrec_bench::table::{report_json, Table};
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let stats = args.iter().any(|a| a == "--stats");
     let json_path = args
         .iter()
         .position(|a| a == "--json")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_1.json".to_string());
+        .unwrap_or_else(|| "BENCH_2.json".to_string());
 
     let (small, medium): (Vec<i64>, Vec<i64>) = if quick {
         (vec![8, 16], vec![8, 12])
@@ -40,14 +44,14 @@ fn main() {
         tables.push(t);
     };
 
-    run(e::e1(&small));
+    run(e::e1(&small, stats));
     // E2's naive translation re-materializes the product sub-predicate at
     // every inflationary stage (a measured cost of the verbatim Prop 5.1
     // construction), so its sweep stays smaller.
     let e2_sizes: Vec<i64> = if quick { vec![8, 16] } else { vec![16, 32, 48] };
     run(e::e2(&e2_sizes));
-    run(e::e3(&medium));
-    run(e::e4(&medium));
+    run(e::e3(&medium, stats));
+    run(e::e4(&medium, stats));
     run(e::e5());
     run(e::e6(
         if quick { 12 } else { 24 },
@@ -58,6 +62,7 @@ fn main() {
     run(e::e9(
         *small.last().expect("non-empty sweep"),
         *medium.last().expect("non-empty sweep"),
+        stats,
     ));
 
     let refs: Vec<&Table> = tables.iter().collect();

@@ -9,21 +9,33 @@
 use crate::table::{fmt_dur, Table};
 use crate::workloads as w;
 use algrec_core::analysis::prop34_check;
-use algrec_core::eval_exact;
-use algrec_datalog::{evaluate, stable_models_of, EvalError, Semantics};
+use algrec_core::{eval_exact, eval_exact_traced, EvalOptions};
+use algrec_datalog::{evaluate, evaluate_traced, stable_models_of, EvalError, Semantics};
 use algrec_translate::{
-    algebra_to_datalog, check_roundtrip, edb_arities, inflationary_to_valid, TranslationMode,
+    algebra_to_datalog, check_roundtrip, edb_arities, inflationary_to_valid, measured_stages,
+    TranslationMode,
 };
-use algrec_value::{Budget, Database, Value};
+use algrec_value::{Budget, Database, Trace, Value};
 use std::time::Instant;
 
 fn budget() -> Budget {
     Budget::LARGE
 }
 
+/// Re-run a traced evaluation and pull the collected stats out. The timed
+/// measurements above each call stay untraced (Null sink) so telemetry
+/// never skews the reported numbers.
+fn collect<T>(run: impl FnOnce(Trace) -> T) -> algrec_value::EvalStats {
+    let trace = Trace::collect();
+    let _ = run(trace.clone());
+    trace.stats().expect("collecting trace has stats")
+}
+
 /// E1 — Theorem 4.3: stratified safe deduction ≡ positive IFP-algebra.
-/// Transitive closure + complement on random graphs.
-pub fn e1(sizes: &[i64]) -> Table {
+/// Transitive closure + complement on random graphs. With `stats`, each
+/// run is repeated once traced and its [`algrec_value::EvalStats`] lands
+/// in the report.
+pub fn e1(sizes: &[i64], stats: bool) -> Table {
     let mut t = Table::new(
         "E1",
         "Thm 4.3: stratified deduction ≡ positive IFP-algebra (TC + complement)",
@@ -60,6 +72,20 @@ pub fn e1(sizes: &[i64]) -> Table {
             .collect();
         let agree = a_out == expected;
         assert!(agree, "E1 equivalence failed at n={n}");
+        if stats {
+            t.stat(
+                format!("deduction_n{n}"),
+                collect(|tr| {
+                    evaluate_traced(&ded, &db, Semantics::Stratified, budget(), tr).unwrap()
+                }),
+            );
+            t.stat(
+                format!("algebra_n{n}"),
+                collect(|tr| {
+                    eval_exact_traced(&alg, &db, budget(), EvalOptions::default(), tr).unwrap()
+                }),
+            );
+        }
         t.metric(format!("t_deduction_n{n}_s"), t_d.as_secs_f64());
         t.metric(format!("t_algebra_n{n}_s"), t_a.as_secs_f64());
         t.row(vec![
@@ -177,14 +203,20 @@ pub fn e2(sizes: &[i64]) -> Table {
 }
 
 /// E3 — Prop 5.2: the stage simulation makes inflationary results
-/// valid-computable, at a measurable cost.
-pub fn e3(sizes: &[i64]) -> Table {
+/// valid-computable, at a measurable cost. The step-index blow-up is
+/// reported as *measured* iteration counts: the source program's
+/// inflationary rounds next to the first-appearance stages the staged
+/// program actually used (they must line up — the simulation derives each
+/// fact at exactly its source round).
+pub fn e3(sizes: &[i64], stats: bool) -> Table {
     let mut t = Table::new(
         "E3",
         "Prop 5.2: inflationary → valid stage simulation (overhead of the encoding)",
         &[
             "n",
-            "stages",
+            "stage_bound",
+            "rounds_infl",
+            "stages_used",
             "t_inflationary",
             "t_staged_valid",
             "overhead",
@@ -207,10 +239,38 @@ pub fn e3(sizes: &[i64]) -> Table {
         let a: std::collections::BTreeSet<_> = infl.model.certain.facts("win").cloned().collect();
         let b: std::collections::BTreeSet<_> = valid.model.certain.facts("win").cloned().collect();
         assert_eq!(a, b, "E3 failed at n={n}");
+        // The blow-up, measured: the staged program's facts first appear
+        // at exactly the source program's productive rounds (the source
+        // has no IDB ground facts, so the counters align at rounds − 1:
+        // the last inflationary round derives nothing).
+        let stages_used = measured_stages(&valid.model.certain, &p);
+        assert_eq!(
+            stages_used,
+            infl.rounds as i64 - 1,
+            "E3 stage/round mismatch at n={n}"
+        );
+        if stats {
+            t.stat(
+                format!("inflationary_n{n}"),
+                collect(|tr| {
+                    evaluate_traced(&p, &db, Semantics::Inflationary, budget(), tr).unwrap()
+                }),
+            );
+            t.stat(
+                format!("staged_valid_n{n}"),
+                collect(|tr| {
+                    evaluate_traced(&staged, &db, Semantics::Valid, budget(), tr).unwrap()
+                }),
+            );
+        }
+        t.metric(format!("rounds_inflationary_n{n}"), infl.rounds as f64);
+        t.metric(format!("stages_used_n{n}"), stages_used as f64);
         let overhead = t_s.as_secs_f64() / t_i.as_secs_f64().max(1e-9);
         t.row(vec![
             n.to_string(),
             stages.to_string(),
+            infl.rounds.to_string(),
+            stages_used.to_string(),
             fmt_dur(t_i),
             fmt_dur(t_s),
             format!("{overhead:.1}x"),
@@ -222,7 +282,7 @@ pub fn e3(sizes: &[i64]) -> Table {
 
 /// E4 — Prop 6.1 / Thm 6.2: safe deduction → algebra=, three-valued
 /// round-trip agreement on the paper's workloads.
-pub fn e4(sizes: &[i64]) -> Table {
+pub fn e4(sizes: &[i64], stats: bool) -> Table {
     let mut t = Table::new(
         "E4",
         "Thm 6.2: deduction ≡ algebra= under the valid semantics (3-valued round trips)",
@@ -265,6 +325,14 @@ pub fn e4(sizes: &[i64]) -> Table {
             let t_a = t1.elapsed();
             assert!(rt.agree(), "E4 {name} failed at n={n}");
             let _ = dl;
+            if stats {
+                t.stat(
+                    format!("deduction_{name}_n{n}"),
+                    collect(|tr| {
+                        evaluate_traced(&program, &db, Semantics::Valid, budget(), tr).unwrap()
+                    }),
+                );
+            }
             t.metric(format!("t_deduction_{name}_n{n}_s"), t_d.as_secs_f64());
             t.metric(format!("t_algebra_{name}_n{n}_s"), t_a.as_secs_f64());
             t.row(vec![
@@ -516,9 +584,9 @@ pub fn e8(sizes: &[i64]) -> Table {
 /// as translated `algebra=`, alternating fixpoint). `baseline` is the
 /// seed evaluator's strategy (all toggles off); every configuration must
 /// agree with it exactly.
-pub fn e9(n_exact: i64, n_valid: i64) -> Table {
-    use algrec_core::valid_eval::eval_valid_with;
-    use algrec_core::{eval_exact_with, EvalOptions};
+pub fn e9(n_exact: i64, n_valid: i64, stats: bool) -> Table {
+    use algrec_core::eval_exact_with;
+    use algrec_core::valid_eval::{eval_valid_traced, eval_valid_with};
     use algrec_translate::datalog_to_algebra;
 
     let combos: [(&str, EvalOptions); 5] = [
@@ -574,6 +642,17 @@ pub fn e9(n_exact: i64, n_valid: i64) -> Table {
             }
             timed.push((name, el));
         }
+        if stats {
+            for (name, opts) in [
+                ("all-on", EvalOptions::OPTIMIZED),
+                ("baseline", EvalOptions::BASELINE),
+            ] {
+                t.stat(
+                    format!("exact_{name}_n{n}"),
+                    collect(|tr| eval_exact_traced(&alg, &db, budget(), opts, tr).unwrap()),
+                );
+            }
+        }
         for (name, el) in timed {
             let speedup = baseline_s / el.as_secs_f64().max(1e-9);
             t.metric(format!("t_exact_{name}_n{n}_s"), el.as_secs_f64());
@@ -611,6 +690,17 @@ pub fn e9(n_exact: i64, n_valid: i64) -> Table {
             }
             timed.push((name, el));
         }
+        if stats {
+            for (name, opts) in [
+                ("all-on", EvalOptions::OPTIMIZED),
+                ("baseline", EvalOptions::BASELINE),
+            ] {
+                t.stat(
+                    format!("valid_{name}_n{n}"),
+                    collect(|tr| eval_valid_traced(&alg, &db, budget(), opts, tr).unwrap()),
+                );
+            }
+        }
         for (name, el) in timed {
             let speedup = baseline_s / el.as_secs_f64().max(1e-9);
             t.metric(format!("t_valid_{name}_n{n}_s"), el.as_secs_f64());
@@ -636,8 +726,10 @@ mod tests {
 
     #[test]
     fn e1_runs() {
-        let t = e1(&[8]);
+        let t = e1(&[8], true);
         assert_eq!(t.rows.len(), 1);
+        assert_eq!(t.stats.len(), 2); // deduction + algebra telemetry
+        assert!(t.stats.iter().all(|(_, s)| s.facts_materialized > 0));
     }
 
     #[test]
@@ -649,14 +741,20 @@ mod tests {
 
     #[test]
     fn e3_runs() {
-        let t = e3(&[8]);
+        let t = e3(&[8], true);
         assert_eq!(t.rows.len(), 1);
+        // inflationary + staged-valid telemetry; the staged simulation pays
+        // for the step-index encoding in iterations — the measured blow-up
+        // E3 exists to report.
+        assert_eq!(t.stats.len(), 2);
+        assert!(t.stats[1].1.iterations >= t.stats[0].1.iterations);
     }
 
     #[test]
     fn e4_runs() {
-        let t = e4(&[6]);
+        let t = e4(&[6], true);
         assert_eq!(t.rows.len(), 3);
+        assert_eq!(t.stats.len(), 3); // one valid-deduction run per workload
     }
 
     #[test]
@@ -685,9 +783,20 @@ mod tests {
 
     #[test]
     fn e9_runs() {
-        let t = e9(8, 6);
+        let t = e9(8, 6, true);
         assert_eq!(t.rows.len(), 10); // 5 configurations × 2 workloads
         assert!(t.rows.iter().all(|r| r[5] == "yes"));
         assert_eq!(t.metrics.len(), 10);
+        // {exact,valid} × {all-on,baseline}; optimized and baseline must
+        // materialize the same result.
+        assert_eq!(t.stats.len(), 4);
+        assert_eq!(
+            t.stats[0].1.facts_materialized,
+            t.stats[1].1.facts_materialized
+        );
+        assert_eq!(
+            t.stats[2].1.facts_materialized,
+            t.stats[3].1.facts_materialized
+        );
     }
 }

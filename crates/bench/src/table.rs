@@ -1,5 +1,6 @@
 //! Minimal aligned-text tables for the experiment reports.
 
+use algrec_value::EvalStats;
 use std::fmt;
 
 /// A rendered experiment table.
@@ -15,6 +16,11 @@ pub struct Table {
     /// Numeric side-channel metrics (name → value), e.g. raw timings in
     /// seconds, for the machine-readable report.
     pub metrics: Vec<(String, f64)>,
+    /// Evaluation telemetry per labelled run (see
+    /// [`algrec_value::stats`]), collected by untimed traced re-runs so
+    /// the timing columns stay untraced. Serialized under `"stats"` in
+    /// the machine-readable report.
+    pub stats: Vec<(String, EvalStats)>,
 }
 
 impl Table {
@@ -26,6 +32,7 @@ impl Table {
             headers: headers.iter().map(|s| s.to_string()).collect(),
             rows: Vec::new(),
             metrics: Vec::new(),
+            stats: Vec::new(),
         }
     }
 
@@ -40,8 +47,13 @@ impl Table {
         self.metrics.push((name.into(), value));
     }
 
-    /// The table as a JSON object (headers, formatted rows, and numeric
-    /// metrics).
+    /// Record evaluation telemetry for a labelled run.
+    pub fn stat(&mut self, label: impl Into<String>, stats: EvalStats) {
+        self.stats.push((label.into(), stats));
+    }
+
+    /// The table as a JSON object (headers, formatted rows, numeric
+    /// metrics, and per-run evaluation stats).
     pub fn to_json(&self) -> String {
         let headers: Vec<String> = self.headers.iter().map(|h| json_str(h)).collect();
         let rows: Vec<String> = self
@@ -57,13 +69,19 @@ impl Table {
             .iter()
             .map(|(name, value)| format!("{}:{}", json_str(name), json_num(*value)))
             .collect();
+        let stats: Vec<String> = self
+            .stats
+            .iter()
+            .map(|(label, s)| format!("{}:{}", json_str(label), s.to_json()))
+            .collect();
         format!(
-            "{{\"id\":{},\"title\":{},\"headers\":[{}],\"rows\":[{}],\"metrics\":{{{}}}}}",
+            "{{\"id\":{},\"title\":{},\"headers\":[{}],\"rows\":[{}],\"metrics\":{{{}}},\"stats\":{{{}}}}}",
             json_str(self.id),
             json_str(&self.title),
             headers.join(","),
             rows.join(","),
-            metrics.join(",")
+            metrics.join(","),
+            stats.join(",")
         )
     }
 }

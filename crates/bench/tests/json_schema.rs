@@ -1,0 +1,85 @@
+//! Golden test for the shape of the machine-readable report that
+//! `tables --json` writes (`BENCH_N.json`). Pins the *schema* — key
+//! names, nesting, and value kinds, including the `stats` telemetry
+//! object — against a deterministic table, never actual timings. If a
+//! field is renamed, added or dropped, this test fails with the full
+//! expected/actual documents so downstream consumers of the report hear
+//! about it here rather than in a dashboard.
+
+use algrec_bench::table::{report_json, Table};
+use algrec_value::{EvalStats, PhaseStats};
+
+/// A fully deterministic table: no wall-clock anywhere (phase wall time
+/// is set by hand, in whole milliseconds, so the `{:.3}` formatting is
+/// exact).
+fn golden_table() -> Table {
+    let mut t = Table::new("E0", "golden schema", &["n", "agree"]);
+    t.row(vec!["8".into(), "yes".into()]);
+    t.metric("t_run_n8_s", 0.25);
+    let stats = EvalStats {
+        phases: vec![
+            (
+                "semi-naive".into(),
+                PhaseStats {
+                    iterations: 3,
+                    deltas: vec![4, 2, 0],
+                    wall_nanos: 2_000_000,
+                },
+            ),
+            (
+                "certain".into(),
+                PhaseStats {
+                    iterations: 1,
+                    deltas: vec![0],
+                    wall_nanos: 1_000_000,
+                },
+            ),
+        ],
+        iterations: 4,
+        facts_inserted: 6,
+        facts_materialized: 6,
+        deltas: vec![4, 2, 0, 0],
+        index_builds: 1,
+        index_probes: 5,
+        index_hits: 4,
+        interned_values: 10,
+        interned_symbols: 2,
+    };
+    t.stat("run_n8", stats);
+    t
+}
+
+#[test]
+fn table_json_matches_golden() {
+    let expected = concat!(
+        "{\"id\":\"E0\",\"title\":\"golden schema\",",
+        "\"headers\":[\"n\",\"agree\"],",
+        "\"rows\":[[\"8\",\"yes\"]],",
+        "\"metrics\":{\"t_run_n8_s\":0.25},",
+        "\"stats\":{\"run_n8\":{",
+        "\"iterations\":4,\"facts_inserted\":6,\"facts_materialized\":6,",
+        "\"deltas\":[4,2,0,0],",
+        "\"index\":{\"builds\":1,\"probes\":5,\"hits\":4},",
+        "\"interned\":{\"values\":10,\"symbols\":2},",
+        "\"phases\":[",
+        "{\"name\":\"semi-naive\",\"iterations\":3,\"wall_ms\":2.000,\"deltas\":[4,2,0]},",
+        "{\"name\":\"certain\",\"iterations\":1,\"wall_ms\":1.000,\"deltas\":[0]}",
+        "]}}}"
+    );
+    assert_eq!(golden_table().to_json(), expected);
+}
+
+#[test]
+fn report_json_wraps_experiments() {
+    let t = golden_table();
+    let report = report_json(&[&t]);
+    assert_eq!(report, format!("{{\"experiments\":[{}]}}", t.to_json()));
+}
+
+#[test]
+fn empty_stats_serializes_as_empty_object() {
+    // Runs without --stats must still produce the key (consumers can rely
+    // on its presence) with an empty object.
+    let t = Table::new("E0", "no stats", &["a"]);
+    assert!(t.to_json().contains("\"stats\":{}"));
+}

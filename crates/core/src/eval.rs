@@ -40,7 +40,7 @@ use crate::expr::{AlgExpr, CmpOp, FuncExpr};
 use crate::program::AlgProgram;
 use crate::CoreError;
 use algrec_value::budget::Meter;
-use algrec_value::{Budget, ColumnIndex, Database, Symbol, Value};
+use algrec_value::{Budget, ColumnIndex, Database, Symbol, Trace, Value};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
@@ -86,8 +86,15 @@ impl EvalOptions {
 }
 
 impl Default for EvalOptions {
+    /// [`EvalOptions::OPTIMIZED`], unless the `ALGREC_EVAL_BASELINE`
+    /// environment variable is set to a non-empty value, which forces
+    /// [`EvalOptions::BASELINE`]. The CI matrix uses this to run the whole
+    /// test suite down the unoptimized path without code changes.
     fn default() -> Self {
-        EvalOptions::OPTIMIZED
+        match std::env::var_os("ALGREC_EVAL_BASELINE") {
+            Some(v) if !v.is_empty() => EvalOptions::BASELINE,
+            _ => EvalOptions::OPTIMIZED,
+        }
     }
 }
 
@@ -541,6 +548,7 @@ impl<'a> Evaluator<'a> {
         let mut acc: SetRef = Arc::new(BTreeSet::new());
         let mut delta: BTreeSet<Value> = BTreeSet::new();
         let mut first = true;
+        meter.phase_start("ifp");
         loop {
             meter.tick_iteration()?;
             self.locals.push((vsym, acc.clone()));
@@ -570,7 +578,9 @@ impl<'a> Evaluator<'a> {
                 accm.extend(step);
             }
             meter.add_facts(acc.len() - before)?;
+            meter.record_delta(acc.len() - before);
             if acc.len() == before {
+                meter.phase_end();
                 return Ok(acc);
             }
             first = false;
@@ -816,12 +826,14 @@ impl<'a> Evaluator<'a> {
                 let idx = match local_indexes.get(&off) {
                     Some(idx) => idx.clone(),
                     None => {
-                        let idx = self.right_index(r, cj.right, positive, off, right_is_full)?;
+                        let idx =
+                            self.right_index(r, cj.right, positive, off, right_is_full, meter)?;
                         local_indexes.insert(off, idx.clone());
                         idx
                     }
                 };
                 let candidates: Vec<Value> = idx.probe(key).cloned().collect();
+                meter.record_index_probe(!candidates.is_empty());
                 for y in &candidates {
                     if matches_rest(y) {
                         emit(self, y, &mut out, meter)?;
@@ -849,6 +861,7 @@ impl<'a> Evaluator<'a> {
         positive: bool,
         off: usize,
         right_is_full: bool,
+        meter: &mut Meter,
     ) -> Result<Arc<ColumnIndex<Value>>, CoreError> {
         if right_is_full && off == 0 && self.opts.index && self.opts.interning {
             if let AlgExpr::Name(n) = right_expr {
@@ -887,6 +900,7 @@ impl<'a> Evaluator<'a> {
             ))
         })?;
         let built = Arc::new(built);
+        meter.record_index_build(built.key_count());
         if let Some(k) = cache_at {
             self.ctxs[k].indexes.insert(key, built.clone());
         }
@@ -928,6 +942,22 @@ pub fn eval_exact_with(
     budget: Budget,
     opts: EvalOptions,
 ) -> Result<BTreeSet<Value>, CoreError> {
+    eval_exact_traced(program, db, budget, opts, Trace::Null)
+}
+
+/// [`eval_exact_with`] with evaluation telemetry: fixpoint phases,
+/// per-round delta sizes and index traffic flow to `trace` (see
+/// [`algrec_value::stats`]). With [`Trace::Null`] this is exactly
+/// [`eval_exact_with`]. On success the result size is reported as
+/// `facts_materialized`; on a budget error the events already emitted
+/// show consumption at the point of failure.
+pub fn eval_exact_traced(
+    program: &AlgProgram,
+    db: &Database,
+    budget: Budget,
+    opts: EvalOptions,
+    trace: Trace,
+) -> Result<BTreeSet<Value>, CoreError> {
     let inlined = program.inline()?;
     if !inlined.defs.is_empty() {
         return Err(CoreError::Unsupported(format!(
@@ -942,9 +972,10 @@ pub fn eval_exact_with(
         )));
     }
     let empty = SetEnv::new();
-    let mut meter = budget.meter();
+    let mut meter = budget.meter_traced(trace);
     let mut ev = Evaluator::new(db, opts);
     let out = ev.eval(&inlined.query, &empty, &empty, true, &mut meter)?;
+    meter.record_materialized(out.len());
     Ok(Arc::try_unwrap(out).unwrap_or_else(|a| (*a).clone()))
 }
 

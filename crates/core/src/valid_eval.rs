@@ -41,7 +41,7 @@ use crate::expr::AlgExpr;
 use crate::program::AlgProgram;
 use crate::CoreError;
 use algrec_value::budget::Meter;
-use algrec_value::{Budget, Database, Symbol, Truth, TvSet, Value};
+use algrec_value::{Budget, Database, Symbol, Trace, Truth, TvSet, Value};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
@@ -149,6 +149,8 @@ fn lfp_loop(
             changed |= !add.is_empty();
             new_deltas.insert(*sym, add);
         }
+        let added: usize = new_deltas.values().map(BTreeSet::len).sum();
+        meter.record_delta(added);
         if !changed {
             return Ok(env);
         }
@@ -184,6 +186,22 @@ pub fn eval_valid_with(
     budget: Budget,
     opts: EvalOptions,
 ) -> Result<ValidAlgebraResult, CoreError> {
+    eval_valid_traced(program, db, budget, opts, Trace::Null)
+}
+
+/// [`eval_valid_with`] with evaluation telemetry: alternation rounds, the
+/// possible/certain passes, per-sweep delta sizes and index traffic flow
+/// to `trace` (see [`algrec_value::stats`]). With [`Trace::Null`] this is
+/// exactly [`eval_valid_with`]. On success the size of the query's upper
+/// bound is reported as `facts_materialized`; on a budget error the
+/// events collected so far show consumption at the point of failure.
+pub fn eval_valid_traced(
+    program: &AlgProgram,
+    db: &Database,
+    budget: Budget,
+    opts: EvalOptions,
+    trace: Trace,
+) -> Result<ValidAlgebraResult, CoreError> {
     let inlined = program.inline()?;
     let rec_names: Vec<String> = inlined.defs.iter().map(|d| d.name.clone()).collect();
     for d in &inlined.defs {
@@ -191,13 +209,14 @@ pub fn eval_valid_with(
     }
     check_no_ifp_over_recursion(&inlined.query, &rec_names)?;
 
-    let mut meter = budget.meter();
+    let mut meter = budget.meter_traced(trace);
     let mut ev = Evaluator::new(db, opts);
 
     // Non-recursive program: exact evaluation, trivially two-valued.
     if inlined.defs.is_empty() {
         let empty = SetEnv::new();
         let q = ev.eval(&inlined.query, &empty, &empty, true, &mut meter)?;
+        meter.record_materialized(q.len());
         return Ok(ValidAlgebraResult {
             constants: BTreeMap::new(),
             query: TvSet::exact((*q).clone()),
@@ -219,18 +238,26 @@ pub fn eval_valid_with(
     // Alternating fixpoint.
     let mut certain: SetEnv = rec_syms.iter().map(|s| (*s, SetRef::default())).collect();
     let mut outer_rounds = 0usize;
+    meter.phase_start("alternation");
     let possible = loop {
         outer_rounds += 1;
         meter.tick_iteration()?;
         // Possible pass: subtracted sets read the certain bound.
-        let possible = lfp(&mut ev, &defs, &certain, &mut meter)?;
+        meter.phase_start("possible");
+        let possible = lfp(&mut ev, &defs, &certain, &mut meter);
+        meter.phase_end();
+        let possible = possible?;
         // Certain pass: subtracted sets read the possible bound.
-        let next_certain = lfp(&mut ev, &defs, &possible, &mut meter)?;
+        meter.phase_start("certain");
+        let next_certain = lfp(&mut ev, &defs, &possible, &mut meter);
+        meter.phase_end();
+        let next_certain = next_certain?;
         if next_certain == certain {
             break possible;
         }
         certain = next_certain;
     };
+    meter.phase_end();
 
     let mut constants = BTreeMap::new();
     for name in &rec_names {
@@ -251,6 +278,7 @@ pub fn eval_valid_with(
     let q_lower = (*ev.eval(&inlined.query, &certain, &possible, true, &mut meter)?).clone();
     let mut q_upper = (*ev.eval(&inlined.query, &possible, &certain, true, &mut meter)?).clone();
     q_upper.extend(q_lower.iter().cloned());
+    meter.record_materialized(q_upper.len());
     Ok(ValidAlgebraResult {
         constants,
         query: TvSet::from_bounds(q_lower, q_upper).expect("lower ⊆ upper by construction"),

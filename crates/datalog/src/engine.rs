@@ -510,9 +510,25 @@ fn apply_rec(
             } else {
                 None
             };
-            let index = first_key.as_ref().map(|_| facts.first_index(pred));
+            let index = first_key.as_ref().map(|_| {
+                if meter.is_traced() && !facts.has_first_index(pred) {
+                    let ix = facts.first_index(pred);
+                    meter.record_index_build(ix.key_count());
+                    ix
+                } else {
+                    facts.first_index(pred)
+                }
+            });
             let iter: Box<dyn Iterator<Item = &Vec<Value>>> = match (&first_key, &index) {
-                (Some(key), Some(ix)) => Box::new(ix.probe(key)),
+                (Some(key), Some(ix)) => {
+                    if meter.is_traced() {
+                        let mut it = ix.probe(key).peekable();
+                        meter.record_index_probe(it.peek().is_some());
+                        Box::new(it)
+                    } else {
+                        Box::new(ix.probe(key))
+                    }
+                }
                 _ => Box::new(facts.facts(pred)),
             };
             let mut trail: Vec<usize> = Vec::new();

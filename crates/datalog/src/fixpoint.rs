@@ -39,6 +39,7 @@ pub fn naive(
 ) -> Result<(Interp, FixpointStats), EvalError> {
     let mut total = base.clone();
     let mut stats = FixpointStats::default();
+    meter.phase_start("naive");
     loop {
         meter.tick_iteration()?;
         stats.rounds += 1;
@@ -55,11 +56,13 @@ pub fn naive(
             )?;
         }
         let added = total.absorb(&derived);
+        meter.record_delta(added);
         if added == 0 {
             break;
         }
         stats.derived += added;
     }
+    meter.phase_end();
     Ok((total, stats))
 }
 
@@ -82,6 +85,7 @@ pub fn semi_naive(
     // Round 0: fire every rule once against the base.
     let mut total = base.clone();
     let mut delta = Interp::new();
+    meter.phase_start("semi-naive");
     meter.tick_iteration()?;
     stats.rounds += 1;
     for (rule, plan) in compiled.rules.iter().zip(&compiled.plans) {
@@ -104,6 +108,7 @@ pub fn semi_naive(
     }
     let mut delta = new_delta;
     stats.derived += total.absorb(&delta);
+    meter.record_delta(delta.total());
 
     // Subsequent rounds: differential firing.
     while delta.total() > 0 {
@@ -145,7 +150,9 @@ pub fn semi_naive(
         }
         stats.derived += total.absorb(&next_delta);
         delta = next_delta;
+        meter.record_delta(delta.total());
     }
+    meter.phase_end();
     Ok((total, stats))
 }
 

@@ -23,6 +23,7 @@ pub fn inflationary(
 ) -> Result<(Interp, FixpointStats), EvalError> {
     let mut total = base.clone();
     let mut stats = FixpointStats::default();
+    meter.phase_start("inflationary");
     loop {
         meter.tick_iteration()?;
         stats.rounds += 1;
@@ -42,11 +43,13 @@ pub fn inflationary(
             )?;
         }
         let added = total.absorb(&derived);
+        meter.record_delta(added);
         if added == 0 {
             break;
         }
         stats.derived += added;
     }
+    meter.phase_end();
     Ok((total, stats))
 }
 

@@ -110,6 +110,12 @@ impl Interp {
         })
     }
 
+    /// Is a first-argument index already cached for this predicate?
+    /// (Telemetry uses this to distinguish index builds from cache hits.)
+    pub fn has_first_index(&self, pred: &str) -> bool {
+        self.first_index.borrow().contains_key(pred)
+    }
+
     /// The lazily built hash index over one predicate's first argument,
     /// keyed by interned value ids. Zero-arity facts have no first
     /// argument and are skipped (they can never match a bound-first

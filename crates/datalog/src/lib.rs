@@ -51,4 +51,4 @@ pub mod wellfounded;
 pub use ast::{Atom, CmpOp, Expr, Func, Literal, Program, Rule};
 pub use error::EvalError;
 pub use interp::{Fact, Interp, ThreeValued};
-pub use semantics::{evaluate, stable_models_of, EvalOutcome, Semantics};
+pub use semantics::{evaluate, evaluate_traced, stable_models_of, EvalOutcome, Semantics};

@@ -22,7 +22,8 @@ use crate::interp::{Interp, ThreeValued};
 use crate::stable::{ground, stable_models, valid_extended};
 use crate::stratify::stratified;
 use crate::wellfounded::alternating_fixpoint;
-use algrec_value::{Budget, Database};
+use algrec_value::budget::Meter;
+use algrec_value::{Budget, Database, Trace};
 
 /// Which semantics to evaluate under.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -70,9 +71,37 @@ pub fn evaluate(
     semantics: Semantics,
     budget: Budget,
 ) -> Result<EvalOutcome, EvalError> {
+    evaluate_traced(program, db, semantics, budget, Trace::Null)
+}
+
+/// [`evaluate`] with evaluation telemetry: phase boundaries, iteration
+/// ticks, per-round delta sizes and index traffic flow to `trace` (see
+/// [`algrec_value::stats`]). With [`Trace::Null`] this is exactly
+/// [`evaluate`]. On success the final model size is reported as
+/// `facts_materialized`; on a budget error the events collected so far
+/// show consumption at the point of failure.
+pub fn evaluate_traced(
+    program: &Program,
+    db: &Database,
+    semantics: Semantics,
+    budget: Budget,
+    trace: Trace,
+) -> Result<EvalOutcome, EvalError> {
     let compiled = Compiled::compile(program)?;
     let base = Interp::from_database(db);
-    let mut meter = budget.meter();
+    let mut meter = budget.meter_traced(trace);
+    let outcome = evaluate_inner(program, &compiled, &base, semantics, &mut meter)?;
+    meter.record_materialized(outcome.model.certain.total());
+    Ok(outcome)
+}
+
+fn evaluate_inner(
+    program: &Program,
+    compiled: &Compiled,
+    base: &Interp,
+    semantics: Semantics,
+    meter: &mut Meter,
+) -> Result<EvalOutcome, EvalError> {
     match semantics {
         Semantics::Naive | Semantics::SemiNaive => {
             if program.has_negation() {
@@ -83,9 +112,9 @@ pub fn evaluate(
                 ));
             }
             let (out, stats) = if semantics == Semantics::Naive {
-                naive(&compiled, &base, &|_, _| false, &mut meter)?
+                naive(compiled, base, &|_, _| false, meter)?
             } else {
-                semi_naive(&compiled, &base, &|_, _| false, &mut meter)?
+                semi_naive(compiled, base, &|_, _| false, meter)?
             };
             Ok(EvalOutcome {
                 model: ThreeValued::exact(out),
@@ -94,7 +123,7 @@ pub fn evaluate(
             })
         }
         Semantics::Stratified => {
-            let (out, stats) = stratified(program, &base, &mut meter)?;
+            let (out, stats) = stratified(program, base, meter)?;
             Ok(EvalOutcome {
                 model: ThreeValued::exact(out),
                 stable_count: None,
@@ -102,7 +131,7 @@ pub fn evaluate(
             })
         }
         Semantics::Inflationary => {
-            let (out, stats) = inflationary(&compiled, &base, &mut meter)?;
+            let (out, stats) = inflationary(compiled, base, meter)?;
             Ok(EvalOutcome {
                 model: ThreeValued::exact(out),
                 stable_count: None,
@@ -110,7 +139,7 @@ pub fn evaluate(
             })
         }
         Semantics::WellFounded | Semantics::Valid => {
-            let (tv, stats) = alternating_fixpoint(&compiled, &base, &mut meter)?;
+            let (tv, stats) = alternating_fixpoint(compiled, base, meter)?;
             Ok(EvalOutcome {
                 model: tv,
                 stable_count: None,
@@ -118,7 +147,7 @@ pub fn evaluate(
             })
         }
         Semantics::ValidExtended(cap) => {
-            let out = valid_extended(&compiled, &base, cap, &mut meter)?;
+            let out = valid_extended(compiled, base, cap, meter)?;
             Ok(EvalOutcome {
                 model: out.refined,
                 stable_count: out.stable_count,

@@ -68,6 +68,7 @@ pub fn ground(
         .map(|r| r.head.pred.as_str())
         .collect();
     let mut rules = BTreeSet::new();
+    meter.phase_start("ground");
 
     for (rule, plan) in compiled.rules.iter().zip(&compiled.plans) {
         let certain = &tv.certain;
@@ -147,6 +148,7 @@ pub fn ground(
         .filter(|(p, _)| idb.contains(p.as_str()))
         .collect();
     let _ = base;
+    meter.phase_end();
     Ok(GroundProgram {
         rules: rules.into_iter().collect(),
         certain,
@@ -241,7 +243,10 @@ pub fn valid_extended(
         });
     }
     let gp = ground(compiled, base, &wfs, meter)?;
-    let models = match stable_models(&gp, cap) {
+    meter.phase_start("stable-search");
+    let models = stable_models(&gp, cap);
+    meter.phase_end();
+    let models = match models {
         Ok(m) => m,
         Err(EvalError::TooManyUnknowns { .. }) => {
             return Ok(ValidOutcome {

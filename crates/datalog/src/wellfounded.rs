@@ -53,6 +53,7 @@ pub fn alternating_fixpoint(
     // T₀: just the database.
     let mut certain = base.clone();
     let mut possible;
+    meter.phase_start("alternation");
     loop {
         stats.outer_rounds += 1;
         meter.tick_iteration()?;
@@ -60,15 +61,20 @@ pub fn alternating_fixpoint(
         // Overestimate: every possible derivation from the current T,
         // "only facts not in T are allowed to be used negatively".
         let frozen_t = certain.clone();
-        let (poss, s1) = semi_naive(compiled, base, &|p, args| !frozen_t.holds(p, args), meter)?;
+        meter.phase_start("possible");
+        let poss = semi_naive(compiled, base, &|p, args| !frozen_t.holds(p, args), meter);
+        meter.phase_end();
+        let (poss, s1) = poss?;
         stats.inner_rounds += s1.rounds;
         possible = poss;
 
         // Underestimate: facts outside `possible` are certainly false
         // ("added to F"); derive new true facts using only F negatively.
         let frozen_u = possible.clone();
-        let (next_certain, s2) =
-            semi_naive(compiled, base, &|p, args| !frozen_u.holds(p, args), meter)?;
+        meter.phase_start("certain");
+        let next = semi_naive(compiled, base, &|p, args| !frozen_u.holds(p, args), meter);
+        meter.phase_end();
+        let (next_certain, s2) = next?;
         stats.inner_rounds += s2.rounds;
 
         if next_certain == certain {
@@ -76,6 +82,7 @@ pub fn alternating_fixpoint(
         }
         certain = next_certain;
     }
+    meter.phase_end();
     stats.certain_facts = certain.total();
     stats.possible_facts = possible.total();
     debug_assert!(certain.is_subset(&possible));

@@ -40,6 +40,6 @@ pub use error::TranslateError;
 pub use pipeline::{
     check_roundtrip, check_roundtrip_with, datalog_truth, ifp_algebra_to_algebra_eq, RoundTrip,
 };
-pub use stage_sim::{inflationary_to_valid, sufficient_stage_bound};
+pub use stage_sim::{inflationary_to_valid, measured_stages, sufficient_stage_bound};
 pub use to_algebra::datalog_to_algebra;
 pub use to_deduction::{algebra_to_datalog, edb_arities, AlgebraTranslation, TranslationMode};

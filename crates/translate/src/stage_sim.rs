@@ -131,6 +131,32 @@ pub fn inflationary_to_valid(program: &Program, max_stage: i64) -> Program {
     Program::from_rules(rules)
 }
 
+/// The stage count a staged evaluation actually used (experiment E3, the
+/// Proposition 5.2 blow-up): for every staged tuple `R'(i, x̄)` keep the
+/// minimal `i` per `(R, x̄)` — persistence rules copy facts to every later
+/// stage, so the minimum is the stage where the fact was first derived —
+/// and return the maximum of those minima. For a source program whose IDB
+/// facts all come from rules with bodies this equals the number of
+/// *productive* inflationary rounds of the source program (ground IDB
+/// facts enter at stage 0 instead of round 1, shifting the count by one).
+pub fn measured_stages(staged_model: &algrec_datalog::Interp, source: &Program) -> i64 {
+    let mut max_first = 0i64;
+    for pred in source.idb_preds() {
+        let staged = staged_name(pred);
+        let mut first: std::collections::BTreeMap<&[algrec_value::Value], i64> =
+            std::collections::BTreeMap::new();
+        for fact in staged_model.facts(&staged) {
+            let Some(stage) = fact.first().and_then(algrec_value::Value::as_int) else {
+                continue;
+            };
+            let entry = first.entry(&fact[1..]).or_insert(stage);
+            *entry = (*entry).min(stage);
+        }
+        max_first = max_first.max(first.values().copied().max().unwrap_or(0));
+    }
+    max_first
+}
+
 /// A bound on the number of inflationary stages sufficient for a program
 /// over a database: one per derivable fact plus slack. Conservative and
 /// cheap: `(active domain size + number of program constants)^max-arity ×
@@ -227,6 +253,24 @@ mod tests {
         assert!(b > 2);
         assert!(b <= 1000);
         assert_eq!(sufficient_stage_bound(&p, &db, 5), 5);
+    }
+
+    #[test]
+    fn measured_stages_match_inflationary_rounds() {
+        // On a 4-chain, TC needs 3 productive inflationary rounds; the
+        // staged simulation's first-appearance stages must agree.
+        let db = Database::new().with(
+            "edge",
+            Relation::from_pairs([(i(1), i(2)), (i(2), i(3)), (i(3), i(4))]),
+        );
+        let p = parse_dl("tc(X, Y) :- edge(X, Y).\ntc(X, Z) :- tc(X, Y), edge(Y, Z).").unwrap();
+        let p2 = inflationary_to_valid(&p, 8);
+        let infl = evaluate(&p, &db, Semantics::Inflationary, Budget::SMALL).unwrap();
+        let valid = evaluate(&p2, &db, Semantics::Valid, Budget::LARGE).unwrap();
+        assert_eq!(
+            measured_stages(&valid.model.certain, &p),
+            (infl.rounds - 1) as i64
+        );
     }
 
     #[test]

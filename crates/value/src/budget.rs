@@ -12,7 +12,9 @@
 //! yields a [`BudgetError`] — a loud failure, never a silently truncated
 //! answer.
 
+use crate::stats::{Trace, TraceEvent};
 use std::fmt;
+use std::time::Instant;
 
 /// Resource limits for fixpoint evaluation.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -55,10 +57,19 @@ impl Budget {
 
     /// Start metering against this budget.
     pub fn meter(&self) -> Meter {
+        self.meter_traced(Trace::Null)
+    }
+
+    /// Start metering against this budget, emitting telemetry events to
+    /// the given [`Trace`]. With [`Trace::Null`] this is exactly
+    /// [`Budget::meter`].
+    pub fn meter_traced(&self, trace: Trace) -> Meter {
         Meter {
             budget: *self,
             iterations: 0,
             facts: 0,
+            trace,
+            open_phases: Vec::new(),
         }
     }
 }
@@ -70,16 +81,28 @@ impl Default for Budget {
 }
 
 /// A running consumption counter against a [`Budget`].
+///
+/// The meter is the one object threaded by `&mut` through every fixpoint
+/// loop in the workspace, so it doubles as the telemetry carrier: a
+/// [`Trace`] handle (default [`Trace::Null`]) receives phase boundaries,
+/// iteration ticks, delta sizes and index traffic. Every recording method
+/// branches on the null discriminant first, so untraced evaluation pays
+/// one branch per event site and nothing else.
 #[derive(Clone, Debug)]
 pub struct Meter {
     budget: Budget,
     iterations: usize,
     facts: usize,
+    trace: Trace,
+    open_phases: Vec<(&'static str, Instant)>,
 }
 
 impl Meter {
     /// Record one fixpoint iteration.
     pub fn tick_iteration(&mut self) -> Result<(), BudgetError> {
+        if !self.trace.is_null() {
+            self.trace.emit(TraceEvent::Iteration);
+        }
         self.iterations += 1;
         if self.iterations > self.budget.max_iterations {
             Err(BudgetError::Iterations(self.budget.max_iterations))
@@ -90,6 +113,9 @@ impl Meter {
 
     /// Record `n` newly materialized facts.
     pub fn add_facts(&mut self, n: usize) -> Result<(), BudgetError> {
+        if !self.trace.is_null() {
+            self.trace.emit(TraceEvent::FactsInserted(n));
+        }
         self.facts = self.facts.saturating_add(n);
         if self.facts > self.budget.max_facts {
             Err(BudgetError::Facts(self.budget.max_facts))
@@ -105,6 +131,75 @@ impl Meter {
         } else {
             Ok(())
         }
+    }
+
+    /// Enter a named evaluation phase (e.g. the alternating fixpoint's
+    /// `"possible"` pass). Phases nest; close with [`Meter::phase_end`].
+    #[inline]
+    pub fn phase_start(&mut self, name: &'static str) {
+        if !self.trace.is_null() {
+            self.open_phases.push((name, Instant::now()));
+            self.trace.emit(TraceEvent::PhaseStart(name));
+        }
+    }
+
+    /// Leave the innermost open phase, reporting its wall time. A no-op
+    /// when untraced or when no phase is open.
+    #[inline]
+    pub fn phase_end(&mut self) {
+        if !self.trace.is_null() {
+            if let Some((name, start)) = self.open_phases.pop() {
+                let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                self.trace.emit(TraceEvent::PhaseEnd(name, nanos));
+            }
+        }
+    }
+
+    /// Record the size of one completed semi-naive delta round.
+    #[inline]
+    pub fn record_delta(&mut self, size: usize) {
+        if !self.trace.is_null() {
+            self.trace.emit(TraceEvent::Delta(size));
+        }
+    }
+
+    /// Record construction of a column index over `keys` distinct keys.
+    #[inline]
+    pub fn record_index_build(&mut self, keys: usize) {
+        if !self.trace.is_null() {
+            self.trace.emit(TraceEvent::IndexBuild(keys));
+        }
+    }
+
+    /// Record one index probe; `hit` when the key had candidates.
+    #[inline]
+    pub fn record_index_probe(&mut self, hit: bool) {
+        if !self.trace.is_null() {
+            self.trace.emit(TraceEvent::IndexProbe(hit));
+        }
+    }
+
+    /// Record the final result size of an evaluation entry point, along
+    /// with a snapshot of the global interner sizes.
+    pub fn record_materialized(&mut self, n: usize) {
+        if !self.trace.is_null() {
+            self.trace.emit(TraceEvent::Materialized(n));
+            self.trace.emit(TraceEvent::Interner(
+                crate::intern::interned_value_count(),
+                crate::intern::interned_symbol_count(),
+            ));
+        }
+    }
+
+    /// Is this meter carrying a live (non-null) trace?
+    #[inline]
+    pub fn is_traced(&self) -> bool {
+        !self.trace.is_null()
+    }
+
+    /// The trace handle carried by this meter.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
     }
 
     /// Iterations consumed so far.
@@ -183,6 +278,61 @@ mod tests {
     fn default_is_small() {
         assert_eq!(Budget::default(), Budget::SMALL);
         assert_eq!(Budget::SMALL.meter().budget(), &Budget::SMALL);
+    }
+
+    #[test]
+    fn traced_meter_reports_consumption_and_phases() {
+        let trace = Trace::collect();
+        let mut m = Budget::new(100, 100, 10).meter_traced(trace.clone());
+        assert!(m.is_traced());
+        m.phase_start("lfp");
+        m.tick_iteration().unwrap();
+        m.add_facts(4).unwrap();
+        m.record_delta(4);
+        m.record_index_build(2);
+        m.record_index_probe(true);
+        m.record_index_probe(false);
+        m.phase_end();
+        m.record_materialized(4);
+        let s = trace.stats().expect("collecting trace");
+        assert_eq!(s.iterations, 1);
+        assert_eq!(s.facts_inserted, 4);
+        assert_eq!(s.facts_materialized, 4);
+        assert_eq!(s.deltas, vec![4]);
+        assert_eq!(s.index_builds, 1);
+        assert_eq!(s.index_probes, 2);
+        assert_eq!(s.index_hits, 1);
+        assert_eq!(s.phases.len(), 1);
+        assert_eq!(s.phases[0].0, "lfp");
+        assert_eq!(s.phases[0].1.iterations, 1);
+    }
+
+    #[test]
+    fn traced_meter_keeps_stats_readable_after_budget_error() {
+        let trace = Trace::collect();
+        let mut m = Budget::new(1, 1, 10).meter_traced(trace.clone());
+        m.phase_start("diverge");
+        assert!(m.tick_iteration().is_ok());
+        assert_eq!(m.tick_iteration(), Err(BudgetError::Iterations(1)));
+        // The evaluation aborts here with the phase still open; the
+        // collected stats must still show the consumption at failure.
+        let s = trace.stats().unwrap();
+        assert_eq!(s.iterations, 2);
+        assert_eq!(s.phases[0].0, "diverge");
+        assert_eq!(s.phases[0].1.iterations, 2);
+    }
+
+    #[test]
+    fn untraced_meter_recording_is_a_no_op() {
+        let mut m = Budget::SMALL.meter();
+        assert!(!m.is_traced());
+        assert!(m.trace().is_null());
+        m.phase_start("x");
+        m.record_delta(3);
+        m.record_index_probe(true);
+        m.phase_end();
+        m.record_materialized(1);
+        assert_eq!(m.trace().stats(), None);
     }
 
     #[test]

@@ -137,6 +137,18 @@ impl std::fmt::Display for Symbol {
     }
 }
 
+/// Number of distinct values interned so far, process-wide. The tables
+/// are global and append-only, so this is a high-water mark; telemetry
+/// snapshots it into [`crate::stats::EvalStats`].
+pub fn interned_value_count() -> usize {
+    value_table().read().unwrap().values.len()
+}
+
+/// Number of distinct symbols interned so far, process-wide.
+pub fn interned_symbol_count() -> usize {
+    symbol_table().read().unwrap().names.len()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

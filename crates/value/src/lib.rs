@@ -25,6 +25,11 @@
 //! * [`ColumnIndex`] — hash indexes keyed by one tuple column, used for
 //!   equi-join and matcher probes; [`Relation`] caches a lazy
 //!   first-column index ([`index`]).
+//! * [`EvalStats`] and [`Trace`] — zero-cost-when-off evaluation
+//!   telemetry ([`stats`]). The paper's theorems are about *stages*
+//!   (the valid computation of Section 2.2, the step-indexed simulation
+//!   of Prop 5.2); the trace layer makes stage counts, per-stage delta
+//!   sizes and index traffic observable reproduction artifacts.
 //! * [`Budget`] — explicit resource budgets. The paper works over possibly
 //!   infinite initial models (e.g. the natural numbers with successor);
 //!   domain-independent queries only inspect a finite window of such a
@@ -38,15 +43,19 @@ pub mod budget;
 pub mod index;
 pub mod intern;
 pub mod relation;
+pub mod stats;
 pub mod truth;
 pub mod tvset;
 #[allow(clippy::module_inception)]
 pub mod value;
 
-pub use budget::{Budget, BudgetError};
+pub use budget::{Budget, BudgetError, Meter};
 pub use index::ColumnIndex;
 pub use intern::{Symbol, Vid};
 pub use relation::{Database, Relation};
+pub use stats::{
+    CollectSink, EvalStats, LogSink, NullSink, PhaseStats, Trace, TraceEvent, TraceSink,
+};
 pub use truth::Truth;
 pub use tvset::TvSet;
 pub use value::{Value, ValueKind};

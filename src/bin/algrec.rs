@@ -1,8 +1,8 @@
 //! `algrec` — command-line front end for the reproduction.
 //!
 //! ```text
-//! algrec eval   <program.dl>  [facts.dl] [--semantics S] [--pred P]
-//! algrec alg    <program.alg> [facts.dl]
+//! algrec eval   <program.dl>  [facts.dl] [--semantics S] [--pred P] [--trace]
+//! algrec alg    <program.alg> [facts.dl] [--trace]
 //! algrec spec   <spec.obj>    [--depth N]
 //! algrec translate <program.dl> --pred P [facts.dl]
 //! algrec stable <program.dl>  [facts.dl] [--cap N]
@@ -14,7 +14,10 @@
 //! * algebra programs use the syntax of `algrec_core::parser`;
 //! * specifications use the OBJ-style syntax of `algrec_adt::parser`;
 //! * semantics: `naive`, `semi-naive`, `stratified`, `inflationary`,
-//!   `well-founded`, `valid` (default), `valid-extended`.
+//!   `well-founded`, `valid` (default), `valid-extended`;
+//! * `--trace` streams evaluation telemetry (phases, deltas) to stderr as
+//!   `% trace:` lines and prints a final stats summary (see
+//!   `algrec_value::stats`).
 
 use algrec::prelude::*;
 use algrec_datalog::interp::args_tuple;
@@ -75,6 +78,7 @@ struct Args {
     pred: Option<String>,
     depth: usize,
     cap: usize,
+    trace: bool,
 }
 
 fn parse_args(raw: &[String]) -> Result<Args, String> {
@@ -84,6 +88,7 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
         pred: None,
         depth: 2,
         cap: 16,
+        trace: false,
     };
     let mut it = raw.iter();
     while let Some(a) = it.next() {
@@ -93,6 +98,7 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
                 args.semantics = parse_semantics(v)?;
             }
             "--pred" => args.pred = Some(it.next().ok_or("--pred needs a value")?.clone()),
+            "--trace" => args.trace = true,
             "--depth" => {
                 args.depth = it
                     .next()
@@ -118,6 +124,16 @@ fn read(path: &str) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
 }
 
+/// The trace handle a command should evaluate under: a streaming stderr
+/// log under `--trace`, the zero-cost null trace otherwise.
+fn trace_of(a: &Args) -> Trace {
+    if a.trace {
+        Trace::sink(LogSink::stderr())
+    } else {
+        Trace::Null
+    }
+}
+
 fn cmd_eval(a: &Args) -> Result<(), String> {
     let [program_path, rest @ ..] = a.positional.as_slice() else {
         return Err("usage: algrec eval <program.dl> [facts.dl]".into());
@@ -125,7 +141,8 @@ fn cmd_eval(a: &Args) -> Result<(), String> {
     let program =
         algrec::datalog::parser::parse_program(&read(program_path)?).map_err(|e| e.to_string())?;
     let db = load_db(rest.first().map(String::as_str))?;
-    let out = evaluate(&program, &db, a.semantics, Budget::LARGE).map_err(|e| e.to_string())?;
+    let out = evaluate_traced(&program, &db, a.semantics, Budget::LARGE, trace_of(a))
+        .map_err(|e| e.to_string())?;
     match &a.pred {
         Some(p) => {
             for facts in out.model.certain.facts(p) {
@@ -169,7 +186,14 @@ fn cmd_alg(a: &Args) -> Result<(), String> {
     let program =
         algrec::core::parser::parse_program(&read(program_path)?).map_err(|e| e.to_string())?;
     let db = load_db(rest.first().map(String::as_str))?;
-    let out = eval_valid(&program, &db, Budget::LARGE).map_err(|e| e.to_string())?;
+    let out = eval_valid_traced(
+        &program,
+        &db,
+        Budget::LARGE,
+        EvalOptions::default(),
+        trace_of(a),
+    )
+    .map_err(|e| e.to_string())?;
     println!("{}", out.query);
     if !out.is_well_defined() {
         eprintln!("% result is three-valued (members marked `?` are undefined)");

@@ -54,8 +54,12 @@ pub use algrec_value as value;
 
 /// Commonly used items in one import.
 pub mod prelude {
-    pub use algrec_core::{eval_exact, eval_valid, AlgExpr, AlgProgram, OpDef};
-    pub use algrec_datalog::{evaluate, Program, Rule, Semantics};
+    pub use algrec_core::{
+        eval_exact, eval_valid, eval_valid_traced, AlgExpr, AlgProgram, EvalOptions, OpDef,
+    };
+    pub use algrec_datalog::{evaluate, evaluate_traced, Program, Rule, Semantics};
     pub use algrec_translate::{check_roundtrip, datalog_to_algebra};
-    pub use algrec_value::{Budget, Database, Relation, Truth, TvSet, Value};
+    pub use algrec_value::{
+        Budget, CollectSink, Database, EvalStats, LogSink, Relation, Trace, Truth, TvSet, Value,
+    };
 }

@@ -49,6 +49,33 @@ fn eval_semantics_flag() {
 }
 
 #[test]
+fn eval_trace_streams_telemetry() {
+    let program = write_tmp("win_tr.dl", "win(X) :- move(X, Y), not win(Y).");
+    let facts = write_tmp("moves_tr.dl", "move(1, 2).\nmove(2, 3).");
+    let out = algrec(&["eval", &program, &facts, "--trace", "--pred", "win"]);
+    assert!(out.status.success());
+    // Result unchanged by tracing…
+    assert!(String::from_utf8_lossy(&out.stdout).contains("win(2)."));
+    // …and the telemetry stream shows the alternating fixpoint at work.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("% trace: alternation {"));
+    assert!(stderr.contains("possible {"));
+    assert!(stderr.contains("certain {"));
+    assert!(stderr.contains("delta "));
+    assert!(stderr.contains("materialized "));
+}
+
+#[test]
+fn alg_trace_streams_telemetry() {
+    let program = write_tmp("undef_tr.alg", "def s = {'a'} - s; query s;");
+    let out = algrec(&["alg", &program, "--trace"]);
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("% trace: alternation {"));
+    assert!(stderr.contains("materialized "));
+}
+
+#[test]
 fn alg_command() {
     let program = write_tmp(
         "even.alg",

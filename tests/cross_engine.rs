@@ -158,6 +158,41 @@ proptest! {
         prop_assert!(out.model.is_exact());
     }
 
+    /// Telemetry agreement: on two-valued (positive) instances every
+    /// engine reports the same `facts_materialized` — the final model is
+    /// engine-independent even though the work done (iterations, deltas)
+    /// differs, and the traced count matches the model's actual size.
+    #[test]
+    fn facts_materialized_agrees_across_engines(edges in arb_edges(8, 20)) {
+        let db = edge_db("edge", &edges);
+        let p = tc_program();
+        let mut counts: Vec<usize> = Vec::new();
+        for sem in [
+            Semantics::Naive,
+            Semantics::SemiNaive,
+            Semantics::Stratified,
+            Semantics::Inflationary,
+            Semantics::WellFounded,
+            Semantics::Valid,
+        ] {
+            let tr = Trace::collect();
+            let out = evaluate_traced(&p, &db, sem, Budget::SMALL, tr.clone()).unwrap();
+            let stats = tr.stats().expect("collect trace yields stats");
+            prop_assert_eq!(
+                stats.facts_materialized,
+                out.model.certain.total(),
+                "{:?}: traced materialized count must be the model size",
+                sem
+            );
+            counts.push(stats.facts_materialized);
+        }
+        prop_assert!(
+            counts.windows(2).all(|w| w[0] == w[1]),
+            "engines disagree on facts_materialized: {:?}",
+            counts
+        );
+    }
+
     /// Budget safety: whatever the input, evaluation either completes or
     /// reports a budget error — never hangs past its iteration allowance.
     #[test]
@@ -320,4 +355,47 @@ proptest! {
             prop_assert_eq!(&out.constants, &reference.constants);
         }
     }
+}
+
+// Named replays of cases `cross_engine.proptest-regressions` records
+// (seed cc 384d2f…: shrinks to `edges = {}`). The empty database is the
+// degenerate instance that once broke an engine; keep it pinned as plain
+// unit tests so the failure mode is visible by name, not only through
+// proptest's seed file.
+
+/// Seed cc 384d2f… (`edges = {}`): every semantics must handle a program
+/// whose EDB is completely empty — no facts, no iterations beyond the
+/// fixpoint check, an exact empty model.
+#[test]
+fn regression_empty_edge_set_all_semantics() {
+    let db = edge_db("edge", &BTreeSet::new());
+    let p = tc_program();
+    for sem in [
+        Semantics::Naive,
+        Semantics::SemiNaive,
+        Semantics::Stratified,
+        Semantics::Inflationary,
+        Semantics::WellFounded,
+        Semantics::Valid,
+    ] {
+        let tr = Trace::collect();
+        let out = evaluate_traced(&p, &db, sem, Budget::SMALL, tr.clone()).unwrap();
+        assert!(out.model.is_exact(), "{sem:?} must be exact on empty EDB");
+        assert_eq!(out.model.certain.total(), 0, "{sem:?} must derive nothing");
+        let stats = tr.stats().unwrap();
+        assert_eq!(stats.facts_materialized, 0);
+        assert_eq!(stats.facts_inserted, 0, "{sem:?} did work on an empty EDB");
+    }
+}
+
+/// Seed cc 384d2f… on the game side: the empty MOVE graph is a decided
+/// game (no positions at all) for both paradigms, and the Theorem 6.2
+/// round trip holds on it.
+#[test]
+fn regression_empty_game_roundtrip() {
+    let db = edge_db("move", &BTreeSet::new());
+    let rt = check_roundtrip(&win_program(), "win", &db, Budget::SMALL).unwrap();
+    assert!(rt.agree(), "{rt:?}");
+    assert!(rt.datalog_certain.is_empty());
+    assert!(rt.datalog_unknown.is_empty());
 }

@@ -1,0 +1,197 @@
+//! Differential assertions on evaluation telemetry: the numbers the
+//! engines report under [`Trace::collect`] must obey the paper's fixpoint
+//! structure, not merely exist.
+//!
+//! * delta sequences are the observable shape of a least fixpoint — every
+//!   monotone evaluation's per-round delta sizes must be positive until a
+//!   single trailing zero (the round that proves convergence);
+//! * semi-naive evaluation exists to do *less work* than naive for the
+//!   same model: `facts_inserted` (cumulative derivations counted against
+//!   the budget meter) must never exceed naive's, while
+//!   `facts_materialized` (the final model) must be identical — if the
+//!   delta engine ever materializes more facts than naive, this suite
+//!   fails loudly;
+//! * the optimized and baseline algebra evaluators must agree on
+//!   `facts_materialized` under both exact and valid semantics;
+//! * the Prop 5.2 stage simulation must use exactly as many stages as the
+//!   source program's inflationary computation has productive rounds.
+
+use algrec::prelude::*;
+use algrec_datalog::parser::parse_program as parse_dl;
+use algrec_translate::{inflationary_to_valid, measured_stages};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn edge_db(name: &str, edges: &BTreeSet<(i64, i64)>) -> Database {
+    Database::new().with(
+        name,
+        Relation::from_pairs(edges.iter().map(|(a, b)| (Value::int(*a), Value::int(*b)))),
+    )
+}
+
+fn arb_edges(nodes: i64, max_edges: usize) -> impl Strategy<Value = BTreeSet<(i64, i64)>> {
+    prop::collection::btree_set((0..nodes, 0..nodes), 0..max_edges)
+}
+
+/// A small family of monotone (negation-free) programs over `edge`.
+fn monotone_programs() -> Vec<(&'static str, Program)> {
+    vec![
+        (
+            "tc-linear",
+            parse_dl("tc(X, Y) :- edge(X, Y).\ntc(X, Z) :- tc(X, Y), edge(Y, Z).").unwrap(),
+        ),
+        (
+            "tc-nonlinear",
+            parse_dl("t(X, Y) :- edge(X, Y).\nt(X, Z) :- t(X, Y), t(Y, Z).").unwrap(),
+        ),
+        (
+            "same-generation",
+            parse_dl(
+                "sg(X, Y) :- edge(Z, X), edge(Z, Y).\n\
+                 sg(X, Y) :- edge(A, X), sg(A, B), edge(B, Y).",
+            )
+            .unwrap(),
+        ),
+    ]
+}
+
+/// Run `program` traced under `sem` and return its stats.
+fn traced(program: &Program, db: &Database, sem: Semantics) -> EvalStats {
+    let tr = Trace::collect();
+    evaluate_traced(program, db, sem, Budget::LARGE, tr.clone()).unwrap();
+    tr.stats().expect("collect trace yields stats")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Monotone fixpoints converge visibly: the recorded delta sequence
+    /// is non-empty, strictly positive until the end, and ends with
+    /// exactly one zero — the convergence-proving round.
+    #[test]
+    fn delta_sequences_end_in_exactly_one_zero(edges in arb_edges(7, 16)) {
+        let db = edge_db("edge", &edges);
+        for (name, p) in monotone_programs() {
+            for sem in [Semantics::Naive, Semantics::SemiNaive] {
+                let stats = traced(&p, &db, sem);
+                let deltas = &stats.deltas;
+                prop_assert!(!deltas.is_empty(), "{name}/{sem:?}: no deltas recorded");
+                prop_assert_eq!(
+                    *deltas.last().unwrap(), 0,
+                    "{}/{:?}: fixpoint must end with an empty round, got {:?}",
+                    name, sem, deltas
+                );
+                prop_assert!(
+                    deltas[..deltas.len() - 1].iter().all(|&d| d > 0),
+                    "{}/{:?}: interior zero delta (loop ran past convergence): {:?}",
+                    name, sem, deltas
+                );
+                // Each productive round's facts all count against the
+                // meter, so the deltas can never outnumber insertions.
+                prop_assert!(deltas.iter().sum::<usize>() <= stats.facts_inserted);
+            }
+        }
+    }
+
+    /// THE guard rail of the delta optimization: semi-naive must compute
+    /// the identical model while inserting (counting against the budget
+    /// meter) no more facts than naive. If delta evaluation ever
+    /// materializes more facts than naive, this fails loudly.
+    #[test]
+    fn semi_naive_never_does_more_work_than_naive(edges in arb_edges(7, 16)) {
+        let db = edge_db("edge", &edges);
+        for (name, p) in monotone_programs() {
+            let n = traced(&p, &db, Semantics::Naive);
+            let s = traced(&p, &db, Semantics::SemiNaive);
+            prop_assert_eq!(
+                s.facts_materialized, n.facts_materialized,
+                "{}: semi-naive materialized a different model than naive",
+                name
+            );
+            prop_assert!(
+                s.facts_inserted <= n.facts_inserted,
+                "{}: semi-naive inserted {} facts, naive only {}",
+                name, s.facts_inserted, n.facts_inserted
+            );
+            // Semi-naive may take one extra bookkeeping round but never
+            // more: both loop once per fixpoint stage.
+            prop_assert!(s.iterations <= n.iterations + 1);
+        }
+    }
+
+    /// The optimized (interned + indexed + delta) algebra evaluator and
+    /// the seed baseline agree on `facts_materialized`, exact and valid.
+    #[test]
+    fn optimized_and_baseline_materialize_alike(edges in arb_edges(6, 12)) {
+        let db = edge_db("edge", &edges);
+        // Exact: IFP transitive closure.
+        let exact = algrec::core::parser::parse_program(
+            "query ifp(t, edge union map(select(t * edge, x.1 = x.2), [x.0, x.3]));",
+        ).unwrap();
+        let collect_exact = |opts: EvalOptions| {
+            let tr = Trace::collect();
+            algrec::core::eval_exact_traced(&exact, &db, Budget::LARGE, opts, tr.clone()).unwrap();
+            tr.stats().unwrap()
+        };
+        let o = collect_exact(EvalOptions::OPTIMIZED);
+        let b = collect_exact(EvalOptions::BASELINE);
+        prop_assert_eq!(o.facts_materialized, b.facts_materialized);
+
+        // Valid: the WIN game as a recursive constant (negation through
+        // difference), alternating fixpoint.
+        let valid = algrec::core::parser::parse_program(
+            "def win = map(edge - (map(edge, x.0) * win), x.0); query win;",
+        ).unwrap();
+        let collect_valid = |opts: EvalOptions| {
+            let tr = Trace::collect();
+            eval_valid_traced(&valid, &db, Budget::LARGE, opts, tr.clone()).unwrap();
+            tr.stats().unwrap()
+        };
+        let ov = collect_valid(EvalOptions::OPTIMIZED);
+        let bv = collect_valid(EvalOptions::BASELINE);
+        prop_assert_eq!(ov.facts_materialized, bv.facts_materialized);
+    }
+
+    /// Prop 5.2 pipeline: the staged (translated) program's measured
+    /// stage count equals the source program's productive inflationary
+    /// rounds — the step-index simulation neither skips nor pads stages.
+    #[test]
+    fn staged_stage_count_matches_source_rounds(edges in arb_edges(6, 10)) {
+        let db = edge_db("move", &edges);
+        let p = parse_dl("win(X) :- move(X, Y), not win(Y).").unwrap();
+        let stages = (edges.len() as i64 + 3).max(4);
+        let staged = inflationary_to_valid(&p, stages);
+        let infl = evaluate(&p, &db, Semantics::Inflationary, Budget::SMALL).unwrap();
+        let valid = evaluate(&staged, &db, Semantics::Valid, Budget::LARGE).unwrap();
+        prop_assert!(valid.model.is_exact());
+        // `win(X) :- move(X, Y), not win(Y).` has no IDB ground facts, so
+        // first-appearance stages align with productive rounds exactly
+        // (the final inflationary round derives nothing and is not a
+        // stage).
+        prop_assert_eq!(
+            measured_stages(&valid.model.certain, &p),
+            infl.rounds as i64 - 1
+        );
+    }
+}
+
+/// The traced run is observationally identical to the untraced run:
+/// same model, same rounds — telemetry is read-only.
+#[test]
+fn tracing_does_not_change_results() {
+    let edges: BTreeSet<(i64, i64)> = [(1, 2), (2, 3), (3, 1), (3, 4)].into();
+    let db = edge_db("move", &edges);
+    let p = parse_dl("win(X) :- move(X, Y), not win(Y).").unwrap();
+    for sem in [
+        Semantics::Inflationary,
+        Semantics::WellFounded,
+        Semantics::Valid,
+    ] {
+        let plain = evaluate(&p, &db, sem, Budget::SMALL).unwrap();
+        let tr = Trace::collect();
+        let traced = evaluate_traced(&p, &db, sem, Budget::SMALL, tr.clone()).unwrap();
+        assert_eq!(plain.model, traced.model, "{sem:?} model changed");
+        assert_eq!(plain.rounds, traced.rounds, "{sem:?} rounds changed");
+        assert!(tr.stats().unwrap().iterations > 0);
+    }
+}
