@@ -84,6 +84,24 @@ impl Interp {
         fresh
     }
 
+    /// Remove a fact; returns whether it was present. Invalidates the
+    /// predicate's cached first-argument index. Used by incremental view
+    /// maintenance (DRed's over-deletion pass); the batch fixpoint engines
+    /// only ever grow interpretations.
+    pub fn remove(&mut self, pred: &str, args: &[Value]) -> bool {
+        let Some(set) = self.preds.get_mut(pred) else {
+            return false;
+        };
+        let had = set.remove(args);
+        if had {
+            if set.is_empty() {
+                self.preds.remove(pred);
+            }
+            self.first_index.get_mut().remove(pred);
+        }
+        had
+    }
+
     /// Does the fact hold?
     pub fn holds(&self, pred: &str, args: &[Value]) -> bool {
         self.preds.get(pred).is_some_and(|s| s.contains(args))
@@ -341,6 +359,24 @@ mod tests {
         assert!(!m.holds("q", &[i(1)]));
         assert_eq!(m.count("p"), 1);
         assert_eq!(m.total(), 1);
+    }
+
+    #[test]
+    fn remove_deletes_and_invalidates() {
+        let mut m = Interp::new();
+        m.insert("p", vec![i(1), i(2)]);
+        m.insert("p", vec![i(3), i(4)]);
+        let _ = m.first_index("p");
+        assert!(m.has_first_index("p"));
+        assert!(m.remove("p", &[i(1), i(2)]));
+        assert!(!m.remove("p", &[i(1), i(2)]));
+        assert!(!m.has_first_index("p"), "index invalidated");
+        assert!(!m.holds("p", &[i(1), i(2)]));
+        assert!(m.holds("p", &[i(3), i(4)]));
+        assert!(m.remove("p", &[i(3), i(4)]));
+        // Emptied predicate disappears entirely.
+        assert_eq!(m.preds().count(), 0);
+        assert!(!m.remove("q", &[i(1)]));
     }
 
     #[test]

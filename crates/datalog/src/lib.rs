@@ -38,6 +38,7 @@
 pub mod ast;
 pub mod engine;
 pub mod error;
+pub mod facts;
 pub mod fixpoint;
 pub mod inflationary;
 pub mod interp;
@@ -50,5 +51,6 @@ pub mod wellfounded;
 
 pub use ast::{Atom, CmpOp, Expr, Func, Literal, Program, Rule};
 pub use error::EvalError;
+pub use facts::{load_facts, parse_fact, parse_facts};
 pub use interp::{Fact, Interp, ThreeValued};
 pub use semantics::{evaluate, evaluate_traced, stable_models_of, EvalOutcome, Semantics};

@@ -113,16 +113,14 @@ pub fn is_stratified(program: &Program) -> bool {
     stratify(program).is_ok()
 }
 
-/// Evaluate a stratified program: strata bottom-up, each stratum by its
-/// minimal model with negation referring to the completed lower strata.
-pub fn stratified(
-    program: &Program,
-    base: &Interp,
-    meter: &mut Meter,
-) -> Result<(Interp, FixpointStats), EvalError> {
+/// Split a stratified program into per-stratum sub-programs, bottom-up.
+/// Empty strata are dropped, so the result lists exactly the evaluation
+/// steps of the stratified semantics; it is also the unit of incremental
+/// re-evaluation in the serving layer (maintenance strategies are chosen
+/// per stratum).
+pub fn strata_programs(program: &Program) -> Result<Vec<Program>, EvalError> {
     let strat = stratify(program)?;
-    let mut total = base.clone();
-    let mut stats = FixpointStats::default();
+    let mut out = Vec::new();
     for level in 0..strat.count {
         let level_rules: Vec<_> = program
             .rules
@@ -130,10 +128,24 @@ pub fn stratified(
             .filter(|r| strat.stratum[&r.head.pred] == level)
             .cloned()
             .collect();
-        if level_rules.is_empty() {
-            continue;
+        if !level_rules.is_empty() {
+            out.push(Program::from_rules(level_rules));
         }
-        let compiled = Compiled::compile(&Program::from_rules(level_rules))?;
+    }
+    Ok(out)
+}
+
+/// Evaluate a stratified program: strata bottom-up, each stratum by its
+/// minimal model with negation referring to the completed lower strata.
+pub fn stratified(
+    program: &Program,
+    base: &Interp,
+    meter: &mut Meter,
+) -> Result<(Interp, FixpointStats), EvalError> {
+    let mut total = base.clone();
+    let mut stats = FixpointStats::default();
+    for level_program in strata_programs(program)? {
+        let compiled = Compiled::compile(&level_program)?;
         // Negation inside this stratum refers only to strictly lower
         // strata, which are complete in `total` by induction.
         let frozen = total.clone();
@@ -260,6 +272,18 @@ mod tests {
         assert!(!out.holds("unreach", &[i(1), i(3)]));
         // 9 pairs, tc = {12,13,23} → 6 unreachable
         assert_eq!(out.count("unreach"), 6);
+    }
+
+    #[test]
+    fn strata_programs_split_by_level() {
+        let p = unreachable_program();
+        let parts = strata_programs(&p).unwrap();
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].rules.len(), 2); // both tc rules
+        assert!(parts[0].rules.iter().all(|r| r.head.pred == "tc"));
+        assert_eq!(parts[1].rules.len(), 1);
+        assert_eq!(parts[1].rules[0].head.pred, "unreach");
+        assert!(strata_programs(&Program::new()).unwrap().is_empty());
     }
 
     #[test]

@@ -1,0 +1,37 @@
+//! The serving layer: incremental materialized-view sessions over the
+//! algrec evaluation stack.
+//!
+//! A [`session::Session`] owns an extensional database and a set of named
+//! **materialized views** — datalog programs under any supported
+//! semantics, or core-algebra programs. Facts asserted and retracted
+//! against the database are propagated to every view *incrementally*:
+//! counting-based maintenance for non-recursive strata, DRed
+//! (delete–rederive) over the semi-naive engine for recursive strata,
+//! and changed-level recomputation for the three-valued semantics (see
+//! [`maintain`]).
+//!
+//! The session is exposed two ways: an interactive REPL
+//! ([`repl::run_repl`], the `algrec repl` subcommand) and a
+//! newline-delimited-JSON line protocol over TCP ([`server::serve`], the
+//! `algrec serve` subcommand). Both speak the same operations via
+//! [`protocol`].
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod json;
+pub mod maintain;
+pub mod protocol;
+pub mod repl;
+pub mod server;
+pub mod session;
+
+pub use json::Json;
+pub use maintain::{MaintainReport, RecomputeView, StratifiedView};
+pub use protocol::{handle_line, parse_semantics, semantics_name, Handled};
+pub use repl::run_repl;
+pub use server::serve;
+pub use session::{
+    DeltaOutcome, OpStats, QueryAnswer, RegisterOutcome, ServeError, Session, ViewReport,
+    ViewStats, ViewStatus,
+};

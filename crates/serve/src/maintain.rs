@@ -1,0 +1,1110 @@
+//! Incremental maintenance of materialized deduction views.
+//!
+//! A registered view is kept consistent with the session database under
+//! `+fact` / `-fact` deltas by one of two maintainers, chosen at
+//! registration time:
+//!
+//! * [`StratifiedView`] — for stratified programs (under any semantics
+//!   that coincides with the stratified one on that class: stratified,
+//!   well-founded, valid, valid-extended, and naive/semi-naive on
+//!   negation-free programs). Strata are maintained bottom-up; a stratum
+//!   untouched by the accumulated delta is skipped outright. Within a
+//!   stratum the strategy is per-shape:
+//!   - **counting** for non-recursive strata: every derived fact carries
+//!     its number of distinct derivations ([`SupportCounts`]); a delta
+//!     enumerates exactly the derivations that died and were born, and a
+//!     fact leaves/enters the view on the last-support / first-support
+//!     transition;
+//!   - **DRed** (delete–rederive) for recursive strata: over-delete the
+//!     consequences of the deletions against the *old* state, re-derive
+//!     survivors against the reduced state, then propagate insertions
+//!     with the delta-driven [`semi_naive_from`] continuation. A
+//!     pure-insertion delta takes the continuation directly.
+//!
+//! * [`RecomputeView`] — for everything else (non-stratified programs
+//!   under the three-valued semantics, and the inflationary semantics,
+//!   which does not split). The program is cut into condensation levels
+//!   of its predicate dependency graph; a delta recomputes only the
+//!   levels reachable from the changed predicates, reusing the cached
+//!   two-valued results of unaffected lower levels as extra database
+//!   facts. If an affected level comes out three-valued, the remaining
+//!   levels are evaluated jointly (the split is only sound below a
+//!   two-valued boundary).
+//!
+//! Negation is handled on both delta directions by *flipped rules*: for
+//! every negative body literal `not q(t̄)` the maintainer pre-plans a
+//! variant of the rule with that literal made positive, so the
+//! derivations killed by insertions into `q` (and born from deletions
+//! from `q`) can be enumerated delta-first like any other join.
+
+use algrec_datalog::ast::{Literal, Program, Rule};
+use algrec_datalog::engine::{
+    apply_rule, enumerate_bindings, eval_expr, plan_body, Bindings, BodyPlan, Compiled, FactSource,
+};
+use algrec_datalog::error::EvalError;
+use algrec_datalog::fixpoint::{semi_naive, semi_naive_from};
+use algrec_datalog::inflationary::inflationary;
+use algrec_datalog::interp::{tuple_args, Fact, Interp, ThreeValued};
+use algrec_datalog::stable::valid_extended;
+use algrec_datalog::stratify::{strata_programs, DepGraph};
+use algrec_datalog::wellfounded::alternating_fixpoint;
+use algrec_datalog::Semantics;
+use algrec_value::budget::Meter;
+use algrec_value::{Database, DatabaseDelta, SupportCounts, Value};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What one maintenance pass did to a view.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub struct MaintainReport {
+    /// Number of view (IDB) facts that changed.
+    pub changed: usize,
+    /// Strata (or recompute levels) skipped because the delta could not
+    /// reach them.
+    pub skipped: usize,
+}
+
+/// Split a database delta into inserted / removed fact interpretations.
+pub fn delta_interps(delta: &DatabaseDelta) -> (Interp, Interp) {
+    let mut ins = Interp::new();
+    let mut del = Interp::new();
+    for (name, rd) in delta.iter() {
+        for v in rd.added() {
+            ins.insert(name, tuple_args(v));
+        }
+        for v in rd.removed() {
+            del.insert(name, tuple_args(v));
+        }
+    }
+    (ins, del)
+}
+
+/// Facts of `src` whose predicate is in `preds`.
+fn restrict(src: &Interp, preds: &BTreeSet<String>) -> Interp {
+    let mut out = Interp::new();
+    for (p, args) in src.iter() {
+        if preds.contains(p) {
+            out.insert(p, args.clone());
+        }
+    }
+    out
+}
+
+/// Evaluate the head of `rule` under complete body bindings.
+fn head_fact(rule: &Rule, b: &Bindings) -> Result<Fact, EvalError> {
+    let args: Vec<Value> = rule
+        .head
+        .args
+        .iter()
+        .map(|e| eval_expr(e, b))
+        .collect::<Result<_, _>>()?;
+    Ok((rule.head.pred.clone(), args))
+}
+
+/// One stratum of a stratified view, with everything pre-compiled for
+/// delta-driven maintenance.
+struct Stratum {
+    compiled: Compiled,
+    head_preds: BTreeSet<String>,
+    body_preds: BTreeSet<String>,
+    neg_preds: BTreeSet<String>,
+    recursive: bool,
+    /// Derivation counts per head fact; `Some` exactly for counting
+    /// (non-recursive) strata.
+    support: Option<SupportCounts<Fact>>,
+    /// `(rule index, body index, flipped rule, its plan)` for every
+    /// negative body literal.
+    flipped: Vec<(usize, usize, Rule, BodyPlan)>,
+}
+
+fn build_stratum(program: &Program) -> Result<Stratum, EvalError> {
+    let compiled = Compiled::compile(program)?;
+    let mut head_preds = BTreeSet::new();
+    let mut body_preds = BTreeSet::new();
+    let mut neg_preds = BTreeSet::new();
+    for rule in &program.rules {
+        head_preds.insert(rule.head.pred.clone());
+        for p in rule.positive_preds() {
+            body_preds.insert(p.to_string());
+        }
+        for p in rule.negative_preds() {
+            body_preds.insert(p.to_string());
+            neg_preds.insert(p.to_string());
+        }
+    }
+    // Conservative recursion test: any head fed back into any body of the
+    // same stratum (covers mutual recursion and same-level chains).
+    let recursive = head_preds.iter().any(|h| body_preds.contains(h));
+    let mut flipped = Vec::new();
+    for (ri, rule) in program.rules.iter().enumerate() {
+        for (bi, lit) in rule.body.iter().enumerate() {
+            if let Literal::Neg(atom) = lit {
+                let mut fr = rule.clone();
+                fr.body[bi] = Literal::Pos(atom.clone());
+                let plan = plan_body(&fr)?;
+                flipped.push((ri, bi, fr, plan));
+            }
+        }
+    }
+    Ok(Stratum {
+        compiled,
+        head_preds,
+        body_preds,
+        neg_preds,
+        recursive,
+        support: (!recursive).then(SupportCounts::new),
+        flipped,
+    })
+}
+
+/// An incrementally maintained materialized view of a stratified program.
+pub struct StratifiedView {
+    strata: Vec<Stratum>,
+    /// The materialized model: database facts plus every stratum's heads
+    /// (exactly the `certain` interpretation a cold stratified evaluation
+    /// produces).
+    total: Interp,
+    idb: BTreeSet<String>,
+}
+
+impl StratifiedView {
+    /// Materialize the view from scratch (also the registration-time cold
+    /// baseline: the meter records the full evaluation cost).
+    pub fn new(program: &Program, db: &Database, meter: &mut Meter) -> Result<Self, EvalError> {
+        let mut total = Interp::from_database(db);
+        let mut strata = Vec::new();
+        for sp in strata_programs(program)? {
+            let mut st = build_stratum(&sp)?;
+            let frozen = total.clone();
+            let neg = |p: &str, a: &[Value]| !frozen.holds(p, a);
+            if st.recursive {
+                let (next, _) = semi_naive(&st.compiled, &total, &neg, meter)?;
+                total = next;
+            } else {
+                // Single pass, counting every derivation: non-recursive
+                // stratum bodies never mention the stratum's own heads.
+                let support = st.support.as_mut().expect("counting stratum");
+                meter.phase_start("counting-init");
+                meter.tick_iteration()?;
+                for (rule, plan) in st.compiled.rules.iter().zip(&st.compiled.plans) {
+                    enumerate_bindings(
+                        rule,
+                        plan,
+                        &FactSource::full(&total),
+                        &neg,
+                        meter,
+                        &mut |b, meter| {
+                            meter.add_facts(1)?;
+                            support.inc(head_fact(rule, b)?);
+                            Ok(())
+                        },
+                    )?;
+                }
+                meter.phase_end();
+                let facts: Vec<Fact> = support.iter().map(|(f, _)| f.clone()).collect();
+                for (p, args) in facts {
+                    total.insert(&p, args);
+                }
+            }
+            strata.push(st);
+        }
+        let idb = strata.iter().flat_map(|s| s.head_preds.clone()).collect();
+        meter.record_materialized(total.total());
+        Ok(StratifiedView { strata, total, idb })
+    }
+
+    /// The materialized model (database facts included).
+    pub fn total(&self) -> &Interp {
+        &self.total
+    }
+
+    /// The view's derived (IDB) predicates.
+    pub fn idb_preds(&self) -> &BTreeSet<String> {
+        &self.idb
+    }
+
+    /// Apply one *effective* database delta (already applied to the
+    /// session database). The delta must not touch the view's IDB
+    /// predicates — the session routes such changes to a full rebuild.
+    /// On error the view is left inconsistent and must be rebuilt.
+    pub fn maintain(
+        &mut self,
+        delta: &DatabaseDelta,
+        meter: &mut Meter,
+    ) -> Result<MaintainReport, EvalError> {
+        let (edb_ins, edb_del) = delta_interps(delta);
+        let old_total = self.total.clone();
+        let mut total = std::mem::take(&mut self.total);
+        for (p, args) in edb_del.iter() {
+            total.remove(p, args);
+        }
+        for (p, args) in edb_ins.iter() {
+            total.insert(p, args.clone());
+        }
+        let mut ins = edb_ins;
+        let mut del = edb_del;
+        let mut report = MaintainReport::default();
+        let result: Result<(), EvalError> = (|| {
+            for st in &mut self.strata {
+                let touched = st
+                    .body_preds
+                    .iter()
+                    .any(|p| ins.count(p) > 0 || del.count(p) > 0);
+                if !touched {
+                    report.skipped += 1;
+                    continue;
+                }
+                let (s_ins, s_del) = if st.recursive {
+                    maintain_dred(st, &old_total, &mut total, &ins, &del, meter)?
+                } else {
+                    maintain_counting(st, &old_total, &mut total, &ins, &del, meter)?
+                };
+                report.changed += s_ins.total() + s_del.total();
+                ins.absorb(&s_ins);
+                del.absorb(&s_del);
+            }
+            Ok(())
+        })();
+        self.total = total;
+        result?;
+        meter.record_materialized(self.total.total());
+        Ok(report)
+    }
+}
+
+/// Counting maintenance of one non-recursive stratum. `total` holds the
+/// *new* state of everything below the stratum and the *old* state of its
+/// heads; on return the heads are new too.
+fn maintain_counting(
+    st: &mut Stratum,
+    old_total: &Interp,
+    total: &mut Interp,
+    ins: &Interp,
+    del: &Interp,
+    meter: &mut Meter,
+) -> Result<(Interp, Interp), EvalError> {
+    meter.phase_start("counting");
+    meter.tick_iteration()?;
+    // Net derivation events per head fact: (died, born).
+    let mut events: BTreeMap<Fact, (usize, usize)> = BTreeMap::new();
+    let mut seen_dead: BTreeSet<(usize, Bindings)> = BTreeSet::new();
+    let mut seen_born: BTreeSet<(usize, Bindings)> = BTreeSet::new();
+
+    // Dead derivations, enumerated against the old state: those that used
+    // a removed fact positively, and those whose negative literal was
+    // falsified by an insertion (flipped rules). The shared dedup set
+    // makes the per-position passes count each derivation once.
+    {
+        let old_neg = |p: &str, a: &[Value]| !old_total.holds(p, a);
+        for (ri, (rule, plan)) in st.compiled.rules.iter().zip(&st.compiled.plans).enumerate() {
+            for (pos, lit) in rule.body.iter().enumerate() {
+                let Literal::Pos(atom) = lit else { continue };
+                if del.count(&atom.pred) == 0 {
+                    continue;
+                }
+                enumerate_bindings(
+                    rule,
+                    plan,
+                    &FactSource {
+                        full: old_total,
+                        delta: Some((pos, del)),
+                    },
+                    &old_neg,
+                    meter,
+                    &mut |b, meter| {
+                        if seen_dead.insert((ri, b.clone())) {
+                            meter.add_facts(1)?;
+                            events.entry(head_fact(rule, b)?).or_default().0 += 1;
+                        }
+                        Ok(())
+                    },
+                )?;
+            }
+        }
+        for (ri, pos, frule, fplan) in &st.flipped {
+            let Literal::Pos(atom) = &frule.body[*pos] else {
+                unreachable!("flipped literal is positive")
+            };
+            if ins.count(&atom.pred) == 0 {
+                continue;
+            }
+            enumerate_bindings(
+                frule,
+                fplan,
+                &FactSource {
+                    full: old_total,
+                    delta: Some((*pos, ins)),
+                },
+                &old_neg,
+                meter,
+                &mut |b, meter| {
+                    if seen_dead.insert((*ri, b.clone())) {
+                        meter.add_facts(1)?;
+                        events.entry(head_fact(frule, b)?).or_default().0 += 1;
+                    }
+                    Ok(())
+                },
+            )?;
+        }
+    }
+
+    // Born derivations, against the new state (symmetric).
+    {
+        let tot: &Interp = &*total;
+        let new_neg = |p: &str, a: &[Value]| !tot.holds(p, a);
+        for (ri, (rule, plan)) in st.compiled.rules.iter().zip(&st.compiled.plans).enumerate() {
+            for (pos, lit) in rule.body.iter().enumerate() {
+                let Literal::Pos(atom) = lit else { continue };
+                if ins.count(&atom.pred) == 0 {
+                    continue;
+                }
+                enumerate_bindings(
+                    rule,
+                    plan,
+                    &FactSource {
+                        full: tot,
+                        delta: Some((pos, ins)),
+                    },
+                    &new_neg,
+                    meter,
+                    &mut |b, meter| {
+                        if seen_born.insert((ri, b.clone())) {
+                            meter.add_facts(1)?;
+                            events.entry(head_fact(rule, b)?).or_default().1 += 1;
+                        }
+                        Ok(())
+                    },
+                )?;
+            }
+        }
+        for (ri, pos, frule, fplan) in &st.flipped {
+            let Literal::Pos(atom) = &frule.body[*pos] else {
+                unreachable!("flipped literal is positive")
+            };
+            if del.count(&atom.pred) == 0 {
+                continue;
+            }
+            enumerate_bindings(
+                frule,
+                fplan,
+                &FactSource {
+                    full: tot,
+                    delta: Some((*pos, del)),
+                },
+                &new_neg,
+                meter,
+                &mut |b, meter| {
+                    if seen_born.insert((*ri, b.clone())) {
+                        meter.add_facts(1)?;
+                        events.entry(head_fact(frule, b)?).or_default().1 += 1;
+                    }
+                    Ok(())
+                },
+            )?;
+        }
+    }
+
+    let support = st.support.as_mut().expect("counting stratum");
+    let mut s_ins = Interp::new();
+    let mut s_del = Interp::new();
+    for (fact, (dead, born)) in events {
+        let before = support.count(&fact) > 0;
+        for _ in 0..dead {
+            support.dec(&fact);
+        }
+        for _ in 0..born {
+            support.inc(fact.clone());
+        }
+        let after = support.count(&fact) > 0;
+        if before && !after {
+            total.remove(&fact.0, &fact.1);
+            s_del.insert(&fact.0, fact.1.clone());
+        } else if !before && after {
+            total.insert(&fact.0, fact.1.clone());
+            s_ins.insert(&fact.0, fact.1);
+        }
+    }
+    meter.record_delta(s_ins.total() + s_del.total());
+    meter.phase_end();
+    Ok((s_ins, s_del))
+}
+
+/// DRed maintenance of one recursive stratum. Same `total` contract as
+/// [`maintain_counting`].
+fn maintain_dred(
+    st: &Stratum,
+    old_total: &Interp,
+    total: &mut Interp,
+    ins: &Interp,
+    del: &Interp,
+    meter: &mut Meter,
+) -> Result<(Interp, Interp), EvalError> {
+    let ins_rel = restrict(ins, &st.body_preds);
+    let del_rel = restrict(del, &st.body_preds);
+    let neg_ins = restrict(ins, &st.neg_preds);
+    let neg_del = restrict(del, &st.neg_preds);
+
+    // Pure-insertion fast path: nothing was deleted and no insertion can
+    // falsify a negative literal, so the old model is still a lower bound
+    // and the semi-naive continuation finishes the job.
+    if del_rel.total() == 0 && neg_ins.total() == 0 {
+        let (next, added, _) = {
+            let tot: &Interp = &*total;
+            let neg = |p: &str, a: &[Value]| !tot.holds(p, a);
+            semi_naive_from(&st.compiled, tot, &ins_rel, &neg, meter)?
+        };
+        *total = next;
+        let s_ins = restrict(&added, &st.head_preds);
+        return Ok((s_ins, Interp::new()));
+    }
+
+    meter.phase_start("dred");
+    // Phase 1: over-delete against the old state. The worklist starts
+    // from the deleted inputs plus the heads of derivations killed by
+    // insertions into negated predicates.
+    let old_neg = |p: &str, a: &[Value]| !old_total.holds(p, a);
+    let mut over = Interp::new();
+    let mut work = del_rel.clone();
+    for (_, pos, frule, fplan) in &st.flipped {
+        let Literal::Pos(atom) = &frule.body[*pos] else {
+            unreachable!("flipped literal is positive")
+        };
+        if neg_ins.count(&atom.pred) == 0 {
+            continue;
+        }
+        let mut killed = Interp::new();
+        apply_rule(
+            frule,
+            fplan,
+            &FactSource {
+                full: old_total,
+                delta: Some((*pos, &neg_ins)),
+            },
+            &old_neg,
+            meter,
+            &mut killed,
+        )?;
+        for (p, args) in killed.iter() {
+            if old_total.holds(p, args) && over.insert(p, args.clone()) {
+                work.insert(p, args.clone());
+            }
+        }
+    }
+    while work.total() > 0 {
+        meter.tick_iteration()?;
+        let mut cand = Interp::new();
+        for (rule, plan) in st.compiled.rules.iter().zip(&st.compiled.plans) {
+            for (pos, lit) in rule.body.iter().enumerate() {
+                let Literal::Pos(atom) = lit else { continue };
+                if work.count(&atom.pred) == 0 {
+                    continue;
+                }
+                apply_rule(
+                    rule,
+                    plan,
+                    &FactSource {
+                        full: old_total,
+                        delta: Some((pos, &work)),
+                    },
+                    &old_neg,
+                    meter,
+                    &mut cand,
+                )?;
+            }
+        }
+        let mut next = Interp::new();
+        for (p, args) in cand.iter() {
+            if old_total.holds(p, args) && !over.holds(p, args) {
+                next.insert(p, args.clone());
+            }
+        }
+        over.absorb(&next);
+        work = next;
+        meter.record_delta(work.total());
+    }
+    for (p, args) in over.iter() {
+        total.remove(p, args);
+    }
+
+    // Phase 2: re-derive over-deleted facts that still have support in
+    // the reduced (new) state. Negated predicates live in lower strata,
+    // so the oracle is stable across the loop. Only candidates that are
+    // genuinely rederived (over-deleted, not yet back) enter a working
+    // set, so the metered cost is the rederivation size, not the model
+    // size.
+    while over.total() > 0 {
+        meter.tick_iteration()?;
+        let mut back = Interp::new();
+        {
+            let tot: &Interp = &*total;
+            let neg = |p: &str, a: &[Value]| !tot.holds(p, a);
+            for (rule, plan) in st.compiled.rules.iter().zip(&st.compiled.plans) {
+                if over.count(&rule.head.pred) == 0 {
+                    continue;
+                }
+                enumerate_bindings(
+                    rule,
+                    plan,
+                    &FactSource::full(tot),
+                    &neg,
+                    meter,
+                    &mut |b, meter| {
+                        let (p, args) = head_fact(rule, b)?;
+                        if over.holds(&p, &args) && !tot.holds(&p, &args) && back.insert(&p, args) {
+                            meter.add_facts(1)?;
+                        }
+                        Ok(())
+                    },
+                )?;
+            }
+        }
+        if back.total() == 0 {
+            break;
+        }
+        total.absorb(&back);
+    }
+
+    // Phase 3: propagate insertions — the inserted inputs plus the heads
+    // born from deletions out of negated predicates.
+    let mut seed = ins_rel;
+    {
+        let tot: &Interp = &*total;
+        let neg = |p: &str, a: &[Value]| !tot.holds(p, a);
+        let mut born = Interp::new();
+        for (_, pos, frule, fplan) in &st.flipped {
+            let Literal::Pos(atom) = &frule.body[*pos] else {
+                unreachable!("flipped literal is positive")
+            };
+            if neg_del.count(&atom.pred) == 0 {
+                continue;
+            }
+            apply_rule(
+                frule,
+                fplan,
+                &FactSource {
+                    full: tot,
+                    delta: Some((*pos, &neg_del)),
+                },
+                &neg,
+                meter,
+                &mut born,
+            )?;
+        }
+        for (p, args) in born.iter() {
+            if !tot.holds(p, args) {
+                seed.insert(p, args.clone());
+            }
+        }
+    }
+    for (p, args) in seed.iter() {
+        total.insert(p, args.clone());
+    }
+    let (next, _, _) = {
+        let tot: &Interp = &*total;
+        let neg = |p: &str, a: &[Value]| !tot.holds(p, a);
+        semi_naive_from(&st.compiled, tot, &seed, &neg, meter)?
+    };
+    *total = next;
+    meter.phase_end();
+
+    // Net head changes, by authoritative diff against the old state.
+    let mut s_ins = Interp::new();
+    let mut s_del = Interp::new();
+    for p in &st.head_preds {
+        for args in total.facts(p) {
+            if !old_total.holds(p, args) {
+                s_ins.insert(p, args.clone());
+            }
+        }
+        for args in old_total.facts(p) {
+            if !total.holds(p, args) {
+                s_del.insert(p, args.clone());
+            }
+        }
+    }
+    Ok((s_ins, s_del))
+}
+
+/// One condensation level of a [`RecomputeView`].
+struct Level {
+    program: Program,
+    heads: BTreeSet<String>,
+    mentioned: BTreeSet<String>,
+    /// Cached two-valued contribution (restricted to `heads`); `None`
+    /// when never computed alone or last computed jointly / three-valued.
+    cached: Option<Interp>,
+}
+
+/// A view maintained by changed-level recomputation — the fallback for
+/// programs the stratified maintainer cannot take (non-stratified rules
+/// under well-founded / valid semantics, and the inflationary semantics).
+pub struct RecomputeView {
+    semantics: Semantics,
+    levels: Vec<Level>,
+    deps: BTreeSet<String>,
+    idb: BTreeSet<String>,
+    model: ThreeValued,
+}
+
+fn block_of(
+    sem: Semantics,
+    program: &Program,
+    base: &Interp,
+    meter: &mut Meter,
+) -> Result<ThreeValued, EvalError> {
+    let compiled = Compiled::compile(program)?;
+    match sem {
+        Semantics::WellFounded | Semantics::Valid => {
+            alternating_fixpoint(&compiled, base, meter).map(|(tv, _)| tv)
+        }
+        Semantics::Inflationary => {
+            inflationary(&compiled, base, meter).map(|(i, _)| ThreeValued::exact(i))
+        }
+        Semantics::ValidExtended(cap) => {
+            valid_extended(&compiled, base, cap, meter).map(|o| o.refined)
+        }
+        Semantics::Naive | Semantics::SemiNaive | Semantics::Stratified => Err(EvalError::Unsafe(
+            "internal: this semantics is maintained by the stratified view".into(),
+        )),
+    }
+}
+
+/// Condensation levels of the dependency graph: rules grouped by the
+/// depth of their head's strongly connected component. Small programs,
+/// quadratic reachability.
+fn scc_levels(program: &Program) -> Vec<Program> {
+    let g = DepGraph::of(program);
+    let heads: BTreeSet<&str> = program.rules.iter().map(|r| r.head.pred.as_str()).collect();
+    // reach[p] = predicates reachable from p over dependencies.
+    let mut reach: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for p in &g.preds {
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        let mut stack: Vec<&str> = vec![p.as_str()];
+        while let Some(q) = stack.pop() {
+            for r in g.successors(q) {
+                if seen.insert(r.as_str()) {
+                    stack.push(r.as_str());
+                }
+            }
+        }
+        reach.insert(p.as_str(), seen);
+    }
+    fn level_of<'a>(
+        p: &'a str,
+        heads: &BTreeSet<&'a str>,
+        reach: &BTreeMap<&'a str, BTreeSet<&'a str>>,
+        memo: &mut BTreeMap<&'a str, usize>,
+    ) -> usize {
+        if let Some(&l) = memo.get(p) {
+            return l;
+        }
+        // Strictly-below dependencies: reachable head predicates outside
+        // p's own SCC (q cannot reach back to p).
+        let below = reach[p]
+            .iter()
+            .filter(|q| heads.contains(*q) && **q != p && !reach[**q].contains(p))
+            .map(|q| level_of(q, heads, reach, memo) + 1)
+            .max()
+            .unwrap_or(0);
+        memo.insert(p, below);
+        below
+    }
+    let mut memo: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut by_level: BTreeMap<usize, Vec<Rule>> = BTreeMap::new();
+    for rule in &program.rules {
+        let l = level_of(rule.head.pred.as_str(), &heads, &reach, &mut memo);
+        by_level.entry(l).or_default().push(rule.clone());
+    }
+    by_level.into_values().map(Program::from_rules).collect()
+}
+
+impl RecomputeView {
+    /// Materialize the view from scratch under the given semantics.
+    pub fn new(
+        program: &Program,
+        semantics: Semantics,
+        db: &Database,
+        meter: &mut Meter,
+    ) -> Result<Self, EvalError> {
+        // The inflationary fixpoint is stage-synchronized across the
+        // whole program — splitting it would change the answer. The
+        // valid-extended refinement branches over the global residue.
+        let split = matches!(semantics, Semantics::WellFounded | Semantics::Valid);
+        let parts = if split {
+            scc_levels(program)
+        } else {
+            vec![program.clone()]
+        };
+        let levels = parts
+            .into_iter()
+            .map(|p| {
+                let mut heads = BTreeSet::new();
+                let mut mentioned = BTreeSet::new();
+                for rule in &p.rules {
+                    heads.insert(rule.head.pred.clone());
+                    mentioned.insert(rule.head.pred.clone());
+                    for q in rule
+                        .positive_preds()
+                        .into_iter()
+                        .chain(rule.negative_preds())
+                    {
+                        mentioned.insert(q.to_string());
+                    }
+                }
+                Level {
+                    program: p,
+                    heads,
+                    mentioned,
+                    cached: None,
+                }
+            })
+            .collect();
+        let deps = DepGraph::of(program).preds;
+        let idb = program.rules.iter().map(|r| r.head.pred.clone()).collect();
+        let mut view = RecomputeView {
+            semantics,
+            levels,
+            deps,
+            idb,
+            model: ThreeValued::default(),
+        };
+        let all: BTreeSet<String> = view.deps.clone();
+        view.evaluate_levels(db, &all, meter)?;
+        Ok(view)
+    }
+
+    /// The current model.
+    pub fn model(&self) -> &ThreeValued {
+        &self.model
+    }
+
+    /// The view's derived (IDB) predicates.
+    pub fn idb_preds(&self) -> &BTreeSet<String> {
+        &self.idb
+    }
+
+    /// Every predicate the view depends on.
+    pub fn deps(&self) -> &BTreeSet<String> {
+        &self.deps
+    }
+
+    /// Recompute the levels affected by a delta, reusing cached
+    /// two-valued results of untouched lower levels.
+    pub fn maintain(
+        &mut self,
+        db: &Database,
+        delta: &DatabaseDelta,
+        meter: &mut Meter,
+    ) -> Result<MaintainReport, EvalError> {
+        let changed: BTreeSet<String> = delta.names().map(str::to_string).collect();
+        if changed.iter().all(|p| !self.deps.contains(p)) {
+            return Ok(MaintainReport {
+                changed: 0,
+                skipped: self.levels.len(),
+            });
+        }
+        let before = self.model.clone();
+        let skipped = self.evaluate_levels(db, &changed, meter)?;
+        let changed_facts = diff_count(&before.certain, &self.model.certain)
+            + diff_count(&before.possible, &self.model.possible);
+        Ok(MaintainReport {
+            changed: changed_facts,
+            skipped,
+        })
+    }
+
+    fn evaluate_levels(
+        &mut self,
+        db: &Database,
+        initially_changed: &BTreeSet<String>,
+        meter: &mut Meter,
+    ) -> Result<usize, EvalError> {
+        let mut base = Interp::from_database(db);
+        let mut changed = initially_changed.clone();
+        let mut skipped = 0usize;
+        let n = self.levels.len();
+        for k in 0..n {
+            let affected = self.levels[k].cached.is_none()
+                || self.levels[k].mentioned.iter().any(|p| changed.contains(p));
+            if !affected {
+                let cached = self.levels[k].cached.as_ref().expect("checked");
+                base.absorb(cached);
+                skipped += 1;
+                continue;
+            }
+            let tv = block_of(self.semantics, &self.levels[k].program, &base, meter)?;
+            let cert = restrict(&tv.certain, &self.levels[k].heads);
+            let poss = restrict(&tv.possible, &self.levels[k].heads);
+            if cert == poss {
+                if self.levels[k].cached.as_ref() != Some(&cert) {
+                    changed.extend(self.levels[k].heads.iter().cloned());
+                }
+                base.absorb(&cert);
+                self.levels[k].cached = Some(cert);
+            } else {
+                // A three-valued boundary: the split is only sound below
+                // a two-valued level, so finish the rest jointly.
+                let mut rules = Vec::new();
+                for level in &mut self.levels[k..] {
+                    rules.extend(level.program.rules.iter().cloned());
+                    level.cached = None;
+                }
+                let joint = Program::from_rules(rules);
+                self.model = block_of(self.semantics, &joint, &base, meter)?;
+                meter.record_materialized(self.model.certain.total());
+                return Ok(skipped);
+            }
+        }
+        self.model = ThreeValued::exact(base);
+        meter.record_materialized(self.model.certain.total());
+        Ok(skipped)
+    }
+}
+
+/// Size of the symmetric difference of two interpretations.
+fn diff_count(a: &Interp, b: &Interp) -> usize {
+    let mut n = 0;
+    for (p, args) in a.iter() {
+        if !b.holds(p, args) {
+            n += 1;
+        }
+    }
+    for (p, args) in b.iter() {
+        if !a.holds(p, args) {
+            n += 1;
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use algrec_datalog::parser::parse_program;
+    use algrec_datalog::{evaluate, Semantics};
+    use algrec_value::{Budget, Relation, Trace, Truth};
+
+    fn i(n: i64) -> Value {
+        Value::int(n)
+    }
+
+    fn edges(pairs: &[(i64, i64)]) -> Database {
+        Database::new().with(
+            "e",
+            Relation::from_pairs(pairs.iter().map(|(a, b)| (i(*a), i(*b)))),
+        )
+    }
+
+    const TC: &str = "tc(X, Y) :- e(X, Y).\ntc(X, Z) :- tc(X, Y), e(Y, Z).";
+
+    const UNREACH: &str = "tc(X, Y) :- e(X, Y).\n\
+                           tc(X, Z) :- tc(X, Y), e(Y, Z).\n\
+                           un(X, Y) :- n(X), n(Y), not tc(X, Y).";
+
+    fn assert_matches_cold(view: &StratifiedView, program: &Program, db: &Database) {
+        let cold = evaluate(program, db, Semantics::Stratified, Budget::SMALL).unwrap();
+        assert_eq!(
+            view.total(),
+            &cold.model.certain,
+            "incremental view diverged from cold evaluation"
+        );
+    }
+
+    #[test]
+    fn dred_insert_and_delete_tracks_cold_tc() {
+        let program = parse_program(TC).unwrap();
+        let mut db = edges(&[(1, 2), (2, 3), (3, 4)]);
+        let mut meter = Budget::SMALL.meter();
+        let mut view = StratifiedView::new(&program, &db, &mut meter).unwrap();
+        assert_matches_cold(&view, &program, &db);
+
+        // Insert an edge closing a new path.
+        let mut d = DatabaseDelta::new();
+        d.insert("e", Value::pair(i(4), i(5)));
+        let eff = d.apply(&mut db);
+        let rep = view.maintain(&eff, &mut meter).unwrap();
+        assert!(rep.changed >= 4, "tc gains paths to 5, got {rep:?}");
+        assert_matches_cold(&view, &program, &db);
+
+        // Delete a middle edge: long paths die, short ones survive.
+        let mut d = DatabaseDelta::new();
+        d.remove("e", Value::pair(i(2), i(3)));
+        let eff = d.apply(&mut db);
+        view.maintain(&eff, &mut meter).unwrap();
+        assert_matches_cold(&view, &program, &db);
+        assert!(!view.total().holds("tc", &[i(1), i(4)]));
+        assert!(view.total().holds("tc", &[i(1), i(2)]));
+
+        // Mixed delta: remove and insert in one batch.
+        let mut d = DatabaseDelta::new();
+        d.remove("e", Value::pair(i(1), i(2)));
+        d.insert("e", Value::pair(i(2), i(3)));
+        let eff = d.apply(&mut db);
+        view.maintain(&eff, &mut meter).unwrap();
+        assert_matches_cold(&view, &program, &db);
+    }
+
+    #[test]
+    fn counting_stratum_handles_negation_flips() {
+        let program = parse_program(UNREACH).unwrap();
+        let mut db = edges(&[(1, 2)]).with("n", Relation::from_values([i(1), i(2), i(3)]));
+        let mut meter = Budget::SMALL.meter();
+        let mut view = StratifiedView::new(&program, &db, &mut meter).unwrap();
+        assert_matches_cold(&view, &program, &db);
+        assert!(view.total().holds("un", &[i(1), i(3)]));
+
+        // Inserting e(2,3) creates tc(1,3)/tc(2,3), killing un facts via
+        // the flipped-rule path.
+        let mut d = DatabaseDelta::new();
+        d.insert("e", Value::pair(i(2), i(3)));
+        let eff = d.apply(&mut db);
+        let rep = view.maintain(&eff, &mut meter).unwrap();
+        assert_eq!(rep.skipped, 0);
+        assert_matches_cold(&view, &program, &db);
+        assert!(!view.total().holds("un", &[i(1), i(3)]));
+
+        // Deleting it brings them back (negation births).
+        let mut d = DatabaseDelta::new();
+        d.remove("e", Value::pair(i(2), i(3)));
+        let eff = d.apply(&mut db);
+        view.maintain(&eff, &mut meter).unwrap();
+        assert_matches_cold(&view, &program, &db);
+        assert!(view.total().holds("un", &[i(1), i(3)]));
+
+        // A delta on `n` alone skips the tc stratum.
+        let mut d = DatabaseDelta::new();
+        d.insert("n", i(4));
+        let eff = d.apply(&mut db);
+        let rep = view.maintain(&eff, &mut meter).unwrap();
+        assert_eq!(rep.skipped, 1, "tc stratum untouched by n-delta");
+        assert_matches_cold(&view, &program, &db);
+    }
+
+    #[test]
+    fn incremental_is_cheaper_than_cold_on_chain() {
+        // A 60-node chain: cold evaluation derives ~1800 tc facts; one
+        // appended edge must cost far less.
+        let pairs: Vec<(i64, i64)> = (1..60).map(|k| (k, k + 1)).collect();
+        let program = parse_program(TC).unwrap();
+        let mut db = edges(&pairs);
+        let cold_trace = Trace::collect();
+        let mut meter = Budget::SMALL.meter_traced(cold_trace.clone());
+        let mut view = StratifiedView::new(&program, &db, &mut meter).unwrap();
+        let cold = cold_trace.stats().unwrap();
+
+        let incr_trace = Trace::collect();
+        let mut meter = Budget::SMALL.meter_traced(incr_trace.clone());
+        let mut d = DatabaseDelta::new();
+        d.insert("e", Value::pair(i(60), i(61)));
+        let eff = d.apply(&mut db);
+        view.maintain(&eff, &mut meter).unwrap();
+        let incr = incr_trace.stats().unwrap();
+        assert_matches_cold(&view, &program, &db);
+        assert!(
+            incr.facts_inserted < cold.facts_inserted,
+            "incremental {} should beat cold {}",
+            incr.facts_inserted,
+            cold.facts_inserted
+        );
+        // The appended edge reaches every node: 61 new tc facts, and the
+        // derivation work is within a small factor of that.
+        assert!(incr.facts_inserted <= 4 * 61, "got {}", incr.facts_inserted);
+    }
+
+    #[test]
+    fn recompute_view_skips_unaffected_levels() {
+        // Non-stratified bottom (win/move may cycle) with a stratified
+        // rule on top; acyclic moves keep everything two-valued.
+        let src = "win(X) :- move(X, Y), not win(Y).\n\
+                   happy(X) :- player(X), not win(X).";
+        let program = parse_program(src).unwrap();
+        let mut db = Database::new()
+            .with("move", Relation::from_pairs([(i(1), i(2)), (i(2), i(3))]))
+            .with("player", Relation::from_values([i(1), i(2)]));
+        let mut meter = Budget::SMALL.meter();
+        let mut view = RecomputeView::new(&program, Semantics::Valid, &db, &mut meter).unwrap();
+        assert_eq!(view.levels.len(), 2, "win below happy");
+        let cold = evaluate(&program, &db, Semantics::Valid, Budget::SMALL).unwrap();
+        assert_eq!(view.model(), &cold.model);
+        assert_eq!(view.model().truth("happy", &[i(1)]), Truth::True);
+        assert_eq!(view.model().truth("happy", &[i(2)]), Truth::False);
+
+        // Changing `player` must not recompute the win level.
+        let mut d = DatabaseDelta::new();
+        d.insert("player", i(3));
+        let eff = d.apply(&mut db);
+        let rep = view.maintain(&db, &eff, &mut meter).unwrap();
+        assert_eq!(rep.skipped, 1, "win level reused from cache");
+        let cold = evaluate(&program, &db, Semantics::Valid, Budget::SMALL).unwrap();
+        assert_eq!(view.model(), &cold.model);
+        assert_eq!(view.model().truth("happy", &[i(3)]), Truth::True);
+
+        // A delta on nothing the view mentions skips everything.
+        let mut d = DatabaseDelta::new();
+        d.insert("unrelated", i(9));
+        let eff = d.apply(&mut db);
+        let rep = view.maintain(&db, &eff, &mut meter).unwrap();
+        assert_eq!(rep.skipped, 2);
+        assert_eq!(rep.changed, 0);
+    }
+
+    #[test]
+    fn recompute_view_goes_joint_on_three_valued_boundary() {
+        let src = "win(X) :- move(X, Y), not win(Y).\n\
+                   happy(X) :- player(X), not win(X).";
+        let program = parse_program(src).unwrap();
+        let mut db = Database::new()
+            .with("move", Relation::from_pairs([(i(7), i(7))]))
+            .with("player", Relation::from_values([i(7)]));
+        let mut meter = Budget::SMALL.meter();
+        let mut view = RecomputeView::new(&program, Semantics::Valid, &db, &mut meter).unwrap();
+        let cold = evaluate(&program, &db, Semantics::Valid, Budget::SMALL).unwrap();
+        assert_eq!(view.model(), &cold.model);
+        assert_eq!(view.model().truth("win", &[i(7)]), Truth::Unknown);
+        assert_eq!(view.model().truth("happy", &[i(7)]), Truth::Unknown);
+
+        // Break the cycle: everything resolves again.
+        let mut d = DatabaseDelta::new();
+        d.remove("move", Value::pair(i(7), i(7)));
+        d.insert("move", Value::pair(i(7), i(8)));
+        let eff = d.apply(&mut db);
+        view.maintain(&db, &eff, &mut meter).unwrap();
+        let cold = evaluate(&program, &db, Semantics::Valid, Budget::SMALL).unwrap();
+        assert_eq!(view.model(), &cold.model);
+        assert_eq!(view.model().truth("win", &[i(7)]), Truth::True);
+        assert_eq!(view.model().truth("happy", &[i(7)]), Truth::False);
+    }
+
+    #[test]
+    fn scc_levels_orders_dependencies() {
+        let program = parse_program(
+            "a(X) :- e(X).\n\
+             b(X) :- a(X), c(X).\n\
+             c(X) :- b(X).\n\
+             d(X) :- c(X), not a(X).",
+        )
+        .unwrap();
+        let parts = scc_levels(&program);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0].rules[0].head.pred, "a");
+        // b and c are mutually recursive — same level.
+        let mid: BTreeSet<&str> = parts[1]
+            .rules
+            .iter()
+            .map(|r| r.head.pred.as_str())
+            .collect();
+        assert_eq!(mid, BTreeSet::from(["b", "c"]));
+        assert_eq!(parts[2].rules[0].head.pred, "d");
+    }
+
+    #[test]
+    fn delta_interps_split_signed_changes() {
+        let mut d = DatabaseDelta::new();
+        d.insert("e", Value::pair(i(1), i(2)));
+        d.remove("n", i(3));
+        let (ins, del) = delta_interps(&d);
+        assert!(ins.holds("e", &[i(1), i(2)]));
+        assert!(del.holds("n", &[i(3)]));
+        assert_eq!(ins.total(), 1);
+        assert_eq!(del.total(), 1);
+    }
+}

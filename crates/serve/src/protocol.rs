@@ -1,0 +1,474 @@
+//! The NDJSON line protocol and the shared semantics-name parser.
+//!
+//! One request per line, one reply per line. A request is a JSON object:
+//!
+//! ```text
+//! {"id": <any>, "op": "<operation>", ...operands}
+//! ```
+//!
+//! and every reply echoes the request id:
+//!
+//! ```text
+//! {"id": <any>, "ok": true,  ...payload}
+//! {"id": <any>, "ok": false, "error": {"code": "<code>", "message": "…"}}
+//! ```
+//!
+//! Operations (operands in parentheses): `ping`, `load` (`facts`),
+//! `register` (`view`, `program`, optional `semantics`, optional
+//! `kind: "algebra"`), `assert` / `retract` (`fact` or `facts`),
+//! `query` (`view`, optional `pred`), `stats` (optional `view`),
+//! `views`, `db`, `unregister` (`view`), `shutdown`.
+//!
+//! Replies only carry the *deterministic* statistics subset
+//! ([`OpStats`]): iteration counts, derivation work, materialized sizes
+//! and delta rounds — never wall-clock times or interner sizes — so a
+//! scripted session can be diffed against a golden transcript byte for
+//! byte.
+
+use crate::json::{self, Json};
+use crate::session::{
+    DeltaOutcome, OpStats, QueryAnswer, ServeError, Session, ViewReport, ViewStats,
+};
+use algrec_datalog::Semantics;
+
+/// Parse a semantics name as accepted by `algrec eval --semantics` and
+/// the protocol's `register` operation. The extended valid semantics
+/// takes an optional branching cap: `valid-extended:N` (default 16).
+pub fn parse_semantics(s: &str) -> Result<Semantics, String> {
+    if let Some(rest) = s.strip_prefix("valid-extended:") {
+        let cap: usize = rest.parse().map_err(|_| {
+            format!(
+                "invalid cap `{rest}` in `{s}`; expected a non-negative integer, \
+                 as in `valid-extended:32`"
+            )
+        })?;
+        return Ok(Semantics::ValidExtended(cap));
+    }
+    Ok(match s {
+        "naive" => Semantics::Naive,
+        "semi-naive" => Semantics::SemiNaive,
+        "stratified" => Semantics::Stratified,
+        "inflationary" => Semantics::Inflationary,
+        "well-founded" => Semantics::WellFounded,
+        "valid" => Semantics::Valid,
+        "valid-extended" => Semantics::ValidExtended(16),
+        other => {
+            return Err(format!(
+                "unknown semantics `{other}`; expected one of: naive, semi-naive, \
+                 stratified, inflationary, well-founded, valid, valid-extended, \
+                 valid-extended:<N>"
+            ))
+        }
+    })
+}
+
+/// The canonical name of a semantics, inverse of [`parse_semantics`].
+pub fn semantics_name(s: Semantics) -> String {
+    match s {
+        Semantics::Naive => "naive".into(),
+        Semantics::SemiNaive => "semi-naive".into(),
+        Semantics::Stratified => "stratified".into(),
+        Semantics::Inflationary => "inflationary".into(),
+        Semantics::WellFounded => "well-founded".into(),
+        Semantics::Valid => "valid".into(),
+        Semantics::ValidExtended(cap) => format!("valid-extended:{cap}"),
+    }
+}
+
+/// Result of handling one protocol line.
+pub enum Handled {
+    /// An ordinary reply line.
+    Reply(String),
+    /// The reply line for a `shutdown` request; the server should stop
+    /// accepting after sending it.
+    Shutdown(String),
+}
+
+impl Handled {
+    /// The reply line either way.
+    pub fn line(&self) -> &str {
+        match self {
+            Handled::Reply(s) | Handled::Shutdown(s) => s,
+        }
+    }
+}
+
+fn stats_json(s: &OpStats) -> Json {
+    Json::obj([
+        ("iterations", Json::Int(s.iterations as i64)),
+        ("facts_inserted", Json::Int(s.facts_inserted as i64)),
+        ("facts_materialized", Json::Int(s.facts_materialized as i64)),
+        ("deltas", Json::Int(s.deltas as i64)),
+    ])
+}
+
+fn view_report_json(r: &ViewReport) -> Json {
+    let mut obj = vec![
+        ("view", Json::str(r.view.clone())),
+        ("status", Json::str(r.status.as_str())),
+        ("changed", Json::Int(r.changed as i64)),
+        ("skipped", Json::Int(r.skipped as i64)),
+        ("stats", stats_json(&r.stats)),
+    ];
+    if let Some(e) = &r.error {
+        obj.push(("error", Json::str(e.clone())));
+    }
+    Json::obj(obj)
+}
+
+fn delta_json(out: &DeltaOutcome) -> Vec<(&'static str, Json)> {
+    vec![
+        ("requested", Json::Int(out.requested as i64)),
+        ("applied", Json::Int(out.applied as i64)),
+        (
+            "views",
+            Json::Arr(out.views.iter().map(view_report_json).collect()),
+        ),
+    ]
+}
+
+fn view_stats_json(v: &ViewStats) -> Json {
+    Json::obj([
+        ("name", Json::str(v.name.clone())),
+        ("kind", Json::str(v.kind)),
+        ("semantics", Json::str(v.semantics.clone())),
+        ("strategy", Json::str(v.strategy)),
+        ("dirty", Json::Bool(v.dirty)),
+        ("deltas_applied", Json::Int(v.deltas_applied as i64)),
+        ("strata_skipped", Json::Int(v.strata_skipped as i64)),
+        ("rebuilds", Json::Int(v.rebuilds as i64)),
+        ("registration", stats_json(&v.registration)),
+        ("last", v.last.as_ref().map_or(Json::Null, stats_json)),
+        ("cumulative", stats_json(&v.cumulative)),
+    ])
+}
+
+fn query_json(answer: &QueryAnswer) -> Vec<(&'static str, Json)> {
+    match answer {
+        QueryAnswer::Datalog { certain, unknown } => vec![
+            (
+                "certain",
+                Json::Arr(certain.iter().map(Json::str).collect()),
+            ),
+            (
+                "unknown",
+                Json::Arr(unknown.iter().map(Json::str).collect()),
+            ),
+        ],
+        QueryAnswer::Algebra {
+            query,
+            well_defined,
+            constants,
+        } => vec![
+            ("query", Json::str(query.clone())),
+            ("well_defined", Json::Bool(*well_defined)),
+            (
+                "constants",
+                Json::Obj(
+                    constants
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::str(v.clone())))
+                        .collect(),
+                ),
+            ),
+        ],
+    }
+}
+
+fn ok_reply(id: Json, payload: Vec<(&'static str, Json)>) -> String {
+    let mut obj = vec![("id", id), ("ok", Json::Bool(true))];
+    obj.extend(payload);
+    Json::obj(obj).to_string()
+}
+
+fn err_reply(id: Json, code: &str, message: &str) -> String {
+    Json::obj([
+        ("id", id),
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            Json::obj([
+                ("code", Json::str(code.to_string())),
+                ("message", Json::str(message.to_string())),
+            ]),
+        ),
+    ])
+    .to_string()
+}
+
+fn str_field<'a>(req: &'a Json, key: &str) -> Result<&'a str, ServeError> {
+    req.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| ServeError::BadRequest(format!("missing string field `{key}`")))
+}
+
+/// Collect the facts of an `assert`/`retract` request: either a single
+/// `fact` string or a `facts` array of strings.
+fn fact_sources(req: &Json) -> Result<Vec<String>, ServeError> {
+    if let Some(f) = req.get("fact").and_then(Json::as_str) {
+        return Ok(vec![f.to_string()]);
+    }
+    match req.get("facts") {
+        Some(Json::Arr(items)) => items
+            .iter()
+            .map(|v| {
+                v.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| ServeError::BadRequest("`facts` must be strings".into()))
+            })
+            .collect(),
+        _ => Err(ServeError::BadRequest(
+            "expected a `fact` string or a `facts` array".into(),
+        )),
+    }
+}
+
+fn dispatch(session: &mut Session, req: &Json) -> Result<Vec<(&'static str, Json)>, ServeError> {
+    let op = str_field(req, "op")?;
+    match op {
+        "ping" => Ok(vec![("pong", Json::Bool(true))]),
+        "load" => {
+            let out = session.load(str_field(req, "facts")?)?;
+            Ok(delta_json(&out))
+        }
+        "register" => {
+            let view = str_field(req, "view")?;
+            let program = str_field(req, "program")?;
+            let kind = req.get("kind").and_then(Json::as_str).unwrap_or("datalog");
+            let out = match kind {
+                "algebra" => session.register_algebra(view, program)?,
+                "datalog" => {
+                    let semantics = match req.get("semantics").and_then(Json::as_str) {
+                        Some(s) => parse_semantics(s).map_err(ServeError::BadRequest)?,
+                        None => Semantics::Valid,
+                    };
+                    session.register_datalog(view, program, semantics)?
+                }
+                other => {
+                    return Err(ServeError::BadRequest(format!(
+                        "unknown view kind `{other}` (expected `datalog` or `algebra`)"
+                    )))
+                }
+            };
+            Ok(vec![
+                ("strategy", Json::str(out.strategy)),
+                ("stats", stats_json(&out.stats)),
+            ])
+        }
+        "assert" | "retract" => {
+            let mut facts = Vec::new();
+            for src in fact_sources(req)? {
+                facts.push(
+                    algrec_datalog::parse_fact(&src)
+                        .map_err(|e| ServeError::Parse(e.to_string()))?,
+                );
+            }
+            let out = if op == "assert" {
+                session.apply(&facts, &[])?
+            } else {
+                session.apply(&[], &facts)?
+            };
+            Ok(delta_json(&out))
+        }
+        "query" => {
+            let view = str_field(req, "view")?;
+            let pred = req.get("pred").and_then(Json::as_str);
+            let answer = session.query(view, pred)?;
+            Ok(query_json(&answer))
+        }
+        "stats" => {
+            let view = req.get("view").and_then(Json::as_str);
+            let stats = session.stats(view)?;
+            Ok(vec![(
+                "views",
+                Json::Arr(stats.iter().map(view_stats_json).collect()),
+            )])
+        }
+        "views" => Ok(vec![(
+            "views",
+            Json::Arr(
+                session
+                    .view_names()
+                    .into_iter()
+                    .map(|(name, kind, semantics, strategy)| {
+                        Json::obj([
+                            ("name", Json::str(name)),
+                            ("kind", Json::str(kind)),
+                            ("semantics", Json::str(semantics)),
+                            ("strategy", Json::str(strategy)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        )]),
+        "db" => Ok(vec![(
+            "relations",
+            Json::Arr(
+                session
+                    .db_summary()
+                    .into_iter()
+                    .map(|(name, members)| {
+                        Json::obj([
+                            ("name", Json::str(name)),
+                            ("members", Json::Int(members as i64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        )]),
+        "unregister" => {
+            session.unregister(str_field(req, "view")?)?;
+            Ok(vec![("removed", Json::Bool(true))])
+        }
+        "shutdown" => Ok(vec![("bye", Json::Bool(true))]),
+        other => Err(ServeError::BadRequest(format!("unknown op `{other}`"))),
+    }
+}
+
+/// Handle one protocol line against the session, producing the reply
+/// line (without trailing newline).
+pub fn handle_line(session: &mut Session, line: &str) -> Handled {
+    let req = match json::parse(line) {
+        Ok(v) => v,
+        Err(e) => {
+            return Handled::Reply(err_reply(
+                Json::Null,
+                "bad-request",
+                &format!("invalid JSON: {e}"),
+            ))
+        }
+    };
+    let id = req.get("id").cloned().unwrap_or(Json::Null);
+    let shutdown = req.get("op").and_then(Json::as_str) == Some("shutdown");
+    let reply = match dispatch(session, &req) {
+        Ok(payload) => ok_reply(id, payload),
+        Err(e) => err_reply(id, e.code(), &e.to_string()),
+    };
+    if shutdown {
+        Handled::Shutdown(reply)
+    } else {
+        Handled::Reply(reply)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use algrec_value::Budget;
+
+    #[test]
+    fn parses_parameterized_semantics() {
+        assert_eq!(parse_semantics("valid").unwrap(), Semantics::Valid);
+        assert_eq!(
+            parse_semantics("valid-extended").unwrap(),
+            Semantics::ValidExtended(16)
+        );
+        assert_eq!(
+            parse_semantics("valid-extended:3").unwrap(),
+            Semantics::ValidExtended(3)
+        );
+        assert_eq!(
+            parse_semantics("valid-extended:0").unwrap(),
+            Semantics::ValidExtended(0)
+        );
+        let err = parse_semantics("valid-extended:x").unwrap_err();
+        assert!(err.contains("valid-extended:32"), "{err}");
+        let err = parse_semantics("weird").unwrap_err();
+        assert!(err.contains("valid-extended:<N>"), "{err}");
+        for s in [
+            "naive",
+            "semi-naive",
+            "stratified",
+            "inflationary",
+            "well-founded",
+            "valid",
+            "valid-extended:7",
+        ] {
+            assert_eq!(semantics_name(parse_semantics(s).unwrap()), s);
+        }
+    }
+
+    #[test]
+    fn protocol_session_round_trip() {
+        let mut session = Session::new(Budget::LARGE);
+        let reply = handle_line(
+            &mut session,
+            r#"{"id": 1, "op": "load", "facts": "e(1, 2). e(2, 3)."}"#,
+        );
+        assert!(reply.line().contains(r#""applied":2"#), "{}", reply.line());
+
+        let reply = handle_line(
+            &mut session,
+            r#"{"id": 2, "op": "register", "view": "paths", "program": "tc(X, Y) :- e(X, Y).\ntc(X, Z) :- tc(X, Y), e(Y, Z)."}"#,
+        );
+        assert!(
+            reply
+                .line()
+                .contains(r#""strategy":"stratified-incremental""#),
+            "{}",
+            reply.line()
+        );
+
+        let reply = handle_line(
+            &mut session,
+            r#"{"id": 3, "op": "assert", "fact": "e(3, 4)"}"#,
+        );
+        assert!(
+            reply.line().contains(r#""status":"maintained""#),
+            "{}",
+            reply.line()
+        );
+
+        let reply = handle_line(
+            &mut session,
+            r#"{"id": 4, "op": "query", "view": "paths", "pred": "tc"}"#,
+        );
+        assert!(reply.line().contains("tc(1, 4)."), "{}", reply.line());
+
+        let reply = handle_line(&mut session, r#"{"id": 5, "op": "query", "view": "nope"}"#);
+        assert!(
+            reply.line().contains(r#""code":"unknown-view""#),
+            "{}",
+            reply.line()
+        );
+
+        let reply = handle_line(&mut session, "not json");
+        assert!(
+            reply.line().contains(r#""code":"bad-request""#),
+            "{}",
+            reply.line()
+        );
+
+        let reply = handle_line(&mut session, r#"{"id": 6, "op": "shutdown"}"#);
+        assert!(matches!(reply, Handled::Shutdown(_)));
+        assert!(reply.line().contains(r#""bye":true"#));
+    }
+
+    #[test]
+    fn replies_expose_only_deterministic_stats() {
+        let mut session = Session::new(Budget::LARGE);
+        handle_line(
+            &mut session,
+            r#"{"id": 1, "op": "load", "facts": "e(1, 2)."}"#,
+        );
+        let reply = handle_line(
+            &mut session,
+            r#"{"id": 2, "op": "register", "view": "v", "program": "p(X) :- e(X, Y)."}"#,
+        );
+        let line = reply.line();
+        for banned in ["wall", "interned", "probes"] {
+            assert!(
+                !line.contains(banned),
+                "nondeterministic field `{banned}` in {line}"
+            );
+        }
+        for required in [
+            "iterations",
+            "facts_inserted",
+            "facts_materialized",
+            "deltas",
+        ] {
+            assert!(line.contains(required), "missing `{required}` in {line}");
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! The NDJSON line-protocol TCP server (`algrec serve`).
+//!
+//! One [`Session`] shared across connections behind a mutex; each
+//! connection gets a thread reading newline-delimited JSON requests and
+//! writing one reply line per request (see [`crate::protocol`]). A
+//! `shutdown` request answers, then stops the accept loop, so a scripted
+//! client can drive a complete session and tear the server down from the
+//! outside — which is exactly what the CI smoke test does.
+
+use crate::protocol::{handle_line, Handled};
+use crate::session::Session;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+fn client_loop(
+    stream: TcpStream,
+    session: &Mutex<Session>,
+    stop: &AtomicBool,
+    addr: SocketAddr,
+) -> std::io::Result<()> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let handled = {
+            let mut guard = session.lock().unwrap_or_else(|e| e.into_inner());
+            handle_line(&mut guard, &line)
+        };
+        writer.write_all(handled.line().as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if matches!(handled, Handled::Shutdown(_)) {
+            stop.store(true, Ordering::SeqCst);
+            // Unblock the accept loop with a throwaway connection.
+            let _ = TcpStream::connect(addr);
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Serve the session on `listener` until a client sends `shutdown`.
+/// Blocks the calling thread; connections are handled concurrently.
+pub fn serve(listener: TcpListener, session: Session) -> std::io::Result<()> {
+    let addr = listener.local_addr()?;
+    let session = Arc::new(Mutex::new(session));
+    let stop = Arc::new(AtomicBool::new(false));
+    loop {
+        let (stream, _) = listener.accept()?;
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let session = Arc::clone(&session);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let _ = client_loop(stream, &session, &stop, addr);
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use algrec_value::Budget;
+
+    fn send_lines(addr: SocketAddr, lines: &[&str]) -> Vec<String> {
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = BufWriter::new(stream.try_clone().unwrap());
+        let reader = BufReader::new(stream);
+        let mut replies = Vec::new();
+        let mut incoming = reader.lines();
+        for line in lines {
+            writeln!(writer, "{line}").unwrap();
+            writer.flush().unwrap();
+            replies.push(incoming.next().unwrap().unwrap());
+        }
+        replies
+    }
+
+    #[test]
+    fn scripted_tcp_session_round_trips() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server =
+            std::thread::spawn(move || serve(listener, Session::new(Budget::LARGE)).unwrap());
+
+        let replies = send_lines(
+            addr,
+            &[
+                r#"{"id": 1, "op": "ping"}"#,
+                r#"{"id": 2, "op": "load", "facts": "e(1, 2). e(2, 3)."}"#,
+                r#"{"id": 3, "op": "register", "view": "paths", "program": "tc(X, Y) :- e(X, Y).\ntc(X, Z) :- tc(X, Y), e(Y, Z)."}"#,
+                r#"{"id": 4, "op": "assert", "fact": "e(3, 4)"}"#,
+                r#"{"id": 5, "op": "query", "view": "paths", "pred": "tc"}"#,
+                r#"{"id": 6, "op": "shutdown"}"#,
+            ],
+        );
+        assert!(replies[0].contains(r#""pong":true"#), "{}", replies[0]);
+        assert!(replies[1].contains(r#""applied":2"#), "{}", replies[1]);
+        assert!(
+            replies[2].contains(r#""strategy":"stratified-incremental""#),
+            "{}",
+            replies[2]
+        );
+        assert!(
+            replies[3].contains(r#""status":"maintained""#),
+            "{}",
+            replies[3]
+        );
+        assert!(replies[4].contains("tc(1, 4)."), "{}", replies[4]);
+        assert!(replies[5].contains(r#""bye":true"#), "{}", replies[5]);
+
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn session_state_is_shared_across_connections() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server =
+            std::thread::spawn(move || serve(listener, Session::new(Budget::LARGE)).unwrap());
+
+        let first = send_lines(addr, &[r#"{"id": 1, "op": "load", "facts": "e(1, 2)."}"#]);
+        assert!(first[0].contains(r#""applied":1"#), "{}", first[0]);
+
+        let second = send_lines(
+            addr,
+            &[r#"{"id": 2, "op": "db"}"#, r#"{"id": 3, "op": "shutdown"}"#],
+        );
+        assert!(
+            second[0].contains(r#""members":1,"name":"e""#),
+            "{}",
+            second[0]
+        );
+        server.join().unwrap();
+    }
+}

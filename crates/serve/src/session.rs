@@ -1,0 +1,1024 @@
+//! The materialized-view session: a database plus named views kept
+//! consistent under fact deltas.
+//!
+//! A [`Session`] is the shared state behind both front ends (REPL and
+//! TCP server). It owns the extensional database and a map of named
+//! views; [`Session::apply`] routes every change through
+//! [`DatabaseDelta::apply`] so only *effective* changes (facts actually
+//! added or removed) reach the maintainers, and views whose dependencies
+//! the delta cannot touch are skipped with zero evaluation work.
+//!
+//! Maintenance strategy is chosen per view at registration time:
+//!
+//! | program / semantics                        | strategy                 |
+//! |--------------------------------------------|--------------------------|
+//! | stratifiable, any coinciding semantics     | [`StratifiedView`]       |
+//! | non-stratified, well-founded / valid / ext | [`RecomputeView`] levels |
+//! | inflationary                               | [`RecomputeView`] single |
+//! | naive / semi-naive with negation           | rejected (as cold eval)  |
+//! | core algebra                               | recompute on dependency  |
+//!
+//! A delta that touches a predicate a view *derives* (EDB/IDB overlap)
+//! falls back to a transparent full rebuild of that view, keeping every
+//! answer identical to a cold evaluation of the same program on the
+//! current database.
+
+use crate::maintain::{MaintainReport, RecomputeView, StratifiedView};
+use algrec_core::{eval_valid_traced, AlgProgram, EvalOptions, ValidAlgebraResult};
+use algrec_datalog::ast::Program;
+use algrec_datalog::facts::{fact_value, parse_fact, parse_facts};
+use algrec_datalog::interp::Fact;
+use algrec_datalog::stratify::strata_programs;
+use algrec_datalog::Semantics;
+use algrec_value::{Budget, Database, DatabaseDelta, EvalStats, Trace, Value};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Errors the session reports to either front end. Each variant carries
+/// a stable machine-readable code ([`ServeError::code`]) used by the
+/// line protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// A program, fact or file failed to parse.
+    Parse(String),
+    /// Evaluation or maintenance failed (budget, safety, stratification…).
+    Eval(String),
+    /// No view with that name is registered.
+    UnknownView(String),
+    /// A view with that name already exists.
+    DuplicateView(String),
+    /// Malformed request: bad operation, flag, or semantics name.
+    BadRequest(String),
+}
+
+impl ServeError {
+    /// Stable error code for the line protocol.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeError::Parse(_) => "parse",
+            ServeError::Eval(_) => "eval",
+            ServeError::UnknownView(_) => "unknown-view",
+            ServeError::DuplicateView(_) => "duplicate-view",
+            ServeError::BadRequest(_) => "bad-request",
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Parse(m) | ServeError::Eval(m) | ServeError::BadRequest(m) => {
+                f.write_str(m)
+            }
+            ServeError::UnknownView(n) => write!(f, "no view named `{n}`"),
+            ServeError::DuplicateView(n) => write!(f, "view `{n}` already exists"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<algrec_datalog::parser::ParseError> for ServeError {
+    fn from(e: algrec_datalog::parser::ParseError) -> Self {
+        ServeError::Parse(e.to_string())
+    }
+}
+
+impl From<algrec_datalog::EvalError> for ServeError {
+    fn from(e: algrec_datalog::EvalError) -> Self {
+        ServeError::Eval(e.to_string())
+    }
+}
+
+impl From<algrec_core::CoreError> for ServeError {
+    fn from(e: algrec_core::CoreError) -> Self {
+        ServeError::Eval(e.to_string())
+    }
+}
+
+/// The deterministic subset of [`EvalStats`] the protocol exposes: no
+/// wall-clock times and no global interner sizes, so replies diff
+/// byte-for-byte across runs.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub struct OpStats {
+    /// Fixpoint iterations.
+    pub iterations: usize,
+    /// Derivation work (facts counted against the budget meter).
+    pub facts_inserted: usize,
+    /// Size of the materialized result after the operation.
+    pub facts_materialized: usize,
+    /// Delta rounds recorded.
+    pub deltas: usize,
+}
+
+impl From<EvalStats> for OpStats {
+    fn from(s: EvalStats) -> Self {
+        OpStats {
+            iterations: s.iterations,
+            facts_inserted: s.facts_inserted,
+            facts_materialized: s.facts_materialized,
+            deltas: s.deltas.len(),
+        }
+    }
+}
+
+impl OpStats {
+    fn accumulate(&mut self, other: &OpStats) {
+        self.iterations += other.iterations;
+        self.facts_inserted += other.facts_inserted;
+        // Materialized size is a level, not a flow: keep the latest.
+        self.facts_materialized = other.facts_materialized;
+        self.deltas += other.deltas;
+    }
+}
+
+/// Run `f` under a collecting trace and return its deterministic stats.
+fn traced<T, E>(
+    budget: Budget,
+    f: impl FnOnce(&mut algrec_value::Meter) -> Result<T, E>,
+) -> Result<(T, OpStats), E> {
+    let trace = Trace::collect();
+    let mut meter = budget.meter_traced(trace.clone());
+    let out = f(&mut meter)?;
+    Ok((out, trace.stats().map(OpStats::from).unwrap_or_default()))
+}
+
+enum Maintainer {
+    Stratified(StratifiedView),
+    Recompute(RecomputeView),
+}
+
+enum ViewKind {
+    Datalog {
+        program: Program,
+        semantics: Semantics,
+        maintainer: Maintainer,
+    },
+    Algebra {
+        program: AlgProgram,
+        deps: BTreeSet<String>,
+        result: ValidAlgebraResult,
+    },
+}
+
+struct ViewEntry {
+    kind: ViewKind,
+    semantics_label: String,
+    strategy: &'static str,
+    registration: OpStats,
+    last: Option<OpStats>,
+    cumulative: OpStats,
+    deltas_applied: usize,
+    strata_skipped: usize,
+    rebuilds: usize,
+    dirty: Option<String>,
+}
+
+/// What happened to one view during a delta.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ViewStatus {
+    /// Incrementally maintained.
+    Maintained,
+    /// Fully rebuilt (delta touched a derived predicate, or the view was
+    /// dirty).
+    Rebuilt,
+    /// Untouched: the delta cannot reach the view.
+    Skipped,
+    /// Maintenance failed; the view is dirty until the next successful
+    /// rebuild.
+    Error,
+}
+
+impl ViewStatus {
+    /// Protocol label.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ViewStatus::Maintained => "maintained",
+            ViewStatus::Rebuilt => "rebuilt",
+            ViewStatus::Skipped => "skipped",
+            ViewStatus::Error => "error",
+        }
+    }
+}
+
+/// Per-view outcome of one delta.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ViewReport {
+    /// View name.
+    pub view: String,
+    /// What the session did to it.
+    pub status: ViewStatus,
+    /// View facts changed (for three-valued views, certain + possible).
+    pub changed: usize,
+    /// Strata or levels skipped by the maintainer.
+    pub skipped: usize,
+    /// Evaluation stats of the maintenance work.
+    pub stats: OpStats,
+    /// The failure, when `status` is [`ViewStatus::Error`].
+    pub error: Option<String>,
+}
+
+/// Outcome of applying a batch of assertions / retractions.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DeltaOutcome {
+    /// Facts in the request.
+    pub requested: usize,
+    /// Facts that actually changed the database.
+    pub applied: usize,
+    /// Per-view maintenance reports, in view-name order.
+    pub views: Vec<ViewReport>,
+}
+
+/// Outcome of registering a view.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RegisterOutcome {
+    /// Chosen maintenance strategy.
+    pub strategy: &'static str,
+    /// Cost of the initial (cold) materialization.
+    pub stats: OpStats,
+}
+
+/// A view's answer to a query.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum QueryAnswer {
+    /// A datalog view: printable facts, formatted exactly like
+    /// `algrec eval --pred` output (`p(a, b).`).
+    Datalog {
+        /// Certainly-true facts, `pred(args).` lines in sorted order.
+        certain: Vec<String>,
+        /// Undefined facts, `pred(args)` (no period).
+        unknown: Vec<String>,
+    },
+    /// An algebra view: the query set and each recursive constant.
+    Algebra {
+        /// The query value, in `TvSet` notation (`{a, b?}`).
+        query: String,
+        /// Whether the result is two-valued.
+        well_defined: bool,
+        /// Each recursive constant's value.
+        constants: BTreeMap<String, String>,
+    },
+}
+
+/// Point-in-time statistics for one view.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ViewStats {
+    /// View name.
+    pub name: String,
+    /// `"datalog"` or `"algebra"`.
+    pub kind: &'static str,
+    /// Human-readable semantics label.
+    pub semantics: String,
+    /// Maintenance strategy.
+    pub strategy: &'static str,
+    /// Whether the last maintenance failed (query will rebuild).
+    pub dirty: bool,
+    /// Deltas routed to this view (including skips).
+    pub deltas_applied: usize,
+    /// Cumulative strata / levels skipped across deltas.
+    pub strata_skipped: usize,
+    /// Full rebuilds performed after registration.
+    pub rebuilds: usize,
+    /// Cost of the initial materialization.
+    pub registration: OpStats,
+    /// Cost of the most recent maintenance, if any.
+    pub last: Option<OpStats>,
+    /// Total maintenance cost since registration (excluding
+    /// registration itself).
+    pub cumulative: OpStats,
+}
+
+/// Format a fact the way `algrec eval` prints it, minus punctuation.
+pub fn format_fact(pred: &str, args: &[Value]) -> String {
+    format!(
+        "{pred}({})",
+        args.iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    )
+}
+
+/// Choose the maintenance strategy for a datalog program, mirroring the
+/// cold evaluator's acceptance rules exactly.
+fn plan_datalog(program: &Program, semantics: Semantics) -> Result<&'static str, ServeError> {
+    let stratifiable = strata_programs(program).is_ok();
+    match semantics {
+        Semantics::Naive | Semantics::SemiNaive if program.has_negation() => Err(ServeError::Eval(
+            "naive/semi-naive evaluation requires a negation-free program; \
+                 use Stratified, Inflationary, WellFounded or Valid"
+                .into(),
+        )),
+        Semantics::Naive | Semantics::SemiNaive => Ok("stratified-incremental"),
+        Semantics::Stratified => {
+            // Propagate the cold evaluator's NotStratified error verbatim.
+            strata_programs(program)?;
+            Ok("stratified-incremental")
+        }
+        Semantics::WellFounded | Semantics::Valid | Semantics::ValidExtended(_) if stratifiable => {
+            Ok("stratified-incremental")
+        }
+        Semantics::WellFounded | Semantics::Valid | Semantics::ValidExtended(_) => {
+            Ok("recompute-levels")
+        }
+        Semantics::Inflationary => Ok("recompute-levels"),
+    }
+}
+
+/// The session: one extensional database, many maintained views.
+pub struct Session {
+    db: Database,
+    views: BTreeMap<String, ViewEntry>,
+    budget: Budget,
+}
+
+impl Session {
+    /// An empty session evaluating under `budget`.
+    pub fn new(budget: Budget) -> Self {
+        Session {
+            db: Database::new(),
+            views: BTreeMap::new(),
+            budget,
+        }
+    }
+
+    /// The current database (for summaries).
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// Parse a facts file and load every fact, maintaining all views.
+    pub fn load(&mut self, src: &str) -> Result<DeltaOutcome, ServeError> {
+        let facts = parse_facts(src)?;
+        self.apply(&facts, &[])
+    }
+
+    /// Assert one fact given as source text (`e(1, 2)`).
+    pub fn assert_fact(&mut self, src: &str) -> Result<DeltaOutcome, ServeError> {
+        let fact = parse_fact(src)?;
+        self.apply(&[fact], &[])
+    }
+
+    /// Retract one fact given as source text.
+    pub fn retract_fact(&mut self, src: &str) -> Result<DeltaOutcome, ServeError> {
+        let fact = parse_fact(src)?;
+        self.apply(&[], &[fact])
+    }
+
+    /// Apply a batch of insertions and removals, then maintain every
+    /// view incrementally. Only the *effective* delta (facts genuinely
+    /// added or removed) is propagated; a no-op batch skips maintenance
+    /// entirely.
+    pub fn apply(
+        &mut self,
+        inserts: &[Fact],
+        removes: &[Fact],
+    ) -> Result<DeltaOutcome, ServeError> {
+        let mut delta = DatabaseDelta::new();
+        for fact in inserts {
+            let (name, member) = fact_value(fact);
+            delta.insert(name, member);
+        }
+        for fact in removes {
+            let (name, member) = fact_value(fact);
+            delta.remove(name, member);
+        }
+        let requested = delta.len();
+        let effective = delta.apply(&mut self.db);
+        let mut views = Vec::new();
+        if !effective.is_empty() {
+            let changed_preds: BTreeSet<String> =
+                effective.iter().map(|(p, _)| p.to_string()).collect();
+            let db = &self.db;
+            let budget = self.budget;
+            for (name, entry) in self.views.iter_mut() {
+                let mut report = entry.maintain(db, &effective, &changed_preds, budget);
+                report.view = name.clone();
+                views.push(report);
+            }
+        }
+        Ok(DeltaOutcome {
+            requested,
+            applied: effective.len(),
+            views,
+        })
+    }
+
+    /// Register a datalog program as a materialized view.
+    pub fn register_datalog(
+        &mut self,
+        name: &str,
+        src: &str,
+        semantics: Semantics,
+    ) -> Result<RegisterOutcome, ServeError> {
+        self.check_name(name)?;
+        let program = algrec_datalog::parser::parse_program(src)?;
+        let strategy = plan_datalog(&program, semantics)?;
+        let (maintainer, stats) = traced(self.budget, |meter| {
+            Ok::<_, ServeError>(if strategy == "stratified-incremental" {
+                Maintainer::Stratified(StratifiedView::new(&program, &self.db, meter)?)
+            } else {
+                Maintainer::Recompute(RecomputeView::new(&program, semantics, &self.db, meter)?)
+            })
+        })?;
+        self.views.insert(
+            name.to_string(),
+            ViewEntry {
+                kind: ViewKind::Datalog {
+                    program,
+                    semantics,
+                    maintainer,
+                },
+                semantics_label: crate::protocol::semantics_name(semantics),
+                strategy,
+                registration: stats,
+                last: None,
+                cumulative: OpStats::default(),
+                deltas_applied: 0,
+                strata_skipped: 0,
+                rebuilds: 0,
+                dirty: None,
+            },
+        );
+        Ok(RegisterOutcome { strategy, stats })
+    }
+
+    /// Register a core-algebra program as a materialized view (always
+    /// the paper's valid semantics, recomputed when a dependency moves).
+    pub fn register_algebra(
+        &mut self,
+        name: &str,
+        src: &str,
+    ) -> Result<RegisterOutcome, ServeError> {
+        self.check_name(name)?;
+        let program = algrec_core::parser::parse_program(src)
+            .map_err(|e| ServeError::Parse(e.to_string()))?;
+        let deps = program.external_names();
+        let trace = Trace::collect();
+        let result = eval_valid_traced(
+            &program,
+            &self.db,
+            self.budget,
+            EvalOptions::default(),
+            trace.clone(),
+        )?;
+        let stats = trace.stats().map(OpStats::from).unwrap_or_default();
+        self.views.insert(
+            name.to_string(),
+            ViewEntry {
+                kind: ViewKind::Algebra {
+                    program,
+                    deps,
+                    result,
+                },
+                semantics_label: "valid".to_string(),
+                strategy: "algebra-recompute",
+                registration: stats,
+                last: None,
+                cumulative: OpStats::default(),
+                deltas_applied: 0,
+                strata_skipped: 0,
+                rebuilds: 0,
+                dirty: None,
+            },
+        );
+        Ok(RegisterOutcome {
+            strategy: "algebra-recompute",
+            stats,
+        })
+    }
+
+    /// Drop a view.
+    pub fn unregister(&mut self, name: &str) -> Result<(), ServeError> {
+        self.views
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| ServeError::UnknownView(name.to_string()))
+    }
+
+    /// Query a view. For datalog views `pred` restricts the answer to
+    /// one predicate (like `algrec eval --pred`); without it every
+    /// derived predicate is listed. A dirty view is transparently
+    /// rebuilt first.
+    pub fn query(&mut self, name: &str, pred: Option<&str>) -> Result<QueryAnswer, ServeError> {
+        if !self.views.contains_key(name) {
+            return Err(ServeError::UnknownView(name.to_string()));
+        }
+        self.rebuild_if_dirty(name)?;
+        let entry = self.views.get(name).expect("checked above");
+        match &entry.kind {
+            ViewKind::Datalog { maintainer, .. } => {
+                let (certain, unknown) = match maintainer {
+                    Maintainer::Stratified(v) => {
+                        let mut lines = Vec::new();
+                        let preds: Vec<&str> = match pred {
+                            Some(p) => vec![p],
+                            None => v.idb_preds().iter().map(String::as_str).collect(),
+                        };
+                        for p in preds {
+                            for args in v.total().facts(p) {
+                                lines.push(format!("{}.", format_fact(p, args)));
+                            }
+                        }
+                        (lines, Vec::new())
+                    }
+                    Maintainer::Recompute(v) => {
+                        let model = v.model();
+                        let list = |p: &str| -> Vec<String> {
+                            model
+                                .certain
+                                .facts(p)
+                                .map(|args| format!("{}.", format_fact(p, args)))
+                                .collect()
+                        };
+                        let mut certain = Vec::new();
+                        match pred {
+                            Some(p) => certain.extend(list(p)),
+                            None => {
+                                for p in v.idb_preds() {
+                                    certain.extend(list(p));
+                                }
+                            }
+                        }
+                        let unknown = model
+                            .unknown_facts()
+                            .into_iter()
+                            .filter(|(p, _)| {
+                                pred.map_or_else(|| v.idb_preds().contains(p), |want| p == want)
+                            })
+                            .map(|(p, args)| format_fact(&p, &args))
+                            .collect();
+                        (certain, unknown)
+                    }
+                };
+                Ok(QueryAnswer::Datalog { certain, unknown })
+            }
+            ViewKind::Algebra { result, .. } => Ok(QueryAnswer::Algebra {
+                query: result.query.to_string(),
+                well_defined: result.is_well_defined(),
+                constants: result
+                    .constants
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.to_string()))
+                    .collect(),
+            }),
+        }
+    }
+
+    /// Statistics for one view, or for every view in name order.
+    pub fn stats(&self, name: Option<&str>) -> Result<Vec<ViewStats>, ServeError> {
+        let pick = |name: &String, e: &ViewEntry| ViewStats {
+            name: name.clone(),
+            kind: match e.kind {
+                ViewKind::Datalog { .. } => "datalog",
+                ViewKind::Algebra { .. } => "algebra",
+            },
+            semantics: e.semantics_label.clone(),
+            strategy: e.strategy,
+            dirty: e.dirty.is_some(),
+            deltas_applied: e.deltas_applied,
+            strata_skipped: e.strata_skipped,
+            rebuilds: e.rebuilds,
+            registration: e.registration,
+            last: e.last,
+            cumulative: e.cumulative,
+        };
+        match name {
+            Some(n) => {
+                let e = self
+                    .views
+                    .get(n)
+                    .ok_or_else(|| ServeError::UnknownView(n.to_string()))?;
+                Ok(vec![pick(&n.to_string(), e)])
+            }
+            None => Ok(self.views.iter().map(|(n, e)| pick(n, e)).collect()),
+        }
+    }
+
+    /// `(name, kind, semantics, strategy)` for every view, name order.
+    pub fn view_names(&self) -> Vec<(String, &'static str, String, &'static str)> {
+        self.views
+            .iter()
+            .map(|(n, e)| {
+                (
+                    n.clone(),
+                    match e.kind {
+                        ViewKind::Datalog { .. } => "datalog",
+                        ViewKind::Algebra { .. } => "algebra",
+                    },
+                    e.semantics_label.clone(),
+                    e.strategy,
+                )
+            })
+            .collect()
+    }
+
+    /// `(relation, members)` for every database relation, name order.
+    pub fn db_summary(&self) -> Vec<(String, usize)> {
+        self.db
+            .iter()
+            .map(|(name, rel)| (name.to_string(), rel.len()))
+            .collect()
+    }
+
+    fn check_name(&self, name: &str) -> Result<(), ServeError> {
+        if name.is_empty() || name.chars().any(char::is_whitespace) {
+            return Err(ServeError::BadRequest(format!(
+                "invalid view name `{name}` (must be non-empty, no whitespace)"
+            )));
+        }
+        if self.views.contains_key(name) {
+            return Err(ServeError::DuplicateView(name.to_string()));
+        }
+        Ok(())
+    }
+
+    fn rebuild_if_dirty(&mut self, name: &str) -> Result<(), ServeError> {
+        let needs = self.views.get(name).is_some_and(|e| e.dirty.is_some());
+        if !needs {
+            return Ok(());
+        }
+        let db = &self.db;
+        let budget = self.budget;
+        let entry = self.views.get_mut(name).expect("checked");
+        let (_, stats) = traced(budget, |meter| entry.rebuild(db, meter))?;
+        entry.rebuilds += 1;
+        entry.cumulative.accumulate(&stats);
+        entry.last = Some(stats);
+        entry.dirty = None;
+        Ok(())
+    }
+}
+
+impl ViewEntry {
+    /// Rebuild the materialization from scratch on the current database.
+    fn rebuild(
+        &mut self,
+        db: &Database,
+        meter: &mut algrec_value::Meter,
+    ) -> Result<(), ServeError> {
+        match &mut self.kind {
+            ViewKind::Datalog {
+                program,
+                semantics,
+                maintainer,
+            } => {
+                *maintainer = match maintainer {
+                    Maintainer::Stratified(_) => {
+                        Maintainer::Stratified(StratifiedView::new(program, db, meter)?)
+                    }
+                    Maintainer::Recompute(_) => {
+                        Maintainer::Recompute(RecomputeView::new(program, *semantics, db, meter)?)
+                    }
+                };
+            }
+            ViewKind::Algebra {
+                program, result, ..
+            } => {
+                // The algebra evaluator meters through its own trace; the
+                // caller's meter is unused but kept for a uniform shape.
+                let _ = meter;
+                *result = eval_valid_traced(
+                    program,
+                    db,
+                    Budget::LARGE,
+                    EvalOptions::default(),
+                    Trace::Null,
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Route one effective delta to this view.
+    fn maintain(
+        &mut self,
+        db: &Database,
+        effective: &DatabaseDelta,
+        changed_preds: &BTreeSet<String>,
+        budget: Budget,
+    ) -> ViewReport {
+        self.deltas_applied += 1;
+        let mut report = ViewReport {
+            view: String::new(),
+            status: ViewStatus::Maintained,
+            changed: 0,
+            skipped: 0,
+            stats: OpStats::default(),
+            error: None,
+        };
+        let outcome: Result<(ViewStatus, MaintainReport, OpStats), ServeError> = (|| {
+            match &mut self.kind {
+                ViewKind::Datalog {
+                    program,
+                    semantics,
+                    maintainer,
+                } => {
+                    let idb_hit = match maintainer {
+                        Maintainer::Stratified(v) => {
+                            v.idb_preds().iter().any(|p| changed_preds.contains(p))
+                        }
+                        Maintainer::Recompute(_) => false,
+                    };
+                    if self.dirty.is_some() || idb_hit {
+                        // A delta into a derived predicate invalidates the
+                        // support counts: rebuild transparently.
+                        let (m, stats) = traced(budget, |meter| {
+                            Ok::<_, ServeError>(match maintainer {
+                                Maintainer::Stratified(_) => {
+                                    Maintainer::Stratified(StratifiedView::new(program, db, meter)?)
+                                }
+                                Maintainer::Recompute(_) => Maintainer::Recompute(
+                                    RecomputeView::new(program, *semantics, db, meter)?,
+                                ),
+                            })
+                        })?;
+                        *maintainer = m;
+                        self.dirty = None;
+                        self.rebuilds += 1;
+                        return Ok((ViewStatus::Rebuilt, MaintainReport::default(), stats));
+                    }
+                    let (rep, stats) = match maintainer {
+                        Maintainer::Stratified(v) => {
+                            traced(budget, |meter| v.maintain(effective, meter))?
+                        }
+                        Maintainer::Recompute(v) => {
+                            traced(budget, |meter| v.maintain(db, effective, meter))?
+                        }
+                    };
+                    Ok((ViewStatus::Maintained, rep, stats))
+                }
+                ViewKind::Algebra {
+                    program,
+                    deps,
+                    result,
+                } => {
+                    if deps.is_disjoint(changed_preds) {
+                        return Ok((
+                            ViewStatus::Skipped,
+                            MaintainReport {
+                                changed: 0,
+                                skipped: 1,
+                            },
+                            OpStats::default(),
+                        ));
+                    }
+                    let trace = Trace::collect();
+                    let next = eval_valid_traced(
+                        program,
+                        db,
+                        budget,
+                        EvalOptions::default(),
+                        trace.clone(),
+                    )?;
+                    let stats = trace.stats().map(OpStats::from).unwrap_or_default();
+                    let changed = usize::from(
+                        next.query != result.query || next.constants != result.constants,
+                    );
+                    *result = next;
+                    Ok((
+                        ViewStatus::Rebuilt,
+                        MaintainReport {
+                            changed,
+                            skipped: 0,
+                        },
+                        stats,
+                    ))
+                }
+            }
+        })();
+        match outcome {
+            Ok((status, rep, stats)) => {
+                if status == ViewStatus::Skipped && rep.changed == 0 && rep.skipped > 0 {
+                    report.status = ViewStatus::Skipped;
+                } else {
+                    report.status = status;
+                }
+                report.changed = rep.changed;
+                report.skipped = rep.skipped;
+                report.stats = stats;
+                self.strata_skipped += rep.skipped;
+                self.cumulative.accumulate(&stats);
+                self.last = Some(stats);
+            }
+            Err(e) => {
+                let msg = e.to_string();
+                self.dirty = Some(msg.clone());
+                report.status = ViewStatus::Error;
+                report.error = Some(msg);
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use algrec_datalog::evaluate;
+
+    const TC: &str = "tc(X, Y) :- e(X, Y).\ntc(X, Z) :- tc(X, Y), e(Y, Z).";
+
+    fn cold_pred_lines(
+        session: &Session,
+        program: &str,
+        semantics: Semantics,
+        pred: &str,
+    ) -> Vec<String> {
+        let program = algrec_datalog::parser::parse_program(program).unwrap();
+        let out = evaluate(&program, session.db(), semantics, Budget::LARGE).unwrap();
+        out.model
+            .certain
+            .facts(pred)
+            .map(|args| format!("{}.", format_fact(pred, args)))
+            .collect()
+    }
+
+    #[test]
+    fn session_tracks_cold_eval_through_deltas() {
+        let mut session = Session::new(Budget::LARGE);
+        session.load("e(1, 2). e(2, 3).").unwrap();
+        let reg = session
+            .register_datalog("paths", TC, Semantics::Valid)
+            .unwrap();
+        assert_eq!(reg.strategy, "stratified-incremental");
+
+        for (op, fact_src) in [
+            ("+", "e(3, 4)"),
+            ("+", "e(4, 1)"),
+            ("-", "e(2, 3)"),
+            ("-", "e(1, 2)"),
+            ("+", "e(2, 3)"),
+        ] {
+            let out = if op == "+" {
+                session.assert_fact(fact_src).unwrap()
+            } else {
+                session.retract_fact(fact_src).unwrap()
+            };
+            assert_eq!(out.applied, 1, "{op}{fact_src} should be effective");
+            let QueryAnswer::Datalog { certain, unknown } =
+                session.query("paths", Some("tc")).unwrap()
+            else {
+                panic!("datalog answer expected")
+            };
+            assert!(unknown.is_empty());
+            assert_eq!(
+                certain,
+                cold_pred_lines(&session, TC, Semantics::Valid, "tc"),
+                "after {op}{fact_src}"
+            );
+        }
+    }
+
+    #[test]
+    fn noop_delta_skips_maintenance() {
+        let mut session = Session::new(Budget::LARGE);
+        session.load("e(1, 2).").unwrap();
+        session
+            .register_datalog("paths", TC, Semantics::Valid)
+            .unwrap();
+        // Asserting an existing fact is a no-op: no view work at all.
+        let out = session.assert_fact("e(1, 2)").unwrap();
+        assert_eq!(out.applied, 0);
+        assert!(out.views.is_empty());
+        // Retracting an absent fact likewise.
+        let out = session.retract_fact("e(9, 9)").unwrap();
+        assert_eq!(out.applied, 0);
+        assert!(out.views.is_empty());
+    }
+
+    #[test]
+    fn idb_delta_triggers_transparent_rebuild() {
+        let mut session = Session::new(Budget::LARGE);
+        session.load("e(1, 2).").unwrap();
+        session
+            .register_datalog("paths", TC, Semantics::Valid)
+            .unwrap();
+        // Asserting into the *derived* predicate falls back to a rebuild.
+        let out = session.assert_fact("tc(7, 7)").unwrap();
+        assert_eq!(out.views[0].status, ViewStatus::Rebuilt);
+        let QueryAnswer::Datalog { certain, .. } = session.query("paths", Some("tc")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(
+            certain,
+            cold_pred_lines(&session, TC, Semantics::Valid, "tc"),
+            "rebuild keeps cold equivalence with EDB/IDB overlap"
+        );
+        assert!(certain.contains(&"tc(7, 7).".to_string()));
+        let stats = session.stats(Some("paths")).unwrap();
+        assert_eq!(stats[0].rebuilds, 1);
+    }
+
+    #[test]
+    fn nonstratified_program_uses_recompute_strategy() {
+        let mut session = Session::new(Budget::LARGE);
+        session.load("move(1, 2). move(2, 3).").unwrap();
+        let reg = session
+            .register_datalog(
+                "game",
+                "win(X) :- move(X, Y), not win(Y).",
+                Semantics::Valid,
+            )
+            .unwrap();
+        assert_eq!(reg.strategy, "recompute-levels");
+        let QueryAnswer::Datalog { certain, unknown } = session.query("game", Some("win")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(certain, vec!["win(2).".to_string()]);
+        assert!(unknown.is_empty());
+        // Introduce a cycle: win(7) becomes undefined.
+        session.assert_fact("move(7, 7)").unwrap();
+        let QueryAnswer::Datalog { unknown, .. } = session.query("game", Some("win")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(unknown, vec!["win(7)".to_string()]);
+    }
+
+    #[test]
+    fn rejects_bad_registrations() {
+        let mut session = Session::new(Budget::LARGE);
+        session.register_datalog("v", TC, Semantics::Valid).unwrap();
+        assert!(matches!(
+            session.register_datalog("v", TC, Semantics::Valid),
+            Err(ServeError::DuplicateView(_))
+        ));
+        assert!(matches!(
+            session.register_datalog("bad name", TC, Semantics::Valid),
+            Err(ServeError::BadRequest(_))
+        ));
+        assert!(matches!(
+            session.register_datalog("neg", "p(X) :- e(X), not q(X).", Semantics::Naive),
+            Err(ServeError::Eval(_))
+        ));
+        assert!(matches!(
+            session.query("missing", None),
+            Err(ServeError::UnknownView(_))
+        ));
+    }
+
+    #[test]
+    fn algebra_view_recomputes_only_on_dependency_change() {
+        let mut session = Session::new(Budget::LARGE);
+        session.load("edge(1, 2). edge(2, 3).").unwrap();
+        session
+            .register_algebra(
+                "closure",
+                "query ifp(t, edge union map(select(t * edge, x.1 = x.2), [x.0, x.3]));",
+            )
+            .unwrap();
+        let QueryAnswer::Algebra {
+            query,
+            well_defined,
+            ..
+        } = session.query("closure", None).unwrap()
+        else {
+            panic!()
+        };
+        assert!(well_defined);
+        assert!(
+            query.contains("<1, 3>") || query.contains("1, 3"),
+            "{query}"
+        );
+
+        // A delta on an unrelated relation skips the view.
+        let out = session.assert_fact("noise(1)").unwrap();
+        assert_eq!(out.views[0].status, ViewStatus::Skipped);
+        // A delta on `edge` recomputes it.
+        let out = session.assert_fact("edge(3, 4)").unwrap();
+        assert_eq!(out.views[0].status, ViewStatus::Rebuilt);
+        assert_eq!(out.views[0].changed, 1);
+    }
+
+    #[test]
+    fn incremental_beats_cold_on_tc_delta_workload() {
+        // The acceptance workload: a TC view over a sizable chain; the
+        // incremental path must show strictly fewer derivations than the
+        // cold registration.
+        let mut session = Session::new(Budget::LARGE);
+        let facts: String = (1..80).map(|k| format!("e({k}, {}).\n", k + 1)).collect();
+        session.load(&facts).unwrap();
+        let reg = session
+            .register_datalog("paths", TC, Semantics::Valid)
+            .unwrap();
+        let out = session.assert_fact("e(80, 81)").unwrap();
+        let incr = out.views[0].stats;
+        assert!(
+            incr.facts_inserted < reg.stats.facts_inserted,
+            "incremental {} !< cold {}",
+            incr.facts_inserted,
+            reg.stats.facts_inserted
+        );
+        let out = session.retract_fact("e(40, 41)").unwrap();
+        let incr = out.views[0].stats;
+        assert!(
+            incr.facts_inserted < reg.stats.facts_inserted,
+            "delete: incremental {} !< cold {}",
+            incr.facts_inserted,
+            reg.stats.facts_inserted
+        );
+    }
+}

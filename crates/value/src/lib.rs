@@ -40,6 +40,7 @@
 #![forbid(unsafe_code)]
 
 pub mod budget;
+pub mod delta;
 pub mod index;
 pub mod intern;
 pub mod relation;
@@ -50,6 +51,7 @@ pub mod tvset;
 pub mod value;
 
 pub use budget::{Budget, BudgetError, Meter};
+pub use delta::{DatabaseDelta, RelationDelta, SupportCounts};
 pub use index::ColumnIndex;
 pub use intern::{Symbol, Vid};
 pub use relation::{Database, Relation};

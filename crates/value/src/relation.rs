@@ -67,6 +67,16 @@ impl Relation {
         fresh
     }
 
+    /// Remove a value; returns whether it was present. Invalidates the
+    /// cached first-column index.
+    pub fn remove(&mut self, v: &Value) -> bool {
+        let had = self.tuples.remove(v);
+        if had {
+            self.first_index.take();
+        }
+        had
+    }
+
     /// The lazily built hash index over members' first column (product
     /// convention: a non-tuple member is its own first column; members
     /// that are *empty* tuples have no first column and are absent from
@@ -220,6 +230,26 @@ impl Database {
         self.relations.get(name)
     }
 
+    /// Look up a relation for mutation.
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut Relation> {
+        self.relations.get_mut(name)
+    }
+
+    /// Insert a member into the named relation **in place**, creating the
+    /// relation if absent; returns whether the member was new. This is the
+    /// loader's and the serving layer's fast path — no per-fact clone of
+    /// the whole relation.
+    pub fn insert_value(&mut self, name: impl Into<String>, v: Value) -> bool {
+        self.relations.entry(name.into()).or_default().insert(v)
+    }
+
+    /// Remove a member from the named relation in place; returns whether
+    /// it was present. An emptied relation stays registered so its name
+    /// keeps resolving.
+    pub fn remove_value(&mut self, name: &str, v: &Value) -> bool {
+        self.relations.get_mut(name).is_some_and(|r| r.remove(v))
+    }
+
     /// Does a relation with this name exist?
     pub fn contains(&self, name: &str) -> bool {
         self.relations.contains_key(name)
@@ -308,6 +338,31 @@ mod tests {
         let r = Relation::from_values([i(3), i(1), i(2)]);
         let got: Vec<_> = r.iter().cloned().collect();
         assert_eq!(got, vec![i(1), i(2), i(3)]);
+    }
+
+    #[test]
+    fn relation_remove_invalidates_index() {
+        let mut r = Relation::from_pairs([(i(1), i(2)), (i(2), i(3))]);
+        let idx = r.first_index();
+        assert!(r.remove(&Value::pair(i(1), i(2))));
+        assert!(!r.remove(&Value::pair(i(1), i(2))));
+        let idx2 = r.first_index();
+        assert!(!Arc::ptr_eq(&idx, &idx2));
+        assert_eq!(idx2.probe(&i(1)).count(), 0);
+    }
+
+    #[test]
+    fn database_in_place_mutation() {
+        let mut db = Database::new();
+        assert!(db.insert_value("e", i(1)));
+        assert!(!db.insert_value("e", i(1)));
+        assert!(db.insert_value("e", i(2)));
+        assert!(db.remove_value("e", &i(1)));
+        assert!(!db.remove_value("e", &i(1)));
+        assert!(!db.remove_value("missing", &i(1)));
+        assert_eq!(db.get("e").unwrap().len(), 1);
+        db.get_mut("e").unwrap().insert(i(9));
+        assert!(db.get("e").unwrap().contains(&i(9)));
     }
 
     #[test]

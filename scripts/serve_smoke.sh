@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Smoke test for `algrec serve`: start the real server binary, drive the
+# scripted NDJSON session from tests/data over TCP (pure bash, via
+# /dev/tcp — no netcat dependency), and diff the reply transcript against
+# the committed golden file. Exits non-zero on any divergence.
+#
+# Usage: scripts/serve_smoke.sh            (builds target/release/algrec)
+#        ALGREC_BIN=path scripts/serve_smoke.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BIN="${ALGREC_BIN:-target/release/algrec}"
+SESSION=tests/data/serve_session.ndjson
+GOLDEN=tests/data/serve_session.golden
+
+if [[ ! -x "$BIN" ]]; then
+  cargo build --release
+fi
+
+log=$(mktemp)
+replies=$(mktemp)
+"$BIN" serve >"$log" &
+server=$!
+trap 'kill "$server" 2>/dev/null || true; rm -f "$log" "$replies"' EXIT
+
+# The server prints `% listening on HOST:PORT` once bound (port 0 picks
+# an ephemeral port, so parallel CI legs never collide).
+for _ in $(seq 100); do
+  grep -q '^% listening on ' "$log" && break
+  sleep 0.1
+done
+addr=$(sed -n 's/^% listening on //p' "$log" | head -n 1)
+if [[ -z "$addr" ]]; then
+  echo "serve smoke test: server never announced an address" >&2
+  exit 1
+fi
+host=${addr%:*}
+port=${addr##*:}
+
+# One reply line per request line; the script ends in `shutdown`, which
+# also stops the server.
+n=$(grep -c . "$SESSION")
+exec 3<>"/dev/tcp/$host/$port"
+cat "$SESSION" >&3
+head -n "$n" <&3 >"$replies"
+exec 3>&- 3<&-
+
+diff -u "$GOLDEN" "$replies"
+wait "$server"
+echo "serve smoke test: OK ($n requests matched the golden transcript)"

@@ -6,6 +6,8 @@
 //! algrec spec   <spec.obj>    [--depth N]
 //! algrec translate <program.dl> --pred P [facts.dl]
 //! algrec stable <program.dl>  [facts.dl] [--cap N]
+//! algrec repl   [facts.dl]
+//! algrec serve  [facts.dl] [--addr HOST:PORT]
 //! ```
 //!
 //! * deduction programs use the Datalog syntax of `algrec_datalog::parser`;
@@ -14,13 +16,19 @@
 //! * algebra programs use the syntax of `algrec_core::parser`;
 //! * specifications use the OBJ-style syntax of `algrec_adt::parser`;
 //! * semantics: `naive`, `semi-naive`, `stratified`, `inflationary`,
-//!   `well-founded`, `valid` (default), `valid-extended`;
+//!   `well-founded`, `valid` (default), `valid-extended[:N]` (N caps the
+//!   stable-completion branching, default 16);
 //! * `--trace` streams evaluation telemetry (phases, deltas) to stderr as
 //!   `% trace:` lines and prints a final stats summary (see
-//!   `algrec_value::stats`).
+//!   `algrec_value::stats`);
+//! * `repl` is the interactive incremental-view session, `serve` the same
+//!   session behind a newline-delimited-JSON TCP protocol (the server
+//!   prints `% listening on ADDR` once bound; `--addr` defaults to
+//!   `127.0.0.1:0`). See `algrec_serve` and DESIGN.md §10.
 
 use algrec::prelude::*;
-use algrec_datalog::interp::args_tuple;
+use algrec::serve::parse_semantics;
+use std::io::{IsTerminal, Write};
 use std::process::ExitCode;
 
 fn fail(msg: impl std::fmt::Display) -> ExitCode {
@@ -28,48 +36,16 @@ fn fail(msg: impl std::fmt::Display) -> ExitCode {
     ExitCode::FAILURE
 }
 
-/// Parse a facts file (Datalog facts only) into a database.
+/// Parse a facts file (Datalog facts only) into a database, through the
+/// shared in-place loader (the old per-fact relation clone was O(n²)).
 fn load_db(path: Option<&str>) -> Result<Database, String> {
     let Some(path) = path else {
         return Ok(Database::new());
     };
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let program =
-        algrec::datalog::parser::parse_program(&text).map_err(|e| format!("{path}: {e}"))?;
     let mut db = Database::new();
-    for rule in &program.rules {
-        if !rule.body.is_empty() {
-            return Err(format!(
-                "{path}: facts files may only contain ground facts, found rule `{rule}`"
-            ));
-        }
-        let args: Vec<Value> = rule
-            .head
-            .args
-            .iter()
-            .map(|e| match e {
-                algrec::datalog::Expr::Lit(v) => Ok(v.clone()),
-                other => Err(format!("{path}: non-ground fact argument `{other}`")),
-            })
-            .collect::<Result<_, _>>()?;
-        let mut rel = db.get(&rule.head.pred).cloned().unwrap_or_default();
-        rel.insert(args_tuple(&args));
-        db.set(rule.head.pred.clone(), rel);
-    }
+    load_facts(&mut db, &text).map_err(|e| format!("{path}: {e}"))?;
     Ok(db)
-}
-
-fn parse_semantics(s: &str) -> Result<Semantics, String> {
-    Ok(match s {
-        "naive" => Semantics::Naive,
-        "semi-naive" => Semantics::SemiNaive,
-        "stratified" => Semantics::Stratified,
-        "inflationary" => Semantics::Inflationary,
-        "well-founded" => Semantics::WellFounded,
-        "valid" => Semantics::Valid,
-        "valid-extended" => Semantics::ValidExtended(16),
-        other => return Err(format!("unknown semantics `{other}`")),
-    })
 }
 
 struct Args {
@@ -79,6 +55,7 @@ struct Args {
     depth: usize,
     cap: usize,
     trace: bool,
+    addr: Option<String>,
 }
 
 fn parse_args(raw: &[String]) -> Result<Args, String> {
@@ -89,6 +66,7 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
         depth: 2,
         cap: 16,
         trace: false,
+        addr: None,
     };
     let mut it = raw.iter();
     while let Some(a) = it.next() {
@@ -113,6 +91,7 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--cap: {e}"))?;
             }
+            "--addr" => args.addr = Some(it.next().ok_or("--addr needs a value")?.clone()),
             other if other.starts_with("--") => return Err(format!("unknown flag `{other}`")),
             other => args.positional.push(other.to_string()),
         }
@@ -271,10 +250,42 @@ fn cmd_stable(a: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Build a serving session, preloading an optional facts file.
+fn session_of(a: &Args) -> Result<Session, String> {
+    let mut session = Session::new(Budget::LARGE);
+    if let Some(path) = a.positional.first() {
+        let text = read(path)?;
+        session.load(&text).map_err(|e| format!("{path}: {e}"))?;
+    }
+    Ok(session)
+}
+
+fn cmd_repl(a: &Args) -> Result<(), String> {
+    let mut session = session_of(a)?;
+    let stdin = std::io::stdin();
+    let prompt = stdin.is_terminal();
+    run_repl(&mut session, stdin.lock(), std::io::stdout().lock(), prompt)
+        .map_err(|e| e.to_string())
+}
+
+fn cmd_serve(a: &Args) -> Result<(), String> {
+    let session = session_of(a)?;
+    let addr = a.addr.as_deref().unwrap_or("127.0.0.1:0");
+    let listener = std::net::TcpListener::bind(addr).map_err(|e| format!("{addr}: {e}"))?;
+    let bound = listener.local_addr().map_err(|e| e.to_string())?;
+    // Announce the actual address (port 0 binds an ephemeral port) so
+    // scripted clients can connect; flush before blocking in accept.
+    println!("% listening on {bound}");
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    algrec::serve::serve(listener, session).map_err(|e| e.to_string())
+}
+
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = raw.split_first() else {
-        return fail("usage: algrec <eval|alg|spec|translate|stable> … (see --help in the README)");
+        return fail(
+            "usage: algrec <eval|alg|spec|translate|stable|repl|serve> … (see --help in the README)",
+        );
     };
     let args = match parse_args(rest) {
         Ok(a) => a,
@@ -286,6 +297,8 @@ fn main() -> ExitCode {
         "spec" => cmd_spec(&args),
         "translate" => cmd_translate(&args),
         "stable" => cmd_stable(&args),
+        "repl" => cmd_repl(&args),
+        "serve" => cmd_serve(&args),
         other => Err(format!("unknown command `{other}`")),
     };
     match result {

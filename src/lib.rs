@@ -18,7 +18,9 @@
 //! * [`core`] — the algebra family and its valid-semantics evaluator
 //!   (Section 3);
 //! * [`translate`] — the Section 5/6 translations and the theorem
-//!   harnesses.
+//!   harnesses;
+//! * [`serve`] — the incremental materialized-view session engine behind
+//!   `algrec repl` and the `algrec serve` line-protocol server.
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-claim-by-claim verification record.
@@ -49,6 +51,7 @@
 pub use algrec_adt as adt;
 pub use algrec_core as core;
 pub use algrec_datalog as datalog;
+pub use algrec_serve as serve;
 pub use algrec_translate as translate;
 pub use algrec_value as value;
 
@@ -57,7 +60,8 @@ pub mod prelude {
     pub use algrec_core::{
         eval_exact, eval_valid, eval_valid_traced, AlgExpr, AlgProgram, EvalOptions, OpDef,
     };
-    pub use algrec_datalog::{evaluate, evaluate_traced, Program, Rule, Semantics};
+    pub use algrec_datalog::{evaluate, evaluate_traced, load_facts, Program, Rule, Semantics};
+    pub use algrec_serve::{run_repl, serve, Session};
     pub use algrec_translate::{check_roundtrip, datalog_to_algebra};
     pub use algrec_value::{
         Budget, CollectSink, Database, EvalStats, LogSink, Relation, Trace, Truth, TvSet, Value,

@@ -134,6 +134,91 @@ fn stable_command() {
 }
 
 #[test]
+fn eval_parameterized_valid_extended() {
+    // The branching cap is part of the semantics name now: both the bare
+    // form and `valid-extended:N` must parse.
+    let program = write_tmp("vx.dl", "p(X) :- d(X), not q(X).\nq(X) :- d(X), not p(X).");
+    let facts = write_tmp("vx_facts.dl", "d(1).");
+    for semantics in ["valid-extended", "valid-extended:4"] {
+        let out = algrec(&[
+            "eval",
+            &program,
+            &facts,
+            "--semantics",
+            semantics,
+            "--pred",
+            "p",
+        ]);
+        assert!(out.status.success(), "{semantics}");
+        assert!(String::from_utf8_lossy(&out.stdout).contains("% unknown: p(1)"));
+    }
+}
+
+#[test]
+fn bad_semantics_names_list_the_valid_forms() {
+    let program = write_tmp("sem.dl", "p(1).");
+    for bad in ["valid-extended:x", "valid-extended:", "zen"] {
+        let out = algrec(&["eval", &program, "--semantics", bad]);
+        assert!(!out.status.success(), "`{bad}` should be rejected");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("valid-extended:32") || stderr.contains("valid-extended:<N>"),
+            "error for `{bad}` should name the accepted forms: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn repl_runs_a_piped_script() {
+    use std::io::Write;
+    use std::process::Stdio;
+    let facts = write_tmp("repl_facts.dl", "e(1, 2).\ne(2, 3).");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_algrec"))
+        .args(["repl", &facts])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(
+            concat!(
+                "view paths : tc(X, Y) :- e(X, Y). tc(X, Z) :- tc(X, Y), e(Y, Z).\n",
+                "+e(3, 4)\n",
+                "query paths tc\n",
+                "-e(2, 3)\n",
+                "query paths tc\n",
+                "quit\n",
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Piped (non-terminal) input: no prompt, just command output.
+    assert!(!stdout.contains("algrec>"), "{stdout}");
+    assert!(
+        stdout.contains("registered paths (stratified-incremental"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("tc(1, 4)."), "{stdout}");
+    // After the retraction the 1→4 path is gone but 3→4 remains.
+    let tail = stdout.rsplit("applied 1/1").next().unwrap();
+    assert!(!tail.contains("tc(1, 4)."), "{stdout}");
+    assert!(tail.contains("tc(3, 4)."), "{stdout}");
+}
+
+#[test]
+fn serve_rejects_unbindable_address() {
+    let out = algrec(&["serve", "--addr", "definitely-not-an-address"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("definitely-not-an-address"));
+}
+
+#[test]
 fn error_paths() {
     assert!(!algrec(&[]).status.success());
     assert!(!algrec(&["frobnicate"]).status.success());
