@@ -7,7 +7,7 @@
 //! about it here rather than in a dashboard.
 
 use algrec_bench::table::{report_json, Table};
-use algrec_value::{EvalStats, PhaseStats};
+use algrec_value::{EvalStats, PhaseStats, StoreStats};
 
 /// A fully deterministic table: no wall-clock anywhere (phase wall time
 /// is set by hand, in whole milliseconds, so the `{:.3}` formatting is
@@ -44,6 +44,14 @@ fn golden_table() -> Table {
         index_hits: 4,
         interned_values: 10,
         interned_symbols: 2,
+        store: StoreStats {
+            wal_records: 3,
+            wal_bytes: 96,
+            wal_fsyncs: 3,
+            snapshots: 1,
+            snapshot_bytes: 256,
+            recovery_replayed: 2,
+        },
     };
     t.stat("run_n8", stats);
     t
@@ -61,6 +69,8 @@ fn table_json_matches_golden() {
         "\"deltas\":[4,2,0,0],",
         "\"index\":{\"builds\":1,\"probes\":5,\"hits\":4},",
         "\"interned\":{\"values\":10,\"symbols\":2},",
+        "\"store\":{\"wal_records\":3,\"wal_bytes\":96,\"wal_fsyncs\":3,",
+        "\"snapshots\":1,\"snapshot_bytes\":256,\"recovery_replayed\":2},",
         "\"phases\":[",
         "{\"name\":\"semi-naive\",\"iterations\":3,\"wall_ms\":2.000,\"deltas\":[4,2,0]},",
         "{\"name\":\"certain\",\"iterations\":1,\"wall_ms\":1.000,\"deltas\":[0]}",

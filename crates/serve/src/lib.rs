@@ -28,10 +28,10 @@ pub mod session;
 
 pub use json::Json;
 pub use maintain::{MaintainReport, RecomputeView, StratifiedView};
-pub use protocol::{handle_line, parse_semantics, semantics_name, Handled};
+pub use protocol::{handle_line, parse_semantics, semantics_name, transport_error, Handled};
 pub use repl::run_repl;
 pub use server::serve;
 pub use session::{
-    DeltaOutcome, OpStats, QueryAnswer, RegisterOutcome, ServeError, Session, ViewReport,
-    ViewStats, ViewStatus,
+    DeltaOutcome, Durability, DurableEvent, OpStats, QueryAnswer, RegisterOutcome, ServeError,
+    Session, ViewDef, ViewReport, ViewStats, ViewStatus,
 };

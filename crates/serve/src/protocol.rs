@@ -196,6 +196,13 @@ fn err_reply(id: Json, code: &str, message: &str) -> String {
     .to_string()
 }
 
+/// An error reply with a `null` id, for failures the transport detects
+/// before a request line can be parsed at all (over-long lines, invalid
+/// UTF-8). One reply per offending line, same shape as every other error.
+pub fn transport_error(code: &str, message: &str) -> String {
+    err_reply(Json::Null, code, message)
+}
+
 fn str_field<'a>(req: &'a Json, key: &str) -> Result<&'a str, ServeError> {
     req.get(key)
         .and_then(Json::as_str)

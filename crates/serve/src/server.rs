@@ -6,13 +6,81 @@
 //! `shutdown` request answers, then stops the accept loop, so a scripted
 //! client can drive a complete session and tear the server down from the
 //! outside — which is exactly what the CI smoke test does.
+//!
+//! Transport hygiene: request lines are capped at [`MAX_LINE_BYTES`].
+//! An over-long line is *not* buffered — the excess is discarded as it
+//! streams in and the client gets a structured `line_too_long` error
+//! reply; likewise a non-UTF-8 line gets a `bad-request` reply. Both
+//! keep the connection open, so one bad request never tears down a
+//! client session.
 
-use crate::protocol::{handle_line, Handled};
+use crate::protocol::{handle_line, transport_error, Handled};
 use crate::session::Session;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// Maximum accepted request-line length (bytes, newline excluded): 1 MiB.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// One transport-level read: a complete line, an over-long line (already
+/// drained from the stream, never buffered), or end of stream.
+enum ReadLine {
+    Line(Vec<u8>),
+    TooLong,
+    Eof,
+}
+
+/// Read one `\n`-terminated line of at most `cap` bytes. The moment the
+/// accumulated length would exceed `cap`, switches to a drain loop that
+/// discards bytes (bounded memory) until the newline, then reports
+/// [`ReadLine::TooLong`]. A final unterminated line is returned as-is.
+fn read_line_capped(reader: &mut impl BufRead, cap: usize) -> std::io::Result<ReadLine> {
+    let mut line = Vec::new();
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            return Ok(if line.is_empty() {
+                ReadLine::Eof
+            } else {
+                ReadLine::Line(line)
+            });
+        }
+        let newline = chunk.iter().position(|&b| b == b'\n');
+        let take = newline.unwrap_or(chunk.len());
+        if line.len() + take > cap {
+            // Over the cap: stop buffering, drain through the newline.
+            loop {
+                let chunk = reader.fill_buf()?;
+                if chunk.is_empty() {
+                    return Ok(ReadLine::TooLong); // EOF inside the long line
+                }
+                match chunk.iter().position(|&b| b == b'\n') {
+                    Some(i) => {
+                        reader.consume(i + 1);
+                        return Ok(ReadLine::TooLong);
+                    }
+                    None => {
+                        let n = chunk.len();
+                        reader.consume(n);
+                    }
+                }
+            }
+        }
+        line.extend_from_slice(&chunk[..take]);
+        match newline {
+            Some(i) => {
+                reader.consume(i + 1);
+                return Ok(ReadLine::Line(line));
+            }
+            None => {
+                let n = chunk.len();
+                reader.consume(n);
+            }
+        }
+    }
+}
 
 fn client_loop(
     stream: TcpStream,
@@ -20,21 +88,31 @@ fn client_loop(
     stop: &AtomicBool,
     addr: SocketAddr,
 ) -> std::io::Result<()> {
-    let reader = BufReader::new(stream.try_clone()?);
+    let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
-    for line in reader.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let handled = {
-            let mut guard = session.lock().unwrap_or_else(|e| e.into_inner());
-            handle_line(&mut guard, &line)
+    loop {
+        let reply = match read_line_capped(&mut reader, MAX_LINE_BYTES)? {
+            ReadLine::Eof => break,
+            ReadLine::TooLong => Handled::Reply(transport_error(
+                "line_too_long",
+                &format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+            )),
+            ReadLine::Line(bytes) => match String::from_utf8(bytes) {
+                Err(_) => Handled::Reply(transport_error(
+                    "bad-request",
+                    "request line is not valid UTF-8",
+                )),
+                Ok(line) if line.trim().is_empty() => continue,
+                Ok(line) => {
+                    let mut guard = session.lock().unwrap_or_else(|e| e.into_inner());
+                    handle_line(&mut guard, &line)
+                }
+            },
         };
-        writer.write_all(handled.line().as_bytes())?;
+        writer.write_all(reply.line().as_bytes())?;
         writer.write_all(b"\n")?;
         writer.flush()?;
-        if matches!(handled, Handled::Shutdown(_)) {
+        if matches!(reply, Handled::Shutdown(_)) {
             stop.store(true, Ordering::SeqCst);
             // Unblock the accept loop with a throwaway connection.
             let _ = TcpStream::connect(addr);
@@ -116,6 +194,64 @@ mod tests {
         assert!(replies[4].contains("tc(1, 4)."), "{}", replies[4]);
         assert!(replies[5].contains(r#""bye":true"#), "{}", replies[5]);
 
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn overlong_line_gets_structured_error_and_connection_survives() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server =
+            std::thread::spawn(move || serve(listener, Session::new(Budget::LARGE)).unwrap());
+
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = BufWriter::new(stream.try_clone().unwrap());
+        let mut incoming = BufReader::new(stream).lines();
+
+        // A line one byte over the cap: error reply, bounded memory.
+        let huge = format!(
+            r#"{{"id": 1, "op": "load", "facts": "{}"}}"#,
+            "x".repeat(MAX_LINE_BYTES)
+        );
+        writeln!(writer, "{huge}").unwrap();
+        writer.flush().unwrap();
+        let reply = incoming.next().unwrap().unwrap();
+        assert!(reply.contains(r#""code":"line_too_long""#), "{reply}");
+        assert!(reply.contains(r#""id":null"#), "{reply}");
+
+        // The same connection still serves ordinary requests afterwards.
+        writeln!(writer, r#"{{"id": 2, "op": "ping"}}"#).unwrap();
+        writer.flush().unwrap();
+        let reply = incoming.next().unwrap().unwrap();
+        assert!(reply.contains(r#""pong":true"#), "{reply}");
+        writeln!(writer, r#"{{"id": 3, "op": "shutdown"}}"#).unwrap();
+        writer.flush().unwrap();
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn non_utf8_line_gets_error_reply_instead_of_disconnect() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server =
+            std::thread::spawn(move || serve(listener, Session::new(Budget::LARGE)).unwrap());
+
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = BufWriter::new(stream.try_clone().unwrap());
+        let mut incoming = BufReader::new(stream).lines();
+
+        writer.write_all(b"{\"id\": 1, \xff\xfe}\n").unwrap();
+        writer.flush().unwrap();
+        let reply = incoming.next().unwrap().unwrap();
+        assert!(reply.contains(r#""code":"bad-request""#), "{reply}");
+        assert!(reply.contains("not valid UTF-8"), "{reply}");
+
+        writeln!(writer, r#"{{"id": 2, "op": "ping"}}"#).unwrap();
+        writer.flush().unwrap();
+        let reply = incoming.next().unwrap().unwrap();
+        assert!(reply.contains(r#""pong":true"#), "{reply}");
+        writeln!(writer, r#"{{"id": 3, "op": "shutdown"}}"#).unwrap();
+        writer.flush().unwrap();
         server.join().unwrap();
     }
 

@@ -30,7 +30,7 @@ use algrec_datalog::facts::{fact_value, parse_fact, parse_facts};
 use algrec_datalog::interp::Fact;
 use algrec_datalog::stratify::strata_programs;
 use algrec_datalog::Semantics;
-use algrec_value::{Budget, Database, DatabaseDelta, EvalStats, Trace, Value};
+use algrec_value::{Budget, Database, DatabaseDelta, EvalStats, Relation, Trace, Value};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
@@ -49,6 +49,9 @@ pub enum ServeError {
     DuplicateView(String),
     /// Malformed request: bad operation, flag, or semantics name.
     BadRequest(String),
+    /// The durability hook failed to persist a committed change (see
+    /// [`Durability`]); the in-memory state is ahead of the log.
+    Store(String),
 }
 
 impl ServeError {
@@ -60,6 +63,7 @@ impl ServeError {
             ServeError::UnknownView(_) => "unknown-view",
             ServeError::DuplicateView(_) => "duplicate-view",
             ServeError::BadRequest(_) => "bad-request",
+            ServeError::Store(_) => "store",
         }
     }
 }
@@ -67,9 +71,10 @@ impl ServeError {
 impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ServeError::Parse(m) | ServeError::Eval(m) | ServeError::BadRequest(m) => {
-                f.write_str(m)
-            }
+            ServeError::Parse(m)
+            | ServeError::Eval(m)
+            | ServeError::BadRequest(m)
+            | ServeError::Store(m) => f.write_str(m),
             ServeError::UnknownView(n) => write!(f, "no view named `{n}`"),
             ServeError::DuplicateView(n) => write!(f, "view `{n}` already exists"),
         }
@@ -143,6 +148,89 @@ fn traced<T, E>(
     Ok((out, trace.stats().map(OpStats::from).unwrap_or_default()))
 }
 
+/// One committed session change, as reported to the [`Durability`] hook.
+///
+/// Events are emitted *after* the in-memory state changed and carry
+/// exactly what a durable store must persist to replay the change: the
+/// effective fact delta, or the registration source text. Borrowed data
+/// keeps the hook zero-copy; a store that logs encodes what it needs.
+#[derive(Debug)]
+pub enum DurableEvent<'a> {
+    /// An effective fact delta was applied to the database (only
+    /// genuinely added/removed members appear; no-op batches are never
+    /// reported).
+    Delta(&'a DatabaseDelta),
+    /// A datalog view was registered.
+    RegisterDatalog {
+        /// View name.
+        name: &'a str,
+        /// Program source text, exactly as registered.
+        program: &'a str,
+        /// Evaluation semantics.
+        semantics: Semantics,
+    },
+    /// A core-algebra view was registered.
+    RegisterAlgebra {
+        /// View name.
+        name: &'a str,
+        /// Program source text, exactly as registered.
+        program: &'a str,
+    },
+    /// A view was dropped.
+    Unregister {
+        /// View name.
+        name: &'a str,
+    },
+}
+
+/// A view definition sufficient to re-register it from scratch — the
+/// unit of the snapshot catalog handed to [`Durability::snapshot`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ViewDef {
+    /// View name.
+    pub name: String,
+    /// `"datalog"` or `"algebra"`.
+    pub kind: &'static str,
+    /// Program source text, exactly as registered.
+    pub program: String,
+    /// Evaluation semantics (`None` for algebra views, which are always
+    /// the paper's valid semantics).
+    pub semantics: Option<Semantics>,
+}
+
+/// Durability hook: the session reports every committed change here so a
+/// store (see `algrec-store`) can write-ahead-log it. The default session
+/// has no hook and pays nothing; front ends opt in via
+/// [`Session::set_durability`].
+///
+/// Contract: [`Durability::record`] is called once per committed change,
+/// *after* the in-memory state (database and maintained views) already
+/// reflects it. If it errors, the session surfaces
+/// [`ServeError::Store`] to the caller — the change is live in memory but
+/// not persisted, so a crash would lose it; clients treat the reply as
+/// the commit acknowledgement. After a successful `record`, the session
+/// asks [`Durability::wants_snapshot`]; when `true` it calls
+/// [`Durability::snapshot`] with the full database and view catalog,
+/// letting the store compact its log.
+pub trait Durability {
+    /// Persist one committed change.
+    fn record(&mut self, event: &DurableEvent<'_>) -> Result<(), String>;
+
+    /// Should the session offer a snapshot now? Polled after every
+    /// successful [`Durability::record`].
+    fn wants_snapshot(&self) -> bool {
+        false
+    }
+
+    /// Persist a full snapshot of the session state (and typically
+    /// truncate the log). Only called when [`Durability::wants_snapshot`]
+    /// returned `true`.
+    fn snapshot(&mut self, db: &Database, catalog: &[ViewDef]) -> Result<(), String> {
+        let _ = (db, catalog);
+        Ok(())
+    }
+}
+
 enum Maintainer {
     Stratified(StratifiedView),
     Recompute(RecomputeView),
@@ -163,6 +251,9 @@ enum ViewKind {
 
 struct ViewEntry {
     kind: ViewKind,
+    /// Program source text as registered — retained so snapshots can
+    /// re-register the view verbatim.
+    source: String,
     semantics_label: String,
     strategy: &'static str,
     registration: OpStats,
@@ -330,6 +421,7 @@ pub struct Session {
     db: Database,
     views: BTreeMap<String, ViewEntry>,
     budget: Budget,
+    durability: Option<Box<dyn Durability + Send>>,
 }
 
 impl Session {
@@ -339,12 +431,80 @@ impl Session {
             db: Database::new(),
             views: BTreeMap::new(),
             budget,
+            durability: None,
         }
     }
 
     /// The current database (for summaries).
     pub fn db(&self) -> &Database {
         &self.db
+    }
+
+    /// The evaluation budget every maintenance operation runs under.
+    pub fn budget(&self) -> Budget {
+        self.budget
+    }
+
+    /// Ensure a relation with this name exists, registering it empty if
+    /// absent. A delta can only create a relation by inserting into it,
+    /// so snapshot restoration uses this to bring back relations that
+    /// were registered but empty (e.g. fully retracted) at snapshot
+    /// time. Existing relations are untouched; not a durable event.
+    pub fn ensure_relation(&mut self, name: &str) {
+        if !self.db.contains(name) {
+            self.db.set(name, Relation::new());
+        }
+    }
+
+    /// Attach a durability hook; every subsequently committed change is
+    /// reported to it (see [`Durability`]). Recovery attaches the hook
+    /// only *after* replaying the log, so replayed changes are not
+    /// re-logged.
+    pub fn set_durability(&mut self, hook: Box<dyn Durability + Send>) {
+        self.durability = Some(hook);
+    }
+
+    /// Detach the durability hook, returning it.
+    pub fn clear_durability(&mut self) -> Option<Box<dyn Durability + Send>> {
+        self.durability.take()
+    }
+
+    /// The view catalog: every registered view, in name order, as the
+    /// definitions needed to re-register it from scratch.
+    pub fn catalog(&self) -> Vec<ViewDef> {
+        self.views
+            .iter()
+            .map(|(name, e)| ViewDef {
+                name: name.clone(),
+                kind: match e.kind {
+                    ViewKind::Datalog { .. } => "datalog",
+                    ViewKind::Algebra { .. } => "algebra",
+                },
+                program: e.source.clone(),
+                semantics: match &e.kind {
+                    ViewKind::Datalog { semantics, .. } => Some(*semantics),
+                    ViewKind::Algebra { .. } => None,
+                },
+            })
+            .collect()
+    }
+
+    /// Report one committed change to the durability hook, if attached,
+    /// and offer a snapshot when the hook asks for one.
+    fn durably(&mut self, event: &DurableEvent<'_>) -> Result<(), ServeError> {
+        let Some(mut hook) = self.durability.take() else {
+            return Ok(());
+        };
+        let result = (|| {
+            hook.record(event)?;
+            if hook.wants_snapshot() {
+                let catalog = self.catalog();
+                hook.snapshot(&self.db, &catalog)?;
+            }
+            Ok(())
+        })();
+        self.durability = Some(hook);
+        result.map_err(ServeError::Store)
     }
 
     /// Parse a facts file and load every fact, maintaining all views.
@@ -383,6 +543,13 @@ impl Session {
             let (name, member) = fact_value(fact);
             delta.remove(name, member);
         }
+        self.apply_delta(&delta)
+    }
+
+    /// Apply a pre-built [`DatabaseDelta`] — the same path as
+    /// [`Session::apply`], and the entry point crash recovery uses to
+    /// replay logged deltas through the real maintainers.
+    pub fn apply_delta(&mut self, delta: &DatabaseDelta) -> Result<DeltaOutcome, ServeError> {
         let requested = delta.len();
         let effective = delta.apply(&mut self.db);
         let mut views = Vec::new();
@@ -396,6 +563,7 @@ impl Session {
                 report.view = name.clone();
                 views.push(report);
             }
+            self.durably(&DurableEvent::Delta(&effective))?;
         }
         Ok(DeltaOutcome {
             requested,
@@ -429,6 +597,7 @@ impl Session {
                     semantics,
                     maintainer,
                 },
+                source: src.to_string(),
                 semantics_label: crate::protocol::semantics_name(semantics),
                 strategy,
                 registration: stats,
@@ -440,6 +609,11 @@ impl Session {
                 dirty: None,
             },
         );
+        self.durably(&DurableEvent::RegisterDatalog {
+            name,
+            program: src,
+            semantics,
+        })?;
         Ok(RegisterOutcome { strategy, stats })
     }
 
@@ -471,6 +645,7 @@ impl Session {
                     deps,
                     result,
                 },
+                source: src.to_string(),
                 semantics_label: "valid".to_string(),
                 strategy: "algebra-recompute",
                 registration: stats,
@@ -482,6 +657,7 @@ impl Session {
                 dirty: None,
             },
         );
+        self.durably(&DurableEvent::RegisterAlgebra { name, program: src })?;
         Ok(RegisterOutcome {
             strategy: "algebra-recompute",
             stats,
@@ -493,7 +669,8 @@ impl Session {
         self.views
             .remove(name)
             .map(|_| ())
-            .ok_or_else(|| ServeError::UnknownView(name.to_string()))
+            .ok_or_else(|| ServeError::UnknownView(name.to_string()))?;
+        self.durably(&DurableEvent::Unregister { name })
     }
 
     /// Query a view. For datalog views `pred` restricts the answer to
@@ -991,6 +1168,92 @@ mod tests {
         let out = session.assert_fact("edge(3, 4)").unwrap();
         assert_eq!(out.views[0].status, ViewStatus::Rebuilt);
         assert_eq!(out.views[0].changed, 1);
+    }
+
+    #[test]
+    fn durability_hook_sees_committed_changes_and_snapshots() {
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Default)]
+        struct Spy {
+            log: Arc<Mutex<Vec<String>>>,
+            records: usize,
+        }
+        impl Durability for Spy {
+            fn record(&mut self, event: &DurableEvent<'_>) -> Result<(), String> {
+                self.records += 1;
+                let line = match event {
+                    DurableEvent::Delta(d) => format!("delta:{}", d.len()),
+                    DurableEvent::RegisterDatalog {
+                        name, semantics, ..
+                    } => format!("reg:{name}:{}", crate::protocol::semantics_name(*semantics)),
+                    DurableEvent::RegisterAlgebra { name, .. } => format!("regalg:{name}"),
+                    DurableEvent::Unregister { name } => format!("drop:{name}"),
+                };
+                self.log.lock().unwrap().push(line);
+                Ok(())
+            }
+            fn wants_snapshot(&self) -> bool {
+                self.records >= 3
+            }
+            fn snapshot(&mut self, db: &Database, catalog: &[ViewDef]) -> Result<(), String> {
+                self.records = 0;
+                self.log.lock().unwrap().push(format!(
+                    "snap:{}rels:{}views",
+                    db.len(),
+                    catalog.len()
+                ));
+                Ok(())
+            }
+        }
+
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut session = Session::new(Budget::LARGE);
+        session.set_durability(Box::new(Spy {
+            log: Arc::clone(&log),
+            records: 0,
+        }));
+        session.load("e(1, 2). e(2, 3).").unwrap();
+        session
+            .register_datalog("paths", TC, Semantics::Valid)
+            .unwrap();
+        // A no-op delta commits nothing and must not reach the hook.
+        session.assert_fact("e(1, 2)").unwrap();
+        session.assert_fact("e(3, 4)").unwrap(); // third record → snapshot
+        session.unregister("paths").unwrap();
+        assert_eq!(
+            *log.lock().unwrap(),
+            vec![
+                "delta:2",
+                "reg:paths:valid",
+                "delta:1",
+                "snap:1rels:1views",
+                "drop:paths",
+            ]
+        );
+        assert!(session.clear_durability().is_some());
+        assert!(session.clear_durability().is_none());
+    }
+
+    #[test]
+    fn catalog_round_trips_view_definitions() {
+        let mut session = Session::new(Budget::LARGE);
+        session.load("e(1, 2).").unwrap();
+        session
+            .register_datalog("paths", TC, Semantics::ValidExtended(4))
+            .unwrap();
+        session
+            .register_algebra("alg", "query e;")
+            .unwrap_or_else(|e| panic!("algebra registration: {e}"));
+        let catalog = session.catalog();
+        assert_eq!(catalog.len(), 2);
+        assert_eq!(catalog[0].name, "alg");
+        assert_eq!(catalog[0].kind, "algebra");
+        assert_eq!(catalog[0].semantics, None);
+        assert_eq!(catalog[1].name, "paths");
+        assert_eq!(catalog[1].kind, "datalog");
+        assert_eq!(catalog[1].program, TC);
+        assert_eq!(catalog[1].semantics, Some(Semantics::ValidExtended(4)));
     }
 
     #[test]

@@ -1,0 +1,226 @@
+//! Crash recovery: rebuild a live [`Session`] from the newest snapshot
+//! plus the write-ahead log after it.
+//!
+//! Recovery is replay through the *real* session entry points — the EDB
+//! is restored with [`Session::apply_delta`], views re-registered with
+//! the same `register_*` calls a client would make, logged deltas
+//! re-applied one by one. There is no second "load" code path that could
+//! drift from live semantics: a recovered session is a session that ran
+//! the same committed operations, so its view answers are bit-identical
+//! to the pre-crash state (and to a cold evaluation — see
+//! [`verify_against_cold`], which debug builds run on every open).
+//!
+//! A torn WAL tail (crash mid-append) is truncated on disk to the valid
+//! prefix before the log is reopened for appending; the committed prefix
+//! is exactly what survives.
+
+use crate::codec::HEADER_LEN;
+use crate::snapshot::{load_latest_snapshot, wal_path, SnapshotState};
+use crate::wal::{read_wal, WalRecord};
+use crate::StoreError;
+use algrec_serve::{parse_semantics, Session};
+use algrec_value::{Budget, DatabaseDelta, Trace, TraceEvent};
+use std::path::Path;
+
+/// What recovery found and did.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct RecoveryReport {
+    /// Generation of the snapshot loaded, if one existed.
+    pub snapshot_gen: Option<u64>,
+    /// Relations restored from the snapshot.
+    pub snapshot_relations: usize,
+    /// Views re-registered from the snapshot catalog.
+    pub snapshot_views: usize,
+    /// WAL records replayed after the snapshot.
+    pub replayed: usize,
+    /// Bytes of torn WAL tail truncated (0 on a clean shutdown).
+    pub truncated_bytes: usize,
+}
+
+impl RecoveryReport {
+    /// Did recovery restore anything at all (vs. a brand-new store)?
+    pub fn restored_anything(&self) -> bool {
+        self.snapshot_gen.is_some() || self.replayed > 0
+    }
+}
+
+fn replay_record(session: &mut Session, record: WalRecord) -> Result<(), String> {
+    match record {
+        WalRecord::Delta(delta) => session
+            .apply_delta(&delta)
+            .map(|_| ())
+            .map_err(|e| e.to_string()),
+        WalRecord::RegisterDatalog {
+            name,
+            semantics,
+            program,
+        } => {
+            let semantics = parse_semantics(&semantics)?;
+            session
+                .register_datalog(&name, &program, semantics)
+                .map(|_| ())
+                .map_err(|e| e.to_string())
+        }
+        WalRecord::RegisterAlgebra { name, program } => session
+            .register_algebra(&name, &program)
+            .map(|_| ())
+            .map_err(|e| e.to_string()),
+        WalRecord::Unregister { name } => session.unregister(&name).map_err(|e| e.to_string()),
+    }
+}
+
+fn restore_snapshot(session: &mut Session, state: &SnapshotState) -> Result<(), StoreError> {
+    // EDB first — one bulk delta, applied before any view exists, so
+    // there is nothing to maintain yet and restoration is a pure load.
+    let mut delta = DatabaseDelta::new();
+    let mut empties = Vec::new();
+    for (name, rel) in state.db.iter() {
+        if rel.is_empty() {
+            empties.push(name.to_string());
+        }
+        for v in rel.iter() {
+            delta.insert(name.to_string(), v.clone());
+        }
+    }
+    session
+        .apply_delta(&delta)
+        .map_err(|e| StoreError::Replay {
+            record: 0,
+            error: format!("restoring snapshot database: {e}"),
+        })?;
+    // Deltas cannot express an empty relation; re-register those
+    // directly so their names keep resolving, as before the crash.
+    for name in empties {
+        session.ensure_relation(&name);
+    }
+    // Then the catalog: registration materializes each view cold against
+    // the restored EDB, which is exactly the state it held at snapshot
+    // time (views are deterministic functions of the EDB).
+    for view in &state.views {
+        let result = match (view.kind, view.semantics) {
+            ("algebra", _) => session
+                .register_algebra(&view.name, &view.program)
+                .map(|_| ()),
+            (_, Some(semantics)) => session
+                .register_datalog(&view.name, &view.program, semantics)
+                .map(|_| ()),
+            (_, None) => Err(algrec_serve::ServeError::Store(format!(
+                "snapshot catalog entry {} has no semantics",
+                view.name
+            ))),
+        };
+        result.map_err(|e| StoreError::Replay {
+            record: 0,
+            error: format!("re-registering view {}: {e}", view.name),
+        })?;
+    }
+    Ok(())
+}
+
+/// Rebuild a session from the store directory. Returns the session, the
+/// report, and the active generation (whose WAL should be appended to).
+pub fn recover(
+    dir: &Path,
+    budget: Budget,
+    trace: &Trace,
+) -> Result<(Session, RecoveryReport, u64), StoreError> {
+    std::fs::create_dir_all(dir)?;
+    let mut session = Session::new(budget);
+    let mut report = RecoveryReport::default();
+
+    let gen = match load_latest_snapshot(dir)? {
+        Some((gen, state)) => {
+            report.snapshot_gen = Some(gen);
+            report.snapshot_relations = state.db.len();
+            report.snapshot_views = state.views.len();
+            restore_snapshot(&mut session, &state)?;
+            gen
+        }
+        None => 0,
+    };
+
+    let log_path = wal_path(dir, gen);
+    if log_path.exists() {
+        let bytes = std::fs::read(&log_path)?;
+        if bytes.len() < HEADER_LEN {
+            // Crash during log creation: nothing was ever committed to
+            // this log. Remove the stub; open() recreates it.
+            report.truncated_bytes = bytes.len();
+            std::fs::remove_file(&log_path)?;
+        } else {
+            let contents = read_wal(&bytes).map_err(|e| StoreError::Corrupt {
+                path: log_path.clone(),
+                error: e,
+            })?;
+            if contents.valid_len < bytes.len() {
+                report.truncated_bytes = bytes.len() - contents.valid_len;
+                let file = std::fs::OpenOptions::new().write(true).open(&log_path)?;
+                file.set_len(contents.valid_len as u64)?;
+                file.sync_all()?;
+            }
+            for (i, record) in contents.records.into_iter().enumerate() {
+                replay_record(&mut session, record)
+                    .map_err(|error| StoreError::Replay { record: i, error })?;
+                report.replayed += 1;
+            }
+        }
+    }
+
+    if report.replayed > 0 {
+        trace.emit(TraceEvent::RecoveryReplay(report.replayed));
+    }
+    Ok((session, report, gen))
+}
+
+/// Check that the recovered session answers every view query exactly as
+/// a cold session would: fresh session, same EDB, same registrations,
+/// compare [`algrec_serve::QueryAnswer`]s for equality. This is the
+/// paper's invariant — a materialized view is a pure function of the
+/// EDB — applied to durability. Debug builds run it on every open.
+pub fn verify_against_cold(session: &mut Session) -> Result<(), String> {
+    let mut cold = Session::new(session.budget());
+    let mut delta = DatabaseDelta::new();
+    let mut empties = Vec::new();
+    for (name, rel) in session.db().iter() {
+        if rel.is_empty() {
+            empties.push(name.to_string());
+        }
+        for v in rel.iter() {
+            delta.insert(name.to_string(), v.clone());
+        }
+    }
+    cold.apply_delta(&delta)
+        .map_err(|e| format!("cold load: {e}"))?;
+    for name in empties {
+        cold.ensure_relation(&name);
+    }
+    let catalog = session.catalog();
+    for view in &catalog {
+        match (view.kind, view.semantics) {
+            ("algebra", _) => cold
+                .register_algebra(&view.name, &view.program)
+                .map(|_| ())
+                .map_err(|e| format!("cold register {}: {e}", view.name))?,
+            (_, Some(semantics)) => cold
+                .register_datalog(&view.name, &view.program, semantics)
+                .map(|_| ())
+                .map_err(|e| format!("cold register {}: {e}", view.name))?,
+            (_, None) => return Err(format!("catalog entry {} has no semantics", view.name)),
+        }
+    }
+    for view in &catalog {
+        let recovered = session
+            .query(&view.name, None)
+            .map_err(|e| format!("recovered query {}: {e}", view.name))?;
+        let fresh = cold
+            .query(&view.name, None)
+            .map_err(|e| format!("cold query {}: {e}", view.name))?;
+        if recovered != fresh {
+            return Err(format!(
+                "view {} diverges from cold evaluation:\n  recovered: {recovered:?}\n  cold:      {fresh:?}",
+                view.name
+            ));
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,419 @@
+//! The append-only write-ahead log.
+//!
+//! Every state change a durable [`algrec_serve::Session`] commits —
+//! applied deltas, view registrations, view drops — is appended here as
+//! one [`WalRecord`] *after* the in-memory commit succeeds, framed and
+//! checksummed by [`crate::codec`]. On restart, [`read_wal`] replays the
+//! intact prefix and reports where a torn tail (a record cut short or
+//! corrupted by a crash mid-append) begins, so recovery can truncate the
+//! file there and carry on.
+//!
+//! Durability strength is the caller's choice via [`SyncPolicy`]: fsync
+//! after every record, after every N records, or never (leave it to the
+//! OS). The file handle is abstracted behind [`LogFile`] so the
+//! fault-injection tests can cut writes off mid-record exactly the way a
+//! crash does.
+
+use crate::codec::{
+    check_header, decode_delta, encode_delta, frame_record, next_record, write_header, CodecError,
+    FileKind, Reader,
+};
+use algrec_serve::parse_semantics;
+use algrec_value::{DatabaseDelta, Trace, TraceEvent};
+use std::io::Write;
+
+/// When the log fsyncs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SyncPolicy {
+    /// fsync after every appended record: no committed write is ever
+    /// lost, at one disk flush per operation.
+    Always,
+    /// fsync after every N records: bounded loss window of at most N-1
+    /// operations.
+    EveryN(usize),
+    /// Never fsync explicitly; the OS flushes when it pleases. Fastest,
+    /// loses whatever the page cache held on a power cut (not on a mere
+    /// process kill).
+    Never,
+}
+
+impl SyncPolicy {
+    /// Parse `"always"`, `"never"`, or `"every-N"` (N ≥ 1).
+    pub fn parse(s: &str) -> Result<SyncPolicy, String> {
+        match s {
+            "always" => Ok(SyncPolicy::Always),
+            "never" => Ok(SyncPolicy::Never),
+            _ => match s.strip_prefix("every-").and_then(|n| n.parse().ok()) {
+                Some(0) | None => Err(format!(
+                    "bad sync policy {s:?} (expected always, never, or every-N with N >= 1)"
+                )),
+                Some(n) => Ok(SyncPolicy::EveryN(n)),
+            },
+        }
+    }
+}
+
+/// The durable file behind a [`Wal`]. Production uses [`std::fs::File`];
+/// the fault-injection tests substitute a writer that dies partway
+/// through an append to simulate a crash.
+pub trait LogFile: Send {
+    /// Append bytes at the end of the log.
+    fn append(&mut self, bytes: &[u8]) -> std::io::Result<()>;
+    /// Force everything appended so far to stable storage.
+    fn sync(&mut self) -> std::io::Result<()>;
+}
+
+impl LogFile for std::fs::File {
+    fn append(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.write_all(bytes)
+    }
+    fn sync(&mut self) -> std::io::Result<()> {
+        self.sync_data()
+    }
+}
+
+/// One logged state change, in commit order.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum WalRecord {
+    /// An effective [`DatabaseDelta`] that was applied to the EDB (and
+    /// propagated to every view).
+    Delta(DatabaseDelta),
+    /// A datalog view was registered under the named semantics.
+    RegisterDatalog {
+        /// View name.
+        name: String,
+        /// Semantics, in [`semantics_name`] form (e.g. `"stratified"`,
+        /// `"valid-extended:4"`).
+        semantics: String,
+        /// Program source, verbatim.
+        program: String,
+    },
+    /// A core-algebra view was registered.
+    RegisterAlgebra {
+        /// View name.
+        name: String,
+        /// Program source, verbatim.
+        program: String,
+    },
+    /// A view was dropped.
+    Unregister {
+        /// View name.
+        name: String,
+    },
+}
+
+const REC_DELTA: u8 = 0;
+const REC_REG_DATALOG: u8 = 1;
+const REC_REG_ALGEBRA: u8 = 2;
+const REC_UNREGISTER: u8 = 3;
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+impl WalRecord {
+    /// Encode this record's payload (unframed).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            WalRecord::Delta(delta) => {
+                out.push(REC_DELTA);
+                encode_delta(delta, &mut out);
+            }
+            WalRecord::RegisterDatalog {
+                name,
+                semantics,
+                program,
+            } => {
+                out.push(REC_REG_DATALOG);
+                put_str(&mut out, name);
+                put_str(&mut out, semantics);
+                put_str(&mut out, program);
+            }
+            WalRecord::RegisterAlgebra { name, program } => {
+                out.push(REC_REG_ALGEBRA);
+                put_str(&mut out, name);
+                put_str(&mut out, program);
+            }
+            WalRecord::Unregister { name } => {
+                out.push(REC_UNREGISTER);
+                put_str(&mut out, name);
+            }
+        }
+        out
+    }
+
+    /// Decode a record from one framed payload.
+    pub fn decode(payload: &[u8]) -> Result<WalRecord, CodecError> {
+        let mut r = Reader::new(payload);
+        let record = match r.u8()? {
+            REC_DELTA => WalRecord::Delta(decode_delta(&mut r)?),
+            REC_REG_DATALOG => {
+                let name = r.str()?;
+                let semantics = r.str()?;
+                // Validate eagerly: a record naming a semantics this
+                // build cannot parse must fail decode, not replay.
+                parse_semantics(&semantics)
+                    .map_err(|e| CodecError::Malformed(format!("bad semantics: {e}")))?;
+                let program = r.str()?;
+                WalRecord::RegisterDatalog {
+                    name,
+                    semantics,
+                    program,
+                }
+            }
+            REC_REG_ALGEBRA => WalRecord::RegisterAlgebra {
+                name: r.str()?,
+                program: r.str()?,
+            },
+            REC_UNREGISTER => WalRecord::Unregister { name: r.str()? },
+            other => return Err(CodecError::Malformed(format!("bad wal record tag {other}"))),
+        };
+        r.finish()?;
+        Ok(record)
+    }
+}
+
+/// An open write-ahead log.
+pub struct Wal {
+    file: Box<dyn LogFile>,
+    policy: SyncPolicy,
+    unsynced: usize,
+    trace: Trace,
+}
+
+impl Wal {
+    /// Wrap an already-positioned log file (header written or verified
+    /// by the caller; cursor at end).
+    pub fn new(file: Box<dyn LogFile>, policy: SyncPolicy, trace: Trace) -> Wal {
+        Wal {
+            file,
+            policy,
+            unsynced: 0,
+            trace,
+        }
+    }
+
+    /// Create a fresh log: writes the WAL file header and syncs it.
+    pub fn create(
+        mut file: Box<dyn LogFile>,
+        policy: SyncPolicy,
+        trace: Trace,
+    ) -> std::io::Result<Wal> {
+        let mut header = Vec::new();
+        write_header(&mut header, FileKind::Wal);
+        file.append(&header)?;
+        file.sync()?;
+        Ok(Wal::new(file, policy, trace))
+    }
+
+    /// Append one record, fsyncing per the sync policy. Returns the
+    /// number of bytes written (frame included).
+    pub fn append(&mut self, record: &WalRecord) -> std::io::Result<usize> {
+        let framed = frame_record(&record.encode());
+        self.file.append(&framed)?;
+        self.trace.emit(TraceEvent::WalAppend(framed.len()));
+        self.unsynced += 1;
+        let due = match self.policy {
+            SyncPolicy::Always => true,
+            SyncPolicy::EveryN(n) => self.unsynced >= n,
+            SyncPolicy::Never => false,
+        };
+        if due {
+            self.sync()?;
+        }
+        Ok(framed.len())
+    }
+
+    /// fsync now, regardless of policy.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.file.sync()?;
+        self.unsynced = 0;
+        self.trace.emit(TraceEvent::WalSync);
+        Ok(())
+    }
+}
+
+/// The outcome of reading a log file.
+#[derive(Debug)]
+pub struct WalContents {
+    /// The intact records, in append order.
+    pub records: Vec<WalRecord>,
+    /// Length in bytes of the valid prefix (header plus intact records).
+    /// Shorter than the input iff a torn tail was found.
+    pub valid_len: usize,
+}
+
+/// Read a WAL file image. A torn tail — trailing bytes that do not form
+/// a complete, checksum-valid record — is *expected* after a crash and
+/// is reported via `valid_len`, not an error. A wrong magic, a bumped
+/// format version, or a structurally malformed record inside an intact
+/// frame *is* an error: those mean the file is not ours to interpret.
+pub fn read_wal(bytes: &[u8]) -> Result<WalContents, CodecError> {
+    let mut pos = check_header(bytes, FileKind::Wal)?;
+    let mut records = Vec::new();
+    loop {
+        match next_record(bytes, &mut pos) {
+            Ok(Some(payload)) => records.push(WalRecord::decode(payload)?),
+            Ok(None) => {
+                return Ok(WalContents {
+                    records,
+                    valid_len: pos,
+                })
+            }
+            Err(CodecError::TornTail { valid_len }) => {
+                return Ok(WalContents { records, valid_len })
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use algrec_serve::semantics_name;
+    use algrec_value::Value;
+
+    fn sample_records() -> Vec<WalRecord> {
+        let mut delta = DatabaseDelta::new();
+        delta.insert("e", Value::pair(Value::int(1), Value::int(2)));
+        delta.remove("e", Value::pair(Value::int(3), Value::int(4)));
+        vec![
+            WalRecord::Delta(delta),
+            WalRecord::RegisterDatalog {
+                name: "paths".into(),
+                semantics: "valid-extended:4".into(),
+                program: "tc(X, Y) :- e(X, Y).".into(),
+            },
+            WalRecord::RegisterAlgebra {
+                name: "alg".into(),
+                program: "query e;".into(),
+            },
+            WalRecord::Unregister { name: "alg".into() },
+        ]
+    }
+
+    /// An in-memory log file for tests, readable through a shared handle.
+    struct MemFile(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+    impl MemFile {
+        fn shared() -> (MemFile, std::sync::Arc<std::sync::Mutex<Vec<u8>>>) {
+            let buf = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+            (MemFile(std::sync::Arc::clone(&buf)), buf)
+        }
+        fn fresh() -> MemFile {
+            MemFile::shared().0
+        }
+    }
+    impl LogFile for MemFile {
+        fn append(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+            self.0.lock().unwrap().extend_from_slice(bytes);
+            Ok(())
+        }
+        fn sync(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn records_round_trip_through_a_log() {
+        let (file, buf) = MemFile::shared();
+        let mut wal = Wal::create(Box::new(file), SyncPolicy::Always, Trace::default()).unwrap();
+        for rec in sample_records() {
+            wal.append(&rec).unwrap();
+        }
+        let image = buf.lock().unwrap().clone();
+        let back = read_wal(&image).unwrap();
+        assert_eq!(back.records, sample_records());
+        assert_eq!(back.valid_len, image.len());
+    }
+
+    #[test]
+    fn log_survives_torn_tail_and_reports_valid_prefix() {
+        // Build the image by hand so we keep the bytes.
+        let mut image = Vec::new();
+        write_header(&mut image, FileKind::Wal);
+        let recs = sample_records();
+        let mut offsets = vec![image.len()];
+        for rec in &recs {
+            image.extend_from_slice(&frame_record(&rec.encode()));
+            offsets.push(image.len());
+        }
+
+        let whole = read_wal(&image).unwrap();
+        assert_eq!(whole.records, recs);
+        assert_eq!(whole.valid_len, image.len());
+
+        // Cut inside the last record: first three survive.
+        let cut = offsets[3] + 5;
+        let torn = read_wal(&image[..cut]).unwrap();
+        assert_eq!(torn.records, recs[..3]);
+        assert_eq!(torn.valid_len, offsets[3]);
+
+        // Flip a payload bit in record 2: records 0-1 survive.
+        let mut flipped = image.clone();
+        flipped[offsets[2] + 10] ^= 0x04;
+        let part = read_wal(&flipped).unwrap();
+        assert_eq!(part.records, recs[..2]);
+        assert_eq!(part.valid_len, offsets[2]);
+
+        // Header-only file: an empty log, cleanly.
+        let empty = read_wal(&image[..offsets[0]]).unwrap();
+        assert!(empty.records.is_empty());
+
+        // Bumped version: hard error, never a silent empty log.
+        let mut bumped = image.clone();
+        bumped[8] = 0xEE;
+        assert!(matches!(read_wal(&bumped), Err(CodecError::Version(_))));
+    }
+
+    #[test]
+    fn sync_policy_parses_and_batches() {
+        assert_eq!(SyncPolicy::parse("always"), Ok(SyncPolicy::Always));
+        assert_eq!(SyncPolicy::parse("never"), Ok(SyncPolicy::Never));
+        assert_eq!(SyncPolicy::parse("every-8"), Ok(SyncPolicy::EveryN(8)));
+        assert!(SyncPolicy::parse("every-0").is_err());
+        assert!(SyncPolicy::parse("sometimes").is_err());
+
+        let trace = Trace::collect();
+        let mut wal = Wal::create(
+            Box::new(MemFile::fresh()),
+            SyncPolicy::EveryN(2),
+            trace.clone(),
+        )
+        .unwrap();
+        for rec in sample_records() {
+            wal.append(&rec).unwrap();
+        }
+        let stats = trace.stats().unwrap();
+        assert_eq!(stats.store.wal_records, 4);
+        // 4 appends at every-2 → 2 syncs.
+        assert_eq!(stats.store.wal_fsyncs, 2);
+        assert!(stats.store.wal_bytes > 0);
+    }
+
+    #[test]
+    fn decode_rejects_unknown_semantics_and_tags() {
+        let rec = WalRecord::RegisterDatalog {
+            name: "v".into(),
+            semantics: "no-such-semantics".into(),
+            program: "p(X) :- q(X).".into(),
+        };
+        assert!(matches!(
+            WalRecord::decode(&rec.encode()),
+            Err(CodecError::Malformed(_))
+        ));
+        assert!(matches!(
+            WalRecord::decode(&[0xEE]),
+            Err(CodecError::Malformed(_))
+        ));
+        // A known-good record must still name a parseable semantics.
+        let ok = WalRecord::RegisterDatalog {
+            name: "v".into(),
+            semantics: semantics_name(algrec_datalog::Semantics::Stratified),
+            program: "p(X) :- q(X).".into(),
+        };
+        assert_eq!(WalRecord::decode(&ok.encode()).unwrap(), ok);
+    }
+}

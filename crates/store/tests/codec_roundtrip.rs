@@ -1,0 +1,279 @@
+//! Property tests for the store codec: every encodable state decodes
+//! back to itself (values, deltas, WAL records, whole snapshots), and
+//! every damaged input — strict truncation, bit flips, format-version
+//! bumps — is *rejected*, never misread. The codec is the trust root of
+//! the durability story; these properties are what "stable versioned
+//! binary format" means operationally.
+
+use algrec_datalog::Semantics;
+use algrec_serve::ViewDef;
+use algrec_store::codec::{crc32, decode_value, encode_value, CodecError, Reader, HEADER_LEN};
+use algrec_store::snapshot::{decode_snapshot, encode_snapshot, SnapshotState};
+use algrec_store::WalRecord;
+use algrec_value::{Database, DatabaseDelta, Value};
+use proptest::prelude::*;
+
+fn arb_value() -> BoxedStrategy<Value> {
+    let leaf = prop_oneof![
+        any::<bool>().prop_map(Value::Bool),
+        (-1_000_000i64..1_000_000).prop_map(Value::int),
+        "[a-zA-Z0-9 _.:αβγ-]{0,12}".prop_map(Value::str),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Value::tuple),
+            prop::collection::btree_set(inner, 0..4).prop_map(Value::Set),
+        ]
+    })
+}
+
+fn arb_delta() -> impl Strategy<Value = DatabaseDelta> {
+    prop::collection::vec(
+        (
+            prop::sample::select(&["e", "n", "edge", "fact"]),
+            any::<bool>(),
+            arb_value(),
+        ),
+        0..12,
+    )
+    .prop_map(|ops| {
+        let mut delta = DatabaseDelta::new();
+        for (rel, insert, v) in ops {
+            if insert {
+                delta.insert(rel, v);
+            } else {
+                delta.remove(rel, v);
+            }
+        }
+        delta
+    })
+}
+
+fn arb_semantics() -> impl Strategy<Value = Semantics> {
+    prop::sample::select(&[
+        Semantics::Naive,
+        Semantics::SemiNaive,
+        Semantics::Stratified,
+        Semantics::Inflationary,
+        Semantics::WellFounded,
+        Semantics::Valid,
+        Semantics::ValidExtended(3),
+        Semantics::ValidExtended(17),
+    ])
+}
+
+fn arb_record() -> impl Strategy<Value = WalRecord> {
+    let name = "[a-z][a-z0-9_]{0,8}";
+    let program = "[a-zA-Z0-9 (),.:&*{}?-]{0,40}";
+    prop_oneof![
+        arb_delta().prop_map(WalRecord::Delta),
+        (name, arb_semantics(), program).prop_map(|(name, semantics, program)| {
+            WalRecord::RegisterDatalog {
+                name,
+                semantics: algrec_serve::semantics_name(semantics),
+                program,
+            }
+        }),
+        (name, program).prop_map(|(name, program)| WalRecord::RegisterAlgebra { name, program }),
+        name.prop_map(|name| WalRecord::Unregister { name }),
+    ]
+}
+
+fn arb_snapshot() -> impl Strategy<Value = SnapshotState> {
+    let db = prop::collection::vec(
+        (
+            prop::sample::select(&["e", "n", "edge", "empty"]),
+            prop::collection::btree_set(arb_value(), 0..6),
+        ),
+        0..4,
+    )
+    .prop_map(|rels| {
+        let mut db = Database::new();
+        for (name, members) in rels {
+            if !db.contains(name) {
+                // Register even when `members` is empty: empty relations
+                // must survive snapshots.
+                db.set(name, algrec_value::Relation::new());
+            }
+            for v in members {
+                db.insert_value(name, v);
+            }
+        }
+        db
+    });
+    let views = prop::collection::vec(
+        (
+            "[a-z][a-z0-9]{0,6}",
+            any::<bool>(),
+            arb_semantics(),
+            "[a-zA-Z0-9 (),.:-]{0,30}",
+        ),
+        0..4,
+    )
+    .prop_map(|defs| {
+        let mut out: Vec<ViewDef> = Vec::new();
+        for (name, algebra, semantics, program) in defs {
+            if out.iter().any(|v| v.name == name) {
+                continue;
+            }
+            out.push(if algebra {
+                ViewDef {
+                    name,
+                    kind: "algebra",
+                    program,
+                    semantics: None,
+                }
+            } else {
+                ViewDef {
+                    name,
+                    kind: "datalog",
+                    program,
+                    semantics: Some(semantics),
+                }
+            });
+        }
+        out
+    });
+    (db, views).prop_map(|(db, views)| SnapshotState { db, views })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// decode ∘ encode = identity on arbitrary (nested) values, with no
+    /// bytes left over.
+    #[test]
+    fn value_round_trip(v in arb_value()) {
+        let mut bytes = Vec::new();
+        encode_value(&v, &mut bytes);
+        let mut r = Reader::new(&bytes);
+        prop_assert_eq!(decode_value(&mut r).unwrap(), v);
+        prop_assert_eq!(r.remaining(), 0);
+    }
+
+    /// Every strict prefix of a value encoding is rejected — the codec
+    /// never fabricates a value from a short read.
+    #[test]
+    fn value_truncation_rejected(v in arb_value()) {
+        let mut bytes = Vec::new();
+        encode_value(&v, &mut bytes);
+        // Decoding follows the same structure encoding wrote, so a
+        // strict prefix always runs out of bytes mid-parse.
+        for cut in 0..bytes.len() {
+            let mut r = Reader::new(&bytes[..cut]);
+            prop_assert!(
+                decode_value(&mut r).is_err(),
+                "prefix of {cut}/{} bytes decoded",
+                bytes.len()
+            );
+        }
+    }
+
+    /// WAL records round-trip through their framed payloads.
+    #[test]
+    fn wal_record_round_trip(rec in arb_record()) {
+        prop_assert_eq!(WalRecord::decode(&rec.encode()).unwrap(), rec);
+    }
+
+    /// Deltas round-trip: adds and removes, per relation, exactly — up
+    /// to canonical form (relation entries whose changes cancelled out
+    /// to nothing are dropped by the encoder).
+    #[test]
+    fn delta_round_trip(delta in arb_delta()) {
+        let rec = WalRecord::Delta(delta.clone());
+        let WalRecord::Delta(back) = WalRecord::decode(&rec.encode()).unwrap() else {
+            panic!("delta expected");
+        };
+        let mut expected = DatabaseDelta::new();
+        for (name, rel) in delta.iter() {
+            for v in rel.added() {
+                expected.insert(name.to_string(), v.clone());
+            }
+            for v in rel.removed() {
+                expected.remove(name.to_string(), v.clone());
+            }
+        }
+        prop_assert_eq!(back, expected);
+    }
+
+    /// Snapshots round-trip the full database (empty relations included)
+    /// and the complete view catalog.
+    #[test]
+    fn snapshot_round_trip(state in arb_snapshot()) {
+        let image = encode_snapshot(&state);
+        prop_assert_eq!(decode_snapshot(&image).unwrap(), state);
+    }
+
+    /// Every strict prefix of a snapshot image fails to decode: there is
+    /// no such thing as "most of a snapshot".
+    #[test]
+    fn snapshot_truncation_rejected(state in arb_snapshot()) {
+        let image = encode_snapshot(&state);
+        for cut in 0..image.len() {
+            prop_assert!(
+                decode_snapshot(&image[..cut]).is_err(),
+                "snapshot prefix of {cut}/{} bytes decoded",
+                image.len()
+            );
+        }
+    }
+
+    /// A bumped format version is rejected no matter what follows.
+    #[test]
+    fn snapshot_version_bump_rejected(state in arb_snapshot(), bump in 1u16..500) {
+        let mut image = encode_snapshot(&state);
+        let version = algrec_store::codec::VERSION.wrapping_add(bump);
+        image[8..10].copy_from_slice(&version.to_le_bytes());
+        prop_assert!(matches!(
+            decode_snapshot(&image),
+            Err(CodecError::Version(v)) if v == version
+        ));
+    }
+
+    /// Any single-byte corruption below the payload is caught: header
+    /// damage fails header checks, record damage fails the CRC.
+    #[test]
+    fn snapshot_bit_flip_rejected(state in arb_snapshot(), pos_seed in any::<u32>(), bit in 0u8..8) {
+        let mut image = encode_snapshot(&state);
+        let pos = pos_seed as usize % image.len();
+        image[pos] ^= 1 << bit;
+        prop_assert!(
+            decode_snapshot(&image).is_err(),
+            "flip of bit {bit} at byte {pos}/{} went unnoticed",
+            image.len()
+        );
+    }
+}
+
+/// The CRC distinguishes all 256 single-byte corruptions of a payload —
+/// a deterministic spot check of the checksum actually checking.
+#[test]
+fn crc_catches_every_single_byte_change() {
+    let payload = b"algrec store codec baseline payload";
+    let base = crc32(payload);
+    for i in 0..payload.len() {
+        for delta in 1..=255u8 {
+            let mut copy = payload.to_vec();
+            copy[i] = copy[i].wrapping_add(delta);
+            assert_ne!(crc32(&copy), base, "byte {i} + {delta} collided");
+        }
+    }
+}
+
+/// Headers are position-checked: a snapshot body glued after a WAL
+/// header is rejected as the wrong kind, not half-read.
+#[test]
+fn kind_confusion_is_rejected() {
+    let state = SnapshotState {
+        db: Database::new(),
+        views: Vec::new(),
+    };
+    let image = encode_snapshot(&state);
+    let mut wal_headed = Vec::new();
+    algrec_store::codec::write_header(&mut wal_headed, algrec_store::codec::FileKind::Wal);
+    wal_headed.extend_from_slice(&image[HEADER_LEN..]);
+    assert!(matches!(
+        decode_snapshot(&wal_headed),
+        Err(CodecError::WrongKind { .. })
+    ));
+}

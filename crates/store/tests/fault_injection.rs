@@ -1,0 +1,412 @@
+//! Fault injection: crash the store every way we can and prove recovery
+//! restores **exactly the committed prefix** — the state after the last
+//! WAL record that made it to disk intact, with view answers
+//! bit-identical to a cold evaluation of that state.
+//!
+//! Faults exercised:
+//! * clean restart (the trivial crash) after random op sequences;
+//! * truncation of the WAL at *every* byte offset (torn tail);
+//! * single-byte corruption at arbitrary offsets (bit rot / torn write);
+//! * a writer that dies partway through an append, via the [`LogFile`]
+//!   shim — the kill-mid-append case where the tail is garbage the
+//!   moment the process vanishes;
+//! * crash-equivalent restarts across automatic snapshot+compaction
+//!   boundaries.
+
+use algrec_datalog::Semantics;
+use algrec_serve::{QueryAnswer, Session};
+use algrec_store::snapshot::wal_path;
+use algrec_store::{open, LogFile, StoreOptions, SyncPolicy, Wal, WalRecord};
+use algrec_value::{Budget, Database, DatabaseDelta, Trace, Value};
+use proptest::prelude::*;
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const TC: &str = "tc(X, Y) :- e(X, Y).\ntc(X, Z) :- tc(X, Y), e(Y, Z).";
+const WIN: &str = "win(X) :- e(X, Y), not win(Y).";
+
+static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+/// A unique, self-cleaning store directory per test case.
+struct TestDir(PathBuf);
+
+impl TestDir {
+    fn new(tag: &str) -> TestDir {
+        let path = std::env::temp_dir().join(format!(
+            "algrec-fault-{tag}-{}-{}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::SeqCst)
+        ));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).unwrap();
+        TestDir(path)
+    }
+}
+
+impl Drop for TestDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// One randomized session operation.
+#[derive(Clone, Debug)]
+enum Op {
+    Assert(i64, i64),
+    Retract(i64, i64),
+    RegisterTc,
+    RegisterWin,
+    Unregister(&'static str),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..5i64, 0..5i64).prop_map(|(a, b)| Op::Assert(a, b)),
+        (0..5i64, 0..5i64).prop_map(|(a, b)| Op::Assert(a, b)),
+        (0..5i64, 0..5i64).prop_map(|(a, b)| Op::Retract(a, b)),
+        Just(Op::RegisterTc),
+        Just(Op::RegisterWin),
+        prop::sample::select(&["paths", "game"]).prop_map(Op::Unregister),
+    ]
+}
+
+/// Apply one op, tolerating domain errors (duplicate registration,
+/// unknown view): those never reach the log, which is the point — only
+/// *committed* changes are durable.
+fn run_op(session: &mut Session, op: &Op) {
+    match op {
+        Op::Assert(a, b) => {
+            let _ = session.assert_fact(&format!("e({a}, {b})"));
+        }
+        Op::Retract(a, b) => {
+            let _ = session.retract_fact(&format!("e({a}, {b})"));
+        }
+        Op::RegisterTc => {
+            let _ = session.register_datalog("paths", TC, Semantics::Stratified);
+        }
+        Op::RegisterWin => {
+            let _ = session.register_datalog("game", WIN, Semantics::Valid);
+        }
+        Op::Unregister(name) => {
+            let _ = session.unregister(name);
+        }
+    }
+}
+
+/// Every view's full answer, in catalog order.
+fn all_answers(session: &mut Session) -> Vec<(String, QueryAnswer)> {
+    session
+        .catalog()
+        .iter()
+        .map(|v| (v.name.clone(), session.query(&v.name, None).unwrap()))
+        .collect()
+}
+
+/// Assert `session` is exactly `db` + `views`, and that its answers are
+/// bit-identical to a cold evaluation of the same state.
+fn assert_state(session: &mut Session, db: &Database, answers: &[(String, QueryAnswer)]) {
+    assert_eq!(session.db(), db, "recovered EDB differs");
+    let recovered = all_answers(session);
+    assert_eq!(recovered, answers, "recovered view answers differ");
+    algrec_store::verify_against_cold(session).expect("cold-eval divergence");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Clean restart: whatever a session committed, reopening the store
+    /// reproduces it exactly — EDB, catalog, and every view answer.
+    #[test]
+    fn restart_reproduces_committed_state(ops in prop::collection::vec(arb_op(), 1..20)) {
+        let dir = TestDir::new("restart");
+        let options = StoreOptions { sync: SyncPolicy::Always, snapshot_every: None };
+        let (mut session, report) =
+            open(&dir.0, Budget::SMALL, options, Trace::default()).unwrap();
+        prop_assert!(!report.restored_anything());
+        for op in &ops {
+            run_op(&mut session, op);
+        }
+        let db = session.db().clone();
+        let answers = all_answers(&mut session);
+        drop(session); // "crash": no orderly close exists, none is needed
+
+        let (mut recovered, report) =
+            open(&dir.0, Budget::SMALL, options, Trace::default()).unwrap();
+        prop_assert_eq!(report.snapshot_gen, None);
+        assert_state(&mut recovered, &db, &answers);
+    }
+
+    /// Torn tail: truncate the WAL at an arbitrary byte offset. Recovery
+    /// must restore the longest intact record prefix — computed here
+    /// independently by replaying that many ops on a parallel session.
+    #[test]
+    fn truncation_restores_longest_intact_prefix(
+        ops in prop::collection::vec(arb_op(), 1..14),
+        cut_seed in any::<u32>(),
+    ) {
+        let dir = TestDir::new("trunc");
+        let options = StoreOptions { sync: SyncPolicy::Always, snapshot_every: None };
+        let (mut session, _) = open(&dir.0, Budget::SMALL, options, Trace::default()).unwrap();
+        for op in &ops {
+            run_op(&mut session, op);
+        }
+        drop(session);
+
+        let log = wal_path(&dir.0, 0);
+        let bytes = std::fs::read(&log).unwrap();
+        let cut = algrec_store::codec::HEADER_LEN
+            + cut_seed as usize % (bytes.len() - algrec_store::codec::HEADER_LEN + 1);
+        std::fs::write(&log, &bytes[..cut]).unwrap();
+
+        // How many records survive the cut decides the expected state.
+        let surviving = algrec_store::wal::read_wal(&bytes[..cut]).unwrap().records;
+        let mut expected = Session::new(Budget::SMALL);
+        replay_reference(&mut expected, &surviving);
+        let db = expected.db().clone();
+        let answers = all_answers(&mut expected);
+
+        let (mut recovered, report) =
+            open(&dir.0, Budget::SMALL, options, Trace::default()).unwrap();
+        prop_assert_eq!(report.replayed, surviving.len());
+        assert_state(&mut recovered, &db, &answers);
+
+        // The truncation is persistent: the next open sees a clean log.
+        drop(recovered);
+        let (_, report) = open(&dir.0, Budget::SMALL, options, Trace::default()).unwrap();
+        prop_assert_eq!(report.truncated_bytes, 0);
+    }
+
+    /// Bit flip: corrupt one byte anywhere after the header. Recovery
+    /// keeps exactly the records before the damaged one.
+    #[test]
+    fn corruption_restores_prefix_before_damage(
+        ops in prop::collection::vec(arb_op(), 2..14),
+        pos_seed in any::<u32>(),
+        flip in 1u8..=255,
+    ) {
+        let dir = TestDir::new("flip");
+        let options = StoreOptions { sync: SyncPolicy::Always, snapshot_every: None };
+        let (mut session, _) = open(&dir.0, Budget::SMALL, options, Trace::default()).unwrap();
+        for op in &ops {
+            run_op(&mut session, op);
+        }
+        drop(session);
+
+        let log = wal_path(&dir.0, 0);
+        let mut bytes = std::fs::read(&log).unwrap();
+        let header = algrec_store::codec::HEADER_LEN;
+        let pos = header + pos_seed as usize % (bytes.len() - header);
+        bytes[pos] ^= flip;
+        std::fs::write(&log, &bytes).unwrap();
+
+        let survivors = algrec_store::wal::read_wal(&bytes).unwrap().records;
+        let mut expected = Session::new(Budget::SMALL);
+        replay_reference(&mut expected, &survivors);
+        let db = expected.db().clone();
+        let answers = all_answers(&mut expected);
+
+        let (mut recovered, report) =
+            open(&dir.0, Budget::SMALL, options, Trace::default()).unwrap();
+        prop_assert_eq!(report.replayed, survivors.len());
+        assert_state(&mut recovered, &db, &answers);
+    }
+
+    /// Snapshots + compaction change nothing observable: with aggressive
+    /// auto-snapshotting, restarts at arbitrary points still reproduce
+    /// the committed state, and the log directory stays compacted.
+    #[test]
+    fn snapshot_compaction_preserves_state_across_restarts(
+        rounds in prop::collection::vec(prop::collection::vec(arb_op(), 1..6), 1..4),
+        every in 1usize..4,
+    ) {
+        let dir = TestDir::new("snap");
+        let options = StoreOptions { sync: SyncPolicy::Always, snapshot_every: Some(every) };
+        let mut db = Database::new();
+        let mut answers = Vec::new();
+        for ops in &rounds {
+            let (mut session, report) =
+                open(&dir.0, Budget::SMALL, options, Trace::default()).unwrap();
+            assert_state(&mut session, &db, &answers);
+            prop_assert!(report.replayed < every + 1, "log was not being compacted");
+            for op in ops {
+                run_op(&mut session, op);
+            }
+            db = session.db().clone();
+            answers = all_answers(&mut session);
+        }
+        // At most one live generation pair after all that churn.
+        let snaps = algrec_store::snapshot::snapshot_generations(&dir.0).unwrap();
+        let wals = algrec_store::snapshot::wal_generations(&dir.0).unwrap();
+        prop_assert!(snaps.len() <= 1, "snapshots not compacted: {snaps:?}");
+        prop_assert_eq!(wals.len(), 1);
+    }
+}
+
+/// Replay reference: apply decoded records to a plain session the same
+/// way recovery does, as an independent oracle for expected state.
+fn replay_reference(session: &mut Session, records: &[WalRecord]) {
+    for record in records {
+        match record {
+            WalRecord::Delta(delta) => {
+                session.apply_delta(delta).unwrap();
+            }
+            WalRecord::RegisterDatalog {
+                name,
+                semantics,
+                program,
+            } => {
+                let semantics = algrec_serve::parse_semantics(semantics).unwrap();
+                session.register_datalog(name, program, semantics).unwrap();
+            }
+            WalRecord::RegisterAlgebra { name, program } => {
+                session.register_algebra(name, program).unwrap();
+            }
+            WalRecord::Unregister { name } => {
+                session.unregister(name).unwrap();
+            }
+        }
+    }
+}
+
+/// A log file that dies after writing `budget` more bytes, leaving a
+/// half-written record on disk — byte-exact what SIGKILL mid-append (or
+/// a power cut mid-write) leaves behind.
+struct DyingFile {
+    inner: std::fs::File,
+    budget: usize,
+}
+
+impl LogFile for DyingFile {
+    fn append(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        if bytes.len() <= self.budget {
+            self.budget -= bytes.len();
+            self.inner.write_all(bytes)
+        } else {
+            let partial = &bytes[..self.budget];
+            self.budget = 0;
+            self.inner.write_all(partial)?;
+            self.inner.sync_data()?;
+            Err(std::io::Error::other("simulated crash mid-append"))
+        }
+    }
+    fn sync(&mut self) -> std::io::Result<()> {
+        self.inner.sync_data()
+    }
+}
+
+/// Kill mid-append: a writer with a byte budget dies partway through a
+/// record. Everything fully appended before the death recovers; the
+/// half-record does not, and is truncated away.
+#[test]
+fn kill_mid_append_recovers_committed_prefix() {
+    let mut delta_of = |k: i64| {
+        let mut d = DatabaseDelta::new();
+        d.insert("e", Value::pair(Value::int(k), Value::int(k + 1)));
+        WalRecord::Delta(d)
+    };
+    let records: Vec<WalRecord> = (0..40).map(&mut delta_of).collect();
+    let frame_bytes = |r: &WalRecord| algrec_store::codec::frame_record(&r.encode()).len();
+    let header = algrec_store::codec::HEADER_LEN;
+
+    // Die at every interesting offset: record boundaries and mid-record.
+    let mut budgets = vec![header, header + 1];
+    let mut acc = header;
+    for r in &records {
+        let n = frame_bytes(r);
+        budgets.push(acc + n / 2);
+        budgets.push(acc + n);
+        acc += n;
+    }
+
+    for budget in budgets {
+        let dir = TestDir::new("kill");
+        let log = wal_path(&dir.0, 0);
+        let file = DyingFile {
+            inner: std::fs::File::create(&log).unwrap(),
+            budget,
+        };
+        let mut committed = 0usize;
+        match Wal::create(Box::new(file), SyncPolicy::Always, Trace::default()) {
+            Err(_) => {} // died inside the header: an empty store
+            Ok(mut wal) => {
+                for record in &records {
+                    match wal.append(record) {
+                        Ok(_) => committed += 1,
+                        Err(_) => break,
+                    }
+                }
+            }
+        }
+
+        let options = StoreOptions {
+            sync: SyncPolicy::Always,
+            snapshot_every: None,
+        };
+        let (mut recovered, report) =
+            open(&dir.0, Budget::SMALL, options, Trace::default()).unwrap();
+        assert_eq!(
+            report.replayed, committed,
+            "budget {budget}: wrong committed prefix recovered"
+        );
+        let mut expected = Session::new(Budget::SMALL);
+        replay_reference(&mut expected, &records[..committed]);
+        assert_eq!(recovered.db(), expected.db(), "budget {budget}");
+        // And the store keeps working after the repair.
+        recovered.assert_fact("e(100, 101)").unwrap();
+    }
+}
+
+/// An unreadable (version-bumped) WAL must refuse to open rather than
+/// come up empty and silently orphan committed data.
+#[test]
+fn version_bumped_log_refuses_to_open() {
+    let dir = TestDir::new("version");
+    let options = StoreOptions {
+        sync: SyncPolicy::Always,
+        snapshot_every: None,
+    };
+    let (mut session, _) = open(&dir.0, Budget::SMALL, options, Trace::default()).unwrap();
+    session.assert_fact("e(1, 2)").unwrap();
+    drop(session);
+
+    let log = wal_path(&dir.0, 0);
+    let mut bytes = std::fs::read(&log).unwrap();
+    bytes[8] = 0x63;
+    std::fs::write(&log, &bytes).unwrap();
+
+    let Err(err) = open(&dir.0, Budget::SMALL, options, Trace::default()) else {
+        panic!("version-bumped log opened");
+    };
+    assert!(
+        matches!(err, algrec_store::StoreError::Corrupt { .. }),
+        "unexpected error: {err}"
+    );
+}
+
+/// Recovery telemetry: replayed records and snapshot writes surface in
+/// the trace a front end passes in (`--trace` shows them).
+#[test]
+fn recovery_and_snapshot_emit_trace_events() {
+    let dir = TestDir::new("trace");
+    let options = StoreOptions {
+        sync: SyncPolicy::Always,
+        snapshot_every: Some(2),
+    };
+    let trace = Trace::collect();
+    let (mut session, _) = open(&dir.0, Budget::SMALL, options, trace.clone()).unwrap();
+    for k in 0..5 {
+        session.assert_fact(&format!("e({k}, {})", k + 1)).unwrap();
+    }
+    let stats = trace.stats().unwrap();
+    assert_eq!(stats.store.wal_records, 5);
+    assert!(stats.store.wal_fsyncs >= 5);
+    assert!(stats.store.snapshots >= 2, "snapshot_every=2 over 5 ops");
+    assert!(stats.store.snapshot_bytes > 0);
+    drop(session);
+
+    let trace = Trace::collect();
+    let (_, report) = open(&dir.0, Budget::SMALL, options, trace.clone()).unwrap();
+    let stats = trace.stats().unwrap();
+    assert_eq!(stats.store.recovery_replayed, report.replayed);
+}

@@ -56,7 +56,7 @@ pub use index::ColumnIndex;
 pub use intern::{Symbol, Vid};
 pub use relation::{Database, Relation};
 pub use stats::{
-    CollectSink, EvalStats, LogSink, NullSink, PhaseStats, Trace, TraceEvent, TraceSink,
+    CollectSink, EvalStats, LogSink, NullSink, PhaseStats, StoreStats, Trace, TraceEvent, TraceSink,
 };
 pub use truth::Truth;
 pub use tvset::TvSet;

@@ -57,6 +57,17 @@ pub enum TraceEvent {
     Materialized(usize),
     /// Snapshot of the global interner sizes: `(values, symbols)`.
     Interner(usize, usize),
+    /// One record was appended to the durable write-ahead log; the
+    /// payload is the on-disk size of the framed record in bytes.
+    WalAppend(usize),
+    /// The write-ahead log was fsynced once.
+    WalSync,
+    /// One snapshot of the serving session was written durably; the
+    /// payload is the snapshot file size in bytes.
+    SnapshotWrite(usize),
+    /// Crash recovery replayed this many write-ahead-log records through
+    /// the live session. Emitted once per recovery.
+    RecoveryReplay(usize),
 }
 
 /// Consumer of [`TraceEvent`]s.
@@ -91,6 +102,26 @@ pub struct PhaseStats {
     pub wall_nanos: u64,
 }
 
+/// Aggregated durable-store counters (write-ahead log, snapshots,
+/// recovery) — populated by `algrec-store` when a session runs with
+/// `--data-dir`, all zero otherwise.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Records appended to the write-ahead log.
+    pub wal_records: usize,
+    /// Bytes appended to the write-ahead log (framed records, excluding
+    /// the file header).
+    pub wal_bytes: usize,
+    /// fsyncs issued against the write-ahead log.
+    pub wal_fsyncs: usize,
+    /// Snapshots written.
+    pub snapshots: usize,
+    /// Bytes written across all snapshots.
+    pub snapshot_bytes: usize,
+    /// Write-ahead-log records replayed by crash recovery.
+    pub recovery_replayed: usize,
+}
+
 /// Aggregated telemetry for one evaluation.
 ///
 /// Produced by [`CollectSink`]; serialized into `BENCH_N.json` by the
@@ -122,6 +153,8 @@ pub struct EvalStats {
     pub interned_values: usize,
     /// Global symbol-interner size at the last snapshot.
     pub interned_symbols: usize,
+    /// Durable-store activity (WAL appends/fsyncs, snapshots, recovery).
+    pub store: StoreStats,
 }
 
 fn json_str(s: &str) -> String {
@@ -166,7 +199,10 @@ impl EvalStats {
         format!(
             "{{\"iterations\":{},\"facts_inserted\":{},\"facts_materialized\":{},\
              \"deltas\":{},\"index\":{{\"builds\":{},\"probes\":{},\"hits\":{}}},\
-             \"interned\":{{\"values\":{},\"symbols\":{}}},\"phases\":[{}]}}",
+             \"interned\":{{\"values\":{},\"symbols\":{}}},\
+             \"store\":{{\"wal_records\":{},\"wal_bytes\":{},\"wal_fsyncs\":{},\
+             \"snapshots\":{},\"snapshot_bytes\":{},\"recovery_replayed\":{}}},\
+             \"phases\":[{}]}}",
             self.iterations,
             self.facts_inserted,
             self.facts_materialized,
@@ -176,6 +212,12 @@ impl EvalStats {
             self.index_hits,
             self.interned_values,
             self.interned_symbols,
+            self.store.wal_records,
+            self.store.wal_bytes,
+            self.store.wal_fsyncs,
+            self.store.snapshots,
+            self.store.snapshot_bytes,
+            self.store.recovery_replayed,
             phases.join(",")
         )
     }
@@ -197,6 +239,19 @@ impl fmt::Display for EvalStats {
             self.interned_values,
             self.interned_symbols
         )?;
+        if self.store != StoreStats::default() {
+            writeln!(
+                f,
+                "store: {} WAL record(s) / {} byte(s) / {} fsync(s) | \
+                 {} snapshot(s) ({} bytes) | {} record(s) replayed on recovery",
+                self.store.wal_records,
+                self.store.wal_bytes,
+                self.store.wal_fsyncs,
+                self.store.snapshots,
+                self.store.snapshot_bytes,
+                self.store.recovery_replayed
+            )?;
+        }
         for (name, p) in &self.phases {
             write!(
                 f,
@@ -301,6 +356,16 @@ impl TraceSink for CollectSink {
                 self.stats.interned_values = values;
                 self.stats.interned_symbols = symbols;
             }
+            TraceEvent::WalAppend(bytes) => {
+                self.stats.store.wal_records += 1;
+                self.stats.store.wal_bytes += bytes;
+            }
+            TraceEvent::WalSync => self.stats.store.wal_fsyncs += 1,
+            TraceEvent::SnapshotWrite(bytes) => {
+                self.stats.store.snapshots += 1;
+                self.stats.store.snapshot_bytes += bytes;
+            }
+            TraceEvent::RecoveryReplay(n) => self.stats.store.recovery_replayed += n,
         }
     }
 }
@@ -366,7 +431,16 @@ impl TraceSink for LogSink {
             TraceEvent::Materialized(n) => {
                 let _ = writeln!(self.out, "% trace: {pad}materialized {n} fact(s)");
             }
-            // Iterations, fact counts, index traffic and interner
+            TraceEvent::WalAppend(bytes) => {
+                let _ = writeln!(self.out, "% trace: {pad}wal append ({bytes} bytes)");
+            }
+            TraceEvent::SnapshotWrite(bytes) => {
+                let _ = writeln!(self.out, "% trace: {pad}snapshot written ({bytes} bytes)");
+            }
+            TraceEvent::RecoveryReplay(n) => {
+                let _ = writeln!(self.out, "% trace: {pad}recovery replayed {n} record(s)");
+            }
+            // Iterations, fact counts, index traffic, fsyncs and interner
             // snapshots are high-frequency; they go to the summary only.
             _ => {}
         }
@@ -480,6 +554,35 @@ mod tests {
         assert_eq!(s.index_hits, 1);
         assert_eq!(s.interned_values, 10);
         assert_eq!(s.interned_symbols, 3);
+    }
+
+    #[test]
+    fn store_events_aggregate_and_serialize() {
+        let mut sink = CollectSink::default();
+        sink.event(&TraceEvent::WalAppend(40));
+        sink.event(&TraceEvent::WalAppend(24));
+        sink.event(&TraceEvent::WalSync);
+        sink.event(&TraceEvent::SnapshotWrite(128));
+        sink.event(&TraceEvent::RecoveryReplay(3));
+        let s = sink.into_stats();
+        assert_eq!(s.store.wal_records, 2);
+        assert_eq!(s.store.wal_bytes, 64);
+        assert_eq!(s.store.wal_fsyncs, 1);
+        assert_eq!(s.store.snapshots, 1);
+        assert_eq!(s.store.snapshot_bytes, 128);
+        assert_eq!(s.store.recovery_replayed, 3);
+        let j = s.to_json();
+        assert!(
+            j.contains(
+                "\"store\":{\"wal_records\":2,\"wal_bytes\":64,\"wal_fsyncs\":1,\
+                 \"snapshots\":1,\"snapshot_bytes\":128,\"recovery_replayed\":3}"
+            ),
+            "{j}"
+        );
+        let text = s.to_string();
+        assert!(text.contains("2 WAL record(s)"), "{text}");
+        // Sessions that never touch the store keep the summary clean.
+        assert!(!EvalStats::default().to_string().contains("WAL"));
     }
 
     #[test]

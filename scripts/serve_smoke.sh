@@ -4,6 +4,11 @@
 # /dev/tcp — no netcat dependency), and diff the reply transcript against
 # the committed golden file. Exits non-zero on any divergence.
 #
+# Runs the session twice: once in-memory (the default), once with
+# `--data-dir` — durability must not change a single reply byte. The
+# durable run is then restarted on the same directory and re-queried to
+# check the recovered state answers exactly like the pre-shutdown one.
+#
 # Usage: scripts/serve_smoke.sh            (builds target/release/algrec)
 #        ALGREC_BIN=path scripts/serve_smoke.sh
 set -euo pipefail
@@ -19,32 +24,63 @@ fi
 
 log=$(mktemp)
 replies=$(mktemp)
-"$BIN" serve >"$log" &
-server=$!
-trap 'kill "$server" 2>/dev/null || true; rm -f "$log" "$replies"' EXIT
+datadir=$(mktemp -d)
+server=""
+trap 'kill "$server" 2>/dev/null || true; rm -rf "$log" "$replies" "$datadir"' EXIT
 
-# The server prints `% listening on HOST:PORT` once bound (port 0 picks
-# an ephemeral port, so parallel CI legs never collide).
-for _ in $(seq 100); do
-  grep -q '^% listening on ' "$log" && break
-  sleep 0.1
-done
-addr=$(sed -n 's/^% listening on //p' "$log" | head -n 1)
-if [[ -z "$addr" ]]; then
-  echo "serve smoke test: server never announced an address" >&2
-  exit 1
-fi
-host=${addr%:*}
-port=${addr##*:}
+# Start the server (extra args pass through), wait for its address
+# banner, export host/port. Port 0 picks an ephemeral port, so parallel
+# CI legs never collide.
+start_server() {
+  : >"$log"
+  "$BIN" serve "$@" >"$log" 2>/dev/null &
+  server=$!
+  for _ in $(seq 100); do
+    grep -q '^% listening on ' "$log" && break
+    sleep 0.1
+  done
+  addr=$(sed -n 's/^% listening on //p' "$log" | head -n 1)
+  if [[ -z "$addr" ]]; then
+    echo "serve smoke test: server never announced an address" >&2
+    exit 1
+  fi
+  host=${addr%:*}
+  port=${addr##*:}
+}
 
-# One reply line per request line; the script ends in `shutdown`, which
-# also stops the server.
+# Send stdin to the server, one reply line per request line; the final
+# request should be `shutdown`, which also stops the server.
+drive() {
+  local n=$1
+  exec 3<>"/dev/tcp/$host/$port"
+  cat >&3
+  head -n "$n" <&3 >"$replies"
+  exec 3>&- 3<&-
+}
+
 n=$(grep -c . "$SESSION")
-exec 3<>"/dev/tcp/$host/$port"
-cat "$SESSION" >&3
-head -n "$n" <&3 >"$replies"
-exec 3>&- 3<&-
 
+# Leg 1: in-memory, byte-for-byte against the golden transcript.
+start_server
+drive "$n" <"$SESSION"
 diff -u "$GOLDEN" "$replies"
 wait "$server"
 echo "serve smoke test: OK ($n requests matched the golden transcript)"
+
+# Leg 2: the same session with a durable store attached — replies must
+# be identical; persistence is invisible to the protocol.
+start_server --data-dir "$datadir" --sync always
+drive "$n" <"$SESSION"
+diff -u "$GOLDEN" "$replies"
+wait "$server"
+echo "serve smoke test: OK (durable run matched the golden transcript)"
+
+# Leg 3: restart on the same directory; the recovered view must answer
+# the id-10 query exactly as the golden transcript did (id rewritten).
+start_server --data-dir "$datadir" --sync always
+printf '%s\n%s\n' \
+  '{"id": 10, "op": "query", "view": "paths", "pred": "tc"}' \
+  '{"id": 99, "op": "shutdown"}' | drive 2
+wait "$server"
+diff -u <(sed -n '10p' "$GOLDEN") <(head -n 1 "$replies")
+echo "serve smoke test: OK (restarted server reproduced the recovered view)"

@@ -6,8 +6,8 @@
 //! algrec spec   <spec.obj>    [--depth N]
 //! algrec translate <program.dl> --pred P [facts.dl]
 //! algrec stable <program.dl>  [facts.dl] [--cap N]
-//! algrec repl   [facts.dl]
-//! algrec serve  [facts.dl] [--addr HOST:PORT]
+//! algrec repl   [facts.dl] [--data-dir DIR] [--sync P] [--snapshot-every N]
+//! algrec serve  [facts.dl] [--addr HOST:PORT] [--data-dir DIR] [--sync P] [--snapshot-every N]
 //! ```
 //!
 //! * deduction programs use the Datalog syntax of `algrec_datalog::parser`;
@@ -25,6 +25,13 @@
 //!   session behind a newline-delimited-JSON TCP protocol (the server
 //!   prints `% listening on ADDR` once bound; `--addr` defaults to
 //!   `127.0.0.1:0`). See `algrec_serve` and DESIGN.md §10.
+//! * `--data-dir DIR` makes the session durable: state is recovered from
+//!   DIR on startup (write-ahead log + snapshots, see `algrec_store` and
+//!   DESIGN.md §13) and every committed change is logged. `--sync`
+//!   chooses the fsync policy (`always` default, `never`, `every-N`);
+//!   `--snapshot-every N` compacts the log into a snapshot every N
+//!   records (default 1024, `0` disables). Without `--data-dir` the
+//!   session is in-memory, exactly as before.
 
 use algrec::prelude::*;
 use algrec::serve::parse_semantics;
@@ -56,6 +63,9 @@ struct Args {
     cap: usize,
     trace: bool,
     addr: Option<String>,
+    data_dir: Option<String>,
+    sync: algrec::store::SyncPolicy,
+    snapshot_every: Option<usize>,
 }
 
 fn parse_args(raw: &[String]) -> Result<Args, String> {
@@ -67,6 +77,9 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
         cap: 16,
         trace: false,
         addr: None,
+        data_dir: None,
+        sync: algrec::store::SyncPolicy::Always,
+        snapshot_every: Some(1024),
     };
     let mut it = raw.iter();
     while let Some(a) = it.next() {
@@ -92,6 +105,21 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
                     .map_err(|e| format!("--cap: {e}"))?;
             }
             "--addr" => args.addr = Some(it.next().ok_or("--addr needs a value")?.clone()),
+            "--data-dir" => {
+                args.data_dir = Some(it.next().ok_or("--data-dir needs a value")?.clone())
+            }
+            "--sync" => {
+                args.sync =
+                    algrec::store::SyncPolicy::parse(it.next().ok_or("--sync needs a value")?)?
+            }
+            "--snapshot-every" => {
+                let n: usize = it
+                    .next()
+                    .ok_or("--snapshot-every needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--snapshot-every: {e}"))?;
+                args.snapshot_every = (n > 0).then_some(n);
+            }
             other if other.starts_with("--") => return Err(format!("unknown flag `{other}`")),
             other => args.positional.push(other.to_string()),
         }
@@ -250,9 +278,43 @@ fn cmd_stable(a: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// Build a serving session, preloading an optional facts file.
+/// Build a serving session, preloading an optional facts file. With
+/// `--data-dir` the session is durable: recovered from the directory,
+/// then write-ahead-logging every committed change. The recovery report
+/// goes to stderr so stdout stays protocol-clean for `serve`.
 fn session_of(a: &Args) -> Result<Session, String> {
-    let mut session = Session::new(Budget::LARGE);
+    let mut session = match &a.data_dir {
+        Some(dir) => {
+            let options = algrec::store::StoreOptions {
+                sync: a.sync,
+                snapshot_every: a.snapshot_every,
+            };
+            let (session, report) = algrec::store::open(
+                std::path::Path::new(dir),
+                Budget::LARGE,
+                options,
+                trace_of(a),
+            )
+            .map_err(|e| format!("{dir}: {e}"))?;
+            if report.restored_anything() {
+                eprintln!(
+                    "% recovered from {dir}: snapshot {} ({} relation(s), {} view(s)), \
+                     {} log record(s) replayed, {} torn byte(s) truncated",
+                    report
+                        .snapshot_gen
+                        .map_or("none".to_string(), |g| g.to_string()),
+                    report.snapshot_relations,
+                    report.snapshot_views,
+                    report.replayed,
+                    report.truncated_bytes,
+                );
+            }
+            session
+        }
+        None => Session::new(Budget::LARGE),
+    };
+    // Re-loading the same facts file into a recovered session is a
+    // no-op: only the *effective* delta is applied and logged.
     if let Some(path) = a.positional.first() {
         let text = read(path)?;
         session.load(&text).map_err(|e| format!("{path}: {e}"))?;

@@ -20,7 +20,9 @@
 //! * [`translate`] — the Section 5/6 translations and the theorem
 //!   harnesses;
 //! * [`serve`] — the incremental materialized-view session engine behind
-//!   `algrec repl` and the `algrec serve` line-protocol server.
+//!   `algrec repl` and the `algrec serve` line-protocol server;
+//! * [`store`] — the durable store under the serving layer: write-ahead
+//!   log, snapshots, and crash recovery (`--data-dir`).
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-claim-by-claim verification record.
@@ -52,6 +54,7 @@ pub use algrec_adt as adt;
 pub use algrec_core as core;
 pub use algrec_datalog as datalog;
 pub use algrec_serve as serve;
+pub use algrec_store as store;
 pub use algrec_translate as translate;
 pub use algrec_value as value;
 
