@@ -1,4 +1,4 @@
-//! Print every experiment table (E1–E9) and write the machine-readable
+//! Print every experiment table (E1–E10) and write the machine-readable
 //! report. Each experiment asserts its claimed equivalences, so a clean
 //! run is itself a reproduction check.
 //!
@@ -8,11 +8,11 @@
 //!   cargo run -p algrec-bench --bin tables --release -- --json out.json
 //!   cargo run -p algrec-bench --bin tables --release -- --stats # + telemetry
 //!
-//! The report (default `BENCH_2.json`) captures per-experiment headers,
+//! The report (default `BENCH_5.json`) captures per-experiment headers,
 //! rows, and raw numeric timings so the perf trajectory is tracked across
-//! PRs. With `--stats`, E1/E3/E4/E9 repeat each evaluation once traced
-//! (separately from the timed run, which stays untraced) and embed the
-//! collected `EvalStats` under each experiment's `"stats"` key.
+//! PRs. With `--stats`, E1/E3/E4/E9/E10 repeat each evaluation once
+//! traced (separately from the timed run, which stays untraced) and embed
+//! the collected `EvalStats` under each experiment's `"stats"` key.
 
 use algrec_bench::experiments as e;
 use algrec_bench::table::{report_json, Table};
@@ -26,7 +26,7 @@ fn main() {
         .position(|a| a == "--json")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_2.json".to_string());
+        .unwrap_or_else(|| "BENCH_5.json".to_string());
 
     let (small, medium): (Vec<i64>, Vec<i64>) = if quick {
         (vec![8, 16], vec![8, 12])
@@ -64,6 +64,7 @@ fn main() {
         *medium.last().expect("non-empty sweep"),
         stats,
     ));
+    run(e::e10(quick, stats));
 
     let refs: Vec<&Table> = tables.iter().collect();
     let report = report_json(&refs);

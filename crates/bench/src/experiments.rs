@@ -1,4 +1,4 @@
-//! The experiment suite E1–E8 (see DESIGN.md §7).
+//! The experiment suite E1–E10 (see DESIGN.md §7).
 //!
 //! The paper has no tables or figures; each experiment here *is* one of
 //! its claims, instrumented. Every runner both measures and **verifies**:
@@ -718,6 +718,208 @@ pub fn e9(n_exact: i64, n_valid: i64, stats: bool) -> Table {
     t
 }
 
+/// E10 — the concurrency subsystem, measured. Two parts:
+///
+/// * **Fixpoint fan-out** — semi-naive TC and the alternating-fixpoint
+///   WIN game on dense random graphs (past the engine's 256-fact
+///   parallel threshold) across worker counts {1, 2, 4, 8}, asserting at
+///   every width that the model and round count are identical to the
+///   sequential engine (the determinism proptest pins the full trace).
+/// * **Snapshot serving** — `k` reader threads answering a materialized
+///   TC view from the epoch-versioned [`algrec_serve::SharedSession`]
+///   read view vs. the single-threaded server re-rendering every answer
+///   live through the session. The acceptance claim is asserted here:
+///   the snapshot path at 4 readers must clear **2×** the
+///   single-threaded live throughput.
+///
+/// The thread override is process-global; E10 leaves the engine in
+/// sequential mode (`threads = 1`) on return.
+pub fn e10(quick: bool, stats: bool) -> Table {
+    use algrec_sched::set_threads;
+    use algrec_serve::{QueryAnswer, Session, SharedSession};
+
+    let mut t = Table::new(
+        "E10",
+        "Concurrency: parallel fixpoint scaling and snapshot-isolated serving",
+        &["part", "workload", "threads", "time", "throughput", "agree"],
+    );
+
+    // Part 1 — fixpoint fan-out.
+    let fix_edges = if quick { 300 } else { 600 };
+    let runs = [
+        (
+            "tc",
+            w::tc_datalog(),
+            Semantics::SemiNaive,
+            w::random_graph("edge", 48, fix_edges, false, 17),
+        ),
+        (
+            "win",
+            w::win_datalog(),
+            Semantics::Valid,
+            w::random_graph("move", 48, fix_edges, false, 23),
+        ),
+    ];
+    for (label, program, semantics, db) in &runs {
+        set_threads(1);
+        let baseline = evaluate(program, db, *semantics, budget()).unwrap();
+        for k in [1usize, 2, 4, 8] {
+            set_threads(k);
+            let t0 = Instant::now();
+            let out = evaluate(program, db, *semantics, budget()).unwrap();
+            let el = t0.elapsed();
+            assert_eq!(
+                out.model, baseline.model,
+                "E10 {label}: output diverged at {k} threads"
+            );
+            assert_eq!(
+                out.rounds, baseline.rounds,
+                "E10 {label}: rounds diverged at {k} threads"
+            );
+            t.metric(format!("t_fix_{label}_t{k}_s"), el.as_secs_f64());
+            t.row(vec![
+                "fixpoint".into(),
+                (*label).into(),
+                k.to_string(),
+                fmt_dur(el),
+                "—".into(),
+                "yes".into(),
+            ]);
+        }
+        if stats {
+            // Sequential vs. widest fan-out: the deterministic counters
+            // (iterations, facts, deltas) land in the report for both so
+            // a consumer can diff them — they must match.
+            for k in [1usize, 4] {
+                set_threads(k);
+                t.stat(
+                    format!("fix_{label}_t{k}"),
+                    collect(|tr| evaluate_traced(program, db, *semantics, budget(), tr).unwrap()),
+                );
+            }
+        }
+    }
+    set_threads(1);
+
+    // Part 2 — snapshot serving vs. the single-threaded live server.
+    let serve_edges = if quick { 200 } else { 500 };
+    let facts = {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(29);
+        let mut edges: std::collections::BTreeSet<(i64, i64)> = std::collections::BTreeSet::new();
+        let mut guard = 0usize;
+        while edges.len() < serve_edges && guard < serve_edges * 50 {
+            guard += 1;
+            let a = rng.random_range(0..48i64);
+            let b = rng.random_range(0..48i64);
+            if a != b {
+                edges.insert((a, b));
+            }
+        }
+        edges
+            .iter()
+            .map(|(a, b)| format!("e({a}, {b})."))
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    let mut session = Session::new(budget());
+    session.load(&facts).unwrap();
+    session
+        .register_datalog(
+            "paths",
+            "tc(X, Y) :- e(X, Y).\ntc(X, Z) :- tc(X, Y), e(Y, Z).",
+            Semantics::Stratified,
+        )
+        .unwrap();
+    let QueryAnswer::Datalog {
+        certain: reference, ..
+    } = session.query("paths", Some("tc")).unwrap()
+    else {
+        unreachable!("paths is a datalog view")
+    };
+
+    let queries = if quick { 50 } else { 150 };
+    // The single-threaded live server: every query re-renders the view
+    // under the session (this is what serialized behind the write lock
+    // before the snapshot path existed).
+    let t0 = Instant::now();
+    for _ in 0..queries {
+        let QueryAnswer::Datalog { certain, .. } = session.query("paths", Some("tc")).unwrap()
+        else {
+            unreachable!("paths is a datalog view")
+        };
+        assert_eq!(certain.len(), reference.len());
+    }
+    let live_el = t0.elapsed();
+    let live_qps = queries as f64 / live_el.as_secs_f64().max(1e-9);
+    t.metric("qps_live_t1", live_qps);
+    t.row(vec![
+        "serving".into(),
+        "live (session lock)".into(),
+        "1".into(),
+        fmt_dur(live_el),
+        format!("{live_qps:.0}/s"),
+        "yes".into(),
+    ]);
+
+    // The snapshot path: k readers resolving the epoch-versioned view.
+    let shared = SharedSession::new(session);
+    let mut snapshot_qps_t4 = f64::NAN;
+    for k in [1usize, 2, 4, 8] {
+        let t0 = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..k {
+                let shared = &shared;
+                let reference = &reference;
+                scope.spawn(move || {
+                    for _ in 0..queries {
+                        let view = shared.read();
+                        let Ok(Some(QueryAnswer::Datalog { certain, .. })) =
+                            view.value.query("paths", Some("tc"))
+                        else {
+                            panic!("snapshot query failed")
+                        };
+                        assert_eq!(certain.len(), reference.len());
+                    }
+                });
+            }
+        });
+        let el = t0.elapsed();
+        let qps = (k * queries) as f64 / el.as_secs_f64().max(1e-9);
+        if k == 4 {
+            snapshot_qps_t4 = qps;
+        }
+        t.metric(format!("qps_snapshot_t{k}"), qps);
+        t.row(vec![
+            "serving".into(),
+            "snapshot (epoch view)".into(),
+            k.to_string(),
+            fmt_dur(el),
+            format!("{qps:.0}/s"),
+            "yes".into(),
+        ]);
+    }
+    // Outside the timed loops: the snapshot answer is the live answer.
+    let view = shared.read();
+    let Ok(Some(QueryAnswer::Datalog { certain: snap, .. })) =
+        view.value.query("paths", Some("tc"))
+    else {
+        panic!("snapshot query failed")
+    };
+    assert_eq!(snap, reference, "E10: snapshot answer differs from live");
+
+    let ratio = snapshot_qps_t4 / live_qps;
+    assert!(
+        ratio >= 2.0,
+        "E10: snapshot serving at 4 readers must be ≥2× the single-threaded \
+         live server (got {ratio:.2}x)"
+    );
+    t.metric("speedup_snapshot_t4_vs_live", ratio);
+
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -779,6 +981,21 @@ mod tests {
     fn e8_runs() {
         let t = e8(&[10]);
         assert_eq!(t.rows.len(), 1);
+    }
+
+    #[test]
+    fn e10_runs() {
+        let t = e10(true, true);
+        // Fixpoint: 2 workloads × 4 widths; serving: 1 live + 4 snapshot.
+        assert_eq!(t.rows.len(), 13);
+        assert!(t.rows.iter().all(|r| r[5] == "yes"));
+        // {tc, win} × {1, 4} threads; sequential and fanned-out runs
+        // must record identical deterministic counters.
+        assert_eq!(t.stats.len(), 4);
+        for pair in t.stats.chunks(2) {
+            assert_eq!(pair[0].1.facts_inserted, pair[1].1.facts_inserted);
+            assert_eq!(pair[0].1.deltas, pair[1].1.deltas);
+        }
     }
 
     #[test]

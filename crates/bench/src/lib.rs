@@ -2,7 +2,7 @@
 //! (SIGMOD 1993).
 //!
 //! The paper is a theory paper with no evaluation section; the experiment
-//! suite ([`experiments`], E1–E8) instruments and *verifies* its theorems
+//! suite ([`experiments`], E1–E10) instruments and *verifies* its theorems
 //! on synthetic workloads ([`workloads`]). `cargo run -p algrec-bench
 //! --bin tables --release` prints every experiment table; the criterion
 //! benches under `benches/` time the hot paths.

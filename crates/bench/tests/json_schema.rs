@@ -87,6 +87,27 @@ fn report_json_wraps_experiments() {
 }
 
 #[test]
+fn e10_report_has_the_pinned_shape() {
+    // E10 carries the concurrency acceptance numbers; downstream
+    // consumers key on these metric names, so pin them (a quick run —
+    // the values are timings, only the shape is asserted).
+    let t = algrec_bench::experiments::e10(true, false);
+    assert_eq!(t.id, "E10");
+    assert_eq!(
+        t.headers,
+        vec!["part", "workload", "threads", "time", "throughput", "agree"]
+    );
+    let has = |name: &str| t.metrics.iter().any(|(n, _)| n == name);
+    for k in [1, 2, 4, 8] {
+        assert!(has(&format!("t_fix_tc_t{k}_s")));
+        assert!(has(&format!("t_fix_win_t{k}_s")));
+        assert!(has(&format!("qps_snapshot_t{k}")));
+    }
+    assert!(has("qps_live_t1"));
+    assert!(has("speedup_snapshot_t4_vs_live"));
+}
+
+#[test]
 fn empty_stats_serializes_as_empty_object() {
     // Runs without --stats must still produce the key (consumers can rely
     // on its presence) with an empty object.

@@ -424,7 +424,7 @@ pub fn apply_rule(
     rule: &Rule,
     plan: &BodyPlan,
     source: &FactSource<'_>,
-    neg: &dyn Fn(&str, &[Value]) -> bool,
+    neg: &(dyn Fn(&str, &[Value]) -> bool + Sync),
     meter: &mut Meter,
     out: &mut Interp,
 ) -> Result<usize, EvalError> {
@@ -457,7 +457,7 @@ pub fn enumerate_bindings(
     rule: &Rule,
     plan: &BodyPlan,
     source: &FactSource<'_>,
-    neg: &dyn Fn(&str, &[Value]) -> bool,
+    neg: &(dyn Fn(&str, &[Value]) -> bool + Sync),
     meter: &mut Meter,
     emit: &mut dyn FnMut(&Bindings, &mut Meter) -> Result<(), EvalError>,
 ) -> Result<(), EvalError> {
@@ -481,7 +481,7 @@ fn apply_rec(
     plan: &BodyPlan,
     step: usize,
     source: &FactSource<'_>,
-    neg: &dyn Fn(&str, &[Value]) -> bool,
+    neg: &(dyn Fn(&str, &[Value]) -> bool + Sync),
     meter: &mut Meter,
     frame: &mut [Option<Value>],
     emit: &mut EmitFn<'_>,

@@ -10,13 +10,35 @@
 //! Two implementations are provided — textbook [`naive`] iteration and
 //! [`semi_naive`] differential iteration — because experiment **E8**
 //! measures the gap between them; every other module uses `semi_naive`.
+//!
+//! **Parallel rounds.** Rule instantiations within one round are
+//! independent (every firing reads the previous `total`/`delta` and
+//! writes only a candidate buffer; the round *barrier* publishes), so a
+//! big-enough round fans out across the `algrec-sched` worker pool: the
+//! delta is hash-partitioned across workers, each worker fires every
+//! eligible (rule, position) against its partition into per-rule local
+//! buffers, and the buffers are merged centrally in rule-major,
+//! worker-minor order. The central merge — not the workers — counts new
+//! facts against the budget meter, which keeps outputs *and* the
+//! deterministic statistics (iterations, facts inserted, per-round
+//! deltas) bit-identical to the sequential engine for every thread
+//! count. Workers run under an unbounded fact budget but the caller's
+//! real value-size limit, so a `ValueSize` budget error (which carries
+//! only the limit) is the same error value no matter which worker hits
+//! it. See DESIGN.md §14 for the full correctness argument.
 
 use crate::engine::{apply_rule, Compiled, FactSource};
 use crate::error::EvalError;
 use crate::interp::Interp;
 use algrec_value::budget::Meter;
-use algrec_value::Value;
+use algrec_value::{Budget, EvalStats, Trace, Value};
 use std::collections::BTreeSet;
+use std::hash::{Hash, Hasher};
+
+/// Minimum round size (delta facts for differential rounds, base facts
+/// for the full round) before firing fans out to the worker pool —
+/// below this, thread orchestration costs more than the round.
+const PAR_MIN_FACTS: usize = 256;
 
 /// Statistics of one fixpoint run (used by the experiment harness).
 #[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
@@ -29,12 +51,184 @@ pub struct FixpointStats {
     pub derived: usize,
 }
 
+/// Hash-partition an interpretation's facts into `n` disjoint parts.
+/// Which part a fact lands in never affects the result — every worker
+/// joins its part against the same shared `total`, and the parts are
+/// merged back deterministically — so the hash only balances load.
+fn partition_facts(facts: &Interp, n: usize) -> Vec<Interp> {
+    let mut parts = vec![Interp::new(); n];
+    for (p, args) in facts.iter() {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        p.hash(&mut h);
+        args.hash(&mut h);
+        parts[(h.finish() % n as u64) as usize].insert(p, args.clone());
+    }
+    parts
+}
+
+/// One parallel worker's result: per-rule candidate buffers, plus the
+/// worker's collected telemetry when the round is traced.
+type WorkerOut = Result<(Vec<Interp>, Option<EvalStats>), EvalError>;
+
+/// The meter a parallel worker runs under: unbounded iteration/fact
+/// budgets (the central merge charges the real meter, keeping the
+/// charge sequence bit-identical to the sequential engine) but the
+/// caller's true value-size limit, so oversized constructed values fail
+/// in the worker with the same deterministic error value —
+/// `ValueSize` carries only the limit — regardless of which worker or
+/// thread count hits them.
+fn worker_budget(meter: &Meter) -> Budget {
+    Budget::new(usize::MAX, usize::MAX, meter.budget().max_value_size)
+}
+
+/// Merge per-worker, per-rule candidate buffers into `derived` in
+/// rule-major, worker-minor order, charging `meter` once per fact new
+/// to `derived` — exactly the accounting the sequential loop performs
+/// as `apply_rule` inserts — and folding worker index telemetry into
+/// the trace spine first (in worker order).
+fn merge_worker_buffers(
+    results: Vec<WorkerOut>,
+    rules: usize,
+    meter: &mut Meter,
+    derived: &mut Interp,
+) -> Result<(), EvalError> {
+    let mut buffers = Vec::with_capacity(results.len());
+    for res in results {
+        let (bufs, stats) = res?;
+        if let Some(stats) = &stats {
+            meter.absorb_worker(stats);
+        }
+        buffers.push(bufs);
+    }
+    for rule in 0..rules {
+        for bufs in &buffers {
+            for (p, args) in bufs[rule].iter() {
+                if derived.insert(p, args.to_vec()) {
+                    meter.add_facts(1)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Fire the given `(rule index, positive-body position)` pairs
+/// differentially against `delta`, accumulating candidates into
+/// `derived`. Sequential for small rounds; fans the delta out across
+/// the worker pool otherwise (see the module docs for the determinism
+/// argument).
+#[allow(clippy::too_many_arguments)]
+fn fire_differential(
+    compiled: &Compiled,
+    total: &Interp,
+    delta: &Interp,
+    firings: &[(usize, usize)],
+    neg: &(dyn Fn(&str, &[Value]) -> bool + Sync),
+    meter: &mut Meter,
+    derived: &mut Interp,
+) -> Result<(), EvalError> {
+    let threads = algrec_sched::threads();
+    if threads <= 1 || delta.total() < PAR_MIN_FACTS || firings.is_empty() {
+        for &(rule, pos) in firings {
+            apply_rule(
+                &compiled.rules[rule],
+                &compiled.plans[rule],
+                &FactSource {
+                    full: total,
+                    delta: Some((pos, delta)),
+                },
+                neg,
+                meter,
+                derived,
+            )?;
+        }
+        return Ok(());
+    }
+    let parts = partition_facts(delta, threads);
+    let budget = worker_budget(meter);
+    let traced = meter.is_traced();
+    let results = algrec_sched::Pool::new(threads).run(parts.len(), |w| -> WorkerOut {
+        let trace = if traced {
+            Trace::collect()
+        } else {
+            Trace::Null
+        };
+        let mut wm = budget.meter_traced(trace.clone());
+        let mut bufs = vec![Interp::new(); compiled.rules.len()];
+        for &(rule, pos) in firings {
+            // A position whose predicate has no facts in this part can
+            // derive nothing from it.
+            if let crate::ast::Literal::Pos(atom) = &compiled.rules[rule].body[pos] {
+                if parts[w].count(&atom.pred) == 0 {
+                    continue;
+                }
+            }
+            apply_rule(
+                &compiled.rules[rule],
+                &compiled.plans[rule],
+                &FactSource {
+                    full: total,
+                    delta: Some((pos, &parts[w])),
+                },
+                neg,
+                &mut wm,
+                &mut bufs[rule],
+            )?;
+        }
+        Ok((bufs, trace.stats()))
+    });
+    merge_worker_buffers(results, compiled.rules.len(), meter, derived)
+}
+
+/// Fire every rule once against the full `total` (a semi-naive round 0),
+/// accumulating candidates into `derived`. Parallel by *rule index* —
+/// the full round has no delta to partition — when the base is big
+/// enough to pay for the fan-out.
+fn fire_full_round(
+    compiled: &Compiled,
+    total: &Interp,
+    neg: &(dyn Fn(&str, &[Value]) -> bool + Sync),
+    meter: &mut Meter,
+    derived: &mut Interp,
+) -> Result<(), EvalError> {
+    let threads = algrec_sched::threads();
+    if threads <= 1 || compiled.rules.len() <= 1 || total.total() < PAR_MIN_FACTS {
+        for (rule, plan) in compiled.rules.iter().zip(&compiled.plans) {
+            apply_rule(rule, plan, &FactSource::full(total), neg, meter, derived)?;
+        }
+        return Ok(());
+    }
+    let budget = worker_budget(meter);
+    let traced = meter.is_traced();
+    let results = algrec_sched::Pool::new(threads).run(compiled.rules.len(), |r| -> WorkerOut {
+        let trace = if traced {
+            Trace::collect()
+        } else {
+            Trace::Null
+        };
+        let mut wm = budget.meter_traced(trace.clone());
+        // One buffer per rule keeps the merge shape shared with the
+        // differential path; job `r` only fills slot `r`.
+        let mut bufs = vec![Interp::new(); compiled.rules.len()];
+        apply_rule(
+            &compiled.rules[r],
+            &compiled.plans[r],
+            &FactSource::full(total),
+            neg,
+            &mut wm,
+            &mut bufs[r],
+        )?;
+        Ok((bufs, trace.stats()))
+    });
+    merge_worker_buffers(results, compiled.rules.len(), meter, derived)
+}
+
 /// Naive evaluation: apply every rule against the full current
 /// interpretation until nothing new is derived.
 pub fn naive(
     compiled: &Compiled,
     base: &Interp,
-    neg: &dyn Fn(&str, &[Value]) -> bool,
+    neg: &(dyn Fn(&str, &[Value]) -> bool + Sync),
     meter: &mut Meter,
 ) -> Result<(Interp, FixpointStats), EvalError> {
     let mut total = base.clone();
@@ -72,7 +266,7 @@ pub fn naive(
 pub fn semi_naive(
     compiled: &Compiled,
     base: &Interp,
-    neg: &dyn Fn(&str, &[Value]) -> bool,
+    neg: &(dyn Fn(&str, &[Value]) -> bool + Sync),
     meter: &mut Meter,
 ) -> Result<(Interp, FixpointStats), EvalError> {
     let mut stats = FixpointStats::default();
@@ -88,17 +282,8 @@ pub fn semi_naive(
     meter.phase_start("semi-naive");
     meter.tick_iteration()?;
     stats.rounds += 1;
-    for (rule, plan) in compiled.rules.iter().zip(&compiled.plans) {
-        stats.rule_applications += 1;
-        apply_rule(
-            rule,
-            plan,
-            &FactSource::full(&total),
-            neg,
-            meter,
-            &mut delta,
-        )?;
-    }
+    stats.rule_applications += compiled.rules.len();
+    fire_full_round(compiled, &total, neg, meter, &mut delta)?;
     // Keep only genuinely new facts in delta.
     let mut new_delta = Interp::new();
     for (p, args) in delta.iter() {
@@ -115,33 +300,21 @@ pub fn semi_naive(
         meter.tick_iteration()?;
         stats.rounds += 1;
         let mut derived = Interp::new();
-        for (rule, plan) in compiled.rules.iter().zip(&compiled.plans) {
-            // Indices of positive body literals over IDB predicates.
-            let rec_positions: Vec<usize> = rule
-                .body
-                .iter()
-                .enumerate()
-                .filter_map(|(i, lit)| match lit {
-                    crate::ast::Literal::Pos(a) if idb.contains(a.pred.as_str()) => Some(i),
-                    _ => None,
-                })
-                .collect();
-            // Non-recursive rules fired completely in round 0.
-            for &pos in &rec_positions {
-                stats.rule_applications += 1;
-                apply_rule(
-                    rule,
-                    plan,
-                    &FactSource {
-                        full: &total,
-                        delta: Some((pos, &delta)),
-                    },
-                    neg,
-                    meter,
-                    &mut derived,
-                )?;
+        // Fire each rule once per positive body literal over an IDB
+        // predicate, constrained to the previous round's delta
+        // (non-recursive rules fired completely in round 0).
+        let mut firings: Vec<(usize, usize)> = Vec::new();
+        for (r, rule) in compiled.rules.iter().enumerate() {
+            for (pos, lit) in rule.body.iter().enumerate() {
+                if let crate::ast::Literal::Pos(a) = lit {
+                    if idb.contains(a.pred.as_str()) {
+                        firings.push((r, pos));
+                    }
+                }
             }
         }
+        stats.rule_applications += firings.len();
+        fire_differential(compiled, &total, &delta, &firings, neg, meter, &mut derived)?;
         let mut next_delta = Interp::new();
         for (p, args) in derived.iter() {
             if !total.holds(p, args) {
@@ -173,7 +346,7 @@ pub fn semi_naive_from(
     compiled: &Compiled,
     total: &Interp,
     seed: &Interp,
-    neg: &dyn Fn(&str, &[Value]) -> bool,
+    neg: &(dyn Fn(&str, &[Value]) -> bool + Sync),
     meter: &mut Meter,
 ) -> Result<(Interp, Interp, FixpointStats), EvalError> {
     let mut stats = FixpointStats::default();
@@ -185,33 +358,24 @@ pub fn semi_naive_from(
         meter.tick_iteration()?;
         stats.rounds += 1;
         let mut derived = Interp::new();
-        for (rule, plan) in compiled.rules.iter().zip(&compiled.plans) {
-            // Fire once per positive body literal whose predicate has
-            // facts in the current delta. Unlike the from-scratch
-            // engine, the delta may contain EDB facts (asserted by the
-            // caller), so eligibility is decided by delta content, not
-            // by IDB membership.
+        // Fire once per positive body literal whose predicate has
+        // facts in the current delta. Unlike the from-scratch
+        // engine, the delta may contain EDB facts (asserted by the
+        // caller), so eligibility is decided by delta content, not
+        // by IDB membership — computed here, over the *full* delta, so
+        // the rule-application count is partition-independent.
+        let mut firings: Vec<(usize, usize)> = Vec::new();
+        for (r, rule) in compiled.rules.iter().enumerate() {
             for (pos, lit) in rule.body.iter().enumerate() {
-                let crate::ast::Literal::Pos(atom) = lit else {
-                    continue;
-                };
-                if delta.count(&atom.pred) == 0 {
-                    continue;
+                if let crate::ast::Literal::Pos(atom) = lit {
+                    if delta.count(&atom.pred) > 0 {
+                        firings.push((r, pos));
+                    }
                 }
-                stats.rule_applications += 1;
-                apply_rule(
-                    rule,
-                    plan,
-                    &FactSource {
-                        full: &total,
-                        delta: Some((pos, &delta)),
-                    },
-                    neg,
-                    meter,
-                    &mut derived,
-                )?;
             }
         }
+        stats.rule_applications += firings.len();
+        fire_differential(compiled, &total, &delta, &firings, neg, meter, &mut derived)?;
         let mut next_delta = Interp::new();
         for (p, args) in derived.iter() {
             if !total.holds(p, args) {
@@ -348,6 +512,73 @@ mod tests {
         assert_eq!(same, fixpoint);
         assert_eq!(added.total(), 0);
         assert_eq!(stats.rounds, 0);
+    }
+
+    /// A 3-out-regular graph on 40 nodes: its transitive closure has
+    /// 1600 pairs and per-round deltas well above `PAR_MIN_FACTS`, so
+    /// the differential rounds actually fan out once threads > 1.
+    fn dense_edges() -> Interp {
+        let mut base = Interp::new();
+        for a in 0..40 {
+            for b in [(a * 7 + 3) % 40, (a * 11 + 1) % 40, (a + 1) % 40] {
+                base.insert("edge", vec![i(a), i(b)]);
+            }
+        }
+        base
+    }
+
+    #[test]
+    fn parallel_rounds_are_bit_identical_to_sequential() {
+        let compiled = tc_program();
+        let base = dense_edges();
+        let run = |threads: usize| {
+            algrec_sched::set_threads(threads);
+            let trace = algrec_value::Trace::collect();
+            let mut meter = Budget::LARGE.meter_traced(trace.clone());
+            let out = semi_naive(&compiled, &base, &|_, _| false, &mut meter);
+            let (interp, stats) = out.unwrap();
+            (interp, stats, meter.facts(), trace.stats().unwrap())
+        };
+        let (seq, seq_stats, seq_facts, seq_ev) = run(1);
+        assert_eq!(seq.count("tc"), 1600);
+        for threads in [2, 4, 8] {
+            let (par, par_stats, par_facts, par_ev) = run(threads);
+            assert_eq!(par, seq, "output differs at {threads} threads");
+            assert_eq!(par_stats, seq_stats, "fixpoint stats at {threads}");
+            assert_eq!(par_facts, seq_facts, "meter facts at {threads}");
+            // The deterministic slice of the telemetry must match too;
+            // index traffic legitimately varies with partitioning.
+            assert_eq!(par_ev.iterations, seq_ev.iterations);
+            assert_eq!(par_ev.facts_inserted, seq_ev.facts_inserted);
+            assert_eq!(par_ev.deltas, seq_ev.deltas);
+        }
+        algrec_sched::set_threads(1);
+    }
+
+    #[test]
+    fn parallel_semi_naive_from_matches_sequential() {
+        let compiled = tc_program();
+        let base = dense_edges();
+        let mut m = Budget::LARGE.meter();
+        algrec_sched::set_threads(1);
+        let (fixpoint, _) = semi_naive(&compiled, &base, &|_, _| false, &mut m).unwrap();
+        let mut seed = Interp::new();
+        seed.insert("edge", vec![i(40), i(0)]);
+        let mut total = fixpoint.clone();
+        total.absorb(&seed);
+        let run = |threads: usize| {
+            algrec_sched::set_threads(threads);
+            let mut meter = Budget::LARGE.meter();
+            let out = semi_naive_from(&compiled, &total, &seed, &|_, _| false, &mut meter);
+            let (interp, added, stats) = out.unwrap();
+            (interp, added, stats, meter.facts())
+        };
+        let seq = run(1);
+        for threads in [2, 4, 8] {
+            let par = run(threads);
+            assert_eq!(par, seq, "continuation differs at {threads} threads");
+        }
+        algrec_sched::set_threads(1);
     }
 
     #[test]

@@ -8,10 +8,9 @@
 
 use crate::ast::Atom;
 use algrec_value::{ColumnIndex, Database, Relation, Truth, Value};
-use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// A ground fact: predicate name plus argument values.
 pub type Fact = (String, Vec<Value>);
@@ -24,17 +23,25 @@ pub type Fact = (String, Vec<Value>);
 /// built on first probe by [`Interp::first_index`] and invalidated by
 /// mutation. Like the cache on [`Relation`], it is derived state: ignored
 /// by `Clone`-equality semantics, `PartialEq`, `Debug` and `Display`.
+/// The cache lives behind a `Mutex` (not a `RefCell`) so a shared
+/// `&Interp` can be probed from parallel fixpoint workers; the lock is
+/// held only for the cache lookup/insert, never across a probe.
 #[derive(Default)]
 pub struct Interp {
     preds: BTreeMap<String, BTreeSet<Vec<Value>>>,
-    first_index: RefCell<HashMap<String, Arc<ColumnIndex<Vec<Value>>>>>,
+    first_index: Mutex<HashMap<String, Arc<ColumnIndex<Vec<Value>>>>>,
 }
 
 impl Clone for Interp {
     fn clone(&self) -> Self {
         Interp {
             preds: self.preds.clone(),
-            first_index: RefCell::new(self.first_index.borrow().clone()),
+            first_index: Mutex::new(
+                self.first_index
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .clone(),
+            ),
         }
     }
 }
@@ -79,7 +86,7 @@ impl Interp {
     pub fn insert(&mut self, pred: &str, args: Vec<Value>) -> bool {
         let fresh = self.preds.entry(pred.to_string()).or_default().insert(args);
         if fresh {
-            self.first_index.get_mut().remove(pred);
+            self.index_cache_mut().remove(pred);
         }
         fresh
     }
@@ -97,7 +104,7 @@ impl Interp {
             if set.is_empty() {
                 self.preds.remove(pred);
             }
-            self.first_index.get_mut().remove(pred);
+            self.index_cache_mut().remove(pred);
         }
         had
     }
@@ -131,7 +138,18 @@ impl Interp {
     /// Is a first-argument index already cached for this predicate?
     /// (Telemetry uses this to distinguish index builds from cache hits.)
     pub fn has_first_index(&self, pred: &str) -> bool {
-        self.first_index.borrow().contains_key(pred)
+        self.first_index
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .contains_key(pred)
+    }
+
+    /// Exclusive access to the index cache (we hold `&mut self`, so the
+    /// lock cannot be contended; a poisoned cache is just a cache).
+    fn index_cache_mut(&mut self) -> &mut HashMap<String, Arc<ColumnIndex<Vec<Value>>>> {
+        self.first_index
+            .get_mut()
+            .unwrap_or_else(|e| e.into_inner())
     }
 
     /// The lazily built hash index over one predicate's first argument,
@@ -141,7 +159,10 @@ impl Interp {
     /// predicate is mutated; probing is the matcher's fast path when a
     /// positive literal's leading argument is already ground.
     pub fn first_index(&self, pred: &str) -> Arc<ColumnIndex<Vec<Value>>> {
-        if let Some(idx) = self.first_index.borrow().get(pred) {
+        // Hold the lock across the build so concurrent probes of the
+        // same cold predicate build the index once, not once per worker.
+        let mut cache = self.first_index.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(idx) = cache.get(pred) {
             return idx.clone();
         }
         let idx = Arc::new(ColumnIndex::build_skipping(
@@ -149,9 +170,7 @@ impl Interp {
             |args: &Vec<Value>| args.first(),
             true,
         ));
-        self.first_index
-            .borrow_mut()
-            .insert(pred.to_string(), idx.clone());
+        cache.insert(pred.to_string(), idx.clone());
         idx
     }
 
@@ -184,7 +203,7 @@ impl Interp {
                 }
             }
             if grew {
-                self.first_index.get_mut().remove(pred);
+                self.index_cache_mut().remove(pred);
             }
         }
         added
@@ -213,7 +232,7 @@ impl Interp {
     /// Remove all facts of one predicate.
     pub fn clear_pred(&mut self, pred: &str) {
         self.preds.remove(pred);
-        self.first_index.get_mut().remove(pred);
+        self.index_cache_mut().remove(pred);
     }
 }
 

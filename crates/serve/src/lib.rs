@@ -15,6 +15,13 @@
 //! newline-delimited-JSON line protocol over TCP ([`server::serve`], the
 //! `algrec serve` subcommand). Both speak the same operations via
 //! [`protocol`].
+//!
+//! Concurrency: the TCP server wraps the session in a
+//! [`shared::SharedSession`] — writes serialize through a single-writer
+//! mutex (so WAL order stays commit order) while reads resolve against an
+//! epoch-versioned immutable snapshot ([`session::ReadView`]) without
+//! blocking writers. Every protocol reply carries the epoch it answered
+//! at.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -25,13 +32,15 @@ pub mod protocol;
 pub mod repl;
 pub mod server;
 pub mod session;
+pub mod shared;
 
 pub use json::Json;
 pub use maintain::{MaintainReport, RecomputeView, StratifiedView};
 pub use protocol::{handle_line, parse_semantics, semantics_name, transport_error, Handled};
 pub use repl::run_repl;
-pub use server::serve;
+pub use server::{serve, serve_traced};
 pub use session::{
-    DeltaOutcome, Durability, DurableEvent, OpStats, QueryAnswer, RegisterOutcome, ServeError,
-    Session, ViewDef, ViewReport, ViewStats, ViewStatus,
+    DeltaOutcome, Durability, DurableEvent, OpStats, QueryAnswer, ReadView, RegisterOutcome,
+    ServeError, Session, ViewDef, ViewReport, ViewStats, ViewStatus,
 };
+pub use shared::{Poisoned, SharedSession};

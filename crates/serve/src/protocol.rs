@@ -24,11 +24,25 @@
 //! and delta rounds — never wall-clock times or interner sizes — so a
 //! scripted session can be diffed against a golden transcript byte for
 //! byte.
+//!
+//! **Epochs.** Every reply carries an `epoch` field (keys serialize
+//! sorted, like all [`Json`] objects): the snapshot version the request
+//! was answered at. Read-only
+//! operations (`ping`, `query`, `stats`, `views`, `db`, `shutdown`)
+//! resolve against the current [`ReadView`] snapshot without taking the
+//! session writer lock and report that snapshot's epoch; mutating
+//! operations serialize through [`SharedSession::with_writer`] and
+//! report the epoch their commit published. A `query` against a view the
+//! snapshot recorded as *dirty* transparently falls back to the writer
+//! (which rebuilds the view, publishing a new epoch). Transport-level
+//! errors ([`transport_error`]) carry no epoch — they are detected
+//! before any session state is consulted.
 
 use crate::json::{self, Json};
 use crate::session::{
-    DeltaOutcome, OpStats, QueryAnswer, ServeError, Session, ViewReport, ViewStats,
+    DeltaOutcome, OpStats, QueryAnswer, ReadView, ServeError, Session, ViewReport, ViewStats,
 };
+use crate::shared::SharedSession;
 use algrec_datalog::Semantics;
 
 /// Parse a semantics name as accepted by `algrec eval --semantics` and
@@ -175,32 +189,54 @@ fn query_json(answer: &QueryAnswer) -> Vec<(&'static str, Json)> {
     }
 }
 
-fn ok_reply(id: Json, payload: Vec<(&'static str, Json)>) -> String {
-    let mut obj = vec![("id", id), ("ok", Json::Bool(true))];
+fn ok_reply(id: Json, epoch: u64, payload: Vec<(&'static str, Json)>) -> String {
+    let mut obj = vec![
+        ("id", id),
+        ("ok", Json::Bool(true)),
+        ("epoch", Json::Int(epoch as i64)),
+    ];
     obj.extend(payload);
     Json::obj(obj).to_string()
 }
 
-fn err_reply(id: Json, code: &str, message: &str) -> String {
-    Json::obj([
-        ("id", id),
-        ("ok", Json::Bool(false)),
-        (
-            "error",
-            Json::obj([
-                ("code", Json::str(code.to_string())),
-                ("message", Json::str(message.to_string())),
-            ]),
-        ),
-    ])
-    .to_string()
+fn err_reply(id: Json, epoch: Option<u64>, code: &str, message: &str) -> String {
+    let mut obj = vec![("id", id), ("ok", Json::Bool(false))];
+    if let Some(e) = epoch {
+        obj.push(("epoch", Json::Int(e as i64)));
+    }
+    obj.push((
+        "error",
+        Json::obj([
+            ("code", Json::str(code.to_string())),
+            ("message", Json::str(message.to_string())),
+        ]),
+    ));
+    Json::obj(obj).to_string()
 }
 
 /// An error reply with a `null` id, for failures the transport detects
 /// before a request line can be parsed at all (over-long lines, invalid
 /// UTF-8). One reply per offending line, same shape as every other error.
+/// Carries no epoch: the failure precedes any look at session state.
 pub fn transport_error(code: &str, message: &str) -> String {
-    err_reply(Json::Null, code, message)
+    err_reply(Json::Null, None, code, message)
+}
+
+/// The reply for a request line received after the server has begun
+/// shutting down: the request is *not* processed, only answered. Echoes
+/// the request id when the line parses far enough to have one, so a
+/// pipelining client can match the refusal to the request it sent.
+pub fn shutting_down_reply(line: &str) -> String {
+    let id = json::parse(line)
+        .ok()
+        .and_then(|req| req.get("id").cloned())
+        .unwrap_or(Json::Null);
+    err_reply(
+        id,
+        None,
+        "shutting-down",
+        "server is shutting down; request was not processed",
+    )
 }
 
 fn str_field<'a>(req: &'a Json, key: &str) -> Result<&'a str, ServeError> {
@@ -227,6 +263,71 @@ fn fact_sources(req: &Json) -> Result<Vec<String>, ServeError> {
         _ => Err(ServeError::BadRequest(
             "expected a `fact` string or a `facts` array".into(),
         )),
+    }
+}
+
+/// Operations answerable from a published [`ReadView`] snapshot, without
+/// taking the session writer lock.
+fn is_read_op(op: &str) -> bool {
+    matches!(op, "ping" | "query" | "stats" | "views" | "db" | "shutdown")
+}
+
+/// Answer a read-only operation from a snapshot. `Ok(None)` means the
+/// snapshot cannot serve it — a `query` against a view that was dirty
+/// when the snapshot was taken — and the caller must fall back to the
+/// writer, which rebuilds the view.
+fn dispatch_read(
+    view: &ReadView,
+    op: &str,
+    req: &Json,
+) -> Result<Option<Vec<(&'static str, Json)>>, ServeError> {
+    match op {
+        "ping" => Ok(Some(vec![("pong", Json::Bool(true))])),
+        "query" => {
+            let name = str_field(req, "view")?;
+            let pred = req.get("pred").and_then(Json::as_str);
+            Ok(view.query(name, pred)?.map(|answer| query_json(&answer)))
+        }
+        "stats" => {
+            let name = req.get("view").and_then(Json::as_str);
+            let stats = view.stats(name)?;
+            Ok(Some(vec![(
+                "views",
+                Json::Arr(stats.iter().map(view_stats_json).collect()),
+            )]))
+        }
+        "views" => Ok(Some(vec![(
+            "views",
+            Json::Arr(
+                view.view_names()
+                    .iter()
+                    .map(|(name, kind, semantics, strategy)| {
+                        Json::obj([
+                            ("name", Json::str(name.clone())),
+                            ("kind", Json::str(*kind)),
+                            ("semantics", Json::str(semantics.clone())),
+                            ("strategy", Json::str(*strategy)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        )])),
+        "db" => Ok(Some(vec![(
+            "relations",
+            Json::Arr(
+                view.db_summary()
+                    .iter()
+                    .map(|(name, members)| {
+                        Json::obj([
+                            ("name", Json::str(name.clone())),
+                            ("members", Json::Int(*members as i64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        )])),
+        "shutdown" => Ok(Some(vec![("bye", Json::Bool(true))])),
+        other => Err(ServeError::BadRequest(format!("unknown op `{other}`"))),
     }
 }
 
@@ -332,24 +433,53 @@ fn dispatch(session: &mut Session, req: &Json) -> Result<Vec<(&'static str, Json
     }
 }
 
-/// Handle one protocol line against the session, producing the reply
-/// line (without trailing newline).
-pub fn handle_line(session: &mut Session, line: &str) -> Handled {
+/// Serialize one mutating request through the single-writer path,
+/// rendering the committed epoch into the reply. A poisoned writer lock
+/// becomes a structured `internal-error` reply (the poisoning incident
+/// itself is traced by [`SharedSession::with_writer`]); reads remain
+/// available, so the connection is not torn down.
+fn write_path(shared: &SharedSession, id: Json, req: &Json) -> String {
+    match shared.with_writer(|session| dispatch(session, req)) {
+        Ok((Ok(payload), epoch)) => ok_reply(id, epoch, payload),
+        Ok((Err(e), epoch)) => err_reply(id, Some(epoch), e.code(), &e.to_string()),
+        Err(poisoned) => err_reply(
+            id,
+            Some(shared.epoch()),
+            "internal-error",
+            &poisoned.to_string(),
+        ),
+    }
+}
+
+/// Handle one protocol line against the shared session, producing the
+/// reply line (without trailing newline). Read-only operations resolve
+/// against the current snapshot without blocking writers; mutating
+/// operations serialize through the writer lock.
+pub fn handle_line(shared: &SharedSession, line: &str) -> Handled {
     let req = match json::parse(line) {
         Ok(v) => v,
         Err(e) => {
             return Handled::Reply(err_reply(
                 Json::Null,
+                None,
                 "bad-request",
                 &format!("invalid JSON: {e}"),
             ))
         }
     };
     let id = req.get("id").cloned().unwrap_or(Json::Null);
-    let shutdown = req.get("op").and_then(Json::as_str) == Some("shutdown");
-    let reply = match dispatch(session, &req) {
-        Ok(payload) => ok_reply(id, payload),
-        Err(e) => err_reply(id, e.code(), &e.to_string()),
+    let op = req.get("op").and_then(Json::as_str).unwrap_or_default();
+    let shutdown = op == "shutdown";
+    let reply = if is_read_op(op) {
+        let snap = shared.read();
+        match dispatch_read(&snap.value, op, &req) {
+            Ok(Some(payload)) => ok_reply(id, snap.epoch, payload),
+            // Dirty view: rebuild under the writer lock.
+            Ok(None) => write_path(shared, id, &req),
+            Err(e) => err_reply(id, Some(snap.epoch), e.code(), &e.to_string()),
+        }
+    } else {
+        write_path(shared, id, &req)
     };
     if shutdown {
         Handled::Shutdown(reply)
@@ -397,15 +527,17 @@ mod tests {
 
     #[test]
     fn protocol_session_round_trip() {
-        let mut session = Session::new(Budget::LARGE);
+        let shared = SharedSession::new(Session::new(Budget::LARGE));
         let reply = handle_line(
-            &mut session,
+            &shared,
             r#"{"id": 1, "op": "load", "facts": "e(1, 2). e(2, 3)."}"#,
         );
         assert!(reply.line().contains(r#""applied":2"#), "{}", reply.line());
+        assert!(reply.line().contains(r#""ok":true"#), "{}", reply.line());
+        assert!(reply.line().contains(r#""epoch":1"#), "{}", reply.line());
 
         let reply = handle_line(
-            &mut session,
+            &shared,
             r#"{"id": 2, "op": "register", "view": "paths", "program": "tc(X, Y) :- e(X, Y).\ntc(X, Z) :- tc(X, Y), e(Y, Z)."}"#,
         );
         assert!(
@@ -415,51 +547,128 @@ mod tests {
             "{}",
             reply.line()
         );
+        assert!(reply.line().contains(r#""epoch":2"#), "{}", reply.line());
 
-        let reply = handle_line(
-            &mut session,
-            r#"{"id": 3, "op": "assert", "fact": "e(3, 4)"}"#,
-        );
+        let reply = handle_line(&shared, r#"{"id": 3, "op": "assert", "fact": "e(3, 4)"}"#);
         assert!(
             reply.line().contains(r#""status":"maintained""#),
             "{}",
             reply.line()
         );
+        assert!(reply.line().contains(r#""epoch":3"#), "{}", reply.line());
 
+        // Reads answer from the snapshot at the last committed epoch.
         let reply = handle_line(
-            &mut session,
+            &shared,
             r#"{"id": 4, "op": "query", "view": "paths", "pred": "tc"}"#,
         );
         assert!(reply.line().contains("tc(1, 4)."), "{}", reply.line());
+        assert!(reply.line().contains(r#""ok":true"#), "{}", reply.line());
+        assert!(reply.line().contains(r#""epoch":3"#), "{}", reply.line());
 
-        let reply = handle_line(&mut session, r#"{"id": 5, "op": "query", "view": "nope"}"#);
+        let reply = handle_line(&shared, r#"{"id": 5, "op": "query", "view": "nope"}"#);
         assert!(
             reply.line().contains(r#""code":"unknown-view""#),
             "{}",
             reply.line()
         );
+        assert!(reply.line().contains(r#""epoch":3"#), "{}", reply.line());
 
-        let reply = handle_line(&mut session, "not json");
+        let reply = handle_line(&shared, "not json");
         assert!(
             reply.line().contains(r#""code":"bad-request""#),
             "{}",
             reply.line()
         );
+        assert!(!reply.line().contains("epoch"), "{}", reply.line());
 
-        let reply = handle_line(&mut session, r#"{"id": 6, "op": "shutdown"}"#);
+        let reply = handle_line(&shared, r#"{"id": 6, "op": "shutdown"}"#);
         assert!(matches!(reply, Handled::Shutdown(_)));
         assert!(reply.line().contains(r#""bye":true"#));
+        assert!(reply.line().contains(r#""epoch":3"#), "{}", reply.line());
+    }
+
+    #[test]
+    fn reads_do_not_take_the_writer_lock() {
+        let shared = SharedSession::new(Session::new(Budget::LARGE));
+        handle_line(&shared, r#"{"id": 1, "op": "load", "facts": "e(1, 2)."}"#);
+        // Wedge the writer lock for the duration; snapshot reads must
+        // still answer immediately.
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        let (held_tx, held_rx) = std::sync::mpsc::channel::<()>();
+        // Collect inside the scope, assert after: a failed assertion
+        // inside would leave the wedge thread blocked and the scope's
+        // implicit join deadlocked.
+        let replies: Vec<String> = std::thread::scope(|scope| {
+            let shared_ref = &shared;
+            scope.spawn(move || {
+                let _ = shared_ref.with_writer(|_| {
+                    held_tx.send(()).unwrap();
+                    release_rx.recv().unwrap();
+                });
+            });
+            held_rx.recv().unwrap();
+            let replies = [
+                r#"{"id": 2, "op": "ping"}"#,
+                r#"{"id": 3, "op": "db"}"#,
+                r#"{"id": 4, "op": "views"}"#,
+                r#"{"id": 5, "op": "stats"}"#,
+            ]
+            .iter()
+            .map(|line| handle_line(&shared, line).line().to_string())
+            .collect();
+            release_tx.send(()).unwrap();
+            replies
+        });
+        for reply in replies {
+            assert!(reply.contains(r#""ok":true"#), "{reply}");
+            assert!(reply.contains(r#""epoch":1"#), "{reply}");
+        }
+    }
+
+    #[test]
+    fn poisoned_writer_yields_internal_error_but_reads_survive() {
+        let shared = SharedSession::new(Session::new(Budget::LARGE));
+        handle_line(&shared, r#"{"id": 1, "op": "load", "facts": "e(1, 2)."}"#);
+        let _ = std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    let _ = shared.with_writer(|_| panic!("boom"));
+                })
+                .join()
+        });
+        let reply = handle_line(&shared, r#"{"id": 2, "op": "assert", "fact": "e(2, 3)"}"#);
+        assert!(
+            reply.line().contains(r#""code":"internal-error""#),
+            "{}",
+            reply.line()
+        );
+        assert!(reply.line().contains(r#""epoch":1"#), "{}", reply.line());
+        // Reads keep serving the last consistent snapshot.
+        let reply = handle_line(&shared, r#"{"id": 3, "op": "db"}"#);
+        assert!(
+            reply.line().contains(r#""members":1,"name":"e""#),
+            "{}",
+            reply.line()
+        );
+    }
+
+    #[test]
+    fn shutting_down_reply_echoes_the_request_id() {
+        let line = shutting_down_reply(r#"{"id": 41, "op": "assert", "fact": "e(1, 2)"}"#);
+        assert!(line.contains(r#""id":41"#), "{line}");
+        assert!(line.contains(r#""code":"shutting-down""#), "{line}");
+        assert!(!line.contains("epoch"), "{line}");
+        let line = shutting_down_reply("not json");
+        assert!(line.contains(r#""id":null"#), "{line}");
     }
 
     #[test]
     fn replies_expose_only_deterministic_stats() {
-        let mut session = Session::new(Budget::LARGE);
-        handle_line(
-            &mut session,
-            r#"{"id": 1, "op": "load", "facts": "e(1, 2)."}"#,
-        );
+        let shared = SharedSession::new(Session::new(Budget::LARGE));
+        handle_line(&shared, r#"{"id": 1, "op": "load", "facts": "e(1, 2)."}"#);
         let reply = handle_line(
-            &mut session,
+            &shared,
             r#"{"id": 2, "op": "register", "view": "v", "program": "p(X) :- e(X, Y)."}"#,
         );
         let line = reply.line();

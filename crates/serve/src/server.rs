@@ -1,11 +1,26 @@
 //! The NDJSON line-protocol TCP server (`algrec serve`).
 //!
-//! One [`Session`] shared across connections behind a mutex; each
-//! connection gets a thread reading newline-delimited JSON requests and
-//! writing one reply line per request (see [`crate::protocol`]). A
-//! `shutdown` request answers, then stops the accept loop, so a scripted
-//! client can drive a complete session and tear the server down from the
-//! outside — which is exactly what the CI smoke test does.
+//! One [`Session`] shared across connections via
+//! [`crate::shared::SharedSession`]: each connection gets a thread
+//! reading newline-delimited JSON requests and writing one reply line
+//! per request (see [`crate::protocol`]). Mutating requests serialize
+//! through the single-writer path; read-only requests resolve against
+//! the epoch-versioned snapshot without blocking writers. A `shutdown`
+//! request answers, then stops the accept loop, so a scripted client can
+//! drive a complete session and tear the server down from the outside —
+//! which is exactly what the CI smoke test does.
+//!
+//! **Shutdown drain.** Once `shutdown` is acknowledged, the server does
+//! not silently drop the connections that raced it: already-connected
+//! clients get a structured `shutting-down` error for every further
+//! request line, and connections still queued in the accept backlog are
+//! accepted once, drained the same way, and closed — then every client
+//! thread is joined before [`serve`] returns, so no reply is cut off
+//! mid-write. Idle connections cannot wedge that join: every client
+//! read is armed with a [`DRAIN_TIMEOUT`] poll timeout from the moment
+//! the connection is accepted (a timeout before shutdown just re-reads;
+//! partial lines survive across polls), because a timeout armed *after*
+//! a thread has blocked in `recv` would not wake it.
 //!
 //! Transport hygiene: request lines are capped at [`MAX_LINE_BYTES`].
 //! An over-long line is *not* buffered — the excess is discarded as it
@@ -14,15 +29,30 @@
 //! keep the connection open, so one bad request never tears down a
 //! client session.
 
-use crate::protocol::{handle_line, transport_error, Handled};
+use crate::protocol::{handle_line, shutting_down_reply, transport_error, Handled};
 use crate::session::Session;
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use crate::shared::SharedSession;
+use algrec_value::Trace;
+use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Maximum accepted request-line length (bytes, newline excluded): 1 MiB.
 pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// Poll interval for client reads: every blocking read wakes at least
+/// this often so the connection thread can notice the stop flag, and the
+/// shutdown drain waits at most this long per read for a silent client.
+const DRAIN_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Bound on a single reply write. Loopback and LAN writes only stall
+/// when the peer has stopped reading and its receive window is full; a
+/// client that stays wedged this long is treated as gone (the write
+/// errors and the connection closes) rather than allowed to pin the
+/// server — or its shutdown join — indefinitely.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// One transport-level read: a complete line, an over-long line (already
 /// drained from the stream, never buffered), or end of stream.
@@ -32,66 +62,121 @@ enum ReadLine {
     Eof,
 }
 
-/// Read one `\n`-terminated line of at most `cap` bytes. The moment the
-/// accumulated length would exceed `cap`, switches to a drain loop that
-/// discards bytes (bounded memory) until the newline, then reports
-/// [`ReadLine::TooLong`]. A final unterminated line is returned as-is.
-fn read_line_capped(reader: &mut impl BufRead, cap: usize) -> std::io::Result<ReadLine> {
-    let mut line = Vec::new();
-    loop {
-        let chunk = reader.fill_buf()?;
-        if chunk.is_empty() {
-            return Ok(if line.is_empty() {
-                ReadLine::Eof
-            } else {
-                ReadLine::Line(line)
-            });
+/// Line reader whose state survives read timeouts: a poll that times out
+/// mid-line leaves the partial line (or the drain-to-newline position of
+/// an over-long line) intact, so the caller can simply check the stop
+/// flag and call [`LineReader::next_line`] again.
+struct LineReader<R> {
+    reader: R,
+    /// Bytes of the line accumulated so far across polls.
+    line: Vec<u8>,
+    /// Inside an over-long line: discard (bounded memory) to the newline.
+    draining: bool,
+}
+
+impl<R: BufRead> LineReader<R> {
+    fn new(reader: R) -> LineReader<R> {
+        LineReader {
+            reader,
+            line: Vec::new(),
+            draining: false,
         }
-        let newline = chunk.iter().position(|&b| b == b'\n');
-        let take = newline.unwrap_or(chunk.len());
-        if line.len() + take > cap {
-            // Over the cap: stop buffering, drain through the newline.
-            loop {
-                let chunk = reader.fill_buf()?;
-                if chunk.is_empty() {
-                    return Ok(ReadLine::TooLong); // EOF inside the long line
-                }
-                match chunk.iter().position(|&b| b == b'\n') {
+    }
+
+    /// Read one `\n`-terminated line of at most `cap` bytes. The moment
+    /// the accumulated length would exceed `cap`, switches to draining —
+    /// discarding bytes until the newline — then reports
+    /// [`ReadLine::TooLong`]. A final unterminated line is returned
+    /// as-is at EOF. Errors (including timeouts) leave the accumulated
+    /// state in place for the next call.
+    fn next_line(&mut self, cap: usize) -> std::io::Result<ReadLine> {
+        loop {
+            let chunk = self.reader.fill_buf()?;
+            if chunk.is_empty() {
+                // EOF. An unterminated over-long line still reports
+                // TooLong; an unterminated short line is delivered.
+                return Ok(if self.draining {
+                    self.draining = false;
+                    ReadLine::TooLong
+                } else if self.line.is_empty() {
+                    ReadLine::Eof
+                } else {
+                    ReadLine::Line(std::mem::take(&mut self.line))
+                });
+            }
+            let newline = chunk.iter().position(|&b| b == b'\n');
+            if self.draining {
+                match newline {
                     Some(i) => {
-                        reader.consume(i + 1);
+                        self.reader.consume(i + 1);
+                        self.draining = false;
                         return Ok(ReadLine::TooLong);
                     }
                     None => {
                         let n = chunk.len();
-                        reader.consume(n);
+                        self.reader.consume(n);
+                        continue;
                     }
                 }
             }
-        }
-        line.extend_from_slice(&chunk[..take]);
-        match newline {
-            Some(i) => {
-                reader.consume(i + 1);
-                return Ok(ReadLine::Line(line));
+            let take = newline.unwrap_or(chunk.len());
+            if self.line.len() + take > cap {
+                // Over the cap: stop buffering, drain from this same
+                // chunk on the next loop iteration.
+                self.line.clear();
+                self.draining = true;
+                continue;
             }
-            None => {
-                let n = chunk.len();
-                reader.consume(n);
+            self.line.extend_from_slice(&chunk[..take]);
+            match newline {
+                Some(i) => {
+                    self.reader.consume(i + 1);
+                    return Ok(ReadLine::Line(std::mem::take(&mut self.line)));
+                }
+                None => {
+                    let n = chunk.len();
+                    self.reader.consume(n);
+                }
             }
         }
     }
 }
 
+/// Is this the error a timed-out socket read surfaces? (Unix reports
+/// `WouldBlock`, Windows `TimedOut`.)
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
 fn client_loop(
     stream: TcpStream,
-    session: &Mutex<Session>,
+    shared: &SharedSession,
     stop: &AtomicBool,
     addr: SocketAddr,
 ) -> std::io::Result<()> {
-    let mut reader = BufReader::new(stream.try_clone()?);
+    // Every read polls: a timeout armed after a thread has already
+    // blocked in `recv` would not wake it, so the bound goes on *before*
+    // the first read and the loop re-checks the stop flag each wake.
+    stream.set_read_timeout(Some(DRAIN_TIMEOUT))?;
+    stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
+    let mut reader = LineReader::new(BufReader::new(stream.try_clone()?));
     let mut writer = BufWriter::new(stream);
     loop {
-        let reply = match read_line_capped(&mut reader, MAX_LINE_BYTES)? {
+        let read = match reader.next_line(MAX_LINE_BYTES) {
+            Ok(read) => read,
+            // An idle poll: before shutdown, just keep listening (any
+            // partial line survives inside `reader`); once the stop flag
+            // is up, an idle client is simply done — the drain has
+            // nothing to answer.
+            Err(e) if is_timeout(&e) => {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        let reply = match read {
             ReadLine::Eof => break,
             ReadLine::TooLong => Handled::Reply(transport_error(
                 "line_too_long",
@@ -103,17 +188,23 @@ fn client_loop(
                     "request line is not valid UTF-8",
                 )),
                 Ok(line) if line.trim().is_empty() => continue,
-                Ok(line) => {
-                    let mut guard = session.lock().unwrap_or_else(|e| e.into_inner());
-                    handle_line(&mut guard, &line)
+                // Requests racing a shutdown are answered, not processed.
+                Ok(line) if stop.load(Ordering::SeqCst) => {
+                    Handled::Reply(shutting_down_reply(&line))
                 }
+                Ok(line) => handle_line(shared, &line),
             },
         };
+        // Raise the stop flag *before* the shutdown reply is written, so
+        // a client that has read the acknowledgement can rely on every
+        // later request (from any connection) being refused, not applied.
+        if matches!(reply, Handled::Shutdown(_)) {
+            stop.store(true, Ordering::SeqCst);
+        }
         writer.write_all(reply.line().as_bytes())?;
         writer.write_all(b"\n")?;
         writer.flush()?;
         if matches!(reply, Handled::Shutdown(_)) {
-            stop.store(true, Ordering::SeqCst);
             // Unblock the accept loop with a throwaway connection.
             let _ = TcpStream::connect(addr);
             break;
@@ -122,22 +213,94 @@ fn client_loop(
     Ok(())
 }
 
+/// Answer every pending request line on an accepted-but-never-served
+/// connection with a structured `shutting-down` error, then close it.
+/// Each read is bounded by [`DRAIN_TIMEOUT`] so a silent peer cannot
+/// stall the server's exit. Used for connections that were still in the
+/// accept backlog when `shutdown` arrived.
+fn drain_stream(stream: TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(DRAIN_TIMEOUT))?;
+    stream.set_write_timeout(Some(DRAIN_TIMEOUT))?;
+    let mut reader = LineReader::new(BufReader::new(stream.try_clone()?));
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let reply = match reader.next_line(MAX_LINE_BYTES) {
+            Ok(ReadLine::Eof) => break,
+            Ok(ReadLine::TooLong) => transport_error(
+                "line_too_long",
+                &format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+            ),
+            Ok(ReadLine::Line(bytes)) => {
+                let line = String::from_utf8_lossy(&bytes);
+                if line.trim().is_empty() {
+                    continue;
+                }
+                shutting_down_reply(&line)
+            }
+            Err(e) if is_timeout(&e) => break,
+            Err(e) => return Err(e),
+        };
+        writer.write_all(reply.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+/// Accept and [`drain_stream`] every connection still queued in the
+/// listener's backlog, without blocking: clients that connected before
+/// `shutdown` was acknowledged get explicit refusals instead of a
+/// silently dropped connection.
+fn drain_backlog(listener: &TcpListener) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // The stream inherits non-blocking from some platforms'
+                // accept; force blocking so the drain timeouts apply.
+                let _ = stream.set_nonblocking(false);
+                let _ = drain_stream(stream);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(()),
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
 /// Serve the session on `listener` until a client sends `shutdown`.
 /// Blocks the calling thread; connections are handled concurrently.
 pub fn serve(listener: TcpListener, session: Session) -> std::io::Result<()> {
+    serve_traced(listener, session, Trace::Null)
+}
+
+/// [`serve`] with a trace handle that receives operational events (lock
+/// poisoning); pass the `--trace` sink so incidents surface on stderr.
+pub fn serve_traced(listener: TcpListener, session: Session, trace: Trace) -> std::io::Result<()> {
     let addr = listener.local_addr()?;
-    let session = Arc::new(Mutex::new(session));
+    let shared = Arc::new(SharedSession::with_trace(session, trace));
     let stop = Arc::new(AtomicBool::new(false));
+    let mut clients = Vec::new();
     loop {
         let (stream, _) = listener.accept()?;
         if stop.load(Ordering::SeqCst) {
+            // Accepted after shutdown (includes the throwaway wake-up
+            // connection): refuse its requests explicitly.
+            let _ = drain_stream(stream);
             break;
         }
-        let session = Arc::clone(&session);
+        let shared = Arc::clone(&shared);
         let stop = Arc::clone(&stop);
-        std::thread::spawn(move || {
-            let _ = client_loop(stream, &session, &stop, addr);
-        });
+        clients.push(std::thread::spawn(move || {
+            let _ = client_loop(stream, &shared, &stop, addr);
+        }));
+    }
+    drain_backlog(&listener)?;
+    // Join every client thread so no reply is cut off mid-write. The
+    // per-connection read polls bound this: every live client notices
+    // the stop flag within one DRAIN_TIMEOUT and exits.
+    for client in clients {
+        let _ = client.join();
     }
     Ok(())
 }
@@ -274,6 +437,100 @@ mod tests {
             "{}",
             second[0]
         );
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn drain_stream_refuses_pending_requests_with_structured_errors() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+
+        let stream = TcpStream::connect(addr).unwrap();
+        let half_close = stream.try_clone().unwrap();
+        let mut writer = BufWriter::new(stream.try_clone().unwrap());
+        let mut incoming = BufReader::new(stream).lines();
+        // Two requests already in flight before the server ever looks at
+        // this connection.
+        writeln!(writer, r#"{{"id": 7, "op": "assert", "fact": "e(1, 2)"}}"#).unwrap();
+        writeln!(writer, r#"{{"id": 8, "op": "query", "view": "paths"}}"#).unwrap();
+        writer.flush().unwrap();
+
+        let (accepted, _) = listener.accept().unwrap();
+        let drainer = std::thread::spawn(move || drain_stream(accepted).unwrap());
+
+        let first = incoming.next().unwrap().unwrap();
+        assert!(first.contains(r#""id":7"#), "{first}");
+        assert!(first.contains(r#""code":"shutting-down""#), "{first}");
+        let second = incoming.next().unwrap().unwrap();
+        assert!(second.contains(r#""id":8"#), "{second}");
+        assert!(second.contains(r#""code":"shutting-down""#), "{second}");
+
+        // Half-close our write side: the drain sees EOF and finishes.
+        half_close.shutdown(std::net::Shutdown::Write).unwrap();
+        drainer.join().unwrap();
+        // The connection is closed, not left dangling.
+        assert!(incoming.next().is_none());
+    }
+
+    #[test]
+    fn clients_in_flight_at_shutdown_get_shutting_down_replies() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server =
+            std::thread::spawn(move || serve(listener, Session::new(Budget::LARGE)).unwrap());
+
+        // Client A connects and is actively served.
+        let a = TcpStream::connect(addr).unwrap();
+        let a_half_close = a.try_clone().unwrap();
+        let mut a_writer = BufWriter::new(a.try_clone().unwrap());
+        let mut a_incoming = BufReader::new(a).lines();
+        writeln!(a_writer, r#"{{"id": 1, "op": "ping"}}"#).unwrap();
+        a_writer.flush().unwrap();
+        let reply = a_incoming.next().unwrap().unwrap();
+        assert!(reply.contains(r#""pong":true"#), "{reply}");
+
+        // Client B shuts the server down. Once B has read the
+        // acknowledgement, the stop flag is guaranteed set.
+        let b_replies = send_lines(addr, &[r#"{"id": 2, "op": "shutdown"}"#]);
+        assert!(b_replies[0].contains(r#""bye":true"#), "{}", b_replies[0]);
+
+        // A's next request is refused with a structured error that still
+        // echoes its id — not a dropped connection.
+        writeln!(
+            a_writer,
+            r#"{{"id": 3, "op": "assert", "fact": "e(9, 9)"}}"#
+        )
+        .unwrap();
+        a_writer.flush().unwrap();
+        let reply = a_incoming.next().unwrap().unwrap();
+        assert!(reply.contains(r#""id":3"#), "{reply}");
+        assert!(reply.contains(r#""code":"shutting-down""#), "{reply}");
+
+        drop(a_writer);
+        a_half_close.shutdown(std::net::Shutdown::Write).unwrap();
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn replies_carry_monotone_epochs_across_connections() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server =
+            std::thread::spawn(move || serve(listener, Session::new(Budget::LARGE)).unwrap());
+
+        let first = send_lines(addr, &[r#"{"id": 1, "op": "load", "facts": "e(1, 2)."}"#]);
+        assert!(first[0].contains(r#""epoch":1"#), "{}", first[0]);
+        let second = send_lines(
+            addr,
+            &[
+                r#"{"id": 2, "op": "assert", "fact": "e(2, 3)"}"#,
+                r#"{"id": 3, "op": "db"}"#,
+                r#"{"id": 4, "op": "shutdown"}"#,
+            ],
+        );
+        assert!(second[0].contains(r#""epoch":2"#), "{}", second[0]);
+        assert!(second[1].contains(r#""epoch":2"#), "{}", second[1]);
+        assert!(second[2].contains(r#""bye":true"#), "{}", second[2]);
         server.join().unwrap();
     }
 }

@@ -810,6 +810,79 @@ impl Session {
         Ok(())
     }
 
+    /// Capture an immutable, pre-rendered snapshot of everything the
+    /// read-only protocol operations (`query`/`stats`/`views`/`db`) can
+    /// answer. The serving layer publishes one of these per committed
+    /// write (see `crate::shared::SharedSession`); readers then resolve
+    /// against it lock-free. Answers are rendered with exactly the same
+    /// code paths as the live methods, so a snapshot reply is
+    /// byte-identical to asking the session directly — asserted by the
+    /// `read_view_matches_live_session` test. Dirty views are *not*
+    /// rendered (a query would transparently rebuild, which is writer
+    /// work); [`ReadView::query`] reports them as needing the writer.
+    pub fn read_view(&self) -> ReadView {
+        let mut views = BTreeMap::new();
+        for (name, entry) in &self.views {
+            let snap = match (&entry.dirty, &entry.kind) {
+                (Some(_), _) => ViewSnapshot::Dirty,
+                (None, ViewKind::Datalog { maintainer, .. }) => match maintainer {
+                    Maintainer::Stratified(v) => {
+                        let mut certain: BTreeMap<String, Vec<String>> = BTreeMap::new();
+                        for (p, args) in v.total().iter() {
+                            certain
+                                .entry(p.to_string())
+                                .or_default()
+                                .push(format!("{}.", format_fact(p, args)));
+                        }
+                        ViewSnapshot::Datalog {
+                            certain,
+                            unknown: BTreeMap::new(),
+                            idb: v.idb_preds().clone(),
+                        }
+                    }
+                    Maintainer::Recompute(v) => {
+                        let model = v.model();
+                        let mut certain: BTreeMap<String, Vec<String>> = BTreeMap::new();
+                        for (p, args) in model.certain.iter() {
+                            certain
+                                .entry(p.to_string())
+                                .or_default()
+                                .push(format!("{}.", format_fact(p, args)));
+                        }
+                        let mut unknown: BTreeMap<String, Vec<String>> = BTreeMap::new();
+                        for (p, args) in model.unknown_facts() {
+                            unknown
+                                .entry(p.clone())
+                                .or_default()
+                                .push(format_fact(&p, &args));
+                        }
+                        ViewSnapshot::Datalog {
+                            certain,
+                            unknown,
+                            idb: v.idb_preds().clone(),
+                        }
+                    }
+                },
+                (None, ViewKind::Algebra { result, .. }) => ViewSnapshot::Algebra {
+                    query: result.query.to_string(),
+                    well_defined: result.is_well_defined(),
+                    constants: result
+                        .constants
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.to_string()))
+                        .collect(),
+                },
+            };
+            views.insert(name.clone(), snap);
+        }
+        ReadView {
+            db_rows: self.db_summary(),
+            view_rows: self.view_names(),
+            stats_rows: self.stats(None).expect("stats(None) cannot fail"),
+            views,
+        }
+    }
+
     fn rebuild_if_dirty(&mut self, name: &str) -> Result<(), ServeError> {
         let needs = self.views.get(name).is_some_and(|e| e.dirty.is_some());
         if !needs {
@@ -986,6 +1059,116 @@ impl ViewEntry {
             }
         }
         report
+    }
+}
+
+/// One view's pre-rendered state inside a [`ReadView`].
+enum ViewSnapshot {
+    /// The last maintenance failed; a query must go through the writer,
+    /// which transparently rebuilds.
+    Dirty,
+    /// A datalog view: per-predicate rendered fact lines (certain lines
+    /// carry the trailing period, unknown lines do not — matching
+    /// [`Session::query`] exactly) plus the derived-predicate set.
+    Datalog {
+        certain: BTreeMap<String, Vec<String>>,
+        unknown: BTreeMap<String, Vec<String>>,
+        idb: BTreeSet<String>,
+    },
+    /// An algebra view, fully rendered.
+    Algebra {
+        query: String,
+        well_defined: bool,
+        constants: BTreeMap<String, String>,
+    },
+}
+
+/// An immutable point-in-time snapshot of a session's readable state,
+/// captured by [`Session::read_view`] and published epoch-versioned by
+/// the concurrent serving layer. Resolving a read against it touches no
+/// lock and no session state, so readers never block writers or each
+/// other.
+pub struct ReadView {
+    db_rows: Vec<(String, usize)>,
+    view_rows: Vec<(String, &'static str, String, &'static str)>,
+    stats_rows: Vec<ViewStats>,
+    views: BTreeMap<String, ViewSnapshot>,
+}
+
+impl ReadView {
+    /// Answer a query from the snapshot: `Ok(Some(_))` is the answer,
+    /// `Ok(None)` means the view is dirty and the caller must fall back
+    /// to the writer (whose query path transparently rebuilds), and
+    /// `Err` is the same error the live session would return.
+    pub fn query(&self, name: &str, pred: Option<&str>) -> Result<Option<QueryAnswer>, ServeError> {
+        let snap = self
+            .views
+            .get(name)
+            .ok_or_else(|| ServeError::UnknownView(name.to_string()))?;
+        match snap {
+            ViewSnapshot::Dirty => Ok(None),
+            ViewSnapshot::Datalog {
+                certain,
+                unknown,
+                idb,
+            } => {
+                let empty = Vec::new();
+                let lines_of = |map: &BTreeMap<String, Vec<String>>, p: &str| -> Vec<String> {
+                    map.get(p).unwrap_or(&empty).clone()
+                };
+                let (c, u) = match pred {
+                    Some(p) => (lines_of(certain, p), lines_of(unknown, p)),
+                    None => (
+                        // Certain facts list in IDB order; unknown facts
+                        // in predicate-sorted order restricted to IDB —
+                        // both exactly as the live query renders them.
+                        idb.iter().flat_map(|p| lines_of(certain, p)).collect(),
+                        unknown
+                            .iter()
+                            .filter(|(p, _)| idb.contains(*p))
+                            .flat_map(|(_, lines)| lines.clone())
+                            .collect(),
+                    ),
+                };
+                Ok(Some(QueryAnswer::Datalog {
+                    certain: c,
+                    unknown: u,
+                }))
+            }
+            ViewSnapshot::Algebra {
+                query,
+                well_defined,
+                constants,
+            } => Ok(Some(QueryAnswer::Algebra {
+                query: query.clone(),
+                well_defined: *well_defined,
+                constants: constants.clone(),
+            })),
+        }
+    }
+
+    /// Statistics for one view or all views — same shape and order as
+    /// [`Session::stats`].
+    pub fn stats(&self, name: Option<&str>) -> Result<Vec<ViewStats>, ServeError> {
+        match name {
+            Some(n) => self
+                .stats_rows
+                .iter()
+                .find(|s| s.name == n)
+                .map(|s| vec![s.clone()])
+                .ok_or_else(|| ServeError::UnknownView(n.to_string())),
+            None => Ok(self.stats_rows.clone()),
+        }
+    }
+
+    /// `(name, kind, semantics, strategy)` rows, as [`Session::view_names`].
+    pub fn view_names(&self) -> &[(String, &'static str, String, &'static str)] {
+        &self.view_rows
+    }
+
+    /// `(relation, members)` rows, as [`Session::db_summary`].
+    pub fn db_summary(&self) -> &[(String, usize)] {
+        &self.db_rows
     }
 }
 
@@ -1254,6 +1437,84 @@ mod tests {
         assert_eq!(catalog[1].kind, "datalog");
         assert_eq!(catalog[1].program, TC);
         assert_eq!(catalog[1].semantics, Some(Semantics::ValidExtended(4)));
+    }
+
+    #[test]
+    fn read_view_matches_live_session() {
+        let mut session = Session::new(Budget::LARGE);
+        session
+            .load("e(1, 2). e(2, 3). move(1, 2). move(2, 3). move(7, 7).")
+            .unwrap();
+        session
+            .register_datalog("paths", TC, Semantics::Valid)
+            .unwrap();
+        session
+            .register_datalog(
+                "game",
+                "win(X) :- move(X, Y), not win(Y).",
+                Semantics::Valid,
+            )
+            .unwrap();
+        session.register_algebra("alg", "query e;").unwrap();
+        let view = session.read_view();
+        assert_eq!(view.db_summary(), session.db_summary().as_slice());
+        assert_eq!(view.view_names(), session.view_names().as_slice());
+        assert_eq!(view.stats(None).unwrap(), session.stats(None).unwrap());
+        assert_eq!(
+            view.stats(Some("game")).unwrap(),
+            session.stats(Some("game")).unwrap()
+        );
+        // Every query shape — stratified (with and without an explicit
+        // predicate, including an EDB one), three-valued with unknowns,
+        // algebra — answers byte-identically from the snapshot.
+        for (name, pred) in [
+            ("paths", None),
+            ("paths", Some("tc")),
+            ("paths", Some("e")),
+            ("paths", Some("absent")),
+            ("game", None),
+            ("game", Some("win")),
+            ("alg", None),
+        ] {
+            assert_eq!(
+                view.query(name, pred).unwrap().unwrap(),
+                session.query(name, pred).unwrap(),
+                "{name} / {pred:?}"
+            );
+        }
+        assert!(matches!(
+            view.query("missing", None),
+            Err(ServeError::UnknownView(_))
+        ));
+        assert!(matches!(
+            view.stats(Some("missing")),
+            Err(ServeError::UnknownView(_))
+        ));
+    }
+
+    #[test]
+    fn read_view_defers_dirty_views_to_the_writer() {
+        let mut session = Session::new(Budget::LARGE);
+        session.load("e(1, 2).").unwrap();
+        session
+            .register_datalog("paths", TC, Semantics::Valid)
+            .unwrap();
+        session.views.get_mut("paths").unwrap().dirty = Some("boom".into());
+        let view = session.read_view();
+        assert_eq!(view.query("paths", Some("tc")).unwrap(), None);
+        assert!(view.stats(Some("paths")).unwrap()[0].dirty);
+        // The writer path transparently rebuilds and answers.
+        let QueryAnswer::Datalog { certain, .. } = session.query("paths", Some("tc")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(certain, vec!["tc(1, 2).".to_string()]);
+        // And the *next* snapshot serves it again.
+        assert!(session
+            .read_view()
+            .query("paths", Some("tc"))
+            .unwrap()
+            .is_some());
     }
 
     #[test]

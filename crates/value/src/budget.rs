@@ -191,6 +191,29 @@ impl Meter {
         }
     }
 
+    /// Re-emit a parallel worker's index telemetry into this meter's
+    /// trace — the reduction step that folds per-worker [`EvalStats`]
+    /// (collected on isolated worker traces) back into the single trace
+    /// spine. Only index traffic is replayed: iterations, facts and
+    /// deltas are counted *centrally* by the merging round so they stay
+    /// bit-identical to the sequential engine, and worker wall-clock
+    /// phases are dropped (they overlap, so summing them would not be a
+    /// wall time). A no-op on untraced meters.
+    pub fn absorb_worker(&mut self, stats: &crate::stats::EvalStats) {
+        if self.trace.is_null() {
+            return;
+        }
+        for _ in 0..stats.index_builds {
+            self.trace.emit(TraceEvent::IndexBuild(0));
+        }
+        for _ in 0..stats.index_hits {
+            self.trace.emit(TraceEvent::IndexProbe(true));
+        }
+        for _ in 0..stats.index_probes.saturating_sub(stats.index_hits) {
+            self.trace.emit(TraceEvent::IndexProbe(false));
+        }
+    }
+
     /// Is this meter carrying a live (non-null) trace?
     #[inline]
     pub fn is_traced(&self) -> bool {
@@ -333,6 +356,32 @@ mod tests {
         m.phase_end();
         m.record_materialized(1);
         assert_eq!(m.trace().stats(), None);
+    }
+
+    #[test]
+    fn absorb_worker_replays_index_traffic_only() {
+        let trace = Trace::collect();
+        let mut m = Budget::SMALL.meter_traced(trace.clone());
+        let worker = crate::stats::EvalStats {
+            iterations: 5,
+            facts_inserted: 40,
+            deltas: vec![7],
+            index_builds: 2,
+            index_probes: 10,
+            index_hits: 6,
+            ..Default::default()
+        };
+        m.absorb_worker(&worker);
+        let s = trace.stats().unwrap();
+        assert_eq!(s.index_builds, 2);
+        assert_eq!(s.index_probes, 10);
+        assert_eq!(s.index_hits, 6);
+        // Central counters stay untouched — the merging round owns them.
+        assert_eq!(s.iterations, 0);
+        assert_eq!(s.facts_inserted, 0);
+        assert_eq!(s.deltas, Vec::<usize>::new());
+        // Untraced absorption is free.
+        Budget::SMALL.meter().absorb_worker(&worker);
     }
 
     #[test]

@@ -61,3 +61,31 @@ pub use stats::{
 pub use truth::Truth;
 pub use tvset::TvSet;
 pub use value::{Value, ValueKind};
+
+#[cfg(test)]
+mod send_sync_audit {
+    //! The concurrency subsystem (`algrec-sched`) shares these types
+    //! across worker threads and serving snapshots; this audit turns the
+    //! requirement into a compile-time fact. `Value` is interned
+    //! (`Arc`-backed), `Relation` caches its index in a `OnceLock`, and
+    //! the interner itself is a global `RwLock` — all thread-safe by
+    //! construction.
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn shared_evaluation_types_are_send_and_sync() {
+        assert_send_sync::<Value>();
+        assert_send_sync::<Relation>();
+        assert_send_sync::<Database>();
+        assert_send_sync::<TvSet>();
+        assert_send_sync::<Truth>();
+        assert_send_sync::<Budget>();
+        assert_send_sync::<Meter>();
+        assert_send_sync::<Trace>();
+        assert_send_sync::<EvalStats>();
+        assert_send_sync::<BudgetError>();
+        assert_send_sync::<ColumnIndex<Vec<Value>>>();
+    }
+}

@@ -68,6 +68,11 @@ pub enum TraceEvent {
     /// Crash recovery replayed this many write-ahead-log records through
     /// the live session. Emitted once per recovery.
     RecoveryReplay(usize),
+    /// A shared lock was found poisoned (a holder panicked). The payload
+    /// names the lock. Emitted by the serving layer's explicit poison
+    /// recovery; the request that observed it gets a structured
+    /// `internal_error` reply instead of a silently half-mutated view.
+    LockPoisoned(&'static str),
 }
 
 /// Consumer of [`TraceEvent`]s.
@@ -221,6 +226,40 @@ impl EvalStats {
             phases.join(",")
         )
     }
+
+    /// Fold another evaluation's statistics into this one — the
+    /// reduction step for per-worker stats coming back from a parallel
+    /// fixpoint round. Counters add, delta sequences concatenate, phases
+    /// merge by name (iterations/deltas/wall add), and the interner
+    /// snapshots keep the larger value (they are global high-water
+    /// marks, not per-evaluation work).
+    pub fn merge(&mut self, other: &EvalStats) {
+        for (name, p) in &other.phases {
+            match self.phases.iter_mut().find(|(n, _)| n == name) {
+                Some((_, mine)) => {
+                    mine.iterations += p.iterations;
+                    mine.deltas.extend_from_slice(&p.deltas);
+                    mine.wall_nanos += p.wall_nanos;
+                }
+                None => self.phases.push((name.clone(), p.clone())),
+            }
+        }
+        self.iterations += other.iterations;
+        self.facts_inserted = self.facts_inserted.saturating_add(other.facts_inserted);
+        self.facts_materialized += other.facts_materialized;
+        self.deltas.extend_from_slice(&other.deltas);
+        self.index_builds += other.index_builds;
+        self.index_probes += other.index_probes;
+        self.index_hits += other.index_hits;
+        self.interned_values = self.interned_values.max(other.interned_values);
+        self.interned_symbols = self.interned_symbols.max(other.interned_symbols);
+        self.store.wal_records += other.store.wal_records;
+        self.store.wal_bytes += other.store.wal_bytes;
+        self.store.wal_fsyncs += other.store.wal_fsyncs;
+        self.store.snapshots += other.store.snapshots;
+        self.store.snapshot_bytes += other.store.snapshot_bytes;
+        self.store.recovery_replayed += other.store.recovery_replayed;
+    }
 }
 
 impl fmt::Display for EvalStats {
@@ -366,6 +405,10 @@ impl TraceSink for CollectSink {
                 self.stats.store.snapshot_bytes += bytes;
             }
             TraceEvent::RecoveryReplay(n) => self.stats.store.recovery_replayed += n,
+            // Lock poisonings are operational incidents, not evaluation
+            // statistics: the JSON/stats shape is pinned by the bench
+            // golden, so they surface through sinks (LogSink) only.
+            TraceEvent::LockPoisoned(_) => {}
         }
     }
 }
@@ -439,6 +482,9 @@ impl TraceSink for LogSink {
             }
             TraceEvent::RecoveryReplay(n) => {
                 let _ = writeln!(self.out, "% trace: {pad}recovery replayed {n} record(s)");
+            }
+            TraceEvent::LockPoisoned(what) => {
+                let _ = writeln!(self.out, "% trace: {pad}lock poisoned: {what}");
             }
             // Iterations, fact counts, index traffic, fsyncs and interner
             // snapshots are high-frequency; they go to the summary only.
@@ -650,6 +696,85 @@ mod tests {
         assert!(text.contains("% trace: naive {"), "got: {text}");
         assert!(text.contains("delta 4"));
         assert!(text.contains("materialized 4 fact(s)"));
+    }
+
+    #[test]
+    fn merge_reduces_worker_stats() {
+        let mut a = CollectSink::default();
+        a.event(&TraceEvent::PhaseStart("semi-naive"));
+        a.event(&TraceEvent::Iteration);
+        a.event(&TraceEvent::Delta(3));
+        a.event(&TraceEvent::PhaseEnd("semi-naive", 1_000_000));
+        a.event(&TraceEvent::FactsInserted(3));
+        a.event(&TraceEvent::IndexBuild(2));
+        a.event(&TraceEvent::IndexProbe(true));
+        a.event(&TraceEvent::Interner(5, 2));
+        let mut b = CollectSink::default();
+        b.event(&TraceEvent::PhaseStart("semi-naive"));
+        b.event(&TraceEvent::Iteration);
+        b.event(&TraceEvent::Delta(1));
+        b.event(&TraceEvent::PhaseEnd("semi-naive", 500_000));
+        b.event(&TraceEvent::PhaseStart("merge"));
+        b.event(&TraceEvent::PhaseEnd("merge", 250_000));
+        b.event(&TraceEvent::FactsInserted(2));
+        b.event(&TraceEvent::IndexProbe(false));
+        b.event(&TraceEvent::Interner(4, 9));
+        let mut s = a.into_stats();
+        s.merge(b.stats());
+        assert_eq!(s.iterations, 2);
+        assert_eq!(s.facts_inserted, 5);
+        assert_eq!(s.deltas, vec![3, 1]);
+        assert_eq!(s.index_builds, 1);
+        assert_eq!(s.index_probes, 2);
+        assert_eq!(s.index_hits, 1);
+        // Interner sizes are global high-water marks: max, per component.
+        assert_eq!((s.interned_values, s.interned_symbols), (5, 9));
+        assert_eq!(s.phases.len(), 2);
+        let semi = &s.phases[0];
+        assert_eq!(semi.0, "semi-naive");
+        assert_eq!(semi.1.iterations, 2);
+        assert_eq!(semi.1.deltas, vec![3, 1]);
+        assert_eq!(semi.1.wall_nanos, 1_500_000);
+        assert_eq!(s.phases[1].0, "merge");
+    }
+
+    #[test]
+    fn merge_with_default_is_identity() {
+        let mut sink = CollectSink::default();
+        sink.event(&TraceEvent::Iteration);
+        sink.event(&TraceEvent::Delta(2));
+        sink.event(&TraceEvent::WalAppend(16));
+        let mut s = sink.into_stats();
+        let before = s.clone();
+        s.merge(&EvalStats::default());
+        assert_eq!(s, before);
+        let mut zero = EvalStats::default();
+        zero.merge(&before);
+        assert_eq!(zero, before);
+    }
+
+    #[test]
+    fn lock_poisoned_logs_but_stays_out_of_stats() {
+        let mut sink = CollectSink::default();
+        sink.event(&TraceEvent::LockPoisoned("session writer"));
+        assert_eq!(sink.into_stats(), EvalStats::default());
+
+        #[derive(Clone, Default)]
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl std::io::Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let buf = Shared::default();
+        let mut log = LogSink::to_writer(Box::new(buf.clone()));
+        log.event(&TraceEvent::LockPoisoned("session writer"));
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert!(text.contains("lock poisoned: session writer"), "{text}");
     }
 
     #[test]

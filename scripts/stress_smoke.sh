@@ -1,0 +1,179 @@
+#!/usr/bin/env bash
+# Concurrency smoke test: writer clients race disjoint fact streams into
+# a *durable* server over parallel TCP connections while reader clients
+# hammer the materialized view; then the final view must answer exactly
+# like (1) a freshly registered cold re-evaluation of the same program on
+# the final database and (2) the view recovered after restarting the
+# server on the same data directory. Pure bash + /dev/tcp, no extra
+# dependencies — the deep per-epoch consistency check lives in the Rust
+# stress test (tests/concurrent_serve.rs); this leg exercises the real
+# binary end to end.
+#
+# Usage: scripts/stress_smoke.sh            (builds target/release/algrec)
+#        ALGREC_BIN=path scripts/stress_smoke.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BIN="${ALGREC_BIN:-target/release/algrec}"
+
+if [[ ! -x "$BIN" ]]; then
+  cargo build --release
+fi
+
+WRITERS=3
+FACTS_PER_WRITER=8
+READERS=2
+READS_PER_READER=12
+PROGRAM='tc(X, Y) :- e(X, Y).\ntc(X, Z) :- tc(X, Y), e(Y, Z).'
+
+work=$(mktemp -d)
+log="$work/server.log"
+replies="$work/replies"
+datadir="$work/data"
+mkdir -p "$datadir"
+server=""
+trap 'kill -9 "$server" 2>/dev/null || true; rm -rf "$work"' EXIT
+
+start_server() {
+  : >"$log"
+  "$BIN" serve --data-dir "$datadir" --sync always --threads 2 \
+    >"$log" 2>/dev/null &
+  server=$!
+  disown "$server" 2>/dev/null || true
+  for _ in $(seq 100); do
+    grep -q '^% listening on ' "$log" && break
+    sleep 0.1
+  done
+  addr=$(sed -n 's/^% listening on //p' "$log" | head -n 1)
+  if [[ -z "$addr" ]]; then
+    echo "stress smoke test: server never announced an address" >&2
+    exit 1
+  fi
+  host=${addr%:*}
+  port=${addr##*:}
+}
+
+# Wait (poll: the server is disowned) until the server process is gone.
+await_exit() {
+  for _ in $(seq 200); do
+    kill -0 "$server" 2>/dev/null || return 0
+    sleep 0.05
+  done
+  echo "stress smoke test: server did not exit" >&2
+  exit 1
+}
+
+# Send stdin, collect one reply line per request.
+drive() {
+  local n=$1
+  exec 3<>"/dev/tcp/$host/$port"
+  cat >&3
+  head -n "$n" <&3 >"$replies"
+  exec 3>&- 3<&-
+}
+
+certain_of() { sed -n 's/.*"certain":\(\[[^]]*\]\).*/\1/p'; }
+
+# One writer client: its own connection, a private arithmetic chain of
+# facts, one reply awaited per assert (so every recorded reply is a
+# commit acknowledgement).
+writer() {
+  local w=$1 out=$2 k a b
+  exec 4<>"/dev/tcp/$host/$port"
+  for k in $(seq 0 $((FACTS_PER_WRITER - 1))); do
+    a=$(((w + 1) * 1000 + 2 * k))
+    b=$((a + 1))
+    printf '{"id": %d, "op": "assert", "fact": "e(%d, %d)"}\n' "$k" "$a" "$b" >&4
+    IFS= read -r reply <&4
+    printf '%s\n' "$reply" >>"$out"
+  done
+  exec 4>&- 4<&-
+}
+
+# One reader client: repeated queries racing the writers; every reply
+# must be well-formed and ok (epoch-level consistency is the Rust stress
+# test's job).
+reader() {
+  local out=$1 k
+  exec 5<>"/dev/tcp/$host/$port"
+  for k in $(seq 1 "$READS_PER_READER"); do
+    printf '{"id": %d, "op": "query", "view": "paths", "pred": "tc"}\n' "$k" >&5
+    IFS= read -r reply <&5
+    printf '%s\n' "$reply" >>"$out"
+  done
+  exec 5>&- 5<&-
+}
+
+# --- Phase 1: setup, then race writers against readers. -------------
+start_server
+drive 2 <<EOF
+{"id": 1, "op": "load", "facts": "e(1, 2). e(2, 3)."}
+{"id": 2, "op": "register", "view": "paths", "semantics": "stratified", "program": "$PROGRAM"}
+EOF
+if [[ $(grep -c '"ok":true' "$replies") -ne 2 ]]; then
+  echo "stress smoke test: setup failed:" >&2
+  cat "$replies" >&2
+  exit 1
+fi
+
+pids=()
+outs=()
+for w in $(seq 0 $((WRITERS - 1))); do
+  out="$work/writer_$w"
+  outs+=("$out")
+  writer "$w" "$out" &
+  pids+=($!)
+done
+for r in $(seq 1 "$READERS"); do
+  out="$work/reader_$r"
+  outs+=("$out")
+  reader "$out" &
+  pids+=($!)
+done
+for p in "${pids[@]}"; do
+  wait "$p"
+done
+
+total=$((WRITERS * FACTS_PER_WRITER + READERS * READS_PER_READER))
+ok=$(cat "${outs[@]}" | grep -c '"ok":true')
+if [[ "$ok" -ne "$total" ]]; then
+  echo "stress smoke test: expected $total ok replies, got $ok:" >&2
+  grep -hv '"ok":true' "${outs[@]}" >&2 || true
+  exit 1
+fi
+
+# --- Phase 2: final view vs a cold re-evaluation. -------------------
+drive 3 <<EOF
+{"id": 90, "op": "query", "view": "paths", "pred": "tc"}
+{"id": 91, "op": "register", "view": "cold", "semantics": "stratified", "program": "$PROGRAM"}
+{"id": 92, "op": "query", "view": "cold", "pred": "tc"}
+EOF
+final=$(sed -n '1p' "$replies" | certain_of)
+cold=$(sed -n '3p' "$replies" | certain_of)
+if [[ -z "$final" || "$final" != "$cold" ]]; then
+  echo "stress smoke test: raced view differs from cold re-evaluation" >&2
+  echo "  raced: $final" >&2
+  echo "  cold:  $cold" >&2
+  exit 1
+fi
+
+# --- Phase 3: restart on the same directory; recovery must agree. ---
+drive 1 <<EOF
+{"id": 99, "op": "shutdown"}
+EOF
+await_exit
+start_server
+drive 2 <<EOF
+{"id": 100, "op": "query", "view": "paths", "pred": "tc"}
+{"id": 101, "op": "shutdown"}
+EOF
+await_exit
+recovered=$(sed -n '1p' "$replies" | certain_of)
+if [[ "$recovered" != "$final" ]]; then
+  echo "stress smoke test: recovered view differs from the raced view" >&2
+  echo "  raced:     $final" >&2
+  echo "  recovered: $recovered" >&2
+  exit 1
+fi
+
+echo "stress smoke test: OK ($WRITERS writers x $FACTS_PER_WRITER commits raced $READERS readers; raced == cold == recovered)"

@@ -10,6 +10,12 @@
 //! algrec serve  [facts.dl] [--addr HOST:PORT] [--data-dir DIR] [--sync P] [--snapshot-every N]
 //! ```
 //!
+//! Every command also accepts `--threads N`, bounding the worker pool
+//! the fixpoint engines fan out to (default: the `ALGREC_THREADS`
+//! environment variable, else the machine's available parallelism;
+//! `--threads 1` forces fully sequential evaluation). Outputs are
+//! bit-identical at every thread count.
+//!
 //! * deduction programs use the Datalog syntax of `algrec_datalog::parser`;
 //! * facts files are Datalog fact lists (`edge(1, 2).`), loaded as the
 //!   extensional database;
@@ -103,6 +109,17 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
                     .ok_or("--cap needs a value")?
                     .parse()
                     .map_err(|e| format!("--cap: {e}"))?;
+            }
+            "--threads" => {
+                let n: usize = it
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                algrec::sched::set_threads(n);
             }
             "--addr" => args.addr = Some(it.next().ok_or("--addr needs a value")?.clone()),
             "--data-dir" => {
@@ -339,7 +356,7 @@ fn cmd_serve(a: &Args) -> Result<(), String> {
     // scripted clients can connect; flush before blocking in accept.
     println!("% listening on {bound}");
     std::io::stdout().flush().map_err(|e| e.to_string())?;
-    algrec::serve::serve(listener, session).map_err(|e| e.to_string())
+    algrec::serve::serve_traced(listener, session, trace_of(a)).map_err(|e| e.to_string())
 }
 
 fn main() -> ExitCode {

@@ -22,7 +22,10 @@
 //! * [`serve`] — the incremental materialized-view session engine behind
 //!   `algrec repl` and the `algrec serve` line-protocol server;
 //! * [`store`] — the durable store under the serving layer: write-ahead
-//!   log, snapshots, and crash recovery (`--data-dir`).
+//!   log, snapshots, and crash recovery (`--data-dir`);
+//! * [`sched`] — the concurrency substrate: the worker pool behind
+//!   parallel fixpoint rounds (`--threads`, `ALGREC_THREADS`) and the
+//!   epoch-versioned snapshot swap behind the server's lock-free reads.
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-claim-by-claim verification record.
@@ -53,6 +56,7 @@
 pub use algrec_adt as adt;
 pub use algrec_core as core;
 pub use algrec_datalog as datalog;
+pub use algrec_sched as sched;
 pub use algrec_serve as serve;
 pub use algrec_store as store;
 pub use algrec_translate as translate;
@@ -64,7 +68,7 @@ pub mod prelude {
         eval_exact, eval_valid, eval_valid_traced, AlgExpr, AlgProgram, EvalOptions, OpDef,
     };
     pub use algrec_datalog::{evaluate, evaluate_traced, load_facts, Program, Rule, Semantics};
-    pub use algrec_serve::{run_repl, serve, Session};
+    pub use algrec_serve::{run_repl, serve, serve_traced, Session, SharedSession};
     pub use algrec_translate::{check_roundtrip, datalog_to_algebra};
     pub use algrec_value::{
         Budget, CollectSink, Database, EvalStats, LogSink, Relation, Trace, Truth, TvSet, Value,

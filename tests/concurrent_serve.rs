@@ -1,0 +1,199 @@
+//! Multi-client TCP stress test of the concurrent serving layer:
+//! several writer clients race facts into the session while reader
+//! clients hammer queries, all over the real line protocol. The
+//! snapshot-isolation contract under test: **every** read reply must be
+//! consistent with a cold re-evaluation of the database as of the epoch
+//! the reply reports — the set of writes with epoch ≤ the read's epoch,
+//! nothing more, nothing less. Torn reads (a view reflecting half a
+//! write, or a database/view pair from different commits) would produce
+//! an answer matching no epoch at all.
+
+use algrec::serve::{json, serve, Json, Session};
+use algrec::value::{Budget, Database, Value};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+
+const WRITERS: usize = 3;
+const FACTS_PER_WRITER: usize = 15;
+const READERS: usize = 3;
+const READS_PER_READER: usize = 20;
+
+const TC: &str = "tc(X, Y) :- e(X, Y).\\ntc(X, Z) :- tc(X, Y), e(Y, Z).";
+/// Base edges loaded before any writer starts (epoch 1).
+const BASE: &[(i64, i64)] = &[(1, 2), (2, 3)];
+
+/// The private edge writer `w` asserts as its `k`-th write.
+fn edge_of(w: usize, k: usize) -> (i64, i64) {
+    let base = (w as i64 + 1) * 10_000 + 2 * k as i64;
+    (base, base + 1)
+}
+
+fn connect(addr: SocketAddr) -> (BufWriter<TcpStream>, std::io::Lines<BufReader<TcpStream>>) {
+    let stream = TcpStream::connect(addr).unwrap();
+    let writer = BufWriter::new(stream.try_clone().unwrap());
+    (writer, BufReader::new(stream).lines())
+}
+
+fn request(
+    writer: &mut BufWriter<TcpStream>,
+    incoming: &mut std::io::Lines<BufReader<TcpStream>>,
+    line: &str,
+) -> Json {
+    writeln!(writer, "{line}").unwrap();
+    writer.flush().unwrap();
+    let reply = incoming.next().unwrap().unwrap();
+    let parsed = json::parse(&reply).unwrap();
+    assert_eq!(
+        parsed.get("ok"),
+        Some(&Json::Bool(true)),
+        "request failed: {reply}"
+    );
+    parsed
+}
+
+fn epoch_of(reply: &Json) -> u64 {
+    reply.get("epoch").and_then(Json::as_int).unwrap() as u64
+}
+
+/// Cold-evaluate transitive closure over the given edges, rendered in
+/// the protocol's fact-line format, sorted.
+fn cold_tc(edges: &[(i64, i64)]) -> Vec<String> {
+    let db = Database::new().with(
+        "e",
+        algrec::value::Relation::from_pairs(
+            edges.iter().map(|&(a, b)| (Value::int(a), Value::int(b))),
+        ),
+    );
+    let program = algrec::datalog::parser::parse_program(&TC.replace("\\n", "\n")).unwrap();
+    let out = algrec::datalog::evaluate(
+        &program,
+        &db,
+        algrec::datalog::Semantics::Stratified,
+        Budget::LARGE,
+    )
+    .unwrap();
+    let mut lines: Vec<String> = out
+        .model
+        .certain
+        .facts("tc")
+        .map(|args| {
+            format!(
+                "tc({}).",
+                args.iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        })
+        .collect();
+    lines.sort();
+    lines
+}
+
+#[test]
+fn every_read_matches_a_cold_eval_of_its_epoch() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || serve(listener, Session::new(Budget::LARGE)).unwrap());
+
+    // Setup client: base facts (epoch 1), the TC view (epoch 2).
+    let (mut w, mut r) = connect(addr);
+    let facts = BASE
+        .iter()
+        .map(|(a, b)| format!("e({a}, {b})."))
+        .collect::<Vec<_>>()
+        .join(" ");
+    let reply = request(
+        &mut w,
+        &mut r,
+        &format!(r#"{{"id": 1, "op": "load", "facts": "{facts}"}}"#),
+    );
+    assert_eq!(epoch_of(&reply), 1);
+    let reply = request(
+        &mut w,
+        &mut r,
+        &format!(r#"{{"id": 2, "op": "register", "view": "paths", "program": "{TC}"}}"#),
+    );
+    assert_eq!(epoch_of(&reply), 2);
+
+    // Writers and readers race over separate TCP connections.
+    let (writes, reads) = std::thread::scope(|scope| {
+        let writers: Vec<_> = (0..WRITERS)
+            .map(|wi| {
+                scope.spawn(move || {
+                    let (mut w, mut r) = connect(addr);
+                    (0..FACTS_PER_WRITER)
+                        .map(|k| {
+                            let (a, b) = edge_of(wi, k);
+                            let reply = request(
+                                &mut w,
+                                &mut r,
+                                &format!(r#"{{"id": 1, "op": "assert", "fact": "e({a}, {b})"}}"#),
+                            );
+                            (epoch_of(&reply), (a, b))
+                        })
+                        .collect::<Vec<(u64, (i64, i64))>>()
+                })
+            })
+            .collect();
+        let readers: Vec<_> = (0..READERS)
+            .map(|_| {
+                scope.spawn(move || {
+                    let (mut w, mut r) = connect(addr);
+                    (0..READS_PER_READER)
+                        .map(|_| {
+                            let reply = request(
+                                &mut w,
+                                &mut r,
+                                r#"{"id": 1, "op": "query", "view": "paths", "pred": "tc"}"#,
+                            );
+                            let Some(Json::Arr(items)) = reply.get("certain") else {
+                                panic!("no certain array");
+                            };
+                            let mut lines: Vec<String> = items
+                                .iter()
+                                .map(|v| v.as_str().unwrap().to_string())
+                                .collect();
+                            lines.sort();
+                            (epoch_of(&reply), lines)
+                        })
+                        .collect::<Vec<(u64, Vec<String>)>>()
+                })
+            })
+            .collect();
+        let writes: Vec<(u64, (i64, i64))> = writers
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        let reads: Vec<(u64, Vec<String>)> = readers
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        (writes, reads)
+    });
+
+    let (mut w, mut r) = connect(addr);
+    request(&mut w, &mut r, r#"{"id": 99, "op": "shutdown"}"#);
+    server.join().unwrap();
+
+    // Every committed write has a distinct epoch; together they form the
+    // contiguous range after the two setup commits.
+    let mut write_epochs: Vec<u64> = writes.iter().map(|&(e, _)| e).collect();
+    write_epochs.sort_unstable();
+    let expected: Vec<u64> = (3..3 + (WRITERS * FACTS_PER_WRITER) as u64).collect();
+    assert_eq!(write_epochs, expected);
+
+    // Replay: the database as of epoch e is BASE + writes with epoch <= e.
+    let by_epoch: HashMap<u64, (i64, i64)> = writes.into_iter().collect();
+    for (epoch, lines) in reads {
+        assert!(epoch >= 2, "read before the view existed: epoch {epoch}");
+        let mut edges: Vec<(i64, i64)> = BASE.to_vec();
+        edges.extend((3..=epoch).map(|e| by_epoch[&e]));
+        assert_eq!(
+            lines,
+            cold_tc(&edges),
+            "read at epoch {epoch} is not the cold evaluation of that epoch's database"
+        );
+    }
+}
