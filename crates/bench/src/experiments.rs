@@ -1,4 +1,4 @@
-//! The experiment suite E1–E10 (see DESIGN.md §7).
+//! The experiment suite E1–E11 (see DESIGN.md §7).
 //!
 //! The paper has no tables or figures; each experiment here *is* one of
 //! its claims, instrumented. Every runner both measures and **verifies**:
@@ -920,6 +920,134 @@ pub fn e10(quick: bool, stats: bool) -> Table {
     t
 }
 
+/// E11 — the plan compiler, measured. Interpreted vs compiled fixpoints
+/// on the two hot paths the optimization targets:
+///
+/// * **E1-shaped** — the stratified TC + complement query
+///   (`unreach_datalog`) on random graphs up to n = 128: the semi-naive
+///   inner loop runs slot-compiled with first-column index probes
+///   instead of interpreting substitutions per match.
+/// * **E4-shaped** — the WIN game under the valid (alternating fixpoint)
+///   semantics, acyclic and cyclic: every well-founded pass re-enters the
+///   compiled executor with a complement oracle.
+///
+/// Both paths run the *same* engine entry points; only the
+/// `algrec_plan` toggle differs (exactly what `ALGREC_PLAN_BASELINE`
+/// flips). Every pair must produce identical models, and the full sweep
+/// asserts the acceptance claim: ≥5× on the E1-shaped loop at n = 128.
+/// The toggle is process-global; E11 restores it on return.
+pub fn e11(sizes: &[i64], n_valid: i64, stats: bool) -> Table {
+    use algrec_plan::{enabled, set_enabled};
+
+    let mut t = Table::new(
+        "E11",
+        "Plan compiler: interpreted vs slot-compiled fixpoints (cost-ordered joins, index probes)",
+        &[
+            "workload",
+            "n",
+            "t_interpreted",
+            "t_compiled",
+            "speedup",
+            "agree",
+        ],
+    );
+    let was_enabled = enabled();
+
+    // E1-shaped: stratified TC + complement.
+    for &n in sizes {
+        let db = w::with_nodes(
+            w::random_graph("edge", n, (2 * n) as usize, false, 11 + n as u64),
+            n,
+        );
+        let ded = w::unreach_datalog();
+        set_enabled(false);
+        let t0 = Instant::now();
+        let interp = evaluate(&ded, &db, Semantics::Stratified, budget()).unwrap();
+        let t_i = t0.elapsed();
+        set_enabled(true);
+        let t1 = Instant::now();
+        let comp = evaluate(&ded, &db, Semantics::Stratified, budget()).unwrap();
+        let t_c = t1.elapsed();
+        assert_eq!(
+            interp.model, comp.model,
+            "E11: compiled model diverged at n={n}"
+        );
+        assert_eq!(
+            interp.rounds, comp.rounds,
+            "E11: compiled rounds diverged at n={n}"
+        );
+        let speedup = t_i.as_secs_f64() / t_c.as_secs_f64().max(1e-9);
+        if n >= 128 {
+            // The acceptance claim, asserted where it is measured.
+            assert!(
+                speedup >= 5.0,
+                "E11: compiled path must be ≥5x on the E1 hot loop at n={n} \
+                 (got {speedup:.2}x)"
+            );
+        }
+        if stats {
+            // Traced runs always take the interpreted path (telemetry
+            // parity), so one trace per size describes both columns.
+            t.stat(
+                format!("tc_complement_n{n}"),
+                collect(|tr| {
+                    evaluate_traced(&ded, &db, Semantics::Stratified, budget(), tr).unwrap()
+                }),
+            );
+        }
+        t.metric(format!("t_interpreted_tc_n{n}_s"), t_i.as_secs_f64());
+        t.metric(format!("t_compiled_tc_n{n}_s"), t_c.as_secs_f64());
+        t.metric(format!("speedup_tc_n{n}"), speedup);
+        t.row(vec![
+            "tc+complement (stratified)".into(),
+            n.to_string(),
+            fmt_dur(t_i),
+            fmt_dur(t_c),
+            format!("{speedup:.1}x"),
+            "yes".into(),
+        ]);
+    }
+
+    // E4-shaped: WIN under the valid semantics.
+    for (label, frac) in [("win/acyclic", 0.0), ("win/cyclic", 0.3)] {
+        let n = n_valid;
+        let db = w::winmove_graph(n, frac, 7);
+        let p = w::win_datalog();
+        set_enabled(false);
+        let t0 = Instant::now();
+        let interp = evaluate(&p, &db, Semantics::Valid, budget()).unwrap();
+        let t_i = t0.elapsed();
+        set_enabled(true);
+        let t1 = Instant::now();
+        let comp = evaluate(&p, &db, Semantics::Valid, budget()).unwrap();
+        let t_c = t1.elapsed();
+        assert_eq!(
+            interp.model, comp.model,
+            "E11: compiled model diverged on {label} at n={n}"
+        );
+        let speedup = t_i.as_secs_f64() / t_c.as_secs_f64().max(1e-9);
+        t.metric(
+            format!("t_interpreted_{label}_n{n}_s").replace('/', "_"),
+            t_i.as_secs_f64(),
+        );
+        t.metric(
+            format!("t_compiled_{label}_n{n}_s").replace('/', "_"),
+            t_c.as_secs_f64(),
+        );
+        t.row(vec![
+            format!("{label} (valid)"),
+            n.to_string(),
+            fmt_dur(t_i),
+            fmt_dur(t_c),
+            format!("{speedup:.1}x"),
+            "yes".into(),
+        ]);
+    }
+
+    set_enabled(was_enabled);
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -996,6 +1124,21 @@ mod tests {
             assert_eq!(pair[0].1.facts_inserted, pair[1].1.facts_inserted);
             assert_eq!(pair[0].1.deltas, pair[1].1.deltas);
         }
+    }
+
+    #[test]
+    fn e11_runs() {
+        let before = algrec_plan::enabled();
+        let t = e11(&[10], 8, true);
+        // 1 TC size + {acyclic, cyclic} WIN.
+        assert_eq!(t.rows.len(), 3);
+        assert!(t.rows.iter().all(|r| r[5] == "yes"));
+        assert_eq!(t.stats.len(), 1);
+        // Interpreted/compiled timings plus the speedup for the TC sweep,
+        // then two timings per WIN variant.
+        assert_eq!(t.metrics.len(), 7);
+        // The toggle is restored to whatever the process started with.
+        assert_eq!(algrec_plan::enabled(), before);
     }
 
     #[test]

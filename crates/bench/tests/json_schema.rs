@@ -108,6 +108,35 @@ fn e10_report_has_the_pinned_shape() {
 }
 
 #[test]
+fn e11_report_has_the_pinned_shape() {
+    // E11 carries the plan-compiler acceptance numbers; the ≥5× claim is
+    // asserted inside the experiment at the full-sweep sizes, so here a
+    // small run pins only the metric names and table shape.
+    let t = algrec_bench::experiments::e11(&[10], 8, false);
+    assert_eq!(t.id, "E11");
+    assert_eq!(
+        t.headers,
+        vec![
+            "workload",
+            "n",
+            "t_interpreted",
+            "t_compiled",
+            "speedup",
+            "agree"
+        ]
+    );
+    let has = |name: &str| t.metrics.iter().any(|(n, _)| n == name);
+    assert!(has("t_interpreted_tc_n10_s"));
+    assert!(has("t_compiled_tc_n10_s"));
+    assert!(has("speedup_tc_n10"));
+    assert!(has("t_interpreted_win_acyclic_n8_s"));
+    assert!(has("t_compiled_win_acyclic_n8_s"));
+    assert!(has("t_interpreted_win_cyclic_n8_s"));
+    assert!(has("t_compiled_win_cyclic_n8_s"));
+    assert!(t.rows.iter().all(|r| r[5] == "yes"));
+}
+
+#[test]
 fn empty_stats_serializes_as_empty_object() {
     // Runs without --stats must still produce the key (consumers can rely
     // on its presence) with an empty object.

@@ -66,6 +66,12 @@ pub struct EvalOptions {
     /// Advance monotone fixpoints semi-naively (delta-driven) and cache
     /// loop-invariant subexpression values per fixpoint run.
     pub delta: bool,
+    /// Key the per-fixpoint value and index caches by *structural* plan
+    /// ids (hash-consed in an [`algrec_plan::PlanArena`]) instead of node
+    /// addresses, so structurally equal subexpressions — e.g. the
+    /// pointer-distinct copies [`AlgProgram::substitute`] produces —
+    /// share one cache entry (cross-rule common-subexpression sharing).
+    pub plan: bool,
 }
 
 impl EvalOptions {
@@ -74,6 +80,7 @@ impl EvalOptions {
         interning: true,
         index: true,
         delta: true,
+        plan: true,
     };
 
     /// Every optimization off — the seed evaluator's behavior, kept as
@@ -82,6 +89,7 @@ impl EvalOptions {
         interning: false,
         index: false,
         delta: false,
+        plan: false,
     };
 }
 
@@ -89,11 +97,17 @@ impl Default for EvalOptions {
     /// [`EvalOptions::OPTIMIZED`], unless the `ALGREC_EVAL_BASELINE`
     /// environment variable is set to a non-empty value, which forces
     /// [`EvalOptions::BASELINE`]. The CI matrix uses this to run the whole
-    /// test suite down the unoptimized path without code changes.
+    /// test suite down the unoptimized path without code changes. The
+    /// narrower `ALGREC_PLAN_BASELINE` toggle (read through
+    /// [`algrec_plan::enabled`]) switches off only the plan-keyed caches,
+    /// leaving the other optimizations on.
     fn default() -> Self {
         match std::env::var_os("ALGREC_EVAL_BASELINE") {
             Some(v) if !v.is_empty() => EvalOptions::BASELINE,
-            _ => EvalOptions::OPTIMIZED,
+            _ => EvalOptions {
+                plan: algrec_plan::enabled(),
+                ..EvalOptions::OPTIMIZED
+            },
         }
     }
 }
@@ -282,6 +296,9 @@ pub(crate) struct Evaluator<'a> {
     pub(crate) opts: EvalOptions,
     locals: Vec<(Symbol, SetRef)>,
     ctxs: Vec<FixCtx>,
+    /// Hash-consed plan ids for cache keying (the `plan` option).
+    plan_arena: algrec_plan::PlanArena,
+    plan_keys: HashMap<usize, algrec_plan::PlanId>,
 }
 
 impl<'a> Evaluator<'a> {
@@ -296,7 +313,24 @@ impl<'a> Evaluator<'a> {
             opts,
             locals: Vec::new(),
             ctxs: Vec::new(),
+            plan_arena: algrec_plan::PlanArena::new(),
+            plan_keys: HashMap::new(),
         }
+    }
+
+    /// The cache key for `e`: its hash-consed structural plan id when
+    /// the `plan` option is on — so the pointer-distinct structural
+    /// twins produced by definition inlining share one cache entry —
+    /// and its node address otherwise. Sharing is sound because
+    /// structural twins have identical free names and therefore
+    /// identical invariance classification; the invariance gates in
+    /// [`Evaluator::eval`] and [`Evaluator::right_index`] already refuse
+    /// any entry whose value could differ between occurrences.
+    fn memo_key(&mut self, e: &AlgExpr) -> usize {
+        if !self.opts.plan {
+            return e as *const AlgExpr as usize;
+        }
+        crate::explain::lower_expr(e, &mut self.plan_arena, &mut self.plan_keys, None).index()
     }
 
     pub(crate) fn push_ctx(&mut self, vars: Vec<Symbol>, positive_only: bool) {
@@ -372,7 +406,7 @@ impl<'a> Evaluator<'a> {
     ) -> Result<SetRef, CoreError> {
         let suffix = self.cache_suffix(e, positive);
         if suffix.is_some() {
-            let key = key_of(e, positive);
+            let key = (self.memo_key(e), positive);
             for c in self.ctxs.iter().rev() {
                 if let Some(v) = c.values.get(&key) {
                     return Ok(v.clone());
@@ -381,7 +415,8 @@ impl<'a> Evaluator<'a> {
         }
         let out = self.eval_uncached(e, pos, neg, positive, meter)?;
         if let Some(k) = suffix {
-            self.ctxs[k].values.insert(key_of(e, positive), out.clone());
+            let key = (self.memo_key(e), positive);
+            self.ctxs[k].values.insert(key, out.clone());
         }
         Ok(out)
     }
@@ -879,7 +914,7 @@ impl<'a> Evaluator<'a> {
         } else {
             None
         };
-        let key = (right_expr as *const AlgExpr as usize, positive, off);
+        let key = (self.memo_key(right_expr), positive, off);
         if cache_at.is_some() {
             for c in self.ctxs.iter().rev() {
                 if let Some(idx) = c.indexes.get(&key) {

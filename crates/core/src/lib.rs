@@ -53,6 +53,7 @@
 pub mod analysis;
 pub mod error;
 pub mod eval;
+pub mod explain;
 pub mod expr;
 pub mod opt;
 pub mod parser;
@@ -62,6 +63,7 @@ pub mod valid_eval;
 pub use analysis::{classify, LanguageClass};
 pub use error::CoreError;
 pub use eval::{eval_exact, eval_exact_traced, eval_exact_with, EvalOptions, SetEnv, SetRef};
+pub use explain::explain_program;
 pub use expr::{AlgExpr, CmpOp, FuncExpr, FuncOp};
 pub use opt::{simplify, simplify_program};
 pub use program::{AlgProgram, OpDef};

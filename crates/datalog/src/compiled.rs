@@ -1,0 +1,1667 @@
+//! Slot-compiled, id-space fixpoint execution — the engine behind the
+//! plan IR (`algrec-plan`).
+//!
+//! The interpreted engine ([`crate::engine`]) walks slot expressions and
+//! clones [`Value`]s on every match. This module instead *compiles* each
+//! eligible rule to a flat sequence of column operations over interned
+//! value ids ([`Vid`]): facts become rows in flat [`Chunk`] arenas (one
+//! contiguous `Vec<Vid>` per relation — no per-row allocation), each
+//! relation carries an open-addressing dedup set of row indices and a
+//! first-column hash index (probe), and a rule body becomes
+//! `Bind`/`Check`/`Const` column ops in a cost-chosen join order
+//! ([`algrec_plan::Catalog::order_join`]). The hot loop therefore does
+//! no string hashing, no `Value` clones, no heap traffic per candidate
+//! and no per-match budget checks.
+//!
+//! **Eligibility.** A program is compilable when every head and body
+//! argument is a variable or a constant and every body literal is a
+//! positive or negative atom (no comparisons, equalities or function
+//! applications — those construct fresh values, which the id-space
+//! executor deliberately cannot do). The entry points additionally
+//! require the plan toggle ([`algrec_plan::enabled`]) and an *untraced*
+//! meter: traced runs keep the interpreted path so every telemetry
+//! stream (index builds/probes, per-phase counters) stays byte-identical
+//! to previous releases. Conversion also falls back if any converted
+//! value exceeds the budget's value-size limit — with variable/constant
+//! heads the executor only ever recombines existing values, so once the
+//! inputs fit, no per-match size check is needed.
+//!
+//! **Exact parity.** For eligible programs the compiled fixpoints
+//! reproduce the interpreted engines *bit for bit*: same model, same
+//! [`FixpointStats`], same meter protocol (one `tick_iteration` per
+//! round, one `add_facts` per fact new to the round's candidate buffer,
+//! one `record_delta` per round) and hence the same budget errors. The
+//! differential rounds keep the parallel discipline of
+//! [`crate::fixpoint`]: hash-partitioned delta, per-worker per-rule
+//! candidate buffers, deterministic rule-major/worker-minor merge that
+//! alone charges the real meter. All charged quantities are sizes of
+//! sets, so they are independent of enumeration order and thread count.
+
+use crate::ast::{Expr, Literal, Rule};
+use crate::engine::Compiled;
+use crate::error::EvalError;
+use crate::fixpoint::{FixpointStats, NegOracle, PAR_MIN_FACTS};
+use crate::interp::Interp;
+use algrec_value::budget::Meter;
+use algrec_value::{Value, Vid};
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+const FX_SEED: u64 = 0x517c_c1b7_2722_0a95;
+
+/// FxHash-style multiply-rotate hasher: `Vid`s are small dense integers,
+/// so a fast non-cryptographic mix beats SipHash by a wide margin on the
+/// row-dedup and index paths.
+#[derive(Default, Clone)]
+struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn push(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.push(u64::from(b));
+        }
+    }
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.push(u64::from(n));
+    }
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.push(n);
+    }
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.push(n as u64);
+    }
+}
+
+type FxBuild = BuildHasherDefault<FxHasher>;
+type FxMap<K, V> = HashMap<K, V, FxBuild>;
+
+#[inline]
+fn hash_row(row: &[Vid]) -> u64 {
+    let mut h = FxHasher::default();
+    for v in row {
+        h.write_u32(v.index());
+    }
+    h.finish()
+}
+
+/// Flat row arena: every row of one relation (or one buffer) lives in a
+/// single `Vec<Vid>`, delimited by an offsets table. Appending a row is
+/// a `memcpy` into the tail — no per-row allocation, no per-row free on
+/// teardown — and scans walk contiguous memory. Rows keep insertion
+/// order, which the deterministic merge relies on.
+#[derive(Clone)]
+struct Chunk {
+    data: Vec<Vid>,
+    /// `offsets[i]..offsets[i+1]` delimits row `i`; starts as `[0]`.
+    offsets: Vec<u32>,
+}
+
+impl Default for Chunk {
+    fn default() -> Self {
+        Chunk {
+            data: Vec::new(),
+            offsets: vec![0],
+        }
+    }
+}
+
+impl Chunk {
+    #[inline]
+    fn push(&mut self, row: &[Vid]) {
+        self.data.extend_from_slice(row);
+        self.offsets.push(self.data.len() as u32);
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.offsets.len() == 1
+    }
+
+    #[inline]
+    fn row(&self, i: usize) -> &[Vid] {
+        &self.data[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    #[inline]
+    fn iter(&self) -> impl Iterator<Item = &[Vid]> {
+        (0..self.len()).map(move |i| self.row(i))
+    }
+}
+
+/// Deduplicating arena table: a [`Chunk`] row store plus an
+/// open-addressing hash set of row indices (power-of-two slots,
+/// `u32::MAX` marks empty). Membership and insertion share one probe
+/// pass — the table grows *before* probing, so the empty slot the probe
+/// finds is valid for insertion.
+#[derive(Default, Clone)]
+struct Table {
+    chunk: Chunk,
+    slots: Box<[u32]>,
+}
+
+impl Table {
+    const EMPTY: u32 = u32::MAX;
+
+    /// Insert `row`, returning `true` iff it was new.
+    fn insert(&mut self, row: &[Vid]) -> bool {
+        if (self.chunk.len() + 1) * 4 >= self.slots.len() * 3 {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (hash_row(row) as usize) & mask;
+        loop {
+            match self.slots[i] {
+                Self::EMPTY => break,
+                idx => {
+                    if self.chunk.row(idx as usize) == row {
+                        return false;
+                    }
+                }
+            }
+            i = (i + 1) & mask;
+        }
+        self.slots[i] = self.chunk.len() as u32;
+        self.chunk.push(row);
+        true
+    }
+
+    #[inline]
+    fn contains(&self, row: &[Vid]) -> bool {
+        if self.slots.is_empty() {
+            return false;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (hash_row(row) as usize) & mask;
+        loop {
+            match self.slots[i] {
+                Self::EMPTY => return false,
+                idx => {
+                    if self.chunk.row(idx as usize) == row {
+                        return true;
+                    }
+                }
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let cap = (self.slots.len() * 2).max(16);
+        let mut slots = vec![Self::EMPTY; cap].into_boxed_slice();
+        let mask = cap - 1;
+        for idx in 0..self.chunk.len() as u32 {
+            let mut i = (hash_row(self.chunk.row(idx as usize)) as usize) & mask;
+            while slots[i] != Self::EMPTY {
+                i = (i + 1) & mask;
+            }
+            slots[i] = idx;
+        }
+        self.slots = slots;
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.chunk.len()
+    }
+}
+
+/// One relation in id space: dedup/scan table plus first-column index.
+#[derive(Default, Clone)]
+struct Rel {
+    table: Table,
+    first: FxMap<Vid, Vec<u32>>,
+}
+
+impl Rel {
+    /// Insert `row`, maintaining the first-column index; `true` iff new.
+    fn insert(&mut self, row: &[Vid]) -> bool {
+        if !self.table.insert(row) {
+            return false;
+        }
+        if let Some(&k) = row.first() {
+            self.first
+                .entry(k)
+                .or_default()
+                .push((self.table.len() - 1) as u32);
+        }
+        true
+    }
+}
+
+/// A database in id space, indexed by predicate id.
+#[derive(Clone)]
+struct IdDb {
+    rels: Vec<Rel>,
+}
+
+impl IdDb {
+    fn new(npreds: usize) -> Self {
+        IdDb {
+            rels: vec![Rel::default(); npreds],
+        }
+    }
+}
+
+/// A per-round delta: one plain [`Chunk`] per predicate id. Delta
+/// literals are forced first in the join order and therefore always
+/// *scanned*, never probed, and [`Machine::split_new`] only ever emits
+/// rows new to the total — so neither the dedup slots nor the
+/// first-column index of [`Rel`] would ever be consulted.
+type DeltaDb = Vec<Chunk>;
+
+fn delta_total(delta: &DeltaDb) -> usize {
+    delta.iter().map(Chunk::len).sum()
+}
+
+/// Predicate-name interning local to one compiled program.
+#[derive(Default)]
+struct PredTable {
+    names: Vec<String>,
+    ids: HashMap<String, usize>,
+}
+
+impl PredTable {
+    fn id(&mut self, name: &str) -> usize {
+        if let Some(&i) = self.ids.get(name) {
+            return i;
+        }
+        let i = self.names.len();
+        self.names.push(name.to_string());
+        self.ids.insert(name.to_string(), i);
+        i
+    }
+
+    fn get(&self, name: &str) -> Option<usize> {
+        self.ids.get(name).copied()
+    }
+}
+
+/// A head argument or fully-bound literal argument.
+#[derive(Clone, Copy, Debug)]
+enum CArg {
+    Var(usize),
+    Const(Vid),
+}
+
+#[inline]
+fn arg_vid(a: CArg, frame: &[Vid]) -> Vid {
+    match a {
+        CArg::Var(s) => frame[s],
+        CArg::Const(v) => v,
+    }
+}
+
+/// One column of a positive literal, with the bind-vs-check decision
+/// made at compile time from the chosen join order.
+#[derive(Clone, Copy, Debug)]
+enum CCol {
+    Bind(usize),
+    Check(usize),
+    Const(Vid),
+}
+
+/// A positive literal compiled against a fixed join order.
+#[derive(Clone, Debug)]
+struct CPos {
+    pred: usize,
+    cols: Box<[CCol]>,
+    /// First-column probe key, when computable at arrival.
+    probe: Option<CArg>,
+    /// Semi-naive: read this literal from the delta instead of the total.
+    from_delta: bool,
+}
+
+/// One execution step of a compiled rule body.
+#[derive(Clone, Debug)]
+enum COp {
+    Pos(CPos),
+    Neg { pred: usize, args: Box<[CArg]> },
+}
+
+/// A rule body compiled for one delta position (or for full firing).
+#[derive(Clone, Debug)]
+struct CVariant {
+    /// Predicate of the delta literal (for empty-partition skips).
+    pred: usize,
+    ops: Box<[COp]>,
+}
+
+/// A fully compiled rule.
+#[derive(Clone, Debug)]
+struct CRule {
+    head_pred: usize,
+    head: Box<[CArg]>,
+    nvars: usize,
+    /// Ops for full (round-0 / naive) firing.
+    full: Box<[COp]>,
+    /// One variant per positive body literal, in body order.
+    variants: Vec<CVariant>,
+}
+
+/// Source form of a body literal after slot/pred resolution.
+enum SrcLit {
+    Pos { pred: usize, args: Vec<CArg> },
+    Neg { pred: usize, args: Vec<CArg> },
+}
+
+/// Negation oracle, lowered to id space where possible.
+enum NegDb<'a> {
+    /// Negation never satisfied (positive programs).
+    False,
+    /// Inflationary reading: `¬p(x)` iff `p(x)` is not in the current
+    /// total (which is frozen within a round — candidates are buffered).
+    Total,
+    /// Complement of a frozen interpretation, interned per negated
+    /// predicate id (`None` = predicate absent, so `¬` always holds).
+    Sets(Vec<Option<Table>>),
+    /// Arbitrary callback; arguments are resolved back to [`Value`]s.
+    Fn(&'a (dyn Fn(&str, &[Value]) -> bool + Sync)),
+}
+
+#[inline]
+fn neg_holds(neg: &NegDb<'_>, total: &IdDb, pred: usize, row: &[Vid], names: &[String]) -> bool {
+    match neg {
+        NegDb::False => false,
+        NegDb::Total => !total.rels[pred].table.contains(row),
+        NegDb::Sets(sets) => match &sets[pred] {
+            Some(set) => !set.contains(row),
+            None => true,
+        },
+        NegDb::Fn(f) => {
+            let args: Vec<Value> = row.iter().map(|v| v.resolve().clone()).collect();
+            f(&names[pred], &args)
+        }
+    }
+}
+
+/// Per-round candidate buffer, keyed by predicate id: arena tables, so
+/// a candidate costs at most a tail append (and usually just a probe —
+/// in the fixpoint's inner loop most candidates are re-derivations).
+/// Insertion charges nothing itself; callers charge the meter on `true`
+/// returns, matching the interpreted engine's per-new-candidate
+/// accounting.
+struct Derived {
+    tables: Vec<Table>,
+}
+
+impl Derived {
+    fn new(npreds: usize) -> Self {
+        Derived {
+            tables: (0..npreds).map(|_| Table::default()).collect(),
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, pred: usize, row: &[Vid]) -> bool {
+        self.tables[pred].insert(row)
+    }
+}
+
+#[inline]
+fn match_cols(cols: &[CCol], row: &[Vid], frame: &mut [Vid]) -> bool {
+    if row.len() != cols.len() {
+        return false;
+    }
+    for (c, &v) in cols.iter().zip(row.iter()) {
+        match *c {
+            CCol::Bind(s) => frame[s] = v,
+            CCol::Check(s) => {
+                if frame[s] != v {
+                    return false;
+                }
+            }
+            CCol::Const(k) => {
+                if k != v {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Shared read-only context for one firing.
+struct FireCtx<'a> {
+    total: &'a IdDb,
+    delta: Option<&'a DeltaDb>,
+    neg: &'a NegDb<'a>,
+    names: &'a [String],
+}
+
+fn fire_ops<S: FnMut(&[Vid]) -> Result<(), EvalError>>(
+    ctx: &FireCtx<'_>,
+    ops: &[COp],
+    k: usize,
+    frame: &mut [Vid],
+    scratch: &mut Vec<Vid>,
+    sink: &mut S,
+) -> Result<(), EvalError> {
+    let Some(op) = ops.get(k) else {
+        return sink(frame);
+    };
+    match op {
+        COp::Pos(p) => {
+            if p.from_delta {
+                // Deltas are plain chunks (no index): always scanned.
+                let rows = &ctx.delta.expect("differential firing carries a delta")[p.pred];
+                for ri in 0..rows.len() {
+                    if match_cols(&p.cols, rows.row(ri), frame) {
+                        fire_ops(ctx, ops, k + 1, frame, scratch, sink)?;
+                    }
+                }
+                return Ok(());
+            }
+            let rel = &ctx.total.rels[p.pred];
+            if let Some(key_src) = p.probe {
+                let key = arg_vid(key_src, frame);
+                if let Some(bucket) = rel.first.get(&key) {
+                    for &ri in bucket {
+                        if match_cols(&p.cols, rel.table.chunk.row(ri as usize), frame) {
+                            fire_ops(ctx, ops, k + 1, frame, scratch, sink)?;
+                        }
+                    }
+                }
+            } else {
+                for ri in 0..rel.table.len() {
+                    if match_cols(&p.cols, rel.table.chunk.row(ri), frame) {
+                        fire_ops(ctx, ops, k + 1, frame, scratch, sink)?;
+                    }
+                }
+            }
+            Ok(())
+        }
+        COp::Neg { pred, args } => {
+            // The consult row lives in the shared scratch buffer: no
+            // allocation per candidate. Its borrow ends before the
+            // recursion, which reuses the buffer for deeper negations.
+            scratch.clear();
+            scratch.extend(args.iter().map(|a| arg_vid(*a, frame)));
+            if neg_holds(ctx.neg, ctx.total, *pred, scratch, ctx.names) {
+                fire_ops(ctx, ops, k + 1, frame, scratch, sink)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn fire_rule<O: FnMut(usize, &[Vid]) -> Result<(), EvalError>>(
+    ctx: &FireCtx<'_>,
+    rule: &CRule,
+    ops: &[COp],
+    dummy: Vid,
+    out: &mut O,
+) -> Result<(), EvalError> {
+    let mut frame = vec![dummy; rule.nvars];
+    let mut neg_scratch = Vec::new();
+    let mut head_scratch: Vec<Vid> = Vec::with_capacity(rule.head.len());
+    let head = &rule.head;
+    let head_pred = rule.head_pred;
+    let mut sink = |frame: &[Vid]| {
+        head_scratch.clear();
+        head_scratch.extend(head.iter().map(|a| arg_vid(*a, frame)));
+        out(head_pred, &head_scratch)
+    };
+    fire_ops(ctx, ops, 0, &mut frame, &mut neg_scratch, &mut sink)
+}
+
+/// Is `e` a plain variable or constant (the only shapes the id-space
+/// executor handles)?
+fn simple_expr(e: &Expr) -> bool {
+    matches!(e, Expr::Var(_) | Expr::Lit(_))
+}
+
+fn rule_compilable(rule: &Rule) -> bool {
+    rule.head.args.iter().all(simple_expr)
+        && rule.body.iter().all(|lit| match lit {
+            Literal::Pos(a) | Literal::Neg(a) => a.args.iter().all(simple_expr),
+            _ => false,
+        })
+}
+
+/// Shared gate for every entry point.
+fn eligible(compiled: &Compiled, meter: &Meter) -> bool {
+    algrec_plan::enabled() && !meter.is_traced() && compiled.rules.iter().all(rule_compilable)
+}
+
+/// The id-space working state shared by every run mode: the predicate
+/// table, interned relations, and the negation oracle. Rule code is
+/// compiled separately — one [`LevelCode`] per program (or per stratum)
+/// — so a stratified run reuses one machine, and its interned totals,
+/// across strata instead of crossing the id↔value boundary at every
+/// stratum.
+struct Machine<'a> {
+    table: PredTable,
+    total: IdDb,
+    init: Vec<usize>,
+    neg: NegDb<'a>,
+    dummy: Vid,
+}
+
+/// One rule after slot/pred resolution: head predicate, head args,
+/// variable count, body.
+type Resolved = (usize, Vec<CArg>, usize, Vec<SrcLit>);
+
+/// The rules of one evaluation unit (a whole program, or one stratum),
+/// lowered against the machine's table with join orders costed from the
+/// machine's totals at lowering time.
+struct LevelCode {
+    rules: Vec<CRule>,
+    /// Static differential firing list: the (rule, variant) pairs whose
+    /// variant predicate is an IDB head of this unit.
+    firings: Vec<(usize, usize)>,
+    /// Preds read differentially by `firings` — the only ones worth
+    /// copying into the per-round delta.
+    consumed: Vec<bool>,
+}
+
+/// Resolve per-rule variable slots and literal arguments; `None` when a
+/// literal constant exceeds the value-size limit.
+fn resolve_rule(
+    rule: &Rule,
+    table: &mut PredTable,
+    limit: usize,
+) -> Option<(usize, Vec<CArg>, usize, Vec<SrcLit>)> {
+    // Variable slots in first-occurrence order over body then head.
+    let mut names: Vec<String> = Vec::new();
+    let slot_of = |n: &str, names: &mut Vec<String>| match names.iter().position(|v| v == n) {
+        Some(i) => i,
+        None => {
+            names.push(n.to_string());
+            names.len() - 1
+        }
+    };
+    let conv = |e: &Expr, names: &mut Vec<String>| -> Option<CArg> {
+        match e {
+            Expr::Var(n) => Some(CArg::Var(slot_of(n, names))),
+            Expr::Lit(v) => {
+                if v.size() > limit {
+                    return None;
+                }
+                Some(CArg::Const(Vid::of(v)))
+            }
+            _ => None,
+        }
+    };
+    let mut body = Vec::with_capacity(rule.body.len());
+    for lit in &rule.body {
+        match lit {
+            Literal::Pos(a) => {
+                let args = a
+                    .args
+                    .iter()
+                    .map(|e| conv(e, &mut names))
+                    .collect::<Option<Vec<_>>>()?;
+                body.push(SrcLit::Pos {
+                    pred: table.id(&a.pred),
+                    args,
+                });
+            }
+            Literal::Neg(a) => {
+                let args = a
+                    .args
+                    .iter()
+                    .map(|e| conv(e, &mut names))
+                    .collect::<Option<Vec<_>>>()?;
+                body.push(SrcLit::Neg {
+                    pred: table.id(&a.pred),
+                    args,
+                });
+            }
+            _ => return None,
+        }
+    }
+    let head = rule
+        .head
+        .args
+        .iter()
+        .map(|e| conv(e, &mut names))
+        .collect::<Option<Vec<_>>>()?;
+    Some((table.id(&rule.head.pred), head, names.len(), body))
+}
+
+/// Build the `JoinLit` view of a resolved body for the cost-based
+/// orderer.
+fn join_lits(
+    body: &[SrcLit],
+    table: &PredTable,
+    delta_pos: Option<usize>,
+) -> Vec<algrec_plan::JoinLit> {
+    body.iter()
+        .enumerate()
+        .map(|(i, lit)| match lit {
+            SrcLit::Pos { pred, args } => algrec_plan::JoinLit {
+                pred: Some(table.names[*pred].clone()),
+                produces: args
+                    .iter()
+                    .filter_map(|a| match a {
+                        CArg::Var(s) => Some(*s),
+                        CArg::Const(_) => None,
+                    })
+                    .collect(),
+                requires: Vec::new(),
+                first: match args.first() {
+                    Some(CArg::Const(_)) => algrec_plan::FirstCol::Const,
+                    Some(CArg::Var(s)) => algrec_plan::FirstCol::Var(*s),
+                    None => algrec_plan::FirstCol::None,
+                },
+                forced_first: delta_pos == Some(i),
+            },
+            SrcLit::Neg { pred, args } => algrec_plan::JoinLit {
+                pred: Some(table.names[*pred].clone()),
+                produces: Vec::new(),
+                requires: args
+                    .iter()
+                    .filter_map(|a| match a {
+                        CArg::Var(s) => Some(*s),
+                        CArg::Const(_) => None,
+                    })
+                    .collect(),
+                first: algrec_plan::FirstCol::None,
+                forced_first: false,
+            },
+        })
+        .collect()
+}
+
+/// Lower a resolved body in the given order into column ops.
+fn lower(body: &[SrcLit], order: &[usize], delta_pos: Option<usize>, nvars: usize) -> Box<[COp]> {
+    let mut bound = vec![false; nvars];
+    let mut ops = Vec::with_capacity(order.len());
+    for &i in order {
+        match &body[i] {
+            SrcLit::Pos { pred, args } => {
+                // Delta literals are stored without a first-column index,
+                // so they must scan (they come first anyway).
+                let probe = if delta_pos == Some(i) {
+                    None
+                } else {
+                    match args.first() {
+                        Some(CArg::Const(v)) => Some(CArg::Const(*v)),
+                        Some(CArg::Var(s)) if bound[*s] => Some(CArg::Var(*s)),
+                        _ => None,
+                    }
+                };
+                let cols = args
+                    .iter()
+                    .map(|a| match a {
+                        CArg::Const(v) => CCol::Const(*v),
+                        CArg::Var(s) => {
+                            if bound[*s] {
+                                CCol::Check(*s)
+                            } else {
+                                bound[*s] = true;
+                                CCol::Bind(*s)
+                            }
+                        }
+                    })
+                    .collect();
+                ops.push(COp::Pos(CPos {
+                    pred: *pred,
+                    cols,
+                    probe,
+                    from_delta: delta_pos == Some(i),
+                }));
+            }
+            SrcLit::Neg { pred, args } => {
+                ops.push(COp::Neg {
+                    pred: *pred,
+                    args: args.to_vec().into_boxed_slice(),
+                });
+            }
+        }
+    }
+    ops.into_boxed_slice()
+}
+
+impl<'a> Machine<'a> {
+    /// Resolve every level's rules against one shared table and intern
+    /// the base interpretation. `None` when any converted value exceeds
+    /// the meter's value-size limit — the caller then keeps the
+    /// interpreted path, which performs the authoritative per-match size
+    /// checks. With `total_oracle` the negation oracle is the live
+    /// complement of the machine's totals ([`NegDb::Total`]): the
+    /// inflationary reading, and also the stratified one (see
+    /// [`try_stratified`]).
+    fn build(
+        levels: &[&Compiled],
+        base: &Interp,
+        oracle: &'a NegOracle<'a>,
+        meter: &Meter,
+        total_oracle: bool,
+    ) -> Option<(Machine<'a>, Vec<Vec<Resolved>>)> {
+        let limit = meter.budget().max_value_size;
+        let mut table = PredTable::default();
+        let mut resolved_levels = Vec::with_capacity(levels.len());
+        for level in levels {
+            let mut resolved = Vec::with_capacity(level.rules.len());
+            for rule in &level.rules {
+                resolved.push(resolve_rule(rule, &mut table, limit)?);
+            }
+            resolved_levels.push(resolved);
+        }
+        let npreds = table.names.len();
+
+        // Intern the base for every mentioned predicate.
+        let mut total = IdDb::new(npreds);
+        let mut row: Vec<Vid> = Vec::new();
+        for (p, name) in table.names.clone().iter().enumerate() {
+            for fact in base.facts(name) {
+                row.clear();
+                for v in fact {
+                    if v.size() > limit {
+                        return None;
+                    }
+                    row.push(Vid::of(v));
+                }
+                total.rels[p].insert(&row);
+            }
+        }
+        let init: Vec<usize> = total.rels.iter().map(|r| r.table.len()).collect();
+
+        // Lower the negation oracle over the preds negated anywhere.
+        let neg = if total_oracle {
+            NegDb::Total
+        } else {
+            match oracle {
+                NegOracle::False => NegDb::False,
+                NegOracle::Fn(f) => NegDb::Fn(*f),
+                NegOracle::Complement(frozen) => {
+                    let mut negated = vec![false; npreds];
+                    for resolved in &resolved_levels {
+                        for (_, _, _, body) in resolved {
+                            for lit in body {
+                                if let SrcLit::Neg { pred, .. } = lit {
+                                    negated[*pred] = true;
+                                }
+                            }
+                        }
+                    }
+                    let mut sets: Vec<Option<Table>> = vec![None; npreds];
+                    let mut row: Vec<Vid> = Vec::new();
+                    for (p, is_neg) in negated.iter().enumerate() {
+                        if !is_neg {
+                            continue;
+                        }
+                        let mut set = Table::default();
+                        for fact in frozen.facts(&table.names[p]) {
+                            row.clear();
+                            row.extend(fact.iter().map(Vid::of));
+                            set.insert(&row);
+                        }
+                        sets[p] = Some(set);
+                    }
+                    NegDb::Sets(sets)
+                }
+            }
+        };
+
+        Some((
+            Machine {
+                table,
+                total,
+                init,
+                neg,
+                dummy: Vid::of(&Value::Bool(false)),
+            },
+            resolved_levels,
+        ))
+    }
+
+    /// Lower one level's resolved rules into executable code: join orders
+    /// from a cost model sampled from the *current* totals (for a
+    /// stratum, that includes every completed lower stratum), one full
+    /// plan plus one delta-first variant per positive body literal, and
+    /// the static differential firing list.
+    fn compile_level(&self, resolved: &[Resolved]) -> LevelCode {
+        let npreds = self.table.names.len();
+        let mut catalog = algrec_plan::Catalog::new();
+        for (p, name) in self.table.names.iter().enumerate() {
+            if self.total.rels[p].table.len() > 0 {
+                catalog.set(
+                    name,
+                    self.total.rels[p].table.len(),
+                    self.total.rels[p].first.len(),
+                );
+            }
+        }
+
+        let mut rules = Vec::with_capacity(resolved.len());
+        let mut idb = vec![false; npreds];
+        for (head_pred, head, nvars, body) in resolved {
+            idb[*head_pred] = true;
+            let full_order = catalog.order_join(&join_lits(body, &self.table, None), *nvars);
+            let mut variants = Vec::new();
+            for (i, lit) in body.iter().enumerate() {
+                if let SrcLit::Pos { pred, .. } = lit {
+                    let order = catalog.order_join(&join_lits(body, &self.table, Some(i)), *nvars);
+                    variants.push(CVariant {
+                        pred: *pred,
+                        ops: lower(body, &order, Some(i), *nvars),
+                    });
+                }
+            }
+            rules.push(CRule {
+                head_pred: *head_pred,
+                head: head.to_vec().into_boxed_slice(),
+                nvars: *nvars,
+                full: lower(body, &full_order, None, *nvars),
+                variants,
+            });
+        }
+
+        let mut firings = Vec::new();
+        let mut consumed = vec![false; npreds];
+        for (r, rule) in rules.iter().enumerate() {
+            for (vi, variant) in rule.variants.iter().enumerate() {
+                if idb[variant.pred] {
+                    firings.push((r, vi));
+                    consumed[variant.pred] = true;
+                }
+            }
+        }
+        LevelCode {
+            rules,
+            firings,
+            consumed,
+        }
+    }
+
+    /// Intern an externally supplied delta (the continuation seed).
+    /// Returns the id-space delta over mentioned predicates plus the
+    /// count of seed facts over unmentioned ones (they drive the round
+    /// condition exactly as in the interpreted engine, then vanish).
+    fn intern_seed(&self, seed: &Interp, limit: usize) -> Option<(DeltaDb, usize)> {
+        let mut db: DeltaDb = vec![Chunk::default(); self.table.names.len()];
+        let mut extra = 0usize;
+        let mut row: Vec<Vid> = Vec::new();
+        for (pred, args) in seed.iter() {
+            match self.table.get(pred) {
+                Some(p) => {
+                    row.clear();
+                    for v in args {
+                        if v.size() > limit {
+                            return None;
+                        }
+                        row.push(Vid::of(v));
+                    }
+                    db[p].push(&row);
+                }
+                None => extra += 1,
+            }
+        }
+        Some((db, extra))
+    }
+
+    /// Append every candidate not yet in `total` to it, returning the
+    /// id-space next delta and the number of new facts. The count covers
+    /// *all* new facts (it drives the round condition, exactly like the
+    /// interpreted engine's `delta.total()`), but only `consumed` preds
+    /// are copied into the delta — facts nobody reads differentially
+    /// would only be copied and dropped.
+    fn split_new(&mut self, derived: Derived, consumed: &[bool]) -> (DeltaDb, usize) {
+        let mut delta: DeltaDb = vec![Chunk::default(); self.total.rels.len()];
+        let mut added = 0usize;
+        for (p, table) in derived.tables.iter().enumerate() {
+            let keep = consumed.get(p).copied().unwrap_or(false);
+            for row in table.chunk.iter() {
+                if !self.total.rels[p].insert(row) {
+                    continue;
+                }
+                if keep {
+                    delta[p].push(row);
+                }
+                added += 1;
+            }
+        }
+        (delta, added)
+    }
+
+    /// Fire one full (non-differential) pass of every rule into
+    /// `derived`, charging the meter per new candidate.
+    fn fire_full(
+        &self,
+        code: &LevelCode,
+        stats: &mut FixpointStats,
+        meter: &mut Meter,
+        derived: &mut Derived,
+    ) -> Result<(), EvalError> {
+        let ctx = FireCtx {
+            total: &self.total,
+            delta: None,
+            neg: &self.neg,
+            names: &self.table.names,
+        };
+        for rule in &code.rules {
+            stats.rule_applications += 1;
+            fire_rule(&ctx, rule, &rule.full, self.dummy, &mut |p, row| {
+                if derived.insert(p, row) {
+                    meter.add_facts(1)?;
+                }
+                Ok(())
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Differentially fire `(rule, variant)` pairs against `delta`,
+    /// sequentially for small rounds and via the deterministic
+    /// partition/merge discipline otherwise.
+    fn fire_differential(
+        &self,
+        rules: &[CRule],
+        delta: &DeltaDb,
+        firings: &[(usize, usize)],
+        meter: &mut Meter,
+        derived: &mut Derived,
+    ) -> Result<(), EvalError> {
+        let threads = algrec_sched::threads();
+        if threads <= 1 || delta_total(delta) < PAR_MIN_FACTS || firings.is_empty() {
+            let ctx = FireCtx {
+                total: &self.total,
+                delta: Some(delta),
+                neg: &self.neg,
+                names: &self.table.names,
+            };
+            for &(r, vi) in firings {
+                let rule = &rules[r];
+                let variant = &rule.variants[vi];
+                fire_rule(&ctx, rule, &variant.ops, self.dummy, &mut |p, row| {
+                    if derived.insert(p, row) {
+                        meter.add_facts(1)?;
+                    }
+                    Ok(())
+                })?;
+            }
+            return Ok(());
+        }
+
+        // Partition the delta rows across workers; which partition a row
+        // lands in only balances load (all workers join against the same
+        // total, and the merge below is partition-order-deterministic).
+        let npreds = self.total.rels.len();
+        let mut parts: Vec<DeltaDb> = (0..threads)
+            .map(|_| vec![Chunk::default(); npreds])
+            .collect();
+        for (p, rows) in delta.iter().enumerate() {
+            for row in rows.iter() {
+                let mut h = FxHasher::default();
+                h.write_usize(p);
+                for v in row.iter() {
+                    h.write_u32(v.index());
+                }
+                let w = (h.finish() % threads as u64) as usize;
+                parts[w][p].push(row);
+            }
+        }
+        let nrules = rules.len();
+        // Per-worker per-rule candidate tables: the arena keeps first-
+        // derivation order, so the merge below stays deterministic.
+        let results: Vec<Result<Vec<Table>, EvalError>> =
+            algrec_sched::Pool::new(threads).run(parts.len(), |w| {
+                let ctx = FireCtx {
+                    total: &self.total,
+                    delta: Some(&parts[w]),
+                    neg: &self.neg,
+                    names: &self.table.names,
+                };
+                let mut bufs: Vec<Table> = (0..nrules).map(|_| Table::default()).collect();
+                for &(r, vi) in firings {
+                    let rule = &rules[r];
+                    let variant = &rule.variants[vi];
+                    if parts[w][variant.pred].is_empty() {
+                        continue;
+                    }
+                    fire_rule(&ctx, rule, &variant.ops, self.dummy, &mut |_, row| {
+                        bufs[r].insert(row);
+                        Ok(())
+                    })?;
+                }
+                Ok(bufs)
+            });
+        // Deterministic merge: rule-major, worker-minor; only here does
+        // the real meter get charged.
+        let mut buffers = Vec::with_capacity(results.len());
+        for res in results {
+            buffers.push(res?);
+        }
+        for (r, rule) in rules.iter().enumerate() {
+            for bufs in &buffers {
+                for row in bufs[r].chunk.iter() {
+                    if derived.insert(rule.head_pred, row) {
+                        meter.add_facts(1)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolve every row appended beyond the initial conversion back to
+    /// values, inserting into `out`. Bulk path: one interner read lock
+    /// for the whole materialization and one sorted bulk build per
+    /// predicate, instead of a lock acquisition and a `BTreeSet` insert
+    /// per fact. Rows are pre-sorted in *id* space: ids used by new rows
+    /// are ranked by their values' canonical order (one `Value`
+    /// comparison sort over the few distinct ids), then rows sort by
+    /// `u32` rank sequences — so the per-row sorting never touches
+    /// values, and the `BTreeSet` bulk build sees already-sorted input.
+    fn materialize_new(&self, out: &mut Interp) {
+        algrec_value::intern::with_values(|values| {
+            let mut rank: Vec<u32> = vec![u32::MAX; values.len()];
+            let mut used: Vec<Vid> = Vec::new();
+            for (p, rel) in self.total.rels.iter().enumerate() {
+                for ri in self.init[p]..rel.table.len() {
+                    for &v in rel.table.chunk.row(ri) {
+                        let slot = &mut rank[v.index() as usize];
+                        if *slot == u32::MAX {
+                            *slot = 0;
+                            used.push(v);
+                        }
+                    }
+                }
+            }
+            used.sort_unstable_by(|a, b| {
+                values[a.index() as usize].cmp(values[b.index() as usize])
+            });
+            for (i, v) in used.iter().enumerate() {
+                rank[v.index() as usize] = i as u32;
+            }
+            for (p, rel) in self.total.rels.iter().enumerate() {
+                let n = rel.table.len();
+                if n == self.init[p] {
+                    continue;
+                }
+                let chunk = &rel.table.chunk;
+                let mut idxs: Vec<u32> = (self.init[p] as u32..n as u32).collect();
+                let max_arity = idxs
+                    .iter()
+                    .map(|&ri| chunk.row(ri as usize).len())
+                    .max()
+                    .unwrap_or(0);
+                if max_arity <= 2 {
+                    // Pack both ranks (offset by 1, missing column = 0 so
+                    // a shorter prefix sorts first) into one u64 key: a
+                    // single integer sort replaces the per-comparison
+                    // iterator walk. Rows are deduplicated and ranks are
+                    // injective, so keys are distinct.
+                    let mut keyed: Vec<(u64, u32)> = idxs
+                        .iter()
+                        .map(|&ri| {
+                            let row = chunk.row(ri as usize);
+                            let k0 = row
+                                .first()
+                                .map_or(0, |v| rank[v.index() as usize] as u64 + 1);
+                            let k1 = row
+                                .get(1)
+                                .map_or(0, |v| rank[v.index() as usize] as u64 + 1);
+                            ((k0 << 32) | k1, ri)
+                        })
+                        .collect();
+                    keyed.sort_unstable();
+                    idxs = keyed.into_iter().map(|(_, ri)| ri).collect();
+                } else {
+                    idxs.sort_unstable_by(|&a, &b| {
+                        chunk
+                            .row(a as usize)
+                            .iter()
+                            .map(|v| rank[v.index() as usize])
+                            .cmp(
+                                chunk
+                                    .row(b as usize)
+                                    .iter()
+                                    .map(|v| rank[v.index() as usize]),
+                            )
+                    });
+                }
+                let rows: Vec<Vec<Value>> = idxs
+                    .iter()
+                    .map(|&ri| {
+                        chunk
+                            .row(ri as usize)
+                            .iter()
+                            .map(|&v| values[v.index() as usize].clone())
+                            .collect()
+                    })
+                    .collect();
+                out.insert_all(&self.table.names[p], rows);
+            }
+        });
+    }
+
+    /// Naive/inflationary fixpoint: fire every rule fully each round
+    /// until nothing new appears. The two modes share this loop; only
+    /// the phase label and the negation oracle (baked into the machine)
+    /// differ. Candidates are buffered, so the total each round reads
+    /// *is* the round-start snapshot.
+    fn run_exhaustive(
+        &mut self,
+        code: &LevelCode,
+        phase: &'static str,
+        meter: &mut Meter,
+    ) -> Result<FixpointStats, EvalError> {
+        let mut stats = FixpointStats::default();
+        meter.phase_start(phase);
+        loop {
+            meter.tick_iteration()?;
+            stats.rounds += 1;
+            let mut derived = Derived::new(self.total.rels.len());
+            self.fire_full(code, &mut stats, meter, &mut derived)?;
+            let (_, added) = self.split_new(derived, &[]);
+            meter.record_delta(added);
+            if added == 0 {
+                break;
+            }
+            stats.derived += added;
+        }
+        meter.phase_end();
+        Ok(stats)
+    }
+
+    /// One semi-naive evaluation unit (a whole program, or one stratum):
+    /// full round 0, then differential rounds while *any* new fact
+    /// appeared, accumulating into `stats`. Phase markers bracket the
+    /// unit, matching the interpreted engine's per-stratum protocol.
+    fn semi_naive_level(
+        &mut self,
+        code: &LevelCode,
+        meter: &mut Meter,
+        stats: &mut FixpointStats,
+    ) -> Result<(), EvalError> {
+        meter.phase_start("semi-naive");
+        meter.tick_iteration()?;
+        stats.rounds += 1;
+        let mut derived = Derived::new(self.total.rels.len());
+        self.fire_full(code, stats, meter, &mut derived)?;
+        let (mut delta, added0) = self.split_new(derived, &code.consumed);
+        stats.derived += added0;
+        meter.record_delta(added0);
+
+        let mut delta_count = added0;
+        while delta_count > 0 {
+            meter.tick_iteration()?;
+            stats.rounds += 1;
+            stats.rule_applications += code.firings.len();
+            let mut derived = Derived::new(self.total.rels.len());
+            self.fire_differential(&code.rules, &delta, &code.firings, meter, &mut derived)?;
+            let (next, added) = self.split_new(derived, &code.consumed);
+            stats.derived += added;
+            delta = next;
+            delta_count = added;
+            meter.record_delta(added);
+        }
+        meter.phase_end();
+        Ok(())
+    }
+
+    fn run_semi_naive_from(
+        &mut self,
+        code: &LevelCode,
+        total_in: &Interp,
+        seed: (DeltaDb, usize),
+        meter: &mut Meter,
+    ) -> Result<(Interp, Interp, FixpointStats), EvalError> {
+        let (mut delta, extra) = seed;
+        let mut stats = FixpointStats::default();
+        meter.phase_start("semi-naive-from");
+        // The round condition counts *all* new facts from the previous
+        // round (plus seed facts over unmentioned preds), exactly like
+        // the interpreted engine's `delta.total()`.
+        let mut delta_count = delta_total(&delta) + extra;
+        while delta_count > 0 {
+            meter.tick_iteration()?;
+            stats.rounds += 1;
+            // Fire once per positive body literal whose predicate has
+            // facts in the current delta (the seed may contain EDB
+            // facts, so eligibility is by delta content, not IDB
+            // membership — same rule as the interpreted engine).
+            let mut firings = Vec::new();
+            for (r, rule) in code.rules.iter().enumerate() {
+                for (vi, variant) in rule.variants.iter().enumerate() {
+                    if !delta[variant.pred].is_empty() {
+                        firings.push((r, vi));
+                    }
+                }
+            }
+            stats.rule_applications += firings.len();
+            let mut derived = Derived::new(self.total.rels.len());
+            self.fire_differential(&code.rules, &delta, &firings, meter, &mut derived)?;
+            let (next, added) = self.split_new(derived, &code.consumed);
+            stats.derived += added;
+            delta = next;
+            delta_count = added;
+            meter.record_delta(added);
+        }
+        meter.phase_end();
+        let mut out = total_in.clone();
+        let mut added_all = Interp::new();
+        self.materialize_new(&mut out);
+        self.materialize_new(&mut added_all);
+        Ok((out, added_all, stats))
+    }
+}
+
+/// Compiled naive fixpoint; `None` when the program, toggle or meter
+/// keeps the interpreted path.
+pub(crate) fn try_naive(
+    compiled: &Compiled,
+    base: &Interp,
+    neg: &NegOracle<'_>,
+    meter: &mut Meter,
+) -> Option<Result<(Interp, FixpointStats), EvalError>> {
+    if !eligible(compiled, meter) {
+        return None;
+    }
+    let (mut machine, resolved) = Machine::build(&[compiled], base, neg, meter, false)?;
+    let code = machine.compile_level(&resolved[0]);
+    Some(machine.run_exhaustive(&code, "naive", meter).map(|stats| {
+        let mut out = base.clone();
+        machine.materialize_new(&mut out);
+        (out, stats)
+    }))
+}
+
+/// Compiled semi-naive fixpoint; `None` keeps the interpreted path.
+pub(crate) fn try_semi_naive(
+    compiled: &Compiled,
+    base: &Interp,
+    neg: &NegOracle<'_>,
+    meter: &mut Meter,
+) -> Option<Result<(Interp, FixpointStats), EvalError>> {
+    if !eligible(compiled, meter) {
+        return None;
+    }
+    let (mut machine, resolved) = Machine::build(&[compiled], base, neg, meter, false)?;
+    let code = machine.compile_level(&resolved[0]);
+    let mut stats = FixpointStats::default();
+    Some(
+        machine
+            .semi_naive_level(&code, meter, &mut stats)
+            .map(|()| {
+                let mut out = base.clone();
+                machine.materialize_new(&mut out);
+                (out, stats)
+            }),
+    )
+}
+
+/// Compiled semi-naive continuation; `None` keeps the interpreted path.
+pub(crate) fn try_semi_naive_from(
+    compiled: &Compiled,
+    total: &Interp,
+    seed: &Interp,
+    neg: &NegOracle<'_>,
+    meter: &mut Meter,
+) -> Option<Result<(Interp, Interp, FixpointStats), EvalError>> {
+    if !eligible(compiled, meter) {
+        return None;
+    }
+    let (mut machine, resolved) = Machine::build(&[compiled], total, neg, meter, false)?;
+    let code = machine.compile_level(&resolved[0]);
+    // Seed conversion can also fall back (oversized values).
+    let seed = machine.intern_seed(seed, meter.budget().max_value_size)?;
+    Some(machine.run_semi_naive_from(&code, total, seed, meter))
+}
+
+/// Compiled inflationary fixpoint; `None` keeps the interpreted path.
+pub(crate) fn try_inflationary(
+    compiled: &Compiled,
+    base: &Interp,
+    meter: &mut Meter,
+) -> Option<Result<(Interp, FixpointStats), EvalError>> {
+    if !eligible(compiled, meter) {
+        return None;
+    }
+    let (mut machine, resolved) =
+        Machine::build(&[compiled], base, &NegOracle::False, meter, true)?;
+    let code = machine.compile_level(&resolved[0]);
+    Some(
+        machine
+            .run_exhaustive(&code, "inflationary", meter)
+            .map(|stats| {
+                let mut out = base.clone();
+                machine.materialize_new(&mut out);
+                (out, stats)
+            }),
+    )
+}
+
+/// Compiled *whole-stratification* semi-naive fixpoint: one machine, one
+/// id space, one materialization for every stratum. `None` keeps the
+/// interpreted per-stratum driver (non-datalog rules, oversized values,
+/// tracing, or the plan toggle off).
+///
+/// Negation is read through [`NegDb::Total`], the live complement of the
+/// machine's totals. That is exactly the stratified semantics: by
+/// construction every predicate negated in stratum `k` is defined in a
+/// strictly lower stratum, hence complete and *frozen* before stratum
+/// `k` starts firing — `¬p(x) ⇔ x ∉ total` — and the interpreted
+/// driver's per-stratum frozen snapshot ([`NegOracle::Complement`])
+/// coincides with it. Join orders still see per-stratum statistics:
+/// each stratum's code is lowered only after all lower strata completed,
+/// so the catalog samples the same cardinalities the per-stratum driver
+/// would have.
+pub(crate) fn try_stratified(
+    program: &crate::ast::Program,
+    base: &Interp,
+    meter: &mut Meter,
+) -> Option<Result<(Interp, FixpointStats), EvalError>> {
+    if !algrec_plan::enabled() || meter.is_traced() {
+        return None;
+    }
+    let layers = crate::stratify::strata_programs(program).ok()?;
+    let mut compiled = Vec::with_capacity(layers.len());
+    for layer in &layers {
+        let c = Compiled::compile(layer).ok()?;
+        if !c.rules.iter().all(rule_compilable) {
+            return None;
+        }
+        compiled.push(c);
+    }
+    let refs: Vec<&Compiled> = compiled.iter().collect();
+    let (mut machine, resolved) = Machine::build(&refs, base, &NegOracle::False, meter, true)?;
+    let mut stats = FixpointStats::default();
+    for level in &resolved {
+        // Lowered only now, after every lower stratum completed: the
+        // catalog samples the same cardinalities the per-stratum driver
+        // would have.
+        let code = machine.compile_level(level);
+        if let Err(e) = machine.semi_naive_level(&code, meter, &mut stats) {
+            return Some(Err(e));
+        }
+    }
+    let mut out = base.clone();
+    machine.materialize_new(&mut out);
+    Some(Ok((out, stats)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Atom, Expr, Program};
+    use crate::fixpoint;
+    use crate::inflationary::inflationary;
+    use algrec_value::Budget;
+
+    fn i(n: i64) -> Value {
+        Value::int(n)
+    }
+
+    fn v(name: &str) -> Expr {
+        Expr::var(name)
+    }
+
+    fn tc_program() -> Compiled {
+        Compiled::compile(&Program::from_rules([
+            Rule::new(
+                Atom::new("tc", [v("X"), v("Y")]),
+                [Literal::Pos(Atom::new("edge", [v("X"), v("Y")]))],
+            ),
+            Rule::new(
+                Atom::new("tc", [v("X"), v("Z")]),
+                [
+                    Literal::Pos(Atom::new("tc", [v("X"), v("Y")])),
+                    Literal::Pos(Atom::new("edge", [v("Y"), v("Z")])),
+                ],
+            ),
+        ]))
+        .unwrap()
+    }
+
+    fn chain(n: i64) -> Interp {
+        let mut base = Interp::new();
+        for k in 0..n {
+            base.insert("edge", vec![i(k), i(k + 1)]);
+        }
+        base
+    }
+
+    /// Run `f` with the compiled path force-enabled, restoring the
+    /// ambient toggle afterwards (the suite may run under
+    /// `ALGREC_PLAN_BASELINE=1`).
+    fn with_plan<R>(f: impl FnOnce() -> R) -> R {
+        let prev = algrec_plan::enabled();
+        algrec_plan::set_enabled(true);
+        let r = f();
+        algrec_plan::set_enabled(prev);
+        r
+    }
+
+    #[test]
+    fn compiled_semi_naive_matches_interpreted_exactly() {
+        with_plan(|| {
+            let compiled = tc_program();
+            let base = chain(12);
+            let mut mc = Budget::LARGE.meter();
+            let (out_c, stats_c) = try_semi_naive(&compiled, &base, &NegOracle::False, &mut mc)
+                .expect("eligible")
+                .unwrap();
+            // Interpreted reference: a traced meter forces the old path.
+            let trace = algrec_value::Trace::collect();
+            let mut mi = Budget::LARGE.meter_traced(trace);
+            let (out_i, stats_i) =
+                fixpoint::semi_naive(&compiled, &base, &|_, _| false, &mut mi).unwrap();
+            assert_eq!(out_c, out_i);
+            assert_eq!(stats_c, stats_i);
+            assert_eq!(mc.facts(), mi.facts());
+            assert_eq!(mc.iterations(), mi.iterations());
+        });
+    }
+
+    #[test]
+    fn compiled_naive_matches_interpreted_exactly() {
+        with_plan(|| {
+            let compiled = tc_program();
+            let base = chain(6);
+            let mut mc = Budget::LARGE.meter();
+            let (out_c, stats_c) = try_naive(&compiled, &base, &NegOracle::False, &mut mc)
+                .expect("eligible")
+                .unwrap();
+            let trace = algrec_value::Trace::collect();
+            let mut mi = Budget::LARGE.meter_traced(trace);
+            let (out_i, stats_i) =
+                fixpoint::naive(&compiled, &base, &|_, _| false, &mut mi).unwrap();
+            assert_eq!(out_c, out_i);
+            assert_eq!(stats_c, stats_i);
+            assert_eq!(mc.facts(), mi.facts());
+            assert_eq!(mc.iterations(), mi.iterations());
+        });
+    }
+
+    #[test]
+    fn fn_oracle_round_trips_through_values() {
+        with_plan(|| {
+            // q(X) :- node(X), not bad(X).
+            let compiled = Compiled::compile(&Program::from_rules([Rule::new(
+                Atom::new("q", [v("X")]),
+                [
+                    Literal::Pos(Atom::new("node", [v("X")])),
+                    Literal::Neg(Atom::new("bad", [v("X")])),
+                ],
+            )]))
+            .unwrap();
+            let mut base = Interp::new();
+            base.insert("node", vec![i(1)]);
+            base.insert("node", vec![i(2)]);
+            let f = |p: &str, args: &[Value]| p == "bad" && args[0] != i(2);
+            let mut m = Budget::SMALL.meter();
+            let (out, _) = try_semi_naive(&compiled, &base, &NegOracle::Fn(&f), &mut m)
+                .expect("eligible")
+                .unwrap();
+            assert!(out.holds("q", &[i(1)]));
+            assert!(!out.holds("q", &[i(2)]));
+        });
+    }
+
+    #[test]
+    fn complement_oracle_matches_closure() {
+        with_plan(|| {
+            // un(X, Y) :- node(X), node(Y), not tc(X, Y).
+            let compiled = Compiled::compile(&Program::from_rules([Rule::new(
+                Atom::new("un", [v("X"), v("Y")]),
+                [
+                    Literal::Pos(Atom::new("node", [v("X")])),
+                    Literal::Pos(Atom::new("node", [v("Y")])),
+                    Literal::Neg(Atom::new("tc", [v("X"), v("Y")])),
+                ],
+            )]))
+            .unwrap();
+            let mut base = Interp::new();
+            let mut frozen = Interp::new();
+            for k in 0..4 {
+                base.insert("node", vec![i(k)]);
+            }
+            frozen.insert("tc", vec![i(0), i(1)]);
+            frozen.insert("tc", vec![i(2), i(3)]);
+            let mut mc = Budget::SMALL.meter();
+            let (out_c, stats_c) =
+                try_semi_naive(&compiled, &base, &NegOracle::Complement(&frozen), &mut mc)
+                    .expect("eligible")
+                    .unwrap();
+            let trace = algrec_value::Trace::collect();
+            let mut mi = Budget::SMALL.meter_traced(trace);
+            let (out_i, stats_i) =
+                fixpoint::semi_naive(&compiled, &base, &|p, args| !frozen.holds(p, args), &mut mi)
+                    .unwrap();
+            assert_eq!(out_c, out_i);
+            assert_eq!(stats_c, stats_i);
+            assert_eq!(out_c.count("un"), 14);
+        });
+    }
+
+    #[test]
+    fn compiled_inflationary_matches_interpreted() {
+        with_plan(|| {
+            // r(a).  q(X) :- r(X), not q(X).  — the Example 4 gadget.
+            let compiled = Compiled::compile(&Program::from_rules([
+                Rule::fact(Atom::new("r", [Expr::lit("a")])),
+                Rule::new(
+                    Atom::new("q", [v("X")]),
+                    [
+                        Literal::Pos(Atom::new("r", [v("X")])),
+                        Literal::Neg(Atom::new("q", [v("X")])),
+                    ],
+                ),
+            ]))
+            .unwrap();
+            let mut mc = Budget::SMALL.meter();
+            let (out_c, stats_c) = try_inflationary(&compiled, &Interp::new(), &mut mc)
+                .expect("eligible")
+                .unwrap();
+            let trace = algrec_value::Trace::collect();
+            let mut mi = Budget::SMALL.meter_traced(trace);
+            let (out_i, stats_i) = inflationary(&compiled, &Interp::new(), &mut mi).unwrap();
+            assert_eq!(out_c, out_i);
+            assert_eq!(stats_c, stats_i);
+            assert_eq!(mc.facts(), mi.facts());
+            assert!(out_c.holds("q", &[Value::str("a")]));
+        });
+    }
+
+    #[test]
+    fn compiled_continuation_matches_interpreted() {
+        with_plan(|| {
+            let compiled = tc_program();
+            let base = chain(8);
+            let mut m = Budget::SMALL.meter();
+            let (fixed, _) = try_semi_naive(&compiled, &base, &NegOracle::False, &mut m)
+                .expect("eligible")
+                .unwrap();
+            let mut seed = Interp::new();
+            seed.insert("edge", vec![i(8), i(9)]);
+            seed.insert("orphan", vec![i(99)]); // unmentioned predicate
+            let mut total = fixed.clone();
+            total.absorb(&seed);
+            let mut mc = Budget::SMALL.meter();
+            let (out_c, added_c, stats_c) =
+                try_semi_naive_from(&compiled, &total, &seed, &NegOracle::False, &mut mc)
+                    .expect("eligible")
+                    .unwrap();
+            let trace = algrec_value::Trace::collect();
+            let mut mi = Budget::SMALL.meter_traced(trace);
+            let (out_i, added_i, stats_i) =
+                fixpoint::semi_naive_from(&compiled, &total, &seed, &|_, _| false, &mut mi)
+                    .unwrap();
+            assert_eq!(out_c, out_i);
+            assert_eq!(added_c, added_i);
+            assert_eq!(stats_c, stats_i);
+            assert_eq!(mc.facts(), mi.facts());
+        });
+    }
+
+    #[test]
+    fn ineligible_programs_fall_back() {
+        with_plan(|| {
+            // nat(succ(X)) :- nat(X).  — function application in the head.
+            use crate::ast::Func;
+            let compiled = Compiled::compile(&Program::from_rules([
+                Rule::fact(Atom::new("nat", [Expr::int(0)])),
+                Rule::new(
+                    Atom::new("nat", [Expr::App(Func::Succ, vec![v("X")])]),
+                    [Literal::Pos(Atom::new("nat", [v("X")]))],
+                ),
+            ]))
+            .unwrap();
+            let mut m = Budget::SMALL.meter();
+            assert!(try_semi_naive(&compiled, &Interp::new(), &NegOracle::False, &mut m).is_none());
+        });
+    }
+
+    #[test]
+    fn traced_meters_fall_back() {
+        with_plan(|| {
+            let compiled = tc_program();
+            let trace = algrec_value::Trace::collect();
+            let mut m = Budget::SMALL.meter_traced(trace);
+            assert!(try_semi_naive(&compiled, &chain(3), &NegOracle::False, &mut m).is_none());
+        });
+    }
+
+    #[test]
+    fn disabled_toggle_falls_back() {
+        let prev = algrec_plan::enabled();
+        algrec_plan::set_enabled(false);
+        let compiled = tc_program();
+        let mut m = Budget::SMALL.meter();
+        assert!(try_semi_naive(&compiled, &chain(3), &NegOracle::False, &mut m).is_none());
+        algrec_plan::set_enabled(prev);
+    }
+
+    #[test]
+    fn budget_errors_are_identical() {
+        with_plan(|| {
+            let compiled = tc_program();
+            let base = chain(10);
+            let budget = Budget::new(1_000, 20, 64);
+            let mut mc = budget.meter();
+            let err_c = try_semi_naive(&compiled, &base, &NegOracle::False, &mut mc)
+                .expect("eligible")
+                .unwrap_err();
+            let trace = algrec_value::Trace::collect();
+            let mut mi = budget.meter_traced(trace);
+            let err_i = fixpoint::semi_naive(&compiled, &base, &|_, _| false, &mut mi).unwrap_err();
+            assert_eq!(format!("{err_c}"), format!("{err_i}"));
+        });
+    }
+}

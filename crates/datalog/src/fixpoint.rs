@@ -37,8 +37,9 @@ use std::hash::{Hash, Hasher};
 
 /// Minimum round size (delta facts for differential rounds, base facts
 /// for the full round) before firing fans out to the worker pool —
-/// below this, thread orchestration costs more than the round.
-const PAR_MIN_FACTS: usize = 256;
+/// below this, thread orchestration costs more than the round. Shared
+/// with the compiled executor so both paths fan out at the same point.
+pub(crate) const PAR_MIN_FACTS: usize = 256;
 
 /// Statistics of one fixpoint run (used by the experiment harness).
 #[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
@@ -49,6 +50,36 @@ pub struct FixpointStats {
     pub rule_applications: usize,
     /// Facts derived (beyond the initial interpretation).
     pub derived: usize,
+}
+
+/// How negative body literals are decided during a fixpoint run.
+///
+/// The closure-based entry points ([`naive`], [`semi_naive`],
+/// [`semi_naive_from`]) wrap their argument in [`NegOracle::Fn`]; the
+/// structured variants let callers say *what* the oracle is, which the
+/// compiled executor exploits: a [`NegOracle::Complement`] lowers to an
+/// interned id-space set (no per-consult value resolution), and callers
+/// can pass a borrowed frozen interpretation instead of cloning one into
+/// a closure.
+pub enum NegOracle<'a> {
+    /// Negation never holds (positive programs).
+    False,
+    /// `not p(x̄)` holds iff `p(x̄)` is absent from the frozen
+    /// interpretation (stratified strata, well-founded alternation).
+    Complement(&'a Interp),
+    /// An arbitrary decision procedure.
+    Fn(&'a (dyn Fn(&str, &[Value]) -> bool + Sync)),
+}
+
+impl NegOracle<'_> {
+    /// Decide `not pred(args)`.
+    pub fn test(&self, pred: &str, args: &[Value]) -> bool {
+        match self {
+            NegOracle::False => false,
+            NegOracle::Complement(frozen) => !frozen.holds(pred, args),
+            NegOracle::Fn(f) => f(pred, args),
+        }
+    }
 }
 
 /// Hash-partition an interpretation's facts into `n` disjoint parts.
@@ -231,6 +262,23 @@ pub fn naive(
     neg: &(dyn Fn(&str, &[Value]) -> bool + Sync),
     meter: &mut Meter,
 ) -> Result<(Interp, FixpointStats), EvalError> {
+    naive_oracle(compiled, base, &NegOracle::Fn(neg), meter)
+}
+
+/// [`naive`] with a structured negation oracle. Eligible programs run on
+/// the compiled id-space executor (see [`crate::compiled`]); everything
+/// else — and every traced run — takes the interpreted path below.
+pub fn naive_oracle(
+    compiled: &Compiled,
+    base: &Interp,
+    neg: &NegOracle<'_>,
+    meter: &mut Meter,
+) -> Result<(Interp, FixpointStats), EvalError> {
+    if let Some(res) = crate::compiled::try_naive(compiled, base, neg, meter) {
+        return res;
+    }
+    let negf = |p: &str, a: &[Value]| neg.test(p, a);
+    let neg = &negf;
     let mut total = base.clone();
     let mut stats = FixpointStats::default();
     meter.phase_start("naive");
@@ -269,6 +317,22 @@ pub fn semi_naive(
     neg: &(dyn Fn(&str, &[Value]) -> bool + Sync),
     meter: &mut Meter,
 ) -> Result<(Interp, FixpointStats), EvalError> {
+    semi_naive_oracle(compiled, base, &NegOracle::Fn(neg), meter)
+}
+
+/// [`semi_naive`] with a structured negation oracle; eligible programs
+/// run compiled (see [`crate::compiled`]).
+pub fn semi_naive_oracle(
+    compiled: &Compiled,
+    base: &Interp,
+    neg: &NegOracle<'_>,
+    meter: &mut Meter,
+) -> Result<(Interp, FixpointStats), EvalError> {
+    if let Some(res) = crate::compiled::try_semi_naive(compiled, base, neg, meter) {
+        return res;
+    }
+    let negf = |p: &str, a: &[Value]| neg.test(p, a);
+    let neg = &negf;
     let mut stats = FixpointStats::default();
     let idb: BTreeSet<&str> = compiled
         .rules
@@ -349,6 +413,23 @@ pub fn semi_naive_from(
     neg: &(dyn Fn(&str, &[Value]) -> bool + Sync),
     meter: &mut Meter,
 ) -> Result<(Interp, Interp, FixpointStats), EvalError> {
+    semi_naive_from_oracle(compiled, total, seed, &NegOracle::Fn(neg), meter)
+}
+
+/// [`semi_naive_from`] with a structured negation oracle; eligible
+/// programs run compiled (see [`crate::compiled`]).
+pub fn semi_naive_from_oracle(
+    compiled: &Compiled,
+    total: &Interp,
+    seed: &Interp,
+    neg: &NegOracle<'_>,
+    meter: &mut Meter,
+) -> Result<(Interp, Interp, FixpointStats), EvalError> {
+    if let Some(res) = crate::compiled::try_semi_naive_from(compiled, total, seed, neg, meter) {
+        return res;
+    }
+    let negf = |p: &str, a: &[Value]| neg.test(p, a);
+    let neg = &negf;
     let mut stats = FixpointStats::default();
     let mut total = total.clone();
     let mut delta = seed.clone();

@@ -21,6 +21,9 @@ pub fn inflationary(
     base: &Interp,
     meter: &mut Meter,
 ) -> Result<(Interp, FixpointStats), EvalError> {
+    if let Some(res) = crate::compiled::try_inflationary(compiled, base, meter) {
+        return res;
+    }
     let mut total = base.clone();
     let mut stats = FixpointStats::default();
     meter.phase_start("inflationary");

@@ -18,6 +18,13 @@ pub type Fact = (String, Vec<Value>);
 /// A two-valued interpretation: for each predicate, the set of argument
 /// vectors that hold.
 ///
+/// Fact sets are held behind `Arc` with copy-on-write mutation
+/// (`Arc::make_mut`): cloning an interpretation — which the evaluators do
+/// at every stratum boundary, in [`ThreeValued::exact`], and when the
+/// serving layer snapshots — costs one reference bump per predicate
+/// instead of a deep copy of every fact. A clone that is subsequently
+/// mutated pays the deep copy then, for the mutated predicate only.
+///
 /// Alongside the canonical fact sets, the interpretation lazily caches a
 /// [`ColumnIndex`] over each predicate's first argument (interned keys),
 /// built on first probe by [`Interp::first_index`] and invalidated by
@@ -28,7 +35,7 @@ pub type Fact = (String, Vec<Value>);
 /// held only for the cache lookup/insert, never across a probe.
 #[derive(Default)]
 pub struct Interp {
-    preds: BTreeMap<String, BTreeSet<Vec<Value>>>,
+    preds: BTreeMap<String, Arc<BTreeSet<Vec<Value>>>>,
     first_index: Mutex<HashMap<String, Arc<ColumnIndex<Vec<Value>>>>>,
 }
 
@@ -84,11 +91,35 @@ impl Interp {
     /// Insert a fact; returns whether it was new. Invalidates the
     /// predicate's cached first-argument index.
     pub fn insert(&mut self, pred: &str, args: Vec<Value>) -> bool {
-        let fresh = self.preds.entry(pred.to_string()).or_default().insert(args);
-        if fresh {
-            self.index_cache_mut().remove(pred);
+        let set = self.preds.entry(pred.to_string()).or_default();
+        // Don't un-share (deep-copy) a set the fact is already in.
+        if set.contains(&args) {
+            return false;
         }
-        fresh
+        Arc::make_mut(set).insert(args);
+        self.index_cache_mut().remove(pred);
+        true
+    }
+
+    /// Insert a batch of facts for one predicate. Equivalent to repeated
+    /// [`Interp::insert`], but a predicate seen for the first time is
+    /// bulk-built from the whole batch (one sort instead of per-fact
+    /// B-tree inserts) — the fast path for materializing a freshly
+    /// computed relation.
+    pub fn insert_all(&mut self, pred: &str, rows: Vec<Vec<Value>>) {
+        if rows.is_empty() {
+            return;
+        }
+        match self.preds.get_mut(pred) {
+            None => {
+                self.preds
+                    .insert(pred.to_string(), Arc::new(rows.into_iter().collect()));
+            }
+            Some(set) => {
+                Arc::make_mut(set).extend(rows);
+            }
+        }
+        self.index_cache_mut().remove(pred);
     }
 
     /// Remove a fact; returns whether it was present. Invalidates the
@@ -99,14 +130,16 @@ impl Interp {
         let Some(set) = self.preds.get_mut(pred) else {
             return false;
         };
-        let had = set.remove(args);
-        if had {
-            if set.is_empty() {
-                self.preds.remove(pred);
-            }
-            self.index_cache_mut().remove(pred);
+        // Don't un-share (deep-copy) a set the fact isn't in.
+        if !set.contains(args) {
+            return false;
         }
-        had
+        Arc::make_mut(set).remove(args);
+        if set.is_empty() {
+            self.preds.remove(pred);
+        }
+        self.index_cache_mut().remove(pred);
+        true
     }
 
     /// Does the fact hold?
@@ -116,7 +149,7 @@ impl Interp {
 
     /// The fact set of one predicate (empty if absent).
     pub fn facts(&self, pred: &str) -> impl Iterator<Item = &Vec<Value>> {
-        self.preds.get(pred).into_iter().flatten()
+        self.preds.get(pred).into_iter().flat_map(|s| s.iter())
     }
 
     /// The facts of `pred` whose first argument equals `first` — a prefix
@@ -176,12 +209,12 @@ impl Interp {
 
     /// Number of facts for one predicate.
     pub fn count(&self, pred: &str) -> usize {
-        self.preds.get(pred).map_or(0, BTreeSet::len)
+        self.preds.get(pred).map_or(0, |s| s.len())
     }
 
     /// Total number of facts.
     pub fn total(&self) -> usize {
-        self.preds.values().map(BTreeSet::len).sum()
+        self.preds.values().map(|s| s.len()).sum()
     }
 
     /// Predicates with at least one fact.
@@ -194,16 +227,28 @@ impl Interp {
     pub fn absorb(&mut self, other: &Interp) -> usize {
         let mut added = 0;
         for (pred, facts) in &other.preds {
-            let entry = self.preds.entry(pred.clone()).or_default();
-            let mut grew = false;
-            for f in facts {
-                if entry.insert(f.clone()) {
-                    added += 1;
-                    grew = true;
+            match self.preds.get_mut(pred) {
+                None => {
+                    // Share the whole set (copy-on-write): no fact copies.
+                    self.preds.insert(pred.clone(), facts.clone());
+                    added += facts.len();
+                    self.index_cache_mut().remove(pred);
                 }
-            }
-            if grew {
-                self.index_cache_mut().remove(pred);
+                Some(entry) => {
+                    if Arc::ptr_eq(entry, facts) {
+                        continue;
+                    }
+                    // Un-share only if something is actually new.
+                    if facts.iter().any(|f| !entry.contains(f)) {
+                        let set = Arc::make_mut(entry);
+                        for f in facts.iter() {
+                            if set.insert(f.clone()) {
+                                added += 1;
+                            }
+                        }
+                        self.index_cache_mut().remove(pred);
+                    }
+                }
             }
         }
         added
@@ -212,7 +257,11 @@ impl Interp {
     /// Is `self` a subset of `other` (pointwise)?
     pub fn is_subset(&self, other: &Interp) -> bool {
         self.preds.iter().all(|(pred, facts)| {
-            other.preds.get(pred).is_some_and(|o| facts.is_subset(o)) || facts.is_empty()
+            other
+                .preds
+                .get(pred)
+                .is_some_and(|o| Arc::ptr_eq(facts, o) || facts.is_subset(o))
+                || facts.is_empty()
         })
     }
 
@@ -239,7 +288,7 @@ impl Interp {
 impl fmt::Display for Interp {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (pred, facts) in &self.preds {
-            for args in facts {
+            for args in facts.iter() {
                 write!(f, "{pred}(")?;
                 for (i, a) in args.iter().enumerate() {
                     if i > 0 {

@@ -36,8 +36,10 @@
 #![forbid(unsafe_code)]
 
 pub mod ast;
+pub(crate) mod compiled;
 pub mod engine;
 pub mod error;
+pub mod explain;
 pub mod facts;
 pub mod fixpoint;
 pub mod inflationary;
@@ -51,6 +53,7 @@ pub mod wellfounded;
 
 pub use ast::{Atom, CmpOp, Expr, Func, Literal, Program, Rule};
 pub use error::EvalError;
+pub use explain::explain_program;
 pub use facts::{load_facts, parse_fact, parse_facts};
 pub use interp::{Fact, Interp, ThreeValued};
 pub use semantics::{evaluate, evaluate_traced, stable_models_of, EvalOutcome, Semantics};

@@ -10,7 +10,7 @@
 use crate::ast::Program;
 use crate::engine::Compiled;
 use crate::error::EvalError;
-use crate::fixpoint::{semi_naive, FixpointStats};
+use crate::fixpoint::{semi_naive_oracle, FixpointStats, NegOracle};
 use crate::interp::Interp;
 use algrec_value::budget::Meter;
 use std::collections::{BTreeMap, BTreeSet};
@@ -142,14 +142,25 @@ pub fn stratified(
     base: &Interp,
     meter: &mut Meter,
 ) -> Result<(Interp, FixpointStats), EvalError> {
+    // Fully-compilable programs run on the id-space machine end to end:
+    // one shared value conversion and one materialization for the whole
+    // stratification, instead of crossing the id↔value boundary at every
+    // stratum. Falls through (`None`) for anything it cannot take —
+    // including stratification and compile errors, so error ordering is
+    // unchanged.
+    if let Some(res) = crate::compiled::try_stratified(program, base, meter) {
+        return res;
+    }
     let mut total = base.clone();
     let mut stats = FixpointStats::default();
     for level_program in strata_programs(program)? {
         let compiled = Compiled::compile(&level_program)?;
         // Negation inside this stratum refers only to strictly lower
-        // strata, which are complete in `total` by induction.
-        let frozen = total.clone();
-        let (next, s) = semi_naive(&compiled, &total, &|p, args| !frozen.holds(p, args), meter)?;
+        // strata, which are complete in `total` by induction. `total`
+        // is not mutated during the run, so it can be borrowed as the
+        // complement oracle directly — no frozen clone needed.
+        let (next, s) =
+            semi_naive_oracle(&compiled, &total, &NegOracle::Complement(&total), meter)?;
         stats.rounds += s.rounds;
         stats.rule_applications += s.rule_applications;
         stats.derived += s.derived;

@@ -23,7 +23,7 @@
 
 use crate::engine::Compiled;
 use crate::error::EvalError;
-use crate::fixpoint::semi_naive;
+use crate::fixpoint::{semi_naive_oracle, NegOracle};
 use crate::interp::{Interp, ThreeValued};
 use algrec_value::budget::Meter;
 
@@ -60,9 +60,10 @@ pub fn alternating_fixpoint(
 
         // Overestimate: every possible derivation from the current T,
         // "only facts not in T are allowed to be used negatively".
-        let frozen_t = certain.clone();
+        // `certain` is only read during the run, so borrow it as the
+        // complement oracle instead of cloning a frozen copy.
         meter.phase_start("possible");
-        let poss = semi_naive(compiled, base, &|p, args| !frozen_t.holds(p, args), meter);
+        let poss = semi_naive_oracle(compiled, base, &NegOracle::Complement(&certain), meter);
         meter.phase_end();
         let (poss, s1) = poss?;
         stats.inner_rounds += s1.rounds;
@@ -70,9 +71,8 @@ pub fn alternating_fixpoint(
 
         // Underestimate: facts outside `possible` are certainly false
         // ("added to F"); derive new true facts using only F negatively.
-        let frozen_u = possible.clone();
         meter.phase_start("certain");
-        let next = semi_naive(compiled, base, &|p, args| !frozen_u.holds(p, args), meter);
+        let next = semi_naive_oracle(compiled, base, &NegOracle::Complement(&possible), meter);
         meter.phase_end();
         let (next_certain, s2) = next?;
         stats.inner_rounds += s2.rounds;

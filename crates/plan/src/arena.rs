@@ -1,0 +1,191 @@
+//! Flat, hash-consed arena of plan nodes.
+//!
+//! Nodes are generic `{op, label, children}` records: `op` is the node
+//! kind (`scan`, `probe`, `antijoin`, `project`, `fix`, …), `label`
+//! carries the operator payload rendered as text (predicate name, column
+//! spec, condition), and `children` point at earlier arena slots. The
+//! arena interns structurally: two lowerings of the same subplan return
+//! the same [`PlanId`], so sharing across rules and views falls out of
+//! construction rather than a separate CSE pass.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Index of a hash-consed node inside a [`PlanArena`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PlanId(u32);
+
+impl PlanId {
+    /// The raw arena slot, usable as a memo-table key.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One operator in the plan IR.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct PlanNode {
+    /// Node kind, e.g. `scan`, `probe`, `antijoin`, `project`, `fix`.
+    pub op: String,
+    /// Payload rendered into `explain` output (predicate, columns, cost).
+    pub label: String,
+    /// Child plans, evaluated before this node.
+    pub children: Vec<PlanId>,
+}
+
+/// Arena of hash-consed [`PlanNode`]s.
+#[derive(Default)]
+pub struct PlanArena {
+    nodes: Vec<PlanNode>,
+    dedup: HashMap<PlanNode, PlanId>,
+}
+
+impl PlanArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a node, returning the existing id when a structurally
+    /// identical node is already present (common-subexpression sharing).
+    pub fn intern(&mut self, node: PlanNode) -> PlanId {
+        if let Some(&id) = self.dedup.get(&node) {
+            return id;
+        }
+        let id = PlanId(self.nodes.len() as u32);
+        self.nodes.push(node.clone());
+        self.dedup.insert(node, id);
+        id
+    }
+
+    /// Convenience: intern a leaf node.
+    pub fn leaf(&mut self, op: &str, label: impl Into<String>) -> PlanId {
+        self.intern(PlanNode {
+            op: op.to_string(),
+            label: label.into(),
+            children: Vec::new(),
+        })
+    }
+
+    /// Convenience: intern an interior node.
+    pub fn node(&mut self, op: &str, label: impl Into<String>, children: Vec<PlanId>) -> PlanId {
+        self.intern(PlanNode {
+            op: op.to_string(),
+            label: label.into(),
+            children,
+        })
+    }
+
+    /// Look up a node by id.
+    pub fn get(&self, id: PlanId) -> &PlanNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Number of distinct (hash-consed) nodes in the arena.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the arena holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Render a forest of rooted plans as deterministic indented text.
+    ///
+    /// Nodes reachable from more than one parent are printed in full the
+    /// first time and referenced as `(shared #N)` afterwards, making the
+    /// hash-consing visible in `explain` output.
+    pub fn render(&self, roots: &[(String, PlanId)]) -> String {
+        let mut refs = vec![0usize; self.nodes.len()];
+        for &(_, root) in roots {
+            self.count_refs(root, &mut refs);
+        }
+        let mut out = String::new();
+        let mut printed = vec![false; self.nodes.len()];
+        for (title, root) in roots {
+            let _ = writeln!(out, "{title}");
+            self.render_node(*root, 1, &refs, &mut printed, &mut out);
+        }
+        out
+    }
+
+    fn count_refs(&self, id: PlanId, refs: &mut [usize]) {
+        refs[id.index()] += 1;
+        if refs[id.index()] > 1 {
+            return;
+        }
+        for &child in &self.nodes[id.index()].children {
+            self.count_refs(child, refs);
+        }
+    }
+
+    fn render_node(
+        &self,
+        id: PlanId,
+        depth: usize,
+        refs: &[usize],
+        printed: &mut [bool],
+        out: &mut String,
+    ) {
+        let node = &self.nodes[id.index()];
+        let pad = "  ".repeat(depth);
+        // Label-free nodes (pure structural operators) render as the op
+        // alone, without a dangling separator space.
+        let head = if node.label.is_empty() {
+            node.op.clone()
+        } else {
+            format!("{} {}", node.op, node.label)
+        };
+        let shared = refs[id.index()] > 1;
+        if shared && printed[id.index()] {
+            let _ = writeln!(out, "{pad}{head} (shared #{})", id.index());
+            return;
+        }
+        printed[id.index()] = true;
+        let tag = if shared {
+            format!(" [#{}]", id.index())
+        } else {
+            String::new()
+        };
+        let _ = writeln!(out, "{pad}{head}{tag}");
+        for &child in &node.children {
+            self.render_node(child, depth + 1, refs, printed, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_dedups_structurally_equal_nodes() {
+        let mut arena = PlanArena::new();
+        let a = arena.leaf("scan", "e");
+        let b = arena.leaf("scan", "e");
+        assert_eq!(a, b);
+        assert_eq!(arena.len(), 1);
+        let c = arena.node("project", "[0, 1]", vec![a]);
+        let d = arena.node("project", "[0, 1]", vec![b]);
+        assert_eq!(c, d);
+        assert_eq!(arena.len(), 2);
+    }
+
+    #[test]
+    fn render_marks_shared_nodes() {
+        let mut arena = PlanArena::new();
+        let scan = arena.leaf("scan", "e");
+        let p1 = arena.node("project", "[0]", vec![scan]);
+        let p2 = arena.node("project", "[1]", vec![scan]);
+        let text = arena.render(&[("rule a".into(), p1), ("rule b".into(), p2)]);
+        assert!(
+            text.contains("[#0]"),
+            "first use tags the shared node: {text}"
+        );
+        assert!(
+            text.contains("(shared #0)"),
+            "second use references it: {text}"
+        );
+    }
+}

@@ -1,0 +1,250 @@
+//! Cost model and greedy join orderer.
+//!
+//! The catalog holds, per relation, the cardinality and the number of
+//! distinct first-column keys, plus a global first-column index hit-rate
+//! observed from [`EvalStats`] (`index_probes`/`index_hits`). Costs are
+//! deliberately coarse — the orderer only needs relative magnitudes:
+//!
+//! * a full scan of `p` costs `card(p)`;
+//! * a first-column probe into `p` costs the expected bucket size
+//!   `card(p) / keys(p)`, discounted by the observed hit-rate (misses
+//!   are O(1));
+//! * filters (negation, equality checks) cost nothing once their
+//!   variables are bound, so they are pulled as early as possible.
+//!
+//! [`Catalog::order_join`] runs greedy smallest-cost-first selection over
+//! the body literals of one rule, tie-breaking on the original literal
+//! index so plans are deterministic.
+
+use algrec_value::EvalStats;
+use std::collections::BTreeMap;
+
+/// What occupies the first column of a positive literal, deciding
+/// whether a first-column index probe is possible once bound.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FirstCol {
+    /// A constant: always probeable.
+    Const,
+    /// A variable: probeable iff already bound when the literal runs.
+    Var(usize),
+    /// No columns, or a shape the index cannot serve.
+    None,
+}
+
+/// One body literal abstracted for join ordering.
+#[derive(Clone, Debug)]
+pub struct JoinLit {
+    /// Relation name for cost lookup; `None` for pure filters.
+    pub pred: Option<String>,
+    /// Variables this literal binds when it executes (positive literals).
+    pub produces: Vec<usize>,
+    /// Variables that must already be bound before it may execute
+    /// (negative literals and filters require all their variables).
+    pub requires: Vec<usize>,
+    /// First-column shape, for probe-vs-scan costing.
+    pub first: FirstCol,
+    /// Force this literal to run first (the delta literal of a
+    /// semi-naive rule variant).
+    pub forced_first: bool,
+}
+
+/// Relation statistics feeding the cost model.
+#[derive(Clone, Debug, Default)]
+pub struct Catalog {
+    cards: BTreeMap<String, f64>,
+    keys: BTreeMap<String, f64>,
+    default_card: f64,
+    hit_rate: f64,
+}
+
+impl Catalog {
+    /// An empty catalog with a neutral hit-rate prior.
+    pub fn new() -> Self {
+        Self {
+            cards: BTreeMap::new(),
+            keys: BTreeMap::new(),
+            // Prior: most probes hit (workloads here are dense joins).
+            hit_rate: 0.9,
+            default_card: 1.0,
+        }
+    }
+
+    /// Record cardinality and distinct-first-key count for a relation.
+    pub fn set(&mut self, pred: &str, rows: usize, first_keys: usize) {
+        self.cards.insert(pred.to_string(), rows as f64);
+        self.keys.insert(pred.to_string(), first_keys.max(1) as f64);
+        self.default_card = self.default_card.max(rows as f64);
+    }
+
+    /// Fold in observed index behaviour from collected [`EvalStats`].
+    pub fn observe(&mut self, stats: &EvalStats) {
+        if stats.index_probes > 0 {
+            self.hit_rate = stats.index_hits as f64 / stats.index_probes as f64;
+        }
+    }
+
+    /// The first-column index hit-rate currently assumed.
+    pub fn hit_rate(&self) -> f64 {
+        self.hit_rate
+    }
+
+    /// Estimated cardinality of `pred`. Unknown relations (IDB predicates
+    /// not yet populated) default to the largest known cardinality — a
+    /// pessimistic guess that keeps recursive predicates from looking
+    /// free before the first round fills them.
+    pub fn card(&self, pred: &str) -> f64 {
+        self.cards.get(pred).copied().unwrap_or(self.default_card)
+    }
+
+    /// Estimated cost of a first-column probe into `pred`.
+    pub fn probe_cost(&self, pred: &str) -> f64 {
+        let card = self.card(pred);
+        let keys = self
+            .keys
+            .get(pred)
+            .copied()
+            .unwrap_or_else(|| card.max(1.0));
+        let bucket = card / keys.max(1.0);
+        // A hit walks one bucket; a miss is a hash lookup.
+        self.hit_rate * bucket + (1.0 - self.hit_rate) + 1.0
+    }
+
+    /// Cost of executing `lit` given the set of bound variables.
+    fn lit_cost(&self, lit: &JoinLit, bound: &[bool]) -> f64 {
+        let Some(pred) = &lit.pred else { return 0.0 };
+        if lit.produces.is_empty() && lit.requires.iter().all(|&v| bound[v]) {
+            return 0.0; // fully-bound membership test
+        }
+        match lit.first {
+            FirstCol::Const => self.probe_cost(pred),
+            FirstCol::Var(v) if bound.get(v).copied().unwrap_or(false) => self.probe_cost(pred),
+            _ => self.card(pred),
+        }
+    }
+
+    /// Greedy cost-based ordering of one rule body.
+    ///
+    /// Returns a permutation of `0..lits.len()`. Invariants: a literal
+    /// never runs before its `requires` variables are bound, a
+    /// `forced_first` literal runs first, and ties break on the original
+    /// index so the result is deterministic.
+    pub fn order_join(&self, lits: &[JoinLit], nvars: usize) -> Vec<usize> {
+        let mut bound = vec![false; nvars];
+        let mut chosen = vec![false; lits.len()];
+        let mut order = Vec::with_capacity(lits.len());
+        while order.len() < lits.len() {
+            let mut best: Option<(f64, usize)> = None;
+            for (i, lit) in lits.iter().enumerate() {
+                if chosen[i] || !lit.requires.iter().all(|&v| bound[v]) {
+                    continue;
+                }
+                let cost = if lit.forced_first && order.is_empty() {
+                    f64::NEG_INFINITY
+                } else {
+                    self.lit_cost(lit, &bound)
+                };
+                if best.map_or(true, |(c, _)| cost < c) {
+                    best = Some((cost, i));
+                }
+            }
+            let Some((_, pick)) = best else {
+                // No literal is executable (unbound negation with no
+                // remaining positive literal). Validated rule bodies
+                // never reach this; fall back to source order.
+                for (i, c) in chosen.iter().enumerate() {
+                    if !c {
+                        order.push(i);
+                    }
+                }
+                break;
+            };
+            chosen[pick] = true;
+            for &v in &lits[pick].produces {
+                bound[v] = true;
+            }
+            order.push(pick);
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pos(pred: &str, vars: &[usize], first: FirstCol) -> JoinLit {
+        JoinLit {
+            pred: Some(pred.to_string()),
+            produces: vars.to_vec(),
+            requires: Vec::new(),
+            first,
+            forced_first: false,
+        }
+    }
+
+    fn neg(pred: &str, vars: &[usize]) -> JoinLit {
+        JoinLit {
+            pred: Some(pred.to_string()),
+            produces: Vec::new(),
+            requires: vars.to_vec(),
+            first: FirstCol::None,
+            forced_first: false,
+        }
+    }
+
+    #[test]
+    fn small_relation_scans_first_and_probes_follow() {
+        let mut cat = Catalog::new();
+        cat.set("big", 10_000, 100);
+        cat.set("small", 10, 10);
+        // small(X), big(X, Y): scan small, then probe big on bound X.
+        let lits = [
+            pos("big", &[0, 1], FirstCol::Var(0)),
+            pos("small", &[0], FirstCol::Var(0)),
+        ];
+        assert_eq!(cat.order_join(&lits, 2), vec![1, 0]);
+    }
+
+    #[test]
+    fn negation_runs_as_soon_as_bound() {
+        let mut cat = Catalog::new();
+        cat.set("node", 100, 100);
+        cat.set("tc", 5_000, 100);
+        let lits = [
+            pos("node", &[0], FirstCol::Var(0)),
+            pos("node", &[1], FirstCol::Var(1)),
+            neg("tc", &[0, 1]),
+        ];
+        let order = cat.order_join(&lits, 2);
+        // The negation must come last (needs both vars), the two scans
+        // keep source order on the cost tie.
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn forced_first_overrides_cost() {
+        let mut cat = Catalog::new();
+        cat.set("edge", 10, 10);
+        cat.set("tc", 100_000, 10);
+        let lits = [
+            pos("edge", &[1, 2], FirstCol::Var(1)),
+            JoinLit {
+                forced_first: true,
+                ..pos("tc", &[0, 1], FirstCol::Var(0))
+            },
+        ];
+        assert_eq!(cat.order_join(&lits, 3), vec![1, 0]);
+    }
+
+    #[test]
+    fn observe_updates_hit_rate() {
+        let mut cat = Catalog::new();
+        let stats = EvalStats {
+            index_probes: 4,
+            index_hits: 1,
+            ..Default::default()
+        };
+        cat.observe(&stats);
+        assert!((cat.hit_rate() - 0.25).abs() < 1e-9);
+    }
+}

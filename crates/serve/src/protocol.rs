@@ -16,8 +16,8 @@
 //! Operations (operands in parentheses): `ping`, `load` (`facts`),
 //! `register` (`view`, `program`, optional `semantics`, optional
 //! `kind: "algebra"`), `assert` / `retract` (`fact` or `facts`),
-//! `query` (`view`, optional `pred`), `stats` (optional `view`),
-//! `views`, `db`, `unregister` (`view`), `shutdown`.
+//! `query` (`view`, optional `pred`), `explain` (`view`), `stats`
+//! (optional `view`), `views`, `db`, `unregister` (`view`), `shutdown`.
 //!
 //! Replies only carry the *deterministic* statistics subset
 //! ([`OpStats`]): iteration counts, derivation work, materialized sizes
@@ -28,7 +28,8 @@
 //! **Epochs.** Every reply carries an `epoch` field (keys serialize
 //! sorted, like all [`Json`] objects): the snapshot version the request
 //! was answered at. Read-only
-//! operations (`ping`, `query`, `stats`, `views`, `db`, `shutdown`)
+//! operations (`ping`, `query`, `explain`, `stats`, `views`, `db`,
+//! `shutdown`)
 //! resolve against the current [`ReadView`] snapshot without taking the
 //! session writer lock and report that snapshot's epoch; mutating
 //! operations serialize through [`SharedSession::with_writer`] and
@@ -189,6 +190,11 @@ fn query_json(answer: &QueryAnswer) -> Vec<(&'static str, Json)> {
     }
 }
 
+/// An `explain` payload: the rendered plan, one line per array element.
+fn plan_json(plan: &str) -> Vec<(&'static str, Json)> {
+    vec![("plan", Json::Arr(plan.lines().map(Json::str).collect()))]
+}
+
 fn ok_reply(id: Json, epoch: u64, payload: Vec<(&'static str, Json)>) -> String {
     let mut obj = vec![
         ("id", id),
@@ -269,7 +275,10 @@ fn fact_sources(req: &Json) -> Result<Vec<String>, ServeError> {
 /// Operations answerable from a published [`ReadView`] snapshot, without
 /// taking the session writer lock.
 fn is_read_op(op: &str) -> bool {
-    matches!(op, "ping" | "query" | "stats" | "views" | "db" | "shutdown")
+    matches!(
+        op,
+        "ping" | "query" | "explain" | "stats" | "views" | "db" | "shutdown"
+    )
 }
 
 /// Answer a read-only operation from a snapshot. `Ok(None)` means the
@@ -287,6 +296,10 @@ fn dispatch_read(
             let name = str_field(req, "view")?;
             let pred = req.get("pred").and_then(Json::as_str);
             Ok(view.query(name, pred)?.map(|answer| query_json(&answer)))
+        }
+        "explain" => {
+            let plan = view.explain(str_field(req, "view")?)?;
+            Ok(Some(plan_json(&plan)))
         }
         "stats" => {
             let name = req.get("view").and_then(Json::as_str);
@@ -383,6 +396,10 @@ fn dispatch(session: &mut Session, req: &Json) -> Result<Vec<(&'static str, Json
             let pred = req.get("pred").and_then(Json::as_str);
             let answer = session.query(view, pred)?;
             Ok(query_json(&answer))
+        }
+        "explain" => {
+            let plan = session.explain(str_field(req, "view")?)?;
+            Ok(plan_json(&plan))
         }
         "stats" => {
             let view = req.get("view").and_then(Json::as_str);
@@ -586,6 +603,28 @@ mod tests {
         assert!(matches!(reply, Handled::Shutdown(_)));
         assert!(reply.line().contains(r#""bye":true"#));
         assert!(reply.line().contains(r#""epoch":3"#), "{}", reply.line());
+    }
+
+    #[test]
+    fn explain_is_a_read_and_reports_the_plan() {
+        let shared = SharedSession::new(Session::new(Budget::LARGE));
+        handle_line(&shared, r#"{"id": 1, "op": "load", "facts": "e(1, 2)."}"#);
+        handle_line(
+            &shared,
+            r#"{"id": 2, "op": "register", "view": "paths", "program": "tc(X, Y) :- e(X, Y).\ntc(X, Z) :- tc(X, Y), e(Y, Z)."}"#,
+        );
+        let reply = handle_line(&shared, r#"{"id": 3, "op": "explain", "view": "paths"}"#);
+        assert!(reply.line().contains(r#""plan":["#), "{}", reply.line());
+        assert!(reply.line().contains("probe e/2 on Y"), "{}", reply.line());
+        // Reads answer at the last committed epoch without bumping it.
+        assert!(reply.line().contains(r#""epoch":2"#), "{}", reply.line());
+        let reply = handle_line(&shared, r#"{"id": 4, "op": "explain", "view": "nope"}"#);
+        assert!(
+            reply.line().contains(r#""code":"unknown-view""#),
+            "{}",
+            reply.line()
+        );
+        assert!(reply.line().contains(r#""epoch":2"#), "{}", reply.line());
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! +fact(args)                         assert a fact
 //! -fact(args)                         retract a fact
 //! query <view> [pred]                 print a view (certain + unknown)
+//! explain <view>                      print a view's query plan
 //! stats [view]                        maintenance statistics
 //! views | db | drop <view> | help | quit
 //! ```
@@ -106,6 +107,7 @@ const HELP: &str = "commands:
   algviewfile <name> <path>
   +fact(args) / -fact(args)                assert / retract a fact
   query <view> [pred]                      print a view
+  explain <view>                           print a view's query plan
   stats [view]                             maintenance statistics
   views / db / drop <view> / help / quit";
 
@@ -236,6 +238,12 @@ fn step(session: &mut Session, line: &str) -> Result<Option<String>, ServeError>
                 [view, pred] => Ok(Some(render_query(&session.query(view, Some(pred))?))),
                 _ => Err(ServeError::BadRequest("usage: query <view> [pred]".into())),
             }
+        }
+        "explain" => {
+            if rest.is_empty() || rest.contains(char::is_whitespace) {
+                return Err(ServeError::BadRequest("usage: explain <view>".into()));
+            }
+            Ok(Some(session.explain(rest)?))
         }
         "stats" => {
             let name = (!rest.is_empty()).then_some(rest);

@@ -379,6 +379,18 @@ pub struct ViewStats {
     pub cumulative: OpStats,
 }
 
+/// Render the plan of one view's program against `db` — the single code
+/// path behind both [`Session::explain`] and the pre-rendered plans in a
+/// [`ReadView`], so snapshot and live answers are byte-identical.
+fn explain_entry(kind: &ViewKind, db: &Database) -> Result<String, ServeError> {
+    match kind {
+        ViewKind::Datalog { program, .. } => {
+            Ok(algrec_datalog::explain_program(program, db, None)?)
+        }
+        ViewKind::Algebra { program, .. } => Ok(algrec_core::explain_program(program, db)),
+    }
+}
+
 /// Format a fact the way `algrec eval` prints it, minus punctuation.
 pub fn format_fact(pred: &str, args: &[Value]) -> String {
     format!(
@@ -798,6 +810,19 @@ impl Session {
             .collect()
     }
 
+    /// The query plan of a registered view against the current database:
+    /// join orders, access paths and shared subplans, rendered by the
+    /// plan IR's `explain` (see `algrec-plan`). Pure — depends only on
+    /// the registered program and the database statistics, so a dirty
+    /// view explains just like a clean one.
+    pub fn explain(&self, name: &str) -> Result<String, ServeError> {
+        let entry = self
+            .views
+            .get(name)
+            .ok_or_else(|| ServeError::UnknownView(name.to_string()))?;
+        explain_entry(&entry.kind, &self.db)
+    }
+
     fn check_name(&self, name: &str) -> Result<(), ServeError> {
         if name.is_empty() || name.chars().any(char::is_whitespace) {
             return Err(ServeError::BadRequest(format!(
@@ -822,7 +847,9 @@ impl Session {
     /// work); [`ReadView::query`] reports them as needing the writer.
     pub fn read_view(&self) -> ReadView {
         let mut views = BTreeMap::new();
+        let mut plans = BTreeMap::new();
         for (name, entry) in &self.views {
+            plans.insert(name.clone(), explain_entry(&entry.kind, &self.db));
             let snap = match (&entry.dirty, &entry.kind) {
                 (Some(_), _) => ViewSnapshot::Dirty,
                 (None, ViewKind::Datalog { maintainer, .. }) => match maintainer {
@@ -880,6 +907,7 @@ impl Session {
             view_rows: self.view_names(),
             stats_rows: self.stats(None).expect("stats(None) cannot fail"),
             views,
+            plans,
         }
     }
 
@@ -1093,6 +1121,9 @@ pub struct ReadView {
     view_rows: Vec<(String, &'static str, String, &'static str)>,
     stats_rows: Vec<ViewStats>,
     views: BTreeMap<String, ViewSnapshot>,
+    /// Per-view query plans, pre-rendered at snapshot time by the same
+    /// code path as [`Session::explain`].
+    plans: BTreeMap<String, Result<String, ServeError>>,
 }
 
 impl ReadView {
@@ -1169,6 +1200,15 @@ impl ReadView {
     /// `(relation, members)` rows, as [`Session::db_summary`].
     pub fn db_summary(&self) -> &[(String, usize)] {
         &self.db_rows
+    }
+
+    /// The pre-rendered query plan of a view, as [`Session::explain`]
+    /// would answer at the snapshot's database state.
+    pub fn explain(&self, name: &str) -> Result<String, ServeError> {
+        self.plans
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| Err(ServeError::UnknownView(name.to_string())))
     }
 }
 
@@ -1482,12 +1522,24 @@ mod tests {
                 "{name} / {pred:?}"
             );
         }
+        // Plans are pre-rendered into the snapshot by the same code path.
+        for name in ["paths", "game", "alg"] {
+            assert_eq!(
+                view.explain(name).unwrap(),
+                session.explain(name).unwrap(),
+                "{name}"
+            );
+        }
         assert!(matches!(
             view.query("missing", None),
             Err(ServeError::UnknownView(_))
         ));
         assert!(matches!(
             view.stats(Some("missing")),
+            Err(ServeError::UnknownView(_))
+        ));
+        assert!(matches!(
+            view.explain("missing"),
             Err(ServeError::UnknownView(_))
         ));
     }

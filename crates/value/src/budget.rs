@@ -99,6 +99,7 @@ pub struct Meter {
 
 impl Meter {
     /// Record one fixpoint iteration.
+    #[inline]
     pub fn tick_iteration(&mut self) -> Result<(), BudgetError> {
         if !self.trace.is_null() {
             self.trace.emit(TraceEvent::Iteration);
@@ -112,6 +113,7 @@ impl Meter {
     }
 
     /// Record `n` newly materialized facts.
+    #[inline]
     pub fn add_facts(&mut self, n: usize) -> Result<(), BudgetError> {
         if !self.trace.is_null() {
             self.trace.emit(TraceEvent::FactsInserted(n));

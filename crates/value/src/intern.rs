@@ -137,6 +137,16 @@ impl std::fmt::Display for Symbol {
     }
 }
 
+/// Run `f` against the whole id→value slice under a single read lock:
+/// `slice[vid.index() as usize]` is [`Vid::resolve`] without the
+/// per-call lock acquisition. Bulk materialization of id-space results
+/// resolves tens of thousands of ids at once; one lock instead of one
+/// per id is a measurable win there. `f` must not intern values (the
+/// write lock would deadlock against the held read lock).
+pub fn with_values<R>(f: impl FnOnce(&[&'static Value]) -> R) -> R {
+    f(&value_table().read().unwrap().values)
+}
+
 /// Number of distinct values interned so far, process-wide. The tables
 /// are global and append-only, so this is a high-water mark; telemetry
 /// snapshots it into [`crate::stats::EvalStats`].

@@ -1,8 +1,8 @@
 //! `algrec` — command-line front end for the reproduction.
 //!
 //! ```text
-//! algrec eval   <program.dl>  [facts.dl] [--semantics S] [--pred P] [--trace]
-//! algrec alg    <program.alg> [facts.dl] [--trace]
+//! algrec eval   <program.dl>  [facts.dl] [--semantics S] [--pred P] [--trace] [--explain]
+//! algrec alg    <program.alg> [facts.dl] [--trace] [--explain]
 //! algrec spec   <spec.obj>    [--depth N]
 //! algrec translate <program.dl> --pred P [facts.dl]
 //! algrec stable <program.dl>  [facts.dl] [--cap N]
@@ -27,6 +27,9 @@
 //! * `--trace` streams evaluation telemetry (phases, deltas) to stderr as
 //!   `% trace:` lines and prints a final stats summary (see
 //!   `algrec_value::stats`);
+//! * `--explain` (on `eval` and `alg`) prints the query plan — join
+//!   orders, access paths, shared subplans — instead of evaluating (see
+//!   `algrec_plan` and DESIGN.md §15);
 //! * `repl` is the interactive incremental-view session, `serve` the same
 //!   session behind a newline-delimited-JSON TCP protocol (the server
 //!   prints `% listening on ADDR` once bound; `--addr` defaults to
@@ -68,6 +71,7 @@ struct Args {
     depth: usize,
     cap: usize,
     trace: bool,
+    explain: bool,
     addr: Option<String>,
     data_dir: Option<String>,
     sync: algrec::store::SyncPolicy,
@@ -82,6 +86,7 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
         depth: 2,
         cap: 16,
         trace: false,
+        explain: false,
         addr: None,
         data_dir: None,
         sync: algrec::store::SyncPolicy::Always,
@@ -96,6 +101,7 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
             }
             "--pred" => args.pred = Some(it.next().ok_or("--pred needs a value")?.clone()),
             "--trace" => args.trace = true,
+            "--explain" => args.explain = true,
             "--depth" => {
                 args.depth = it
                     .next()
@@ -165,6 +171,12 @@ fn cmd_eval(a: &Args) -> Result<(), String> {
     let program =
         algrec::datalog::parser::parse_program(&read(program_path)?).map_err(|e| e.to_string())?;
     let db = load_db(rest.first().map(String::as_str))?;
+    if a.explain {
+        let plan =
+            algrec::datalog::explain_program(&program, &db, None).map_err(|e| e.to_string())?;
+        println!("{plan}");
+        return Ok(());
+    }
     let out = evaluate_traced(&program, &db, a.semantics, Budget::LARGE, trace_of(a))
         .map_err(|e| e.to_string())?;
     match &a.pred {
@@ -210,6 +222,10 @@ fn cmd_alg(a: &Args) -> Result<(), String> {
     let program =
         algrec::core::parser::parse_program(&read(program_path)?).map_err(|e| e.to_string())?;
     let db = load_db(rest.first().map(String::as_str))?;
+    if a.explain {
+        println!("{}", algrec::core::explain_program(&program, &db));
+        return Ok(());
+    }
     let out = eval_valid_traced(
         &program,
         &db,

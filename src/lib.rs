@@ -17,6 +17,9 @@
 //!   (Section 4);
 //! * [`core`] — the algebra family and its valid-semantics evaluator
 //!   (Section 3);
+//! * [`plan`] — the hash-consed plan IR, cost-based join orderer and
+//!   `explain` rendering behind the compiled execution path
+//!   (`ALGREC_PLAN_BASELINE=1` keeps the interpreted path);
 //! * [`translate`] — the Section 5/6 translations and the theorem
 //!   harnesses;
 //! * [`serve`] — the incremental materialized-view session engine behind
@@ -56,6 +59,7 @@
 pub use algrec_adt as adt;
 pub use algrec_core as core;
 pub use algrec_datalog as datalog;
+pub use algrec_plan as plan;
 pub use algrec_sched as sched;
 pub use algrec_serve as serve;
 pub use algrec_store as store;
