@@ -1,0 +1,508 @@
+//! The scenario filter-expression DSL.
+//!
+//! A filter selects scenarios from the corpus by name, tag, or
+//! semantics:
+//!
+//! ```text
+//! name ~ "authz" & tag = slow
+//! (tag = social | tag = deps) & !(semantics = inflationary)
+//! tag != slow
+//! ```
+//!
+//! Grammar (lowest precedence first):
+//!
+//! ```text
+//! expr  := or
+//! or    := and ( '|' and )*
+//! and   := not ( '&' not )*
+//! not   := '!' not | atom
+//! atom  := '(' expr ')' | 'true' | 'false' | cmp
+//! cmp   := key op value
+//! key   := 'name' | 'tag' | 'semantics'
+//! op    := '=' | '!=' | '~' | '!~'
+//! value := bareword | '"' quoted string '"'
+//! ```
+//!
+//! `=` is (set) equality — for multi-valued keys (`tag`, `semantics`)
+//! it holds when *any* value matches; `~` is substring containment on
+//! the same quantification. `!=` and `!~` are their negations over the
+//! whole set (`tag != slow` means *no* tag equals `slow`), which is the
+//! useful reading for selection: `-f 'tag != slow'` excludes exactly
+//! the scenarios carrying the tag.
+//!
+//! [`parse`] reports malformed input with a character offset;
+//! [`Expr`]'s `Display` is a canonical printer whose output re-parses
+//! to the same AST (pinned by the round-trip proptest in
+//! `tests/filter_props.rs`).
+
+use std::fmt;
+
+/// A key a comparison can test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Key {
+    /// The scenario's directory name.
+    Name,
+    /// Any of the scenario's tags.
+    Tag,
+    /// Any of the scenario's view semantics (canonical names, e.g.
+    /// `stratified`, `valid`, `valid-extended:16`).
+    Semantics,
+}
+
+impl Key {
+    fn as_str(self) -> &'static str {
+        match self {
+            Key::Name => "name",
+            Key::Tag => "tag",
+            Key::Semantics => "semantics",
+        }
+    }
+}
+
+/// A comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Some value of the key equals the literal.
+    Eq,
+    /// No value of the key equals the literal.
+    Ne,
+    /// Some value of the key contains the literal as a substring.
+    Contains,
+    /// No value of the key contains the literal as a substring.
+    NotContains,
+}
+
+impl Op {
+    fn as_str(self) -> &'static str {
+        match self {
+            Op::Eq => "=",
+            Op::Ne => "!=",
+            Op::Contains => "~",
+            Op::NotContains => "!~",
+        }
+    }
+}
+
+/// A parsed filter expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// `true` / `false`.
+    Const(bool),
+    /// `key op value`.
+    Cmp(Key, Op, String),
+    /// `!e`.
+    Not(Box<Expr>),
+    /// `a & b` (flattened left-to-right).
+    And(Vec<Expr>),
+    /// `a | b` (flattened left-to-right).
+    Or(Vec<Expr>),
+}
+
+impl Expr {
+    /// Evaluate against one scenario's facets: its name and the value
+    /// sets behind `tag` and `semantics`.
+    pub fn matches(&self, name: &str, tags: &[String], semantics: &[String]) -> bool {
+        match self {
+            Expr::Const(b) => *b,
+            Expr::Not(e) => !e.matches(name, tags, semantics),
+            Expr::And(es) => es.iter().all(|e| e.matches(name, tags, semantics)),
+            Expr::Or(es) => es.iter().any(|e| e.matches(name, tags, semantics)),
+            Expr::Cmp(key, op, value) => {
+                let single = [name.to_string()];
+                let values: &[String] = match key {
+                    Key::Name => &single,
+                    Key::Tag => tags,
+                    Key::Semantics => semantics,
+                };
+                match op {
+                    Op::Eq => values.iter().any(|v| v == value),
+                    Op::Ne => !values.iter().any(|v| v == value),
+                    Op::Contains => values.iter().any(|v| v.contains(value.as_str())),
+                    Op::NotContains => !values.iter().any(|v| v.contains(value.as_str())),
+                }
+            }
+        }
+    }
+
+    /// Precedence level for the printer: higher binds tighter.
+    fn level(&self) -> u8 {
+        match self {
+            Expr::Or(_) => 0,
+            Expr::And(_) => 1,
+            Expr::Not(_) => 2,
+            Expr::Const(_) | Expr::Cmp(..) => 3,
+        }
+    }
+
+    fn fmt_at(&self, f: &mut fmt::Formatter<'_>, parent: u8) -> fmt::Result {
+        let me = self.level();
+        if me < parent {
+            write!(f, "(")?;
+        }
+        match self {
+            Expr::Const(b) => write!(f, "{b}")?,
+            Expr::Cmp(key, op, value) => {
+                write!(f, "{} {} ", key.as_str(), op.as_str())?;
+                if is_bareword(value) {
+                    write!(f, "{value}")?;
+                } else {
+                    write!(
+                        f,
+                        "\"{}\"",
+                        value.replace('\\', "\\\\").replace('"', "\\\"")
+                    )?;
+                }
+            }
+            Expr::Not(e) => {
+                write!(f, "!")?;
+                e.fmt_at(f, 3)?;
+            }
+            Expr::And(es) => {
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " & ")?;
+                    }
+                    e.fmt_at(f, 2)?;
+                }
+            }
+            Expr::Or(es) => {
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    e.fmt_at(f, 1)?;
+                }
+            }
+        }
+        if me < parent {
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_at(f, 0)
+    }
+}
+
+/// Can `s` print unquoted? Barewords are nonempty runs of
+/// `[A-Za-z0-9_.:-]` that are not keywords and don't start with `-`
+/// (so a printed filter never looks like a flag).
+fn is_bareword(s: &str) -> bool {
+    !s.is_empty()
+        && !s.starts_with('-')
+        && !matches!(s, "true" | "false" | "name" | "tag" | "semantics")
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | ':' | '-'))
+}
+
+/// A parse failure: what was expected, and the character offset where
+/// the input stopped making sense.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What the parser was looking for.
+    pub expected: String,
+    /// 0-based character offset into the filter string.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "filter: expected {} at offset {}",
+            self.expected, self.offset
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a filter expression. The whole string must be consumed.
+pub fn parse(src: &str) -> Result<Expr, ParseError> {
+    let mut p = Parser {
+        chars: src.chars().collect(),
+        pos: 0,
+    };
+    let e = p.or()?;
+    p.skip_ws();
+    if p.pos != p.chars.len() {
+        return Err(p.err("end of input"));
+    }
+    Ok(e)
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn err(&self, expected: impl Into<String>) -> ParseError {
+        ParseError {
+            expected: expected.into(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn or(&mut self) -> Result<Expr, ParseError> {
+        let mut arms = vec![self.and()?];
+        loop {
+            self.skip_ws();
+            if !self.eat('|') {
+                break;
+            }
+            arms.push(self.and()?);
+        }
+        Ok(if arms.len() == 1 {
+            arms.pop().unwrap()
+        } else {
+            Expr::Or(arms)
+        })
+    }
+
+    fn and(&mut self) -> Result<Expr, ParseError> {
+        let mut arms = vec![self.not()?];
+        loop {
+            self.skip_ws();
+            if !self.eat('&') {
+                break;
+            }
+            arms.push(self.not()?);
+        }
+        Ok(if arms.len() == 1 {
+            arms.pop().unwrap()
+        } else {
+            Expr::And(arms)
+        })
+    }
+
+    fn not(&mut self) -> Result<Expr, ParseError> {
+        self.skip_ws();
+        // `!` only negates when not the head of `!=` / `!~` (which
+        // cannot start an expression anyway — but a stray `!=` should
+        // be reported at the `!`, as a missing operand).
+        if self.peek() == Some('!') && !matches!(self.chars.get(self.pos + 1), Some('=' | '~')) {
+            self.pos += 1;
+            return Ok(Expr::Not(Box::new(self.not()?)));
+        }
+        self.atom()
+    }
+
+    fn atom(&mut self) -> Result<Expr, ParseError> {
+        self.skip_ws();
+        if self.eat('(') {
+            let e = self.or()?;
+            self.skip_ws();
+            if !self.eat(')') {
+                return Err(self.err("`)`"));
+            }
+            return Ok(e);
+        }
+        let word = self.bareword()?;
+        match word.as_str() {
+            "true" => Ok(Expr::Const(true)),
+            "false" => Ok(Expr::Const(false)),
+            "name" | "tag" | "semantics" => {
+                let key = match word.as_str() {
+                    "name" => Key::Name,
+                    "tag" => Key::Tag,
+                    _ => Key::Semantics,
+                };
+                let op = self.op()?;
+                let value = self.value()?;
+                Ok(Expr::Cmp(key, op, value))
+            }
+            _ => {
+                // Point at the start of the offending word.
+                self.pos -= word.chars().count();
+                Err(self.err("`name`, `tag`, `semantics`, `true`, `false`, or `(`"))
+            }
+        }
+    }
+
+    fn op(&mut self) -> Result<Op, ParseError> {
+        self.skip_ws();
+        if self.eat('=') {
+            return Ok(Op::Eq);
+        }
+        if self.eat('~') {
+            return Ok(Op::Contains);
+        }
+        if self.eat('!') {
+            if self.eat('=') {
+                return Ok(Op::Ne);
+            }
+            if self.eat('~') {
+                return Ok(Op::NotContains);
+            }
+            self.pos -= 1;
+        }
+        Err(self.err("an operator (`=`, `!=`, `~`, `!~`)"))
+    }
+
+    fn value(&mut self) -> Result<String, ParseError> {
+        self.skip_ws();
+        if self.eat('"') {
+            let mut out = String::new();
+            loop {
+                match self.peek() {
+                    Some('"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some('\\') => {
+                        self.pos += 1;
+                        match self.peek() {
+                            Some(c @ ('"' | '\\')) => {
+                                out.push(c);
+                                self.pos += 1;
+                            }
+                            _ => return Err(self.err("`\\\"` or `\\\\`")),
+                        }
+                    }
+                    Some(c) => {
+                        out.push(c);
+                        self.pos += 1;
+                    }
+                    None => return Err(self.err("closing `\"`")),
+                }
+            }
+        }
+        let word = self.bareword()?;
+        Ok(word)
+    }
+
+    fn bareword(&mut self) -> Result<String, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while matches!(self.peek(),
+            Some(c) if c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | ':' | '-'))
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("a word"));
+        }
+        Ok(self.chars[start..self.pos].iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_the_motivating_examples() {
+        let e = parse(r#"name ~ "authz" & tag = slow"#).unwrap();
+        assert_eq!(
+            e,
+            Expr::And(vec![
+                Expr::Cmp(Key::Name, Op::Contains, "authz".into()),
+                Expr::Cmp(Key::Tag, Op::Eq, "slow".into()),
+            ])
+        );
+        assert!(e.matches("acl_authz", &strs(&["authz", "slow"]), &[]));
+        assert!(!e.matches("acl_authz", &strs(&["authz"]), &[]));
+        assert!(!e.matches("social", &strs(&["slow"]), &[]));
+    }
+
+    #[test]
+    fn tag_ne_excludes_the_tagged() {
+        let e = parse("tag != slow").unwrap();
+        assert!(e.matches("a", &strs(&["fast"]), &[]));
+        assert!(!e.matches("a", &strs(&["fast", "slow"]), &[]));
+        // A scenario with no tags has no tag equal to `slow`.
+        assert!(e.matches("a", &[], &[]));
+    }
+
+    #[test]
+    fn precedence_and_grouping() {
+        let e = parse("tag = a | tag = b & tag = c").unwrap();
+        assert_eq!(
+            e,
+            Expr::Or(vec![
+                Expr::Cmp(Key::Tag, Op::Eq, "a".into()),
+                Expr::And(vec![
+                    Expr::Cmp(Key::Tag, Op::Eq, "b".into()),
+                    Expr::Cmp(Key::Tag, Op::Eq, "c".into()),
+                ]),
+            ])
+        );
+        let g = parse("(tag = a | tag = b) & tag = c").unwrap();
+        assert_eq!(
+            g,
+            Expr::And(vec![
+                Expr::Or(vec![
+                    Expr::Cmp(Key::Tag, Op::Eq, "a".into()),
+                    Expr::Cmp(Key::Tag, Op::Eq, "b".into()),
+                ]),
+                Expr::Cmp(Key::Tag, Op::Eq, "c".into()),
+            ])
+        );
+    }
+
+    #[test]
+    fn not_binds_tightest() {
+        let e = parse("!tag = slow & semantics = valid").unwrap();
+        assert_eq!(
+            e,
+            Expr::And(vec![
+                Expr::Not(Box::new(Expr::Cmp(Key::Tag, Op::Eq, "slow".into()))),
+                Expr::Cmp(Key::Semantics, Op::Eq, "valid".into()),
+            ])
+        );
+        assert!(e.matches("x", &[], &strs(&["valid"])));
+    }
+
+    #[test]
+    fn printer_is_canonical() {
+        for (src, printed) in [
+            (r#"name~"authz"&tag=slow"#, r#"name ~ authz & tag = slow"#),
+            (
+                "( tag = a | tag = b ) & !false",
+                "(tag = a | tag = b) & !false",
+            ),
+            (r#"name = "two words""#, r#"name = "two words""#),
+            (
+                "semantics = valid-extended:16",
+                "semantics = valid-extended:16",
+            ),
+        ] {
+            let e = parse(src).unwrap();
+            assert_eq!(e.to_string(), printed, "{src}");
+            assert_eq!(parse(&e.to_string()).unwrap(), e, "{src}");
+        }
+    }
+
+    #[test]
+    fn quoted_escapes_round_trip() {
+        let e = Expr::Cmp(Key::Name, Op::Eq, "a\"b\\c".into());
+        assert_eq!(parse(&e.to_string()).unwrap(), e);
+    }
+}

@@ -1,0 +1,29 @@
+//! Scenario corpus engine: record/replay end-to-end serving workloads.
+//!
+//! A *scenario* packages a program, an extensional database, and a
+//! recorded line-protocol trace with its expected replies into a
+//! directory ([`corpus`]). The [`replay`] harness drives the trace
+//! against a fresh serving session — in-process or over live TCP — at
+//! adjustable concurrency and read scale-factor, diffing replies
+//! against the recording modulo epoch tags. Scenarios are selected with
+//! a small [`filter`] expression DSL (`name ~ "authz" & tag != slow`),
+//! and `algrec scenario run` ([`runner`]) emits a per-scenario
+//! throughput/latency/recovery [`report`] (`BENCH_7.json`).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod corpus;
+pub mod filter;
+pub mod replay;
+pub mod report;
+pub mod runner;
+
+pub use corpus::{load_corpus, load_scenario, CorpusError, Scenario, ViewSpec};
+pub use filter::{parse as parse_filter, Expr as FilterExpr, ParseError as FilterError};
+pub use replay::{
+    diff_modulo_epoch, replay, strip_epoch, Connector, Divergence, InProcessConnector,
+    ReplayOptions, ReplayOutcome, TcpConnector, Transport,
+};
+pub use report::{report_json, LegReport, RecoveryLeg, ScenarioReport};
+pub use runner::{all_matched, list, record, run, select, RunOptions};

@@ -1,0 +1,156 @@
+//! The machine-readable scenario report (`BENCH_7.json`).
+//!
+//! `algrec scenario run --report PATH` writes one JSON document
+//! summarizing every replayed scenario: request mix, a row per
+//! concurrency leg (throughput, latency percentiles, and whether the
+//! replies matched the recording modulo epoch tags), and the durable
+//! recovery leg (recovery wall time, WAL records replayed, and whether
+//! the replayed tail matched). The schema — key names, nesting, value
+//! kinds — is pinned by `tests/report_schema.rs` exactly like the
+//! `tables` reports (`BENCH_5`/`BENCH_6`), so downstream consumers
+//! hear about shape changes in CI rather than in a dashboard.
+
+use algrec_serve::json::Json;
+
+/// One concurrency leg of one scenario.
+#[derive(Debug, Clone)]
+pub struct LegReport {
+    /// Worker connections used for read blocks.
+    pub concurrency: usize,
+    /// Read scale-factor.
+    pub scale: usize,
+    /// Requests executed (writes + reads × scale).
+    pub requests: usize,
+    /// Wall time for the whole trace.
+    pub elapsed_s: f64,
+    /// Requests per second over the replay.
+    pub throughput_rps: f64,
+    /// Median request latency, microseconds.
+    pub latency_p50_us: u64,
+    /// 95th-percentile request latency, microseconds.
+    pub latency_p95_us: u64,
+    /// Worst request latency, microseconds.
+    pub latency_max_us: u64,
+    /// Did the replies match the recording (modulo epoch tags)?
+    pub matched: bool,
+}
+
+/// The durable-store leg: replay against `--data-dir`, reopen, verify.
+#[derive(Debug, Clone)]
+pub struct RecoveryLeg {
+    /// Wall time of the durable replay itself.
+    pub elapsed_s: f64,
+    /// Wall time for reopening the store (snapshot load + WAL replay).
+    pub recovery_s: f64,
+    /// WAL records replayed on reopen.
+    pub replayed: usize,
+    /// Trailing read requests re-issued against the recovered session.
+    pub checked: usize,
+    /// Did the recovered replies match the live ones (modulo epochs)?
+    pub matched: bool,
+}
+
+/// Everything measured for one scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// Scenario (directory) name.
+    pub name: String,
+    /// Human title.
+    pub title: String,
+    /// Filterable tags.
+    pub tags: Vec<String>,
+    /// Canonical semantics of the scenario's views.
+    pub semantics: Vec<String>,
+    /// Trace length (distinct requests).
+    pub requests: usize,
+    /// Read requests in the trace.
+    pub reads: usize,
+    /// Mutating requests in the trace.
+    pub writes: usize,
+    /// One row per replayed concurrency.
+    pub legs: Vec<LegReport>,
+    /// The durable recovery leg, when run.
+    pub recovery: Option<RecoveryLeg>,
+}
+
+/// `p`-th percentile (nearest-rank on the sorted slice); 0 when empty.
+pub fn percentile_us(sorted: &[u64], p: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = (sorted.len() - 1) * p / 100;
+    sorted[idx]
+}
+
+fn str_arr(items: &[String]) -> Json {
+    Json::Arr(items.iter().map(Json::str).collect())
+}
+
+fn leg_json(leg: &LegReport) -> Json {
+    Json::obj([
+        ("concurrency", Json::Int(leg.concurrency as i64)),
+        ("scale", Json::Int(leg.scale as i64)),
+        ("requests", Json::Int(leg.requests as i64)),
+        ("elapsed_s", Json::Float(leg.elapsed_s)),
+        ("throughput_rps", Json::Float(leg.throughput_rps)),
+        ("latency_p50_us", Json::Int(leg.latency_p50_us as i64)),
+        ("latency_p95_us", Json::Int(leg.latency_p95_us as i64)),
+        ("latency_max_us", Json::Int(leg.latency_max_us as i64)),
+        ("matched", Json::Bool(leg.matched)),
+    ])
+}
+
+fn recovery_json(r: &RecoveryLeg) -> Json {
+    Json::obj([
+        ("elapsed_s", Json::Float(r.elapsed_s)),
+        ("recovery_s", Json::Float(r.recovery_s)),
+        ("replayed", Json::Int(r.replayed as i64)),
+        ("checked", Json::Int(r.checked as i64)),
+        ("matched", Json::Bool(r.matched)),
+    ])
+}
+
+fn scenario_json(s: &ScenarioReport) -> Json {
+    Json::obj([
+        ("name", Json::str(s.name.clone())),
+        ("title", Json::str(s.title.clone())),
+        ("tags", str_arr(&s.tags)),
+        ("semantics", str_arr(&s.semantics)),
+        ("requests", Json::Int(s.requests as i64)),
+        ("reads", Json::Int(s.reads as i64)),
+        ("writes", Json::Int(s.writes as i64)),
+        ("legs", Json::Arr(s.legs.iter().map(leg_json).collect())),
+        (
+            "recovery",
+            s.recovery.as_ref().map_or(Json::Null, recovery_json),
+        ),
+    ])
+}
+
+/// Render the whole report document.
+pub fn report_json(corpus: &str, scenarios: &[ScenarioReport]) -> String {
+    Json::obj([
+        ("report", Json::str("scenario")),
+        ("corpus", Json::str(corpus)),
+        (
+            "scenarios",
+            Json::Arr(scenarios.iter().map(scenario_json).collect()),
+        ),
+    ])
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let sorted = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10];
+        assert_eq!(percentile_us(&sorted, 50), 5);
+        assert_eq!(percentile_us(&sorted, 95), 9);
+        assert_eq!(percentile_us(&sorted, 100), 10);
+        assert_eq!(percentile_us(&[], 50), 0);
+        assert_eq!(percentile_us(&[7], 95), 7);
+    }
+}

@@ -1,0 +1,480 @@
+//! The scenario runner behind `algrec scenario list|run|record`.
+//!
+//! * [`list`] prints the corpus (after filtering) with titles, tags and
+//!   semantics.
+//! * [`run`] replays every selected scenario at each configured
+//!   concurrency (in-process by default, against a live TCP server
+//!   under `--live`), diffs replies against the recording modulo epoch
+//!   tags, runs the durable recovery leg, and optionally writes the
+//!   [`crate::report`] document (`BENCH_7.json`).
+//! * [`record`] replays each selected scenario once at concurrency 1
+//!   and (re)writes its `expected.ndjson`.
+
+use crate::corpus::{load_corpus, Scenario};
+use crate::filter::Expr;
+use crate::replay::{
+    diff_modulo_epoch, replay, setup_session, strip_epoch, Connector, InProcessConnector,
+    ReplayOptions, ReplayOutcome, TcpConnector,
+};
+use crate::report::{percentile_us, LegReport, RecoveryLeg, ScenarioReport};
+use algrec_serve::{serve, Session};
+use algrec_store::{StoreOptions, SyncPolicy};
+use algrec_value::{Budget, Trace};
+use std::io::Write;
+use std::net::TcpListener;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Options for [`run`].
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Corpus directory.
+    pub corpus: PathBuf,
+    /// Scenario selection; `None` selects everything.
+    pub filter: Option<Expr>,
+    /// Concurrency legs to replay (each scenario runs once per entry).
+    pub concurrency: Vec<usize>,
+    /// Read scale-factor applied to every leg.
+    pub scale: usize,
+    /// Where to write the report document, if anywhere.
+    pub report: Option<PathBuf>,
+    /// Replay over a live TCP server (spawned per scenario on an
+    /// ephemeral loopback port) instead of in-process.
+    pub live: bool,
+    /// Skip the durable recovery leg.
+    pub no_recovery: bool,
+    /// Evaluation budget for every session.
+    pub budget: Budget,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            corpus: PathBuf::from("scenarios"),
+            filter: None,
+            concurrency: vec![1, 4],
+            scale: 1,
+            report: None,
+            live: false,
+            no_recovery: false,
+            budget: Budget::LARGE,
+        }
+    }
+}
+
+/// Load the corpus and apply the filter.
+pub fn select(corpus: &Path, filter: Option<&Expr>) -> Result<Vec<Scenario>, String> {
+    let scenarios = load_corpus(corpus).map_err(|e| e.to_string())?;
+    Ok(scenarios
+        .into_iter()
+        .filter(|s| filter.map_or(true, |f| f.matches(&s.name, &s.tags, &s.semantics_facet())))
+        .collect())
+}
+
+/// Print the (filtered) corpus, one scenario per line.
+pub fn list(out: &mut dyn Write, corpus: &Path, filter: Option<&Expr>) -> Result<(), String> {
+    let scenarios = select(corpus, filter)?;
+    for s in &scenarios {
+        writeln!(
+            out,
+            "{}  [{}]  ({})  {} request(s) — {}",
+            s.name,
+            s.tags.join(", "),
+            s.semantics_facet().join(", "),
+            s.trace.len(),
+            s.title,
+        )
+        .map_err(|e| e.to_string())?;
+    }
+    writeln!(out, "{} scenario(s)", scenarios.len()).map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+/// A fresh, set-up in-memory session for a scenario.
+fn session_for(scenario: &Scenario, budget: Budget) -> Result<Session, String> {
+    let mut session = Session::new(budget);
+    setup_session(&mut session, scenario)?;
+    Ok(session)
+}
+
+/// Run one replay leg, in-process or against a throwaway live server.
+fn replay_leg(
+    scenario: &Scenario,
+    opts: &RunOptions,
+    replay_opts: ReplayOptions,
+) -> Result<ReplayOutcome, String> {
+    let session = session_for(scenario, opts.budget)?;
+    if !opts.live {
+        let connector = InProcessConnector::new(session);
+        return replay(scenario, &connector, replay_opts);
+    }
+    // Live leg: a real `serve` loop on an ephemeral loopback port, torn
+    // down with a protocol `shutdown` once the trace has replayed.
+    let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| e.to_string())?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    let server = std::thread::spawn(move || serve(listener, session));
+    let connector = TcpConnector::new(addr);
+    let outcome = replay(scenario, &connector, replay_opts);
+    let mut control = connector.connect()?;
+    control.roundtrip(r#"{"id": "scenario-shutdown", "op": "shutdown"}"#)?;
+    server
+        .join()
+        .map_err(|_| "server thread panicked".to_string())?
+        .map_err(|e| format!("server: {e}"))?;
+    outcome
+}
+
+/// The indices of the trace's trailing maximal read block — the reads
+/// that observed the scenario's *final* state, hence the reads a
+/// recovered session must be able to reproduce.
+fn trailing_reads(scenario: &Scenario) -> Vec<usize> {
+    let mut idx: Vec<usize> = Vec::new();
+    for (i, line) in scenario.trace.iter().enumerate().rev() {
+        if crate::replay::is_read_request(line) {
+            idx.push(i);
+        } else {
+            break;
+        }
+    }
+    idx.reverse();
+    idx
+}
+
+/// A process-unique scratch directory for a durable leg.
+fn scratch_dir(name: &str) -> PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    std::env::temp_dir().join(format!(
+        "algrec-scenario-{}-{}-{name}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// The durable leg: replay the trace against a `--data-dir`-backed
+/// session (concurrency 1 — the WAL serializes writes anyway), close
+/// it, time the reopen, and re-issue the trailing read block against
+/// the recovered session. Recovery passes when every re-issued reply
+/// matches the live one modulo epoch tags. Debug builds additionally
+/// verify the recovered views bit-identical to a cold evaluation inside
+/// `algrec_store::open` itself.
+fn recovery_leg(scenario: &Scenario, budget: Budget) -> Result<RecoveryLeg, String> {
+    let dir = scratch_dir(&scenario.name);
+    let _ = std::fs::remove_dir_all(&dir);
+    let result = recovery_leg_in(&dir, scenario, budget);
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+fn recovery_leg_in(dir: &Path, scenario: &Scenario, budget: Budget) -> Result<RecoveryLeg, String> {
+    let options = StoreOptions {
+        sync: SyncPolicy::Never,
+        snapshot_every: Some(1024),
+    };
+    let (mut session, _) = algrec_store::open(dir, budget, options, Trace::Null)
+        .map_err(|e| format!("{}: {e}", dir.display()))?;
+    setup_session(&mut session, scenario)?;
+    let connector = InProcessConnector::new(session);
+    let t0 = Instant::now();
+    let live = replay(scenario, &connector, ReplayOptions::default())?;
+    let elapsed_s = t0.elapsed().as_secs_f64();
+    drop(connector);
+
+    let t0 = Instant::now();
+    let (recovered, report) = algrec_store::open(dir, budget, options, Trace::Null)
+        .map_err(|e| format!("{}: reopening: {e}", dir.display()))?;
+    let recovery_s = t0.elapsed().as_secs_f64();
+
+    let tail = trailing_reads(scenario);
+    let connector = InProcessConnector::new(recovered);
+    let mut transport = connector.connect()?;
+    let mut matched = true;
+    for &i in &tail {
+        let reply = transport.roundtrip(&scenario.trace[i])?;
+        if strip_epoch(&reply) != strip_epoch(&live.replies[i]) {
+            matched = false;
+        }
+    }
+    Ok(RecoveryLeg {
+        elapsed_s,
+        recovery_s,
+        replayed: report.replayed,
+        checked: tail.len(),
+        matched,
+    })
+}
+
+fn leg_report(opts: ReplayOptions, outcome: &ReplayOutcome, matched: bool) -> LegReport {
+    let mut sorted = outcome.latencies_us.clone();
+    sorted.sort_unstable();
+    LegReport {
+        concurrency: opts.concurrency,
+        scale: opts.scale,
+        requests: outcome.requests(),
+        elapsed_s: outcome.elapsed.as_secs_f64(),
+        throughput_rps: outcome.throughput_rps(),
+        latency_p50_us: percentile_us(&sorted, 50),
+        latency_p95_us: percentile_us(&sorted, 95),
+        latency_max_us: percentile_us(&sorted, 100),
+        matched,
+    }
+}
+
+/// Replay every selected scenario. Returns the per-scenario reports;
+/// `Err` carries the first setup/transport failure. Reply divergences
+/// do **not** error here — they are reported per leg (`matched:
+/// false`) so one broken scenario doesn't hide the rest; the CLI exits
+/// non-zero when [`all_matched`] is false.
+pub fn run(out: &mut dyn Write, opts: &RunOptions) -> Result<Vec<ScenarioReport>, String> {
+    let scenarios = select(&opts.corpus, opts.filter.as_ref())?;
+    if scenarios.is_empty() {
+        return Err("no scenarios selected".into());
+    }
+    let mut reports = Vec::new();
+    for scenario in &scenarios {
+        let Some(expected) = &scenario.expected else {
+            return Err(format!(
+                "{}: no recording (expected.ndjson); run `algrec scenario record` first",
+                scenario.name
+            ));
+        };
+        writeln!(
+            out,
+            "scenario {}: {} request(s), {} view(s) [{}]{}",
+            scenario.name,
+            scenario.trace.len(),
+            scenario.views.len(),
+            scenario.semantics_facet().join(", "),
+            if opts.live { " (live tcp)" } else { "" },
+        )
+        .map_err(|e| e.to_string())?;
+        let mut legs = Vec::new();
+        let mut reads = 0;
+        let mut writes = 0;
+        for &concurrency in &opts.concurrency {
+            let replay_opts = ReplayOptions {
+                concurrency,
+                scale: opts.scale,
+            };
+            let outcome = replay_leg(scenario, opts, replay_opts)?;
+            reads = outcome.reads;
+            writes = outcome.writes;
+            let divergence = diff_modulo_epoch(&scenario.trace, expected, &outcome.replies);
+            if let Some(d) = &divergence {
+                writeln!(out, "  c={concurrency}: DIVERGED\n{d}").map_err(|e| e.to_string())?;
+            }
+            let leg = leg_report(replay_opts, &outcome, divergence.is_none());
+            writeln!(
+                out,
+                "  c={concurrency} x{}: {} req in {:.3} s — {:.0} req/s, \
+                 p50 {} us, p95 {} us, max {} us{}",
+                opts.scale,
+                leg.requests,
+                leg.elapsed_s,
+                leg.throughput_rps,
+                leg.latency_p50_us,
+                leg.latency_p95_us,
+                leg.latency_max_us,
+                if leg.matched { "" } else { " [MISMATCH]" },
+            )
+            .map_err(|e| e.to_string())?;
+            legs.push(leg);
+        }
+        let recovery = if opts.no_recovery {
+            None
+        } else {
+            let r = recovery_leg(scenario, opts.budget)?;
+            writeln!(
+                out,
+                "  recovery: {:.3} s reopen, {} record(s) replayed, {}/{} tail read(s) match{}",
+                r.recovery_s,
+                r.replayed,
+                if r.matched { r.checked } else { 0 },
+                r.checked,
+                if r.matched { "" } else { " [MISMATCH]" },
+            )
+            .map_err(|e| e.to_string())?;
+            Some(r)
+        };
+        reports.push(ScenarioReport {
+            name: scenario.name.clone(),
+            title: scenario.title.clone(),
+            tags: scenario.tags.clone(),
+            semantics: scenario.semantics_facet(),
+            requests: scenario.trace.len(),
+            reads,
+            writes,
+            legs,
+            recovery,
+        });
+    }
+    if let Some(path) = &opts.report {
+        let corpus_name = opts.corpus.to_string_lossy();
+        std::fs::write(
+            path,
+            crate::report::report_json(&corpus_name, &reports) + "\n",
+        )
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+        writeln!(out, "report written to {}", path.display()).map_err(|e| e.to_string())?;
+    }
+    Ok(reports)
+}
+
+/// Did every leg and every recovery check of every scenario match?
+pub fn all_matched(reports: &[ScenarioReport]) -> bool {
+    reports.iter().all(|s| {
+        s.legs.iter().all(|l| l.matched) && s.recovery.as_ref().map_or(true, |r| r.matched)
+    })
+}
+
+/// Re-record the selected scenarios: replay each trace once, in
+/// process, at concurrency 1, and rewrite `expected.ndjson`.
+pub fn record(
+    out: &mut dyn Write,
+    corpus: &Path,
+    filter: Option<&Expr>,
+    budget: Budget,
+) -> Result<(), String> {
+    let scenarios = select(corpus, filter)?;
+    if scenarios.is_empty() {
+        return Err("no scenarios selected".into());
+    }
+    for scenario in &scenarios {
+        let session = session_for(scenario, budget)?;
+        let connector = InProcessConnector::new(session);
+        let outcome = replay(scenario, &connector, ReplayOptions::default())?;
+        let path = scenario.expected_path();
+        let mut content = outcome.replies.join("\n");
+        content.push('\n');
+        std::fs::write(&path, content).map_err(|e| format!("{}: {e}", path.display()))?;
+        writeln!(
+            out,
+            "recorded {}: {} replies -> {}",
+            scenario.name,
+            outcome.replies.len(),
+            path.display()
+        )
+        .map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::load_scenario;
+
+    fn write(path: &Path, content: &str) {
+        std::fs::write(path, content).unwrap();
+    }
+
+    /// A tiny corpus on disk: one stratified scenario.
+    fn seed_corpus(tag: &str) -> PathBuf {
+        let root = scratch_dir(&format!("runner-corpus-{tag}"));
+        let dir = root.join("tiny_tc");
+        std::fs::create_dir_all(&dir).unwrap();
+        write(
+            &dir.join("meta.json"),
+            r#"{"title": "tiny transitive closure", "description": "d",
+                "tags": ["fast"], "edb": "edb.dl",
+                "views": [{"name": "paths", "semantics": "stratified"}]}"#,
+        );
+        write(
+            &dir.join("program.dl"),
+            "tc(X, Y) :- e(X, Y).\ntc(X, Z) :- tc(X, Y), e(Y, Z).\n",
+        );
+        write(&dir.join("edb.dl"), "e(1, 2). e(2, 3).\n");
+        write(
+            &dir.join("trace.ndjson"),
+            concat!(
+                r#"{"id": 1, "op": "query", "view": "paths", "pred": "tc"}"#,
+                "\n",
+                r#"{"id": 2, "op": "assert", "fact": "e(3, 4)"}"#,
+                "\n",
+                r#"{"id": 3, "op": "query", "view": "paths", "pred": "tc"}"#,
+                "\n",
+                r#"{"id": 4, "op": "db"}"#,
+                "\n",
+            ),
+        );
+        root
+    }
+
+    #[test]
+    fn record_then_run_matches_in_process_and_live() {
+        let root = seed_corpus("roundtrip");
+        let mut sink = Vec::new();
+        record(&mut sink, &root, None, Budget::LARGE).unwrap();
+        let s = load_scenario(&root.join("tiny_tc")).unwrap();
+        assert_eq!(s.expected.as_ref().unwrap().len(), 4);
+
+        let opts = RunOptions {
+            corpus: root.clone(),
+            concurrency: vec![1, 4],
+            ..RunOptions::default()
+        };
+        let reports = run(&mut sink, &opts).unwrap();
+        assert!(all_matched(&reports), "{reports:?}");
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].reads, 3);
+        assert_eq!(reports[0].writes, 1);
+        assert_eq!(reports[0].legs.len(), 2);
+        let rec = reports[0].recovery.as_ref().unwrap();
+        assert!(rec.matched);
+        assert_eq!(rec.checked, 2, "trailing read block is the last two reads");
+        assert!(rec.replayed > 0, "the trace's write must hit the WAL");
+
+        // The live TCP path replays the same corpus identically.
+        let live = RunOptions {
+            live: true,
+            no_recovery: true,
+            ..opts
+        };
+        let reports = run(&mut sink, &live).unwrap();
+        assert!(all_matched(&reports), "{reports:?}");
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn run_reports_divergence_without_erroring() {
+        let root = seed_corpus("diverge");
+        let mut sink = Vec::new();
+        record(&mut sink, &root, None, Budget::LARGE).unwrap();
+        // Corrupt the recording: the replay must notice (modulo epochs,
+        // so epoch edits would NOT count) and flag, not abort.
+        let path = root.join("tiny_tc").join("expected.ndjson");
+        let recorded = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, recorded.replace("tc(1, 2)", "tc(9, 9)")).unwrap();
+        let opts = RunOptions {
+            corpus: root.clone(),
+            concurrency: vec![1],
+            no_recovery: true,
+            ..RunOptions::default()
+        };
+        let reports = run(&mut sink, &opts).unwrap();
+        assert!(!all_matched(&reports));
+        let text = String::from_utf8(sink).unwrap();
+        assert!(text.contains("DIVERGED"), "{text}");
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn filter_selects_and_list_prints() {
+        let root = seed_corpus("filtering");
+        let mut sink = Vec::new();
+        let none = select(&root, Some(&crate::filter::parse("tag = slow").unwrap())).unwrap();
+        assert!(none.is_empty());
+        let all = select(&root, Some(&crate::filter::parse("tag != slow").unwrap())).unwrap();
+        assert_eq!(all.len(), 1);
+        list(
+            &mut sink,
+            &root,
+            Some(&crate::filter::parse("semantics = stratified").unwrap()),
+        )
+        .unwrap();
+        let text = String::from_utf8(sink).unwrap();
+        assert!(text.contains("tiny_tc"), "{text}");
+        assert!(text.contains("1 scenario(s)"), "{text}");
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests for the filter DSL: the canonical printer and the
+//! parser are inverses, and malformed input is reported with a precise
+//! character offset.
+
+use algrec_scenario::filter::{parse, Expr, Key, Op, ParseError};
+use proptest::prelude::*;
+
+fn keys() -> impl Strategy<Value = Key> {
+    prop::sample::select(&[Key::Name, Key::Tag, Key::Semantics][..])
+}
+
+fn ops() -> impl Strategy<Value = Op> {
+    prop::sample::select(&[Op::Eq, Op::Ne, Op::Contains, Op::NotContains][..])
+}
+
+/// Comparison values: barewords, strings needing quotes, empties,
+/// escapes, unicode.
+fn values() -> impl Strategy<Value = String> {
+    const AWKWARD: [&str; 9] = [
+        "",
+        "two words",
+        "semantics",
+        "true",
+        "-leading-dash",
+        "quo\"te",
+        "back\\slash",
+        "tab\there",
+        "snö & råg | !x",
+    ];
+    prop_oneof![
+        "[a-z0-9_.:-]{1,8}",
+        prop::sample::select(&AWKWARD[..]).prop_map(str::to_string),
+    ]
+}
+
+/// Arbitrary *canonical* ASTs: `And`/`Or` always carry at least two
+/// arms (the parser never produces fewer, and a one-arm connective
+/// would print as its child and round-trip to a different tree).
+fn exprs() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        any::<bool>().prop_map(Expr::Const),
+        (keys(), ops(), values()).prop_map(|(k, o, v)| Expr::Cmp(k, o, v)),
+    ];
+    leaf.prop_recursive(4, 48, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Expr::And),
+            prop::collection::vec(inner, 2..4).prop_map(Expr::Or),
+        ]
+    })
+}
+
+proptest! {
+    /// print → parse is the identity on canonical ASTs, and printing
+    /// the re-parse reproduces the same text (the printer is a fixed
+    /// point).
+    #[test]
+    fn print_parse_round_trips(e in exprs()) {
+        let printed = e.to_string();
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|err| panic!("printed `{printed}` failed to re-parse: {err}"));
+        prop_assert_eq!(&reparsed, &e, "printed: {}", printed);
+        prop_assert_eq!(reparsed.to_string(), printed);
+    }
+
+    /// Evaluation is invariant under the round trip (a weaker but
+    /// orthogonal check: the *meaning*, not just the tree, survives).
+    #[test]
+    fn round_trip_preserves_matching(
+        e in exprs(),
+        name in "[a-z_]{1,10}",
+        tags in prop::collection::vec("[a-z]{1,6}", 0..3),
+        semantics in prop::collection::vec("[a-z-]{1,8}", 0..2),
+    ) {
+        let reparsed = parse(&e.to_string()).unwrap();
+        prop_assert_eq!(
+            reparsed.matches(&name, &tags, &semantics),
+            e.matches(&name, &tags, &semantics)
+        );
+    }
+}
+
+#[track_caller]
+fn assert_error(src: &str, expected_fragment: &str, offset: usize) {
+    let err: ParseError = parse(src).expect_err(src);
+    assert!(
+        err.expected.contains(expected_fragment),
+        "{src}: expected fragment `{expected_fragment}` in `{}`",
+        err.expected
+    );
+    assert_eq!(err.offset, offset, "{src}: {err}");
+    // The offset is always within (or one past) the input.
+    assert!(err.offset <= src.chars().count(), "{src}: {err}");
+}
+
+#[test]
+fn malformed_filters_report_precise_offsets() {
+    assert_error("", "a word", 0);
+    assert_error("   ", "a word", 3);
+    assert_error("tag", "an operator", 3);
+    assert_error("tag = ", "a word", 6);
+    assert_error("name ~~ oops", "a word", 6);
+    assert_error("bogus = x", "`name`, `tag`, `semantics`", 0);
+    assert_error("tag = a & bogus = x", "`name`, `tag`, `semantics`", 10);
+    assert_error("tag = a &", "a word", 9);
+    assert_error("(tag = a", "`)`", 8);
+    assert_error("tag = a)", "end of input", 7);
+    assert_error("tag ! x", "an operator", 4);
+    assert_error("name = \"abc", "closing `\"`", 11);
+    assert_error("name = \"a\\n\"", "`\\\"` or `\\\\`", 10);
+    assert_error("!= slow", "a word", 0);
+}
+
+#[test]
+fn offsets_are_character_not_byte_positions() {
+    // A multi-byte scenario name inside quotes parses; the error after
+    // it is reported in characters.
+    let err = parse("name = \"sné\" &").unwrap_err();
+    assert_eq!(err.offset, 14, "{err}");
+}

@@ -1,0 +1,109 @@
+//! Record/replay determinism over the *checked-in* corpus: every
+//! scenario in `scenarios/` replays byte-identically (modulo epoch
+//! tags) to its committed recording at concurrency 1 and 4, and the
+//! reply stream is identical across the two concurrencies. This is the
+//! acceptance test for the scenario engine — if a semantics change
+//! legitimately alters replies, re-record with `algrec scenario
+//! record` and review the diff.
+
+use algrec_scenario::replay::{
+    diff_modulo_epoch, replay, setup_session, InProcessConnector, ReplayOptions,
+};
+use algrec_scenario::{load_corpus, Scenario};
+use algrec_serve::Session;
+use algrec_value::Budget;
+use std::path::Path;
+
+fn corpus_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios")
+}
+
+fn replay_at(scenario: &Scenario, concurrency: usize, scale: usize) -> Vec<String> {
+    let mut session = Session::new(Budget::LARGE);
+    setup_session(&mut session, scenario).unwrap();
+    let connector = InProcessConnector::new(session);
+    replay(scenario, &connector, ReplayOptions { concurrency, scale })
+        .unwrap()
+        .replies
+}
+
+#[test]
+fn corpus_has_the_four_seed_scenarios_with_distinct_semantics() {
+    let corpus = load_corpus(&corpus_dir()).unwrap();
+    let names: Vec<&str> = corpus.iter().map(|s| s.name.as_str()).collect();
+    for expected in [
+        "acl_authz",
+        "package_deps",
+        "session_windows",
+        "social_reachability",
+    ] {
+        assert!(names.contains(&expected), "missing scenario: {expected}");
+    }
+    assert!(corpus.len() >= 4);
+    // The seeds genuinely cover distinct semantics.
+    let mut facets: Vec<String> = corpus.iter().flat_map(|s| s.semantics_facet()).collect();
+    facets.sort();
+    facets.dedup();
+    for semantics in ["inflationary", "stratified", "valid"] {
+        assert!(facets.contains(&semantics.to_string()), "{facets:?}");
+    }
+    // Every committed scenario ships a recording.
+    for s in &corpus {
+        assert!(s.expected.is_some(), "{}: not recorded", s.name);
+    }
+}
+
+#[test]
+fn every_committed_recording_replays_at_concurrency_1_and_4() {
+    for scenario in load_corpus(&corpus_dir()).unwrap() {
+        let expected = scenario.expected.as_ref().unwrap();
+        let serial = replay_at(&scenario, 1, 1);
+        if let Some(d) = diff_modulo_epoch(&scenario.trace, expected, &serial) {
+            panic!(
+                "{}: serial replay diverges from recording\n{d}",
+                scenario.name
+            );
+        }
+        let concurrent = replay_at(&scenario, 4, 1);
+        if let Some(d) = diff_modulo_epoch(&scenario.trace, &serial, &concurrent) {
+            panic!("{}: c=4 diverges from c=1\n{d}", scenario.name);
+        }
+    }
+}
+
+#[test]
+fn scaling_reads_changes_load_but_not_replies() {
+    let corpus = load_corpus(&corpus_dir()).unwrap();
+    let scenario = corpus
+        .iter()
+        .find(|s| s.name == "package_deps")
+        .expect("package_deps scenario");
+    let base = replay_at(scenario, 1, 1);
+    let scaled = replay_at(scenario, 4, 3);
+    assert_eq!(
+        diff_modulo_epoch(&scenario.trace, &base, &scaled),
+        None,
+        "scale must multiply load, not change answers"
+    );
+}
+
+#[test]
+fn the_acl_scenario_exercises_three_valued_answers() {
+    // The authz core is non-stratifiable; under the valid semantics the
+    // contested grants must surface as `unknown` in the recording —
+    // otherwise the scenario has silently stopped covering what it was
+    // seeded for.
+    let corpus = load_corpus(&corpus_dir()).unwrap();
+    let acl = corpus.iter().find(|s| s.name == "acl_authz").unwrap();
+    let unknowns = acl
+        .expected
+        .as_ref()
+        .unwrap()
+        .iter()
+        .filter(|r| r.contains("\"unknown\":[\""))
+        .count();
+    assert!(
+        unknowns > 0,
+        "acl_authz recording has no three-valued replies"
+    );
+}

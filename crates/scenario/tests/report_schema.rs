@@ -1,0 +1,79 @@
+//! Schema pin for the scenario report (`BENCH_7.json`), in the style of
+//! the bench crate's `json_schema.rs` pins for `BENCH_5`/`BENCH_6`: the
+//! exact serialized form — key names, key order, nesting, value kinds —
+//! is asserted as a string. If this test fails, downstream consumers of
+//! the report will break: bump deliberately and update them in the same
+//! change.
+
+use algrec_scenario::report::{report_json, LegReport, RecoveryLeg, ScenarioReport};
+
+fn sample() -> ScenarioReport {
+    ScenarioReport {
+        name: "acl_authz".to_string(),
+        title: "ACL authorization derivation".to_string(),
+        tags: vec!["authz".to_string(), "valid".to_string()],
+        semantics: vec!["valid".to_string()],
+        requests: 17,
+        reads: 12,
+        writes: 5,
+        legs: vec![LegReport {
+            concurrency: 4,
+            scale: 2,
+            requests: 29,
+            elapsed_s: 0.5,
+            throughput_rps: 58.0,
+            latency_p50_us: 40,
+            latency_p95_us: 900,
+            latency_max_us: 1500,
+            matched: true,
+        }],
+        recovery: Some(RecoveryLeg {
+            elapsed_s: 0.25,
+            recovery_s: 0.125,
+            replayed: 7,
+            checked: 5,
+            matched: true,
+        }),
+    }
+}
+
+#[test]
+fn bench_7_schema_is_pinned() {
+    // Objects serialize with sorted keys (the same `Json` the protocol
+    // replies use), so the pinned form is alphabetical at every level.
+    let got = report_json("scenarios", &[sample()]);
+    let want = concat!(
+        r#"{"corpus":"scenarios","report":"scenario","scenarios":["#,
+        r#"{"legs":[{"concurrency":4,"elapsed_s":0.5,"#,
+        r#""latency_max_us":1500,"latency_p50_us":40,"latency_p95_us":900,"#,
+        r#""matched":true,"requests":29,"scale":2,"throughput_rps":58}],"#,
+        r#""name":"acl_authz","reads":12,"#,
+        r#""recovery":{"checked":5,"elapsed_s":0.25,"matched":true,"#,
+        r#""recovery_s":0.125,"replayed":7},"#,
+        r#""requests":17,"semantics":["valid"],"tags":["authz","valid"],"#,
+        r#""title":"ACL authorization derivation","writes":5}]}"#,
+    );
+    assert_eq!(got, want);
+}
+
+#[test]
+fn recovery_is_null_when_skipped() {
+    let mut s = sample();
+    s.recovery = None;
+    let got = report_json("scenarios", &[s]);
+    assert!(got.contains(r#""recovery":null"#), "{got}");
+}
+
+#[test]
+fn the_document_is_valid_json_with_the_pinned_top_level() {
+    let got = report_json("scenarios", &[sample()]);
+    let doc = algrec_serve::json::parse(&got).unwrap();
+    assert_eq!(
+        doc.get("report").and_then(algrec_serve::json::Json::as_str),
+        Some("scenario")
+    );
+    assert_eq!(
+        doc.get("corpus").and_then(algrec_serve::json::Json::as_str),
+        Some("scenarios")
+    );
+}

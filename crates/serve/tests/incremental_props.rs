@@ -175,6 +175,69 @@ proptest! {
     }
 }
 
+// Named replays of the cases `incremental_props.proptest-regressions`
+// records. The vendored proptest re-derives its own cases from fixed
+// seeds and does not read the file, so each recorded shrink is pinned
+// here as a unit test that fails by name.
+
+/// Seed cc 142a98… (`initial = {}`, `steps = [InsertEdge(0, 0)]`): the
+/// first delta into an *empty* view inserts a self-loop — the smallest
+/// input where WIN's maintained state must go from exact-and-empty to
+/// three-valued in one step, and TC must derive `tc(0, 0)` from
+/// nothing.
+#[test]
+fn regression_first_delta_self_loop_into_empty_view() {
+    let mut session = Session::new(Budget::SMALL);
+    session.register_datalog("t", TC, Semantics::Valid).unwrap();
+    session
+        .register_datalog("w", WIN, Semantics::Valid)
+        .unwrap();
+    session.assert_fact("e(0, 0)").unwrap();
+    let QueryAnswer::Datalog { certain, .. } = session.query("t", Some("tc")).unwrap() else {
+        panic!()
+    };
+    assert_eq!(certain, vec!["tc(0, 0).".to_string()]);
+    let (cold_certain, _) = cold_answer(&session, TC, Semantics::Valid, "tc");
+    assert_eq!(certain, cold_certain);
+    let QueryAnswer::Datalog { certain, unknown } = session.query("w", Some("win")).unwrap() else {
+        panic!()
+    };
+    assert!(certain.is_empty(), "{certain:?}");
+    assert_eq!(unknown, vec!["win(0)".to_string()], "self-loop is drawn");
+    let (_, cold_unknown) = cold_answer(&session, WIN, Semantics::Valid, "win");
+    assert_eq!(unknown, cold_unknown);
+}
+
+/// Seed cc be6239… (`initial = {}`, `steps = [InsertEdge(0, 1),
+/// RemoveEdge(0, 1)]`): insert-then-retract of the same edge must leave
+/// every maintained view exactly where it started — empty — with no
+/// residue in the support counts (the classic over-deletion /
+/// re-derivation trap at its smallest).
+#[test]
+fn regression_insert_then_retract_returns_to_empty() {
+    let mut session = Session::new(Budget::SMALL);
+    session.register_datalog("t", TC, Semantics::Valid).unwrap();
+    session
+        .register_datalog("u", UNREACH, Semantics::Stratified)
+        .unwrap();
+    session.assert_fact("e(0, 1)").unwrap();
+    session.retract_fact("e(0, 1)").unwrap();
+    for (view, program, semantics, pred) in [
+        ("t", TC, Semantics::Valid, "tc"),
+        ("u", UNREACH, Semantics::Stratified, "tc"),
+        ("u", UNREACH, Semantics::Stratified, "un"),
+    ] {
+        let QueryAnswer::Datalog { certain, unknown } = session.query(view, Some(pred)).unwrap()
+        else {
+            panic!()
+        };
+        let (cold_certain, cold_unknown) = cold_answer(&session, program, semantics, pred);
+        assert_eq!(certain, cold_certain, "{view}/{pred}");
+        assert_eq!(unknown, cold_unknown, "{view}/{pred}");
+        assert!(certain.is_empty(), "{view}/{pred}: {certain:?}");
+    }
+}
+
 /// Deterministic regression: a delta straight into a view's derived
 /// predicate rebuilds and still matches cold evaluation (EDB/IDB
 /// overlap).

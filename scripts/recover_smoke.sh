@@ -16,57 +16,11 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BIN="${ALGREC_BIN:-target/release/algrec}"
-
-if [[ ! -x "$BIN" ]]; then
-  cargo build --release
-fi
-
-log=$(mktemp)
-replies=$(mktemp)
-datadir=$(mktemp -d)
-server=""
-trap 'kill -9 "$server" 2>/dev/null || true; rm -rf "$log" "$replies" "$datadir"' EXIT
-
-start_server() {
-  : >"$log"
-  "$BIN" serve --data-dir "$datadir" --sync always >"$log" 2>/dev/null &
-  server=$!
-  disown "$server" 2>/dev/null || true
-  for _ in $(seq 100); do
-    grep -q '^% listening on ' "$log" && break
-    sleep 0.1
-  done
-  addr=$(sed -n 's/^% listening on //p' "$log" | head -n 1)
-  if [[ -z "$addr" ]]; then
-    echo "recover smoke test: server never announced an address" >&2
-    exit 1
-  fi
-  host=${addr%:*}
-  port=${addr##*:}
-}
-
-# Wait (poll: the server is disowned) until the server process is gone.
-await_exit() {
-  for _ in $(seq 200); do
-    kill -0 "$server" 2>/dev/null || return 0
-    sleep 0.05
-  done
-  echo "recover smoke test: server did not exit" >&2
-  exit 1
-}
-
-# Send stdin, collect one reply line per request.
-drive() {
-  local n=$1
-  exec 3<>"/dev/tcp/$host/$port"
-  cat >&3
-  head -n "$n" <&3 >"$replies"
-  exec 3>&- 3<&-
-}
+SMOKE_NAME="recover smoke test"
+. "$(dirname "$0")/smoke_lib.sh"
 
 # --- Phase 1: commit state, then die without warning. ---------------
-start_server
+start_server --data-dir "$datadir" --sync always
 drive 4 <<'EOF'
 {"id": 1, "op": "load", "facts": "e(1, 2). e(2, 3). e(3, 4)."}
 {"id": 2, "op": "register", "view": "paths", "semantics": "stratified", "program": "tc(X, Y) :- e(X, Y).\ntc(X, Z) :- tc(X, Y), e(Y, Z)."}
@@ -74,48 +28,48 @@ drive 4 <<'EOF'
 {"id": 4, "op": "query", "view": "paths", "pred": "tc"}
 EOF
 if ! grep -q '"ok":true' <(tail -n 1 "$replies"); then
-  echo "recover smoke test: setup queries failed:" >&2
+  echo "$SMOKE_NAME: setup queries failed:" >&2
   cat "$replies" >&2
   exit 1
 fi
 # Every reply above was acknowledged => committed => durable. Kill hard.
-before=$(sed -n 's/.*"certain":\(\[[^]]*\]\).*/\1/p' <(tail -n 1 "$replies"))
+before=$(tail -n 1 "$replies" | certain_of)
 kill -9 "$server"
 await_exit
 
 # --- Phase 2: restart, compare recovered vs pre-crash vs cold. ------
-start_server
+start_server --data-dir "$datadir" --sync always
 drive 3 <<'EOF'
 {"id": 5, "op": "query", "view": "paths", "pred": "tc"}
 {"id": 6, "op": "register", "view": "cold", "semantics": "stratified", "program": "tc(X, Y) :- e(X, Y).\ntc(X, Z) :- tc(X, Y), e(Y, Z)."}
 {"id": 7, "op": "shutdown"}
 EOF
 await_exit
-recovered=$(sed -n 's/.*"certain":\(\[[^]]*\]\).*/\1/p' <(head -n 1 "$replies"))
+recovered=$(head -n 1 "$replies" | certain_of)
 
 if [[ -z "$before" || "$recovered" != "$before" ]]; then
-  echo "recover smoke test: recovered answers differ from pre-crash answers" >&2
+  echo "$SMOKE_NAME: recovered answers differ from pre-crash answers" >&2
   echo "  before:    $before" >&2
   echo "  recovered: $recovered" >&2
   exit 1
 fi
 
 # --- Phase 3: the recovered view vs a cold re-evaluation. -----------
-start_server
+start_server --data-dir "$datadir" --sync always
 drive 3 <<'EOF'
 {"id": 8, "op": "query", "view": "paths", "pred": "tc"}
 {"id": 9, "op": "query", "view": "cold", "pred": "tc"}
 {"id": 10, "op": "shutdown"}
 EOF
 await_exit
-warm=$(sed -n 's/.*"certain":\(\[[^]]*\]\).*/\1/p' <(sed -n '1p' "$replies"))
-cold=$(sed -n 's/.*"certain":\(\[[^]]*\]\).*/\1/p' <(sed -n '2p' "$replies"))
+warm=$(sed -n '1p' "$replies" | certain_of)
+cold=$(sed -n '2p' "$replies" | certain_of)
 
 if [[ -z "$warm" || "$warm" != "$cold" ]]; then
-  echo "recover smoke test: recovered view differs from cold evaluation" >&2
+  echo "$SMOKE_NAME: recovered view differs from cold evaluation" >&2
   echo "  recovered: $warm" >&2
   echo "  cold:      $cold" >&2
   exit 1
 fi
 
-echo "recover smoke test: OK (state survived SIGKILL; recovered == pre-crash == cold)"
+echo "$SMOKE_NAME: OK (state survived SIGKILL; recovered == pre-crash == cold)"

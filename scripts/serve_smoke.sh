@@ -14,49 +14,11 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BIN="${ALGREC_BIN:-target/release/algrec}"
+SMOKE_NAME="serve smoke test"
+. "$(dirname "$0")/smoke_lib.sh"
+
 SESSION=tests/data/serve_session.ndjson
 GOLDEN=tests/data/serve_session.golden
-
-if [[ ! -x "$BIN" ]]; then
-  cargo build --release
-fi
-
-log=$(mktemp)
-replies=$(mktemp)
-datadir=$(mktemp -d)
-server=""
-trap 'kill "$server" 2>/dev/null || true; rm -rf "$log" "$replies" "$datadir"' EXIT
-
-# Start the server (extra args pass through), wait for its address
-# banner, export host/port. Port 0 picks an ephemeral port, so parallel
-# CI legs never collide.
-start_server() {
-  : >"$log"
-  "$BIN" serve "$@" >"$log" 2>/dev/null &
-  server=$!
-  for _ in $(seq 100); do
-    grep -q '^% listening on ' "$log" && break
-    sleep 0.1
-  done
-  addr=$(sed -n 's/^% listening on //p' "$log" | head -n 1)
-  if [[ -z "$addr" ]]; then
-    echo "serve smoke test: server never announced an address" >&2
-    exit 1
-  fi
-  host=${addr%:*}
-  port=${addr##*:}
-}
-
-# Send stdin to the server, one reply line per request line; the final
-# request should be `shutdown`, which also stops the server.
-drive() {
-  local n=$1
-  exec 3<>"/dev/tcp/$host/$port"
-  cat >&3
-  head -n "$n" <&3 >"$replies"
-  exec 3>&- 3<&-
-}
 
 n=$(grep -c . "$SESSION")
 
@@ -64,26 +26,24 @@ n=$(grep -c . "$SESSION")
 start_server
 drive "$n" <"$SESSION"
 diff -u "$GOLDEN" "$replies"
-wait "$server"
-echo "serve smoke test: OK ($n requests matched the golden transcript)"
+await_exit
+echo "$SMOKE_NAME: OK ($n requests matched the golden transcript)"
 
 # Leg 2: the same session with a durable store attached — replies must
 # be identical; persistence is invisible to the protocol.
 start_server --data-dir "$datadir" --sync always
 drive "$n" <"$SESSION"
 diff -u "$GOLDEN" "$replies"
-wait "$server"
-echo "serve smoke test: OK (durable run matched the golden transcript)"
+await_exit
+echo "$SMOKE_NAME: OK (durable run matched the golden transcript)"
 
 # Leg 3: restart on the same directory; the recovered view must answer
 # the id-10 query exactly as the golden transcript did (id rewritten).
-# Epochs are per-process (the restarted server starts over at epoch 0),
-# so they are stripped from both sides of the comparison.
+# Epochs are per-process, so they are stripped from both sides.
 start_server --data-dir "$datadir" --sync always
 printf '%s\n%s\n' \
   '{"id": 10, "op": "query", "view": "paths", "pred": "tc"}' \
   '{"id": 99, "op": "shutdown"}' | drive 2
-wait "$server"
-strip_epoch() { sed 's/"epoch":[0-9]*,//'; }
+await_exit
 diff -u <(sed -n '10p' "$GOLDEN" | strip_epoch) <(head -n 1 "$replies" | strip_epoch)
-echo "serve smoke test: OK (restarted server reproduced the recovered view)"
+echo "$SMOKE_NAME: OK (restarted server reproduced the recovered view)"

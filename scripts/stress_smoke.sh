@@ -14,65 +14,14 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BIN="${ALGREC_BIN:-target/release/algrec}"
-
-if [[ ! -x "$BIN" ]]; then
-  cargo build --release
-fi
+SMOKE_NAME="stress smoke test"
+. "$(dirname "$0")/smoke_lib.sh"
 
 WRITERS=3
 FACTS_PER_WRITER=8
 READERS=2
 READS_PER_READER=12
 PROGRAM='tc(X, Y) :- e(X, Y).\ntc(X, Z) :- tc(X, Y), e(Y, Z).'
-
-work=$(mktemp -d)
-log="$work/server.log"
-replies="$work/replies"
-datadir="$work/data"
-mkdir -p "$datadir"
-server=""
-trap 'kill -9 "$server" 2>/dev/null || true; rm -rf "$work"' EXIT
-
-start_server() {
-  : >"$log"
-  "$BIN" serve --data-dir "$datadir" --sync always --threads 2 \
-    >"$log" 2>/dev/null &
-  server=$!
-  disown "$server" 2>/dev/null || true
-  for _ in $(seq 100); do
-    grep -q '^% listening on ' "$log" && break
-    sleep 0.1
-  done
-  addr=$(sed -n 's/^% listening on //p' "$log" | head -n 1)
-  if [[ -z "$addr" ]]; then
-    echo "stress smoke test: server never announced an address" >&2
-    exit 1
-  fi
-  host=${addr%:*}
-  port=${addr##*:}
-}
-
-# Wait (poll: the server is disowned) until the server process is gone.
-await_exit() {
-  for _ in $(seq 200); do
-    kill -0 "$server" 2>/dev/null || return 0
-    sleep 0.05
-  done
-  echo "stress smoke test: server did not exit" >&2
-  exit 1
-}
-
-# Send stdin, collect one reply line per request.
-drive() {
-  local n=$1
-  exec 3<>"/dev/tcp/$host/$port"
-  cat >&3
-  head -n "$n" <&3 >"$replies"
-  exec 3>&- 3<&-
-}
-
-certain_of() { sed -n 's/.*"certain":\(\[[^]]*\]\).*/\1/p'; }
 
 # One writer client: its own connection, a private arithmetic chain of
 # facts, one reply awaited per assert (so every recorded reply is a
@@ -105,13 +54,13 @@ reader() {
 }
 
 # --- Phase 1: setup, then race writers against readers. -------------
-start_server
+start_server --data-dir "$datadir" --sync always --threads 2
 drive 2 <<EOF
 {"id": 1, "op": "load", "facts": "e(1, 2). e(2, 3)."}
 {"id": 2, "op": "register", "view": "paths", "semantics": "stratified", "program": "$PROGRAM"}
 EOF
 if [[ $(grep -c '"ok":true' "$replies") -ne 2 ]]; then
-  echo "stress smoke test: setup failed:" >&2
+  echo "$SMOKE_NAME: setup failed:" >&2
   cat "$replies" >&2
   exit 1
 fi
@@ -137,7 +86,7 @@ done
 total=$((WRITERS * FACTS_PER_WRITER + READERS * READS_PER_READER))
 ok=$(cat "${outs[@]}" | grep -c '"ok":true')
 if [[ "$ok" -ne "$total" ]]; then
-  echo "stress smoke test: expected $total ok replies, got $ok:" >&2
+  echo "$SMOKE_NAME: expected $total ok replies, got $ok:" >&2
   grep -hv '"ok":true' "${outs[@]}" >&2 || true
   exit 1
 fi
@@ -151,7 +100,7 @@ EOF
 final=$(sed -n '1p' "$replies" | certain_of)
 cold=$(sed -n '3p' "$replies" | certain_of)
 if [[ -z "$final" || "$final" != "$cold" ]]; then
-  echo "stress smoke test: raced view differs from cold re-evaluation" >&2
+  echo "$SMOKE_NAME: raced view differs from cold re-evaluation" >&2
   echo "  raced: $final" >&2
   echo "  cold:  $cold" >&2
   exit 1
@@ -162,7 +111,7 @@ drive 1 <<EOF
 {"id": 99, "op": "shutdown"}
 EOF
 await_exit
-start_server
+start_server --data-dir "$datadir" --sync always --threads 2
 drive 2 <<EOF
 {"id": 100, "op": "query", "view": "paths", "pred": "tc"}
 {"id": 101, "op": "shutdown"}
@@ -170,10 +119,10 @@ EOF
 await_exit
 recovered=$(sed -n '1p' "$replies" | certain_of)
 if [[ "$recovered" != "$final" ]]; then
-  echo "stress smoke test: recovered view differs from the raced view" >&2
+  echo "$SMOKE_NAME: recovered view differs from the raced view" >&2
   echo "  raced:     $final" >&2
   echo "  recovered: $recovered" >&2
   exit 1
 fi
 
-echo "stress smoke test: OK ($WRITERS writers x $FACTS_PER_WRITER commits raced $READERS readers; raced == cold == recovered)"
+echo "$SMOKE_NAME: OK ($WRITERS writers x $FACTS_PER_WRITER commits raced $READERS readers; raced == cold == recovered)"

@@ -8,6 +8,8 @@
 //! algrec stable <program.dl>  [facts.dl] [--cap N]
 //! algrec repl   [facts.dl] [--data-dir DIR] [--sync P] [--snapshot-every N]
 //! algrec serve  [facts.dl] [--addr HOST:PORT] [--data-dir DIR] [--sync P] [--snapshot-every N]
+//! algrec scenario <list|run|record> [--corpus DIR] [-f EXPR] [--concurrency LIST]
+//!                                   [--scale N] [--report PATH] [--live] [--no-recovery]
 //! ```
 //!
 //! Every command also accepts `--threads N`, bounding the worker pool
@@ -41,6 +43,17 @@
 //!   `--snapshot-every N` compacts the log into a snapshot every N
 //!   records (default 1024, `0` disables). Without `--data-dir` the
 //!   session is in-memory, exactly as before.
+//! * `scenario` drives the on-disk workload corpus (default directory
+//!   `scenarios/`, override with `--corpus`): `list` prints the corpus,
+//!   `run` replays each scenario's recorded trace against a fresh
+//!   serving session at every `--concurrency` (comma-separated, default
+//!   `1,4`) and diffs replies against the recording modulo epoch tags,
+//!   `record` (re)writes the recordings. `-f`/`--filter` selects
+//!   scenarios with the filter DSL (`name ~ authz & tag != slow`, see
+//!   DESIGN.md §16); `--scale N` issues every read N times; `--report
+//!   PATH` writes the `BENCH_7.json` document; `--live` replays over a
+//!   throwaway TCP server instead of in-process; `--no-recovery` skips
+//!   the durable recovery leg.
 
 use algrec::prelude::*;
 use algrec::serve::parse_semantics;
@@ -76,6 +89,13 @@ struct Args {
     data_dir: Option<String>,
     sync: algrec::store::SyncPolicy,
     snapshot_every: Option<usize>,
+    corpus: String,
+    filter: Option<String>,
+    concurrency: Vec<usize>,
+    scale: usize,
+    report: Option<String>,
+    live: bool,
+    no_recovery: bool,
 }
 
 fn parse_args(raw: &[String]) -> Result<Args, String> {
@@ -91,6 +111,13 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
         data_dir: None,
         sync: algrec::store::SyncPolicy::Always,
         snapshot_every: Some(1024),
+        corpus: "scenarios".to_string(),
+        filter: None,
+        concurrency: vec![1, 4],
+        scale: 1,
+        report: None,
+        live: false,
+        no_recovery: false,
     };
     let mut it = raw.iter();
     while let Some(a) = it.next() {
@@ -143,6 +170,38 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
                     .map_err(|e| format!("--snapshot-every: {e}"))?;
                 args.snapshot_every = (n > 0).then_some(n);
             }
+            "--corpus" => args.corpus = it.next().ok_or("--corpus needs a value")?.clone(),
+            "-f" | "--filter" => {
+                args.filter = Some(it.next().ok_or("--filter needs a value")?.clone())
+            }
+            "--concurrency" => {
+                let list = it.next().ok_or("--concurrency needs a value")?;
+                args.concurrency = list
+                    .split(',')
+                    .map(|n| match n.trim().parse::<usize>() {
+                        Ok(n) if n >= 1 => Ok(n),
+                        Ok(_) => Err("--concurrency entries must be at least 1".to_string()),
+                        Err(e) => Err(format!("--concurrency: `{n}`: {e}")),
+                    })
+                    .collect::<Result<_, _>>()?;
+                if args.concurrency.is_empty() {
+                    return Err("--concurrency needs at least one entry".into());
+                }
+            }
+            "--scale" => {
+                let n: usize = it
+                    .next()
+                    .ok_or("--scale needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--scale: {e}"))?;
+                if n == 0 {
+                    return Err("--scale must be at least 1".into());
+                }
+                args.scale = n;
+            }
+            "--report" => args.report = Some(it.next().ok_or("--report needs a value")?.clone()),
+            "--live" => args.live = true,
+            "--no-recovery" => args.no_recovery = true,
             other if other.starts_with("--") => return Err(format!("unknown flag `{other}`")),
             other => args.positional.push(other.to_string()),
         }
@@ -375,11 +434,48 @@ fn cmd_serve(a: &Args) -> Result<(), String> {
     algrec::serve::serve_traced(listener, session, trace_of(a)).map_err(|e| e.to_string())
 }
 
+fn cmd_scenario(a: &Args) -> Result<(), String> {
+    let [sub] = a.positional.as_slice() else {
+        return Err("usage: algrec scenario <list|run|record> [--corpus DIR] [-f EXPR] …".into());
+    };
+    let corpus = std::path::PathBuf::from(&a.corpus);
+    let filter = a
+        .filter
+        .as_deref()
+        .map(algrec::scenario::parse_filter)
+        .transpose()
+        .map_err(|e| e.to_string())?;
+    let mut out = std::io::stdout().lock();
+    match sub.as_str() {
+        "list" => algrec::scenario::list(&mut out, &corpus, filter.as_ref()),
+        "record" => algrec::scenario::record(&mut out, &corpus, filter.as_ref(), Budget::LARGE),
+        "run" => {
+            let opts = algrec::scenario::RunOptions {
+                corpus,
+                filter,
+                concurrency: a.concurrency.clone(),
+                scale: a.scale,
+                report: a.report.as_ref().map(std::path::PathBuf::from),
+                live: a.live,
+                no_recovery: a.no_recovery,
+                budget: Budget::LARGE,
+            };
+            let reports = algrec::scenario::run(&mut out, &opts)?;
+            if !algrec::scenario::all_matched(&reports) {
+                return Err("replies diverged from the recording (see above)".into());
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown scenario subcommand `{other}`")),
+    }
+}
+
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = raw.split_first() else {
         return fail(
-            "usage: algrec <eval|alg|spec|translate|stable|repl|serve> … (see --help in the README)",
+            "usage: algrec <eval|alg|spec|translate|stable|repl|serve|scenario> … \
+             (see --help in the README)",
         );
     };
     let args = match parse_args(rest) {
@@ -394,6 +490,7 @@ fn main() -> ExitCode {
         "stable" => cmd_stable(&args),
         "repl" => cmd_repl(&args),
         "serve" => cmd_serve(&args),
+        "scenario" => cmd_scenario(&args),
         other => Err(format!("unknown command `{other}`")),
     };
     match result {

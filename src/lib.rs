@@ -60,6 +60,7 @@ pub use algrec_adt as adt;
 pub use algrec_core as core;
 pub use algrec_datalog as datalog;
 pub use algrec_plan as plan;
+pub use algrec_scenario as scenario;
 pub use algrec_sched as sched;
 pub use algrec_serve as serve;
 pub use algrec_store as store;

@@ -280,6 +280,86 @@ fn empty_edb_agrees_across_all_semantics() {
     }
 }
 
+// Named replays of the cases `plan_differential.proptest-regressions`
+// records. The vendored proptest re-derives its own cases from fixed
+// seeds and does not read the file, so each recorded shrink is pinned
+// here as a unit test that fails by name.
+
+/// Seed cc fac3b1… (`edges = {(0, 0)}`): a single self-loop. WIN on a
+/// self-loop is the smallest genuinely three-valued instance — `win(0)`
+/// is undefined — and TC's fixpoint must close after one round. Both
+/// must agree compiled ≡ interpreted down to the unknowns.
+#[test]
+fn regression_self_loop_is_three_valued_on_both_paths() {
+    let _l = lock();
+    let _g = EnvGuard::new();
+    let edges: BTreeSet<(i64, i64)> = [(0, 0)].into_iter().collect();
+    let db = edge_db("e", &edges);
+    for sem in ALL_SEMANTICS {
+        assert_paths_agree(&tc(), &db, sem, Budget::SMALL);
+    }
+    for sem in [
+        Semantics::Inflationary,
+        Semantics::WellFounded,
+        Semantics::Valid,
+    ] {
+        assert_paths_agree(&win(), &db, sem, Budget::SMALL);
+    }
+    algrec::plan::set_enabled(true);
+    let out = evaluate(&win(), &db, Semantics::Valid, Budget::SMALL).unwrap();
+    assert!(!out.model.is_exact(), "win(0) must be undefined");
+}
+
+/// Seed cc 5a0f18… (`edges = {(0, 1), (1, 0)}`): the two-cycle — the
+/// smallest drawn game and the smallest cyclic TC. The alternating
+/// fixpoint leaves both positions unknown; the compiled path must
+/// reproduce exactly that, not a decided game.
+#[test]
+fn regression_two_cycle_draw_agrees_on_both_paths() {
+    let _l = lock();
+    let _g = EnvGuard::new();
+    let edges: BTreeSet<(i64, i64)> = [(0, 1), (1, 0)].into_iter().collect();
+    let db = edge_db("e", &edges);
+    for sem in ALL_SEMANTICS {
+        assert_paths_agree(&tc(), &db, sem, Budget::SMALL);
+    }
+    for sem in [
+        Semantics::Inflationary,
+        Semantics::WellFounded,
+        Semantics::Valid,
+    ] {
+        assert_paths_agree(&win(), &db, sem, Budget::SMALL);
+    }
+    algrec::plan::set_enabled(true);
+    let out = evaluate(&win(), &db, Semantics::WellFounded, Budget::SMALL).unwrap();
+    assert_eq!(out.model.unknown_count(), 2, "both positions are drawn");
+}
+
+/// Seed cc 366601… (`edges = {(0, 1)}`): a single edge, the smallest
+/// instance where every stratum of the stratified program is non-empty
+/// (`r`, `dst`, and the negation-derived `un` and `src` all produce
+/// facts). The whole-stratification compiled driver must agree with the
+/// per-stratum interpreted driver.
+#[test]
+fn regression_single_edge_populates_every_stratum() {
+    let _l = lock();
+    let _g = EnvGuard::new();
+    let edges: BTreeSet<(i64, i64)> = [(0, 1)].into_iter().collect();
+    let db = graph_db(&edges);
+    let p = stratified_program();
+    for sem in NEG_SEMANTICS {
+        assert_paths_agree(&p, &db, sem, Budget::SMALL);
+    }
+    algrec::plan::set_enabled(true);
+    let out = evaluate(&p, &db, Semantics::Stratified, Budget::SMALL).unwrap();
+    assert!(out.model.certain.holds("src", &[Value::int(0)]));
+    assert!(out.model.certain.holds("dst", &[Value::int(1)]));
+    assert!(out
+        .model
+        .certain
+        .holds("un", &[Value::int(1), Value::int(0)]));
+}
+
 /// Budget exhaustion: the compiled path charges the meter on the same
 /// schedule as the interpreted one, so a too-small budget fails with the
 /// *identical* error at the identical point.
