@@ -1,0 +1,380 @@
+//! Experiment E13: read-throughput scaling across replica counts.
+//!
+//! For each requested replica count the bench stands up a complete
+//! in-process fleet — a sharded primary (fresh temp directory, views
+//! and EDB seeded through the durability hook so they replicate),
+//! `r` replicas subscribed over real TCP, and a router — and runs two
+//! phases against the router:
+//!
+//! 1. **Correctness**: the recorded scenario trace replays with
+//!    [`algrec_scenario::replay`]'s concurrency discipline and the
+//!    reply stream is diffed against the recording modulo epoch tags.
+//! 2. **Throughput**: a closed-loop read hammer — `concurrency` client
+//!    connections, each cycling `scale` times over the trace's read
+//!    requests. (The trace itself is the wrong shape for this: its
+//!    read blocks are only a few distinct lines wide, so trace replay
+//!    never keeps more than a handful of reads in flight.) Because the
+//!    router keeps one pipelined channel per backend, the replica
+//!    count is the read-capacity knob being measured: the expected
+//!    shape is throughput growing with `r` until the client side
+//!    saturates.
+//!
+//! A sampler thread tracks the worst replica lag observed while both
+//! phases run. The report (`BENCH_8.json`) is schema-pinned by the
+//! repo's `bench8_schema` test.
+
+use crate::repl::Replica;
+use crate::router::{serve_router, RouterConfig};
+use crate::server::{serve_primary, serve_replica};
+use crate::shard::open_primary;
+use algrec_scenario::replay::{is_read_request, setup_session};
+use algrec_scenario::report::percentile_us;
+use algrec_scenario::{
+    diff_modulo_epoch, load_scenario, replay, Connector, ReplayOptions, TcpConnector,
+};
+use algrec_serve::{Json, Session, SharedSession};
+use algrec_store::SyncPolicy;
+use algrec_value::Budget;
+use std::io::Write as IoWrite;
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Knobs for [`run_bench`].
+pub struct BenchOptions {
+    /// Scenario corpus directory.
+    pub corpus: PathBuf,
+    /// Scenario to replay (must be recorded).
+    pub scenario: String,
+    /// Replica counts to measure, one fleet per entry.
+    pub replicas: Vec<usize>,
+    /// Router-side client connections (trace replay and read hammer).
+    pub concurrency: usize,
+    /// Rounds each hammer connection makes over the trace's reads.
+    pub scale: usize,
+    /// Primary shard count.
+    pub shards: usize,
+    /// Where to write the JSON report (`BENCH_8.json`), if anywhere.
+    pub report: Option<PathBuf>,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        BenchOptions {
+            corpus: PathBuf::from("scenarios"),
+            scenario: "social_reachability".to_string(),
+            replicas: vec![1, 2, 4],
+            concurrency: 8,
+            scale: 50,
+            shards: 2,
+            report: None,
+        }
+    }
+}
+
+/// One measured fleet configuration.
+struct Leg {
+    replicas: usize,
+    requests: usize,
+    elapsed: Duration,
+    read_throughput_rps: f64,
+    latency_p50_us: u64,
+    latency_p95_us: u64,
+    max_replica_lag_bytes: u64,
+    matched: bool,
+}
+
+/// Send one `shutdown` request to `addr` and wait for the reply, so the
+/// server's accept loop is down before the caller joins its thread.
+fn shutdown(addr: &str) {
+    use std::io::{BufRead, BufReader};
+    let Ok(stream) = TcpStream::connect(addr) else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    let _ = reader
+        .get_mut()
+        .write_all(b"{\"id\":0,\"op\":\"shutdown\"}\n");
+    let mut reply = String::new();
+    let _ = reader.read_line(&mut reply);
+}
+
+fn listen() -> Result<(TcpListener, String), String> {
+    let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| e.to_string())?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| e.to_string())?
+        .to_string();
+    Ok((listener, addr))
+}
+
+/// Stand up a fleet with `r` replicas, replay the scenario through the
+/// router, and tear everything down.
+fn run_leg(
+    scenario: &algrec_scenario::Scenario,
+    opts: &BenchOptions,
+    r: usize,
+) -> Result<Leg, String> {
+    let dir = std::env::temp_dir().join(format!("algrec-bench8-{}-{r}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Primary: seed through the durability hook so the fleet replicates
+    // the scenario's EDB and views, then serve it.
+    let (mut session, _, shards) =
+        open_primary(&dir, opts.shards, Budget::LARGE, SyncPolicy::Never)?;
+    setup_session(&mut session, scenario)?;
+    let primary_shared = Arc::new(SharedSession::new(session));
+    let (listener, primary_addr) = listen()?;
+    let primary_thread = {
+        let shared = Arc::clone(&primary_shared);
+        let shards = Arc::clone(&shards);
+        std::thread::spawn(move || serve_primary(listener, shared, shards))
+    };
+
+    // Replicas: subscribe, serve, and wait for catch-up.
+    let mut replicas = Vec::new();
+    let mut replica_addrs = Vec::new();
+    let mut replica_threads = Vec::new();
+    for _ in 0..r {
+        let shared = Arc::new(SharedSession::new(Session::new(Budget::LARGE)));
+        let replica = Replica::start(&primary_addr, Arc::clone(&shared))?;
+        let (listener, addr) = listen()?;
+        let state = Arc::clone(replica.state());
+        replica_threads.push(std::thread::spawn(move || {
+            serve_replica(listener, shared, state)
+        }));
+        replica_addrs.push(addr);
+        replicas.push(replica);
+    }
+    let target = shards.epochs();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let behind = |have: &[u64]| have.iter().zip(&target).any(|(h, t)| h < t);
+    for replica in &replicas {
+        while behind(&replica.state().epoch_vector()) {
+            if Instant::now() > deadline {
+                return Err("replica catch-up timed out".into());
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    // Router.
+    let (listener, router_addr) = listen()?;
+    let config = RouterConfig {
+        primary: primary_addr.clone(),
+        replicas: replica_addrs.clone(),
+    };
+    let router_thread = std::thread::spawn(move || serve_router(listener, config));
+
+    // Lag sampler: worst per-shard replica lag observed mid-replay.
+    let max_lag = Arc::new(AtomicU64::new(0));
+    let sampling = Arc::new(AtomicBool::new(true));
+    let sampler = {
+        let states: Vec<_> = replicas.iter().map(|r| Arc::clone(r.state())).collect();
+        let max_lag = Arc::clone(&max_lag);
+        let sampling = Arc::clone(&sampling);
+        std::thread::spawn(move || {
+            while sampling.load(Ordering::SeqCst) {
+                for state in &states {
+                    for lag in state.lag_bytes() {
+                        max_lag.fetch_max(lag, Ordering::SeqCst);
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        })
+    };
+
+    // Phase 1 — correctness: replay the trace through the router and
+    // diff the replies against the recording modulo epoch tags.
+    let addr = router_addr
+        .parse()
+        .map_err(|e| format!("{router_addr}: {e}"))?;
+    let connector = TcpConnector::new(addr);
+    let outcome = replay(
+        scenario,
+        &connector,
+        ReplayOptions {
+            concurrency: opts.concurrency,
+            scale: 1,
+        },
+    )?;
+    let matched = match &scenario.expected {
+        Some(expected) => diff_modulo_epoch(&scenario.trace, expected, &outcome.replies).is_none(),
+        None => false,
+    };
+
+    // Phase 2 — throughput: a closed-loop read hammer. Every worker
+    // owns one router connection and cycles `scale` times over the
+    // trace's read requests, so `concurrency` reads stay in flight and
+    // the router's per-backend channels become the contended resource.
+    let read_lines: Vec<&str> = scenario
+        .trace
+        .iter()
+        .filter(|line| is_read_request(line))
+        .map(String::as_str)
+        .collect();
+    let mut workers: Vec<_> = (0..opts.concurrency)
+        .map(|_| connector.connect())
+        .collect::<Result<_, _>>()?;
+    let t0 = Instant::now();
+    let per_worker: Vec<Result<Vec<u64>, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = workers
+            .iter_mut()
+            .map(|worker| {
+                let read_lines = &read_lines;
+                scope.spawn(move || -> Result<Vec<u64>, String> {
+                    let mut lats = Vec::with_capacity(opts.scale * read_lines.len());
+                    for _ in 0..opts.scale {
+                        for line in read_lines {
+                            let sent = Instant::now();
+                            let reply = worker.roundtrip(line)?;
+                            lats.push(sent.elapsed().as_micros() as u64);
+                            if !reply.contains("\"ok\":true") {
+                                return Err(format!("hammer read failed: {reply}"));
+                            }
+                        }
+                    }
+                    Ok(lats)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("hammer worker panicked"))
+            .collect()
+    });
+    let elapsed = t0.elapsed();
+    sampling.store(false, Ordering::SeqCst);
+    let _ = sampler.join();
+
+    let mut latencies: Vec<u64> = Vec::new();
+    for result in per_worker {
+        latencies.extend(result?);
+    }
+    latencies.sort_unstable();
+    let secs = elapsed.as_secs_f64();
+    let leg = Leg {
+        replicas: r,
+        requests: latencies.len(),
+        elapsed,
+        read_throughput_rps: if secs > 0.0 {
+            latencies.len() as f64 / secs
+        } else {
+            0.0
+        },
+        latency_p50_us: percentile_us(&latencies, 50),
+        latency_p95_us: percentile_us(&latencies, 95),
+        max_replica_lag_bytes: max_lag.load(Ordering::SeqCst),
+        matched,
+    };
+
+    // Teardown: router first (stops issuing requests), then replica
+    // servers and pullers, then the primary.
+    shutdown(&router_addr);
+    let _ = router_thread.join();
+    for addr in &replica_addrs {
+        shutdown(addr);
+    }
+    for thread in replica_threads {
+        let _ = thread.join();
+    }
+    for replica in &mut replicas {
+        replica.stop();
+    }
+    shutdown(&primary_addr);
+    let _ = primary_thread.join();
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(leg)
+}
+
+/// The speedup of the first leg with `replicas == r` over the first
+/// leg with one replica, if both exist.
+fn speedup(legs: &[Leg], r: usize) -> Option<f64> {
+    let base = legs.iter().find(|l| l.replicas == 1)?.read_throughput_rps;
+    let leg = legs.iter().find(|l| l.replicas == r)?.read_throughput_rps;
+    if base > 0.0 {
+        Some(leg / base)
+    } else {
+        None
+    }
+}
+
+fn report_json(opts: &BenchOptions, legs: &[Leg]) -> Json {
+    let leg_objs: Vec<Json> = legs
+        .iter()
+        .map(|l| {
+            Json::obj([
+                ("replicas", Json::Int(l.replicas as i64)),
+                ("requests", Json::Int(l.requests as i64)),
+                ("elapsed_s", Json::Float(l.elapsed.as_secs_f64())),
+                ("read_throughput_rps", Json::Float(l.read_throughput_rps)),
+                ("latency_p50_us", Json::Int(l.latency_p50_us as i64)),
+                ("latency_p95_us", Json::Int(l.latency_p95_us as i64)),
+                (
+                    "max_replica_lag_bytes",
+                    Json::Int(l.max_replica_lag_bytes as i64),
+                ),
+                ("matched", Json::Bool(l.matched)),
+            ])
+        })
+        .collect();
+    let float_or_null = |v: Option<f64>| v.map_or(Json::Null, Json::Float);
+    Json::obj([
+        ("bench", Json::str("E13")),
+        ("scenario", Json::str(opts.scenario.clone())),
+        ("shards", Json::Int(opts.shards as i64)),
+        ("concurrency", Json::Int(opts.concurrency as i64)),
+        ("scale", Json::Int(opts.scale as i64)),
+        ("legs", Json::Arr(leg_objs)),
+        ("speedup_2_replicas", float_or_null(speedup(legs, 2))),
+        ("speedup_4_replicas", float_or_null(speedup(legs, 4))),
+    ])
+}
+
+/// Run the replica-scaling bench: one fleet per requested replica
+/// count, a human-readable summary on `out`, and (optionally) the
+/// `BENCH_8.json` report.
+pub fn run_bench(out: &mut dyn IoWrite, opts: &BenchOptions) -> Result<(), String> {
+    let scenario = load_scenario(&opts.corpus.join(&opts.scenario)).map_err(|e| e.to_string())?;
+    if scenario.expected.is_none() {
+        return Err(format!(
+            "{}: no recording (expected.ndjson); run `algrec scenario record` first",
+            opts.scenario
+        ));
+    }
+    let mut legs = Vec::new();
+    for &r in &opts.replicas {
+        let leg = run_leg(&scenario, opts, r)?;
+        writeln!(
+            out,
+            "  replicas={r}: {:.0} reads/s over {} requests (p50 {}us, p95 {}us, max lag {}B{})",
+            leg.read_throughput_rps,
+            leg.requests,
+            leg.latency_p50_us,
+            leg.latency_p95_us,
+            leg.max_replica_lag_bytes,
+            if leg.matched { "" } else { ", DIVERGED" },
+        )
+        .map_err(|e| e.to_string())?;
+        legs.push(leg);
+    }
+    if let Some(x2) = speedup(&legs, 2) {
+        writeln!(out, "  speedup at 2 replicas: {x2:.2}x").map_err(|e| e.to_string())?;
+    }
+    if let Some(x4) = speedup(&legs, 4) {
+        writeln!(out, "  speedup at 4 replicas: {x4:.2}x").map_err(|e| e.to_string())?;
+    }
+    if legs.iter().any(|l| !l.matched) {
+        return Err("a leg's replies diverged from the recording".into());
+    }
+    if let Some(path) = &opts.report {
+        let mut text = report_json(opts, &legs).to_string();
+        text.push('\n');
+        std::fs::write(path, text).map_err(|e| format!("{}: {e}", path.display()))?;
+        writeln!(out, "  report: {}", path.display()).map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}

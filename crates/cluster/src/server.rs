@@ -1,0 +1,242 @@
+//! Line-protocol TCP servers for the two cluster roles.
+//!
+//! Both roles speak the ordinary newline-delimited-JSON protocol — every
+//! single-node operation keeps working against a cluster node — plus
+//! the cluster extensions:
+//!
+//! * **primary** ([`serve_primary`]): adds `repl` (the replication
+//!   hello/pull handler backed by the [`ShardSet`] logs) and
+//!   `cluster-stats` (per-shard epochs, log ends, shipped bytes).
+//! * **replica** ([`serve_replica`]): serves reads from its own
+//!   [`SharedSession`] snapshots; rejects writes with `read-only`;
+//!   honors the router's `min_epochs` pin by answering `stale` when it
+//!   has not yet applied the pinned prefix; reports lag and
+//!   connectivity in `cluster-stats`.
+//!
+//! The loops here are deliberately simpler than the single-node
+//! server's: blocking per-connection reader threads (exiting on EOF),
+//! a shared stop flag raised by `shutdown`, and a throwaway local
+//! connect to unblock the acceptor. Replication subscribers hold
+//! long-lived connections, so the single-node drain-and-join shutdown
+//! would stall on them.
+
+use crate::repl::{to_hex, ReplicaState};
+use crate::shard::ShardSet;
+use algrec_serve::{
+    error_reply_for, handle_line, is_read_op, json, shutting_down_reply, Handled, Json,
+    SharedSession,
+};
+use algrec_store::codec::HEADER_LEN;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Default and maximum frame bytes per replication pull reply.
+const PULL_DEFAULT_BYTES: usize = 256 * 1024;
+const PULL_CAP_BYTES: usize = 4 * 1024 * 1024;
+
+/// Run a line-protocol accept loop until a handler returns
+/// [`Handled::Shutdown`]: one detached blocking reader thread per
+/// connection, a shared stop flag, and a throwaway self-connect to
+/// unblock the acceptor. After the flag rises, in-flight connections
+/// answer `shutting-down` to every further request.
+pub(crate) fn serve_loop<F>(listener: TcpListener, handler: F)
+where
+    F: Fn(&str) -> Handled + Send + Sync + 'static,
+{
+    let handler = Arc::new(handler);
+    let stop = Arc::new(AtomicBool::new(false));
+    let local = listener.local_addr().ok();
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        let handler = Arc::clone(&handler);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let _ = stream.set_nodelay(true);
+            let Ok(read_half) = stream.try_clone() else {
+                return;
+            };
+            let mut reader = BufReader::new(read_half);
+            let mut writer = stream;
+            let mut line = String::new();
+            loop {
+                line.clear();
+                match reader.read_line(&mut line) {
+                    Ok(0) | Err(_) => return,
+                    Ok(_) => {}
+                }
+                let request = line.trim_end_matches(['\r', '\n']);
+                if request.is_empty() {
+                    continue;
+                }
+                let handled = if stop.load(Ordering::SeqCst) {
+                    Handled::Reply(shutting_down_reply(request))
+                } else {
+                    handler(request)
+                };
+                let shutdown = matches!(handled, Handled::Shutdown(_));
+                if writer
+                    .write_all(handled.line().as_bytes())
+                    .and_then(|_| writer.write_all(b"\n"))
+                    .is_err()
+                {
+                    return;
+                }
+                if shutdown {
+                    stop.store(true, Ordering::SeqCst);
+                    if let Some(addr) = local {
+                        let _ = TcpStream::connect(addr);
+                    }
+                    return;
+                }
+            }
+        });
+    }
+}
+
+/// An integer-array field of a stats reply.
+fn int_arr(values: impl IntoIterator<Item = u64>) -> Json {
+    Json::Arr(values.into_iter().map(|v| Json::Int(v as i64)).collect())
+}
+
+/// Answer one `repl` request against the shard logs: without a `shard`
+/// field it is the subscription hello (shard count and log geometry);
+/// with one it pulls raw frames from the given offset.
+fn serve_repl(line: &str, req: &Json, shards: &ShardSet) -> String {
+    let id = req.get("id").cloned().unwrap_or(Json::Null);
+    let Some(k) = req.get("shard").and_then(Json::as_int) else {
+        return Json::obj([
+            ("id", id),
+            ("ok", Json::Bool(true)),
+            ("role", Json::str("primary")),
+            ("shards", Json::Int(shards.len() as i64)),
+            ("start", Json::Int(HEADER_LEN as i64)),
+            ("ends", int_arr(shards.offsets())),
+            ("epochs", int_arr(shards.epochs())),
+        ])
+        .to_string();
+    };
+    if k < 0 {
+        return error_reply_for(line, "bad-request", "negative shard index");
+    }
+    let offset = req
+        .get("offset")
+        .and_then(Json::as_int)
+        .map_or(HEADER_LEN, |o| o.max(0) as usize);
+    let max = req
+        .get("max")
+        .and_then(Json::as_int)
+        .map_or(PULL_DEFAULT_BYTES, |m| {
+            (m.max(1) as usize).min(PULL_CAP_BYTES)
+        });
+    match shards.pull(k as usize, offset, max) {
+        Ok((chunk, next, end)) => Json::obj([
+            ("id", id),
+            ("ok", Json::Bool(true)),
+            ("shard", Json::Int(k)),
+            ("from", Json::Int(offset as i64)),
+            ("next", Json::Int(next as i64)),
+            ("end", Json::Int(end as i64)),
+            ("frames", Json::str(to_hex(&chunk))),
+        ])
+        .to_string(),
+        Err(e) => error_reply_for(line, e.code, &e.message),
+    }
+}
+
+/// Serve a sharded primary on `listener` until a `shutdown` request:
+/// the full single-node protocol via `shared`, plus `repl` and
+/// `cluster-stats` backed by the shard logs.
+pub fn serve_primary(listener: TcpListener, shared: Arc<SharedSession>, shards: Arc<ShardSet>) {
+    serve_loop(listener, move |line| {
+        let Ok(req) = json::parse(line) else {
+            return handle_line(&shared, line); // uniform bad-request reply
+        };
+        match req.get("op").and_then(Json::as_str) {
+            Some("repl") => Handled::Reply(serve_repl(line, &req, &shards)),
+            Some("cluster-stats") => Handled::Reply(
+                Json::obj([
+                    ("id", req.get("id").cloned().unwrap_or(Json::Null)),
+                    ("ok", Json::Bool(true)),
+                    ("role", Json::str("primary")),
+                    ("shards", Json::Int(shards.len() as i64)),
+                    ("epochs", int_arr(shards.epochs())),
+                    ("ends", int_arr(shards.offsets())),
+                    ("shipped_bytes", Json::Int(shards.shipped_bytes() as i64)),
+                ])
+                .to_string(),
+            ),
+            _ => handle_line(&shared, line),
+        }
+    });
+}
+
+/// True when the replica has applied at least the `min_epochs` vector
+/// pinned in `req` (absent pin ⇒ trivially satisfied).
+fn satisfies_pin(req: &Json, state: &ReplicaState) -> bool {
+    let Some(Json::Arr(wants)) = req.get("min_epochs") else {
+        return true;
+    };
+    wants.iter().enumerate().all(|(k, want)| {
+        let want = want.as_int().unwrap_or(0).max(0) as u64;
+        state
+            .epochs
+            .get(k)
+            .is_some_and(|have| have.load(Ordering::SeqCst) >= want)
+    })
+}
+
+/// Serve a replica on `listener` until a `shutdown` request: reads
+/// (epoch-gated by `min_epochs`) from the replica's own snapshots,
+/// `read-only` rejections for writes, and replica-side `cluster-stats`.
+pub fn serve_replica(listener: TcpListener, shared: Arc<SharedSession>, state: Arc<ReplicaState>) {
+    serve_loop(listener, move |line| {
+        let Ok(req) = json::parse(line) else {
+            return handle_line(&shared, line);
+        };
+        let op = req.get("op").and_then(Json::as_str).unwrap_or_default();
+        match op {
+            "cluster-stats" => Handled::Reply(
+                Json::obj([
+                    ("id", req.get("id").cloned().unwrap_or(Json::Null)),
+                    ("ok", Json::Bool(true)),
+                    ("role", Json::str("replica")),
+                    ("shards", Json::Int(state.epochs.len() as i64)),
+                    ("epochs", int_arr(state.epoch_vector())),
+                    ("lag", int_arr(state.lag_bytes())),
+                    (
+                        "connected",
+                        Json::Bool(state.connected.load(Ordering::SeqCst)),
+                    ),
+                    ("fatal", Json::Bool(state.fatal.load(Ordering::SeqCst))),
+                ])
+                .to_string(),
+            ),
+            "repl" => Handled::Reply(error_reply_for(
+                line,
+                "not-primary",
+                "replicas do not serve replication pulls",
+            )),
+            op if is_read_op(op) => {
+                if satisfies_pin(&req, &state) {
+                    handle_line(&shared, line)
+                } else {
+                    Handled::Reply(error_reply_for(
+                        line,
+                        "stale",
+                        "replica has not applied the pinned min_epochs yet",
+                    ))
+                }
+            }
+            _ => Handled::Reply(error_reply_for(
+                line,
+                "read-only",
+                "replicas reject writes; send them to the primary",
+            )),
+        }
+    });
+}

@@ -1,0 +1,659 @@
+//! The sharded durable primary: one combined session, N per-shard
+//! write-ahead logs.
+//!
+//! The extensional database is hash-partitioned by first-column value
+//! ([`algrec_datalog::fixpoint::shard_of_fact`]) across `N` shard logs
+//! (`shard-0.wal` … `shard-{N-1}.wal` in the data directory). The
+//! *session* stays combined — queries, view maintenance and fixpoint
+//! evaluation see the union, with `algrec_sched::set_shards` making the
+//! engine partition its fixpoint rounds along the same hash — but every
+//! committed change is durably split:
+//!
+//! * a delta is partitioned into per-shard sub-deltas, and each
+//!   non-empty part is appended to its owning shard's log wrapped in
+//!   [`WalRecord::Sequenced`] `{seq, parts}` — the commit's position in
+//!   the global order and how many parts it was split into;
+//! * view registrations and drops are whole-commit records; they ship
+//!   in shard 0's stream (with their own sequence number) so replicas
+//!   interleave them correctly with deltas.
+//!
+//! Any reader holding all N logs — crash [`open_primary`] recovery, a
+//! catching-up replica — reconstructs the primary's exact commit order:
+//! per-log sequence numbers are monotone (parts are appended under the
+//! session writer lock, in commit order), so merging the streams by
+//! sequence number and re-uniting multi-part deltas (the partition is
+//! disjoint; union restores the original) replays the same commits in
+//! the same order through the same session entry points. A commit with
+//! a missing part — possible only at a torn tail after a crash — is an
+//! *incomplete suffix*: recovery truncates every log at its first frame
+//! of the first incomplete commit, exactly like single-log torn-tail
+//! truncation.
+
+use algrec_serve::{parse_semantics, semantics_name, Durability, DurableEvent, Session};
+use algrec_store::codec::HEADER_LEN;
+use algrec_store::{read_from, SyncPolicy, Wal, WalRecord};
+use algrec_value::{Budget, DatabaseDelta, Trace, Value};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The shard a delta member belongs to: the first-column hash of the
+/// fact, matching the engine's fixpoint partitioner. A non-tuple member
+/// is its own single column.
+pub fn shard_of_member(name: &str, member: &Value, n: usize) -> usize {
+    match member.as_tuple() {
+        Some(items) => algrec_datalog::fixpoint::shard_of_fact(name, items, n),
+        None => algrec_datalog::fixpoint::shard_of_fact(name, std::slice::from_ref(member), n),
+    }
+}
+
+/// Split a delta into per-shard sub-deltas by [`shard_of_member`]. The
+/// parts are disjoint and their union is the input.
+pub fn partition_delta(delta: &DatabaseDelta, n: usize) -> Vec<DatabaseDelta> {
+    let mut parts = vec![DatabaseDelta::new(); n];
+    for (name, rd) in delta.iter() {
+        for v in rd.added() {
+            parts[shard_of_member(name, v, n)].insert(name, v.clone());
+        }
+        for v in rd.removed() {
+            parts[shard_of_member(name, v, n)].remove(name, v.clone());
+        }
+    }
+    parts
+}
+
+/// Merge per-shard delta parts back into one delta (inverse of
+/// [`partition_delta`] — the parts are disjoint, so insertion order is
+/// irrelevant; merging shard-minor keeps it deterministic anyway).
+pub fn merge_parts(parts: &[DatabaseDelta]) -> DatabaseDelta {
+    let mut merged = DatabaseDelta::new();
+    for part in parts {
+        for (name, rd) in part.iter() {
+            for v in rd.added() {
+                merged.insert(name, v.clone());
+            }
+            for v in rd.removed() {
+                merged.remove(name, v.clone());
+            }
+        }
+    }
+    merged
+}
+
+/// Why a replication pull failed, with the line-protocol error code
+/// the server should answer (`bad-request`, `io`, `bad-offset`, or
+/// `stale-offset` — the last one is fatal for the subscriber).
+pub struct PullError {
+    /// Line-protocol error code.
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+/// One shard's log and its live counters.
+struct ShardLog {
+    path: PathBuf,
+    wal: Mutex<Wal>,
+    /// Records appended — the shard's *epoch*.
+    epoch: AtomicU64,
+    /// Byte length of the log's valid prefix (header included).
+    offset: AtomicU64,
+}
+
+/// The per-shard write-ahead logs of a sharded primary, shared between
+/// the session's durability hook (which appends) and the cluster server
+/// (which serves `repl` pulls and `cluster-stats` from it).
+pub struct ShardSet {
+    shards: Vec<ShardLog>,
+    next_seq: AtomicU64,
+    /// Frame bytes served to replication subscribers.
+    shipped: AtomicU64,
+}
+
+impl ShardSet {
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// True when the set holds no shards (never, in practice).
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Per-shard epochs: records appended to each log.
+    pub fn epochs(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|s| s.epoch.load(Ordering::SeqCst))
+            .collect()
+    }
+
+    /// Per-shard byte offsets: the valid length of each log.
+    pub fn offsets(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|s| s.offset.load(Ordering::SeqCst))
+            .collect()
+    }
+
+    /// Total frame bytes served to replication subscribers so far.
+    pub fn shipped_bytes(&self) -> u64 {
+        self.shipped.load(Ordering::SeqCst)
+    }
+
+    /// The on-disk path of shard `k`'s log.
+    pub fn path(&self, k: usize) -> &Path {
+        &self.shards[k].path
+    }
+
+    /// Serve one replication pull: the intact frames of shard `k`'s log
+    /// from byte `offset`, at most `max_bytes` (always at least one
+    /// frame when one is available, so a large frame cannot stall a
+    /// subscriber). Returns `(chunk, next, end)` — the raw frame bytes,
+    /// the offset to resume from, and the log's current valid length.
+    pub fn pull(
+        &self,
+        k: usize,
+        offset: usize,
+        max_bytes: usize,
+    ) -> Result<(Vec<u8>, usize, usize), PullError> {
+        let fail = |code, message| PullError { code, message };
+        let shard = self.shards.get(k).ok_or_else(|| {
+            fail(
+                "bad-request",
+                format!("no shard {k} (cluster has {})", self.shards.len()),
+            )
+        })?;
+        let bytes = std::fs::read(&shard.path)
+            .map_err(|e| fail("io", format!("reading shard {k}: {e}")))?;
+        let segment = read_from(&bytes, offset).map_err(|e| {
+            // `read_from` rejects an offset past the file bytes — for a
+            // subscriber that means its prefix is longer than our log
+            // (we were rebuilt), which is irrecoverable for it.
+            let code = if offset > bytes.len() {
+                "stale-offset"
+            } else {
+                "bad-offset"
+            };
+            fail(code, format!("shard {k}: {e}"))
+        })?;
+        if segment.valid_len < offset {
+            return Err(fail(
+                "stale-offset",
+                format!(
+                    "shard {k}: offset {offset} past the log's valid length {}",
+                    segment.valid_len
+                ),
+            ));
+        }
+        let mut next = offset;
+        for frame in &segment.frames {
+            if next > offset && frame.end - offset > max_bytes {
+                break;
+            }
+            next = frame.end;
+        }
+        let chunk = bytes[offset..next].to_vec();
+        self.shipped.fetch_add(chunk.len() as u64, Ordering::SeqCst);
+        Ok((chunk, next, segment.valid_len))
+    }
+
+    fn append(&self, k: usize, record: &WalRecord) -> Result<(), String> {
+        let shard = &self.shards[k];
+        let written = shard
+            .wal
+            .lock()
+            .map_err(|_| "shard wal lock poisoned".to_string())?
+            .append(record)
+            .map_err(|e| format!("shard {k} wal append: {e}"))?;
+        shard.epoch.fetch_add(1, Ordering::SeqCst);
+        shard.offset.fetch_add(written as u64, Ordering::SeqCst);
+        Ok(())
+    }
+}
+
+/// The durability hook of a sharded primary: partitions every committed
+/// delta across the shard logs, stamping each part with the commit's
+/// global sequence number. Runs inside the session writer lock, so log
+/// order per shard is commit order.
+struct ClusterDurability {
+    shards: Arc<ShardSet>,
+}
+
+impl Durability for ClusterDurability {
+    fn record(&mut self, event: &DurableEvent<'_>) -> Result<(), String> {
+        let n = self.shards.len();
+        let seq = self.shards.next_seq.fetch_add(1, Ordering::SeqCst);
+        match event {
+            DurableEvent::Delta(delta) => {
+                let parts = partition_delta(delta, n);
+                let count = parts.iter().filter(|p| !p.is_empty()).count() as u32;
+                for (k, part) in parts.into_iter().enumerate() {
+                    if part.is_empty() {
+                        continue;
+                    }
+                    self.shards.append(
+                        k,
+                        &WalRecord::Sequenced {
+                            seq,
+                            parts: count,
+                            inner: Box::new(WalRecord::Delta(part)),
+                        },
+                    )?;
+                }
+                Ok(())
+            }
+            // Whole-commit records ride shard 0's stream so replicas
+            // interleave them with deltas in commit order.
+            DurableEvent::RegisterDatalog {
+                name,
+                program,
+                semantics,
+            } => self.shards.append(
+                0,
+                &WalRecord::Sequenced {
+                    seq,
+                    parts: 1,
+                    inner: Box::new(WalRecord::RegisterDatalog {
+                        name: (*name).to_string(),
+                        semantics: semantics_name(*semantics),
+                        program: (*program).to_string(),
+                    }),
+                },
+            ),
+            DurableEvent::RegisterAlgebra { name, program } => self.shards.append(
+                0,
+                &WalRecord::Sequenced {
+                    seq,
+                    parts: 1,
+                    inner: Box::new(WalRecord::RegisterAlgebra {
+                        name: (*name).to_string(),
+                        program: (*program).to_string(),
+                    }),
+                },
+            ),
+            DurableEvent::Unregister { name } => self.shards.append(
+                0,
+                &WalRecord::Sequenced {
+                    seq,
+                    parts: 1,
+                    inner: Box::new(WalRecord::Unregister {
+                        name: (*name).to_string(),
+                    }),
+                },
+            ),
+        }
+    }
+}
+
+/// What [`open_primary`] restored.
+#[derive(Debug, Default)]
+pub struct ClusterRecovery {
+    /// Complete commits replayed across all shards.
+    pub commits: usize,
+    /// WAL records (commit parts) replayed.
+    pub records: usize,
+    /// Bytes truncated across all logs: torn tails plus the parts of
+    /// incomplete trailing commits.
+    pub truncated_bytes: usize,
+}
+
+/// Apply one (stamp-stripped) WAL record through the session's real
+/// entry points — the same replay discipline the single-node store
+/// uses, so a recovered or replicated session is indistinguishable from
+/// one that executed the ops live.
+pub(crate) fn apply_record(session: &mut Session, record: WalRecord) -> Result<(), String> {
+    match record.into_inner() {
+        WalRecord::Delta(delta) => session
+            .apply_delta(&delta)
+            .map(|_| ())
+            .map_err(|e| e.to_string()),
+        WalRecord::RegisterDatalog {
+            name,
+            semantics,
+            program,
+        } => {
+            let semantics = parse_semantics(&semantics)?;
+            session
+                .register_datalog(&name, &program, semantics)
+                .map(|_| ())
+                .map_err(|e| e.to_string())
+        }
+        WalRecord::RegisterAlgebra { name, program } => session
+            .register_algebra(&name, &program)
+            .map(|_| ())
+            .map_err(|e| e.to_string()),
+        WalRecord::Unregister { name } => session.unregister(&name).map_err(|e| e.to_string()),
+        WalRecord::Sequenced { .. } => Err("nested sequenced record".into()),
+    }
+}
+
+/// One shard log's decoded frames: `(seq, parts, record, frame end)`.
+type ShardFrames = Vec<(u64, u32, WalRecord, usize)>;
+
+/// Decode a shard log image into sequenced frames plus the valid length.
+fn decode_shard_log(bytes: &[u8], k: usize) -> Result<(ShardFrames, usize), String> {
+    let segment = read_from(bytes, HEADER_LEN).map_err(|e| format!("shard {k}: {e}"))?;
+    let mut frames = Vec::with_capacity(segment.frames.len());
+    for frame in segment.frames {
+        match frame.record {
+            WalRecord::Sequenced { seq, parts, inner } => {
+                frames.push((seq, parts, *inner, frame.end));
+            }
+            other => {
+                return Err(format!(
+                    "shard {k}: unsequenced record {other:?} in a cluster log"
+                ))
+            }
+        }
+    }
+    Ok((frames, segment.valid_len))
+}
+
+/// The commits in `logs` that are *complete* — every one of their
+/// `parts` parts present — drained in global sequence order, with the
+/// per-shard cut points (frame index and byte offset) where the
+/// complete prefix ends. Multi-part deltas are re-united shard-minor.
+fn complete_commits(
+    logs: &[(ShardFrames, usize)],
+) -> (Vec<(u64, WalRecord)>, Vec<usize>, Vec<usize>) {
+    let n = logs.len();
+    let mut heads = vec![0usize; n];
+    let mut cuts: Vec<usize> = (0..n).map(|k| HEADER_LEN.min(logs[k].1)).collect();
+    let mut commits = Vec::new();
+    // Walk the smallest sequence number at any head until the streams
+    // run dry or a commit comes up short.
+    while let Some(seq) = (0..n)
+        .filter_map(|k| logs[k].0.get(heads[k]).map(|f| f.0))
+        .min()
+    {
+        let holders: Vec<usize> = (0..n)
+            .filter(|&k| logs[k].0.get(heads[k]).is_some_and(|f| f.0 == seq))
+            .collect();
+        let parts = logs[holders[0]].0[heads[holders[0]]].1 as usize;
+        if holders.len() < parts {
+            // A part is missing: it could only live past a torn tail.
+            // Everything from here on is an incomplete suffix.
+            break;
+        }
+        let mut delta_parts = Vec::new();
+        let mut whole = None;
+        for &k in &holders {
+            let (_, _, record, end) = &logs[k].0[heads[k]];
+            match record {
+                WalRecord::Delta(d) => delta_parts.push(d.clone()),
+                other => whole = Some(other.clone()),
+            }
+            cuts[k] = *end;
+            heads[k] += 1;
+        }
+        let record = match whole {
+            Some(r) => r,
+            None => WalRecord::Delta(merge_parts(&delta_parts)),
+        };
+        commits.push((seq, record));
+    }
+    (commits, heads, cuts)
+}
+
+/// The on-disk path of shard `k`'s log in `dir`.
+pub fn shard_path(dir: &Path, k: usize) -> PathBuf {
+    dir.join(format!("shard-{k}.wal"))
+}
+
+/// Open (creating if needed) a sharded durable primary in `dir`:
+/// recover the complete-commit prefix of the `n` shard logs in global
+/// sequence order, truncate torn tails and incomplete trailing commits,
+/// and attach the sharding durability hook so every new commit is
+/// partitioned across the logs. Returns the recovered session, a
+/// recovery report, and the shared [`ShardSet`] the cluster server
+/// serves pulls and stats from.
+pub fn open_primary(
+    dir: &Path,
+    n: usize,
+    budget: Budget,
+    sync: SyncPolicy,
+) -> Result<(Session, ClusterRecovery, Arc<ShardSet>), String> {
+    assert!(n >= 1, "a cluster needs at least one shard");
+    std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+
+    // Decode every shard log (tolerating missing files: fresh shards).
+    let mut logs: Vec<(ShardFrames, usize)> = Vec::with_capacity(n);
+    let mut on_disk = vec![0usize; n];
+    for (k, disk) in on_disk.iter_mut().enumerate() {
+        let path = shard_path(dir, k);
+        if path.exists() {
+            let bytes = std::fs::read(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+            *disk = bytes.len();
+            logs.push(decode_shard_log(&bytes, k)?);
+        } else {
+            logs.push((Vec::new(), 0));
+        }
+    }
+
+    let (commits, heads, cuts) = complete_commits(&logs);
+    let mut report = ClusterRecovery {
+        commits: commits.len(),
+        records: heads.iter().sum(),
+        truncated_bytes: 0,
+    };
+
+    // Truncate each existing log to its complete-commit prefix.
+    for k in 0..n {
+        if on_disk[k] > 0 && on_disk[k] > cuts[k] {
+            report.truncated_bytes += on_disk[k] - cuts[k];
+            let file = std::fs::OpenOptions::new()
+                .write(true)
+                .open(shard_path(dir, k))
+                .map_err(|e| format!("truncating shard {k}: {e}"))?;
+            file.set_len(cuts[k] as u64)
+                .map_err(|e| format!("truncating shard {k}: {e}"))?;
+        }
+    }
+
+    // Replay the complete commits, in order, through the real session.
+    let mut session = Session::new(budget);
+    let next_seq = commits.last().map_or(0, |(seq, _)| seq + 1);
+    for (i, (_, record)) in commits.into_iter().enumerate() {
+        apply_record(&mut session, record).map_err(|e| format!("replaying commit {i}: {e}"))?;
+    }
+
+    // Open the logs for appending (creating fresh ones) and build the
+    // shared shard set with the recovered counters.
+    let mut shards = Vec::with_capacity(n);
+    for k in 0..n {
+        let path = shard_path(dir, k);
+        let wal = if on_disk[k] > 0 {
+            let file = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+            Wal::new(Box::new(file), sync, Trace::Null)
+        } else {
+            let file =
+                std::fs::File::create(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+            Wal::create(Box::new(file), sync, Trace::Null)
+                .map_err(|e| format!("{}: {e}", path.display()))?
+        };
+        shards.push(ShardLog {
+            path,
+            wal: Mutex::new(wal),
+            epoch: AtomicU64::new(heads[k] as u64),
+            offset: AtomicU64::new(cuts[k].max(HEADER_LEN) as u64),
+        });
+    }
+    let set = Arc::new(ShardSet {
+        shards,
+        next_seq: AtomicU64::new(next_seq),
+        shipped: AtomicU64::new(0),
+    });
+    session.set_durability(Box::new(ClusterDurability {
+        shards: Arc::clone(&set),
+    }));
+    Ok((session, report, set))
+}
+
+/// Rebuild a session at a pinned epoch vector: replay, in global
+/// sequence order, exactly the commits whose every part lies within the
+/// first `epochs[k]` records of shard `k`'s log. This is the *cold
+/// evaluation of an epoch vector* — what a replica that has applied
+/// `epochs` must be indistinguishable from (the replica-consistency
+/// proptest pins this).
+pub fn rebuild_at(dir: &Path, epochs: &[u64], budget: Budget) -> Result<Session, String> {
+    let mut logs: Vec<(ShardFrames, usize)> = Vec::with_capacity(epochs.len());
+    for (k, &limit) in epochs.iter().enumerate() {
+        let path = shard_path(dir, k);
+        if path.exists() {
+            let bytes = std::fs::read(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+            let (mut frames, valid) = decode_shard_log(&bytes, k)?;
+            frames.truncate(limit as usize);
+            logs.push((frames, valid));
+        } else {
+            logs.push((Vec::new(), 0));
+        }
+    }
+    let (commits, _, _) = complete_commits(&logs);
+    let mut session = Session::new(budget);
+    for (i, (_, record)) in commits.into_iter().enumerate() {
+        apply_record(&mut session, record).map_err(|e| format!("replaying commit {i}: {e}"))?;
+    }
+    Ok(session)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use algrec_datalog::Semantics;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("algrec-cluster-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn partition_is_disjoint_and_merges_back() {
+        let mut delta = DatabaseDelta::new();
+        for i in 0..40 {
+            delta.insert("e", Value::pair(Value::int(i), Value::int(i + 1)));
+        }
+        delta.remove("f", Value::int(7));
+        let parts = partition_delta(&delta, 4);
+        assert_eq!(parts.len(), 4);
+        let total: usize = parts.iter().map(DatabaseDelta::len).sum();
+        assert_eq!(total, delta.len(), "every member lands in exactly one part");
+        assert_eq!(merge_parts(&parts), delta);
+        // All members of one first-column go to the same shard.
+        let one = shard_of_member("e", &Value::pair(Value::int(3), Value::int(4)), 4);
+        let other = shard_of_member("e", &Value::pair(Value::int(3), Value::int(9)), 4);
+        assert_eq!(one, other);
+    }
+
+    #[test]
+    fn sharded_open_logs_recovers_and_truncates_incomplete_commits() {
+        let dir = scratch("shard-recovery");
+        let n = 3;
+        {
+            let (mut session, report, set) =
+                open_primary(&dir, n, Budget::LARGE, SyncPolicy::Always).unwrap();
+            assert_eq!(report.commits, 0);
+            let mut facts = String::new();
+            for i in 0..30 {
+                facts.push_str(&format!("e({i}, {}). ", i + 1));
+            }
+            session.load(&facts).unwrap();
+            session
+                .register_datalog(
+                    "paths",
+                    "tc(X, Y) :- e(X, Y).\ntc(X, Z) :- tc(X, Y), e(Y, Z).",
+                    Semantics::Stratified,
+                )
+                .unwrap();
+            session.assert_fact("e(40, 41)").unwrap();
+            session.retract_fact("e(0, 1)").unwrap();
+            // The load spread across all shards; the registration went
+            // to shard 0 alone.
+            let epochs = set.epochs();
+            assert_eq!(epochs.len(), n);
+            assert!(epochs.iter().all(|&e| e >= 1), "{epochs:?}");
+        }
+
+        // Reopen: same database, same views, counters restored.
+        let (mut session, report, set) =
+            open_primary(&dir, n, Budget::LARGE, SyncPolicy::Always).unwrap();
+        assert_eq!(report.commits, 4, "load, register, assert, retract");
+        assert!(report.records >= 4);
+        assert_eq!(report.truncated_bytes, 0);
+        let db = session.db_summary();
+        assert_eq!(db, vec![("e".to_string(), 30)]);
+        let answer = session.query("paths", Some("tc")).unwrap();
+        let algrec_serve::QueryAnswer::Datalog { certain, .. } = answer else {
+            panic!("datalog view");
+        };
+        assert!(certain.contains(&"tc(40, 41).".to_string()), "{certain:?}");
+
+        // Simulate a crash torn mid-commit: append one part of a fake
+        // 2-part commit to shard 1 only. Reopen must truncate it.
+        let before = set.offsets();
+        drop(set);
+        drop(session);
+        {
+            let mut delta = DatabaseDelta::new();
+            delta.insert("e", Value::pair(Value::int(90), Value::int(91)));
+            let file = std::fs::OpenOptions::new()
+                .append(true)
+                .open(shard_path(&dir, 1))
+                .unwrap();
+            let mut wal = Wal::new(Box::new(file), SyncPolicy::Always, Trace::Null);
+            wal.append(&WalRecord::Sequenced {
+                seq: 999,
+                parts: 2,
+                inner: Box::new(WalRecord::Delta(delta)),
+            })
+            .unwrap();
+        }
+        let (mut session, report, set) =
+            open_primary(&dir, n, Budget::LARGE, SyncPolicy::Always).unwrap();
+        assert_eq!(report.commits, 4, "the orphan part is not replayed");
+        assert!(report.truncated_bytes > 0, "the orphan part is truncated");
+        assert_eq!(set.offsets(), before, "offsets back at the commit prefix");
+        assert_eq!(session.db_summary(), vec![("e".to_string(), 30)]);
+
+        // New commits after recovery keep sequencing from where the
+        // complete prefix ended.
+        session.assert_fact("e(50, 51)").unwrap();
+        let (session, report, _) =
+            open_primary(&dir, n, Budget::LARGE, SyncPolicy::Always).unwrap();
+        assert_eq!(report.commits, 5);
+        assert_eq!(session.db_summary(), vec![("e".to_string(), 31)]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rebuild_at_epoch_vector_replays_only_complete_covered_commits() {
+        let dir = scratch("rebuild-at");
+        let n = 2;
+        let full = {
+            let (mut session, _, set) =
+                open_primary(&dir, n, Budget::LARGE, SyncPolicy::Always).unwrap();
+            session.load("e(1, 2). e(2, 3). e(3, 4). e(4, 5).").unwrap();
+            session.assert_fact("e(5, 6)").unwrap();
+            session.assert_fact("e(6, 7)").unwrap();
+            set.epochs()
+        };
+        // The full vector rebuilds the full state.
+        let session = rebuild_at(&dir, &full, Budget::LARGE).unwrap();
+        assert_eq!(session.db_summary(), vec![("e".to_string(), 6)]);
+        // The zero vector rebuilds the empty state.
+        let session = rebuild_at(&dir, &[0, 0], Budget::LARGE).unwrap();
+        assert!(session.db_summary().is_empty());
+        // A partial vector replays the complete commits it covers: a
+        // commit with a part past the pin is excluded entirely.
+        let partial: Vec<u64> = full.iter().map(|&e| e.saturating_sub(1)).collect();
+        let session = rebuild_at(&dir, &partial, Budget::LARGE).unwrap();
+        let members = session.db_summary().first().map_or(0, |(_, count)| *count);
+        assert!(members < 6, "some suffix must be excluded");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,196 @@
+//! The cluster's core correctness claim, tested differentially: sharded
+//! evaluation is **bit-identical** to single-shard evaluation, for every
+//! supported semantics, at every shard count — and a sharded durable
+//! node answers exactly like a plain in-memory session, before and
+//! after crash recovery.
+//!
+//! The thread and shard overrides are process-global, so this file
+//! holds exactly one `#[test]`: the binary cannot race another test
+//! mutating them.
+
+use algrec_cluster::open_primary;
+use algrec_datalog::{evaluate_traced, parser::parse_program, Semantics};
+use algrec_sched::{set_shards, set_threads};
+use algrec_serve::{QueryAnswer, Session};
+use algrec_store::SyncPolicy;
+use algrec_value::{Budget, Database, EvalStats, Relation, Trace, Value};
+use std::collections::BTreeSet;
+
+/// Restore the sequential defaults even when an assertion unwinds.
+struct KnobGuard;
+
+impl Drop for KnobGuard {
+    fn drop(&mut self) {
+        set_threads(1);
+        set_shards(1);
+    }
+}
+
+const TC: &str = "tc(X, Y) :- e(X, Y).\ntc(X, Z) :- tc(X, Y), e(Y, Z).";
+/// Transitive closure plus a negation stratum over the node set.
+const TC_NEG: &str = "tc(X, Y) :- e(X, Y).\ntc(X, Z) :- tc(X, Y), e(Y, Z).\n\
+                      n(X) :- e(X, Y).\nn(Y) :- e(X, Y).\n\
+                      non(X, Y) :- n(X), n(Y), not tc(X, Y).";
+const WIN: &str = "win(X) :- e(X, Y), not win(Y).";
+
+/// A dense deterministic digraph, large enough (> 256 facts) that every
+/// fixpoint round genuinely takes the partitioned parallel path.
+fn dense_edges() -> Vec<(i64, i64)> {
+    let mut state = 0x2545_f491_4f6c_dd1du64;
+    let mut edges = BTreeSet::new();
+    while edges.len() < 300 {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let a = ((state >> 33) % 40) as i64;
+        let b = ((state >> 13) % 40) as i64;
+        edges.insert((a, b));
+    }
+    edges.into_iter().collect()
+}
+
+/// The deterministic subset of trace statistics (no wall-clock).
+fn deterministic_stats(stats: &EvalStats) -> (Vec<(String, usize)>, usize, Vec<usize>) {
+    (
+        stats
+            .phases
+            .iter()
+            .map(|(name, p)| (name.clone(), p.iterations))
+            .collect(),
+        stats.facts_inserted,
+        stats.deltas.clone(),
+    )
+}
+
+/// Engine-level differential: baseline at 1 thread / 1 shard against
+/// 2 threads × {1, 2, 4} shards, all six semantics.
+fn engine_differential(edges: &[(i64, i64)]) {
+    let db = Database::new().with(
+        "e",
+        Relation::from_pairs(edges.iter().map(|&(a, b)| (Value::int(a), Value::int(b)))),
+    );
+    let cases = [
+        (TC, Semantics::Naive),
+        (TC, Semantics::SemiNaive),
+        (TC_NEG, Semantics::Stratified),
+        (WIN, Semantics::Inflationary),
+        (WIN, Semantics::WellFounded),
+        (WIN, Semantics::Valid),
+    ];
+    for (src, semantics) in cases {
+        let program = parse_program(src).unwrap();
+        set_threads(1);
+        set_shards(1);
+        let base_trace = Trace::collect();
+        let baseline =
+            evaluate_traced(&program, &db, semantics, Budget::LARGE, base_trace.clone()).unwrap();
+        let base_stats = deterministic_stats(&base_trace.stats().unwrap());
+
+        for shards in [1usize, 2, 4] {
+            set_threads(2);
+            set_shards(shards);
+            let trace = Trace::collect();
+            let out =
+                evaluate_traced(&program, &db, semantics, Budget::LARGE, trace.clone()).unwrap();
+            assert_eq!(
+                out.model, baseline.model,
+                "{semantics:?}: model diverged at {shards} shards"
+            );
+            assert_eq!(
+                out.rounds, baseline.rounds,
+                "{semantics:?}: rounds diverged at {shards} shards"
+            );
+            assert_eq!(
+                deterministic_stats(&trace.stats().unwrap()),
+                base_stats,
+                "{semantics:?}: deterministic counters diverged at {shards} shards"
+            );
+        }
+    }
+}
+
+/// A query answer flattened for comparison.
+fn answer_of(session: &mut Session, view: &str) -> (Vec<String>, Vec<String>) {
+    match session.query(view, None).unwrap() {
+        QueryAnswer::Datalog { certain, unknown } => (certain, unknown),
+        QueryAnswer::Algebra { .. } => panic!("datalog view expected"),
+    }
+}
+
+/// Node-level differential: a sharded durable primary (2 shards,
+/// sharded evaluation on) must answer exactly like a plain in-memory
+/// session run sequentially — including after a reopen.
+fn node_differential(edges: &[(i64, i64)]) {
+    let dir = std::env::temp_dir().join(format!("algrec-shard-diff-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let facts: String = edges
+        .iter()
+        .map(|(a, b)| format!("e({a}, {b}). "))
+        .collect();
+    let views: [(&str, &str, Semantics); 3] = [
+        ("closure", TC, Semantics::SemiNaive),
+        ("frontier", TC_NEG, Semantics::Stratified),
+        ("games", WIN, Semantics::WellFounded),
+    ];
+
+    // The plain reference, fully sequential.
+    set_threads(1);
+    set_shards(1);
+    let mut plain = Session::new(Budget::LARGE);
+    plain.load(&facts).unwrap();
+    for (name, src, semantics) in views {
+        plain.register_datalog(name, src, semantics).unwrap();
+    }
+    plain
+        .retract_fact(&format!("e({}, {})", edges[0].0, edges[0].1))
+        .unwrap();
+    plain.assert_fact("e(90, 91)").unwrap();
+    let plain_answers: Vec<_> = views
+        .iter()
+        .map(|(n, _, _)| answer_of(&mut plain, n))
+        .collect();
+
+    // The cluster node, sharded on disk and in the engine.
+    set_threads(2);
+    set_shards(2);
+    let (mut node, _, _) = open_primary(&dir, 2, Budget::LARGE, SyncPolicy::Always).unwrap();
+    node.load(&facts).unwrap();
+    for (name, src, semantics) in views {
+        node.register_datalog(name, src, semantics).unwrap();
+    }
+    node.retract_fact(&format!("e({}, {})", edges[0].0, edges[0].1))
+        .unwrap();
+    node.assert_fact("e(90, 91)").unwrap();
+    assert_eq!(node.db_summary(), plain.db_summary());
+    for ((name, _, _), expected) in views.iter().zip(&plain_answers) {
+        assert_eq!(
+            &answer_of(&mut node, name),
+            expected,
+            "sharded node diverged on `{name}`"
+        );
+    }
+    drop(node);
+
+    // Crash-recover the node: everything must still match.
+    let (mut reopened, report, _) =
+        open_primary(&dir, 2, Budget::LARGE, SyncPolicy::Always).unwrap();
+    assert!(report.commits >= 5, "load + 3 registers + 2 fact commits");
+    assert_eq!(reopened.db_summary(), plain.db_summary());
+    for ((name, _, _), expected) in views.iter().zip(&plain_answers) {
+        assert_eq!(
+            &answer_of(&mut reopened, name),
+            expected,
+            "recovered node diverged on `{name}`"
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn sharded_evaluation_and_sharded_nodes_match_single_shard_output() {
+    let _guard = KnobGuard;
+    let edges = dense_edges();
+    engine_differential(&edges);
+    node_differential(&edges);
+}

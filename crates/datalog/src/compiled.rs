@@ -977,7 +977,9 @@ impl<'a> Machine<'a> {
         derived: &mut Derived,
     ) -> Result<(), EvalError> {
         let threads = algrec_sched::threads();
-        if threads <= 1 || delta_total(delta) < PAR_MIN_FACTS || firings.is_empty() {
+        let shards = algrec_sched::shards();
+        if (threads <= 1 && shards <= 1) || delta_total(delta) < PAR_MIN_FACTS || firings.is_empty()
+        {
             let ctx = FireCtx {
                 total: &self.total,
                 delta: Some(delta),
@@ -1000,18 +1002,30 @@ impl<'a> Machine<'a> {
         // Partition the delta rows across workers; which partition a row
         // lands in only balances load (all workers join against the same
         // total, and the merge below is partition-order-deterministic).
+        // Sharded evaluation instead keys each row on its first-column
+        // interned id — the cluster's EDB partitioning function — with
+        // exactly one part per shard worker, so the round's work
+        // assignment follows data ownership.
+        let nparts = if shards > 1 { shards } else { threads };
         let npreds = self.total.rels.len();
-        let mut parts: Vec<DeltaDb> = (0..threads)
+        let mut parts: Vec<DeltaDb> = (0..nparts)
             .map(|_| vec![Chunk::default(); npreds])
             .collect();
         for (p, rows) in delta.iter().enumerate() {
             for row in rows.iter() {
                 let mut h = FxHasher::default();
-                h.write_usize(p);
-                for v in row.iter() {
-                    h.write_u32(v.index());
+                if shards > 1 {
+                    match row.first() {
+                        Some(v) => h.write_u32(v.index()),
+                        None => h.write_usize(p),
+                    }
+                } else {
+                    h.write_usize(p);
+                    for v in row.iter() {
+                        h.write_u32(v.index());
+                    }
                 }
-                let w = (h.finish() % threads as u64) as usize;
+                let w = (h.finish() % nparts as u64) as usize;
                 parts[w][p].push(row);
             }
         }

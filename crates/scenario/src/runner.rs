@@ -4,7 +4,9 @@
 //!   semantics.
 //! * [`run`] replays every selected scenario at each configured
 //!   concurrency (in-process by default, against a live TCP server
-//!   under `--live`), diffs replies against the recording modulo epoch
+//!   under `--live`, or against an already-running external server —
+//!   e.g. a cluster router — under `--addr`), diffs replies against
+//!   the recording modulo epoch
 //!   tags, runs the durable recovery leg, and optionally writes the
 //!   [`crate::report`] document (`BENCH_7.json`).
 //! * [`record`] replays each selected scenario once at concurrency 1
@@ -42,6 +44,15 @@ pub struct RunOptions {
     /// Replay over a live TCP server (spawned per scenario on an
     /// ephemeral loopback port) instead of in-process.
     pub live: bool,
+    /// Replay against an already-running external server (e.g. a
+    /// cluster router) at this `host:port` instead of spawning one.
+    /// The target must have been seeded with the scenario's EDB and
+    /// views already — no setup is sent — the durable recovery leg
+    /// is skipped (the external server owns its own durability), and
+    /// the trace replays exactly once, at the widest configured
+    /// concurrency: the trace's writes advance the external state, so
+    /// a second leg would start from the wrong database.
+    pub addr: Option<String>,
     /// Skip the durable recovery leg.
     pub no_recovery: bool,
     /// Evaluation budget for every session.
@@ -57,6 +68,7 @@ impl Default for RunOptions {
             scale: 1,
             report: None,
             live: false,
+            addr: None,
             no_recovery: false,
             budget: Budget::LARGE,
         }
@@ -104,6 +116,18 @@ fn replay_leg(
     opts: &RunOptions,
     replay_opts: ReplayOptions,
 ) -> Result<ReplayOutcome, String> {
+    if let Some(addr) = &opts.addr {
+        // External target: the server (often a cluster router) already
+        // holds the scenario's state, so no session, setup or teardown.
+        use std::net::ToSocketAddrs;
+        let sockaddr = addr
+            .to_socket_addrs()
+            .map_err(|e| format!("{addr}: {e}"))?
+            .next()
+            .ok_or_else(|| format!("{addr}: resolved to no address"))?;
+        let connector = TcpConnector::new(sockaddr);
+        return replay(scenario, &connector, replay_opts);
+    }
     let session = session_for(scenario, opts.budget)?;
     if !opts.live {
         let connector = InProcessConnector::new(session);
@@ -245,13 +269,26 @@ pub fn run(out: &mut dyn Write, opts: &RunOptions) -> Result<Vec<ScenarioReport>
             scenario.trace.len(),
             scenario.views.len(),
             scenario.semantics_facet().join(", "),
-            if opts.live { " (live tcp)" } else { "" },
+            match (&opts.addr, opts.live) {
+                (Some(_), _) => " (external)",
+                (None, true) => " (live tcp)",
+                (None, false) => "",
+            },
         )
         .map_err(|e| e.to_string())?;
         let mut legs = Vec::new();
         let mut reads = 0;
         let mut writes = 0;
-        for &concurrency in &opts.concurrency {
+        // An external target's state advances with the trace's writes
+        // and cannot be reset between legs, so the trace replays only
+        // once there — at the widest configured concurrency. In-process
+        // and `--live` legs each get a fresh session.
+        let ladder: Vec<usize> = if opts.addr.is_some() {
+            opts.concurrency.last().copied().into_iter().collect()
+        } else {
+            opts.concurrency.clone()
+        };
+        for &concurrency in &ladder {
             let replay_opts = ReplayOptions {
                 concurrency,
                 scale: opts.scale,
@@ -280,7 +317,7 @@ pub fn run(out: &mut dyn Write, opts: &RunOptions) -> Result<Vec<ScenarioReport>
             .map_err(|e| e.to_string())?;
             legs.push(leg);
         }
-        let recovery = if opts.no_recovery {
+        let recovery = if opts.no_recovery || opts.addr.is_some() {
             None
         } else {
             let r = recovery_leg(scenario, opts.budget)?;

@@ -18,6 +18,11 @@
 //! * [`threads`] — the engine-wide thread-count knob: `--threads N` /
 //!   `ALGREC_THREADS`, defaulting to the machine's available
 //!   parallelism.
+//! * [`shards`] — the engine-wide shard-count knob: `--shards N` /
+//!   `ALGREC_SHARDS`, defaulting to 1 (off). When set above 1, fixpoint
+//!   rounds partition their deltas by first-column id into exactly that
+//!   many shard-owned pieces instead of whole-fact hashes across the
+//!   thread count.
 //!
 //! The scheduling model follows the paper's own structure: rule
 //! instantiations within one semi-naive round are independent (the round
@@ -29,9 +34,11 @@
 #![forbid(unsafe_code)]
 
 pub mod pool;
+pub mod shards;
 pub mod swap;
 pub mod threads;
 
 pub use pool::Pool;
+pub use shards::{set_shards, shards};
 pub use swap::{Swap, Versioned};
 pub use threads::{set_threads, threads};

@@ -36,7 +36,10 @@ pub mod shared;
 
 pub use json::Json;
 pub use maintain::{MaintainReport, RecomputeView, StratifiedView};
-pub use protocol::{handle_line, parse_semantics, semantics_name, transport_error, Handled};
+pub use protocol::{
+    error_reply_for, handle_line, is_read_op, parse_semantics, semantics_name, shutting_down_reply,
+    transport_error, Handled,
+};
 pub use repl::run_repl;
 pub use server::{serve, serve_traced};
 pub use session::{

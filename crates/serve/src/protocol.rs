@@ -13,7 +13,9 @@
 //! {"id": <any>, "ok": false, "error": {"code": "<code>", "message": "…"}}
 //! ```
 //!
-//! Operations (operands in parentheses): `ping`, `load` (`facts`),
+//! Operations (operands in parentheses): `ping` (optional
+//! `health: true` for a structured relation/fact/view-count report),
+//! `load` (`facts`),
 //! `register` (`view`, `program`, optional `semantics`, optional
 //! `kind: "algebra"`), `assert` / `retract` (`fact` or `facts`),
 //! `query` (`view`, optional `pred`), `explain` (`view`), `stats`
@@ -228,18 +230,26 @@ pub fn transport_error(code: &str, message: &str) -> String {
     err_reply(Json::Null, None, code, message)
 }
 
-/// The reply for a request line received after the server has begun
-/// shutting down: the request is *not* processed, only answered. Echoes
-/// the request id when the line parses far enough to have one, so a
-/// pipelining client can match the refusal to the request it sent.
-pub fn shutting_down_reply(line: &str) -> String {
+/// An error reply for a request line the server refuses to process —
+/// the request id is echoed when the line parses far enough to have
+/// one, so a pipelining client can match the refusal to its request.
+/// Carries no epoch: no session state was consulted. Used for
+/// `shutting-down`, and by the cluster front-ends for `read-only`
+/// (a write sent to a replica) and `stale` (a read whose pinned epoch
+/// vector the backend has not yet caught up to).
+pub fn error_reply_for(line: &str, code: &str, message: &str) -> String {
     let id = json::parse(line)
         .ok()
         .and_then(|req| req.get("id").cloned())
         .unwrap_or(Json::Null);
-    err_reply(
-        id,
-        None,
+    err_reply(id, None, code, message)
+}
+
+/// The reply for a request line received after the server has begun
+/// shutting down: the request is *not* processed, only answered.
+pub fn shutting_down_reply(line: &str) -> String {
+    error_reply_for(
+        line,
         "shutting-down",
         "server is shutting down; request was not processed",
     )
@@ -272,9 +282,36 @@ fn fact_sources(req: &Json) -> Result<Vec<String>, ServeError> {
     }
 }
 
+/// The `ping` reply payload. A plain ping answers exactly
+/// `{"pong": true}` (plus the envelope) — that byte shape is pinned by
+/// golden transcripts and recorded scenarios, so the structured health
+/// report is opt-in: a request carrying `"health": true` additionally
+/// reports the relation count, total fact count, and registered-view
+/// count of the snapshot (or session) answering it. The reply epoch in
+/// the envelope tags which snapshot the report describes.
+fn ping_payload(
+    req: &Json,
+    summary: &[(String, usize)],
+    views: usize,
+) -> Vec<(&'static str, Json)> {
+    if !matches!(req.get("health"), Some(Json::Bool(true))) {
+        return vec![("pong", Json::Bool(true))];
+    }
+    let facts: usize = summary.iter().map(|(_, n)| n).sum();
+    vec![
+        ("pong", Json::Bool(true)),
+        ("relations", Json::Int(summary.len() as i64)),
+        ("facts", Json::Int(facts as i64)),
+        ("views", Json::Int(views as i64)),
+    ]
+}
+
 /// Operations answerable from a published [`ReadView`] snapshot, without
-/// taking the session writer lock.
-fn is_read_op(op: &str) -> bool {
+/// taking the session writer lock. Public because the cluster layer
+/// classifies requests the same way: reads are fair game for replicas
+/// and the router's replica fan-out; everything else must reach the
+/// primary's writer.
+pub fn is_read_op(op: &str) -> bool {
     matches!(
         op,
         "ping" | "query" | "explain" | "stats" | "views" | "db" | "shutdown"
@@ -291,7 +328,11 @@ fn dispatch_read(
     req: &Json,
 ) -> Result<Option<Vec<(&'static str, Json)>>, ServeError> {
     match op {
-        "ping" => Ok(Some(vec![("pong", Json::Bool(true))])),
+        "ping" => Ok(Some(ping_payload(
+            req,
+            view.db_summary(),
+            view.view_names().len(),
+        ))),
         "query" => {
             let name = str_field(req, "view")?;
             let pred = req.get("pred").and_then(Json::as_str);
@@ -347,7 +388,11 @@ fn dispatch_read(
 fn dispatch(session: &mut Session, req: &Json) -> Result<Vec<(&'static str, Json)>, ServeError> {
     let op = str_field(req, "op")?;
     match op {
-        "ping" => Ok(vec![("pong", Json::Bool(true))]),
+        "ping" => Ok(ping_payload(
+            req,
+            &session.db_summary(),
+            session.view_names().len(),
+        )),
         "load" => {
             let out = session.load(str_field(req, "facts")?)?;
             Ok(delta_json(&out))
@@ -700,6 +745,44 @@ mod tests {
         assert!(!line.contains("epoch"), "{line}");
         let line = shutting_down_reply("not json");
         assert!(line.contains(r#""id":null"#), "{line}");
+    }
+
+    #[test]
+    fn error_reply_for_carries_the_given_code() {
+        let line = error_reply_for(
+            r#"{"id": 7, "op": "assert", "fact": "e(1, 2)"}"#,
+            "read-only",
+            "replica refuses writes",
+        );
+        assert!(line.contains(r#""id":7"#), "{line}");
+        assert!(line.contains(r#""code":"read-only""#), "{line}");
+        assert!(line.contains("replica refuses writes"), "{line}");
+        assert!(!line.contains("epoch"), "{line}");
+    }
+
+    #[test]
+    fn plain_ping_bytes_are_stable_and_health_is_opt_in() {
+        let shared = SharedSession::new(Session::new(Budget::LARGE));
+        handle_line(
+            &shared,
+            r#"{"id": 1, "op": "load", "facts": "e(1, 2). e(2, 3). f(9)."}"#,
+        );
+        handle_line(
+            &shared,
+            r#"{"id": 2, "op": "register", "view": "paths", "program": "tc(X, Y) :- e(X, Y).\ntc(X, Z) :- tc(X, Y), e(Y, Z)."}"#,
+        );
+        // The plain reply shape is pinned by golden transcripts and
+        // recorded scenarios: exactly id, ok, epoch, pong.
+        let reply = handle_line(&shared, r#"{"id": 3, "op": "ping"}"#);
+        assert_eq!(reply.line(), r#"{"epoch":2,"id":3,"ok":true,"pong":true}"#);
+        let reply = handle_line(&shared, r#"{"id": 4, "op": "ping", "health": true}"#);
+        assert_eq!(
+            reply.line(),
+            r#"{"epoch":2,"facts":3,"id":4,"ok":true,"pong":true,"relations":2,"views":1}"#
+        );
+        // Anything but literal `true` keeps the plain shape.
+        let reply = handle_line(&shared, r#"{"id": 5, "op": "ping", "health": 1}"#);
+        assert_eq!(reply.line(), r#"{"epoch":2,"id":5,"ok":true,"pong":true}"#);
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod snapshot;
 pub mod wal;
 
 pub use recover::{recover, verify_against_cold, RecoveryReport};
-pub use wal::{LogFile, SyncPolicy, Wal, WalRecord};
+pub use wal::{read_frames, read_from, LogFile, SyncPolicy, Wal, WalFrame, WalRecord, WalSegment};
 
 use crate::codec::CodecError;
 use crate::snapshot::{compact, wal_path, write_snapshot, SnapshotState};

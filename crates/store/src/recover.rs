@@ -66,6 +66,10 @@ fn replay_record(session: &mut Session, record: WalRecord) -> Result<(), String>
             .map(|_| ())
             .map_err(|e| e.to_string()),
         WalRecord::Unregister { name } => session.unregister(&name).map_err(|e| e.to_string()),
+        // Sequence stamps order records *across* logs (the cluster's
+        // per-shard WALs); replaying a single log just applies the
+        // inner record in its append order.
+        WalRecord::Sequenced { inner, .. } => replay_record(session, *inner),
     }
 }
 

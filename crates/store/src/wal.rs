@@ -100,12 +100,29 @@ pub enum WalRecord {
         /// View name.
         name: String,
     },
+    /// A record stamped with its position in a *global* commit sequence.
+    ///
+    /// The cluster layer partitions each commit across per-shard logs;
+    /// stamping every part with the commit's sequence number and the
+    /// total number of parts lets a reader (a replica, or sharded
+    /// recovery) reassemble the primary's exact commit order from N
+    /// independent logs. Replaying one ignores the stamp and applies the
+    /// inner record. Nesting is rejected at decode.
+    Sequenced {
+        /// Position of the originating commit in the global order.
+        seq: u64,
+        /// How many per-shard parts the commit was split into.
+        parts: u32,
+        /// The logged change itself.
+        inner: Box<WalRecord>,
+    },
 }
 
 const REC_DELTA: u8 = 0;
 const REC_REG_DATALOG: u8 = 1;
 const REC_REG_ALGEBRA: u8 = 2;
 const REC_UNREGISTER: u8 = 3;
+const REC_SEQUENCED: u8 = 4;
 
 fn put_str(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(&(s.len() as u32).to_le_bytes());
@@ -140,6 +157,12 @@ impl WalRecord {
                 out.push(REC_UNREGISTER);
                 put_str(&mut out, name);
             }
+            WalRecord::Sequenced { seq, parts, inner } => {
+                out.push(REC_SEQUENCED);
+                out.extend_from_slice(&seq.to_le_bytes());
+                out.extend_from_slice(&parts.to_le_bytes());
+                out.extend_from_slice(&inner.encode());
+            }
         }
         out
     }
@@ -168,10 +191,34 @@ impl WalRecord {
                 program: r.str()?,
             },
             REC_UNREGISTER => WalRecord::Unregister { name: r.str()? },
+            REC_SEQUENCED => {
+                let seq = r.u64()?;
+                let parts = r.u32()?;
+                // The reader consumed tag + seq + parts = 13 bytes; the
+                // rest of the payload is the inner record, decoded by
+                // the same routine (one level only).
+                let inner = WalRecord::decode(&payload[13..])?;
+                if matches!(inner, WalRecord::Sequenced { .. }) {
+                    return Err(CodecError::Malformed("nested sequenced wal record".into()));
+                }
+                return Ok(WalRecord::Sequenced {
+                    seq,
+                    parts,
+                    inner: Box::new(inner),
+                });
+            }
             other => return Err(CodecError::Malformed(format!("bad wal record tag {other}"))),
         };
         r.finish()?;
         Ok(record)
+    }
+
+    /// Strip a [`WalRecord::Sequenced`] stamp, if any.
+    pub fn into_inner(self) -> WalRecord {
+        match self {
+            WalRecord::Sequenced { inner, .. } => *inner,
+            other => other,
+        }
     }
 }
 
@@ -245,27 +292,101 @@ pub struct WalContents {
     pub valid_len: usize,
 }
 
-/// Read a WAL file image. A torn tail — trailing bytes that do not form
-/// a complete, checksum-valid record — is *expected* after a crash and
-/// is reported via `valid_len`, not an error. A wrong magic, a bumped
-/// format version, or a structurally malformed record inside an intact
-/// frame *is* an error: those mean the file is not ours to interpret.
-pub fn read_wal(bytes: &[u8]) -> Result<WalContents, CodecError> {
-    let mut pos = check_header(bytes, FileKind::Wal)?;
-    let mut records = Vec::new();
+/// One intact record together with its frame's byte range in the log —
+/// `end` is the offset to resume reading from (the next frame's start).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalFrame {
+    /// Byte offset of the frame's first byte.
+    pub start: usize,
+    /// Byte offset one past the frame's last byte.
+    pub end: usize,
+    /// The decoded record.
+    pub record: WalRecord,
+}
+
+/// The intact frames from some byte offset to the end of the valid
+/// prefix. Produced by [`read_from`]; consumed by WAL shipping (a
+/// replica pulls `[offset, valid_len)`) and by recovery (`offset` =
+/// header end).
+#[derive(Debug)]
+pub struct WalSegment {
+    /// The intact frames, in append order, with their byte ranges.
+    pub frames: Vec<WalFrame>,
+    /// Length in bytes of the log's valid prefix. Shorter than the input
+    /// iff a torn tail was found; a shipped segment must stop here.
+    pub valid_len: usize,
+}
+
+/// Read a WAL file image from `offset` — the offset-addressable segment
+/// reader shared by recovery (which starts at the header's end) and WAL
+/// shipping (which resumes wherever the subscriber left off). `offset`
+/// must be a frame boundary at or past the header; the header itself is
+/// validated regardless of where reading starts.
+///
+/// A torn tail — trailing bytes that do not form a complete,
+/// checksum-valid record — is *expected* after a crash and is reported
+/// via `valid_len`, not an error. A wrong magic, a bumped format
+/// version, or a structurally malformed record inside an intact frame
+/// *is* an error: those mean the file is not ours to interpret. An
+/// `offset` past the valid prefix (e.g. aimed into a torn tail) returns
+/// an empty segment whose `valid_len` tells the caller where the log
+/// really ends.
+pub fn read_from(bytes: &[u8], offset: usize) -> Result<WalSegment, CodecError> {
+    let first = check_header(bytes, FileKind::Wal)?;
+    if offset < first {
+        return Err(CodecError::Malformed(format!(
+            "offset {offset} points inside the {first}-byte header"
+        )));
+    }
+    if offset > bytes.len() {
+        return Err(CodecError::Malformed(format!(
+            "offset {offset} past the end of the {}-byte log",
+            bytes.len()
+        )));
+    }
+    let mut pos = offset;
+    let mut frames = Vec::new();
     loop {
+        let start = pos;
         match next_record(bytes, &mut pos) {
-            Ok(Some(payload)) => records.push(WalRecord::decode(payload)?),
+            Ok(Some(payload)) => frames.push(WalFrame {
+                start,
+                end: pos,
+                record: WalRecord::decode(payload)?,
+            }),
             Ok(None) => {
-                return Ok(WalContents {
-                    records,
+                return Ok(WalSegment {
+                    frames,
                     valid_len: pos,
                 })
             }
-            Err(CodecError::TornTail { valid_len }) => {
-                return Ok(WalContents { records, valid_len })
-            }
+            Err(CodecError::TornTail { valid_len }) => return Ok(WalSegment { frames, valid_len }),
             Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Read a whole WAL file image: [`read_from`] the end of the header.
+pub fn read_wal(bytes: &[u8]) -> Result<WalContents, CodecError> {
+    let segment = read_from(bytes, crate::codec::HEADER_LEN)?;
+    Ok(WalContents {
+        records: segment.frames.into_iter().map(|f| f.record).collect(),
+        valid_len: segment.valid_len,
+    })
+}
+
+/// Decode a batch of *shipped* frames: raw `u32 len ∥ u32 crc ∥ payload`
+/// frames with no file header, as served to a replication subscriber.
+/// Unlike a log file on disk, a shipped batch has no business being
+/// torn — the primary only ships intact frames — so a torn tail here is
+/// a hard error, not a truncation point.
+pub fn read_frames(bytes: &[u8]) -> Result<Vec<WalRecord>, CodecError> {
+    let mut pos = 0;
+    let mut records = Vec::new();
+    loop {
+        match next_record(bytes, &mut pos)? {
+            Some(payload) => records.push(WalRecord::decode(payload)?),
+            None => return Ok(records),
         }
     }
 }
@@ -391,6 +512,92 @@ mod tests {
         // 4 appends at every-2 → 2 syncs.
         assert_eq!(stats.store.wal_fsyncs, 2);
         assert!(stats.store.wal_bytes > 0);
+    }
+
+    #[test]
+    fn offset_reader_resumes_at_boundaries_and_interacts_with_torn_tails() {
+        // Same hand-built image as the torn-tail test: header + 4
+        // records, with every frame boundary recorded.
+        let mut image = Vec::new();
+        write_header(&mut image, FileKind::Wal);
+        let recs = sample_records();
+        let mut offsets = vec![image.len()];
+        for rec in &recs {
+            image.extend_from_slice(&frame_record(&rec.encode()));
+            offsets.push(image.len());
+        }
+
+        // Resuming at each boundary yields exactly the remaining suffix,
+        // with byte ranges matching the recorded boundaries.
+        for (i, &off) in offsets.iter().enumerate() {
+            let seg = read_from(&image, off).unwrap();
+            assert_eq!(seg.valid_len, image.len());
+            let got: Vec<_> = seg.frames.iter().map(|f| f.record.clone()).collect();
+            assert_eq!(got, recs[i..]);
+            for (j, frame) in seg.frames.iter().enumerate() {
+                assert_eq!(frame.start, offsets[i + j]);
+                assert_eq!(frame.end, offsets[i + j + 1]);
+            }
+        }
+
+        // Torn tail: cut inside the last record. A reader resuming
+        // before the tear gets the intact frames and the true valid_len;
+        // a reader aimed exactly at the tear gets an empty segment with
+        // the same valid_len (so a subscriber knows to wait, not skip).
+        let cut = offsets[3] + 5;
+        let torn = &image[..cut];
+        let seg = read_from(torn, offsets[1]).unwrap();
+        assert_eq!(seg.frames.len(), 2);
+        assert_eq!(seg.valid_len, offsets[3]);
+        let at_tear = read_from(torn, offsets[3]).unwrap();
+        assert!(at_tear.frames.is_empty());
+        assert_eq!(at_tear.valid_len, offsets[3]);
+
+        // An offset past the end of the image is the caller's bug.
+        assert!(matches!(
+            read_from(&image, image.len() + 1),
+            Err(CodecError::Malformed(_))
+        ));
+        // So is one inside the header.
+        assert!(matches!(
+            read_from(&image, 3),
+            Err(CodecError::Malformed(_))
+        ));
+
+        // read_wal is the offset reader started at the header's end.
+        let whole = read_wal(&image).unwrap();
+        assert_eq!(whole.records, recs);
+        assert_eq!(whole.valid_len, image.len());
+
+        // A shipped batch is the raw frame bytes, headerless; torn
+        // batches are hard errors there.
+        let batch = &image[offsets[0]..offsets[2]];
+        assert_eq!(read_frames(batch).unwrap(), recs[..2]);
+        assert!(read_frames(&image[offsets[0]..offsets[2] - 1]).is_err());
+    }
+
+    #[test]
+    fn sequenced_records_round_trip_and_reject_nesting() {
+        let mut delta = DatabaseDelta::new();
+        delta.insert("e", Value::pair(Value::int(7), Value::int(8)));
+        let rec = WalRecord::Sequenced {
+            seq: 0x0102_0304_0506_0708,
+            parts: 3,
+            inner: Box::new(WalRecord::Delta(delta.clone())),
+        };
+        let back = WalRecord::decode(&rec.encode()).unwrap();
+        assert_eq!(back, rec);
+        assert_eq!(back.into_inner(), WalRecord::Delta(delta));
+
+        let nested = WalRecord::Sequenced {
+            seq: 1,
+            parts: 1,
+            inner: Box::new(rec),
+        };
+        assert!(matches!(
+            WalRecord::decode(&nested.encode()),
+            Err(CodecError::Malformed(_))
+        ));
     }
 
     #[test]

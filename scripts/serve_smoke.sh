@@ -45,5 +45,7 @@ printf '%s\n%s\n' \
   '{"id": 10, "op": "query", "view": "paths", "pred": "tc"}' \
   '{"id": 99, "op": "shutdown"}' | drive 2
 await_exit
-diff -u <(sed -n '10p' "$GOLDEN" | strip_epoch) <(head -n 1 "$replies" | strip_epoch)
+sed -n '10p' "$GOLDEN" >"$work/recovered.want"
+head -n 1 "$replies" >"$work/recovered.got"
+diff_modulo_epoch "$work/recovered.want" "$work/recovered.got"
 echo "$SMOKE_NAME: OK (restarted server reproduced the recovered view)"

@@ -14,10 +14,16 @@
 # Helpers:
 #   start_server [args…]  start `$BIN serve args…`, await the address
 #                         banner, export $server/$host/$port
+#   start_node NAME cmd…  start `$BIN cmd…` (any serving verb, e.g.
+#                         `cluster serve`), log to $work/NAME.log, await
+#                         the banner, export $node/$host/$port and
+#                         register the pid for cleanup
 #   await_exit            poll until $server is gone (it is disowned)
 #   drive N               send stdin over one TCP connection, collect N
 #                         reply lines into $replies
 #   strip_epoch           filter: drop the `"epoch":N,` field
+#   diff_modulo_epoch A B diff two reply transcripts modulo epoch tags —
+#                         the same equality the scenario replay applies
 #   certain_of            filter: extract the `"certain":[…]` payload
 #   jesc FILE             print FILE as a JSON string body (quotes and
 #                         backslashes escaped, newlines as \n) — for
@@ -34,9 +40,13 @@ replies="$work/replies"
 datadir="$work/data"
 mkdir -p "$datadir"
 server=""
+nodes=()
 
 smoke_cleanup() {
   kill -9 "$server" 2>/dev/null || true
+  for pid in ${nodes[@]+"${nodes[@]}"}; do
+    kill -9 "$pid" 2>/dev/null || true
+  done
   rm -rf "$work"
 }
 trap 'smoke_cleanup' EXIT
@@ -57,6 +67,34 @@ start_server() {
   addr=$(sed -n 's/^% listening on //p' "$log" | head -n 1)
   if [[ -z "$addr" ]]; then
     echo "$SMOKE_NAME: server never announced an address" >&2
+    exit 1
+  fi
+  host=${addr%:*}
+  port=${addr##*:}
+}
+
+# Start any serving verb of the binary (`start_node primary cluster
+# serve --shards 2 …`) as its own disowned process, logging to
+# $work/NAME.log. Awaits the `% … listening on` banner (every server
+# role prints one) and exports $node/$host/$port. The pid is registered
+# with the EXIT trap, so a failing script never orphans a fleet.
+start_node() {
+  local name=$1
+  shift
+  local nlog="$work/$name.log"
+  : >"$nlog"
+  "$BIN" "$@" >"$nlog" 2>"$work/$name.err" &
+  node=$!
+  nodes+=("$node")
+  disown "$node" 2>/dev/null || true
+  for _ in $(seq 100); do
+    grep -q 'listening on ' "$nlog" && break
+    sleep 0.1
+  done
+  addr=$(sed -n 's/^% .*listening on //p' "$nlog" | head -n 1)
+  if [[ -z "$addr" ]]; then
+    echo "$SMOKE_NAME: node $name never announced an address" >&2
+    cat "$work/$name.err" >&2 || true
     exit 1
   fi
   host=${addr%:*}
@@ -86,6 +124,14 @@ drive() {
 # comparisons across restarts strip them — the same contract the
 # scenario engine's replay diff applies.
 strip_epoch() { sed 's/"epoch":[0-9]*,//'; }
+
+# Diff two reply transcripts modulo per-process epoch tags — the same
+# equality contract the scenario engine's replay diff and the cluster's
+# replica-consistency checks apply. Non-zero (with a unified diff on
+# stdout) on any other divergence.
+diff_modulo_epoch() {
+  diff -u <(strip_epoch <"$1") <(strip_epoch <"$2")
+}
 
 certain_of() { sed -n 's/.*"certain":\(\[[^]]*\]\).*/\1/p'; }
 

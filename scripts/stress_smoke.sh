@@ -9,6 +9,12 @@
 # stress test (tests/concurrent_serve.rs); this leg exercises the real
 # binary end to end.
 #
+# Phase 4 promotes this to a multi-process *fleet* smoke: a sharded
+# durable primary, two WAL-shipping replicas, and the epoch-vector
+# router (`algrec cluster serve|join|route`), with a replica SIGKILLed
+# mid-traffic and a replacement converging to the primary's answers
+# modulo epoch tags.
+#
 # Usage: scripts/stress_smoke.sh            (builds target/release/algrec)
 #        ALGREC_BIN=path scripts/stress_smoke.sh
 set -euo pipefail
@@ -126,3 +132,113 @@ if [[ "$recovered" != "$final" ]]; then
 fi
 
 echo "$SMOKE_NAME: OK ($WRITERS writers x $FACTS_PER_WRITER commits raced $READERS readers; raced == cold == recovered)"
+
+# --- Phase 4: the serving fleet — 1 primary + 2 replicas + router. --
+# A sharded durable primary, two WAL-shipping replicas, and the
+# epoch-vector router, all separate processes over real TCP. A replica
+# is SIGKILLed mid-traffic (reads through the router must keep
+# succeeding), and a freshly joined replacement must converge to answer
+# byte-identically with the primary modulo epoch tags.
+fleetdir="$work/fleet"
+start_node primary cluster serve --data-dir "$fleetdir" --shards 2 --sync always --threads 2
+pri_host=$host pri_port=$port pri_addr="$host:$port"
+
+drive 2 <<EOF
+{"id": 1, "op": "load", "facts": "e(1, 2). e(2, 3). e(3, 1)."}
+{"id": 2, "op": "register", "view": "paths", "semantics": "stratified", "program": "$PROGRAM"}
+EOF
+if [[ $(grep -c '"ok":true' "$replies") -ne 2 ]]; then
+  echo "$SMOKE_NAME: fleet primary setup failed:" >&2
+  cat "$replies" >&2
+  exit 1
+fi
+
+start_node replica0 cluster join --primary "$pri_addr"
+rep0_pid=$node
+start_node replica1 cluster join --primary "$pri_addr"
+rep1_host=$host rep1_port=$port rep1_addr="$host:$port"
+start_node router cluster route --primary "$pri_addr" \
+  --replica "$addr" --replica "$rep1_addr"
+router_host=$host router_port=$port
+
+# A write through the router must be visible to the very next read: the
+# router pins the primary's epoch vector, so replicas answer `stale`
+# until they have applied it and the router fails over meanwhile.
+drive 2 <<EOF
+{"id": 10, "op": "assert", "fact": "e(3, 4)"}
+{"id": 11, "op": "query", "view": "paths", "pred": "tc"}
+EOF
+if ! grep -q 'tc(1, 4)' "$replies"; then
+  echo "$SMOKE_NAME: router read missed the acknowledged write:" >&2
+  cat "$replies" >&2
+  exit 1
+fi
+
+# Readers hammer the router while one replica dies mid-traffic.
+router_reads=$((READERS * READS_PER_READER))
+pids=()
+outs=()
+for r in $(seq 1 "$READERS"); do
+  out="$work/fleet_reader_$r"
+  outs+=("$out")
+  reader "$out" &
+  pids+=($!)
+done
+sleep 0.2
+kill -9 "$rep0_pid"
+for p in "${pids[@]}"; do
+  wait "$p"
+done
+ok=$(cat "${outs[@]}" | grep -c '"ok":true')
+if [[ "$ok" -ne "$router_reads" ]]; then
+  echo "$SMOKE_NAME: reads failed after replica SIGKILL ($ok/$router_reads ok):" >&2
+  grep -hv '"ok":true' "${outs[@]}" >&2 || true
+  exit 1
+fi
+
+# A replacement replica joins, catches up, and must answer exactly like
+# the primary (modulo epochs) under the primary's own epoch-vector pin.
+start_node replica2 cluster join --primary "$pri_addr"
+rep2_host=$host rep2_port=$port
+
+host=$pri_host port=$pri_port
+drive 1 <<EOF
+{"id": 20, "op": "cluster-stats"}
+EOF
+epochs=$(sed -n 's/.*"epochs":\(\[[^]]*\]\).*/\1/p' "$replies" | head -n 1)
+drive 1 <<EOF
+{"id": 21, "op": "query", "view": "paths", "pred": "tc"}
+EOF
+cp "$replies" "$work/primary_final"
+
+for rep in "$rep1_host:$rep1_port" "$rep2_host:$rep2_port"; do
+  host=${rep%:*} port=${rep##*:}
+  for _ in $(seq 100); do
+    drive 1 <<EOF
+{"id": 21, "min_epochs": $epochs, "op": "query", "view": "paths", "pred": "tc"}
+EOF
+    grep -q '"ok":true' "$replies" && break
+    sleep 0.1
+  done
+  if ! grep -q '"ok":true' "$replies"; then
+    echo "$SMOKE_NAME: replica $rep never caught up to $epochs:" >&2
+    cat "$replies" >&2
+    exit 1
+  fi
+  cp "$replies" "$work/replica_final"
+  if ! diff_modulo_epoch "$work/primary_final" "$work/replica_final"; then
+    echo "$SMOKE_NAME: replica $rep diverged from the primary" >&2
+    exit 1
+  fi
+done
+
+# Orderly teardown: router first, then replicas, then the primary.
+for down in "$router_host:$router_port" "$rep1_host:$rep1_port" \
+  "$rep2_host:$rep2_port" "$pri_addr"; do
+  host=${down%:*} port=${down##*:}
+  drive 1 <<EOF
+{"id": 99, "op": "shutdown"}
+EOF
+done
+
+echo "$SMOKE_NAME: OK (fleet survived a SIGKILLed replica; late joiner == primary modulo epochs)"

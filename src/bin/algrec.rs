@@ -9,7 +9,13 @@
 //! algrec repl   [facts.dl] [--data-dir DIR] [--sync P] [--snapshot-every N]
 //! algrec serve  [facts.dl] [--addr HOST:PORT] [--data-dir DIR] [--sync P] [--snapshot-every N]
 //! algrec scenario <list|run|record> [--corpus DIR] [-f EXPR] [--concurrency LIST]
-//!                                   [--scale N] [--report PATH] [--live] [--no-recovery]
+//!                                   [--scale N] [--report PATH] [--live] [--addr HOST:PORT]
+//!                                   [--no-recovery]
+//! algrec cluster serve [facts.dl] --data-dir DIR [--shards N] [--addr HOST:PORT] [--sync P]
+//! algrec cluster join  --primary HOST:PORT [--addr HOST:PORT]
+//! algrec cluster route --primary HOST:PORT [--replica HOST:PORT]… [--addr HOST:PORT]
+//! algrec cluster bench [scenario] [--corpus DIR] [--replicas LIST] [--shards N]
+//!                      [--concurrency LIST] [--scale N] [--report PATH]
 //! ```
 //!
 //! Every command also accepts `--threads N`, bounding the worker pool
@@ -52,8 +58,20 @@
 //!   scenarios with the filter DSL (`name ~ authz & tag != slow`, see
 //!   DESIGN.md §16); `--scale N` issues every read N times; `--report
 //!   PATH` writes the `BENCH_7.json` document; `--live` replays over a
-//!   throwaway TCP server instead of in-process; `--no-recovery` skips
-//!   the durable recovery leg.
+//!   throwaway TCP server instead of in-process; `--addr` replays
+//!   against an already-running external server (e.g. a cluster
+//!   router, which must be pre-seeded — recovery is skipped);
+//!   `--no-recovery` skips the durable recovery leg.
+//! * `cluster` runs the serving fleet (see `algrec_cluster` and
+//!   DESIGN.md §17): `serve` a sharded durable primary (`--shards`
+//!   hash-partitioned write-ahead logs under `--data-dir`, replication
+//!   feed on the same port), `join` a replica subscribed to
+//!   `--primary` (epoch-gated consistent reads, writes rejected),
+//!   `route` the consistent-read front end over `--primary` plus each
+//!   `--replica`, and `bench` the E13 read-throughput scaling
+//!   experiment (`--replicas` is the list of replica *counts* to
+//!   measure; `--report` writes `BENCH_8.json`). All three servers
+//!   print `% ROLE listening on ADDR` once bound.
 
 use algrec::prelude::*;
 use algrec::serve::parse_semantics;
@@ -91,11 +109,15 @@ struct Args {
     snapshot_every: Option<usize>,
     corpus: String,
     filter: Option<String>,
-    concurrency: Vec<usize>,
-    scale: usize,
+    concurrency: Option<Vec<usize>>,
+    scale: Option<usize>,
     report: Option<String>,
     live: bool,
     no_recovery: bool,
+    shards: usize,
+    primary: Option<String>,
+    replica_addrs: Vec<String>,
+    replica_counts: Option<Vec<usize>>,
 }
 
 fn parse_args(raw: &[String]) -> Result<Args, String> {
@@ -113,11 +135,15 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
         snapshot_every: Some(1024),
         corpus: "scenarios".to_string(),
         filter: None,
-        concurrency: vec![1, 4],
-        scale: 1,
+        concurrency: None,
+        scale: None,
         report: None,
         live: false,
         no_recovery: false,
+        shards: 2,
+        primary: None,
+        replica_addrs: Vec::new(),
+        replica_counts: None,
     };
     let mut it = raw.iter();
     while let Some(a) = it.next() {
@@ -176,17 +202,8 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
             }
             "--concurrency" => {
                 let list = it.next().ok_or("--concurrency needs a value")?;
-                args.concurrency = list
-                    .split(',')
-                    .map(|n| match n.trim().parse::<usize>() {
-                        Ok(n) if n >= 1 => Ok(n),
-                        Ok(_) => Err("--concurrency entries must be at least 1".to_string()),
-                        Err(e) => Err(format!("--concurrency: `{n}`: {e}")),
-                    })
-                    .collect::<Result<_, _>>()?;
-                if args.concurrency.is_empty() {
-                    return Err("--concurrency needs at least one entry".into());
-                }
+                let parsed = parse_usize_list(list, "--concurrency")?;
+                args.concurrency = Some(parsed);
             }
             "--scale" => {
                 let n: usize = it
@@ -197,7 +214,27 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
                 if n == 0 {
                     return Err("--scale must be at least 1".into());
                 }
-                args.scale = n;
+                args.scale = Some(n);
+            }
+            "--shards" => {
+                let n: usize = it
+                    .next()
+                    .ok_or("--shards needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?;
+                if n == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+                args.shards = n;
+                algrec::sched::set_shards(n);
+            }
+            "--primary" => args.primary = Some(it.next().ok_or("--primary needs a value")?.clone()),
+            "--replica" => args
+                .replica_addrs
+                .push(it.next().ok_or("--replica needs a value")?.clone()),
+            "--replicas" => {
+                let list = it.next().ok_or("--replicas needs a value")?;
+                args.replica_counts = Some(parse_usize_list(list, "--replicas")?);
             }
             "--report" => args.report = Some(it.next().ok_or("--report needs a value")?.clone()),
             "--live" => args.live = true,
@@ -207,6 +244,22 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
         }
     }
     Ok(args)
+}
+
+/// A comma-separated list of positive integers (`1,2,4`).
+fn parse_usize_list(list: &str, flag: &str) -> Result<Vec<usize>, String> {
+    let parsed: Vec<usize> = list
+        .split(',')
+        .map(|n| match n.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            Ok(_) => Err(format!("{flag} entries must be at least 1")),
+            Err(e) => Err(format!("{flag}: `{n}`: {e}")),
+        })
+        .collect::<Result<_, _>>()?;
+    if parsed.is_empty() {
+        return Err(format!("{flag} needs at least one entry"));
+    }
+    Ok(parsed)
 }
 
 fn read(path: &str) -> Result<String, String> {
@@ -453,10 +506,11 @@ fn cmd_scenario(a: &Args) -> Result<(), String> {
             let opts = algrec::scenario::RunOptions {
                 corpus,
                 filter,
-                concurrency: a.concurrency.clone(),
-                scale: a.scale,
+                concurrency: a.concurrency.clone().unwrap_or_else(|| vec![1, 4]),
+                scale: a.scale.unwrap_or(1),
                 report: a.report.as_ref().map(std::path::PathBuf::from),
                 live: a.live,
+                addr: a.addr.clone(),
                 no_recovery: a.no_recovery,
                 budget: Budget::LARGE,
             };
@@ -470,11 +524,109 @@ fn cmd_scenario(a: &Args) -> Result<(), String> {
     }
 }
 
+/// Bind `--addr` (default ephemeral loopback) and announce the bound
+/// address on stdout so scripted clients know where to connect.
+fn bind_announced(a: &Args, role: &str) -> Result<std::net::TcpListener, String> {
+    let addr = a.addr.as_deref().unwrap_or("127.0.0.1:0");
+    let listener = std::net::TcpListener::bind(addr).map_err(|e| format!("{addr}: {e}"))?;
+    let bound = listener.local_addr().map_err(|e| e.to_string())?;
+    println!("% {role} listening on {bound}");
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    Ok(listener)
+}
+
+/// The serving fleet: `serve` a sharded durable primary, `join` a
+/// replica to it, `route` consistent reads over the fleet, `bench` the
+/// E13 read-throughput scaling experiment.
+fn cmd_cluster(a: &Args) -> Result<(), String> {
+    use std::sync::Arc;
+    let [sub, rest @ ..] = a.positional.as_slice() else {
+        return Err("usage: algrec cluster <serve|join|route|bench> \
+             [--data-dir DIR] [--shards N] [--primary ADDR] [--replica ADDR]… "
+            .into());
+    };
+    match sub.as_str() {
+        "serve" => {
+            let dir = a
+                .data_dir
+                .as_ref()
+                .ok_or("cluster serve requires --data-dir")?;
+            // The CLI shard count drives both layers: the on-disk WAL
+            // partitioning and the engine's partitioned evaluation.
+            algrec::sched::set_shards(a.shards);
+            let (mut session, report, shards) = algrec::cluster::open_primary(
+                std::path::Path::new(dir),
+                a.shards,
+                Budget::LARGE,
+                a.sync,
+            )?;
+            if report.records > 0 {
+                eprintln!(
+                    "% recovered from {dir}: {} commit(s) over {} record(s), \
+                     {} torn byte(s) truncated",
+                    report.commits, report.records, report.truncated_bytes,
+                );
+            }
+            if let Some(path) = rest.first() {
+                let text = read(path)?;
+                session.load(&text).map_err(|e| format!("{path}: {e}"))?;
+            }
+            let listener = bind_announced(a, "primary")?;
+            let shared = Arc::new(SharedSession::new(session));
+            algrec::cluster::serve_primary(listener, shared, shards);
+            Ok(())
+        }
+        "join" => {
+            let primary = a
+                .primary
+                .as_ref()
+                .ok_or("cluster join requires --primary")?;
+            let shared = Arc::new(SharedSession::new(Session::new(Budget::LARGE)));
+            let mut replica = algrec::cluster::Replica::start(primary, Arc::clone(&shared))
+                .map_err(|e| format!("{primary}: {e}"))?;
+            let listener = bind_announced(a, "replica")?;
+            algrec::cluster::serve_replica(listener, shared, Arc::clone(replica.state()));
+            replica.stop();
+            Ok(())
+        }
+        "route" => {
+            let primary = a
+                .primary
+                .as_ref()
+                .ok_or("cluster route requires --primary")?;
+            let config = algrec::cluster::RouterConfig {
+                primary: primary.clone(),
+                replicas: a.replica_addrs.clone(),
+            };
+            let listener = bind_announced(a, "router")?;
+            algrec::cluster::serve_router(listener, config);
+            Ok(())
+        }
+        "bench" => {
+            let defaults = algrec::cluster::BenchOptions::default();
+            let opts = algrec::cluster::BenchOptions {
+                corpus: std::path::PathBuf::from(&a.corpus),
+                scenario: rest.first().cloned().unwrap_or(defaults.scenario),
+                replicas: a.replica_counts.clone().unwrap_or(defaults.replicas),
+                concurrency: a
+                    .concurrency
+                    .as_ref()
+                    .map_or(defaults.concurrency, |v| *v.last().unwrap()),
+                scale: a.scale.unwrap_or(defaults.scale),
+                shards: a.shards,
+                report: a.report.as_ref().map(std::path::PathBuf::from),
+            };
+            algrec::cluster::run_bench(&mut std::io::stdout().lock(), &opts)
+        }
+        other => Err(format!("unknown cluster subcommand `{other}`")),
+    }
+}
+
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = raw.split_first() else {
         return fail(
-            "usage: algrec <eval|alg|spec|translate|stable|repl|serve|scenario> … \
+            "usage: algrec <eval|alg|spec|translate|stable|repl|serve|scenario|cluster> … \
              (see --help in the README)",
         );
     };
@@ -491,6 +643,7 @@ fn main() -> ExitCode {
         "repl" => cmd_repl(&args),
         "serve" => cmd_serve(&args),
         "scenario" => cmd_scenario(&args),
+        "cluster" => cmd_cluster(&args),
         other => Err(format!("unknown command `{other}`")),
     };
     match result {

@@ -27,8 +27,14 @@
 //! * [`store`] — the durable store under the serving layer: write-ahead
 //!   log, snapshots, and crash recovery (`--data-dir`);
 //! * [`sched`] — the concurrency substrate: the worker pool behind
-//!   parallel fixpoint rounds (`--threads`, `ALGREC_THREADS`) and the
-//!   epoch-versioned snapshot swap behind the server's lock-free reads.
+//!   parallel fixpoint rounds (`--threads`, `ALGREC_THREADS`), the
+//!   shard-count knob behind partitioned evaluation (`--shards`), and
+//!   the epoch-versioned snapshot swap behind the server's lock-free
+//!   reads;
+//! * [`cluster`] — the serving fleet: hash-sharded per-shard WALs on
+//!   the primary, WAL-shipping replicas with epoch-gated consistent
+//!   reads, and the epoch-vector-pinning router (`algrec cluster
+//!   serve|join|route|bench`).
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-claim-by-claim verification record.
@@ -57,6 +63,7 @@
 #![forbid(unsafe_code)]
 
 pub use algrec_adt as adt;
+pub use algrec_cluster as cluster;
 pub use algrec_core as core;
 pub use algrec_datalog as datalog;
 pub use algrec_plan as plan;

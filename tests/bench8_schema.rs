@@ -1,0 +1,113 @@
+//! Schema pin for the committed replica-scaling report (`BENCH_8.json`,
+//! experiment E13), in the style of the `BENCH_5`/`BENCH_6`/`BENCH_7`
+//! pins: key names, nesting, and value kinds are asserted against the
+//! document in the repository root. If this test fails, downstream
+//! consumers of the report will break: bump deliberately and update
+//! them in the same change.
+
+use algrec::serve::json::{self, Json};
+
+fn committed_report() -> Json {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_8.json");
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    json::parse(text.trim_end()).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+fn keys_of(value: &Json) -> Vec<&str> {
+    match value {
+        Json::Obj(map) => map.keys().map(String::as_str).collect(),
+        other => panic!("expected an object, got {other:?}"),
+    }
+}
+
+fn is_number(value: Option<&Json>) -> bool {
+    matches!(value, Some(Json::Int(_) | Json::Float(_)))
+}
+
+#[test]
+fn bench_8_top_level_schema_is_pinned() {
+    let doc = committed_report();
+    // `Json` objects hold sorted keys, so the pinned order is
+    // alphabetical — the same convention as every protocol reply.
+    assert_eq!(
+        keys_of(&doc),
+        [
+            "bench",
+            "concurrency",
+            "legs",
+            "scale",
+            "scenario",
+            "shards",
+            "speedup_2_replicas",
+            "speedup_4_replicas",
+        ]
+    );
+    assert_eq!(doc.get("bench").and_then(Json::as_str), Some("E13"));
+    assert_eq!(
+        doc.get("scenario").and_then(Json::as_str),
+        Some("social_reachability")
+    );
+    assert!(is_number(doc.get("concurrency")));
+    assert!(is_number(doc.get("scale")));
+    assert!(is_number(doc.get("shards")));
+    // The speedup fields are numbers when both legs ran, null otherwise.
+    for key in ["speedup_2_replicas", "speedup_4_replicas"] {
+        let v = doc.get(key);
+        assert!(
+            is_number(v) || matches!(v, Some(Json::Null)),
+            "{key}: {v:?}"
+        );
+    }
+}
+
+#[test]
+fn bench_8_legs_are_pinned_and_all_matched() {
+    let doc = committed_report();
+    let Some(Json::Arr(legs)) = doc.get("legs") else {
+        panic!("legs must be an array");
+    };
+    assert!(!legs.is_empty(), "at least one replica count measured");
+    let mut last_replicas = 0;
+    for leg in legs {
+        assert_eq!(
+            keys_of(leg),
+            [
+                "elapsed_s",
+                "latency_p50_us",
+                "latency_p95_us",
+                "matched",
+                "max_replica_lag_bytes",
+                "read_throughput_rps",
+                "replicas",
+                "requests",
+            ]
+        );
+        for key in [
+            "elapsed_s",
+            "latency_p50_us",
+            "latency_p95_us",
+            "max_replica_lag_bytes",
+            "read_throughput_rps",
+            "requests",
+        ] {
+            assert!(is_number(leg.get(key)), "{key}: {:?}", leg.get(key));
+        }
+        // Correctness is part of the committed record: every leg's
+        // reply stream matched the recording modulo epoch tags.
+        assert!(
+            matches!(leg.get("matched"), Some(Json::Bool(true))),
+            "a committed leg diverged: {leg:?}"
+        );
+        let replicas = leg.get("replicas").and_then(Json::as_int).unwrap();
+        assert!(
+            replicas > last_replicas,
+            "legs must be sorted by replica count"
+        );
+        last_replicas = replicas;
+    }
+    assert_eq!(
+        legs[0].get("replicas").and_then(Json::as_int),
+        Some(1),
+        "the speedup baseline (one replica) must be measured"
+    );
+}
